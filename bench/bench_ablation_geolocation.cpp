@@ -1,0 +1,53 @@
+// ABL-GEO — the §6 co-location observation.
+//
+// "The presented results do not take into account the edge geolocation
+// nature of Peer-to-Peer communication. In a real world environment, a
+// sensor has higher chances to communicate with a Gateway that is
+// geolocated closer to his origin deployment. The network latency can thus
+// be decreased between co-located foreign Gateways and lower the data
+// retrieval latency."
+//
+// Sweeps the federation's WAN latency from co-located metro peers down to
+// intercontinental PlanetLab distances and reports the exchange latency.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace bcwan;
+  bench::print_header("ABL-GEO", "gateway co-location vs exchange latency");
+
+  struct Case {
+    const char* name;
+    double median_ms;
+  };
+  const Case cases[] = {
+      {"same metro (co-located)", 3.0},
+      {"same country", 15.0},
+      {"continental (paper's PlanetLab)", 45.0},
+      {"intercontinental", 140.0},
+  };
+
+  std::printf("%-34s %-12s %-30s\n", "deployment", "wan_median",
+              "exchange latency");
+  for (const Case& c : cases) {
+    sim::ScenarioConfig config;
+    config.wan_latency.median_ms = c.median_ms;
+    config.seed = 7;
+    sim::Scenario scenario(config);
+    scenario.bootstrap();
+    scenario.run_exchanges(bench::exchange_count(300));
+    std::printf("%-34s %6.0f ms    mean=%.3fs p50=%.3fs p95=%.3fs\n", c.name,
+                c.median_ms, scenario.latency_stats().mean(),
+                scenario.latency_stats().median(),
+                scenario.latency_stats().percentile(95));
+  }
+
+  std::printf(
+      "\nshape check: each exchange crosses the WAN ~3 times (DELIVER +\n"
+      "offer gossip + redeem gossip), so the mean falls by roughly\n"
+      "3 x Delta(one-way latency) as gateways co-locate — the §6 claim\n"
+      "that geolocated peering lowers data-retrieval latency.\n");
+  return 0;
+}

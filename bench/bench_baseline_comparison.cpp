@@ -1,0 +1,82 @@
+// ABL-BASE — BcWAN vs the alternatives it displaces.
+//
+//  * latency: the legacy centralized LoRaWAN path (Fig. 1) vs BcWAN's
+//    decentralized fair exchange (Fig. 2) — what removing the network
+//    server costs;
+//  * economics under malicious gateways: pay-first + reputation (§4.4's
+//    rejected design), altruistic P2P (Durand et al., §3) and BcWAN's
+//    fair exchange.
+#include <cstdio>
+
+#include "baseline/exchange_models.hpp"
+#include "baseline/legacy_lorawan.hpp"
+#include "bench_common.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace bcwan;
+  bench::print_header("ABL-BASE", "BcWAN vs centralized / reputation / altruistic");
+
+  // --- Latency: legacy network-server path vs BcWAN ---
+  baseline::LegacyConfig legacy_config;
+  baseline::LegacyLoraWan legacy(legacy_config);
+  legacy.run(1000);
+
+  sim::ScenarioConfig bcwan_config;
+  sim::Scenario bcwan_scenario(bcwan_config);
+  bcwan_scenario.bootstrap();
+  bcwan_scenario.run_exchanges(bench::exchange_count(400));
+
+  std::printf("latency comparison (s):\n");
+  std::printf("  %-28s %s\n", "legacy LoRaWAN (Fig. 1):",
+              legacy.latency_stats().summary("s").c_str());
+  std::printf("  %-28s %s\n", "BcWAN (Fig. 2, no verif.):",
+              bcwan_scenario.latency_stats().summary("s").c_str());
+  std::printf(
+      "  -> BcWAN pays ~1 s of fair-exchange overhead on top of the\n"
+      "     centralized path; the paper's claim is that this 'does not add\n"
+      "     any significant overhead to a near real-time IoT application'.\n\n");
+
+  // --- Economics under malicious gateways ---
+  std::printf("economics under malicious foreign gateways "
+              "(10k messages, price 1.0/message):\n");
+  std::printf("  %-14s %-12s %-12s %-12s %-12s %-12s\n", "mechanism",
+              "delivery", "paid", "lost", "gw_revenue", "mean_lat_s");
+  for (const double malicious : {0.0, 0.2, 0.5}) {
+    baseline::ExchangeModelConfig config;
+    config.malicious_fraction = malicious;
+    const auto reputation = baseline::run_reputation_model(config);
+    baseline::ExchangeModelConfig sybil_config = config;
+    sybil_config.whitewashing = true;
+    const auto sybil = baseline::run_reputation_model(sybil_config);
+    const auto bcwan = baseline::run_bcwan_model(config);
+    const auto altruistic = baseline::run_altruistic_model(config);
+    std::printf("  -- malicious fraction %.0f%% --\n", malicious * 100);
+    std::printf("  %-14s %-12.3f %-12.0f %-12.0f %-12.0f %-12.2f\n",
+                "reputation", reputation.delivery_rate(),
+                reputation.value_paid, reputation.value_lost,
+                reputation.gateway_revenue, reputation.mean_latency_s);
+    std::printf("  %-14s %-12.3f %-12.0f %-12.0f %-12.0f %-12.2f\n",
+                "rep.+sybil", sybil.delivery_rate(), sybil.value_paid,
+                sybil.value_lost, sybil.gateway_revenue,
+                sybil.mean_latency_s);
+    std::printf("  %-14s %-12.3f %-12.0f %-12.0f %-12.0f %-12.2f\n", "bcwan",
+                bcwan.delivery_rate(), bcwan.value_paid, bcwan.value_lost,
+                bcwan.gateway_revenue, bcwan.mean_latency_s);
+    std::printf("  %-14s %-12.3f %-12.0f %-12.0f %-12.0f %-12.2f\n",
+                "altruistic", altruistic.delivery_rate(),
+                altruistic.value_paid, altruistic.value_lost,
+                altruistic.gateway_revenue, altruistic.mean_latency_s);
+  }
+
+  std::printf(
+      "\nshape check: only BcWAN keeps value_lost at exactly 0 at every\n"
+      "malice level (the fair-exchange guarantee) while still paying\n"
+      "honest gateways (unlike the altruistic model, which offers no\n"
+      "deployment incentive — §3's critique of Durand et al.); the\n"
+      "reputation model bounds theft only while identities are pinned;\n"
+      "with free re-registration (rep.+sybil) losses track the malicious\n"
+      "fraction — §4.4: it 'reduces the probability of misbehavior but\n"
+      "does not eliminate the problem'.\n");
+  return 0;
+}

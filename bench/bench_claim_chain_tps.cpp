@@ -1,0 +1,158 @@
+// CLM-TPS — "Multichain advertises a transaction throughput of up to 1000
+// tx/s in its latest version" (paper §5.2).
+//
+// Measures what this chain implementation sustains on this machine:
+// mempool acceptance (full validation incl. ECDSA — the transactions under
+// test are built by hand and have never been validated, so the signature
+// cache cannot shortcut them), block assembly + connect, for both plain
+// P2PKH payments and Listing-1 fair-exchange transactions.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "chain/blockchain.hpp"
+#include "chain/mempool.hpp"
+#include "chain/miner.hpp"
+#include "chain/wallet.hpp"
+
+namespace {
+
+using namespace bcwan;
+
+/// Hand-build a 1-in/1-out P2PKH spend of `coin` by `owner` to `dest`,
+/// signed fresh (never validated anywhere).
+chain::Transaction make_spend(const chain::Wallet& owner,
+                              const chain::OutPoint& outpoint,
+                              const chain::TxOut& coin,
+                              const script::Script& dest_script,
+                              chain::Amount fee) {
+  chain::Transaction tx;
+  chain::TxIn in;
+  in.prevout = outpoint;
+  tx.vin.push_back(std::move(in));
+  chain::TxOut out;
+  out.value = coin.value - fee;
+  out.script_pubkey = dest_script;
+  tx.vout.push_back(std::move(out));
+  owner.sign_p2pkh_input(tx, 0, coin.script_pubkey);
+  return tx;
+}
+
+}  // namespace
+
+int main() {
+  using Clock = std::chrono::steady_clock;
+  bench::print_header("CLM-TPS", "chain transaction throughput");
+
+  chain::ChainParams params;
+  params.pow_zero_bits = 4;
+  params.coinbase_maturity = 2;
+  chain::Blockchain bc(params);
+  chain::Mempool pool(params);
+  const chain::Wallet miner_wallet = chain::Wallet::from_seed("tps-miner");
+  const chain::Wallet alice = chain::Wallet::from_seed("tps-alice");
+  const chain::Miner miner(params, miner_wallet.pkh());
+
+  std::uint64_t now = 0;
+  auto mine = [&] {
+    const chain::Block block = miner.mine(bc, pool, ++now);
+    bc.accept_block(block);
+    pool.remove_confirmed(block);
+  };
+  for (int i = 0; i < 6; ++i) mine();
+
+  // Give alice a bankroll of independent confirmed coins.
+  const int kCoins = 12;
+  for (int i = 0; i < kCoins; ++i) {
+    const auto tx = miner_wallet.create_payment(bc, &pool, alice.pkh(),
+                                                40 * chain::kCoin, 1000);
+    if (tx) pool.accept(*tx, bc.utxo(), bc.height() + 1);
+    mine();
+  }
+
+  // Build chains of fresh spends: 25 per coin, child spending parent, none
+  // ever validated.
+  const script::Script alice_script = script::make_p2pkh(alice.pkh());
+  std::vector<chain::Transaction> fresh;
+  for (const auto& [outpoint, coin] : alice.spendable(bc)) {
+    chain::OutPoint cursor = outpoint;
+    chain::TxOut cursor_out = coin.out;
+    for (int depth = 0; depth < 25; ++depth) {
+      chain::Transaction tx =
+          make_spend(alice, cursor, cursor_out, alice_script, 1000);
+      cursor = chain::OutPoint{tx.txid(), 0};
+      cursor_out = tx.vout[0];
+      fresh.push_back(std::move(tx));
+    }
+    if (fresh.size() >= 300) break;
+  }
+
+  chain::Mempool measured(params);
+  auto t0 = Clock::now();
+  std::size_t accepted = 0;
+  for (const auto& tx : fresh) {
+    accepted += measured.accept(tx, bc.utxo(), bc.height() + 1).ok();
+  }
+  auto t1 = Clock::now();
+  const double p2pkh_s = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("P2PKH mempool acceptance  : %zu tx in %.3f s = %.0f tx/s\n",
+              accepted, p2pkh_s, static_cast<double>(accepted) / p2pkh_s);
+
+  // Listing-1 offers: fresh, never validated.
+  util::Rng rng(1);
+  const script::PubKeyHash gw = script::to_pubkey_hash(util::str_bytes("gw"));
+  std::vector<chain::Transaction> offers;
+  {
+    // Spend the tips of the measured chains' confirmed ancestors: reuse the
+    // original coins by first confirming the fresh chains.
+    for (const auto& tx : fresh) pool.accept(tx, bc.utxo(), bc.height() + 1);
+    mine();
+    mine();
+    int built = 0;
+    for (const auto& [outpoint, coin] : alice.spendable(bc)) {
+      if (built >= 60) break;
+      const crypto::RsaKeyPair eph = crypto::rsa_generate(rng, 512);
+      chain::Transaction tx;
+      chain::TxIn in;
+      in.prevout = outpoint;
+      tx.vin.push_back(std::move(in));
+      chain::TxOut out;
+      out.value = coin.out.value - 1000;
+      out.script_pubkey = script::make_key_release(eph.pub, gw, alice.pkh(),
+                                                   bc.height() + 100);
+      tx.vout.push_back(std::move(out));
+      alice.sign_p2pkh_input(tx, 0, coin.out.script_pubkey);
+      offers.push_back(std::move(tx));
+      ++built;
+    }
+  }
+  chain::Mempool offer_pool(params);
+  t0 = Clock::now();
+  accepted = 0;
+  for (const auto& tx : offers) {
+    accepted += offer_pool.accept(tx, bc.utxo(), bc.height() + 1).ok();
+  }
+  t1 = Clock::now();
+  const double offer_s = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("Listing-1 offer acceptance: %zu tx in %.3f s = %.0f tx/s\n",
+              accepted, offer_s, static_cast<double>(accepted) / offer_s);
+
+  // Block assembly + connect for a full block of offers.
+  t0 = Clock::now();
+  const chain::Block big = miner.mine(bc, offer_pool, ++now);
+  const auto result = bc.accept_block(big);
+  t1 = Clock::now();
+  const double block_s = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("block assemble+mine+connect: %zu tx in %.3f s (%s)\n",
+              big.txs.size(), block_s,
+              chain::accept_block_result_name(result).c_str());
+
+  std::printf(
+      "\npaper context: Multichain advertises up to 1000 tx/s; the paper\n"
+      "saw far less once block verification stalled the daemon (Fig. 6).\n"
+      "This implementation validates fresh P2PKH transactions at the same\n"
+      "order of magnitude (bignum ECDSA dominates); Listing-1 offers are\n"
+      "plain P2PKH spends to validate, so they cost about the same to\n"
+      "accept — the RSA math only runs when the offer is *redeemed*.\n");
+  return 0;
+}

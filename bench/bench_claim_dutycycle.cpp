@@ -1,0 +1,54 @@
+// CLM-DUTY — "a theoretical maximum of 183 messages per sensor per hour"
+// (paper §5.2: 128 B payload + 4 B header, SF7, 1% duty cycle).
+//
+// Regenerates the duty-cycle arithmetic for every spreading factor, and
+// validates it against the radio simulator by actually pumping a sensor for
+// a virtual hour.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "lora/airtime.hpp"
+#include "lora/radio.hpp"
+
+int main() {
+  using namespace bcwan;
+  bench::print_header("CLM-DUTY", "duty-cycle throughput, 132-byte frame");
+
+  std::printf("%-5s %-14s %-16s %-18s\n", "SF", "airtime_ms",
+              "max_per_hour@1%", "simulated_hour");
+  for (int sf = 7; sf <= 12; ++sf) {
+    lora::LoraConfig cfg;
+    cfg.sf = static_cast<lora::SpreadingFactor>(sf);
+    const double air_ms = 1000.0 * lora::airtime_s(cfg, 132);
+    const int analytic = lora::max_messages_per_hour(cfg, 132, 0.01);
+
+    // Empirical check with the radio simulator.
+    p2p::EventLoop loop;
+    lora::LoraRadio radio(loop, 1);
+    int received = 0;
+    const lora::RadioGatewayId gw = radio.add_gateway(
+        [&received](lora::RadioDeviceId, const util::Bytes&) { ++received; });
+    const lora::RadioDeviceId dev =
+        radio.add_device(gw, cfg, 0.01, [](const util::Bytes&) {});
+    std::function<void()> pump = [&] {
+      const lora::TxResult tx = radio.uplink(dev, util::Bytes(132, 0));
+      const util::SimTime next =
+          tx.accepted ? radio.device_next_allowed(dev, loop.now())
+                      : tx.next_allowed;
+      if (next < util::kHour) loop.at(next, pump);
+    };
+    pump();
+    loop.run_until(util::kHour);
+
+    std::printf("%-5d %-14.1f %-16d %-18d\n", sf, air_ms, analytic, received);
+  }
+
+  std::printf(
+      "\npaper claim: 183 msg/sensor/hour at SF7 — implies ~196.7 ms of\n"
+      "airtime per frame; the Semtech-exact formula for 132 B at\n"
+      "SF7/BW125/CR4-5 gives 220.4 ms -> 163/h. Same order; the paper's\n"
+      "accounting was slightly optimistic. Shape across SF7-12 (airtime\n"
+      "roughly doubles per SF step, throughput halves) reproduced.\n");
+  return 0;
+}

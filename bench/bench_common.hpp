@@ -1,0 +1,66 @@
+// Shared helpers for the experiment-reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <cstdio>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace bcwan::bench {
+
+inline void print_header(const char* experiment_id, const char* title) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", experiment_id, title);
+  std::printf("==========================================================\n");
+}
+
+/// Exchange count override for quick local runs:
+/// BCWAN_EXCHANGES=200 ./bench_fig5_latency
+inline std::size_t exchange_count(std::size_t paper_default) {
+  if (const char* env = std::getenv("BCWAN_EXCHANGES")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return paper_default;
+}
+
+inline void print_latency_figure(const util::SampleStats& stats,
+                                 double paper_mean_s, double hist_max_s) {
+  std::printf("exchanges measured : %zu\n", stats.count());
+  std::printf("mean latency       : %.3f s   (paper: %.3f s)\n", stats.mean(),
+              paper_mean_s);
+  std::printf("median             : %.3f s\n", stats.median());
+  std::printf("p95 / p99          : %.3f / %.3f s\n", stats.percentile(95),
+              stats.percentile(99));
+  std::printf("min / max          : %.3f / %.3f s\n", stats.min(),
+              stats.max());
+  std::printf("\nlatency distribution (s):\n%s\n",
+              stats.histogram(0.0, hist_max_s, 20).c_str());
+}
+
+/// The paper's Figs. 5/6 are per-exchange series; write one as CSV
+/// (exchange index, completion time in virtual seconds, latency seconds)
+/// for external plotting.
+template <typename Records>
+inline void dump_series_csv(const char* path, const Records& records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("(could not write %s)\n", path);
+    return;
+  }
+  std::fprintf(f, "exchange,completed_at_s,latency_s\n");
+  std::size_t index = 0;
+  for (const auto& record : records) {
+    std::fprintf(f, "%zu,%.3f,%.3f\n", index++,
+                 util::to_seconds(record.decrypted_at), record.latency_s());
+  }
+  std::fclose(f);
+  std::printf("per-exchange series written to %s\n", path);
+}
+
+}  // namespace bcwan::bench

@@ -1,0 +1,129 @@
+// Adversarial playbook: the misbehaviours §4.4 and §6 worry about, run
+// against the real protocol stack, with the defence shown working.
+//
+//   1. withholding gateway   — takes the offer, never reveals eSk
+//                              -> recipient reclaims via the CLTV branch;
+//   2. tampering gateway     — mangles Em in flight
+//                              -> signature check fails, no offer posted;
+//   3. freeloading recipient — receives data, never pays
+//                              -> without eSk the ciphertext stays opaque;
+//   4. double-spending recipient — the §6 race (see also
+//                              bench_ablation_confirmations for the sweep).
+//
+//   ./adversarial
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace bcwan;
+
+sim::ScenarioConfig base_config(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.actors = 2;
+  config.sensors_per_actor = 1;
+  config.chain_params.pow_zero_bits = 8;
+  config.chain_params.coinbase_maturity = 3;
+  config.chain_params.block_interval = 5 * util::kSecond;
+  config.recipient_funding = 10 * chain::kCoin;
+  config.seed = seed;
+  return config;
+}
+
+void scenario_withholding_gateway() {
+  std::printf("--- 1. withholding gateway ---------------------------------\n");
+  sim::ScenarioConfig config = base_config(31);
+  // A gateway that never reveals eSk is modelled by an absurd confirmation
+  // requirement; a short CLTV timeout keeps the demo quick.
+  config.gateway_config.confirmations_required = 1'000'000;
+  config.recipient_config.timeout_blocks = 4;
+  sim::Scenario scenario(config);
+  scenario.bootstrap();
+
+  const chain::Amount before = scenario.recipient(0).wallet().balance(
+      scenario.actor_node(0).chain());
+  bool reclaimed = false;
+  scenario.recipient(0).on_reclaimed = [&](std::uint16_t) { reclaimed = true; };
+  scenario.sensor(0, 0).start_exchange(util::str_bytes("meter=0451"));
+  scenario.loop().run_until(scenario.loop().now() + 5 * util::kMinute);
+
+  const chain::Amount after = scenario.recipient(0).wallet().balance(
+      scenario.actor_node(0).chain());
+  std::printf("  offer posted, eSk never revealed, reclaim fired: %s\n",
+              reclaimed ? "yes" : "no");
+  std::printf("  recipient funds: %.4f -> %.4f coins (lost only fees)\n",
+              static_cast<double>(before) / chain::kCoin,
+              static_cast<double>(after) / chain::kCoin);
+  std::printf("  readings decrypted: %llu (the data is lost, the money is "
+              "not)\n\n",
+              static_cast<unsigned long long>(
+                  scenario.recipient(0).readings_decrypted()));
+}
+
+void scenario_tampering_gateway() {
+  std::printf("--- 2. tampering gateway -----------------------------------\n");
+  sim::ScenarioConfig config = base_config(37);
+  sim::Scenario scenario(config);
+  scenario.bootstrap();
+
+  auto& node = scenario.actor_node(0);
+  auto& recipient = scenario.recipient(0);
+  node.set_app_handler([&recipient](const p2p::Message& msg) {
+    p2p::Message corrupted = msg;
+    if (corrupted.payload.size() > 10) corrupted.payload[9] ^= 0x55;
+    recipient.handle_message(corrupted);
+  });
+
+  scenario.sensor(0, 0).start_exchange(util::str_bytes("lot-3 space 41"));
+  scenario.loop().run_until(scenario.loop().now() + 2 * util::kMinute);
+
+  std::printf("  deliveries: %llu, signature rejects: %llu, offers: %llu\n",
+              static_cast<unsigned long long>(recipient.deliveries_received()),
+              static_cast<unsigned long long>(recipient.signature_rejects()),
+              static_cast<unsigned long long>(recipient.offers_posted()));
+  std::printf("  the node's RSA signature over (Em || ePk) catches the\n"
+              "  mangled payload; the tamperer earns nothing.\n\n");
+}
+
+void scenario_freeloading_recipient() {
+  std::printf("--- 3. freeloading recipient -------------------------------\n");
+  sim::ScenarioConfig config = base_config(41);
+  config.recipient_config.pay_for_data = false;
+  sim::Scenario scenario(config);
+  scenario.bootstrap();
+
+  scenario.sensor(0, 0).start_exchange(util::str_bytes("secret telem"));
+  scenario.loop().run_until(scenario.loop().now() + 2 * util::kMinute);
+
+  auto& recipient = scenario.recipient(0);
+  std::printf("  deliveries: %llu, offers: %llu, decrypted: %llu\n",
+              static_cast<unsigned long long>(recipient.deliveries_received()),
+              static_cast<unsigned long long>(recipient.offers_posted()),
+              static_cast<unsigned long long>(recipient.readings_decrypted()));
+  std::printf("  Em is RSA ciphertext under the gateway's ephemeral key: no\n"
+              "  payment, no eSk, no plaintext. Freeloading gets nothing.\n\n");
+}
+
+void scenario_double_spend_note() {
+  std::printf("--- 4. double-spending recipient ---------------------------\n");
+  std::printf(
+      "  the §6 race (offer fed only to the gateway, conflicting sweep fed\n"
+      "  to the miner, eSk sniffed off the redeem) is reproduced trial by\n"
+      "  trial in bench_ablation_confirmations: ~100%% success at 0\n"
+      "  confirmations, 0%% from 1 confirmation on, at ~15 s per\n"
+      "  confirmation of added honest latency.\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("BcWAN adversarial playbook\n");
+  std::printf("==========================\n\n");
+  scenario_withholding_gateway();
+  scenario_tampering_gateway();
+  scenario_freeloading_recipient();
+  scenario_double_spend_note();
+  std::printf("all adversarial scenarios behaved as the protocol promises.\n");
+  return 0;
+}

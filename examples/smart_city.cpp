@@ -1,0 +1,79 @@
+// Smart-city scenario: the paper's motivating workload (§1: "smart
+// metering, smart parking, vehicle fleet tracking, and smart street
+// lighting").
+//
+// Four operators federate their gateways: a parking authority, a water
+// utility, a streetlight operator and a logistics company. Every sensor
+// reports through a *foreign* operator's gateway, so all traffic crosses
+// trust boundaries and every delivery is paid for through the fair
+// exchange. The run simulates a virtual hour and prints per-operator
+// traffic and settlement accounting.
+//
+//   ./smart_city
+#include <cstdio>
+#include <map>
+
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace bcwan;
+  std::printf("BcWAN smart-city federation — 4 operators, 1 virtual hour\n");
+  std::printf("---------------------------------------------------------\n\n");
+
+  const char* kOperators[] = {"parking-authority", "water-utility",
+                              "streetlights", "logistics"};
+
+  sim::ScenarioConfig config;
+  config.actors = 4;
+  config.sensors_per_actor = 12;
+  config.chain_params.pow_zero_bits = 8;
+  config.gateway_config.price_quote = chain::kCoin / 200;  // 0.005/message
+  config.recipient_config.max_price = chain::kCoin / 100;
+  config.seed = 2026;
+  sim::Scenario scenario(config);
+  scenario.bootstrap();
+
+  std::printf("operators and their blockchain addresses (@R):\n");
+  for (int a = 0; a < scenario.actor_count(); ++a) {
+    std::printf("  %-18s %s\n", kOperators[a],
+                scenario.recipient(a).wallet().address().c_str());
+  }
+  std::printf("\nsensors attach to the NEXT operator's gateway — all traffic\n"
+              "is roaming; no operator can deliver its own data.\n\n");
+
+  // Run one virtual hour of continuous reporting.
+  const chain::Amount funding_before = config.recipient_funding;
+  scenario.run_exchanges(600, 1 * util::kHour);
+  scenario.loop().run_until(scenario.loop().now() + 5 * util::kMinute);
+
+  std::printf("after %.0f virtual seconds:\n\n",
+              util::to_seconds(scenario.loop().now()));
+  std::printf("%-18s %-10s %-10s %-12s %-14s %-14s\n", "operator",
+              "delivered", "decrypted", "gw_redeems", "gw_reward",
+              "spent_on_data");
+  for (int a = 0; a < scenario.actor_count(); ++a) {
+    auto& recipient = scenario.recipient(a);
+    auto& gateway = scenario.gateway(a);
+    const chain::Amount reward =
+        gateway.wallet().balance(scenario.actor_node(a).chain());
+    const chain::Amount remaining =
+        recipient.wallet().balance(scenario.actor_node(a).chain());
+    std::printf("%-18s %-10llu %-10llu %-12llu %10.4f %12.4f\n",
+                kOperators[a],
+                static_cast<unsigned long long>(recipient.deliveries_received()),
+                static_cast<unsigned long long>(recipient.readings_decrypted()),
+                static_cast<unsigned long long>(gateway.redeems_submitted()),
+                static_cast<double>(reward) / chain::kCoin,
+                static_cast<double>(funding_before - remaining) / chain::kCoin);
+  }
+
+  std::printf("\nexchange latency over the hour : %s\n",
+              scenario.latency_stats().summary("s").c_str());
+  std::printf("blocks mined                   : %llu\n",
+              static_cast<unsigned long long>(scenario.blocks_mined()));
+  std::printf(
+      "\nEvery message was delivered through a foreign gateway, paid for\n"
+      "through the Listing-1 contract, and no operator needed to trust —\n"
+      "or even to have met — any other.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "baseline/exchange_models.hpp"
+
+namespace bcwan::baseline {
+
+namespace {
+
+struct GatewayState {
+  bool malicious = false;
+  int reputation = 0;
+};
+
+std::vector<GatewayState> make_gateways(const ExchangeModelConfig& config,
+                                        util::Rng& rng) {
+  std::vector<GatewayState> gateways(
+      static_cast<std::size_t>(config.gateways));
+  for (auto& gw : gateways) gw.malicious = rng.chance(config.malicious_fraction);
+  return gateways;
+}
+
+}  // namespace
+
+ExchangeModelResult run_reputation_model(const ExchangeModelConfig& config) {
+  util::Rng rng(config.seed);
+  auto gateways = make_gateways(config, rng);
+  ExchangeModelResult result;
+  double total_latency = 0.0;
+
+  for (std::size_t i = 0; i < config.interactions; ++i) {
+    // Pick a random gateway the recipient still trusts; if none qualifies
+    // the message simply isn't sent through a foreign gateway.
+    std::vector<std::size_t> candidates;
+    for (std::size_t g = 0; g < gateways.size(); ++g) {
+      if (gateways[g].reputation > config.reputation_threshold)
+        candidates.push_back(g);
+    }
+    ++result.attempted;
+    if (candidates.empty()) continue;
+    auto& gw = gateways[candidates[rng.below(candidates.size())]];
+
+    // Pay first.
+    result.value_paid += config.price;
+    if (gw.malicious) {
+      // Keeps the money, never delivers. Reputation damage follows, but
+      // the payment is gone — the §4.4 problem.
+      result.value_lost += config.price;
+      gw.reputation -= 4;
+      if (config.whitewashing && gw.reputation <= config.reputation_threshold) {
+        gw.reputation = 0;  // re-registers under a fresh identity
+      }
+    } else {
+      ++result.delivered;
+      result.gateway_revenue += config.price;
+      gw.reputation += 1;
+      total_latency += config.normal_latency_s;
+    }
+  }
+  result.mean_latency_s =
+      result.delivered == 0 ? 0.0
+                            : total_latency / static_cast<double>(result.delivered);
+  return result;
+}
+
+ExchangeModelResult run_altruistic_model(const ExchangeModelConfig& config) {
+  util::Rng rng(config.seed);
+  ExchangeModelResult result;
+  double total_latency = 0.0;
+  for (std::size_t i = 0; i < config.interactions; ++i) {
+    ++result.attempted;
+    // A random gateway forwards only if it happens to be altruistic.
+    if (rng.chance(config.altruistic_fraction)) {
+      ++result.delivered;
+      total_latency += config.normal_latency_s;
+    }
+  }
+  // Nobody pays, nobody earns: zero incentive to deploy gateways (§3).
+  result.mean_latency_s =
+      result.delivered == 0 ? 0.0
+                            : total_latency / static_cast<double>(result.delivered);
+  return result;
+}
+
+ExchangeModelResult run_bcwan_model(const ExchangeModelConfig& config) {
+  util::Rng rng(config.seed);
+  auto gateways = make_gateways(config, rng);
+  ExchangeModelResult result;
+  double total_latency = 0.0;
+
+  for (std::size_t i = 0; i < config.interactions; ++i) {
+    ++result.attempted;
+    auto& gw = gateways[rng.below(gateways.size())];
+    if (gw.malicious) {
+      // Gateway withholds eSk: the Listing-1 contract lets the recipient
+      // reclaim after the CLTV timeout. Money safe, time lost, no data.
+      total_latency += config.reclaim_penalty_s;
+    } else {
+      ++result.delivered;
+      result.value_paid += config.price;
+      result.gateway_revenue += config.price;
+      total_latency += config.normal_latency_s;
+    }
+  }
+  result.mean_latency_s =
+      total_latency / static_cast<double>(config.interactions);
+  return result;
+}
+
+}  // namespace bcwan::baseline

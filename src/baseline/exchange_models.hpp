@@ -1,0 +1,72 @@
+// Baselines 2 and 3: alternative exchange mechanisms, Monte-Carlo models.
+//
+// §4.4 discusses the reputation alternative: "If the recipient pays for the
+// data first ... the recipient can alter the reputation of the gateway.
+// This solution reduces the probability of misbehavior but does not
+// eliminate the problem." §3 discusses Durand et al.'s altruistic P2P
+// design: "their solution does not incentive gateways ... and thus it
+// reduces users interest in deploying gateways."
+//
+// These models quantify both against BcWAN's fair exchange: value lost to
+// malicious gateways, delivery rate, and the latency penalty the victim
+// pays instead (BcWAN loses time to the CLTV reclaim, never money).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bcwan::baseline {
+
+struct ExchangeModelConfig {
+  int gateways = 20;
+  double malicious_fraction = 0.2;
+  std::size_t interactions = 10'000;
+  double price = 1.0;  // paid per message, arbitrary unit
+  std::uint64_t seed = 23;
+
+  // Reputation model: score starts at 0; +1 on honest delivery, -4 on
+  // cheat; a recipient avoids gateways below the threshold.
+  int reputation_threshold = -4;
+  // Whitewashing/Sybil: a shunned gateway re-registers under a fresh
+  // identity (reputation resets), so exclusion never sticks. This is the
+  // attack that makes §4.4 dismiss reputation — identity is free in an
+  // open federation.
+  bool whitewashing = false;
+
+  // Altruistic model: fraction of gateways that forward with no payment.
+  double altruistic_fraction = 0.4;
+
+  // BcWAN model: reclaim penalty when a gateway withholds (timeout blocks x
+  // block interval, in seconds).
+  double reclaim_penalty_s = 100.0 * 15.0;
+  double normal_latency_s = 1.6;
+};
+
+struct ExchangeModelResult {
+  std::size_t attempted = 0;
+  std::size_t delivered = 0;
+  double value_paid = 0.0;
+  double value_lost = 0.0;       // paid but no data received
+  double gateway_revenue = 0.0;  // honest gateways' income (incentive)
+  double mean_latency_s = 0.0;
+
+  double delivery_rate() const {
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(delivered) / static_cast<double>(attempted);
+  }
+};
+
+/// Pay-first with reputation tracking (§4.4's rejected alternative).
+ExchangeModelResult run_reputation_model(const ExchangeModelConfig& config);
+
+/// No payment at all (Durand et al. / The Things Network style).
+ExchangeModelResult run_altruistic_model(const ExchangeModelConfig& config);
+
+/// BcWAN's fair exchange: a malicious gateway can only waste the victim's
+/// time (reclaim after timeout); it cannot take payment without delivering.
+ExchangeModelResult run_bcwan_model(const ExchangeModelConfig& config);
+
+}  // namespace bcwan::baseline

@@ -1,0 +1,44 @@
+#include "baseline/legacy_lorawan.hpp"
+
+#include <vector>
+
+namespace bcwan::baseline {
+
+LegacyLoraWan::LegacyLoraWan(LegacyConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void LegacyLoraWan::run(std::size_t exchanges) {
+  // The centralized path has no feedback loop, so it reduces to a clean
+  // per-message pipeline: airtime + backhaul + NS processing + WAN.
+  lora::LoraConfig phy;
+  phy.sf = config_.sf;
+  const util::SimTime t_air = lora::airtime(phy, config_.frame_bytes);
+
+  std::vector<lora::DutyCycleLimiter> limiters(
+      static_cast<std::size_t>(config_.sensors),
+      lora::DutyCycleLimiter(config_.duty_cycle));
+
+  std::size_t launched = 0;
+  std::size_t next_sensor = 0;
+  while (launched < exchanges) {
+    auto& limiter = limiters[next_sensor];
+    next_sensor = (next_sensor + 1) % limiters.size();
+    const util::SimTime jittered =
+        loop_.now() +
+        static_cast<util::SimTime>(rng_.below(2 * util::kSecond));
+    const util::SimTime start =
+        std::max(limiter.earliest_start(jittered, t_air), jittered);
+    limiter.record(start, t_air);
+    const util::SimTime backhaul = config_.backhaul.sample(rng_);
+    const util::SimTime wan = config_.wan.sample(rng_);
+    const util::SimTime done = start + t_air + backhaul +
+                               config_.network_server_processing + wan;
+    loop_.at(done, [this, start, done] {
+      latency_.add(util::to_seconds(done - start));
+    });
+    ++launched;
+  }
+  loop_.run();
+}
+
+}  // namespace bcwan::baseline

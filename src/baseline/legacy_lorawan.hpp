@@ -1,0 +1,47 @@
+// Baseline 1: the legacy centralized LoRaWAN path (paper Fig. 1).
+//
+// node --LoRa--> gateway --backhaul--> network server --WAN--> app server.
+// No per-message key exchange, no blockchain: the network server holds the
+// session keys and routes by DevAddr. This is the latency comparator for
+// ABL-BASE: what BcWAN's decentralization costs relative to the
+// trusted-operator architecture it replaces.
+#pragma once
+
+#include "lora/airtime.hpp"
+#include "lora/radio.hpp"
+#include "p2p/event_loop.hpp"
+#include "p2p/network.hpp"
+#include "util/stats.hpp"
+
+namespace bcwan::baseline {
+
+struct LegacyConfig {
+  int sensors = 30;
+  double duty_cycle = 0.01;
+  lora::SpreadingFactor sf = lora::SpreadingFactor::kSF7;
+  std::size_t frame_bytes = 33;  // 13 B LoRaWAN overhead + ~20 B payload
+  p2p::LatencyModel backhaul;    // gateway -> network server
+  p2p::LatencyModel wan;         // network server -> app server
+  util::SimTime network_server_processing = 5 * util::kMillisecond;
+  std::uint64_t seed = 17;
+};
+
+/// Runs `exchanges` uplinks through the centralized path and reports
+/// node-to-application latencies.
+class LegacyLoraWan {
+ public:
+  explicit LegacyLoraWan(LegacyConfig config);
+
+  /// Blocks (in virtual time) until all exchanges complete.
+  void run(std::size_t exchanges);
+
+  const util::SampleStats& latency_stats() const noexcept { return latency_; }
+
+ private:
+  LegacyConfig config_;
+  p2p::EventLoop loop_;
+  util::Rng rng_;
+  util::SampleStats latency_;
+};
+
+}  // namespace bcwan::baseline

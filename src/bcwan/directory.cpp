@@ -1,0 +1,113 @@
+#include "bcwan/directory.hpp"
+
+#include <cstdio>
+
+#include "util/serial.hpp"
+
+namespace bcwan::core {
+
+namespace {
+constexpr char kMagic[4] = {'B', 'C', 'W', 'N'};
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+util::Bytes encode_directory_entry(const script::PubKeyHash& owner,
+                                   IpAddress ip, std::uint16_t port) {
+  util::Writer w;
+  w.bytes(util::Bytes{static_cast<std::uint8_t>(kMagic[0]),
+                      static_cast<std::uint8_t>(kMagic[1]),
+                      static_cast<std::uint8_t>(kMagic[2]),
+                      static_cast<std::uint8_t>(kMagic[3])});
+  w.u8(kVersion);
+  w.bytes(util::ByteView(owner.data(), owner.size()));
+  w.u32(ip);
+  w.u16(port);
+  return w.take();
+}
+
+std::optional<DirectoryEntry> decode_directory_entry(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    const util::Bytes magic = r.bytes(4);
+    for (int i = 0; i < 4; ++i) {
+      if (magic[static_cast<std::size_t>(i)] !=
+          static_cast<std::uint8_t>(kMagic[i])) {
+        return std::nullopt;
+      }
+    }
+    if (r.u8() != kVersion) return std::nullopt;
+    DirectoryEntry entry;
+    const util::Bytes owner = r.bytes(entry.owner.size());
+    std::copy(owner.begin(), owner.end(), entry.owner.begin());
+    entry.ip = r.u32();
+    entry.port = r.u16();
+    r.expect_done();
+    return entry;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+std::string format_ip(IpAddress ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", ip >> 24 & 0xff,
+                ip >> 16 & 0xff, ip >> 8 & 0xff, ip & 0xff);
+  return buf;
+}
+
+Directory::Directory(p2p::ChainNode& node, int startup_scan_depth)
+    : node_(node) {
+  rescan(startup_scan_depth);
+  node_.add_tx_watcher(
+      [this](const chain::Transaction& tx) { ingest(tx, -1); });
+  node_.add_block_watcher([this](const chain::Block& block) {
+    const int height = node_.chain().height();
+    for (const chain::Transaction& tx : block.txs) ingest(tx, height);
+  });
+}
+
+void Directory::rescan(int depth) {
+  entries_.clear();
+  // Oldest-first so newer announcements overwrite older ones: scan_recent
+  // walks newest-first, so collect then replay in reverse.
+  std::vector<std::pair<chain::Transaction, int>> found;
+  node_.chain().scan_recent(depth, [&](const chain::Transaction& tx, int h) {
+    found.emplace_back(tx, h);
+  });
+  for (auto it = found.rbegin(); it != found.rend(); ++it)
+    ingest(it->first, it->second);
+  for (const chain::Transaction& tx : node_.mempool().snapshot())
+    ingest(tx, -1);
+}
+
+void Directory::ingest(const chain::Transaction& tx, int height) {
+  for (const chain::TxOut& out : tx.vout) {
+    const auto classified = script::classify(out.script_pubkey);
+    if (classified.type != script::ScriptType::kOpReturn) continue;
+    const auto entry = decode_directory_entry(classified.data);
+    if (!entry) continue;
+
+    // Anti-spoofing: the announcing transaction must be signed by the owner
+    // it claims — the first input's pushed pubkey must hash to it.
+    if (tx.is_coinbase() || tx.vin.empty()) continue;
+    const auto sig_items = tx.vin[0].script_sig.decode();
+    if (!sig_items || sig_items->size() < 2) continue;
+    const util::Bytes& pubkey = (*sig_items)[1].push;
+    if (script::to_pubkey_hash(pubkey) != entry->owner) continue;
+
+    DirectoryEntry stored = *entry;
+    stored.height = height;
+    // Newest wins; a mempool sighting (height -1) still updates the IP
+    // because it is the most recent information.
+    entries_[stored.owner] = stored;
+  }
+}
+
+std::optional<DirectoryEntry> Directory::lookup(
+    const script::PubKeyHash& owner) const {
+  const auto it = entries_.find(owner);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bcwan::core

@@ -1,0 +1,74 @@
+// Decentralized gateway directory (paper §4.3 / §5.1).
+//
+// BcWAN has no DNS: "Each recipient that is ready to receive messages on a
+// given IP address must create a blockchain transaction containing the
+// information relative to its IP address. The gateway ... will then do a
+// lookup in the blockchain to find the IP address associated to this
+// blockchain address." Announcements ride in OP_RETURN outputs; on start-up
+// a node "retrieves the recent blocks ... and scans their content for
+// foreign gateways IPs", then keeps its cache live from gossip.
+//
+// Anti-spoofing: an announcement is only ingested when the announcing
+// transaction is signed by the claimed owner — the first input's pubkey
+// must hash to the advertised blockchain address.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "p2p/chain_node.hpp"
+#include "script/templates.hpp"
+
+namespace bcwan::core {
+
+/// IPv4 address in host byte order (the simulator hands out 10.0.0.x).
+using IpAddress = std::uint32_t;
+
+struct DirectoryEntry {
+  script::PubKeyHash owner{};
+  IpAddress ip = 0;
+  std::uint16_t port = 0;
+  /// Height of the block carrying it; -1 while only in the mempool.
+  int height = -1;
+};
+
+/// "BCWN" | version | owner pkh (20) | ipv4 (4) | port (2).
+util::Bytes encode_directory_entry(const script::PubKeyHash& owner,
+                                   IpAddress ip, std::uint16_t port);
+std::optional<DirectoryEntry> decode_directory_entry(util::ByteView data);
+
+std::string format_ip(IpAddress ip);
+
+class Directory {
+ public:
+  /// Installs tx/block watchers on the node and performs the start-up scan.
+  /// LIFETIME: the watchers reference this object for the node's remaining
+  /// lifetime — a Directory must outlive any further event processing on
+  /// the node it watches.
+  explicit Directory(p2p::ChainNode& node, int startup_scan_depth = 1000);
+
+  /// The paper's lookup: blockchain address -> IP. Newest announcement wins.
+  std::optional<DirectoryEntry> lookup(const script::PubKeyHash& owner) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Re-run the full scan (tests / recovery).
+  void rescan(int depth);
+
+ private:
+  struct PkhHasher {
+    std::size_t operator()(const script::PubKeyHash& h) const noexcept {
+      std::size_t out;
+      std::memcpy(&out, h.data(), sizeof out);
+      return out;
+    }
+  };
+
+  void ingest(const chain::Transaction& tx, int height);
+
+  p2p::ChainNode& node_;
+  std::unordered_map<script::PubKeyHash, DirectoryEntry, PkhHasher> entries_;
+};
+
+}  // namespace bcwan::core

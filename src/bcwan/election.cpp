@@ -1,0 +1,32 @@
+#include "bcwan/election.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "util/serial.hpp"
+
+namespace bcwan::core {
+
+std::size_t elect_master_gateway(
+    const std::vector<script::PubKeyHash>& gateway_identities, int epoch) {
+  if (gateway_identities.empty())
+    throw std::invalid_argument("elect_master_gateway: no candidates");
+  std::size_t winner = 0;
+  crypto::Digest256 best{};
+  bool first = true;
+  for (std::size_t i = 0; i < gateway_identities.size(); ++i) {
+    util::Writer w;
+    w.bytes(util::ByteView(gateway_identities[i].data(),
+                           gateway_identities[i].size()));
+    w.u32(static_cast<std::uint32_t>(epoch));
+    const crypto::Digest256 ticket = crypto::sha256(w.data());
+    if (first || ticket < best) {
+      best = ticket;
+      winner = i;
+      first = false;
+    }
+  }
+  return winner;
+}
+
+}  // namespace bcwan::core

@@ -1,0 +1,29 @@
+// Master-gateway election (paper §4.2, footnote 3).
+//
+// "For the sake of simplicity, we assume that each actor of the network
+// possesses only one gateway. With several gateways per actor, each actor
+// will have to elect one of his gateways as the master gateway. The master
+// gateway is the gateway to whom all the actor's devices have to address
+// their data to."
+//
+// The election here is deterministic and verifiable by anyone who knows
+// the candidate set: the winner is the gateway whose HASH160 identity is
+// smallest when hashed together with an epoch number — a rotating,
+// stake-free analogue of the PoS slot schedule that needs no extra
+// messages. Provisioning bakes the elected master's radio into each
+// device, matching the footnote's semantics.
+#pragma once
+
+#include <vector>
+
+#include "script/templates.hpp"
+
+namespace bcwan::core {
+
+/// Index of the elected master among `gateway_identities` for `epoch`.
+/// Deterministic; every federation member computes the same winner.
+/// Requires a non-empty candidate set.
+std::size_t elect_master_gateway(
+    const std::vector<script::PubKeyHash>& gateway_identities, int epoch = 0);
+
+}  // namespace bcwan::core

@@ -1,0 +1,95 @@
+#include "bcwan/envelope.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/serial.hpp"
+
+namespace bcwan::core {
+
+NodeProvisioning provision_node(std::uint16_t device_id,
+                                const script::PubKeyHash& recipient,
+                                util::Rng& rng) {
+  NodeProvisioning prov;
+  prov.device_id = device_id;
+  const util::Bytes key = rng.bytes(prov.k.size());
+  std::copy(key.begin(), key.end(), prov.k.begin());
+  const crypto::RsaKeyPair identity = crypto::rsa_generate(rng, 512);
+  prov.node_signing_key = identity.priv;
+  prov.node_verify_key = identity.pub;
+  prov.recipient = recipient;
+  return prov;
+}
+
+Envelope seal_reading(const NodeProvisioning& prov, util::ByteView reading,
+                      const crypto::RsaPublicKey& ephemeral_pub,
+                      util::Rng& rng) {
+  if (reading.size() >= crypto::kAesBlockSize) {
+    throw std::invalid_argument(
+        "seal_reading: reading must be under one AES block (paper §5.1)");
+  }
+  lora::InnerBlob blob;
+  const util::Bytes iv = rng.bytes(blob.iv.size());
+  std::copy(iv.begin(), iv.end(), blob.iv.begin());
+  blob.ciphertext = crypto::aes256_cbc_encrypt(prov.k, blob.iv, reading);
+
+  Envelope envelope;
+  envelope.em = crypto::rsa_encrypt(ephemeral_pub, blob.encode(), rng);
+  const util::Bytes signed_payload =
+      util::concat({envelope.em, ephemeral_pub.serialize()});
+  envelope.sig = crypto::rsa_sign(prov.node_signing_key, signed_payload);
+  return envelope;
+}
+
+bool verify_envelope(const crypto::RsaPublicKey& node_verify_key,
+                     const Envelope& envelope,
+                     const crypto::RsaPublicKey& ephemeral_pub) {
+  const util::Bytes signed_payload =
+      util::concat({envelope.em, ephemeral_pub.serialize()});
+  return crypto::rsa_verify(node_verify_key, signed_payload, envelope.sig);
+}
+
+std::optional<util::Bytes> open_envelope(const crypto::AesKey256& k,
+                                         const crypto::RsaPrivateKey& eSk,
+                                         util::ByteView em) {
+  const auto blob_bytes = crypto::rsa_decrypt(eSk, em);
+  if (!blob_bytes) return std::nullopt;
+  const auto blob = lora::InnerBlob::decode(*blob_bytes);
+  if (!blob) return std::nullopt;
+  return crypto::aes256_cbc_decrypt(k, blob->iv, blob->ciphertext);
+}
+
+util::Bytes DeliverPayload::serialize() const {
+  util::Writer w;
+  w.u16(device_id);
+  w.var_bytes(em);
+  w.var_bytes(sig);
+  w.var_bytes(ephemeral_pub.serialize());
+  w.bytes(util::ByteView(gateway.data(), gateway.size()));
+  w.u64(static_cast<std::uint64_t>(price_quote));
+  return w.take();
+}
+
+std::optional<DeliverPayload> DeliverPayload::deserialize(
+    util::ByteView data) {
+  try {
+    util::Reader r(data);
+    DeliverPayload payload;
+    payload.device_id = r.u16();
+    payload.em = r.var_bytes();
+    payload.sig = r.var_bytes();
+    const auto pub = crypto::RsaPublicKey::deserialize(r.var_bytes());
+    if (!pub) return std::nullopt;
+    payload.ephemeral_pub = *pub;
+    const util::Bytes gw = r.bytes(payload.gateway.size());
+    std::copy(gw.begin(), gw.end(), payload.gateway.begin());
+    payload.price_quote = static_cast<std::int64_t>(r.u64());
+    r.expect_done();
+    if (payload.price_quote < 0) return std::nullopt;
+    return payload;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace bcwan::core

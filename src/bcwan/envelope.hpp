@@ -1,0 +1,83 @@
+// Message envelope crypto — protocol steps 3-4, 8 and 10-11 of Fig. 3,
+// plus node provisioning.
+//
+// Provisioning (§4.4): "the node and the recipient share a symmetric key
+// (K). ... The node and the recipient must also share a secret key (Sk), on
+// the node, and a public key (Pk), on the recipient. A provisioning phase
+// is therefore needed."
+//
+// Sealing (§5.1): the reading is AES-256-CBC encrypted under K with a
+// random IV, packed into the Fig. 4 blob (34 bytes), RSA-encrypted under
+// the gateway's ephemeral public key ePk (64 bytes), and the node signs
+// (Em || ePk) with Ska (64 bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aes.hpp"
+#include "crypto/rsa.hpp"
+#include "lora/frame.hpp"
+#include "script/templates.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::core {
+
+/// Everything a node carries out of the provisioning phase. The recipient
+/// keeps (K, Pk, device id); the node keeps (K, Ska, @R).
+struct NodeProvisioning {
+  std::uint16_t device_id = 0;
+  crypto::AesKey256 k{};                  // shared symmetric key K
+  crypto::RsaPrivateKey node_signing_key; // Ska (node side)
+  crypto::RsaPublicKey node_verify_key;   // Pk  (recipient side)
+  script::PubKeyHash recipient{};         // @R
+};
+
+/// Run the provisioning phase for one device.
+NodeProvisioning provision_node(std::uint16_t device_id,
+                                const script::PubKeyHash& recipient,
+                                util::Rng& rng);
+
+struct Envelope {
+  util::Bytes em;   // RSA_ePk(Fig.4 blob), 64 bytes
+  util::Bytes sig;  // RSA-sign_Ska(em || ePk), 64 bytes
+};
+
+/// Node side (steps 3-4). `reading` must fit one AES block (< 16 bytes),
+/// per the paper's assumption about sensor payloads; longer readings throw.
+Envelope seal_reading(const NodeProvisioning& prov, util::ByteView reading,
+                      const crypto::RsaPublicKey& ephemeral_pub,
+                      util::Rng& rng);
+
+/// Recipient side, step 8: authenticity of (Em, ePk) under the node's Pk.
+bool verify_envelope(const crypto::RsaPublicKey& node_verify_key,
+                     const Envelope& envelope,
+                     const crypto::RsaPublicKey& ephemeral_pub);
+
+/// Recipient side, steps 10-11: peel RSA with the revealed eSk, then AES
+/// with K. Returns the plaintext reading, or std::nullopt if either layer
+/// fails.
+std::optional<util::Bytes> open_envelope(const crypto::AesKey256& k,
+                                         const crypto::RsaPrivateKey& eSk,
+                                         util::ByteView em);
+
+/// The gateway -> recipient TCP payload (protocol step 7): "The gateway
+/// sends the message encryption (Em), the ephemeral public key (ePk) and
+/// the signature (Sig) to the recipient using TCP/IP." The gateway also
+/// identifies itself so the recipient knows whom to pay.
+struct DeliverPayload {
+  std::uint16_t device_id = 0;
+  util::Bytes em;
+  util::Bytes sig;
+  crypto::RsaPublicKey ephemeral_pub;
+  script::PubKeyHash gateway{};  // reward destination
+  /// The gateway's asking price for eSk (protocol step 9: the offer output
+  /// is "fixed or negotiated with the gateway" — this is the negotiation).
+  std::int64_t price_quote = 0;
+
+  util::Bytes serialize() const;
+  static std::optional<DeliverPayload> deserialize(util::ByteView data);
+};
+
+}  // namespace bcwan::core

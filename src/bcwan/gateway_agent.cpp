@@ -1,0 +1,185 @@
+#include "bcwan/gateway_agent.hpp"
+
+#include <algorithm>
+
+namespace bcwan::core {
+
+namespace {
+std::string key_handle(const crypto::RsaPublicKey& pub) {
+  return util::to_hex(pub.serialize());
+}
+}  // namespace
+
+GatewayAgent::GatewayAgent(p2p::EventLoop& loop, p2p::SimNet& net,
+                           lora::LoraRadio& radio, p2p::ChainNode& node,
+                           Directory& directory, chain::Wallet wallet,
+                           TimingModel timing, GatewayConfig config,
+                           std::uint64_t seed)
+    : loop_(loop),
+      net_(net),
+      radio_(radio),
+      node_(node),
+      directory_(directory),
+      wallet_(std::move(wallet)),
+      timing_(timing),
+      config_(config),
+      rng_(seed) {
+  node_.add_tx_watcher(
+      [this](const chain::Transaction& tx) { on_mempool_tx(tx); });
+  node_.add_block_watcher(
+      [this](const chain::Block& block) { on_block(block); });
+}
+
+void GatewayAgent::attach_radio(lora::RadioGatewayId gateway) {
+  radio_gateway_ = gateway;
+}
+
+void GatewayAgent::on_uplink(lora::RadioDeviceId from,
+                             const util::Bytes& frame) {
+  const auto type = lora::peek_frame_type(frame);
+  if (!type) return;
+  switch (*type) {
+    case lora::FrameType::kUplinkRequest: {
+      const auto request = lora::UplinkRequestFrame::decode(frame);
+      if (request) handle_request(from, *request);
+      break;
+    }
+    case lora::FrameType::kUplinkData: {
+      const auto data = lora::UplinkDataFrame::decode(frame);
+      if (data) handle_data(*data);
+      break;
+    }
+    case lora::FrameType::kEphemeralKey:
+      break;  // downlink-only frame; ignore on the uplink path
+  }
+}
+
+void GatewayAgent::handle_request(lora::RadioDeviceId from,
+                                  const lora::UplinkRequestFrame& frame) {
+  // Mint the per-message key pair (step 1). The generation really runs;
+  // the virtual clock charges the Raspberry-Pi cost.
+  const crypto::RsaKeyPair keys = crypto::rsa_generate(rng_, 512);
+  const std::uint16_t device_id = frame.device_id;
+  issued_keys_[device_id] = PendingKey{keys, from, loop_.now()};
+  ++keys_issued_;
+
+  loop_.after(timing_.gateway_keygen, [this, device_id, from, keys] {
+    lora::EphemeralKeyFrame reply;
+    reply.device_id = device_id;
+    reply.ephemeral_pub = keys.pub;
+    send_ephemeral_key(device_id, from, reply.encode());
+  });
+}
+
+void GatewayAgent::send_ephemeral_key(std::uint16_t device_id,
+                                      lora::RadioDeviceId from,
+                                      const util::Bytes& frame) {
+  if (issued_keys_.find(device_id) == issued_keys_.end()) {
+    return;  // key consumed or replaced meanwhile
+  }
+  const lora::TxResult tx = radio_.downlink(radio_gateway_, from, frame);
+  if (!tx.accepted) {
+    // Downlink duty budget exhausted; keep retrying until it fits.
+    loop_.at(tx.next_allowed, [this, device_id, from, frame] {
+      send_ephemeral_key(device_id, from, frame);
+    });
+    return;
+  }
+  if (on_ephemeral_sent) on_ephemeral_sent(device_id);
+}
+
+void GatewayAgent::handle_data(const lora::UplinkDataFrame& frame) {
+  const auto it = issued_keys_.find(frame.device_id);
+  if (it == issued_keys_.end()) return;  // no key issued: drop
+  const crypto::RsaKeyPair keys = it->second.keys;
+  issued_keys_.erase(it);
+
+  // Step 6: the blockchain lookup @R -> IP.
+  const auto entry = directory_.lookup(frame.recipient);
+  if (!entry) {
+    ++lookups_failed_;
+    return;
+  }
+
+  DeliverPayload payload;
+  payload.device_id = frame.device_id;
+  payload.em = frame.em;
+  payload.sig = frame.sig;
+  payload.ephemeral_pub = keys.pub;
+  payload.gateway = wallet_.pkh();
+  payload.price_quote = config_.price_quote;
+
+  // Remember the key so the recipient's offer can be recognised and
+  // redeemed (with a housekeeping timeout).
+  const std::string handle = key_handle(keys.pub);
+  awaiting_offer_[handle] = AwaitedOffer{keys, frame.device_id};
+  loop_.after(config_.offer_timeout,
+              [this, handle] { awaiting_offer_.erase(handle); });
+
+  const std::uint16_t device_id = frame.device_id;
+  // In the simulator the directory's IP is the recipient's host id.
+  const p2p::HostId dest = static_cast<p2p::HostId>(entry->ip & 0xff);
+  loop_.after(timing_.gateway_forward, [this, dest, payload, device_id] {
+    net_.send(node_.host(), dest,
+              p2p::Message{"DELIVER", payload.serialize(), node_.host()});
+    ++forwarded_;
+    if (on_forwarded) on_forwarded(device_id);
+  });
+}
+
+void GatewayAgent::on_mempool_tx(const chain::Transaction& tx) {
+  if (awaiting_offer_.empty()) return;
+  const chain::Hash256 txid = tx.txid();
+  for (std::uint32_t v = 0; v < tx.vout.size(); ++v) {
+    const auto classified = script::classify(tx.vout[v].script_pubkey);
+    if (classified.type != script::ScriptType::kKeyRelease) continue;
+    if (classified.pubkey_hash != wallet_.pkh()) continue;
+    if (!classified.ephemeral_pub) continue;
+    const auto it = awaiting_offer_.find(key_handle(*classified.ephemeral_pub));
+    if (it == awaiting_offer_.end()) continue;
+
+    PendingRedeem redeem;
+    redeem.outpoint = chain::OutPoint{txid, v};
+    redeem.out = tx.vout[v];
+    redeem.ephemeral_priv = it->second.keys.priv;
+    redeem.offer_txid = txid;
+    redeem.device_id = it->second.device_id;
+    awaiting_offer_.erase(it);
+
+    if (config_.confirmations_required == 0) {
+      // Paper PoC behaviour: reveal eSk straight from the mempool sighting.
+      loop_.after(timing_.wallet_tx_build,
+                  [this, redeem] { submit_redeem(redeem); });
+    } else {
+      pending_redeems_.push_back(std::move(redeem));
+    }
+  }
+}
+
+void GatewayAgent::on_block(const chain::Block&) {
+  if (pending_redeems_.empty()) return;
+  std::vector<PendingRedeem> still_waiting;
+  for (const PendingRedeem& redeem : pending_redeems_) {
+    int confirmations = 0;
+    if (node_.chain().tx_confirmations(redeem.offer_txid, confirmations) &&
+        confirmations >= config_.confirmations_required) {
+      loop_.after(timing_.wallet_tx_build,
+                  [this, redeem] { submit_redeem(redeem); });
+    } else {
+      still_waiting.push_back(redeem);
+    }
+  }
+  pending_redeems_ = std::move(still_waiting);
+}
+
+void GatewayAgent::submit_redeem(const PendingRedeem& redeem) {
+  const chain::Transaction tx = wallet_.create_redeem(
+      redeem.outpoint, redeem.out, redeem.ephemeral_priv, config_.redeem_fee);
+  const auto result = node_.submit_tx(tx);
+  if (result.ok()) {
+    ++redeems_;
+    if (on_redeemed) on_redeemed(redeem.device_id);
+  }
+}
+
+}  // namespace bcwan::core

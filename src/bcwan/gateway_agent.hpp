@@ -1,0 +1,123 @@
+// The foreign gateway (paper: Raspberry Pi + RFM95 LoRa shield, plus the
+// Golang BcWAN daemon wrapping Multichain).
+//
+// Runs the gateway's half of Fig. 3:
+//   1-2. mints a fresh ephemeral RSA-512 pair per uplink request and
+//        downlinks ePk;
+//   6.   looks the recipient's IP up in the blockchain directory;
+//   7.   forwards (Em, ePk, Sig) over simulated TCP;
+//   10.  watches the mempool for the recipient's Listing-1 offer and
+//        redeems it, revealing eSk on-chain — optionally only after the
+//        offer has k confirmations (the §6 double-spend trade-off).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "bcwan/directory.hpp"
+#include "bcwan/envelope.hpp"
+#include "bcwan/timing.hpp"
+#include "chain/wallet.hpp"
+#include "lora/radio.hpp"
+#include "p2p/chain_node.hpp"
+
+namespace bcwan::core {
+
+struct GatewayConfig {
+  /// Confirmations required on the offer before revealing eSk. The paper's
+  /// PoC uses 0 ("we chose to allow the foreign gateway to not wait for
+  /// confirmation ... This can be a security threat", §6).
+  int confirmations_required = 0;
+  chain::Amount redeem_fee = 500;
+  /// Asking price per delivered message, quoted in the DELIVER payload.
+  chain::Amount price_quote = chain::kCoin / 100;
+  /// Forget an ephemeral key if no offer shows up for this long.
+  util::SimTime offer_timeout = 30 * util::kMinute;
+};
+
+class GatewayAgent {
+ public:
+  GatewayAgent(p2p::EventLoop& loop, p2p::SimNet& net, lora::LoraRadio& radio,
+               p2p::ChainNode& node, Directory& directory,
+               chain::Wallet wallet, TimingModel timing, GatewayConfig config,
+               std::uint64_t seed);
+
+  /// Must be called once after the radio gateway is registered.
+  void attach_radio(lora::RadioGatewayId gateway);
+  /// The uplink handler to register with the radio.
+  void on_uplink(lora::RadioDeviceId from, const util::Bytes& frame);
+
+  const chain::Wallet& wallet() const noexcept { return wallet_; }
+  const script::PubKeyHash& pkh() const noexcept { return wallet_.pkh(); }
+
+  /// Fired when the ephemeral key leaves the antenna — the paper's Fig. 5/6
+  /// latency clock starts here ("from the first message from the gateway").
+  std::function<void(std::uint16_t device_id)> on_ephemeral_sent;
+  /// Fired when the DELIVER message has been sent to the recipient.
+  std::function<void(std::uint16_t device_id)> on_forwarded;
+  /// Fired when a redeem transaction is submitted (eSk revealed).
+  std::function<void(std::uint16_t device_id)> on_redeemed;
+
+  std::uint64_t keys_issued() const noexcept { return keys_issued_; }
+  std::uint64_t frames_forwarded() const noexcept { return forwarded_; }
+  std::uint64_t lookups_failed() const noexcept { return lookups_failed_; }
+  std::uint64_t redeems_submitted() const noexcept { return redeems_; }
+  /// Reward actually banked (confirmed, mature outputs).
+  chain::Amount confirmed_reward() const {
+    return wallet_.balance(node_.chain());
+  }
+
+ private:
+  struct PendingKey {
+    crypto::RsaKeyPair keys;
+    lora::RadioDeviceId radio_device = -1;
+    util::SimTime issued_at = 0;
+  };
+  struct AwaitedOffer {
+    crypto::RsaKeyPair keys;
+    std::uint16_t device_id = 0;
+  };
+  struct PendingRedeem {
+    chain::OutPoint outpoint;
+    chain::TxOut out;
+    crypto::RsaPrivateKey ephemeral_priv;
+    chain::Hash256 offer_txid{};
+    std::uint16_t device_id = 0;
+  };
+
+  void handle_request(lora::RadioDeviceId from,
+                      const lora::UplinkRequestFrame& frame);
+  void send_ephemeral_key(std::uint16_t device_id, lora::RadioDeviceId from,
+                          const util::Bytes& frame);
+  void handle_data(const lora::UplinkDataFrame& frame);
+  void on_mempool_tx(const chain::Transaction& tx);
+  void on_block(const chain::Block& block);
+  void submit_redeem(const PendingRedeem& redeem);
+
+  p2p::EventLoop& loop_;
+  p2p::SimNet& net_;
+  lora::LoraRadio& radio_;
+  p2p::ChainNode& node_;
+  Directory& directory_;
+  chain::Wallet wallet_;
+  TimingModel timing_;
+  GatewayConfig config_;
+  util::Rng rng_;
+  lora::RadioGatewayId radio_gateway_ = -1;
+
+  // device id -> key pair issued and not yet consumed by a data frame.
+  std::unordered_map<std::uint16_t, PendingKey> issued_keys_;
+  // serialized ePk -> keys, waiting for the recipient's offer.
+  std::unordered_map<std::string, AwaitedOffer> awaiting_offer_;
+  // offers seen but still waiting for confirmations.
+  std::vector<PendingRedeem> pending_redeems_;
+
+  std::uint64_t keys_issued_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t lookups_failed_ = 0;
+  std::uint64_t redeems_ = 0;
+};
+
+}  // namespace bcwan::core

@@ -1,0 +1,149 @@
+#include "bcwan/recipient_agent.hpp"
+
+#include <algorithm>
+
+namespace bcwan::core {
+
+RecipientAgent::RecipientAgent(p2p::EventLoop& loop, p2p::ChainNode& node,
+                               chain::Wallet wallet, TimingModel timing,
+                               RecipientConfig config, std::uint64_t seed)
+    : loop_(loop),
+      node_(node),
+      wallet_(std::move(wallet)),
+      timing_(timing),
+      config_(config),
+      rng_(seed) {
+  node_.add_tx_watcher(
+      [this](const chain::Transaction& tx) { on_mempool_tx(tx); });
+  node_.add_block_watcher(
+      [this](const chain::Block& block) { on_block(block); });
+}
+
+void RecipientAgent::register_device(const NodeProvisioning& provisioning) {
+  devices_[provisioning.device_id] =
+      DeviceView{provisioning.k, provisioning.node_verify_key};
+}
+
+bool RecipientAgent::announce_ip(IpAddress ip, std::uint16_t port) {
+  const util::Bytes data = encode_directory_entry(wallet_.pkh(), ip, port);
+  const auto tx = wallet_.create_announcement(node_.chain(), &node_.mempool(),
+                                              data, config_.offer_fee);
+  if (!tx) return false;
+  return node_.submit_tx(*tx).ok();
+}
+
+void RecipientAgent::handle_message(const p2p::Message& msg) {
+  if (msg.type != "DELIVER") return;
+  const auto payload = DeliverPayload::deserialize(msg.payload);
+  if (!payload) return;
+  ++deliveries_;
+  handle_deliver(*payload);
+}
+
+void RecipientAgent::handle_deliver(const DeliverPayload& payload) {
+  const auto device = devices_.find(payload.device_id);
+  if (device == devices_.end()) return;  // not one of ours
+
+  // Step 8: authenticity. A tampered Em or a swapped ePk fails here and
+  // the recipient never pays.
+  Envelope envelope{payload.em, payload.sig};
+  if (!verify_envelope(device->second.verify_key, envelope,
+                       payload.ephemeral_pub)) {
+    ++sig_rejects_;
+    return;
+  }
+
+  if (!config_.pay_for_data) return;  // misbehaving recipient: takes nothing
+
+  // Negotiation (step 9): decline overpriced quotes.
+  if (payload.price_quote > config_.max_price) {
+    ++price_rejects_;
+    return;
+  }
+
+  loop_.after(timing_.recipient_verify + timing_.wallet_tx_build,
+              [this, payload] { post_offer(payload); });
+}
+
+void RecipientAgent::post_offer(const DeliverPayload& payload) {
+  const std::int64_t timeout_height =
+      node_.chain().height() + config_.timeout_blocks;
+  const chain::Amount agreed_price =
+      payload.price_quote > 0 ? payload.price_quote : config_.price;
+  const auto offer = wallet_.create_key_release_offer(
+      node_.chain(), &node_.mempool(), payload.ephemeral_pub, payload.gateway,
+      agreed_price, config_.offer_fee, timeout_height);
+  if (!offer) {
+    // Transiently out of spendable coins (e.g. everything is tied up in
+    // unconfirmed offers another node hasn't relayed back yet): retry for
+    // a bounded window, then drop the exchange.
+    if (++offer_retries_ <= 24) {
+      loop_.after(5 * util::kSecond, [this, payload] { post_offer(payload); });
+    }
+    return;
+  }
+  offer_retries_ = 0;
+  const auto result = node_.submit_tx(*offer);
+  if (!result.ok()) return;
+
+  PendingExchange pending;
+  pending.device_id = payload.device_id;
+  pending.em = payload.em;
+  pending.ephemeral_pub = payload.ephemeral_pub;
+  pending.offer_outpoint = chain::OutPoint{offer->txid(), 0};
+  pending.offer_out = offer->vout[0];
+  pending.timeout_height = timeout_height;
+  pending_.push_back(std::move(pending));
+  ++offers_;
+  if (on_offer_posted) on_offer_posted(payload.device_id);
+}
+
+void RecipientAgent::on_mempool_tx(const chain::Transaction& tx) {
+  if (pending_.empty()) return;
+  for (const chain::TxIn& in : tx.vin) {
+    for (PendingExchange& pending : pending_) {
+      if (pending.settled || !(in.prevout == pending.offer_outpoint)) continue;
+      // Step 10: someone spent our offer. If it is the gateway's redeem,
+      // the scriptSig carries eSk.
+      const auto revealed = script::extract_revealed_key(in.script_sig);
+      if (!revealed) continue;  // our own reclaim, or malformed
+      if (!crypto::rsa_pair_matches(pending.ephemeral_pub, *revealed))
+        continue;
+      pending.settled = true;
+
+      const auto device = devices_.find(pending.device_id);
+      if (device == devices_.end()) continue;
+      const auto device_id = pending.device_id;
+      const auto em = pending.em;
+      const auto k = device->second.k;
+      const auto eSk = *revealed;
+      loop_.after(timing_.recipient_decrypt, [this, device_id, em, k, eSk] {
+        const auto reading = open_envelope(k, eSk, em);
+        if (!reading) return;
+        ++decrypted_;
+        if (on_reading) on_reading(device_id, *reading);
+      });
+    }
+  }
+  std::erase_if(pending_, [](const PendingExchange& p) { return p.settled; });
+}
+
+void RecipientAgent::on_block(const chain::Block&) {
+  // Withholding gateways: once the CLTV branch opens, take the funds back.
+  const int height = node_.chain().height();
+  for (PendingExchange& pending : pending_) {
+    if (pending.settled) continue;
+    if (height + 1 < pending.timeout_height) continue;
+    const chain::Transaction reclaim =
+        wallet_.create_reclaim(pending.offer_outpoint, pending.offer_out,
+                               pending.timeout_height, config_.reclaim_fee);
+    if (node_.submit_tx(reclaim).ok()) {
+      pending.settled = true;
+      ++reclaims_;
+      if (on_reclaimed) on_reclaimed(pending.device_id);
+    }
+  }
+  std::erase_if(pending_, [](const PendingExchange& p) { return p.settled; });
+}
+
+}  // namespace bcwan::core

@@ -1,0 +1,105 @@
+#include "bcwan/sensor_node.hpp"
+
+#include <stdexcept>
+
+namespace bcwan::core {
+
+SensorNode::SensorNode(p2p::EventLoop& loop, lora::LoraRadio& radio,
+                       NodeProvisioning provisioning, TimingModel timing,
+                       SensorNodeConfig config, std::uint64_t seed)
+    : loop_(loop),
+      radio_(radio),
+      provisioning_(std::move(provisioning)),
+      timing_(timing),
+      config_(config),
+      rng_(seed) {}
+
+void SensorNode::attach_radio(lora::RadioDeviceId device) {
+  radio_device_ = device;
+}
+
+bool SensorNode::start_exchange(util::Bytes reading) {
+  if (radio_device_ < 0)
+    throw std::logic_error("SensorNode: radio not attached");
+  if (busy()) return false;
+  pending_reading_ = std::move(reading);
+  retries_ = 0;
+  ++started_;
+  ++exchange_epoch_;
+  send_request();
+  return true;
+}
+
+void SensorNode::send_request() {
+  if (!busy()) return;
+  lora::UplinkRequestFrame request;
+  request.device_id = provisioning_.device_id;
+  const lora::TxResult tx = radio_.uplink(radio_device_, request.encode());
+  if (!tx.accepted) {
+    // Duty-cycle silence: retry as soon as the regulator allows.
+    const std::uint64_t epoch = exchange_epoch_;
+    loop_.at(tx.next_allowed, [this, epoch] {
+      if (epoch == exchange_epoch_) send_request();
+    });
+    return;
+  }
+  // Arm the ePk timeout.
+  const std::uint64_t epoch = exchange_epoch_;
+  loop_.after(config_.ephemeral_key_timeout, [this, epoch] {
+    if (epoch != exchange_epoch_ || !busy()) return;
+    if (++retries_ > config_.max_request_retries) {
+      fail_exchange();
+    } else {
+      send_request();
+    }
+  });
+}
+
+void SensorNode::on_downlink(const util::Bytes& frame) {
+  const auto type = lora::peek_frame_type(frame);
+  if (!type || *type != lora::FrameType::kEphemeralKey) return;
+  const auto decoded = lora::EphemeralKeyFrame::decode(frame);
+  if (!decoded || decoded->device_id != provisioning_.device_id) return;
+  handle_ephemeral_key(*decoded);
+}
+
+void SensorNode::handle_ephemeral_key(const lora::EphemeralKeyFrame& frame) {
+  if (!busy()) return;  // stale or duplicate key
+  // Crypto happens "now"; the result becomes available node_seal later
+  // (STM32-class AES + RSA-512 encrypt + sign).
+  const Envelope envelope =
+      seal_reading(provisioning_, *pending_reading_, frame.ephemeral_pub, rng_);
+  const std::uint64_t epoch = ++exchange_epoch_;  // cancel the ePk timeout
+  loop_.after(timing_.node_seal, [this, envelope, epoch] {
+    if (epoch != exchange_epoch_ || !busy()) return;
+    send_data(envelope);
+  });
+}
+
+void SensorNode::send_data(const Envelope& envelope) {
+  lora::UplinkDataFrame frame;
+  frame.device_id = provisioning_.device_id;
+  frame.recipient = provisioning_.recipient;
+  frame.em = envelope.em;
+  frame.sig = envelope.sig;
+  const lora::TxResult tx = radio_.uplink(radio_device_, frame.encode());
+  if (!tx.accepted) {
+    const std::uint64_t epoch = exchange_epoch_;
+    loop_.at(tx.next_allowed, [this, envelope, epoch] {
+      if (epoch == exchange_epoch_ && busy()) send_data(envelope);
+    });
+    return;
+  }
+  pending_reading_.reset();
+  ++exchange_epoch_;
+  if (on_data_sent) on_data_sent(provisioning_.device_id);
+}
+
+void SensorNode::fail_exchange() {
+  pending_reading_.reset();
+  ++exchange_epoch_;
+  ++abandoned_;
+  if (on_exchange_failed) on_exchange_failed(provisioning_.device_id);
+}
+
+}  // namespace bcwan::core

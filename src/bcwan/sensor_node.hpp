@@ -1,0 +1,82 @@
+// The IoT end-device (paper: Nucleo-144/STM32F746 "node").
+//
+// Runs the node's half of the Fig. 3 exchange over the LoRa radio:
+//   1. sends an uplink request;
+//   2. waits for the gateway's ephemeral public key ePk;
+//   3-4. seals the reading (AES under K, RSA under ePk, RSA-signs);
+//   5. uplinks (Em, Sig, @R).
+// Sealing costs virtual time (TimingModel::node_seal); transmissions obey
+// the device's duty cycle, with retries when the radio says "not yet" and a
+// timeout/retry loop when the ePk downlink is lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "bcwan/envelope.hpp"
+#include "bcwan/timing.hpp"
+#include "lora/radio.hpp"
+#include "p2p/event_loop.hpp"
+
+namespace bcwan::core {
+
+struct SensorNodeConfig {
+  /// Give up waiting for ePk after this long and re-request.
+  util::SimTime ephemeral_key_timeout = 30 * util::kSecond;
+  int max_request_retries = 5;
+};
+
+class SensorNode {
+ public:
+  SensorNode(p2p::EventLoop& loop, lora::LoraRadio& radio,
+             NodeProvisioning provisioning, TimingModel timing,
+             SensorNodeConfig config, std::uint64_t seed);
+
+  /// Must be called once after the radio device is registered (the radio
+  /// needs a downlink handler that references this object).
+  void attach_radio(lora::RadioDeviceId device);
+  /// The downlink handler to register with the radio.
+  void on_downlink(const util::Bytes& frame);
+
+  /// Kick off one exchange for this reading. Returns false if an exchange
+  /// is already in flight (one at a time per device).
+  bool start_exchange(util::Bytes reading);
+
+  bool busy() const noexcept { return pending_reading_.has_value(); }
+  std::uint16_t device_id() const noexcept { return provisioning_.device_id; }
+  const NodeProvisioning& provisioning() const noexcept {
+    return provisioning_;
+  }
+
+  /// Fired when the data frame has been handed to the radio (step 5 done
+  /// from the node's perspective).
+  std::function<void(std::uint16_t device_id)> on_data_sent;
+  /// Fired when all retries are exhausted.
+  std::function<void(std::uint16_t device_id)> on_exchange_failed;
+
+  std::uint64_t exchanges_started() const noexcept { return started_; }
+  std::uint64_t exchanges_abandoned() const noexcept { return abandoned_; }
+
+ private:
+  void send_request();
+  void handle_ephemeral_key(const lora::EphemeralKeyFrame& frame);
+  void send_data(const Envelope& envelope);
+  void fail_exchange();
+
+  p2p::EventLoop& loop_;
+  lora::LoraRadio& radio_;
+  NodeProvisioning provisioning_;
+  TimingModel timing_;
+  SensorNodeConfig config_;
+  util::Rng rng_;
+  lora::RadioDeviceId radio_device_ = -1;
+
+  std::optional<util::Bytes> pending_reading_;
+  int retries_ = 0;
+  std::uint64_t exchange_epoch_ = 0;  // invalidates stale timeout callbacks
+  std::uint64_t started_ = 0;
+  std::uint64_t abandoned_ = 0;
+};
+
+}  // namespace bcwan::core

@@ -1,0 +1,40 @@
+// Virtual-time cost model for the paper's hardware.
+//
+// The crypto on the critical path is *really executed* (a distinct RSA-512
+// key pair per message, real AES/RSA on every envelope, real ECDSA on every
+// transaction) — but the virtual clock charges the cost class of the
+// paper's platforms (STM32F746 node, Raspberry Pi gateway, PlanetLab-node
+// recipient daemon), not of this build machine. DESIGN.md §5 records the
+// calibration.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace bcwan::core {
+
+struct TimingModel {
+  /// Node (STM32F746): AES-256-CBC of one block + RSA-512 encrypt (e=65537)
+  /// + RSA-512 sign with a 512-bit private exponent, software bignum.
+  util::SimTime node_seal = 120 * util::kMillisecond;
+
+  /// Gateway (Raspberry Pi): RSA-512 key generation — two 256-bit primes.
+  util::SimTime gateway_keygen = 150 * util::kMillisecond;
+
+  /// Gateway: directory lookup + TCP connection setup to the recipient.
+  util::SimTime gateway_forward = 10 * util::kMillisecond;
+
+  /// Recipient daemon: RSA-512 signature verification of the envelope.
+  util::SimTime recipient_verify = 10 * util::kMillisecond;
+
+  /// Recipient daemon: RSA-512 decrypt + AES decrypt once eSk is revealed.
+  util::SimTime recipient_decrypt = 15 * util::kMillisecond;
+
+  /// Building a transaction in the BcWAN daemon. The paper's Golang daemon
+  /// drives Multichain over JSON-RPC — "create the transactions, sign the
+  /// transactions and send the transactions" — three round trips to a
+  /// separate daemon process on a memory-constrained (512 MB) PlanetLab
+  /// node.
+  util::SimTime wallet_tx_build = 350 * util::kMillisecond;
+};
+
+}  // namespace bcwan::core

@@ -1,0 +1,106 @@
+#include "bignum/primes.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace bcwan::bignum {
+
+namespace {
+
+// Primes below 1000 for trial-division pre-filtering.
+constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433,
+    439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521,
+    523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613,
+    617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809,
+    811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
+    907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+bool divisible_by_small_prime(const BigUint& n) {
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (n == bp) return false;  // n *is* a small prime, not divisible-composite
+    if ((n % bp).is_zero()) return true;
+  }
+  return false;
+}
+
+bool miller_rabin_round(const BigUint& n, const BigUint& n_minus_1,
+                        const BigUint& d, std::size_t r, const BigUint& base) {
+  BigUint x = BigUint::mod_exp(base, d, n);
+  if (x.is_one() || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUint& n, util::Rng& rng, std::size_t rounds) {
+  if (n < BigUint(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  if (n.bit_length() <= 20) {
+    // Trial division already covered all factors <= sqrt(2^20) < 1024.
+    return true;
+  }
+
+  const BigUint n_minus_1 = n - BigUint(1);
+  BigUint d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d = d.shr(1);
+    ++r;
+  }
+
+  const BigUint two(2);
+  const BigUint span = n - BigUint(4);  // bases in [2, n-2]
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const BigUint base = BigUint::random_below(rng, span) + two;
+    if (!miller_rabin_round(n, n_minus_1, d, r, base)) return false;
+  }
+  return true;
+}
+
+BigUint generate_prime(util::Rng& rng, std::size_t bits) {
+  if (bits < 8) throw std::invalid_argument("generate_prime: bits < 8");
+  const std::size_t nbytes = (bits + 7) / 8;
+  const std::size_t excess = nbytes * 8 - bits;
+  for (;;) {
+    util::Bytes raw = rng.bytes(nbytes);
+    // Force exact bit length and the next bit down (so p*q has exactly
+    // 2*bits bits, as RSA keygen requires), and force oddness.
+    raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+    if (excess == 7) {
+      raw[1] |= 0x80;
+    } else {
+      raw[0] |= static_cast<std::uint8_t>(0x40 >> excess);
+    }
+    raw[nbytes - 1] |= 0x01;
+    const BigUint candidate = BigUint::from_bytes_be(raw);
+    if (divisible_by_small_prime(candidate)) continue;
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+BigUint generate_rsa_prime(util::Rng& rng, std::size_t bits,
+                           const BigUint& public_exponent) {
+  for (;;) {
+    BigUint p = generate_prime(rng, bits);
+    if (BigUint::gcd(p - BigUint(1), public_exponent).is_one()) return p;
+  }
+}
+
+}  // namespace bcwan::bignum

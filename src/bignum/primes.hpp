@@ -1,0 +1,30 @@
+// Probabilistic primality testing and random prime generation.
+//
+// Used by crypto::rsa to generate the 256-bit prime factors of RSA-512
+// moduli (and larger moduli for the key-size ablation). Miller-Rabin with
+// random bases; candidates are pre-filtered by trial division against a
+// small-prime table.
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/biguint.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::bignum {
+
+/// Miller-Rabin with `rounds` random bases (error probability <= 4^-rounds).
+/// Exact for inputs below 2^16 via trial division.
+bool is_probable_prime(const BigUint& n, util::Rng& rng,
+                       std::size_t rounds = 24);
+
+/// Random prime with exactly `bits` bits (top two bits set so that products
+/// of two such primes have exactly 2*bits bits, as RSA keygen requires).
+/// Requires bits >= 8.
+BigUint generate_prime(util::Rng& rng, std::size_t bits);
+
+/// Random safe-ish RSA prime p with gcd(p-1, e) == 1.
+BigUint generate_rsa_prime(util::Rng& rng, std::size_t bits,
+                           const BigUint& public_exponent);
+
+}  // namespace bcwan::bignum

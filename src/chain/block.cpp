@@ -1,0 +1,110 @@
+#include "chain/block.hpp"
+
+#include <cstring>
+
+#include "util/serial.hpp"
+
+namespace bcwan::chain {
+
+util::Bytes BlockHeader::serialize() const {
+  util::Writer w;
+  w.u32(version);
+  w.bytes(util::ByteView(prev_block.data(), prev_block.size()));
+  w.bytes(util::ByteView(merkle_root.data(), merkle_root.size()));
+  w.u64(time);
+  w.u32(target_zero_bits);
+  w.u32(nonce);
+  w.var_bytes(proposer_pubkey);
+  w.var_bytes(pos_signature);
+  return w.take();
+}
+
+Hash256 BlockHeader::hash() const { return crypto::sha256d(serialize()); }
+
+util::Bytes Block::serialize() const {
+  util::Writer w;
+  w.bytes(header.serialize());
+  w.varint(txs.size());
+  for (const Transaction& tx : txs) w.var_bytes(tx.serialize());
+  return w.take();
+}
+
+std::optional<Block> Block::deserialize(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    Block b;
+    b.header.version = r.u32();
+    const util::Bytes prev = r.bytes(32);
+    std::memcpy(b.header.prev_block.data(), prev.data(), 32);
+    const util::Bytes root = r.bytes(32);
+    std::memcpy(b.header.merkle_root.data(), root.data(), 32);
+    b.header.time = r.u64();
+    b.header.target_zero_bits = r.u32();
+    b.header.nonce = r.u32();
+    b.header.proposer_pubkey = r.var_bytes();
+    b.header.pos_signature = r.var_bytes();
+    const std::uint64_t ntx = r.varint();
+    for (std::uint64_t i = 0; i < ntx; ++i) {
+      const util::Bytes raw = r.var_bytes();
+      auto tx = Transaction::deserialize(raw);
+      if (!tx) return std::nullopt;
+      b.txs.push_back(*std::move(tx));
+    }
+    r.expect_done();
+    return b;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256{};
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& left = level[i];
+      const Hash256& right = i + 1 < level.size() ? level[i + 1] : level[i];
+      util::Bytes combined(left.begin(), left.end());
+      combined.insert(combined.end(), right.begin(), right.end());
+      next.push_back(crypto::sha256d(combined));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Hash256 compute_merkle_root(const std::vector<Transaction>& txs) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(txs.size());
+  for (const Transaction& tx : txs) leaves.push_back(tx.txid());
+  return merkle_root(leaves);
+}
+
+bool hash_meets_target(const Hash256& hash, unsigned zero_bits) noexcept {
+  unsigned checked = 0;
+  for (std::uint8_t byte : hash) {
+    if (checked + 8 <= zero_bits) {
+      if (byte != 0) return false;
+      checked += 8;
+    } else if (checked < zero_bits) {
+      const unsigned rem = zero_bits - checked;
+      if (byte >> (8 - rem) != 0) return false;
+      return true;
+    } else {
+      return true;
+    }
+  }
+  return true;
+}
+
+bool solve_pow(BlockHeader& header) {
+  for (std::uint64_t nonce = 0; nonce <= 0xffffffffULL; ++nonce) {
+    header.nonce = static_cast<std::uint32_t>(nonce);
+    if (hash_meets_target(header.hash(), header.target_zero_bits)) return true;
+  }
+  return false;
+}
+
+}  // namespace bcwan::chain

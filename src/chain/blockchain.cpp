@@ -1,0 +1,247 @@
+#include "chain/blockchain.hpp"
+
+#include <algorithm>
+
+#include "chain/pos.hpp"
+#include "script/templates.hpp"
+#include "util/bytes.hpp"
+#include "util/serial.hpp"
+
+namespace bcwan::chain {
+
+std::string accept_block_result_name(AcceptBlockResult r) {
+  switch (r) {
+    case AcceptBlockResult::kConnected: return "connected";
+    case AcceptBlockResult::kReorganized: return "reorganized";
+    case AcceptBlockResult::kSideChain: return "side-chain";
+    case AcceptBlockResult::kOrphan: return "orphan";
+    case AcceptBlockResult::kDuplicate: return "duplicate";
+    case AcceptBlockResult::kInvalid: return "invalid";
+  }
+  return "unknown";
+}
+
+Block make_genesis(const ChainParams& params) {
+  Block genesis;
+  Transaction coinbase;
+  TxIn in;
+  in.prevout = coinbase_prevout();
+  script::Script tag;
+  tag.push(util::str_bytes("BcWAN federated LPWAN genesis"));
+  in.script_sig = tag;
+  coinbase.vin.push_back(std::move(in));
+  TxOut out;
+  out.value = params.block_reward;
+  // Unspendable genesis output (no one owns the genesis reward).
+  out.script_pubkey = script::make_op_return(util::str_bytes("genesis"));
+  coinbase.vout.push_back(std::move(out));
+  genesis.txs.push_back(std::move(coinbase));
+  genesis.header.merkle_root = compute_merkle_root(genesis.txs);
+  genesis.header.target_zero_bits = 0;  // genesis needs no work
+  return genesis;
+}
+
+Blockchain::Blockchain(const ChainParams& params) : params_(params) {
+  const Block genesis = make_genesis(params_);
+  const Hash256 hash = genesis.hash();
+  StoredBlock stored{genesis, 0, BlockUndo{}};
+  // Genesis coinbase outputs are OP_RETURN, so the UTXO set starts empty.
+  blocks_.emplace(hash, std::move(stored));
+  active_.push_back(hash);
+  tx_index_[genesis.txs[0].txid()] = 0;
+}
+
+std::optional<Block> Blockchain::get_block(const Hash256& hash) const {
+  const auto it = blocks_.find(hash);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second.block;
+}
+
+std::optional<Block> Blockchain::block_at(int h) const {
+  if (h < 0 || h >= static_cast<int>(active_.size())) return std::nullopt;
+  return get_block(active_[static_cast<std::size_t>(h)]);
+}
+
+bool Blockchain::tx_confirmations(const Hash256& txid,
+                                  int& confirmations) const {
+  const auto it = tx_index_.find(txid);
+  if (it == tx_index_.end()) return false;
+  confirmations = height() - it->second + 1;
+  return true;
+}
+
+void Blockchain::scan_recent(
+    int depth,
+    const std::function<void(const Transaction&, int)>& visit) const {
+  const int lowest = std::max(0, height() - depth + 1);
+  for (int h = height(); h >= lowest; --h) {
+    const auto it = blocks_.find(active_[static_cast<std::size_t>(h)]);
+    for (const Transaction& tx : it->second.block.txs) visit(tx, h);
+  }
+}
+
+bool Blockchain::connect_tip(const Block& block) {
+  const Hash256 hash = block.hash();
+  auto& stored = blocks_.at(hash);
+  BlockUndo undo;
+  const BlockValidationResult result =
+      connect_block(block, utxo_, stored.height, params_, undo);
+  if (!result.ok()) {
+    last_failure_ = result;
+    return false;
+  }
+  stored.undo = std::move(undo);
+  active_.push_back(hash);
+  for (const Transaction& tx : block.txs)
+    tx_index_[tx.txid()] = stored.height;
+  return true;
+}
+
+AcceptBlockResult Blockchain::accept_block(const Block& block) {
+  const Hash256 hash = block.hash();
+  if (blocks_.find(hash) != blocks_.end()) return AcceptBlockResult::kDuplicate;
+
+  const BlockValidationResult structural = check_block(block, params_);
+  if (!structural.ok()) {
+    last_failure_ = structural;
+    return AcceptBlockResult::kInvalid;
+  }
+
+  const auto parent = blocks_.find(block.header.prev_block);
+  if (parent == blocks_.end()) {
+    orphans_[block.header.prev_block].push_back(block);
+    return AcceptBlockResult::kOrphan;
+  }
+
+  const int block_height = parent->second.height + 1;
+
+  // Proof-of-stake election: the block must be signed by the validator the
+  // slot-leader schedule picked for this (parent, height).
+  if (params_.consensus == ConsensusMode::kProofOfStake) {
+    const std::size_t slot = scheduled_proposer(
+        params_.validators, block.header.prev_block, block_height);
+    if (!pos_verify_block(block.header, params_.validators[slot])) {
+      last_failure_ = BlockValidationResult{};
+      last_failure_.error = BlockError::kBadProposer;
+      return AcceptBlockResult::kInvalid;
+    }
+  }
+  blocks_.emplace(hash, StoredBlock{block, block_height, BlockUndo{}});
+
+  AcceptBlockResult result;
+  if (block.header.prev_block == tip_hash()) {
+    if (!connect_tip(block)) {
+      blocks_.erase(hash);
+      return AcceptBlockResult::kInvalid;
+    }
+    result = AcceptBlockResult::kConnected;
+  } else if (block_height > height()) {
+    result = maybe_reorg(hash);
+    if (result == AcceptBlockResult::kInvalid) {
+      blocks_.erase(hash);
+      return result;
+    }
+  } else {
+    result = AcceptBlockResult::kSideChain;
+  }
+
+  try_connect_orphans(hash);
+  return result;
+}
+
+AcceptBlockResult Blockchain::maybe_reorg(const Hash256& new_tip) {
+  // Walk back from the candidate tip to the fork point with the active
+  // chain, collecting the branch to connect.
+  std::vector<Hash256> branch;  // fork-child .. new_tip, reversed below
+  Hash256 cursor = new_tip;
+  auto on_active = [this](const Hash256& h) {
+    const auto it = blocks_.find(h);
+    if (it == blocks_.end()) return false;
+    const int bh = it->second.height;
+    return bh < static_cast<int>(active_.size()) &&
+           active_[static_cast<std::size_t>(bh)] == h;
+  };
+  while (!on_active(cursor)) {
+    branch.push_back(cursor);
+    cursor = blocks_.at(cursor).block.header.prev_block;
+  }
+  std::reverse(branch.begin(), branch.end());
+  const int fork_height = blocks_.at(cursor).height;
+
+  // Disconnect the current chain down to the fork point, remembering what
+  // we removed in case the branch turns out to be invalid.
+  std::vector<Hash256> removed;
+  while (height() > fork_height) {
+    const Hash256 old_tip = active_.back();
+    auto& stored = blocks_.at(old_tip);
+    disconnect_block(stored.undo, utxo_);
+    stored.undo = BlockUndo{};
+    for (const Transaction& tx : stored.block.txs)
+      tx_index_.erase(tx.txid());
+    active_.pop_back();
+    removed.push_back(old_tip);
+  }
+  std::reverse(removed.begin(), removed.end());  // ascending height order
+
+  // Connect the branch.
+  for (std::size_t i = 0; i < branch.size(); ++i) {
+    if (!connect_tip(blocks_.at(branch[i]).block)) {
+      // Invalid branch: roll back whatever connected and restore the old
+      // chain (its blocks were valid before and validate again).
+      while (height() > fork_height) {
+        const Hash256 bad_tip = active_.back();
+        auto& stored = blocks_.at(bad_tip);
+        disconnect_block(stored.undo, utxo_);
+        stored.undo = BlockUndo{};
+        for (const Transaction& tx : stored.block.txs)
+          tx_index_.erase(tx.txid());
+        active_.pop_back();
+      }
+      for (const Hash256& h : removed) {
+        const bool ok = connect_tip(blocks_.at(h).block);
+        (void)ok;  // previously-active blocks reconnect by construction
+      }
+      return AcceptBlockResult::kInvalid;
+    }
+  }
+  return AcceptBlockResult::kReorganized;
+}
+
+util::Bytes Blockchain::export_chain() const {
+  util::Writer w;
+  w.varint(active_.size() - 1);  // genesis is implicit (deterministic)
+  for (std::size_t h = 1; h < active_.size(); ++h) {
+    w.var_bytes(blocks_.at(active_[h]).block.serialize());
+  }
+  return w.take();
+}
+
+std::optional<Blockchain> Blockchain::import_chain(const ChainParams& params,
+                                                   util::ByteView data) {
+  try {
+    util::Reader r(data);
+    Blockchain chain(params);
+    const std::uint64_t count = r.varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto block = Block::deserialize(r.var_bytes());
+      if (!block) return std::nullopt;
+      if (chain.accept_block(*block) != AcceptBlockResult::kConnected) {
+        return std::nullopt;
+      }
+    }
+    r.expect_done();
+    return chain;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+void Blockchain::try_connect_orphans(const Hash256& parent) {
+  const auto it = orphans_.find(parent);
+  if (it == orphans_.end()) return;
+  const std::vector<Block> pending = std::move(it->second);
+  orphans_.erase(it);
+  for (const Block& block : pending) accept_block(block);
+}
+
+}  // namespace bcwan::chain

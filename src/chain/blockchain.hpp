@@ -1,0 +1,104 @@
+// Chain manager: block storage, longest-chain selection, UTXO tracking and
+// reorganisation. Every gateway daemon holds one of these; the directory
+// and the fair-exchange watcher read through it.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/params.hpp"
+#include "chain/utxo.hpp"
+#include "chain/validation.hpp"
+
+namespace bcwan::chain {
+
+/// Deterministic genesis block for a federation (no PoW requirement).
+Block make_genesis(const ChainParams& params);
+
+enum class AcceptBlockResult {
+  kConnected,      // extended the active chain
+  kReorganized,    // became the new tip via reorg
+  kSideChain,      // stored, not the best chain
+  kOrphan,         // parent unknown; stored for later
+  kDuplicate,
+  kInvalid,
+};
+
+std::string accept_block_result_name(AcceptBlockResult r);
+
+class Blockchain {
+ public:
+  explicit Blockchain(const ChainParams& params);
+
+  const ChainParams& params() const noexcept { return params_; }
+
+  /// Height of the tip (genesis = 0).
+  int height() const noexcept { return static_cast<int>(active_.size()) - 1; }
+  Hash256 tip_hash() const { return active_.back(); }
+  const UtxoSet& utxo() const noexcept { return utxo_; }
+
+  /// Validate and store; connects/reorganises as needed. Orphans are kept
+  /// and connected automatically when their parent arrives.
+  AcceptBlockResult accept_block(const Block& block);
+
+  bool have_block(const Hash256& hash) const {
+    return blocks_.find(hash) != blocks_.end();
+  }
+  std::optional<Block> get_block(const Hash256& hash) const;
+  /// Block at an active-chain height.
+  std::optional<Block> block_at(int height) const;
+
+  /// Active-chain hashes from genesis to tip.
+  const std::vector<Hash256>& active_chain() const noexcept { return active_; }
+
+  /// True if the tx is confirmed in the active chain; returns depth
+  /// (1 = in tip block) via out param.
+  bool tx_confirmations(const Hash256& txid, int& confirmations) const;
+
+  /// Scan the most recent `depth` blocks of the active chain, newest first.
+  /// The callback receives each transaction with its block height.
+  void scan_recent(
+      int depth,
+      const std::function<void(const Transaction&, int height)>& visit) const;
+
+  /// The validation failure recorded for the last kInvalid result.
+  const BlockValidationResult& last_failure() const noexcept {
+    return last_failure_;
+  }
+
+  /// Serialize the active chain (blocks above genesis) for persistence or
+  /// for bootstrapping a new federation member out-of-band.
+  util::Bytes export_chain() const;
+
+  /// Rebuild a chain from an export, re-validating every block under
+  /// `params`. std::nullopt if the stream is malformed or any block fails.
+  static std::optional<Blockchain> import_chain(const ChainParams& params,
+                                                util::ByteView data);
+
+ private:
+  struct StoredBlock {
+    Block block;
+    int height = 0;
+    // Undo data exists only while the block is on the active chain.
+    BlockUndo undo;
+  };
+
+  bool connect_tip(const Block& block);
+  void try_connect_orphans(const Hash256& parent);
+  /// Attempt to make `hash` (already stored, with known height) the tip.
+  AcceptBlockResult maybe_reorg(const Hash256& hash);
+
+  ChainParams params_;
+  std::unordered_map<Hash256, StoredBlock, Hash256Hasher> blocks_;
+  std::unordered_map<Hash256, std::vector<Block>, Hash256Hasher> orphans_;
+  std::vector<Hash256> active_;
+  // txid -> active-chain height, for confirmation queries.
+  std::unordered_map<Hash256, int, Hash256Hasher> tx_index_;
+  UtxoSet utxo_;
+  BlockValidationResult last_failure_;
+};
+
+}  // namespace bcwan::chain

@@ -1,0 +1,48 @@
+// Block assembly and proof-of-work.
+//
+// In BcWAN's evaluation mining runs only on the master node ("An AWS EC2
+// instance is used as a master node only to 1) bootstrap the nodes and
+// 2) mine blocks. Mining is disabled on the PlanetLab nodes" — §5.2); the
+// simulator does the same, scheduling mine() on a Poisson clock at the
+// master host.
+#pragma once
+
+#include <optional>
+
+#include "chain/blockchain.hpp"
+#include "chain/mempool.hpp"
+#include "chain/pos.hpp"
+#include "script/templates.hpp"
+
+namespace bcwan::chain {
+
+class Miner {
+ public:
+  Miner(const ChainParams& params, const script::PubKeyHash& reward_dest)
+      : params_(params), reward_dest_(reward_dest) {}
+
+  /// Proof-of-stake identity: required before mine() under kProofOfStake.
+  void set_pos_key(crypto::EcKeyPair key) { pos_key_ = std::move(key); }
+
+  /// Under kProofOfStake: is this miner's key the slot leader for the next
+  /// block on `chain`? Always true under kProofOfWork.
+  bool is_scheduled(const Blockchain& chain) const;
+
+  /// Build a candidate block on the current tip from mempool contents.
+  /// `time` stamps the header (virtual seconds). Fees are verified against
+  /// the chainstate, not trusted from the pool.
+  Block assemble(const Blockchain& chain, const Mempool& pool,
+                 std::uint64_t time) const;
+
+  /// assemble() + the consensus step: grind the nonce (PoW) or sign the
+  /// header as slot leader (PoS — throws if this miner isn't scheduled).
+  Block mine(const Blockchain& chain, const Mempool& pool,
+             std::uint64_t time) const;
+
+ private:
+  const ChainParams& params_;
+  script::PubKeyHash reward_dest_;
+  std::optional<crypto::EcKeyPair> pos_key_;
+};
+
+}  // namespace bcwan::chain

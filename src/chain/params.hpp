@@ -1,0 +1,94 @@
+// Chain parameters — the Multichain-style knobs the paper leans on (§5.1:
+// "Multichain ... provides interesting features ... such as modifying the
+// average mining time, the size of a block or the consensus").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace bcwan::chain {
+
+/// Monetary amounts in base units ("bits" of the federation's token).
+using Amount = std::int64_t;
+
+constexpr Amount kCoin = 100'000'000;
+
+/// Block-election method. Proof-of-stake is the paper's §6 suggestion for
+/// closing the gap to edge nodes (see chain/pos.hpp); the validator set
+/// lives in `ChainParams::validators` when it is selected.
+enum class ConsensusMode {
+  kProofOfWork,
+  kProofOfStake,
+};
+
+/// A proof-of-stake block producer: federation member identity + weight.
+struct Validator {
+  /// SEC1-encoded secp256k1 public key.
+  util::Bytes pubkey;
+  Amount stake = 0;
+
+  friend bool operator==(const Validator&, const Validator&) = default;
+};
+
+struct ChainParams {
+  /// Target average interval between blocks (drives the simulated miner's
+  /// Poisson schedule; Multichain's default target is in this range).
+  util::SimTime block_interval = 15 * util::kSecond;
+
+  /// Required leading zero bits in a block hash. Kept low: in the
+  /// simulation difficulty only has to make hashes well-formed, the mining
+  /// *schedule* controls block arrival times.
+  unsigned pow_zero_bits = 12;
+
+  /// Coinbase subsidy per block.
+  Amount block_reward = 50 * kCoin;
+
+  /// Blocks before a coinbase output may be spent.
+  int coinbase_maturity = 10;
+
+  /// Upper bound on serialized block size.
+  std::size_t max_block_size = 1'000'000;
+
+  /// Upper bound on a single transaction.
+  std::size_t max_tx_size = 100'000;
+
+  /// Largest OP_RETURN payload accepted into blocks (Multichain makes this
+  /// configurable; Bitcoin 0.10 used 40 bytes, the directory needs more).
+  std::size_t max_op_return_size = 256;
+
+  /// Cap on total supply for sanity checks.
+  Amount max_money = 21'000'000 * kCoin;
+
+  /// Minimum relay fee per transaction (flat, simulation-scale).
+  Amount min_tx_fee = 100;
+
+  /// Block election. Under kProofOfStake, `validators` must be non-empty
+  /// and PoW checks are replaced by the slot-leader schedule of
+  /// chain/pos.hpp.
+  ConsensusMode consensus = ConsensusMode::kProofOfWork;
+  std::vector<Validator> validators;
+
+  /// Multichain-style mining permission: when non-empty, a block is only
+  /// valid if its coinbase pays one of these pubkey hashes (Multichain's
+  /// "grant mine" restricted to federation members — §4's "parties that
+  /// don't participate to the network aren't able to take advantage").
+  /// Stored as raw 20-byte HASH160s to keep this header script-agnostic.
+  std::vector<util::Bytes> permitted_miners;
+
+  bool miner_permitted(util::ByteView pkh) const {
+    if (permitted_miners.empty()) return true;
+    for (const auto& allowed : permitted_miners) {
+      if (allowed.size() == pkh.size() &&
+          std::equal(allowed.begin(), allowed.end(), pkh.begin())) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace bcwan::chain

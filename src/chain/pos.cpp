@@ -1,0 +1,57 @@
+#include "chain/pos.hpp"
+
+#include <stdexcept>
+
+#include "bignum/biguint.hpp"
+#include "util/serial.hpp"
+
+namespace bcwan::chain {
+
+std::size_t scheduled_proposer(const std::vector<Validator>& validators,
+                               const Hash256& prev, int height) {
+  if (validators.empty())
+    throw std::invalid_argument("scheduled_proposer: empty validator set");
+  Amount total = 0;
+  for (const Validator& v : validators) total += v.stake;
+  if (total <= 0)
+    throw std::invalid_argument("scheduled_proposer: no stake");
+
+  // Slot seed: H(prev || height), reduced into [0, total).
+  util::Writer w;
+  w.bytes(util::ByteView(prev.data(), prev.size()));
+  w.u32(static_cast<std::uint32_t>(height));
+  const Hash256 seed = crypto::sha256d(w.data());
+  const bignum::BigUint draw =
+      bignum::BigUint::from_bytes_be(util::ByteView(seed.data(), seed.size())) %
+      bignum::BigUint(static_cast<std::uint64_t>(total));
+  Amount ticket = static_cast<Amount>(draw.to_u64());
+
+  for (std::size_t i = 0; i < validators.size(); ++i) {
+    if (ticket < validators[i].stake) return i;
+    ticket -= validators[i].stake;
+  }
+  return validators.size() - 1;  // unreachable given the reduction above
+}
+
+util::Bytes pos_signing_message(const BlockHeader& header) {
+  BlockHeader unsigned_header = header;
+  unsigned_header.pos_signature.clear();
+  return unsigned_header.serialize();
+}
+
+void pos_sign_block(BlockHeader& header, const crypto::EcKeyPair& key) {
+  header.proposer_pubkey = crypto::ec_pubkey_encode(key.pub);
+  header.pos_signature =
+      crypto::ecdsa_sign(key.priv, pos_signing_message(header)).serialize();
+}
+
+bool pos_verify_block(const BlockHeader& header, const Validator& expected) {
+  if (header.proposer_pubkey != expected.pubkey) return false;
+  const auto pub = crypto::ec_pubkey_decode(header.proposer_pubkey);
+  if (!pub) return false;
+  const auto sig = crypto::EcdsaSignature::deserialize(header.pos_signature);
+  if (!sig) return false;
+  return crypto::ecdsa_verify(*pub, pos_signing_message(header), *sig);
+}
+
+}  // namespace bcwan::chain

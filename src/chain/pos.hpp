@@ -1,0 +1,43 @@
+// Proof-of-Stake consensus (the paper's §6 extension direction).
+//
+// "The Proof-of-Work is not suitable for edge nodes to run the blockchain
+// as this is a computational power based method of election. Other methods
+// such as Proof-of-stake [Ouroboros] do not rely on computational power and
+// thus can help to further close the gap of the blockchain to the edge
+// nodes."
+//
+// The scheme here is a slot-leader schedule in the spirit of Ouroboros: a
+// fixed validator set with stake weights; the proposer for height h is
+// drawn deterministically from H(prev_block_hash || h), weighted by stake.
+// A proposer signs the block header (ECDSA, the same curve as transaction
+// signatures); anyone can check the signature and recompute the schedule.
+// No hash grinding is involved anywhere — producing a block costs one
+// signature, which is what makes it edge-viable.
+#pragma once
+
+#include <vector>
+
+#include "chain/block.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace bcwan::chain {
+
+/// Index of the validator scheduled to propose the block at `height` whose
+/// parent is `prev`. Deterministic, stake-weighted. Requires a non-empty
+/// set with positive total stake.
+std::size_t scheduled_proposer(const std::vector<Validator>& validators,
+                               const Hash256& prev, int height);
+
+/// The message a proposer signs: the header serialized with the signature
+/// field blanked (the proposer pubkey IS covered, so a signature cannot be
+/// transplanted onto another identity).
+util::Bytes pos_signing_message(const BlockHeader& header);
+
+/// Fill in proposer_pubkey + pos_signature.
+void pos_sign_block(BlockHeader& header, const crypto::EcKeyPair& key);
+
+/// Verify that the header is signed by `expected` (schedule lookup is the
+/// caller's job — it needs chain context for the height).
+bool pos_verify_block(const BlockHeader& header, const Validator& expected);
+
+}  // namespace bcwan::chain

@@ -1,0 +1,146 @@
+#include "chain/transaction.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "crypto/ecdsa.hpp"
+#include "util/serial.hpp"
+
+namespace bcwan::chain {
+
+std::string hash_hex(const Hash256& h) {
+  return util::to_hex(util::ByteView(h.data(), h.size()));
+}
+
+OutPoint coinbase_prevout() { return OutPoint{Hash256{}, kSequenceFinal}; }
+
+namespace {
+
+void write_outpoint(util::Writer& w, const OutPoint& o) {
+  w.bytes(util::ByteView(o.txid.data(), o.txid.size()));
+  w.u32(o.index);
+}
+
+OutPoint read_outpoint(util::Reader& r) {
+  OutPoint o;
+  const util::Bytes raw = r.bytes(32);
+  std::memcpy(o.txid.data(), raw.data(), 32);
+  o.index = r.u32();
+  return o;
+}
+
+void write_tx(util::Writer& w, const Transaction& tx) {
+  w.u32(tx.version);
+  w.varint(tx.vin.size());
+  for (const TxIn& in : tx.vin) {
+    write_outpoint(w, in.prevout);
+    w.var_bytes(in.script_sig.bytes());
+    w.u32(in.sequence);
+  }
+  w.varint(tx.vout.size());
+  for (const TxOut& out : tx.vout) {
+    w.u64(static_cast<std::uint64_t>(out.value));
+    w.var_bytes(out.script_pubkey.bytes());
+  }
+  w.u32(tx.locktime);
+}
+
+}  // namespace
+
+util::Bytes Transaction::serialize() const {
+  util::Writer w;
+  write_tx(w, *this);
+  return w.take();
+}
+
+std::optional<Transaction> Transaction::deserialize(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    Transaction tx;
+    tx.version = r.u32();
+    const std::uint64_t nin = r.varint();
+    for (std::uint64_t i = 0; i < nin; ++i) {
+      TxIn in;
+      in.prevout = read_outpoint(r);
+      in.script_sig = script::Script(r.var_bytes());
+      in.sequence = r.u32();
+      tx.vin.push_back(std::move(in));
+    }
+    const std::uint64_t nout = r.varint();
+    for (std::uint64_t i = 0; i < nout; ++i) {
+      TxOut out;
+      out.value = static_cast<Amount>(r.u64());
+      out.script_pubkey = script::Script(r.var_bytes());
+      tx.vout.push_back(std::move(out));
+    }
+    tx.locktime = r.u32();
+    r.expect_done();
+    return tx;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+Hash256 Transaction::txid() const { return crypto::sha256d(serialize()); }
+
+Amount Transaction::total_output() const {
+  Amount total = 0;
+  for (const TxOut& out : vout) total += out.value;
+  return total;
+}
+
+util::Bytes signature_hash_message(const Transaction& tx,
+                                   std::size_t input_index,
+                                   const script::Script& script_pubkey_spent) {
+  util::Writer w;
+  w.u32(tx.version);
+  w.varint(tx.vin.size());
+  for (std::size_t i = 0; i < tx.vin.size(); ++i) {
+    write_outpoint(w, tx.vin[i].prevout);
+    if (i == input_index) {
+      w.var_bytes(script_pubkey_spent.bytes());
+    } else {
+      w.var_bytes({});
+    }
+    w.u32(tx.vin[i].sequence);
+  }
+  w.varint(tx.vout.size());
+  for (const TxOut& out : tx.vout) {
+    w.u64(static_cast<std::uint64_t>(out.value));
+    w.var_bytes(out.script_pubkey.bytes());
+  }
+  w.u32(tx.locktime);
+  w.u32(static_cast<std::uint32_t>(input_index));
+  w.u8(0x01);  // SIGHASH_ALL tag
+  return w.take();
+}
+
+bool TxSignatureChecker::check_sig(util::ByteView sig,
+                                   util::ByteView pubkey) const {
+  const auto decoded_sig = crypto::EcdsaSignature::deserialize(sig);
+  if (!decoded_sig) return false;
+  const auto decoded_pub = crypto::ec_pubkey_decode(pubkey);
+  if (!decoded_pub) return false;
+  const util::Bytes message =
+      signature_hash_message(tx_, input_index_, script_pubkey_spent_);
+
+  // Signature cache (Bitcoin has carried one since 0.7): in a federation
+  // every daemon re-verifies the same (msg, sig, pubkey) triple, and a
+  // block re-verifies what the mempool already checked. The simulator is
+  // single-threaded, so a plain map suffices.
+  static std::unordered_map<Hash256, bool, Hash256Hasher> cache;
+  util::Writer key_writer;
+  key_writer.var_bytes(message);
+  key_writer.var_bytes(sig);
+  key_writer.var_bytes(pubkey);
+  const Hash256 key = crypto::sha256(key_writer.data());
+  const auto cached = cache.find(key);
+  if (cached != cache.end()) return cached->second;
+
+  const bool valid = crypto::ecdsa_verify(*decoded_pub, message, *decoded_sig);
+  if (cache.size() > 200'000) cache.clear();
+  cache.emplace(key, valid);
+  return valid;
+}
+
+}  // namespace bcwan::chain

@@ -1,0 +1,123 @@
+// Transactions: Bitcoin-0.10-shaped inputs/outputs with script locks.
+//
+// Every BcWAN on-chain artifact is one of these: directory announcements
+// (OP_RETURN outputs), fair-exchange offers (Listing-1 outputs), gateway
+// redeems (scriptSigs revealing eSk), payments, and coinbases.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/params.hpp"
+#include "crypto/sha256.hpp"
+#include "script/interpreter.hpp"
+#include "script/script.hpp"
+#include "util/bytes.hpp"
+
+namespace bcwan::chain {
+
+/// 32-byte id (double SHA-256 of the serialized object).
+using Hash256 = crypto::Digest256;
+
+std::string hash_hex(const Hash256& h);
+
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const noexcept {
+    std::size_t out;
+    static_assert(sizeof out <= 32);
+    std::memcpy(&out, h.data(), sizeof out);
+    return out;
+  }
+};
+
+/// Reference to a transaction output.
+struct OutPoint {
+  Hash256 txid{};
+  std::uint32_t index = 0;
+
+  friend bool operator==(const OutPoint&, const OutPoint&) = default;
+};
+
+struct OutPointHasher {
+  std::size_t operator()(const OutPoint& o) const noexcept {
+    return Hash256Hasher{}(o.txid) ^ (static_cast<std::size_t>(o.index) << 1);
+  }
+};
+
+/// Sequence value that opts an input out of locktime semantics.
+constexpr std::uint32_t kSequenceFinal = 0xffffffff;
+
+struct TxIn {
+  OutPoint prevout;
+  script::Script script_sig;
+  std::uint32_t sequence = kSequenceFinal;
+
+  friend bool operator==(const TxIn&, const TxIn&) = default;
+};
+
+struct TxOut {
+  Amount value = 0;
+  script::Script script_pubkey;
+
+  friend bool operator==(const TxOut&, const TxOut&) = default;
+};
+
+struct Transaction {
+  std::uint32_t version = 1;
+  std::vector<TxIn> vin;
+  std::vector<TxOut> vout;
+  /// Interpreted as a block height before which the tx cannot be mined.
+  std::uint32_t locktime = 0;
+
+  bool is_coinbase() const noexcept {
+    return vin.size() == 1 && vin[0].prevout.txid == Hash256{} &&
+           vin[0].prevout.index == kSequenceFinal;
+  }
+
+  util::Bytes serialize() const;
+  static std::optional<Transaction> deserialize(util::ByteView data);
+
+  /// Double SHA-256 of the serialization.
+  Hash256 txid() const;
+
+  Amount total_output() const;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+};
+
+/// Canonical coinbase prevout.
+OutPoint coinbase_prevout();
+
+/// The message that an input's ECDSA signature commits to (SIGHASH_ALL
+/// semantics): the transaction with every scriptSig blanked except the
+/// signed input's, which carries the scriptPubKey being spent, plus the
+/// input index.
+util::Bytes signature_hash_message(const Transaction& tx,
+                                   std::size_t input_index,
+                                   const script::Script& script_pubkey_spent);
+
+/// script::SignatureChecker bound to a (transaction, input) pair.
+class TxSignatureChecker : public script::SignatureChecker {
+ public:
+  TxSignatureChecker(const Transaction& tx, std::size_t input_index,
+                     const script::Script& script_pubkey_spent)
+      : tx_(tx), input_index_(input_index),
+        script_pubkey_spent_(script_pubkey_spent) {}
+
+  bool check_sig(util::ByteView sig, util::ByteView pubkey) const override;
+  std::int64_t tx_locktime() const override { return tx_.locktime; }
+  bool input_sequence_final() const override {
+    return tx_.vin[input_index_].sequence == kSequenceFinal;
+  }
+
+ private:
+  const Transaction& tx_;
+  std::size_t input_index_;
+  const script::Script& script_pubkey_spent_;
+};
+
+}  // namespace bcwan::chain

@@ -1,0 +1,38 @@
+#include "chain/utxo.hpp"
+
+namespace bcwan::chain {
+
+std::optional<Coin> UtxoSet::get(const OutPoint& op) const {
+  const auto it = coins_.find(op);
+  if (it == coins_.end()) return std::nullopt;
+  return it->second;
+}
+
+void UtxoSet::add(const OutPoint& op, Coin coin) {
+  coins_[op] = std::move(coin);
+}
+
+std::optional<Coin> UtxoSet::spend(const OutPoint& op) {
+  const auto it = coins_.find(op);
+  if (it == coins_.end()) return std::nullopt;
+  Coin coin = std::move(it->second);
+  coins_.erase(it);
+  return coin;
+}
+
+std::vector<std::pair<OutPoint, Coin>> UtxoSet::find_by_script(
+    const script::Script& script) const {
+  std::vector<std::pair<OutPoint, Coin>> out;
+  for (const auto& [op, coin] : coins_) {
+    if (coin.out.script_pubkey == script) out.emplace_back(op, coin);
+  }
+  return out;
+}
+
+Amount UtxoSet::total_value() const {
+  Amount total = 0;
+  for (const auto& [op, coin] : coins_) total += coin.out.value;
+  return total;
+}
+
+}  // namespace bcwan::chain

@@ -1,0 +1,50 @@
+// Unspent transaction output set.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/transaction.hpp"
+
+namespace bcwan::chain {
+
+struct Coin {
+  TxOut out;
+  int height = 0;       // block height that created it
+  bool coinbase = false;
+};
+
+/// Read-only view of spendable coins. UtxoSet is the concrete chainstate;
+/// the mempool layers unconfirmed outputs on top without copying.
+class CoinView {
+ public:
+  virtual ~CoinView() = default;
+  virtual std::optional<Coin> get(const OutPoint& op) const = 0;
+};
+
+class UtxoSet : public CoinView {
+ public:
+  bool contains(const OutPoint& op) const {
+    return coins_.find(op) != coins_.end();
+  }
+  std::optional<Coin> get(const OutPoint& op) const override;
+
+  void add(const OutPoint& op, Coin coin);
+  /// Removes and returns the coin; std::nullopt if absent.
+  std::optional<Coin> spend(const OutPoint& op);
+
+  std::size_t size() const noexcept { return coins_.size(); }
+
+  /// All coins whose scriptPubKey matches `script` — wallet rescans.
+  std::vector<std::pair<OutPoint, Coin>> find_by_script(
+      const script::Script& script) const;
+
+  /// Total value of all coins (supply-conservation checks in tests).
+  Amount total_value() const;
+
+ private:
+  std::unordered_map<OutPoint, Coin, OutPointHasher> coins_;
+};
+
+}  // namespace bcwan::chain

@@ -1,0 +1,264 @@
+#include "chain/validation.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "script/templates.hpp"
+
+namespace bcwan::chain {
+
+std::string tx_error_name(TxError err) {
+  switch (err) {
+    case TxError::kOk: return "ok";
+    case TxError::kNoInputs: return "no-inputs";
+    case TxError::kNoOutputs: return "no-outputs";
+    case TxError::kOversized: return "oversized";
+    case TxError::kNegativeOutput: return "negative-output";
+    case TxError::kOutputTooLarge: return "output-too-large";
+    case TxError::kDuplicateInput: return "duplicate-input";
+    case TxError::kBadCoinbase: return "bad-coinbase";
+    case TxError::kOpReturnTooLarge: return "op-return-too-large";
+    case TxError::kMissingInput: return "missing-input";
+    case TxError::kImmatureCoinbase: return "immature-coinbase";
+    case TxError::kInputValueOutOfRange: return "input-value-out-of-range";
+    case TxError::kFeeNegative: return "fee-negative";
+    case TxError::kLocktimeNotReached: return "locktime-not-reached";
+    case TxError::kScriptFailed: return "script-failed";
+  }
+  return "unknown";
+}
+
+std::string block_error_name(BlockError err) {
+  switch (err) {
+    case BlockError::kOk: return "ok";
+    case BlockError::kEmpty: return "empty";
+    case BlockError::kOversized: return "oversized";
+    case BlockError::kBadPow: return "bad-pow";
+    case BlockError::kBadMerkleRoot: return "bad-merkle-root";
+    case BlockError::kFirstTxNotCoinbase: return "first-tx-not-coinbase";
+    case BlockError::kMultipleCoinbases: return "multiple-coinbases";
+    case BlockError::kBadTransaction: return "bad-transaction";
+    case BlockError::kBadCoinbaseValue: return "bad-coinbase-value";
+    case BlockError::kDoubleSpendInBlock: return "double-spend-in-block";
+    case BlockError::kBadProposer: return "bad-proposer";
+    case BlockError::kMinerNotPermitted: return "miner-not-permitted";
+  }
+  return "unknown";
+}
+
+TxValidationResult check_transaction(const Transaction& tx,
+                                     const ChainParams& params) {
+  TxValidationResult result;
+  auto fail = [&result](TxError err) {
+    result.error = err;
+    return result;
+  };
+
+  if (tx.vin.empty()) return fail(TxError::kNoInputs);
+  if (tx.vout.empty()) return fail(TxError::kNoOutputs);
+  if (tx.serialize().size() > params.max_tx_size)
+    return fail(TxError::kOversized);
+
+  Amount total = 0;
+  for (const TxOut& out : tx.vout) {
+    if (out.value < 0) return fail(TxError::kNegativeOutput);
+    if (out.value > params.max_money) return fail(TxError::kOutputTooLarge);
+    total += out.value;
+    if (total > params.max_money) return fail(TxError::kOutputTooLarge);
+
+    const auto classified = script::classify(out.script_pubkey);
+    if (classified.type == script::ScriptType::kOpReturn &&
+        classified.data.size() > params.max_op_return_size) {
+      return fail(TxError::kOpReturnTooLarge);
+    }
+  }
+
+  std::unordered_set<OutPoint, OutPointHasher> seen;
+  for (const TxIn& in : tx.vin) {
+    if (!seen.insert(in.prevout).second)
+      return fail(TxError::kDuplicateInput);
+  }
+
+  if (tx.is_coinbase()) {
+    // Coinbase scriptSig is arbitrary but bounded.
+    if (tx.vin[0].script_sig.size() > 100) return fail(TxError::kBadCoinbase);
+  } else {
+    for (const TxIn& in : tx.vin) {
+      if (in.prevout.txid == Hash256{}) return fail(TxError::kBadCoinbase);
+    }
+  }
+  return result;
+}
+
+TxValidationResult check_tx_inputs(const Transaction& tx, const CoinView& utxo,
+                                   int height, const ChainParams& params) {
+  TxValidationResult result = check_transaction(tx, params);
+  if (!result.ok()) return result;
+  auto fail = [&result](TxError err) {
+    result.error = err;
+    return result;
+  };
+
+  if (tx.is_coinbase()) return fail(TxError::kBadCoinbase);
+
+  // Locktime: a tx with locktime L confirms only at height >= L, unless all
+  // inputs are final.
+  if (tx.locktime != 0 &&
+      static_cast<std::uint32_t>(height) < tx.locktime) {
+    const bool all_final = std::all_of(
+        tx.vin.begin(), tx.vin.end(),
+        [](const TxIn& in) { return in.sequence == kSequenceFinal; });
+    if (!all_final) return fail(TxError::kLocktimeNotReached);
+  }
+
+  Amount total_in = 0;
+  for (std::size_t i = 0; i < tx.vin.size(); ++i) {
+    const auto coin = utxo.get(tx.vin[i].prevout);
+    if (!coin) return fail(TxError::kMissingInput);
+    if (coin->coinbase &&
+        height - coin->height < params.coinbase_maturity) {
+      return fail(TxError::kImmatureCoinbase);
+    }
+    total_in += coin->out.value;
+    if (total_in > params.max_money)
+      return fail(TxError::kInputValueOutOfRange);
+  }
+  if (total_in < tx.total_output()) return fail(TxError::kFeeNegative);
+  result.fee = total_in - tx.total_output();
+
+  for (std::size_t i = 0; i < tx.vin.size(); ++i) {
+    const auto coin = utxo.get(tx.vin[i].prevout);
+    const TxSignatureChecker checker(tx, i, coin->out.script_pubkey);
+    const auto exec = script::verify_spend(tx.vin[i].script_sig,
+                                           coin->out.script_pubkey, checker);
+    if (!exec.ok()) {
+      result.script_error = exec.error;
+      return fail(TxError::kScriptFailed);
+    }
+  }
+  return result;
+}
+
+BlockValidationResult check_block(const Block& block,
+                                  const ChainParams& params) {
+  BlockValidationResult result;
+  auto fail = [&result](BlockError err) {
+    result.error = err;
+    return result;
+  };
+
+  if (block.txs.empty()) return fail(BlockError::kEmpty);
+  if (block.serialize().size() > params.max_block_size)
+    return fail(BlockError::kOversized);
+  // Under proof-of-stake the election is a signature check against the
+  // slot-leader schedule; that needs chain context (the height), so it
+  // lives in Blockchain::accept_block. Only PoW is context-free.
+  if (params.consensus == ConsensusMode::kProofOfWork &&
+      !hash_meets_target(block.hash(), params.pow_zero_bits)) {
+    return fail(BlockError::kBadPow);
+  }
+  if (block.header.merkle_root != compute_merkle_root(block.txs))
+    return fail(BlockError::kBadMerkleRoot);
+  if (!block.txs[0].is_coinbase())
+    return fail(BlockError::kFirstTxNotCoinbase);
+  for (std::size_t i = 1; i < block.txs.size(); ++i) {
+    if (block.txs[i].is_coinbase()) return fail(BlockError::kMultipleCoinbases);
+  }
+
+  // Permissioned mining (Multichain "grant mine"): every coinbase output
+  // with value must pay a permitted federation member.
+  if (!params.permitted_miners.empty()) {
+    for (const TxOut& out : block.txs[0].vout) {
+      if (out.value == 0) continue;
+      const auto classified = script::classify(out.script_pubkey);
+      if (classified.type != script::ScriptType::kP2pkh ||
+          !params.miner_permitted(util::ByteView(
+              classified.pubkey_hash.data(), classified.pubkey_hash.size()))) {
+        return fail(BlockError::kMinerNotPermitted);
+      }
+    }
+  }
+  return result;
+}
+
+BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
+                                    int height, const ChainParams& params,
+                                    BlockUndo& undo) {
+  BlockValidationResult result = check_block(block, params);
+  if (!result.ok()) return result;
+
+  undo = BlockUndo{};
+  Amount total_fees = 0;
+  bool failed = false;
+
+  auto rollback = [&]() {
+    // Restore spent coins and remove created ones, in reverse.
+    for (const OutPoint& op : undo.created) utxo.spend(op);
+    for (auto it = undo.spent.rbegin(); it != undo.spent.rend(); ++it)
+      utxo.add(it->first, it->second);
+    undo = BlockUndo{};
+  };
+
+  for (std::size_t i = 1; i < block.txs.size(); ++i) {
+    const Transaction& tx = block.txs[i];
+    const TxValidationResult tx_result =
+        check_tx_inputs(tx, utxo, height, params);
+    if (!tx_result.ok()) {
+      result.error = BlockError::kBadTransaction;
+      result.tx_failure = tx_result;
+      result.failed_tx_index = i;
+      failed = true;
+      break;
+    }
+    total_fees += tx_result.fee;
+
+    // Apply: spend inputs (this also enforces intra-block double spends —
+    // the second spend of the same outpoint fails check_tx_inputs above
+    // because the coin is already gone).
+    const Hash256 txid = tx.txid();
+    for (const TxIn& in : tx.vin) {
+      auto coin = utxo.spend(in.prevout);
+      undo.spent.emplace_back(in.prevout, *std::move(coin));
+    }
+    for (std::uint32_t v = 0; v < tx.vout.size(); ++v) {
+      // OP_RETURN outputs are provably unspendable; they never enter the
+      // UTXO set (directory announcements live only in block bodies).
+      if (script::classify(tx.vout[v].script_pubkey).type ==
+          script::ScriptType::kOpReturn) {
+        continue;
+      }
+      const OutPoint op{txid, v};
+      utxo.add(op, Coin{tx.vout[v], height, false});
+      undo.created.push_back(op);
+    }
+  }
+
+  if (!failed) {
+    const Transaction& coinbase = block.txs[0];
+    if (coinbase.total_output() > params.block_reward + total_fees) {
+      result.error = BlockError::kBadCoinbaseValue;
+      failed = true;
+    } else {
+      const Hash256 cb_txid = coinbase.txid();
+      for (std::uint32_t v = 0; v < coinbase.vout.size(); ++v) {
+        const OutPoint op{cb_txid, v};
+        utxo.add(op, Coin{coinbase.vout[v], height, true});
+        undo.created.push_back(op);
+      }
+    }
+  }
+
+  if (failed) {
+    rollback();
+    return result;
+  }
+  return result;
+}
+
+void disconnect_block(const BlockUndo& undo, UtxoSet& utxo) {
+  for (const OutPoint& op : undo.created) utxo.spend(op);
+  for (auto it = undo.spent.rbegin(); it != undo.spent.rend(); ++it)
+    utxo.add(it->first, it->second);
+}
+
+}  // namespace bcwan::chain

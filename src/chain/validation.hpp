@@ -1,0 +1,97 @@
+// Consensus validation: stateless transaction checks, contextual input
+// checks (UTXO existence, maturity, script execution, locktime) and block
+// connection with undo data.
+#pragma once
+
+#include <string>
+
+#include "chain/block.hpp"
+#include "chain/params.hpp"
+#include "chain/transaction.hpp"
+#include "chain/utxo.hpp"
+
+namespace bcwan::chain {
+
+enum class TxError {
+  kOk,
+  kNoInputs,
+  kNoOutputs,
+  kOversized,
+  kNegativeOutput,
+  kOutputTooLarge,
+  kDuplicateInput,
+  kBadCoinbase,
+  kOpReturnTooLarge,
+  kMissingInput,
+  kImmatureCoinbase,
+  kInputValueOutOfRange,
+  kFeeNegative,
+  kLocktimeNotReached,
+  kScriptFailed,
+};
+
+std::string tx_error_name(TxError err);
+
+struct TxValidationResult {
+  TxError error = TxError::kOk;
+  script::ScriptError script_error = script::ScriptError::kOk;
+  Amount fee = 0;
+
+  bool ok() const noexcept { return error == TxError::kOk; }
+};
+
+/// Context-free checks (shape, sizes, value ranges, duplicate inputs).
+TxValidationResult check_transaction(const Transaction& tx,
+                                     const ChainParams& params);
+
+/// Contextual checks against a coin view, assuming the transaction would
+/// confirm at `height`. Does NOT mutate the view. Coinbases are rejected
+/// here (they are only valid as the first transaction of a block).
+TxValidationResult check_tx_inputs(const Transaction& tx, const CoinView& utxo,
+                                   int height, const ChainParams& params);
+
+enum class BlockError {
+  kOk,
+  kEmpty,
+  kOversized,
+  kBadPow,
+  kBadMerkleRoot,
+  kFirstTxNotCoinbase,
+  kMultipleCoinbases,
+  kBadTransaction,
+  kBadCoinbaseValue,
+  kDoubleSpendInBlock,
+  kBadProposer,  // PoS: wrong slot leader or bad header signature
+  kMinerNotPermitted,  // permissioned chain: coinbase pays an outsider
+};
+
+std::string block_error_name(BlockError err);
+
+struct BlockValidationResult {
+  BlockError error = BlockError::kOk;
+  TxValidationResult tx_failure;   // set when error == kBadTransaction
+  std::size_t failed_tx_index = 0;
+
+  bool ok() const noexcept { return error == BlockError::kOk; }
+};
+
+/// Per-block undo record: what connect_block spent and created.
+struct BlockUndo {
+  std::vector<std::pair<OutPoint, Coin>> spent;
+  std::vector<OutPoint> created;
+};
+
+/// Structure-only checks (PoW, merkle root, coinbase placement, size).
+BlockValidationResult check_block(const Block& block,
+                                  const ChainParams& params);
+
+/// Full contextual validation; on success the UTXO set is updated and
+/// `undo` describes how to roll it back. On failure the set is untouched.
+BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
+                                    int height, const ChainParams& params,
+                                    BlockUndo& undo);
+
+/// Roll a connected block back out of the UTXO set.
+void disconnect_block(const BlockUndo& undo, UtxoSet& utxo);
+
+}  // namespace bcwan::chain

@@ -1,0 +1,205 @@
+#include "chain/wallet.hpp"
+
+#include <algorithm>
+
+#include "crypto/base58.hpp"
+
+namespace bcwan::chain {
+
+std::string encode_address(const script::PubKeyHash& pkh) {
+  return crypto::base58check_encode(kAddressVersion,
+                                    util::ByteView(pkh.data(), pkh.size()));
+}
+
+std::optional<script::PubKeyHash> decode_address(const std::string& address) {
+  const auto decoded = crypto::base58check_decode(address);
+  if (!decoded || decoded->version != kAddressVersion ||
+      decoded->payload.size() != 20) {
+    return std::nullopt;
+  }
+  script::PubKeyHash pkh;
+  std::copy(decoded->payload.begin(), decoded->payload.end(), pkh.begin());
+  return pkh;
+}
+
+Wallet::Wallet(crypto::EcKeyPair identity) : identity_(std::move(identity)) {
+  pubkey_ = crypto::ec_pubkey_encode(identity_.pub);
+  pkh_ = script::to_pubkey_hash(pubkey_);
+  address_ = encode_address(pkh_);
+  own_script_ = script::make_p2pkh(pkh_);
+}
+
+Wallet Wallet::from_seed(std::string_view name) {
+  return Wallet(crypto::ec_from_seed(util::str_bytes(name)));
+}
+
+std::vector<std::pair<OutPoint, Coin>> Wallet::spendable(
+    const Blockchain& chain, const Mempool* pool) const {
+  auto coins = chain.utxo().find_by_script(own_script_);
+  std::erase_if(coins, [&](const std::pair<OutPoint, Coin>& entry) {
+    const auto& [op, coin] = entry;
+    if (coin.coinbase &&
+        chain.height() + 1 - coin.height < chain.params().coinbase_maturity) {
+      return true;
+    }
+    return pool != nullptr && pool->spends(op);
+  });
+  // Own unconfirmed outputs (change waiting in the mempool) are spendable
+  // too — otherwise a wallet with one UTXO deadlocks on concurrent offers.
+  if (pool != nullptr) {
+    for (const Transaction& tx : pool->snapshot()) {
+      const Hash256 txid = tx.txid();
+      for (std::uint32_t v = 0; v < tx.vout.size(); ++v) {
+        if (!(tx.vout[v].script_pubkey == own_script_)) continue;
+        const OutPoint op{txid, v};
+        if (pool->spends(op)) continue;
+        coins.emplace_back(op, Coin{tx.vout[v], chain.height() + 1, false});
+      }
+    }
+  }
+  std::sort(coins.begin(), coins.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.out.value != b.second.out.value)
+                return a.second.out.value > b.second.out.value;
+              return a.first.index < b.first.index;
+            });
+  return coins;
+}
+
+Amount Wallet::balance(const Blockchain& chain, const Mempool* pool) const {
+  Amount total = 0;
+  for (const auto& [op, coin] : spendable(chain, pool))
+    total += coin.out.value;
+  return total;
+}
+
+std::optional<Wallet::Funding> Wallet::select_coins(const Blockchain& chain,
+                                                    const Mempool* pool,
+                                                    Amount target) const {
+  Funding funding;
+  for (auto& entry : spendable(chain, pool)) {
+    funding.total += entry.second.out.value;
+    funding.inputs.push_back(std::move(entry));
+    if (funding.total >= target) return funding;
+  }
+  return std::nullopt;
+}
+
+Transaction Wallet::build_and_sign(const Funding& funding,
+                                   std::vector<TxOut> outputs,
+                                   Amount change) const {
+  Transaction tx;
+  for (const auto& [op, coin] : funding.inputs) {
+    TxIn in;
+    in.prevout = op;
+    tx.vin.push_back(std::move(in));
+  }
+  tx.vout = std::move(outputs);
+  if (change > 0) {
+    TxOut back;
+    back.value = change;
+    back.script_pubkey = own_script_;
+    tx.vout.push_back(std::move(back));
+  }
+  for (std::size_t i = 0; i < tx.vin.size(); ++i) {
+    sign_p2pkh_input(tx, i, funding.inputs[i].second.out.script_pubkey);
+  }
+  return tx;
+}
+
+void Wallet::sign_p2pkh_input(Transaction& tx, std::size_t index,
+                              const script::Script& spent_script) const {
+  const util::Bytes message =
+      signature_hash_message(tx, index, spent_script);
+  const crypto::EcdsaSignature sig =
+      crypto::ecdsa_sign(identity_.priv, message);
+  tx.vin[index].script_sig =
+      script::make_p2pkh_scriptsig(sig.serialize(), pubkey_);
+}
+
+std::optional<Transaction> Wallet::create_payment(
+    const Blockchain& chain, const Mempool* pool,
+    const script::PubKeyHash& dest, Amount amount, Amount fee) const {
+  const auto funding = select_coins(chain, pool, amount + fee);
+  if (!funding) return std::nullopt;
+  TxOut out;
+  out.value = amount;
+  out.script_pubkey = script::make_p2pkh(dest);
+  return build_and_sign(*funding, {std::move(out)},
+                        funding->total - amount - fee);
+}
+
+std::optional<Transaction> Wallet::create_announcement(const Blockchain& chain,
+                                                       const Mempool* pool,
+                                                       util::ByteView data,
+                                                       Amount fee) const {
+  const auto funding = select_coins(chain, pool, fee);
+  if (!funding) return std::nullopt;
+  TxOut out;
+  out.value = 0;
+  out.script_pubkey = script::make_op_return(data);
+  return build_and_sign(*funding, {std::move(out)}, funding->total - fee);
+}
+
+std::optional<Transaction> Wallet::create_key_release_offer(
+    const Blockchain& chain, const Mempool* pool,
+    const crypto::RsaPublicKey& ephemeral_pub,
+    const script::PubKeyHash& gateway, Amount amount, Amount fee,
+    std::int64_t timeout_height) const {
+  const auto funding = select_coins(chain, pool, amount + fee);
+  if (!funding) return std::nullopt;
+  TxOut out;
+  out.value = amount;
+  out.script_pubkey =
+      script::make_key_release(ephemeral_pub, gateway, pkh_, timeout_height);
+  return build_and_sign(*funding, {std::move(out)},
+                        funding->total - amount - fee);
+}
+
+Transaction Wallet::create_redeem(const OutPoint& offer_outpoint,
+                                  const TxOut& offer_out,
+                                  const crypto::RsaPrivateKey& ephemeral_priv,
+                                  Amount fee) const {
+  Transaction tx;
+  TxIn in;
+  in.prevout = offer_outpoint;
+  tx.vin.push_back(std::move(in));
+  TxOut out;
+  out.value = offer_out.value - fee;
+  out.script_pubkey = own_script_;
+  tx.vout.push_back(std::move(out));
+
+  const util::Bytes message =
+      signature_hash_message(tx, 0, offer_out.script_pubkey);
+  const crypto::EcdsaSignature sig =
+      crypto::ecdsa_sign(identity_.priv, message);
+  tx.vin[0].script_sig = script::make_key_release_redeem(
+      sig.serialize(), pubkey_, ephemeral_priv);
+  return tx;
+}
+
+Transaction Wallet::create_reclaim(const OutPoint& offer_outpoint,
+                                   const TxOut& offer_out,
+                                   std::int64_t timeout_height,
+                                   Amount fee) const {
+  Transaction tx;
+  tx.locktime = static_cast<std::uint32_t>(timeout_height);
+  TxIn in;
+  in.prevout = offer_outpoint;
+  in.sequence = kSequenceFinal - 1;  // enable locktime semantics
+  tx.vin.push_back(std::move(in));
+  TxOut out;
+  out.value = offer_out.value - fee;
+  out.script_pubkey = own_script_;
+  tx.vout.push_back(std::move(out));
+
+  const util::Bytes message =
+      signature_hash_message(tx, 0, offer_out.script_pubkey);
+  const crypto::EcdsaSignature sig =
+      crypto::ecdsa_sign(identity_.priv, message);
+  tx.vin[0].script_sig =
+      script::make_key_release_reclaim(sig.serialize(), pubkey_);
+  return tx;
+}
+
+}  // namespace bcwan::chain

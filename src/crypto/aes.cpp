@@ -1,0 +1,238 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+
+namespace bcwan::crypto {
+
+namespace {
+
+// GF(2^8) multiply with the AES reduction polynomial x^8+x^4+x^3+x+1.
+constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+// The S-box is generated rather than transcribed: multiplicative inverse in
+// GF(2^8) followed by the affine transform. This removes any chance of a
+// typo in a 256-entry table; FIPS-197 vectors in the test suite confirm it.
+struct Tables {
+  std::uint8_t sbox[256];
+  std::uint8_t inv_sbox[256];
+
+  constexpr Tables() : sbox{}, inv_sbox{} {
+    // Build inverses by brute force (constexpr, done once at compile time).
+    std::uint8_t inv[256] = {};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (gmul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) ==
+            1) {
+          inv[a] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    for (int i = 0; i < 256; ++i) {
+      const std::uint8_t x = inv[i];
+      const auto rotl8 = [](std::uint8_t v, int s) {
+        return static_cast<std::uint8_t>((v << s) | (v >> (8 - s)));
+      };
+      const std::uint8_t s = static_cast<std::uint8_t>(
+          x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63);
+      sbox[i] = s;
+      inv_sbox[s] = static_cast<std::uint8_t>(i);
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+constexpr std::uint8_t kRcon[15] = {0x00, 0x01, 0x02, 0x04, 0x08,
+                                    0x10, 0x20, 0x40, 0x80, 0x1b,
+                                    0x36, 0x6c, 0xd8, 0xab, 0x4d};
+
+std::uint32_t sub_word(std::uint32_t w) noexcept {
+  return static_cast<std::uint32_t>(kTables.sbox[w >> 24]) << 24 |
+         static_cast<std::uint32_t>(kTables.sbox[(w >> 16) & 0xff]) << 16 |
+         static_cast<std::uint32_t>(kTables.sbox[(w >> 8) & 0xff]) << 8 |
+         static_cast<std::uint32_t>(kTables.sbox[w & 0xff]);
+}
+
+std::uint32_t rot_word(std::uint32_t w) noexcept {
+  return (w << 8) | (w >> 24);
+}
+
+void add_round_key(std::uint8_t state[16], const std::uint32_t* rk) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    state[4 * c] ^= static_cast<std::uint8_t>(rk[c] >> 24);
+    state[4 * c + 1] ^= static_cast<std::uint8_t>(rk[c] >> 16);
+    state[4 * c + 2] ^= static_cast<std::uint8_t>(rk[c] >> 8);
+    state[4 * c + 3] ^= static_cast<std::uint8_t>(rk[c]);
+  }
+}
+
+void sub_bytes(std::uint8_t state[16]) noexcept {
+  for (int i = 0; i < 16; ++i) state[i] = kTables.sbox[state[i]];
+}
+
+void inv_sub_bytes(std::uint8_t state[16]) noexcept {
+  for (int i = 0; i < 16; ++i) state[i] = kTables.inv_sbox[state[i]];
+}
+
+// State layout: state[4*c + r] = byte at row r, column c (FIPS-197 order of
+// the input stream).
+void shift_rows(std::uint8_t state[16]) noexcept {
+  std::uint8_t tmp[16];
+  for (int c = 0; c < 4; ++c)
+    for (int r = 0; r < 4; ++r) tmp[4 * c + r] = state[4 * ((c + r) % 4) + r];
+  std::memcpy(state, tmp, 16);
+}
+
+void inv_shift_rows(std::uint8_t state[16]) noexcept {
+  std::uint8_t tmp[16];
+  for (int c = 0; c < 4; ++c)
+    for (int r = 0; r < 4; ++r) tmp[4 * ((c + r) % 4) + r] = state[4 * c + r];
+  std::memcpy(state, tmp, 16);
+}
+
+void mix_columns(std::uint8_t state[16]) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = state + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+    col[3] = static_cast<std::uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+  }
+}
+
+void inv_mix_columns(std::uint8_t state[16]) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = state + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                       gmul(a2, 13) ^ gmul(a3, 9));
+    col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                       gmul(a2, 11) ^ gmul(a3, 13));
+    col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                       gmul(a2, 14) ^ gmul(a3, 11));
+    col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                       gmul(a2, 9) ^ gmul(a3, 14));
+  }
+}
+
+}  // namespace
+
+Aes256::Aes256(const AesKey256& key) noexcept {
+  constexpr int nk = 8;   // 256-bit key = 8 words
+  constexpr int nr = 14;  // rounds
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[i] = static_cast<std::uint32_t>(key[4 * i]) << 24 |
+                     static_cast<std::uint32_t>(key[4 * i + 1]) << 16 |
+                     static_cast<std::uint32_t>(key[4 * i + 2]) << 8 |
+                     static_cast<std::uint32_t>(key[4 * i + 3]);
+  }
+  for (int i = nk; i < 4 * (nr + 1); ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^
+             (static_cast<std::uint32_t>(kRcon[i / nk]) << 24);
+    } else if (i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+}
+
+AesBlock Aes256::encrypt_block(const AesBlock& in) const noexcept {
+  constexpr int nr = 14;
+  std::uint8_t state[16];
+  std::memcpy(state, in.data(), 16);
+  add_round_key(state, round_keys_.data());
+  for (int round = 1; round < nr; ++round) {
+    sub_bytes(state);
+    shift_rows(state);
+    mix_columns(state);
+    add_round_key(state, round_keys_.data() + 4 * round);
+  }
+  sub_bytes(state);
+  shift_rows(state);
+  add_round_key(state, round_keys_.data() + 4 * nr);
+  AesBlock out;
+  std::memcpy(out.data(), state, 16);
+  return out;
+}
+
+AesBlock Aes256::decrypt_block(const AesBlock& in) const noexcept {
+  constexpr int nr = 14;
+  std::uint8_t state[16];
+  std::memcpy(state, in.data(), 16);
+  add_round_key(state, round_keys_.data() + 4 * nr);
+  for (int round = nr - 1; round > 0; --round) {
+    inv_shift_rows(state);
+    inv_sub_bytes(state);
+    add_round_key(state, round_keys_.data() + 4 * round);
+    inv_mix_columns(state);
+  }
+  inv_shift_rows(state);
+  inv_sub_bytes(state);
+  add_round_key(state, round_keys_.data());
+  AesBlock out;
+  std::memcpy(out.data(), state, 16);
+  return out;
+}
+
+util::Bytes aes256_cbc_encrypt(const AesKey256& key, const AesBlock& iv,
+                               util::ByteView plaintext) {
+  const Aes256 cipher(key);
+  const std::size_t pad =
+      kAesBlockSize - plaintext.size() % kAesBlockSize;  // 1..16
+  util::Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  util::Bytes out;
+  out.reserve(padded.size());
+  AesBlock prev = iv;
+  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
+    AesBlock block;
+    for (std::size_t i = 0; i < kAesBlockSize; ++i)
+      block[i] = padded[off + i] ^ prev[i];
+    prev = cipher.encrypt_block(block);
+    out.insert(out.end(), prev.begin(), prev.end());
+  }
+  return out;
+}
+
+std::optional<util::Bytes> aes256_cbc_decrypt(const AesKey256& key,
+                                              const AesBlock& iv,
+                                              util::ByteView ciphertext) {
+  if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0)
+    return std::nullopt;
+  const Aes256 cipher(key);
+  util::Bytes out;
+  out.reserve(ciphertext.size());
+  AesBlock prev = iv;
+  for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {
+    AesBlock block;
+    std::memcpy(block.data(), ciphertext.data() + off, kAesBlockSize);
+    const AesBlock plain = cipher.decrypt_block(block);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i)
+      out.push_back(plain[i] ^ prev[i]);
+    prev = block;
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > kAesBlockSize || pad > out.size()) return std::nullopt;
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) return std::nullopt;
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+}  // namespace bcwan::crypto

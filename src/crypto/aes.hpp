@@ -1,0 +1,47 @@
+// AES-256 block cipher with CBC mode and PKCS#7 padding (FIPS 197 /
+// RFC 2451), implemented from the spec.
+//
+// This is the node→recipient symmetric layer of BcWAN (§5.1): the sensor
+// reading is AES-256-CBC encrypted under the provisioned shared key K; the
+// 16-byte IV travels with the ciphertext in the Fig. 4 message blob.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace bcwan::crypto {
+
+constexpr std::size_t kAesBlockSize = 16;
+constexpr std::size_t kAes256KeySize = 32;
+
+using AesKey256 = std::array<std::uint8_t, kAes256KeySize>;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// AES-256 core (14 rounds). Encrypts/decrypts single 16-byte blocks.
+class Aes256 {
+ public:
+  explicit Aes256(const AesKey256& key) noexcept;
+
+  AesBlock encrypt_block(const AesBlock& in) const noexcept;
+  AesBlock decrypt_block(const AesBlock& in) const noexcept;
+
+ private:
+  // 15 round keys of 16 bytes each.
+  std::array<std::uint32_t, 60> round_keys_;
+};
+
+/// CBC encrypt with PKCS#7 padding. Output length is a multiple of 16 and
+/// always at least 16 (a full padding block is added to aligned inputs).
+util::Bytes aes256_cbc_encrypt(const AesKey256& key, const AesBlock& iv,
+                               util::ByteView plaintext);
+
+/// CBC decrypt + PKCS#7 unpad. Returns std::nullopt on malformed input
+/// (empty, unaligned, or bad padding).
+std::optional<util::Bytes> aes256_cbc_decrypt(const AesKey256& key,
+                                              const AesBlock& iv,
+                                              util::ByteView ciphertext);
+
+}  // namespace bcwan::crypto

@@ -1,0 +1,103 @@
+#include "crypto/base58.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "crypto/sha256.hpp"
+
+namespace bcwan::crypto {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+std::array<std::int8_t, 128> build_reverse() {
+  std::array<std::int8_t, 128> rev;
+  rev.fill(-1);
+  for (int i = 0; i < 58; ++i)
+    rev[static_cast<std::size_t>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return rev;
+}
+
+const std::array<std::int8_t, 128> kReverse = build_reverse();
+
+}  // namespace
+
+std::string base58_encode(util::ByteView data) {
+  // Count leading zero bytes (each encodes as '1').
+  std::size_t zeros = 0;
+  while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+  // Base conversion on a mutable copy, digit by digit.
+  std::vector<std::uint8_t> digits;  // base58, little-endian
+  util::Bytes num(data.begin() + static_cast<std::ptrdiff_t>(zeros),
+                  data.end());
+  while (!num.empty()) {
+    std::uint32_t rem = 0;
+    util::Bytes quotient;
+    quotient.reserve(num.size());
+    for (std::uint8_t byte : num) {
+      const std::uint32_t acc = (rem << 8) | byte;
+      const std::uint8_t q = static_cast<std::uint8_t>(acc / 58);
+      rem = acc % 58;
+      if (!quotient.empty() || q != 0) quotient.push_back(q);
+    }
+    digits.push_back(static_cast<std::uint8_t>(rem));
+    num = std::move(quotient);
+  }
+
+  std::string out(zeros, '1');
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it)
+    out.push_back(kAlphabet[*it]);
+  return out;
+}
+
+std::optional<util::Bytes> base58_decode(std::string_view text) {
+  std::size_t zeros = 0;
+  while (zeros < text.size() && text[zeros] == '1') ++zeros;
+
+  util::Bytes num;  // base256, big-endian
+  for (std::size_t i = zeros; i < text.size(); ++i) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (c >= 128 || kReverse[c] < 0) return std::nullopt;
+    // num = num * 58 + digit
+    std::uint32_t carry = static_cast<std::uint32_t>(kReverse[c]);
+    for (std::size_t j = num.size(); j-- > 0;) {
+      const std::uint32_t acc = static_cast<std::uint32_t>(num[j]) * 58 + carry;
+      num[j] = static_cast<std::uint8_t>(acc);
+      carry = acc >> 8;
+    }
+    while (carry != 0) {
+      num.insert(num.begin(), static_cast<std::uint8_t>(carry));
+      carry >>= 8;
+    }
+  }
+
+  util::Bytes out(zeros, 0);
+  out.insert(out.end(), num.begin(), num.end());
+  return out;
+}
+
+std::string base58check_encode(std::uint8_t version, util::ByteView payload) {
+  util::Bytes data;
+  data.reserve(payload.size() + 5);
+  data.push_back(version);
+  data.insert(data.end(), payload.begin(), payload.end());
+  const Digest256 check = sha256d(data);
+  data.insert(data.end(), check.begin(), check.begin() + 4);
+  return base58_encode(data);
+}
+
+std::optional<Base58CheckDecoded> base58check_decode(std::string_view text) {
+  const auto raw = base58_decode(text);
+  if (!raw || raw->size() < 5) return std::nullopt;
+  const util::ByteView body(raw->data(), raw->size() - 4);
+  const Digest256 check = sha256d(body);
+  if (!std::equal(check.begin(), check.begin() + 4, raw->end() - 4))
+    return std::nullopt;
+  return Base58CheckDecoded{
+      (*raw)[0], util::Bytes(raw->begin() + 1, raw->end() - 4)};
+}
+
+}  // namespace bcwan::crypto

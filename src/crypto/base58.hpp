@@ -1,0 +1,28 @@
+// Base58 and Base58Check (Bitcoin address encoding).
+//
+// Blockchain addresses (@R in the paper — the identifier a node sends so the
+// gateway can look the recipient up in the chain) are Base58Check-encoded
+// HASH160s of ECDSA public keys, exactly as in Bitcoin/Multichain.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace bcwan::crypto {
+
+std::string base58_encode(util::ByteView data);
+std::optional<util::Bytes> base58_decode(std::string_view text);
+
+/// version byte || payload || first 4 bytes of SHA-256d checksum, base58'd.
+std::string base58check_encode(std::uint8_t version, util::ByteView payload);
+
+struct Base58CheckDecoded {
+  std::uint8_t version;
+  util::Bytes payload;
+};
+/// Returns std::nullopt on bad characters or checksum mismatch.
+std::optional<Base58CheckDecoded> base58check_decode(std::string_view text);
+
+}  // namespace bcwan::crypto

@@ -1,0 +1,249 @@
+#include "crypto/ecdsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "util/serial.hpp"
+
+namespace bcwan::crypto {
+
+using bignum::BigUint;
+
+namespace {
+
+const BigUint& field_p() {
+  static const BigUint p = BigUint::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  return p;
+}
+
+const BigUint& order_n() {
+  static const BigUint n = BigUint::from_hex(
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  return n;
+}
+
+const EcPoint& gen_g() {
+  static const EcPoint g{
+      BigUint::from_hex(
+          "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
+      BigUint::from_hex(
+          "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"),
+      false};
+  return g;
+}
+
+// Jacobian projective point: (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+struct Jacobian {
+  BigUint x, y, z;
+  bool infinity = true;
+};
+
+Jacobian to_jacobian(const EcPoint& p) {
+  if (p.infinity) return {};
+  return {p.x, p.y, BigUint(1), false};
+}
+
+EcPoint from_jacobian(const Jacobian& j) {
+  if (j.infinity) return {BigUint{}, BigUint{}, true};
+  const BigUint& p = field_p();
+  const auto z_inv = BigUint::mod_inv(j.z, p);
+  if (!z_inv) throw std::logic_error("secp256k1: non-invertible Z");
+  const BigUint z2 = (*z_inv * *z_inv) % p;
+  const BigUint z3 = (z2 * *z_inv) % p;
+  return {(j.x * z2) % p, (j.y * z3) % p, false};
+}
+
+Jacobian jac_double(const Jacobian& a) {
+  if (a.infinity) return a;
+  const BigUint& p = field_p();
+  if (a.y.is_zero()) return {};
+  // Standard dbl-2007-b style formulas for a = 0 curves.
+  const BigUint y2 = (a.y * a.y) % p;
+  const BigUint s = (BigUint(4) * a.x % p) * y2 % p;
+  const BigUint m = (BigUint(3) * a.x % p) * a.x % p;
+  const BigUint x3 = BigUint::mod_sub((m * m) % p,
+                                      BigUint::mod_add(s, s, p), p);
+  const BigUint y4 = (y2 * y2) % p;
+  const BigUint y3 = BigUint::mod_sub(
+      (m * BigUint::mod_sub(s, x3, p)) % p, (BigUint(8) * y4) % p, p);
+  const BigUint z3 = (BigUint(2) * a.y % p) * a.z % p;
+  return {x3, y3, z3, false};
+}
+
+Jacobian jac_add(const Jacobian& a, const Jacobian& b) {
+  if (a.infinity) return b;
+  if (b.infinity) return a;
+  const BigUint& p = field_p();
+  const BigUint z1z1 = (a.z * a.z) % p;
+  const BigUint z2z2 = (b.z * b.z) % p;
+  const BigUint u1 = (a.x * z2z2) % p;
+  const BigUint u2 = (b.x * z1z1) % p;
+  const BigUint s1 = (a.y * z2z2 % p) * b.z % p;
+  const BigUint s2 = (b.y * z1z1 % p) * a.z % p;
+  if (u1 == u2) {
+    if (!(s1 == s2)) return {};  // P + (-P) = infinity
+    return jac_double(a);
+  }
+  const BigUint h = BigUint::mod_sub(u2, u1, p);
+  const BigUint r = BigUint::mod_sub(s2, s1, p);
+  const BigUint h2 = (h * h) % p;
+  const BigUint h3 = (h2 * h) % p;
+  const BigUint u1h2 = (u1 * h2) % p;
+  BigUint x3 = BigUint::mod_sub((r * r) % p, h3, p);
+  x3 = BigUint::mod_sub(x3, BigUint::mod_add(u1h2, u1h2, p), p);
+  const BigUint y3 = BigUint::mod_sub(
+      (r * BigUint::mod_sub(u1h2, x3, p)) % p, (s1 * h3) % p, p);
+  const BigUint z3 = ((h * a.z) % p) * b.z % p;
+  return {x3, y3, z3, false};
+}
+
+Jacobian jac_mul(const BigUint& k, const Jacobian& point) {
+  Jacobian result;  // infinity
+  Jacobian base = point;
+  const std::size_t bits = k.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (k.bit(i)) result = jac_add(result, base);
+    base = jac_double(base);
+  }
+  return result;
+}
+
+BigUint hash_to_scalar(util::ByteView message) {
+  const Digest256 h = sha256d(message);
+  return BigUint::from_bytes_be(util::ByteView(h.data(), h.size())) %
+         order_n();
+}
+
+// Deterministic nonce: HMAC chain over (priv || digest || counter), reduced
+// mod n. Simplified from RFC 6979 but preserves its key property — the nonce
+// is a pseudorandom function of (key, message) and never repeats across
+// distinct messages.
+BigUint deterministic_nonce(const BigUint& priv, const Digest256& digest,
+                            std::uint32_t counter) {
+  util::Writer w;
+  w.var_bytes(priv.to_bytes_be(32));
+  w.bytes(util::ByteView(digest.data(), digest.size()));
+  w.u32(counter);
+  const Digest256 mac =
+      hmac_sha256(util::str_bytes("bcwan/ecdsa-nonce"), w.data());
+  const BigUint k =
+      BigUint::from_bytes_be(util::ByteView(mac.data(), mac.size())) %
+      order_n();
+  return k;
+}
+
+}  // namespace
+
+const BigUint& Secp256k1::p() { return field_p(); }
+const BigUint& Secp256k1::n() { return order_n(); }
+const EcPoint& Secp256k1::g() { return gen_g(); }
+
+EcPoint Secp256k1::add(const EcPoint& a, const EcPoint& b) {
+  return from_jacobian(jac_add(to_jacobian(a), to_jacobian(b)));
+}
+
+EcPoint Secp256k1::mul(const BigUint& k, const EcPoint& point) {
+  return from_jacobian(jac_mul(k % order_n(), to_jacobian(point)));
+}
+
+bool Secp256k1::on_curve(const EcPoint& point) {
+  if (point.infinity) return true;
+  const BigUint& p = field_p();
+  const BigUint lhs = (point.y * point.y) % p;
+  const BigUint rhs = ((point.x * point.x % p) * point.x + BigUint(7)) % p;
+  return lhs == rhs;
+}
+
+util::Bytes EcdsaSignature::serialize() const {
+  return util::concat({r.to_bytes_be(32), s.to_bytes_be(32)});
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::deserialize(util::ByteView data) {
+  if (data.size() != 64) return std::nullopt;
+  EcdsaSignature sig;
+  sig.r = BigUint::from_bytes_be(data.subspan(0, 32));
+  sig.s = BigUint::from_bytes_be(data.subspan(32, 32));
+  if (sig.r.is_zero() || sig.s.is_zero()) return std::nullopt;
+  if (sig.r >= order_n() || sig.s >= order_n()) return std::nullopt;
+  return sig;
+}
+
+EcKeyPair ec_generate(util::Rng& rng) {
+  const BigUint one(1);
+  const BigUint span = order_n() - one;
+  const BigUint priv = BigUint::random_below(rng, span) + one;
+  return {priv, Secp256k1::mul(priv, gen_g())};
+}
+
+EcKeyPair ec_from_seed(util::ByteView seed) {
+  const Digest256 h = hmac_sha256(util::str_bytes("bcwan/ec-identity"), seed);
+  BigUint priv = BigUint::from_bytes_be(util::ByteView(h.data(), h.size())) %
+                 (order_n() - BigUint(1));
+  priv = priv + BigUint(1);
+  return {priv, Secp256k1::mul(priv, gen_g())};
+}
+
+util::Bytes ec_pubkey_encode(const EcPoint& pub) {
+  if (pub.infinity) throw std::invalid_argument("ec_pubkey_encode: infinity");
+  util::Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  const util::Bytes x = pub.x.to_bytes_be(32);
+  const util::Bytes y = pub.y.to_bytes_be(32);
+  out.insert(out.end(), x.begin(), x.end());
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+std::optional<EcPoint> ec_pubkey_decode(util::ByteView data) {
+  if (data.size() != 65 || data[0] != 0x04) return std::nullopt;
+  EcPoint p{BigUint::from_bytes_be(data.subspan(1, 32)),
+            BigUint::from_bytes_be(data.subspan(33, 32)), false};
+  if (!Secp256k1::on_curve(p)) return std::nullopt;
+  return p;
+}
+
+EcdsaSignature ecdsa_sign(const BigUint& priv, util::ByteView message) {
+  const BigUint& n = order_n();
+  const Digest256 digest = sha256d(message);
+  const BigUint z =
+      BigUint::from_bytes_be(util::ByteView(digest.data(), digest.size())) % n;
+
+  for (std::uint32_t counter = 0;; ++counter) {
+    const BigUint k = deterministic_nonce(priv, digest, counter);
+    if (k.is_zero()) continue;
+    const EcPoint rp = Secp256k1::mul(k, gen_g());
+    if (rp.infinity) continue;
+    const BigUint r = rp.x % n;
+    if (r.is_zero()) continue;
+    const auto k_inv = BigUint::mod_inv(k, n);
+    if (!k_inv) continue;
+    BigUint s = (*k_inv * ((z + (r * priv) % n) % n)) % n;
+    if (s.is_zero()) continue;
+    // Low-s normalization (BIP-62) for canonical signatures.
+    if (s > n >> 1) s = n - s;
+    return {r, s};
+  }
+}
+
+bool ecdsa_verify(const EcPoint& pub, util::ByteView message,
+                  const EcdsaSignature& sig) {
+  const BigUint& n = order_n();
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (sig.r >= n || sig.s >= n) return false;
+  if (pub.infinity || !Secp256k1::on_curve(pub)) return false;
+
+  const BigUint z = hash_to_scalar(message);
+  const auto s_inv = BigUint::mod_inv(sig.s, n);
+  if (!s_inv) return false;
+  const BigUint u1 = (z * *s_inv) % n;
+  const BigUint u2 = (sig.r * *s_inv) % n;
+  const Jacobian sum = jac_add(jac_mul(u1, to_jacobian(gen_g())),
+                               jac_mul(u2, to_jacobian(pub)));
+  if (sum.infinity) return false;
+  const EcPoint affine = from_jacobian(sum);
+  return affine.x % n == sig.r;
+}
+
+}  // namespace bcwan::crypto

@@ -1,0 +1,81 @@
+// ECDSA over secp256k1, implemented from scratch on bignum::BigUint.
+//
+// This is the signature scheme behind every blockchain transaction in the
+// system (P2PKH outputs, OP_CHECKSIG) — the paper's chain is a Multichain /
+// Bitcoin-0.10 fork, which uses exactly this curve. Point arithmetic uses
+// Jacobian projective coordinates so a scalar multiplication needs a single
+// field inversion.
+//
+// Nonces are deterministic (HMAC-SHA256 chain over the private key and the
+// message digest, in the spirit of RFC 6979) so signing never consumes
+// ambient randomness and simulation runs replay exactly.
+#pragma once
+
+#include <optional>
+
+#include "bignum/biguint.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::crypto {
+
+/// Affine curve point; infinity is represented by std::nullopt at the API
+/// boundary where relevant.
+struct EcPoint {
+  bignum::BigUint x;
+  bignum::BigUint y;
+  bool infinity = false;
+
+  friend bool operator==(const EcPoint& a, const EcPoint& b) {
+    if (a.infinity || b.infinity) return a.infinity == b.infinity;
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// secp256k1 group operations and parameters.
+class Secp256k1 {
+ public:
+  static const bignum::BigUint& p();  // field prime
+  static const bignum::BigUint& n();  // group order
+  static const EcPoint& g();          // generator
+
+  static EcPoint add(const EcPoint& a, const EcPoint& b);
+  static EcPoint mul(const bignum::BigUint& k, const EcPoint& point);
+  static bool on_curve(const EcPoint& point);
+};
+
+struct EcdsaSignature {
+  bignum::BigUint r;
+  bignum::BigUint s;
+
+  /// Fixed 64-byte encoding: r (32 BE) || s (32 BE).
+  util::Bytes serialize() const;
+  static std::optional<EcdsaSignature> deserialize(util::ByteView data);
+
+  friend bool operator==(const EcdsaSignature&, const EcdsaSignature&) = default;
+};
+
+struct EcKeyPair {
+  bignum::BigUint priv;  // scalar in [1, n-1]
+  EcPoint pub;           // priv * G
+};
+
+/// Random key pair from the given generator.
+EcKeyPair ec_generate(util::Rng& rng);
+
+/// Key pair deterministically derived from a seed (used to give simulated
+/// actors stable identities).
+EcKeyPair ec_from_seed(util::ByteView seed);
+
+/// Uncompressed SEC1 encoding: 0x04 || X (32) || Y (32).
+util::Bytes ec_pubkey_encode(const EcPoint& pub);
+std::optional<EcPoint> ec_pubkey_decode(util::ByteView data);
+
+/// Sign SHA-256d(message) — Bitcoin's signature-hash convention.
+EcdsaSignature ecdsa_sign(const bignum::BigUint& priv, util::ByteView message);
+
+bool ecdsa_verify(const EcPoint& pub, util::ByteView message,
+                  const EcdsaSignature& sig);
+
+}  // namespace bcwan::crypto

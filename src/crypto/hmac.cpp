@@ -1,0 +1,33 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace bcwan::crypto {
+
+Digest256 hmac_sha256(util::ByteView key, util::ByteView message) noexcept {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Digest256 hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  const Digest256 inner = Sha256()
+                              .update(util::ByteView(ipad.data(), ipad.size()))
+                              .update(message)
+                              .finalize();
+  return Sha256()
+      .update(util::ByteView(opad.data(), opad.size()))
+      .update(util::ByteView(inner.data(), inner.size()))
+      .finalize();
+}
+
+}  // namespace bcwan::crypto

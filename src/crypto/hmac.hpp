@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104), used for key derivation in node provisioning and
+// for the deterministic ECDSA nonce construction.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace bcwan::crypto {
+
+Digest256 hmac_sha256(util::ByteView key, util::ByteView message) noexcept;
+
+}  // namespace bcwan::crypto

@@ -1,0 +1,148 @@
+#include "crypto/ripemd160.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace bcwan::crypto {
+
+namespace {
+
+// Message word selection, left and right lines (5 rounds x 16 steps).
+constexpr std::uint8_t kRL[80] = {
+    0, 1, 2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,  //
+    7, 4, 13, 1,  10, 6,  15, 3,  12, 0,  9,  5,  2,  14, 11, 8,   //
+    3, 10, 14, 4, 9,  15, 8,  1,  2,  7,  0,  6,  13, 11, 5,  12,  //
+    1, 9, 11, 10, 0,  8,  12, 4,  13, 3,  7,  15, 14, 5,  6,  2,   //
+    4, 0, 5,  9,  7,  12, 2,  10, 14, 1,  3,  8,  11, 6,  15, 13};
+
+constexpr std::uint8_t kRR[80] = {
+    5,  14, 7,  0, 9, 2,  11, 4,  13, 6,  15, 8,  1,  10, 3,  12,  //
+    6,  11, 3,  7, 0, 13, 5,  10, 14, 15, 8,  12, 4,  9,  1,  2,   //
+    15, 5,  1,  3, 7, 14, 6,  9,  11, 8,  12, 2,  10, 0,  4,  13,  //
+    8,  6,  4,  1, 3, 11, 15, 0,  5,  12, 2,  13, 9,  7,  10, 14,  //
+    12, 15, 10, 4, 1, 5,  8,  7,  6,  2,  13, 14, 0,  3,  9,  11};
+
+// Per-step left rotations, left and right lines.
+constexpr std::uint8_t kSL[80] = {
+    11, 14, 15, 12, 5,  8,  7,  9,  11, 13, 14, 15, 6,  7,  9,  8,   //
+    7,  6,  8,  13, 11, 9,  7,  15, 7,  12, 15, 9,  11, 7,  13, 12,  //
+    11, 13, 6,  7,  14, 9,  13, 15, 14, 8,  13, 6,  5,  12, 7,  5,   //
+    11, 12, 14, 15, 14, 15, 9,  8,  9,  14, 5,  6,  8,  6,  5,  12,  //
+    9,  15, 5,  11, 6,  8,  13, 12, 5,  12, 13, 14, 11, 8,  5,  6};
+
+constexpr std::uint8_t kSR[80] = {
+    8,  9,  9,  11, 13, 15, 15, 5,  7,  7,  8,  11, 14, 14, 12, 6,   //
+    9,  13, 15, 7,  12, 8,  9,  11, 7,  7,  12, 7,  6,  15, 13, 11,  //
+    9,  7,  15, 11, 8,  6,  6,  14, 12, 13, 5,  14, 13, 13, 7,  5,   //
+    15, 5,  8,  11, 14, 14, 6,  14, 6,  9,  12, 9,  12, 5,  15, 8,   //
+    8,  5,  12, 9,  12, 5,  14, 6,  8,  13, 6,  5,  15, 13, 11, 11};
+
+constexpr std::uint32_t kKL[5] = {0x00000000, 0x5a827999, 0x6ed9eba1,
+                                  0x8f1bbcdc, 0xa953fd4e};
+constexpr std::uint32_t kKR[5] = {0x50a28be6, 0x5c4dd124, 0x6d703ef3,
+                                  0x7a6d76e9, 0x00000000};
+
+std::uint32_t f(int round, std::uint32_t x, std::uint32_t y,
+                std::uint32_t z) noexcept {
+  switch (round) {
+    case 0: return x ^ y ^ z;
+    case 1: return (x & y) | (~x & z);
+    case 2: return (x | ~y) ^ z;
+    case 3: return (x & z) | (y & ~z);
+    default: return x ^ (y | ~z);
+  }
+}
+
+struct State {
+  std::uint32_t h[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476,
+                        0xc3d2e1f0};
+};
+
+void compress(State& st, const std::uint8_t* block) noexcept {
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = static_cast<std::uint32_t>(block[4 * i]) |
+           static_cast<std::uint32_t>(block[4 * i + 1]) << 8 |
+           static_cast<std::uint32_t>(block[4 * i + 2]) << 16 |
+           static_cast<std::uint32_t>(block[4 * i + 3]) << 24;
+  }
+
+  std::uint32_t al = st.h[0], bl = st.h[1], cl = st.h[2], dl = st.h[3],
+                el = st.h[4];
+  std::uint32_t ar = st.h[0], br = st.h[1], cr = st.h[2], dr = st.h[3],
+                er = st.h[4];
+
+  for (int j = 0; j < 80; ++j) {
+    const int round = j / 16;
+    std::uint32_t t = std::rotl(
+        al + f(round, bl, cl, dl) + x[kRL[j]] + kKL[round], kSL[j]);
+    t += el;
+    al = el;
+    el = dl;
+    dl = std::rotl(cl, 10);
+    cl = bl;
+    bl = t;
+
+    t = std::rotl(ar + f(4 - round, br, cr, dr) + x[kRR[j]] + kKR[round],
+                  kSR[j]);
+    t += er;
+    ar = er;
+    er = dr;
+    dr = std::rotl(cr, 10);
+    cr = br;
+    br = t;
+  }
+
+  const std::uint32_t t = st.h[1] + cl + dr;
+  st.h[1] = st.h[2] + dl + er;
+  st.h[2] = st.h[3] + el + ar;
+  st.h[3] = st.h[4] + al + br;
+  st.h[4] = st.h[0] + bl + cr;
+  st.h[0] = t;
+}
+
+}  // namespace
+
+Digest160 ripemd160(util::ByteView data) noexcept {
+  State st;
+  std::size_t offset = 0;
+  while (offset + 64 <= data.size()) {
+    compress(st, data.data() + offset);
+    offset += 64;
+  }
+
+  // Padding: 0x80, zeros, then 64-bit little-endian bit length.
+  std::uint8_t tail[128] = {0};
+  const std::size_t rem = data.size() - offset;
+  if (rem != 0) std::memcpy(tail, data.data() + offset, rem);
+  tail[rem] = 0x80;
+  const std::size_t tail_blocks = rem + 9 <= 64 ? 1 : 2;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i)
+    tail[tail_blocks * 64 - 8 + i] =
+        static_cast<std::uint8_t>(bit_len >> (8 * i));
+  compress(st, tail);
+  if (tail_blocks == 2) compress(st, tail + 64);
+
+  Digest160 out;
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(st.h[i]);
+    out[4 * i + 1] = static_cast<std::uint8_t>(st.h[i] >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(st.h[i] >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(st.h[i] >> 24);
+  }
+  return out;
+}
+
+Digest160 hash160(util::ByteView data) noexcept {
+  const Digest256 inner = sha256(data);
+  return ripemd160(util::ByteView(inner.data(), inner.size()));
+}
+
+util::Bytes digest_bytes(const Digest160& d) {
+  return util::Bytes(d.begin(), d.end());
+}
+
+}  // namespace bcwan::crypto

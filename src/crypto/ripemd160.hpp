@@ -1,0 +1,25 @@
+// RIPEMD-160, implemented from the Dobbertin/Bosselaers/Preneel spec.
+//
+// Combined with SHA-256 it forms HASH160, the address hash used by P2PKH
+// outputs and by the Listing-1 ephemeral-key-release script
+// (OP_HASH160 <pubKeyHash>).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace bcwan::crypto {
+
+using Digest160 = std::array<std::uint8_t, 20>;
+
+/// One-shot RIPEMD-160.
+Digest160 ripemd160(util::ByteView data) noexcept;
+
+/// HASH160(x) = RIPEMD-160(SHA-256(x)) — Bitcoin address hash.
+Digest160 hash160(util::ByteView data) noexcept;
+
+util::Bytes digest_bytes(const Digest160& d);
+
+}  // namespace bcwan::crypto

@@ -1,0 +1,170 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "bignum/primes.hpp"
+#include "crypto/sha256.hpp"
+#include "util/serial.hpp"
+
+namespace bcwan::crypto {
+
+using bignum::BigUint;
+
+namespace {
+
+util::Bytes serialize_ints(std::initializer_list<const BigUint*> values) {
+  util::Writer w;
+  for (const BigUint* v : values) w.var_bytes(v->to_bytes_be());
+  return w.take();
+}
+
+}  // namespace
+
+util::Bytes RsaPublicKey::serialize() const { return serialize_ints({&n, &e}); }
+
+std::optional<RsaPublicKey> RsaPublicKey::deserialize(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    RsaPublicKey key;
+    key.n = BigUint::from_bytes_be(r.var_bytes());
+    key.e = BigUint::from_bytes_be(r.var_bytes());
+    r.expect_done();
+    if (key.n.is_zero() || key.e.is_zero()) return std::nullopt;
+    return key;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes RsaPrivateKey::serialize() const {
+  return serialize_ints({&n, &e, &d});
+}
+
+std::optional<RsaPrivateKey> RsaPrivateKey::deserialize(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    RsaPrivateKey key;
+    key.n = BigUint::from_bytes_be(r.var_bytes());
+    key.e = BigUint::from_bytes_be(r.var_bytes());
+    key.d = BigUint::from_bytes_be(r.var_bytes());
+    r.expect_done();
+    if (key.n.is_zero() || key.d.is_zero()) return std::nullopt;
+    return key;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits) {
+  if (modulus_bits < 128 || modulus_bits % 16 != 0)
+    throw std::invalid_argument("rsa_generate: bad modulus size");
+  const BigUint e(65537);
+  for (;;) {
+    const BigUint p = bignum::generate_rsa_prime(rng, modulus_bits / 2, e);
+    const BigUint q = bignum::generate_rsa_prime(rng, modulus_bits / 2, e);
+    if (p == q) continue;
+    const BigUint n = p * q;
+    if (n.bit_length() != modulus_bits) continue;
+    const BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+    const auto d = BigUint::mod_inv(e, phi);
+    if (!d) continue;
+    RsaKeyPair pair;
+    pair.pub = {n, e};
+    pair.priv = {n, e, *d};
+    return pair;
+  }
+}
+
+util::Bytes rsa_encrypt(const RsaPublicKey& pub, util::ByteView plaintext,
+                        util::Rng& rng) {
+  const std::size_t k = pub.modulus_bytes();
+  if (plaintext.size() + 11 > k)
+    throw std::invalid_argument("rsa_encrypt: plaintext too long for modulus");
+  // EB = 00 || 02 || PS (nonzero random) || 00 || M
+  util::Bytes eb;
+  eb.reserve(k);
+  eb.push_back(0x00);
+  eb.push_back(0x02);
+  const std::size_t ps_len = k - 3 - plaintext.size();
+  for (std::size_t i = 0; i < ps_len; ++i) {
+    std::uint8_t b = 0;
+    while (b == 0) b = static_cast<std::uint8_t>(rng.next());
+    eb.push_back(b);
+  }
+  eb.push_back(0x00);
+  eb.insert(eb.end(), plaintext.begin(), plaintext.end());
+
+  const BigUint m = BigUint::from_bytes_be(eb);
+  const BigUint c = BigUint::mod_exp(m, pub.e, pub.n);
+  return c.to_bytes_be(k);
+}
+
+std::optional<util::Bytes> rsa_decrypt(const RsaPrivateKey& priv,
+                                       util::ByteView ciphertext) {
+  const std::size_t k = priv.modulus_bytes();
+  if (ciphertext.size() != k) return std::nullopt;
+  const BigUint c = BigUint::from_bytes_be(ciphertext);
+  if (BigUint::compare(c, priv.n) >= 0) return std::nullopt;
+  const BigUint m = BigUint::mod_exp(c, priv.d, priv.n);
+  const util::Bytes eb = m.to_bytes_be(k);
+  if (eb[0] != 0x00 || eb[1] != 0x02) return std::nullopt;
+  std::size_t sep = 2;
+  while (sep < k && eb[sep] != 0x00) ++sep;
+  if (sep < 10 || sep == k) return std::nullopt;  // PS must be >= 8 bytes
+  return util::Bytes(eb.begin() + static_cast<std::ptrdiff_t>(sep) + 1,
+                     eb.end());
+}
+
+namespace {
+
+// EB = 00 || 01 || FF..FF || 00 || SHA-256(message)
+util::Bytes signature_encoding(std::size_t k, util::ByteView message) {
+  const Digest256 h = sha256(message);
+  if (k < h.size() + 11)
+    throw std::invalid_argument("rsa_sign: modulus too small for digest");
+  util::Bytes eb;
+  eb.reserve(k);
+  eb.push_back(0x00);
+  eb.push_back(0x01);
+  eb.insert(eb.end(), k - 3 - h.size(), 0xff);
+  eb.push_back(0x00);
+  eb.insert(eb.end(), h.begin(), h.end());
+  return eb;
+}
+
+}  // namespace
+
+util::Bytes rsa_sign(const RsaPrivateKey& priv, util::ByteView message) {
+  const std::size_t k = priv.modulus_bytes();
+  const util::Bytes eb = signature_encoding(k, message);
+  const BigUint m = BigUint::from_bytes_be(eb);
+  const BigUint s = BigUint::mod_exp(m, priv.d, priv.n);
+  return s.to_bytes_be(k);
+}
+
+bool rsa_verify(const RsaPublicKey& pub, util::ByteView message,
+                util::ByteView signature) {
+  const std::size_t k = pub.modulus_bytes();
+  if (signature.size() != k) return false;
+  const BigUint s = BigUint::from_bytes_be(signature);
+  if (BigUint::compare(s, pub.n) >= 0) return false;
+  const BigUint m = BigUint::mod_exp(s, pub.e, pub.n);
+  const util::Bytes expected = signature_encoding(k, message);
+  return util::ct_equal(m.to_bytes_be(k), expected);
+}
+
+bool rsa_pair_matches(const RsaPublicKey& pub, const RsaPrivateKey& priv) {
+  if (!(pub.n == priv.n)) return false;
+  if (pub.n.is_zero() || priv.d.is_zero()) return false;
+  // Round-trip probes: x^(e*d) == x (mod n) for fixed x. Two probes make a
+  // coincidental match on a wrong-but-related key astronomically unlikely.
+  for (std::uint64_t probe : {0x42ULL, 0xdeadbeefULL}) {
+    const BigUint x = BigUint(probe) % pub.n;
+    const BigUint y = BigUint::mod_exp(x, pub.e, pub.n);
+    const BigUint back = BigUint::mod_exp(y, priv.d, priv.n);
+    if (!(back == x)) return false;
+  }
+  return true;
+}
+
+}  // namespace bcwan::crypto

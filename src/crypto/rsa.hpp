@@ -1,0 +1,83 @@
+// RSA over bignum::BigUint — keygen, PKCS#1-v1.5-style encryption and
+// signatures, and the public/private pair check behind OP_CHECKRSA512PAIR.
+//
+// BcWAN (§4.4/§5.1) uses RSA-512 twice per uplink:
+//   * the gateway mints an *ephemeral* (ePk, eSk) pair per message; the node
+//     encrypts its AES blob under ePk, and revealing eSk on-chain is what
+//     the gateway gets paid for;
+//   * the node signs (Em || ePk) with its provisioned secret Ska so the
+//     recipient can authenticate the uplink.
+// The paper chooses 512-bit moduli to keep LoRa payloads at 128 bytes and
+// accepts the reduced security (§6); key size is a parameter here so the
+// ABL-RSA ablation can sweep 512/1024/2048.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "bignum/biguint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::crypto {
+
+struct RsaPublicKey {
+  bignum::BigUint n;
+  bignum::BigUint e;
+
+  /// Modulus size in bytes (64 for RSA-512).
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  util::Bytes serialize() const;
+  static std::optional<RsaPublicKey> deserialize(util::ByteView data);
+
+  friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+};
+
+struct RsaPrivateKey {
+  bignum::BigUint n;
+  bignum::BigUint e;
+  bignum::BigUint d;
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+  RsaPublicKey public_key() const { return {n, e}; }
+
+  util::Bytes serialize() const;
+  static std::optional<RsaPrivateKey> deserialize(util::ByteView data);
+
+  friend bool operator==(const RsaPrivateKey&, const RsaPrivateKey&) = default;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generate an RSA key pair with a modulus of exactly `modulus_bits` bits
+/// (two modulus_bits/2-bit primes, e = 65537). modulus_bits must be a
+/// multiple of 16 and >= 128.
+RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits = 512);
+
+/// PKCS#1 v1.5 type-2 encryption. Plaintext must be <= modulus_bytes - 11.
+/// Output is exactly modulus_bytes long (64 bytes for RSA-512).
+util::Bytes rsa_encrypt(const RsaPublicKey& pub, util::ByteView plaintext,
+                        util::Rng& rng);
+
+/// Returns std::nullopt on malformed padding or out-of-range ciphertext.
+std::optional<util::Bytes> rsa_decrypt(const RsaPrivateKey& priv,
+                                       util::ByteView ciphertext);
+
+/// PKCS#1 v1.5 type-1 signature over SHA-256(message).
+/// Output is exactly modulus_bytes long (64 bytes for RSA-512).
+util::Bytes rsa_sign(const RsaPrivateKey& priv, util::ByteView message);
+
+bool rsa_verify(const RsaPublicKey& pub, util::ByteView message,
+                util::ByteView signature);
+
+/// The OP_CHECKRSA512PAIR predicate (paper §4.4: "implemented using the
+/// VerifyPubKey method of RSA_PrivKey"): true iff `priv` is the private key
+/// matching `pub`. Checked algebraically by a round-trip on fixed probe
+/// values, plus modulus equality.
+bool rsa_pair_matches(const RsaPublicKey& pub, const RsaPrivateKey& priv);
+
+}  // namespace bcwan::crypto

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from the spec.
+//
+// Used for transaction/block ids (double SHA-256, Bitcoin convention),
+// HASH160 addresses, HMAC and deterministic ECDSA nonces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace bcwan::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  Sha256& update(util::ByteView data) noexcept;
+  Digest256 finalize() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot SHA-256.
+Digest256 sha256(util::ByteView data) noexcept;
+
+/// Double SHA-256 (Bitcoin txid/block-hash convention).
+Digest256 sha256d(util::ByteView data) noexcept;
+
+/// Digest as an owning byte buffer (for serialization call sites).
+util::Bytes digest_bytes(const Digest256& d);
+
+}  // namespace bcwan::crypto

@@ -1,0 +1,78 @@
+#include "lora/airtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bcwan::lora {
+
+double symbol_time_s(const LoraConfig& cfg) {
+  return std::pow(2.0, static_cast<int>(cfg.sf)) /
+         static_cast<double>(cfg.bandwidth_hz);
+}
+
+double airtime_s(const LoraConfig& cfg, std::size_t payload_bytes) {
+  const double t_sym = symbol_time_s(cfg);
+  const double t_preamble = (cfg.preamble_symbols + 4.25) * t_sym;
+
+  const int sf = static_cast<int>(cfg.sf);
+  const int pl = static_cast<int>(payload_bytes);
+  const int ih = cfg.explicit_header ? 0 : 1;
+  const int crc = cfg.crc_on ? 1 : 0;
+  const int de = cfg.low_data_rate_optimize() ? 1 : 0;
+
+  const double numerator = 8.0 * pl - 4.0 * sf + 28.0 + 16.0 * crc - 20.0 * ih;
+  const double denominator = 4.0 * (sf - 2 * de);
+  const double payload_symbols =
+      8.0 + std::max(std::ceil(numerator / denominator) *
+                         (cfg.coding_rate + 4),
+                     0.0);
+  return t_preamble + payload_symbols * t_sym;
+}
+
+util::SimTime airtime(const LoraConfig& cfg, std::size_t payload_bytes) {
+  return util::from_seconds(airtime_s(cfg, payload_bytes));
+}
+
+int max_messages_per_hour(const LoraConfig& cfg, std::size_t payload_bytes,
+                          double duty_cycle) {
+  const double t = airtime_s(cfg, payload_bytes);
+  return static_cast<int>(std::floor(3600.0 * duty_cycle / t));
+}
+
+DutyCycleLimiter::DutyCycleLimiter(double duty_cycle, util::SimTime window)
+    : duty_(duty_cycle),
+      cap_(duty_cycle * static_cast<double>(window)),
+      // A device fresh out of the box has a small starting allowance, not a
+      // full hour's budget — 2% of the cap (≈0.7 s of airtime at 1% duty)
+      // covers an initial request + data burst.
+      tokens_(cap_ * 0.02) {}
+
+util::SimTime DutyCycleLimiter::credit(util::SimTime now) const {
+  const double accrued =
+      tokens_ + static_cast<double>(now - last_update_) * duty_;
+  return static_cast<util::SimTime>(std::min(accrued, cap_));
+}
+
+util::SimTime DutyCycleLimiter::earliest_start(util::SimTime now,
+                                               util::SimTime airtime) const {
+  const double needed = static_cast<double>(airtime);
+  if (needed > cap_) return std::numeric_limits<util::SimTime>::max() / 2;
+  const double have =
+      tokens_ + static_cast<double>(std::max<util::SimTime>(
+                    now - last_update_, 0)) *
+                    duty_;
+  if (have >= needed) return now;
+  const double wait_from_update = (needed - tokens_) / duty_;
+  return last_update_ + static_cast<util::SimTime>(wait_from_update) + 1;
+}
+
+void DutyCycleLimiter::record(util::SimTime start, util::SimTime airtime) {
+  const double accrued =
+      tokens_ + static_cast<double>(start - last_update_) * duty_;
+  tokens_ = std::min(accrued, cap_) - static_cast<double>(airtime);
+  if (tokens_ < 0.0) tokens_ = 0.0;
+  last_update_ = start;
+}
+
+}  // namespace bcwan::lora

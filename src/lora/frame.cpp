@@ -1,0 +1,139 @@
+#include "lora/frame.hpp"
+
+#include <algorithm>
+
+#include "util/serial.hpp"
+
+namespace bcwan::lora {
+
+namespace {
+
+// Header: type (1) + device id (2) + payload length low byte (1) = 4 bytes.
+void write_header(util::Writer& w, FrameType type, std::uint16_t device_id,
+                  std::size_t payload_len) {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(device_id);
+  w.u8(static_cast<std::uint8_t>(payload_len & 0xff));
+}
+
+}  // namespace
+
+util::Bytes InnerBlob::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(iv.size()));
+  w.bytes(util::ByteView(iv.data(), iv.size()));
+  w.u8(static_cast<std::uint8_t>(ciphertext.size()));
+  w.bytes(ciphertext);
+  return w.take();
+}
+
+std::optional<InnerBlob> InnerBlob::decode(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    InnerBlob blob;
+    const std::uint8_t iv_len = r.u8();
+    if (iv_len != blob.iv.size()) return std::nullopt;
+    const util::Bytes iv = r.bytes(iv_len);
+    std::copy(iv.begin(), iv.end(), blob.iv.begin());
+    const std::uint8_t ct_len = r.u8();
+    blob.ciphertext = r.bytes(ct_len);
+    r.expect_done();
+    if (blob.ciphertext.empty() ||
+        blob.ciphertext.size() % crypto::kAesBlockSize != 0) {
+      return std::nullopt;
+    }
+    return blob;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes UplinkRequestFrame::encode() const {
+  util::Writer w;
+  write_header(w, FrameType::kUplinkRequest, device_id, 0);
+  return w.take();
+}
+
+std::optional<UplinkRequestFrame> UplinkRequestFrame::decode(
+    util::ByteView data) {
+  try {
+    util::Reader r(data);
+    if (r.u8() != static_cast<std::uint8_t>(FrameType::kUplinkRequest))
+      return std::nullopt;
+    UplinkRequestFrame frame;
+    frame.device_id = r.u16();
+    r.u8();  // length byte
+    r.expect_done();
+    return frame;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes EphemeralKeyFrame::encode() const {
+  const util::Bytes key = ephemeral_pub.serialize();
+  util::Writer w;
+  write_header(w, FrameType::kEphemeralKey, device_id, key.size());
+  w.var_bytes(key);
+  return w.take();
+}
+
+std::optional<EphemeralKeyFrame> EphemeralKeyFrame::decode(
+    util::ByteView data) {
+  try {
+    util::Reader r(data);
+    if (r.u8() != static_cast<std::uint8_t>(FrameType::kEphemeralKey))
+      return std::nullopt;
+    EphemeralKeyFrame frame;
+    frame.device_id = r.u16();
+    r.u8();
+    const auto pub = crypto::RsaPublicKey::deserialize(r.var_bytes());
+    if (!pub) return std::nullopt;
+    frame.ephemeral_pub = *pub;
+    r.expect_done();
+    return frame;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes UplinkDataFrame::encode() const {
+  util::Writer w;
+  write_header(w, FrameType::kUplinkData, device_id, em.size() + sig.size());
+  w.bytes(util::ByteView(recipient.data(), recipient.size()));
+  w.var_bytes(em);
+  w.var_bytes(sig);
+  return w.take();
+}
+
+std::optional<UplinkDataFrame> UplinkDataFrame::decode(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    if (r.u8() != static_cast<std::uint8_t>(FrameType::kUplinkData))
+      return std::nullopt;
+    UplinkDataFrame frame;
+    frame.device_id = r.u16();
+    r.u8();
+    const util::Bytes addr = r.bytes(frame.recipient.size());
+    std::copy(addr.begin(), addr.end(), frame.recipient.begin());
+    frame.em = r.var_bytes();
+    frame.sig = r.var_bytes();
+    r.expect_done();
+    if (frame.em.empty() || frame.sig.empty()) return std::nullopt;
+    return frame;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<FrameType> peek_frame_type(util::ByteView data) {
+  if (data.empty()) return std::nullopt;
+  switch (data[0]) {
+    case 1: return FrameType::kUplinkRequest;
+    case 2: return FrameType::kEphemeralKey;
+    case 3: return FrameType::kUplinkData;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace bcwan::lora

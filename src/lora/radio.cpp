@@ -1,0 +1,118 @@
+#include "lora/radio.hpp"
+
+#include <algorithm>
+
+namespace bcwan::lora {
+
+LoraRadio::LoraRadio(p2p::EventLoop& loop, std::uint64_t seed,
+                     RadioConfig config)
+    : loop_(loop), rng_(seed), config_(config) {}
+
+RadioGatewayId LoraRadio::add_gateway(RxHandler on_uplink) {
+  gateways_.push_back(Gateway{std::move(on_uplink),
+                              DutyCycleLimiter(config_.gateway_duty_cycle),
+                              LoraConfig{},
+                              {}});
+  return static_cast<RadioGatewayId>(gateways_.size() - 1);
+}
+
+RadioDeviceId LoraRadio::add_device(RadioGatewayId gateway, LoraConfig phy,
+                                    double duty_cycle,
+                                    DeviceRxHandler on_downlink) {
+  devices_.push_back(Device{gateway, phy, DutyCycleLimiter(duty_cycle),
+                            std::move(on_downlink)});
+  return static_cast<RadioDeviceId>(devices_.size() - 1);
+}
+
+TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
+  Device& device = devices_.at(static_cast<std::size_t>(device_id));
+  const util::SimTime now = loop_.now();
+  const util::SimTime t_air = airtime(device.phy, frame.size());
+  const util::SimTime earliest = device.duty.earliest_start(now, t_air);
+  if (earliest > now) {
+    return TxResult{false, 0, earliest};
+  }
+  device.duty.record(now, t_air);
+
+  Gateway& gateway = gateways_.at(static_cast<std::size_t>(device.gateway));
+  const util::SimTime end = now + t_air;
+
+  bool corrupted = config_.frame_loss > 0.0 && rng_.chance(config_.frame_loss);
+
+  if (config_.collisions) {
+    // Overlap with any ongoing reception corrupts both frames (ALOHA).
+    std::erase_if(gateway.receptions,
+                  [now](const Gateway::Reception& r) { return r.end <= now; });
+    for (auto& reception : gateway.receptions) {
+      if (reception.end > now) {
+        reception.corrupted = true;
+        corrupted = true;
+        ++collisions_;
+      }
+    }
+    gateway.receptions.push_back(Gateway::Reception{now, end, corrupted});
+    // Delivery is decided when the frame completes, because a later frame
+    // can still corrupt this one.
+    const std::size_t slot = gateway.receptions.size() - 1;
+    const RadioGatewayId gw_id = device.gateway;
+    loop_.at(end, [this, gw_id, device_id, frame, now, slot]() {
+      Gateway& gw = gateways_.at(static_cast<std::size_t>(gw_id));
+      // Find our reception entry (by start time; the vector may have been
+      // compacted).
+      const auto it = std::find_if(
+          gw.receptions.begin(), gw.receptions.end(),
+          [now](const Gateway::Reception& r) { return r.start == now; });
+      const bool ok = it != gw.receptions.end() && !it->corrupted;
+      if (it != gw.receptions.end()) gw.receptions.erase(it);
+      (void)slot;
+      if (ok) {
+        ++delivered_;
+        if (gw.on_uplink) gw.on_uplink(device_id, frame);
+      } else {
+        ++lost_;
+      }
+    });
+  } else {
+    if (corrupted) {
+      ++lost_;
+    } else {
+      const RadioGatewayId gw_id = device.gateway;
+      loop_.at(end, [this, gw_id, device_id, frame]() {
+        ++delivered_;
+        Gateway& gw = gateways_.at(static_cast<std::size_t>(gw_id));
+        if (gw.on_uplink) gw.on_uplink(device_id, frame);
+      });
+    }
+  }
+  device.last_airtime = t_air;
+  return TxResult{true, t_air, device.duty.earliest_start(now, t_air)};
+}
+
+TxResult LoraRadio::downlink(RadioGatewayId gateway_id, RadioDeviceId device_id,
+                             const util::Bytes& frame) {
+  Gateway& gateway = gateways_.at(static_cast<std::size_t>(gateway_id));
+  Device& device = devices_.at(static_cast<std::size_t>(device_id));
+  const util::SimTime now = loop_.now();
+  // Downlink uses the device's PHY settings (same SF/BW as the uplink).
+  const util::SimTime t_air = airtime(device.phy, frame.size());
+  const util::SimTime earliest = gateway.duty.earliest_start(now, t_air);
+  if (earliest > now) {
+    return TxResult{false, 0, earliest};
+  }
+  gateway.duty.record(now, t_air);
+
+  const bool dropped =
+      config_.frame_loss > 0.0 && rng_.chance(config_.frame_loss);
+  if (dropped) {
+    ++lost_;
+  } else {
+    loop_.at(now + t_air, [this, device_id, frame]() {
+      ++delivered_;
+      Device& dev = devices_.at(static_cast<std::size_t>(device_id));
+      if (dev.on_downlink) dev.on_downlink(frame);
+    });
+  }
+  return TxResult{true, t_air, gateway.duty.earliest_start(now, t_air)};
+}
+
+}  // namespace bcwan::lora

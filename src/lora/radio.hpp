@@ -1,0 +1,102 @@
+// LoRa radio link simulation.
+//
+// Devices attach to a gateway in radio range (the paper's Nucleo node and
+// RPi/RFM95 gateway). Transmissions occupy the air for the Semtech airtime
+// of the frame; the simulator enforces per-device and per-gateway duty
+// cycles and, optionally, ALOHA-style collisions between overlapping
+// uplinks at the same gateway plus random frame loss.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "lora/airtime.hpp"
+#include "p2p/event_loop.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::lora {
+
+using RadioGatewayId = int;
+using RadioDeviceId = int;
+
+struct RadioConfig {
+  bool collisions = false;   // overlapping uplinks at a gateway all corrupt
+  double frame_loss = 0.0;   // independent loss probability per frame
+  double gateway_duty_cycle = 0.1;  // downlink budget (EU869 10% band)
+};
+
+struct TxResult {
+  bool accepted = false;              // duty cycle allowed the transmission
+  util::SimTime airtime = 0;          // time on air when accepted
+  util::SimTime next_allowed = 0;     // earliest retry when rejected
+};
+
+class LoraRadio {
+ public:
+  using RxHandler =
+      std::function<void(RadioDeviceId from, const util::Bytes& frame)>;
+  using DeviceRxHandler = std::function<void(const util::Bytes& frame)>;
+
+  LoraRadio(p2p::EventLoop& loop, std::uint64_t seed, RadioConfig config = {});
+
+  RadioGatewayId add_gateway(RxHandler on_uplink);
+  /// A device is attached to exactly one gateway (the paper's master
+  /// gateway for that actor's devices, or the nearest foreign gateway).
+  RadioDeviceId add_device(RadioGatewayId gateway, LoraConfig phy,
+                           double duty_cycle, DeviceRxHandler on_downlink);
+
+  /// Node -> gateway. Airtime and duty cycle computed from the frame size.
+  TxResult uplink(RadioDeviceId device, const util::Bytes& frame);
+
+  /// Gateway -> node (the ephemeral-key reply).
+  TxResult downlink(RadioGatewayId gateway, RadioDeviceId device,
+                    const util::Bytes& frame);
+
+  const LoraConfig& device_phy(RadioDeviceId id) const {
+    return devices_.at(static_cast<std::size_t>(id)).phy;
+  }
+  /// Earliest start for another frame like the device's last one.
+  util::SimTime device_next_allowed(RadioDeviceId id,
+                                    util::SimTime now) const {
+    const Device& d = devices_.at(static_cast<std::size_t>(id));
+    return d.duty.earliest_start(now, d.last_airtime);
+  }
+
+  std::uint64_t frames_delivered() const noexcept { return delivered_; }
+  std::uint64_t frames_lost() const noexcept { return lost_; }
+  std::uint64_t collisions_observed() const noexcept { return collisions_; }
+
+ private:
+  struct Gateway {
+    RxHandler on_uplink;
+    DutyCycleLimiter duty;
+    LoraConfig phy;  // downlink PHY (mirror of device settings)
+    // Ongoing uplink receptions for collision detection.
+    struct Reception {
+      util::SimTime start;
+      util::SimTime end;
+      bool corrupted = false;
+    };
+    std::vector<Reception> receptions;
+  };
+  struct Device {
+    RadioGatewayId gateway;
+    LoraConfig phy;
+    DutyCycleLimiter duty;
+    DeviceRxHandler on_downlink;
+    util::SimTime last_airtime = util::kMillisecond;
+  };
+
+  p2p::EventLoop& loop_;
+  util::Rng rng_;
+  RadioConfig config_;
+  std::vector<Gateway> gateways_;
+  std::vector<Device> devices_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace bcwan::lora

@@ -1,0 +1,151 @@
+#include "p2p/chain_node.hpp"
+
+#include <cmath>
+namespace bcwan::p2p {
+
+using chain::Block;
+using chain::Transaction;
+
+ChainNode::ChainNode(EventLoop& loop, SimNet& net, HostId host,
+                     const chain::ChainParams& params, ChainNodeConfig config,
+                     std::uint64_t seed)
+    : loop_(loop),
+      net_(net),
+      host_(host),
+      config_(config),
+      rng_(seed),
+      chain_(params),
+      mempool_(chain_.params()) {
+  net_.set_handler(host_, [this](const Message& msg) { handle_message(msg); });
+}
+
+chain::MempoolAcceptResult ChainNode::submit_tx(const Transaction& tx) {
+  const auto result = mempool_.accept(tx, chain_.utxo(), chain_.height() + 1);
+  if (result.ok()) {
+    seen_txs_.insert(tx.txid());
+    ++txs_seen_;
+    for (const auto& watcher : tx_watchers_) watcher(tx);
+    relay_tx(tx);
+    drain_orphan_txs();
+  }
+  return result;
+}
+
+chain::AcceptBlockResult ChainNode::submit_block(const Block& block) {
+  const auto result = chain_.accept_block(block);
+  if (result == chain::AcceptBlockResult::kConnected ||
+      result == chain::AcceptBlockResult::kReorganized) {
+    seen_blocks_.insert(block.hash());
+    ++blocks_seen_;
+    mempool_.remove_confirmed(block);
+    for (const auto& watcher : block_watchers_) watcher(block);
+    relay_block(block);
+  }
+  return result;
+}
+
+void ChainNode::handle_message(const Message& msg) {
+  if (msg.type == "tx") {
+    const auto tx = Transaction::deserialize(msg.payload);
+    if (tx) {
+      if (raw_tx_tap_) raw_tx_tap_(*tx);
+      accept_gossip_tx(*tx);
+    }
+    return;
+  }
+  if (msg.type == "block") {
+    const auto block = Block::deserialize(msg.payload);
+    if (block) accept_gossip_block(*block);
+    return;
+  }
+  if (app_handler_) app_handler_(msg);
+}
+
+void ChainNode::accept_gossip_tx(const Transaction& tx) {
+  const chain::Hash256 txid = tx.txid();
+  if (seen_txs_.count(txid)) return;
+  // Charge validation CPU: everything behind this message waits.
+  net_.stall(host_, config_.tx_processing);
+  const auto result = mempool_.accept(tx, chain_.utxo(), chain_.height() + 1);
+  if (!result.ok()) {
+    // Gossip can reorder a chain of unconfirmed spends; park the child
+    // until its parent shows up.
+    if (result.error == chain::MempoolError::kInvalid &&
+        result.validation.error == chain::TxError::kMissingInput &&
+        orphan_txs_.size() < 1000) {
+      orphan_txs_.push_back(tx);
+    }
+    return;
+  }
+  seen_txs_.insert(txid);
+  ++txs_seen_;
+  for (const auto& watcher : tx_watchers_) watcher(tx);
+  relay_tx(tx);
+  drain_orphan_txs();
+}
+
+void ChainNode::drain_orphan_txs() {
+  if (draining_orphans_ || orphan_txs_.empty()) return;
+  draining_orphans_ = true;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    std::vector<Transaction> still_orphans;
+    for (const Transaction& orphan : orphan_txs_) {
+      const auto result =
+          mempool_.accept(orphan, chain_.utxo(), chain_.height() + 1);
+      if (result.ok()) {
+        seen_txs_.insert(orphan.txid());
+        ++txs_seen_;
+        for (const auto& watcher : tx_watchers_) watcher(orphan);
+        relay_tx(orphan);
+        progressed = true;
+      } else if (result.error == chain::MempoolError::kInvalid &&
+                 result.validation.error == chain::TxError::kMissingInput) {
+        still_orphans.push_back(orphan);
+      }
+      // Other failures (conflict, already known) drop the orphan for good.
+    }
+    orphan_txs_ = std::move(still_orphans);
+  }
+  draining_orphans_ = false;
+}
+
+void ChainNode::accept_gossip_block(const Block& block) {
+  const chain::Hash256 hash = block.hash();
+  if (seen_blocks_.count(hash)) return;
+
+  // Block verification cost. In Fig. 6 mode the daemon freezes for a long
+  // sampled verification period on *every* block arrival.
+  net_.stall(host_, config_.block_processing);
+  if (config_.block_verification_stall) {
+    const double stall_s =
+        rng_.lognormal(std::log(config_.stall_median_s), config_.stall_sigma);
+    net_.stall(host_, util::from_seconds(stall_s));
+  }
+
+  const auto result = chain_.accept_block(block);
+  if (result == chain::AcceptBlockResult::kInvalid ||
+      result == chain::AcceptBlockResult::kDuplicate) {
+    return;
+  }
+  seen_blocks_.insert(hash);
+  ++blocks_seen_;
+  if (result == chain::AcceptBlockResult::kConnected ||
+      result == chain::AcceptBlockResult::kReorganized) {
+    mempool_.remove_confirmed(block);
+    for (const auto& watcher : block_watchers_) watcher(block);
+    drain_orphan_txs();
+  }
+  relay_block(block);
+}
+
+void ChainNode::relay_tx(const Transaction& tx) {
+  net_.broadcast(host_, Message{"tx", tx.serialize(), host_});
+}
+
+void ChainNode::relay_block(const Block& block) {
+  net_.broadcast(host_, Message{"block", block.serialize(), host_});
+}
+
+}  // namespace bcwan::p2p

@@ -1,0 +1,116 @@
+// A federation host's blockchain daemon: chainstate + mempool + gossip.
+//
+// This is the paper's per-gateway "Blockchain module" (the Multichain
+// daemon wrapped by the Golang BcWAN daemon, §5.1). Transactions and blocks
+// flood over the SimNet; watcher hooks let the BcWAN agents react to
+// mempool arrivals (the fast path of the fair exchange) and to block
+// connections. The Fig. 6 effect is reproduced by `block_verification_stall`:
+// each block arrival freezes the whole daemon for a sampled verification
+// time, so every queued message — including DELIVER requests and gossip —
+// waits behind it.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "chain/blockchain.hpp"
+#include "chain/mempool.hpp"
+#include "p2p/network.hpp"
+
+namespace bcwan::p2p {
+
+struct ChainNodeConfig {
+  /// Fig. 6 mode: stall the daemon on every block arrival.
+  bool block_verification_stall = false;
+  /// Lognormal stall duration (seconds); calibrated so the with-verification
+  /// exchange latency lands in the paper's ~30 s regime.
+  double stall_median_s = 9.0;
+  double stall_sigma = 0.5;
+  /// CPU charged per transaction validated into the mempool.
+  util::SimTime tx_processing = 4 * util::kMillisecond;
+  /// CPU charged per block connected (besides any stall).
+  util::SimTime block_processing = 20 * util::kMillisecond;
+};
+
+class ChainNode {
+ public:
+  ChainNode(EventLoop& loop, SimNet& net, HostId host,
+            const chain::ChainParams& params, ChainNodeConfig config,
+            std::uint64_t seed);
+
+  HostId host() const noexcept { return host_; }
+  chain::Blockchain& chain() noexcept { return chain_; }
+  const chain::Blockchain& chain() const noexcept { return chain_; }
+  chain::Mempool& mempool() noexcept { return mempool_; }
+  const chain::Mempool& mempool() const noexcept { return mempool_; }
+
+  /// Local submission by a co-located agent: validate into the mempool and
+  /// gossip on success.
+  chain::MempoolAcceptResult submit_tx(const chain::Transaction& tx);
+
+  /// Local block submission (the master node's miner).
+  chain::AcceptBlockResult submit_block(const chain::Block& block);
+
+  /// Entry point for all SimNet traffic to this host. "tx"/"block" messages
+  /// are consumed; anything else goes to the app handler (BcWAN daemon
+  /// protocol).
+  void handle_message(const Message& msg);
+
+  void set_app_handler(std::function<void(const Message&)> handler) {
+    app_handler_ = std::move(handler);
+  }
+
+  /// Fires whenever a transaction enters this node's mempool (local or
+  /// gossiped) — the fair-exchange watchers hang off this. Watchers cannot
+  /// be removed: whatever they capture must outlive the node's event
+  /// processing.
+  void add_tx_watcher(std::function<void(const chain::Transaction&)> watcher) {
+    tx_watchers_.push_back(std::move(watcher));
+  }
+
+  /// Fires whenever a block joins the active chain here.
+  void add_block_watcher(std::function<void(const chain::Block&)> watcher) {
+    block_watchers_.push_back(std::move(watcher));
+  }
+
+  /// Fires for every transaction *message* this host receives, before and
+  /// regardless of mempool acceptance — an on-the-wire tap. The §6 attacker
+  /// uses this to pull eSk out of a redeem transaction its own mempool
+  /// would reject.
+  void set_raw_tx_tap(std::function<void(const chain::Transaction&)> tap) {
+    raw_tx_tap_ = std::move(tap);
+  }
+
+  std::uint64_t txs_seen() const noexcept { return txs_seen_; }
+  std::uint64_t blocks_seen() const noexcept { return blocks_seen_; }
+
+ private:
+  void relay_tx(const chain::Transaction& tx);
+  void relay_block(const chain::Block& block);
+  void accept_gossip_tx(const chain::Transaction& tx);
+  void accept_gossip_block(const chain::Block& block);
+  void drain_orphan_txs();
+
+  EventLoop& loop_;
+  SimNet& net_;
+  HostId host_;
+  ChainNodeConfig config_;
+  util::Rng rng_;
+  chain::Blockchain chain_;
+  chain::Mempool mempool_;
+  std::function<void(const Message&)> app_handler_;
+  std::function<void(const chain::Transaction&)> raw_tx_tap_;
+  std::vector<std::function<void(const chain::Transaction&)>> tx_watchers_;
+  std::vector<std::function<void(const chain::Block&)>> block_watchers_;
+  std::unordered_set<chain::Hash256, chain::Hash256Hasher> seen_txs_;
+  std::unordered_set<chain::Hash256, chain::Hash256Hasher> seen_blocks_;
+  // Transactions whose inputs are not yet known (gossip reordered a chain
+  // of unconfirmed spends); retried after every tx/block acceptance, as
+  // Bitcoin's mapOrphanTransactions does.
+  std::vector<chain::Transaction> orphan_txs_;
+  bool draining_orphans_ = false;
+  std::uint64_t txs_seen_ = 0;
+  std::uint64_t blocks_seen_ = 0;
+};
+
+}  // namespace bcwan::p2p

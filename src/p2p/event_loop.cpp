@@ -1,0 +1,36 @@
+#include "p2p/event_loop.hpp"
+
+#include <algorithm>
+
+namespace bcwan::p2p {
+
+void EventLoop::at(util::SimTime when, Callback cb) {
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(cb)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // Moving out of a priority_queue requires a const_cast dance; copy the
+  // small fields and move the callback.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  event.cb();
+  return true;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void EventLoop::run_until(util::SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace bcwan::p2p

@@ -1,0 +1,58 @@
+// Discrete-event scheduler over virtual time.
+//
+// The whole evaluation is a deterministic simulation: LoRa airtime, WAN
+// propagation, daemon stalls and mining all schedule callbacks here. Events
+// at equal timestamps run in insertion order, so runs replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace bcwan::p2p {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  util::SimTime now() const noexcept { return now_; }
+
+  /// Schedule at an absolute virtual time (clamped to now).
+  void at(util::SimTime when, Callback cb);
+  /// Schedule `delay` after now.
+  void after(util::SimTime delay, Callback cb) { at(now_ + delay, std::move(cb)); }
+
+  /// Run one event; false when the queue is empty.
+  bool step();
+  /// Run until the queue empties or stop() is called.
+  void run();
+  /// Run every event scheduled at or before `deadline`; the clock ends at
+  /// `deadline` even if the queue still has later events.
+  void run_until(util::SimTime deadline);
+
+  void stop() noexcept { stopped_ = true; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  util::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace bcwan::p2p

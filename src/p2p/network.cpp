@@ -1,0 +1,87 @@
+#include "p2p/network.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcwan::p2p {
+
+util::SimTime LatencyModel::sample(util::Rng& rng) const {
+  const double mu = std::log(median_ms);
+  const double ms = std::max(floor_ms, rng.lognormal(mu, sigma));
+  return util::from_millis(ms);
+}
+
+HostId SimNet::add_host(std::string name) {
+  hosts_.push_back(Host{std::move(name), nullptr, 0,
+                        1 * util::kMillisecond, false});
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void SimNet::set_latency(HostId a, HostId b, const LatencyModel& model) {
+  const auto key = [](HostId x, HostId y) {
+    const auto lo = static_cast<std::uint64_t>(std::min(x, y));
+    const auto hi = static_cast<std::uint64_t>(std::max(x, y));
+    return lo << 32 | hi;
+  };
+  pair_latency_[key(a, b)] = model;
+}
+
+void SimNet::set_processing_time(HostId id, util::SimTime t) {
+  hosts_.at(static_cast<std::size_t>(id)).processing_time = t;
+}
+
+void SimNet::set_handler(HostId id,
+                         std::function<void(const Message&)> handler) {
+  hosts_.at(static_cast<std::size_t>(id)).handler = std::move(handler);
+}
+
+util::SimTime SimNet::latency_between(HostId a, HostId b) {
+  if (a == b) return 0;
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  const auto it = pair_latency_.find(lo << 32 | hi);
+  const LatencyModel& model =
+      it != pair_latency_.end() ? it->second : default_latency_;
+  return model.sample(rng_);
+}
+
+void SimNet::send(HostId from, HostId to, Message msg) {
+  auto& src = hosts_.at(static_cast<std::size_t>(from));
+  auto& dst = hosts_.at(static_cast<std::size_t>(to));
+  if (src.partitioned || dst.partitioned) return;  // dropped on the floor
+
+  msg.from = from;
+  const util::SimTime arrival = loop_.now() + latency_between(from, to);
+  loop_.at(arrival, [this, to, msg = std::move(msg)]() mutable {
+    // The daemon processes messages serially: a stalled or busy daemon
+    // makes this message wait.
+    Host& host = hosts_.at(static_cast<std::size_t>(to));
+    const util::SimTime start = std::max(loop_.now(), host.busy_until);
+    host.busy_until = start + host.processing_time;
+    loop_.at(start, [this, to, msg = std::move(msg)]() {
+      Host& h = hosts_.at(static_cast<std::size_t>(to));
+      if (h.partitioned) return;
+      ++delivered_;
+      if (h.handler) h.handler(msg);
+    });
+  });
+}
+
+void SimNet::broadcast(HostId from, const Message& msg) {
+  for (HostId to = 0; to < static_cast<HostId>(hosts_.size()); ++to) {
+    if (to == from) continue;
+    send(from, to, msg);
+  }
+}
+
+void SimNet::stall(HostId id, util::SimTime duration) {
+  Host& host = hosts_.at(static_cast<std::size_t>(id));
+  host.busy_until = std::max(host.busy_until, loop_.now()) + duration;
+}
+
+void SimNet::set_partitioned(HostId id, bool partitioned) {
+  hosts_.at(static_cast<std::size_t>(id)).partitioned = partitioned;
+}
+
+}  // namespace bcwan::p2p

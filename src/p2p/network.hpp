@@ -1,0 +1,101 @@
+// Simulated TCP/IP network between federation hosts.
+//
+// Stands in for the paper's PlanetLab deployment (§5.2): five gateway hosts
+// plus a master miner, WAN latencies between sites, and — crucially for
+// Fig. 6 — per-host *serial* message processing, so a daemon stalled on
+// block verification queues every incoming request until it frees up
+// ("the block verification made the Multichain daemon stall and become
+// unresponsive for extended periods upon each block arrival").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p2p/event_loop.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::p2p {
+
+using HostId = int;
+
+struct Message {
+  std::string type;
+  util::Bytes payload;
+  HostId from = -1;
+};
+
+/// One-way WAN latency model: lognormal with a fixed floor.
+struct LatencyModel {
+  double median_ms = 45.0;   // inter-PlanetLab-site scale
+  double sigma = 0.35;       // log-space spread
+  double floor_ms = 2.0;
+
+  util::SimTime sample(util::Rng& rng) const;
+};
+
+class SimNet {
+ public:
+  SimNet(EventLoop& loop, std::uint64_t seed) : loop_(loop), rng_(seed) {}
+
+  HostId add_host(std::string name);
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  const std::string& host_name(HostId id) const { return hosts_.at(id).name; }
+
+  /// Default latency for all pairs; per-pair overrides win.
+  void set_default_latency(const LatencyModel& model) { default_latency_ = model; }
+  void set_latency(HostId a, HostId b, const LatencyModel& model);
+
+  /// Per-message processing cost at the receiving daemon (serialization of
+  /// its event loop).
+  void set_processing_time(HostId id, util::SimTime t);
+
+  void set_handler(HostId id, std::function<void(const Message&)> handler);
+
+  /// Queue a message; it arrives after sampled latency and is processed
+  /// when the receiver's daemon is free. Self-sends skip the wire but still
+  /// queue behind the daemon.
+  void send(HostId from, HostId to, Message msg);
+
+  /// Broadcast to every other host.
+  void broadcast(HostId from, const Message& msg);
+
+  /// Make the host's daemon unresponsive for `duration` starting now (block
+  /// verification stall). Stalls extend any existing busy period.
+  void stall(HostId id, util::SimTime duration);
+
+  /// Virtual time at which the host's daemon frees up.
+  util::SimTime busy_until(HostId id) const { return hosts_.at(id).busy_until; }
+
+  /// Partitioned hosts drop all traffic in both directions.
+  void set_partitioned(HostId id, bool partitioned);
+  bool is_partitioned(HostId id) const {
+    return hosts_.at(static_cast<std::size_t>(id)).partitioned;
+  }
+
+  /// Delivered-message counter (bench reporting).
+  std::uint64_t messages_delivered() const noexcept { return delivered_; }
+
+ private:
+  struct Host {
+    std::string name;
+    std::function<void(const Message&)> handler;
+    util::SimTime busy_until = 0;
+    util::SimTime processing_time = 1 * util::kMillisecond;
+    bool partitioned = false;
+  };
+
+  util::SimTime latency_between(HostId a, HostId b);
+
+  EventLoop& loop_;
+  util::Rng rng_;
+  std::vector<Host> hosts_;
+  LatencyModel default_latency_;
+  std::unordered_map<std::uint64_t, LatencyModel> pair_latency_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace bcwan::p2p

@@ -1,0 +1,380 @@
+#include "script/interpreter.hpp"
+
+#include <algorithm>
+
+#include "crypto/ripemd160.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace bcwan::script {
+
+namespace {
+
+using util::Bytes;
+using util::ByteView;
+
+Bytes bool_bytes(bool v) { return v ? Bytes{1} : Bytes{}; }
+
+class Machine {
+ public:
+  Machine(std::vector<Bytes> stack, const SignatureChecker& checker)
+      : stack_(std::move(stack)), checker_(checker) {}
+
+  ScriptError run(const Script& script);
+  std::vector<Bytes> take_stack() { return std::move(stack_); }
+
+ private:
+  bool executing() const {
+    return std::all_of(conditions_.begin(), conditions_.end(),
+                       [](bool c) { return c; });
+  }
+
+  ScriptError step(const Instruction& ins);
+
+  // Stack helpers; callers must have checked depth.
+  Bytes& top(std::size_t depth = 0) {
+    return stack_[stack_.size() - 1 - depth];
+  }
+  Bytes pop() {
+    Bytes v = std::move(stack_.back());
+    stack_.pop_back();
+    return v;
+  }
+  bool need(std::size_t n) const { return stack_.size() >= n; }
+
+  /// Pops a CScriptNum operand; sets error_ on bad encoding.
+  std::optional<std::int64_t> pop_num(std::size_t max_size = 4) {
+    const auto num = scriptnum_decode(stack_.back(), max_size);
+    stack_.pop_back();
+    return num;
+  }
+
+  std::vector<Bytes> stack_;
+  std::vector<Bytes> alt_stack_;
+  std::vector<bool> conditions_;
+  const SignatureChecker& checker_;
+  std::size_t op_count_ = 0;
+};
+
+ScriptError Machine::run(const Script& script) {
+  if (script.size() > kMaxScriptSize) return ScriptError::kScriptSize;
+  const auto decoded = script.decode();
+  if (!decoded) return ScriptError::kMalformedScript;
+
+  for (const auto& ins : *decoded) {
+    if (!ins.is_push()) {
+      if (++op_count_ > kMaxOpsPerScript) return ScriptError::kOpCount;
+    }
+    const auto opcode = static_cast<Opcode>(ins.opcode);
+    const bool is_conditional = opcode == Opcode::OP_IF ||
+                                opcode == Opcode::OP_NOTIF ||
+                                opcode == Opcode::OP_ELSE ||
+                                opcode == Opcode::OP_ENDIF;
+    if (!executing() && !is_conditional) continue;
+
+    const ScriptError err = step(ins);
+    if (err != ScriptError::kOk) return err;
+    if (stack_.size() + alt_stack_.size() > kMaxStackSize)
+      return ScriptError::kStackOverflow;
+  }
+  if (!conditions_.empty()) return ScriptError::kUnbalancedConditional;
+  return ScriptError::kOk;
+}
+
+ScriptError Machine::step(const Instruction& ins) {
+  const auto opcode = static_cast<Opcode>(ins.opcode);
+
+  if (ins.is_push()) {
+    if (ins.push.size() > kMaxElementSize) return ScriptError::kPushSize;
+    stack_.push_back(ins.push);
+    return ScriptError::kOk;
+  }
+
+  // Small-integer pushes.
+  if (ins.opcode >= static_cast<std::uint8_t>(Opcode::OP_1) &&
+      ins.opcode <= static_cast<std::uint8_t>(Opcode::OP_16)) {
+    stack_.push_back(scriptnum_encode(
+        ins.opcode - static_cast<std::uint8_t>(Opcode::OP_1) + 1));
+    return ScriptError::kOk;
+  }
+
+  switch (opcode) {
+    case Opcode::OP_1NEGATE:
+      stack_.push_back(scriptnum_encode(-1));
+      return ScriptError::kOk;
+
+    case Opcode::OP_NOP:
+      return ScriptError::kOk;
+
+    case Opcode::OP_IF:
+    case Opcode::OP_NOTIF: {
+      bool value = false;
+      if (executing()) {
+        if (!need(1)) return ScriptError::kStackUnderflow;
+        value = cast_to_bool(pop());
+        if (opcode == Opcode::OP_NOTIF) value = !value;
+      }
+      conditions_.push_back(value);
+      return ScriptError::kOk;
+    }
+    case Opcode::OP_ELSE:
+      if (conditions_.empty()) return ScriptError::kUnbalancedConditional;
+      conditions_.back() = !conditions_.back();
+      return ScriptError::kOk;
+    case Opcode::OP_ENDIF:
+      if (conditions_.empty()) return ScriptError::kUnbalancedConditional;
+      conditions_.pop_back();
+      return ScriptError::kOk;
+
+    case Opcode::OP_VERIFY:
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      if (!cast_to_bool(pop())) return ScriptError::kVerifyFailed;
+      return ScriptError::kOk;
+
+    case Opcode::OP_RETURN:
+      return ScriptError::kOpReturn;
+
+    case Opcode::OP_TOALTSTACK:
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      alt_stack_.push_back(pop());
+      return ScriptError::kOk;
+    case Opcode::OP_FROMALTSTACK:
+      if (alt_stack_.empty()) return ScriptError::kStackUnderflow;
+      stack_.push_back(std::move(alt_stack_.back()));
+      alt_stack_.pop_back();
+      return ScriptError::kOk;
+
+    case Opcode::OP_DROP:
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      stack_.pop_back();
+      return ScriptError::kOk;
+    case Opcode::OP_DUP:
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      stack_.push_back(top());
+      return ScriptError::kOk;
+    case Opcode::OP_NIP:
+      if (!need(2)) return ScriptError::kStackUnderflow;
+      stack_.erase(stack_.end() - 2);
+      return ScriptError::kOk;
+    case Opcode::OP_OVER:
+      if (!need(2)) return ScriptError::kStackUnderflow;
+      stack_.push_back(top(1));
+      return ScriptError::kOk;
+    case Opcode::OP_ROT:
+      if (!need(3)) return ScriptError::kStackUnderflow;
+      std::rotate(stack_.end() - 3, stack_.end() - 2, stack_.end());
+      return ScriptError::kOk;
+    case Opcode::OP_SWAP:
+      if (!need(2)) return ScriptError::kStackUnderflow;
+      std::swap(top(), top(1));
+      return ScriptError::kOk;
+    case Opcode::OP_SIZE:
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      stack_.push_back(
+          scriptnum_encode(static_cast<std::int64_t>(top().size())));
+      return ScriptError::kOk;
+
+    case Opcode::OP_EQUAL:
+    case Opcode::OP_EQUALVERIFY: {
+      if (!need(2)) return ScriptError::kStackUnderflow;
+      const Bytes b = pop();
+      const Bytes a = pop();
+      const bool equal = a == b;
+      if (opcode == Opcode::OP_EQUALVERIFY) {
+        if (!equal) return ScriptError::kVerifyFailed;
+      } else {
+        stack_.push_back(bool_bytes(equal));
+      }
+      return ScriptError::kOk;
+    }
+
+    case Opcode::OP_1ADD:
+    case Opcode::OP_1SUB:
+    case Opcode::OP_NOT: {
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      const auto a = pop_num();
+      if (!a) return ScriptError::kBadNumber;
+      std::int64_t r = 0;
+      if (opcode == Opcode::OP_1ADD) r = *a + 1;
+      if (opcode == Opcode::OP_1SUB) r = *a - 1;
+      if (opcode == Opcode::OP_NOT) r = (*a == 0) ? 1 : 0;
+      stack_.push_back(scriptnum_encode(r));
+      return ScriptError::kOk;
+    }
+
+    case Opcode::OP_ADD:
+    case Opcode::OP_SUB:
+    case Opcode::OP_BOOLAND:
+    case Opcode::OP_BOOLOR:
+    case Opcode::OP_NUMEQUAL:
+    case Opcode::OP_NUMEQUALVERIFY:
+    case Opcode::OP_LESSTHAN:
+    case Opcode::OP_GREATERTHAN:
+    case Opcode::OP_MIN:
+    case Opcode::OP_MAX: {
+      if (!need(2)) return ScriptError::kStackUnderflow;
+      const auto b = pop_num();
+      const auto a = pop_num();
+      if (!a || !b) return ScriptError::kBadNumber;
+      std::int64_t r = 0;
+      switch (opcode) {
+        case Opcode::OP_ADD: r = *a + *b; break;
+        case Opcode::OP_SUB: r = *a - *b; break;
+        case Opcode::OP_BOOLAND: r = (*a != 0 && *b != 0) ? 1 : 0; break;
+        case Opcode::OP_BOOLOR: r = (*a != 0 || *b != 0) ? 1 : 0; break;
+        case Opcode::OP_NUMEQUAL:
+        case Opcode::OP_NUMEQUALVERIFY: r = (*a == *b) ? 1 : 0; break;
+        case Opcode::OP_LESSTHAN: r = (*a < *b) ? 1 : 0; break;
+        case Opcode::OP_GREATERTHAN: r = (*a > *b) ? 1 : 0; break;
+        case Opcode::OP_MIN: r = std::min(*a, *b); break;
+        case Opcode::OP_MAX: r = std::max(*a, *b); break;
+        default: break;
+      }
+      if (opcode == Opcode::OP_NUMEQUALVERIFY) {
+        if (r == 0) return ScriptError::kVerifyFailed;
+      } else {
+        stack_.push_back(scriptnum_encode(r));
+      }
+      return ScriptError::kOk;
+    }
+
+    case Opcode::OP_WITHIN: {
+      if (!need(3)) return ScriptError::kStackUnderflow;
+      const auto hi = pop_num();
+      const auto lo = pop_num();
+      const auto x = pop_num();
+      if (!hi || !lo || !x) return ScriptError::kBadNumber;
+      stack_.push_back(bool_bytes(*lo <= *x && *x < *hi));
+      return ScriptError::kOk;
+    }
+
+    case Opcode::OP_SHA256: {
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      const Bytes data = pop();
+      stack_.push_back(crypto::digest_bytes(crypto::sha256(data)));
+      return ScriptError::kOk;
+    }
+    case Opcode::OP_HASH160: {
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      const Bytes data = pop();
+      stack_.push_back(crypto::digest_bytes(crypto::hash160(data)));
+      return ScriptError::kOk;
+    }
+    case Opcode::OP_HASH256: {
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      const Bytes data = pop();
+      stack_.push_back(crypto::digest_bytes(crypto::sha256d(data)));
+      return ScriptError::kOk;
+    }
+
+    case Opcode::OP_CHECKSIG:
+    case Opcode::OP_CHECKSIGVERIFY: {
+      if (!need(2)) return ScriptError::kStackUnderflow;
+      const Bytes pubkey = pop();
+      const Bytes sig = pop();
+      const bool valid = checker_.check_sig(sig, pubkey);
+      if (opcode == Opcode::OP_CHECKSIGVERIFY) {
+        if (!valid) return ScriptError::kVerifyFailed;
+      } else {
+        stack_.push_back(bool_bytes(valid));
+      }
+      return ScriptError::kOk;
+    }
+
+    case Opcode::OP_CHECKLOCKTIMEVERIFY: {
+      // BIP-65: peek (do not pop) the required locktime; the spending
+      // transaction's own nLockTime must reach it, and the input must not
+      // have opted out via a final sequence number.
+      if (!need(1)) return ScriptError::kStackUnderflow;
+      const auto required = scriptnum_decode(top(), 5);
+      if (!required) return ScriptError::kBadNumber;
+      if (*required < 0) return ScriptError::kNegativeLocktime;
+      if (checker_.tx_locktime() < *required)
+        return ScriptError::kUnsatisfiedLocktime;
+      if (checker_.input_sequence_final())
+        return ScriptError::kUnsatisfiedLocktime;
+      return ScriptError::kOk;
+    }
+
+    case Opcode::OP_CHECKRSA512PAIR: {
+      // BcWAN custom operator (paper Listing 1). Stack: .. <priv> <pub>.
+      // Pops both, pushes true iff priv matches pub. A spender taking the
+      // timeout branch pushes a dummy priv and the operator yields false.
+      if (!need(2)) return ScriptError::kStackUnderflow;
+      const Bytes pub_ser = pop();
+      const Bytes priv_ser = pop();
+      const auto pub = crypto::RsaPublicKey::deserialize(pub_ser);
+      const auto priv = crypto::RsaPrivateKey::deserialize(priv_ser);
+      const bool matches =
+          pub && priv && crypto::rsa_pair_matches(*pub, *priv);
+      stack_.push_back(bool_bytes(matches));
+      return ScriptError::kOk;
+    }
+
+    default:
+      return ScriptError::kBadOpcode;
+  }
+}
+
+}  // namespace
+
+bool cast_to_bool(ByteView value) noexcept {
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != 0) {
+      // Negative zero (sign bit only in the last byte) is false.
+      if (i == value.size() - 1 && value[i] == 0x80) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string script_error_name(ScriptError err) {
+  switch (err) {
+    case ScriptError::kOk: return "ok";
+    case ScriptError::kEvalFalse: return "eval-false";
+    case ScriptError::kBadOpcode: return "bad-opcode";
+    case ScriptError::kMalformedScript: return "malformed-script";
+    case ScriptError::kScriptSize: return "script-size";
+    case ScriptError::kPushSize: return "push-size";
+    case ScriptError::kStackUnderflow: return "stack-underflow";
+    case ScriptError::kStackOverflow: return "stack-overflow";
+    case ScriptError::kOpCount: return "op-count";
+    case ScriptError::kUnbalancedConditional: return "unbalanced-conditional";
+    case ScriptError::kVerifyFailed: return "verify-failed";
+    case ScriptError::kOpReturn: return "op-return";
+    case ScriptError::kBadNumber: return "bad-number";
+    case ScriptError::kNegativeLocktime: return "negative-locktime";
+    case ScriptError::kUnsatisfiedLocktime: return "unsatisfied-locktime";
+    case ScriptError::kSigPushOnly: return "sig-push-only";
+  }
+  return "unknown";
+}
+
+ExecResult eval_script(const Script& script, std::vector<util::Bytes> stack,
+                       const SignatureChecker& checker) {
+  Machine machine(std::move(stack), checker);
+  ExecResult result;
+  result.error = machine.run(script);
+  result.stack = machine.take_stack();
+  return result;
+}
+
+ExecResult verify_spend(const Script& script_sig, const Script& script_pubkey,
+                        const SignatureChecker& checker) {
+  ExecResult result;
+  if (!script_sig.is_push_only()) {
+    result.error = ScriptError::kSigPushOnly;
+    return result;
+  }
+  result = eval_script(script_sig, {}, checker);
+  if (!result.ok()) return result;
+  result = eval_script(script_pubkey, std::move(result.stack), checker);
+  if (!result.ok()) return result;
+  if (result.stack.empty() || !cast_to_bool(result.stack.back())) {
+    result.error = ScriptError::kEvalFalse;
+  }
+  return result;
+}
+
+}  // namespace bcwan::script

@@ -1,0 +1,90 @@
+// Script execution engine.
+//
+// Executes scriptSig then scriptPubKey on a shared stack, Bitcoin-0.10
+// style, with BIP-65 OP_CHECKLOCKTIMEVERIFY and the BcWAN custom operator
+// OP_CHECKRSA512PAIR. Signature verification is delegated through the
+// SignatureChecker interface so the engine has no dependency on transaction
+// layout — the chain module supplies a checker that hashes the spending
+// transaction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "script/script.hpp"
+#include "util/bytes.hpp"
+
+namespace bcwan::script {
+
+/// Why execution failed — tests assert specific causes.
+enum class ScriptError {
+  kOk,
+  kEvalFalse,           // ran to completion but left false/empty on top
+  kBadOpcode,           // unknown/disabled opcode executed
+  kMalformedScript,     // truncated push
+  kScriptSize,          // program exceeds kMaxScriptSize
+  kPushSize,            // element exceeds kMaxElementSize
+  kStackUnderflow,
+  kStackOverflow,
+  kOpCount,             // more than kMaxOpsPerScript operators
+  kUnbalancedConditional,
+  kVerifyFailed,        // OP_VERIFY / *_VERIFY variant failed
+  kOpReturn,            // OP_RETURN executed
+  kBadNumber,           // non-minimal or oversized CScriptNum
+  kNegativeLocktime,
+  kUnsatisfiedLocktime,
+  kSigPushOnly,         // scriptSig contained non-push opcodes
+};
+
+std::string script_error_name(ScriptError err);
+
+/// Non-push operator budget per script (Bitcoin's 201).
+constexpr std::size_t kMaxOpsPerScript = 201;
+constexpr std::size_t kMaxStackSize = 1000;
+
+/// Transaction-context callback for OP_CHECKSIG.
+class SignatureChecker {
+ public:
+  virtual ~SignatureChecker() = default;
+  /// True iff `sig` is a valid signature by `pubkey` over the spending
+  /// transaction (implementation defines the sighash).
+  virtual bool check_sig(util::ByteView sig, util::ByteView pubkey) const = 0;
+  /// The spending transaction's nLockTime.
+  virtual std::int64_t tx_locktime() const = 0;
+  /// True if the spending input's sequence disables locktime checks.
+  virtual bool input_sequence_final() const = 0;
+};
+
+/// A checker that fails every signature — for contexts with no transaction.
+class NullSignatureChecker : public SignatureChecker {
+ public:
+  bool check_sig(util::ByteView, util::ByteView) const override {
+    return false;
+  }
+  std::int64_t tx_locktime() const override { return 0; }
+  bool input_sequence_final() const override { return true; }
+};
+
+struct ExecResult {
+  ScriptError error = ScriptError::kOk;
+  bool ok() const noexcept { return error == ScriptError::kOk; }
+  /// Final stack (top = back) — the fair-exchange watcher reads revealed
+  /// values (eSk) from here and from the scriptSig pushes.
+  std::vector<util::Bytes> stack;
+};
+
+/// Execute a single script on an existing stack.
+ExecResult eval_script(const Script& script, std::vector<util::Bytes> stack,
+                       const SignatureChecker& checker);
+
+/// Full spend check: scriptSig must be push-only; then scriptPubKey runs on
+/// the resulting stack; spend is valid iff the final top element is true.
+ExecResult verify_spend(const Script& script_sig, const Script& script_pubkey,
+                        const SignatureChecker& checker);
+
+/// Bitcoin truthiness: false = empty, all-zero, or negative zero.
+bool cast_to_bool(util::ByteView value) noexcept;
+
+}  // namespace bcwan::script

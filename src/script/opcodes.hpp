@@ -1,0 +1,99 @@
+// Opcode set for the BcWAN blockchain script language.
+//
+// A faithful subset of Bitcoin 0.10 script (the engine Multichain forked),
+// plus the paper's custom operator OP_CHECKRSA512PAIR (§4.4): "verify that
+// the Private key given by the gateway is the one that matches the public
+// key in the transaction". Byte values match Bitcoin where an opcode exists
+// there; the custom operator takes an unused slot (0xc0).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bcwan::script {
+
+enum class Opcode : std::uint8_t {
+  // Pushes. Raw values 0x01..0x4b push that many following bytes.
+  OP_0 = 0x00,
+  OP_PUSHDATA1 = 0x4c,
+  OP_PUSHDATA2 = 0x4d,
+  OP_PUSHDATA4 = 0x4e,
+  OP_1NEGATE = 0x4f,
+  OP_1 = 0x51,
+  OP_2 = 0x52,
+  OP_3 = 0x53,
+  OP_4 = 0x54,
+  OP_5 = 0x55,
+  OP_6 = 0x56,
+  OP_7 = 0x57,
+  OP_8 = 0x58,
+  OP_9 = 0x59,
+  OP_10 = 0x5a,
+  OP_11 = 0x5b,
+  OP_12 = 0x5c,
+  OP_13 = 0x5d,
+  OP_14 = 0x5e,
+  OP_15 = 0x5f,
+  OP_16 = 0x60,
+
+  // Flow control.
+  OP_NOP = 0x61,
+  OP_IF = 0x63,
+  OP_NOTIF = 0x64,
+  OP_ELSE = 0x67,
+  OP_ENDIF = 0x68,
+  OP_VERIFY = 0x69,
+  OP_RETURN = 0x6a,
+
+  // Stack.
+  OP_TOALTSTACK = 0x6b,
+  OP_FROMALTSTACK = 0x6c,
+  OP_DROP = 0x75,
+  OP_DUP = 0x76,
+  OP_NIP = 0x77,
+  OP_OVER = 0x78,
+  OP_ROT = 0x7b,
+  OP_SWAP = 0x7c,
+  OP_SIZE = 0x82,
+
+  // Comparison.
+  OP_EQUAL = 0x87,
+  OP_EQUALVERIFY = 0x88,
+
+  // Arithmetic (CScriptNum semantics, 4-byte operands).
+  OP_1ADD = 0x8b,
+  OP_1SUB = 0x8c,
+  OP_NOT = 0x91,
+  OP_ADD = 0x93,
+  OP_SUB = 0x94,
+  OP_BOOLAND = 0x9a,
+  OP_BOOLOR = 0x9b,
+  OP_NUMEQUAL = 0x9c,
+  OP_NUMEQUALVERIFY = 0x9d,
+  OP_LESSTHAN = 0x9f,
+  OP_GREATERTHAN = 0xa0,
+  OP_MIN = 0xa3,
+  OP_MAX = 0xa4,
+  OP_WITHIN = 0xa5,
+
+  // Crypto.
+  OP_SHA256 = 0xa8,
+  OP_HASH160 = 0xa9,
+  OP_HASH256 = 0xaa,
+  OP_CHECKSIG = 0xac,
+  OP_CHECKSIGVERIFY = 0xad,
+
+  // Locktime (BIP-65, present in the Bitcoin 0.10 lineage the paper used).
+  OP_CHECKLOCKTIMEVERIFY = 0xb1,
+
+  // BcWAN custom operator (paper §4.4, Listing 1): pops <rsaPrivKey> and
+  // <rsaPubKey>, pushes true iff they form a valid RSA key pair.
+  OP_CHECKRSA512PAIR = 0xc0,
+
+  OP_INVALIDOPCODE = 0xff,
+};
+
+/// Human-readable opcode name ("OP_DUP"); push lengths render as "PUSH(n)".
+std::string opcode_name(std::uint8_t byte);
+
+}  // namespace bcwan::script

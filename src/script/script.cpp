@@ -1,0 +1,215 @@
+#include "script/script.hpp"
+
+#include <stdexcept>
+
+namespace bcwan::script {
+
+namespace {
+constexpr std::uint8_t kOp0 = static_cast<std::uint8_t>(Opcode::OP_0);
+constexpr std::uint8_t kOp1 = static_cast<std::uint8_t>(Opcode::OP_1);
+constexpr std::uint8_t kOp16 = static_cast<std::uint8_t>(Opcode::OP_16);
+constexpr std::uint8_t kPushData1 =
+    static_cast<std::uint8_t>(Opcode::OP_PUSHDATA1);
+constexpr std::uint8_t kPushData2 =
+    static_cast<std::uint8_t>(Opcode::OP_PUSHDATA2);
+constexpr std::uint8_t kPushData4 =
+    static_cast<std::uint8_t>(Opcode::OP_PUSHDATA4);
+}  // namespace
+
+std::string opcode_name(std::uint8_t byte) {
+  if (byte >= 0x01 && byte <= 0x4b) return "PUSH(" + std::to_string(byte) + ")";
+  switch (static_cast<Opcode>(byte)) {
+    case Opcode::OP_0: return "OP_0";
+    case Opcode::OP_PUSHDATA1: return "OP_PUSHDATA1";
+    case Opcode::OP_PUSHDATA2: return "OP_PUSHDATA2";
+    case Opcode::OP_PUSHDATA4: return "OP_PUSHDATA4";
+    case Opcode::OP_1NEGATE: return "OP_1NEGATE";
+    case Opcode::OP_NOP: return "OP_NOP";
+    case Opcode::OP_IF: return "OP_IF";
+    case Opcode::OP_NOTIF: return "OP_NOTIF";
+    case Opcode::OP_ELSE: return "OP_ELSE";
+    case Opcode::OP_ENDIF: return "OP_ENDIF";
+    case Opcode::OP_VERIFY: return "OP_VERIFY";
+    case Opcode::OP_RETURN: return "OP_RETURN";
+    case Opcode::OP_TOALTSTACK: return "OP_TOALTSTACK";
+    case Opcode::OP_FROMALTSTACK: return "OP_FROMALTSTACK";
+    case Opcode::OP_DROP: return "OP_DROP";
+    case Opcode::OP_DUP: return "OP_DUP";
+    case Opcode::OP_NIP: return "OP_NIP";
+    case Opcode::OP_OVER: return "OP_OVER";
+    case Opcode::OP_ROT: return "OP_ROT";
+    case Opcode::OP_SWAP: return "OP_SWAP";
+    case Opcode::OP_SIZE: return "OP_SIZE";
+    case Opcode::OP_EQUAL: return "OP_EQUAL";
+    case Opcode::OP_EQUALVERIFY: return "OP_EQUALVERIFY";
+    case Opcode::OP_1ADD: return "OP_1ADD";
+    case Opcode::OP_1SUB: return "OP_1SUB";
+    case Opcode::OP_NOT: return "OP_NOT";
+    case Opcode::OP_ADD: return "OP_ADD";
+    case Opcode::OP_SUB: return "OP_SUB";
+    case Opcode::OP_BOOLAND: return "OP_BOOLAND";
+    case Opcode::OP_BOOLOR: return "OP_BOOLOR";
+    case Opcode::OP_NUMEQUAL: return "OP_NUMEQUAL";
+    case Opcode::OP_NUMEQUALVERIFY: return "OP_NUMEQUALVERIFY";
+    case Opcode::OP_LESSTHAN: return "OP_LESSTHAN";
+    case Opcode::OP_GREATERTHAN: return "OP_GREATERTHAN";
+    case Opcode::OP_MIN: return "OP_MIN";
+    case Opcode::OP_MAX: return "OP_MAX";
+    case Opcode::OP_WITHIN: return "OP_WITHIN";
+    case Opcode::OP_SHA256: return "OP_SHA256";
+    case Opcode::OP_HASH160: return "OP_HASH160";
+    case Opcode::OP_HASH256: return "OP_HASH256";
+    case Opcode::OP_CHECKSIG: return "OP_CHECKSIG";
+    case Opcode::OP_CHECKSIGVERIFY: return "OP_CHECKSIGVERIFY";
+    case Opcode::OP_CHECKLOCKTIMEVERIFY: return "OP_CHECKLOCKTIMEVERIFY";
+    case Opcode::OP_CHECKRSA512PAIR: return "OP_CHECKRSA512PAIR";
+    default: break;
+  }
+  if (byte >= kOp1 && byte <= kOp16)
+    return "OP_" + std::to_string(byte - kOp1 + 1);
+  return "OP_UNKNOWN(" + std::to_string(byte) + ")";
+}
+
+Script& Script::op(Opcode opcode) {
+  program_.push_back(static_cast<std::uint8_t>(opcode));
+  return *this;
+}
+
+Script& Script::push(util::ByteView data) {
+  if (data.size() > kMaxElementSize)
+    throw std::invalid_argument("Script::push: element too large");
+  if (data.empty()) {
+    program_.push_back(kOp0);
+  } else if (data.size() <= 0x4b) {
+    program_.push_back(static_cast<std::uint8_t>(data.size()));
+  } else if (data.size() <= 0xff) {
+    program_.push_back(kPushData1);
+    program_.push_back(static_cast<std::uint8_t>(data.size()));
+  } else {
+    program_.push_back(kPushData2);
+    program_.push_back(static_cast<std::uint8_t>(data.size()));
+    program_.push_back(static_cast<std::uint8_t>(data.size() >> 8));
+  }
+  program_.insert(program_.end(), data.begin(), data.end());
+  return *this;
+}
+
+Script& Script::push_int(std::int64_t value) {
+  if (value == 0) {
+    program_.push_back(kOp0);
+  } else if (value >= 1 && value <= 16) {
+    program_.push_back(static_cast<std::uint8_t>(kOp1 + value - 1));
+  } else if (value == -1) {
+    program_.push_back(static_cast<std::uint8_t>(Opcode::OP_1NEGATE));
+  } else {
+    push(scriptnum_encode(value));
+  }
+  return *this;
+}
+
+std::optional<std::vector<Instruction>> Script::decode() const {
+  std::vector<Instruction> out;
+  std::size_t pos = 0;
+  const auto& p = program_;
+  while (pos < p.size()) {
+    Instruction ins;
+    ins.opcode = p[pos++];
+    std::size_t push_len = 0;
+    if (ins.opcode >= 0x01 && ins.opcode <= 0x4b) {
+      push_len = ins.opcode;
+    } else if (ins.opcode == kPushData1) {
+      if (pos + 1 > p.size()) return std::nullopt;
+      push_len = p[pos++];
+    } else if (ins.opcode == kPushData2) {
+      if (pos + 2 > p.size()) return std::nullopt;
+      push_len = p[pos] | static_cast<std::size_t>(p[pos + 1]) << 8;
+      pos += 2;
+    } else if (ins.opcode == kPushData4) {
+      if (pos + 4 > p.size()) return std::nullopt;
+      push_len = p[pos] | static_cast<std::size_t>(p[pos + 1]) << 8 |
+                 static_cast<std::size_t>(p[pos + 2]) << 16 |
+                 static_cast<std::size_t>(p[pos + 3]) << 24;
+      pos += 4;
+    }
+    if (push_len != 0 || ins.is_push()) {
+      if (pos + push_len > p.size()) return std::nullopt;
+      ins.push.assign(p.begin() + static_cast<std::ptrdiff_t>(pos),
+                      p.begin() + static_cast<std::ptrdiff_t>(pos + push_len));
+      pos += push_len;
+    }
+    out.push_back(std::move(ins));
+  }
+  return out;
+}
+
+bool Script::is_push_only() const {
+  const auto decoded = decode();
+  if (!decoded) return false;
+  for (const auto& ins : *decoded) {
+    // OP_1..OP_16 and OP_1NEGATE count as pushes for this purpose.
+    const bool small_int =
+        (ins.opcode >= kOp1 && ins.opcode <= kOp16) ||
+        ins.opcode == static_cast<std::uint8_t>(Opcode::OP_1NEGATE);
+    if (!ins.is_push() && !small_int) return false;
+  }
+  return true;
+}
+
+std::string Script::disassemble() const {
+  const auto decoded = decode();
+  if (!decoded) return "<malformed>";
+  std::string out;
+  for (const auto& ins : *decoded) {
+    if (!out.empty()) out += ' ';
+    if (ins.is_push()) {
+      if (ins.push.empty()) {
+        out += "OP_0";
+      } else {
+        out += '<' + std::to_string(ins.push.size()) + ':' +
+               util::to_hex(ins.push) + '>';
+      }
+    } else {
+      out += opcode_name(ins.opcode);
+    }
+  }
+  return out;
+}
+
+util::Bytes scriptnum_encode(std::int64_t value) {
+  if (value == 0) return {};
+  const bool negative = value < 0;
+  std::uint64_t abs_val =
+      negative ? ~static_cast<std::uint64_t>(value) + 1
+               : static_cast<std::uint64_t>(value);
+  util::Bytes out;
+  while (abs_val != 0) {
+    out.push_back(static_cast<std::uint8_t>(abs_val & 0xff));
+    abs_val >>= 8;
+  }
+  if (out.back() & 0x80) {
+    out.push_back(negative ? 0x80 : 0x00);
+  } else if (negative) {
+    out.back() |= 0x80;
+  }
+  return out;
+}
+
+std::optional<std::int64_t> scriptnum_decode(util::ByteView data,
+                                             std::size_t max_size) {
+  if (data.size() > max_size) return std::nullopt;
+  if (data.empty()) return 0;
+  // Minimality: the top byte may not be a bare sign-extension.
+  if ((data.back() & 0x7f) == 0 &&
+      (data.size() == 1 || (data[data.size() - 2] & 0x80) == 0)) {
+    return std::nullopt;
+  }
+  std::int64_t result = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    result |= static_cast<std::int64_t>(data[i] & (i + 1 == data.size() ? 0x7f : 0xff))
+              << (8 * i);
+  }
+  if (data.back() & 0x80) result = -result;
+  return result;
+}
+
+}  // namespace bcwan::script

@@ -1,0 +1,71 @@
+// Script container, builder and disassembler.
+//
+// A Script is a raw byte program (push opcodes interleaved with operators),
+// exactly as serialized into transaction inputs/outputs. The builder methods
+// always emit the *minimal* push encoding so scripts are canonical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "script/opcodes.hpp"
+#include "util/bytes.hpp"
+
+namespace bcwan::script {
+
+/// Maximum script size accepted by the interpreter (Bitcoin's limit).
+constexpr std::size_t kMaxScriptSize = 10000;
+/// Maximum size of a single pushed element.
+constexpr std::size_t kMaxElementSize = 520;
+
+/// One decoded instruction: an operator, or a push with its payload.
+struct Instruction {
+  std::uint8_t opcode = 0;   // raw byte
+  util::Bytes push;          // payload when this is a push
+  bool is_push() const noexcept {
+    return opcode <= static_cast<std::uint8_t>(Opcode::OP_PUSHDATA4);
+  }
+};
+
+class Script {
+ public:
+  Script() = default;
+  explicit Script(util::Bytes program) : program_(std::move(program)) {}
+
+  const util::Bytes& bytes() const noexcept { return program_; }
+  std::size_t size() const noexcept { return program_.size(); }
+  bool empty() const noexcept { return program_.empty(); }
+
+  /// Append an operator.
+  Script& op(Opcode opcode);
+  /// Append a minimal push of arbitrary data (OP_0 for empty).
+  Script& push(util::ByteView data);
+  /// Append a minimal push of a CScriptNum (OP_0/OP_1..OP_16 when in range).
+  Script& push_int(std::int64_t value);
+
+  /// Decode into instructions. Returns std::nullopt on truncated pushes.
+  std::optional<std::vector<Instruction>> decode() const;
+
+  /// True if every instruction is a push (required of scriptSigs).
+  bool is_push_only() const;
+
+  /// "OP_DUP OP_HASH160 <20:ab..> OP_EQUALVERIFY OP_CHECKSIG"
+  std::string disassemble() const;
+
+  friend bool operator==(const Script&, const Script&) = default;
+
+ private:
+  util::Bytes program_;
+};
+
+/// Bitcoin CScriptNum encoding: little-endian, sign bit in the top byte,
+/// minimal length. Heights and small counters use this.
+util::Bytes scriptnum_encode(std::int64_t value);
+/// Decode with a maximum operand width (Bitcoin uses 4 for arithmetic and
+/// 5 for CLTV). Returns std::nullopt on oversized or non-minimal input.
+std::optional<std::int64_t> scriptnum_decode(util::ByteView data,
+                                             std::size_t max_size = 4);
+
+}  // namespace bcwan::script

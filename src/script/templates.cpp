@@ -1,0 +1,160 @@
+#include "script/templates.hpp"
+
+#include <algorithm>
+
+namespace bcwan::script {
+
+namespace {
+
+util::ByteView hash_view(const PubKeyHash& h) {
+  return util::ByteView(h.data(), h.size());
+}
+
+}  // namespace
+
+PubKeyHash to_pubkey_hash(util::ByteView pubkey_encoded) {
+  const crypto::Digest160 digest = crypto::hash160(pubkey_encoded);
+  PubKeyHash out;
+  std::copy(digest.begin(), digest.end(), out.begin());
+  return out;
+}
+
+Script make_p2pkh(const PubKeyHash& hash) {
+  Script s;
+  s.op(Opcode::OP_DUP)
+      .op(Opcode::OP_HASH160)
+      .push(hash_view(hash))
+      .op(Opcode::OP_EQUALVERIFY)
+      .op(Opcode::OP_CHECKSIG);
+  return s;
+}
+
+Script make_p2pkh_scriptsig(util::ByteView sig, util::ByteView pubkey) {
+  Script s;
+  s.push(sig).push(pubkey);
+  return s;
+}
+
+Script make_op_return(util::ByteView data) {
+  Script s;
+  s.op(Opcode::OP_RETURN).push(data);
+  return s;
+}
+
+Script make_key_release(const crypto::RsaPublicKey& ephemeral_pub,
+                        const PubKeyHash& gateway_pkh,
+                        const PubKeyHash& buyer_pkh,
+                        std::int64_t timeout_height) {
+  Script s;
+  s.push(ephemeral_pub.serialize())
+      .op(Opcode::OP_CHECKRSA512PAIR)
+      .op(Opcode::OP_IF)
+      .op(Opcode::OP_DUP)
+      .op(Opcode::OP_HASH160)
+      .push(hash_view(gateway_pkh))
+      .op(Opcode::OP_EQUALVERIFY)
+      .op(Opcode::OP_ELSE)
+      .push_int(timeout_height)
+      .op(Opcode::OP_CHECKLOCKTIMEVERIFY)
+      .op(Opcode::OP_VERIFY)
+      .op(Opcode::OP_DUP)
+      .op(Opcode::OP_HASH160)
+      .push(hash_view(buyer_pkh))
+      .op(Opcode::OP_EQUALVERIFY)
+      .op(Opcode::OP_ENDIF)
+      .op(Opcode::OP_CHECKSIG);
+  return s;
+}
+
+Script make_key_release_redeem(util::ByteView sig, util::ByteView pubkey,
+                               const crypto::RsaPrivateKey& ephemeral_priv) {
+  Script s;
+  s.push(sig).push(pubkey).push(ephemeral_priv.serialize());
+  return s;
+}
+
+Script make_key_release_reclaim(util::ByteView sig, util::ByteView pubkey) {
+  Script s;
+  // The dummy must deserialize as *something* OP_CHECKRSA512PAIR can reject;
+  // a single zero byte fails RsaPrivateKey::deserialize and yields false.
+  s.push(sig).push(pubkey).push(util::Bytes{0x00});
+  return s;
+}
+
+namespace {
+
+bool is_op(const Instruction& ins, Opcode op) {
+  return !ins.is_push() && ins.opcode == static_cast<std::uint8_t>(op);
+}
+
+bool push_hash(const Instruction& ins, PubKeyHash& out) {
+  if (!ins.is_push() || ins.push.size() != 20) return false;
+  std::copy(ins.push.begin(), ins.push.end(), out.begin());
+  return true;
+}
+
+}  // namespace
+
+ClassifiedScript classify(const Script& script) {
+  ClassifiedScript out;
+  const auto decoded = script.decode();
+  if (!decoded) return out;
+  const auto& ins = *decoded;
+
+  // P2PKH: DUP HASH160 <20> EQUALVERIFY CHECKSIG
+  if (ins.size() == 5 && is_op(ins[0], Opcode::OP_DUP) &&
+      is_op(ins[1], Opcode::OP_HASH160) && push_hash(ins[2], out.pubkey_hash) &&
+      is_op(ins[3], Opcode::OP_EQUALVERIFY) &&
+      is_op(ins[4], Opcode::OP_CHECKSIG)) {
+    out.type = ScriptType::kP2pkh;
+    return out;
+  }
+
+  // OP_RETURN <data>
+  if (ins.size() == 2 && is_op(ins[0], Opcode::OP_RETURN) && ins[1].is_push()) {
+    out.type = ScriptType::kOpReturn;
+    out.data = ins[1].push;
+    return out;
+  }
+
+  // Listing 1: <rsaPub> CHECKRSA512PAIR IF DUP HASH160 <20> EQUALVERIFY
+  //            ELSE <height> CLTV VERIFY DUP HASH160 <20> EQUALVERIFY
+  //            ENDIF CHECKSIG
+  if (ins.size() == 17 && ins[0].is_push() &&
+      is_op(ins[1], Opcode::OP_CHECKRSA512PAIR) &&
+      is_op(ins[2], Opcode::OP_IF) && is_op(ins[3], Opcode::OP_DUP) &&
+      is_op(ins[4], Opcode::OP_HASH160) &&
+      push_hash(ins[5], out.pubkey_hash) &&
+      is_op(ins[6], Opcode::OP_EQUALVERIFY) &&
+      is_op(ins[7], Opcode::OP_ELSE) && ins[8].is_push() &&
+      is_op(ins[9], Opcode::OP_CHECKLOCKTIMEVERIFY) &&
+      is_op(ins[10], Opcode::OP_VERIFY) && is_op(ins[11], Opcode::OP_DUP) &&
+      is_op(ins[12], Opcode::OP_HASH160) &&
+      push_hash(ins[13], out.buyer_pubkey_hash) &&
+      is_op(ins[14], Opcode::OP_EQUALVERIFY) &&
+      is_op(ins[15], Opcode::OP_ENDIF) &&
+      is_op(ins[16], Opcode::OP_CHECKSIG)) {
+    const auto pub = crypto::RsaPublicKey::deserialize(ins[0].push);
+    const auto height = scriptnum_decode(ins[8].push, 5);
+    if (pub && height && *height >= 0) {
+      out.type = ScriptType::kKeyRelease;
+      out.ephemeral_pub = pub;
+      out.timeout_height = *height;
+      return out;
+    }
+    out = ClassifiedScript{};  // reset partial fills
+  }
+
+  return out;
+}
+
+std::optional<crypto::RsaPrivateKey> extract_revealed_key(
+    const Script& script_sig) {
+  const auto decoded = script_sig.decode();
+  if (!decoded || decoded->size() != 3) return std::nullopt;
+  const auto& key_push = (*decoded)[2];
+  if (!key_push.is_push()) return std::nullopt;
+  return crypto::RsaPrivateKey::deserialize(key_push.push);
+}
+
+}  // namespace bcwan::script

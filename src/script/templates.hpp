@@ -1,0 +1,93 @@
+// Standard script templates used by BcWAN transactions.
+//
+// Three output shapes exist in the system:
+//   * P2PKH          — ordinary payments and mining rewards;
+//   * OP_RETURN data — the gateway directory (§4.3/§5.1: "We used the
+//                      OP_RETURN script operator ... which allows to publish
+//                      arbitrary data inside the output of a transaction");
+//   * ephemeral-key-release — the paper's Listing 1 fair-exchange contract.
+//
+// Listing 1, verbatim from the paper:
+//     <rsaPubKey>
+//     OP_CHECKRSA512PAIR
+//     OP_IF
+//       OP_DUP OP_HASH160 <pubKeyHash> OP_EQUALVERIFY
+//     OP_ELSE
+//       <block_height+100> OP_CHECKLOCKTIMEVERIFY OP_VERIFY
+//       OP_DUP OP_HASH160 <buyerPubkeyHash> OP_EQUALVERIFY
+//     OP_ENDIF
+//     OP_CHECKSIG
+//
+// The gateway redeems by revealing the ephemeral RSA private key (eSk) in
+// its scriptSig; the buyer (recipient) reclaims after the timeout by pushing
+// a dummy in the eSk slot, failing OP_CHECKRSA512PAIR into the CLTV branch.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "crypto/ripemd160.hpp"
+#include "crypto/rsa.hpp"
+#include "script/script.hpp"
+#include "util/bytes.hpp"
+
+namespace bcwan::script {
+
+using PubKeyHash = std::array<std::uint8_t, 20>;
+
+/// OP_DUP OP_HASH160 <hash> OP_EQUALVERIFY OP_CHECKSIG
+Script make_p2pkh(const PubKeyHash& hash);
+
+/// <sig> <pubkey>
+Script make_p2pkh_scriptsig(util::ByteView sig, util::ByteView pubkey);
+
+/// OP_RETURN <data> — provably unspendable data carrier.
+Script make_op_return(util::ByteView data);
+
+/// Listing 1 — ephemeral private key release contract.
+/// `gateway_pkh` is the seller that reveals eSk; `buyer_pkh` reclaims after
+/// `timeout_height` (the paper uses current height + 100).
+Script make_key_release(const crypto::RsaPublicKey& ephemeral_pub,
+                        const PubKeyHash& gateway_pkh,
+                        const PubKeyHash& buyer_pkh,
+                        std::int64_t timeout_height);
+
+/// Gateway redeem input: <sig> <pubkey> <eSk serialized>.
+Script make_key_release_redeem(util::ByteView sig, util::ByteView pubkey,
+                               const crypto::RsaPrivateKey& ephemeral_priv);
+
+/// Buyer timeout-reclaim input: <sig> <pubkey> <dummy>.
+Script make_key_release_reclaim(util::ByteView sig, util::ByteView pubkey);
+
+enum class ScriptType {
+  kP2pkh,
+  kOpReturn,
+  kKeyRelease,
+  kNonStandard,
+};
+
+/// Decoded view of a standard output script.
+struct ClassifiedScript {
+  ScriptType type = ScriptType::kNonStandard;
+  // kP2pkh: the destination hash. kKeyRelease: the gateway (reveal-path) hash.
+  PubKeyHash pubkey_hash{};
+  // kKeyRelease only.
+  PubKeyHash buyer_pubkey_hash{};
+  std::optional<crypto::RsaPublicKey> ephemeral_pub;
+  std::int64_t timeout_height = 0;
+  // kOpReturn only.
+  util::Bytes data;
+};
+
+ClassifiedScript classify(const Script& script);
+
+/// Pulls the revealed ephemeral private key out of a redeem scriptSig —
+/// this is how the recipient learns eSk once the gateway's spend hits the
+/// chain/mempool (protocol step 10).
+std::optional<crypto::RsaPrivateKey> extract_revealed_key(
+    const Script& script_sig);
+
+/// HASH160 of an encoded public key, as a fixed array.
+PubKeyHash to_pubkey_hash(util::ByteView pubkey_encoded);
+
+}  // namespace bcwan::script

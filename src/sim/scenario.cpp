@@ -1,0 +1,326 @@
+#include "sim/scenario.hpp"
+
+#include "bcwan/election.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace bcwan::sim {
+
+core::IpAddress host_ip(p2p::HostId host) {
+  return 0x0a000000u | static_cast<core::IpAddress>(host & 0xff);
+}
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  build();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build() {
+  // Proof-of-stake mode (§6 extension): if no validator set was supplied,
+  // the master host is the sole slot leader — the federation analogue of
+  // the paper's single mining EC2 instance. Must happen before any
+  // Blockchain is constructed so every node validates the same schedule.
+  const crypto::EcKeyPair master_key =
+      crypto::ec_from_seed(util::str_bytes("scenario-master"));
+  if (config_.chain_params.consensus == chain::ConsensusMode::kProofOfStake &&
+      config_.chain_params.validators.empty()) {
+    config_.chain_params.validators.push_back(
+        chain::Validator{crypto::ec_pubkey_encode(master_key.pub), 1});
+  }
+
+  net_ = std::make_unique<p2p::SimNet>(loop_, rng_.next());
+  net_->set_default_latency(config_.wan_latency);
+  radio_ = std::make_unique<lora::LoraRadio>(loop_, rng_.next(),
+                                             config_.radio_config);
+
+  p2p::ChainNodeConfig node_config;
+  node_config.block_verification_stall = config_.block_verification_stall;
+  node_config.stall_median_s = config_.stall_median_s;
+  node_config.stall_sigma = config_.stall_sigma;
+
+  // Actor hosts (the "PlanetLab nodes").
+  for (int a = 0; a < config_.actors; ++a) {
+    const p2p::HostId host = net_->add_host("actor" + std::to_string(a));
+    actor_nodes_.push_back(std::make_unique<p2p::ChainNode>(
+        loop_, *net_, host, config_.chain_params, node_config, rng_.next()));
+  }
+  // Master host (the "AWS EC2 instance"): mines, never stalls the others.
+  {
+    p2p::ChainNodeConfig master_config = node_config;
+    const p2p::HostId host = net_->add_host("master");
+    master_node_ = std::make_unique<p2p::ChainNode>(
+        loop_, *net_, host, config_.chain_params, master_config, rng_.next());
+  }
+  master_wallet_ = std::make_unique<chain::Wallet>(
+      chain::Wallet::from_seed("scenario-master"));
+  miner_ = std::make_unique<chain::Miner>(config_.chain_params,
+                                          master_wallet_->pkh());
+  miner_->set_pos_key(master_key);
+
+  // Per-actor agents. Each actor runs `gateways_per_actor` gateway agents
+  // on its host and elects one master (§4.2 footnote 3); its devices — and
+  // the latency hooks — use the master.
+  for (int a = 0; a < config_.actors; ++a) {
+    auto& node = *actor_nodes_[a];
+    directories_.push_back(std::make_unique<core::Directory>(node));
+
+    std::vector<script::PubKeyHash> candidates;
+    for (int g = 0; g < config_.gateways_per_actor; ++g) {
+      gateways_.push_back(std::make_unique<core::GatewayAgent>(
+          loop_, *net_, *radio_, node, *directories_.back(),
+          chain::Wallet::from_seed("gateway-" + std::to_string(a) + "-" +
+                                   std::to_string(g)),
+          config_.timing, config_.gateway_config, rng_.next()));
+      core::GatewayAgent* gw = gateways_.back().get();
+      const lora::RadioGatewayId radio_gw = radio_->add_gateway(
+          [gw](lora::RadioDeviceId from, const util::Bytes& frame) {
+            gw->on_uplink(from, frame);
+          });
+      gw->attach_radio(radio_gw);
+      candidates.push_back(gw->pkh());
+    }
+    masters_.push_back(core::elect_master_gateway(candidates));
+
+    recipients_.push_back(std::make_unique<core::RecipientAgent>(
+        loop_, node, chain::Wallet::from_seed("recipient-" + std::to_string(a)),
+        config_.timing, config_.recipient_config, rng_.next()));
+
+    core::RecipientAgent* recipient = recipients_.back().get();
+    node.set_app_handler(
+        [recipient](const p2p::Message& msg) { recipient->handle_message(msg); });
+
+    // Latency hooks go on the elected master (the one devices talk to).
+    core::GatewayAgent* gw = &gateway(a);
+    gw->on_ephemeral_sent = [this](std::uint16_t device_id) {
+      exchange_start_[device_id] = loop_.now();
+    };
+    // A reclaimed exchange is over (no data); free the device for new work.
+    recipient->on_reclaimed = [this](std::uint16_t device_id) {
+      exchange_start_.erase(device_id);
+      reschedule_report(device_id);
+    };
+    recipient->on_reading = [this](std::uint16_t device_id,
+                                   const util::Bytes&) {
+      const auto it = exchange_start_.find(device_id);
+      if (it == exchange_start_.end()) return;
+      ExchangeRecord record;
+      record.device_id = device_id;
+      record.ephemeral_sent_at = it->second;
+      record.decrypted_at = loop_.now();
+      exchange_start_.erase(it);
+      latency_.add(record.latency_s());
+      records_.push_back(record);
+      ++completed_;
+      // Schedule the device's next report (duty-aware pacing; the run loop
+      // starts it once the time comes).
+      const int actor = device_id / 256;
+      const int index = device_id % 256;
+      const std::size_t sensor_index = static_cast<std::size_t>(
+          actor * config_.sensors_per_actor + index);
+      if (sensor_index < next_report_.size()) {
+        next_report_[sensor_index] =
+            loop_.now() + util::from_seconds(rng_.exponential(
+                              util::to_seconds(config_.report_interval_mean)));
+      }
+    };
+  }
+
+  // Sensors: actor a's devices attach to the *next* actor's elected master
+  // gateway — every message crosses a foreign gateway, the situation BcWAN
+  // exists for.
+  lora::LoraConfig phy;
+  phy.sf = config_.sf;
+  for (int a = 0; a < config_.actors; ++a) {
+    const int foreign_actor = (a + 1) % config_.actors;
+    const int foreign = foreign_actor * config_.gateways_per_actor +
+                        static_cast<int>(masters_[foreign_actor]);
+    for (int s = 0; s < config_.sensors_per_actor; ++s) {
+      const auto device_id = static_cast<std::uint16_t>(a * 256 + s);
+      core::NodeProvisioning provisioning =
+          core::provision_node(device_id, recipients_[a]->pkh(), rng_);
+      recipients_[a]->register_device(provisioning);
+
+      sensors_.push_back(std::make_unique<core::SensorNode>(
+          loop_, *radio_, std::move(provisioning), config_.timing,
+          core::SensorNodeConfig{}, rng_.next()));
+      core::SensorNode* sensor = sensors_.back().get();
+      // A failed exchange must not leave a stale start timestamp pinning
+      // the device as "in flight".
+      sensor->on_exchange_failed = [this](std::uint16_t id) {
+        exchange_start_.erase(id);
+        reschedule_report(id);
+      };
+      const lora::RadioDeviceId radio_device = radio_->add_device(
+          static_cast<lora::RadioGatewayId>(foreign), phy,
+          config_.duty_cycle,
+          [sensor](const util::Bytes& frame) { sensor->on_downlink(frame); });
+      sensor->attach_radio(radio_device);
+      next_report_.push_back(0);
+    }
+  }
+}
+
+void Scenario::bootstrap() {
+  // Phase 1: mine the funding chain quickly (the paper's EC2 master
+  // "bootstraps the nodes"). Blocks are spaced 1 virtual second so gossip
+  // settles between them.
+  // Enough mature coinbases to cover every recipient's working budget.
+  const auto rewards_needed = static_cast<int>(
+      (static_cast<chain::Amount>(config_.actors) * config_.recipient_funding +
+       config_.chain_params.block_reward - 1) /
+      config_.chain_params.block_reward);
+  const int funding_blocks =
+      config_.chain_params.coinbase_maturity + rewards_needed + 2;
+  for (int i = 0; i < funding_blocks; ++i) {
+    loop_.run_until(loop_.now() + util::kSecond);
+    const chain::Block block = miner_->mine(
+        master_node_->chain(), master_node_->mempool(),
+        static_cast<std::uint64_t>(loop_.now() / util::kSecond));
+    master_node_->submit_block(block);
+    ++blocks_mined_;
+  }
+  loop_.run_until(loop_.now() + util::kSecond);
+
+  // Phase 2: pay every recipient its working budget.
+  for (int a = 0; a < config_.actors; ++a) {
+    const auto tx = master_wallet_->create_payment(
+        master_node_->chain(), &master_node_->mempool(),
+        recipients_[static_cast<std::size_t>(a)]->pkh(),
+        config_.recipient_funding, 1000);
+    if (!tx) throw std::runtime_error("Scenario: master underfunded");
+    if (!master_node_->submit_tx(*tx).ok())
+      throw std::runtime_error("Scenario: funding tx rejected");
+  }
+  loop_.run_until(loop_.now() + util::kSecond);
+  {
+    const chain::Block block = miner_->mine(
+        master_node_->chain(), master_node_->mempool(),
+        static_cast<std::uint64_t>(loop_.now() / util::kSecond));
+    master_node_->submit_block(block);
+    ++blocks_mined_;
+  }
+  loop_.run_until(loop_.now() + util::kSecond);
+
+  // Phase 3: recipients publish their IPs (§4.3) — these reach every
+  // directory through gossip, then get sealed into a block. With block
+  // verification stalls enabled the funding block may still be queued at an
+  // actor's daemon, so retry until its wallet sees the money.
+  for (int a = 0; a < config_.actors; ++a) {
+    auto& node = *actor_nodes_[static_cast<std::size_t>(a)];
+    bool announced = false;
+    for (int attempt = 0; attempt < 900 && !announced; ++attempt) {
+      announced = recipients_[static_cast<std::size_t>(a)]->announce_ip(
+          host_ip(node.host()), 0);
+      if (!announced) loop_.run_until(loop_.now() + util::kSecond);
+    }
+    if (!announced) throw std::runtime_error("Scenario: announcement failed");
+  }
+  loop_.run_until(loop_.now() + util::kSecond);
+  {
+    const chain::Block block = miner_->mine(
+        master_node_->chain(), master_node_->mempool(),
+        static_cast<std::uint64_t>(loop_.now() / util::kSecond));
+    master_node_->submit_block(block);
+    ++blocks_mined_;
+  }
+  loop_.run_until(loop_.now() + util::kSecond);
+
+  // Phase 4: steady-state Poisson mining.
+  mining_active_ = true;
+  schedule_mining();
+}
+
+void Scenario::schedule_mining() {
+  const double mean_s = util::to_seconds(config_.chain_params.block_interval);
+  const util::SimTime delay = util::from_seconds(rng_.exponential(mean_s));
+  loop_.after(delay, [this] {
+    if (!mining_active_) return;
+    const chain::Block block = miner_->mine(
+        master_node_->chain(), master_node_->mempool(),
+        static_cast<std::uint64_t>(loop_.now() / util::kSecond));
+    master_node_->submit_block(block);
+    ++blocks_mined_;
+    schedule_mining();
+  });
+}
+
+void Scenario::reschedule_report(std::uint16_t device_id) {
+  const int actor = device_id / 256;
+  const int index = device_id % 256;
+  const std::size_t sensor_index =
+      static_cast<std::size_t>(actor * config_.sensors_per_actor + index);
+  if (sensor_index < next_report_.size()) {
+    next_report_[sensor_index] =
+        loop_.now() + util::from_seconds(rng_.exponential(
+                          util::to_seconds(config_.report_interval_mean)));
+  }
+}
+
+void Scenario::start_sensor(std::size_t sensor_index) {
+  core::SensorNode& sensor = *sensors_[sensor_index];
+  if (sensor.busy()) return;
+  // A small reading, like the paper's examples ("temperature, humidity
+  // level, ...") — must stay under one AES block.
+  char reading[16];
+  std::snprintf(reading, sizeof reading, "t=%02d.%drh=%02d%%",
+                static_cast<int>(rng_.range(15, 30)),
+                static_cast<int>(rng_.below(10)),
+                static_cast<int>(rng_.range(20, 70)));
+  sensor.start_exchange(util::str_bytes(reading));
+}
+
+void Scenario::run_exchanges(std::size_t total_exchanges,
+                             util::SimTime deadline) {
+  target_exchanges_ = completed_ + total_exchanges;
+  // Stagger initial reports across one mean interval so 150 sensors don't
+  // all transmit in the same instant.
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    next_report_[i] =
+        loop_.now() +
+        static_cast<util::SimTime>(rng_.below(static_cast<std::uint64_t>(
+            std::max<util::SimTime>(config_.report_interval_mean, 1))));
+  }
+  const util::SimTime hard_deadline = loop_.now() + deadline;
+  while (completed_ < target_exchanges_ && loop_.now() < hard_deadline) {
+    loop_.run_until(loop_.now() + util::kSecond);
+    // Write off exchanges whose data frame died on the air (unconfirmed
+    // LoRa uplinks are fire-and-forget): their devices become idle again.
+    std::erase_if(exchange_start_, [this](const auto& entry) {
+      if (loop_.now() - entry.second <= config_.exchange_stale_after)
+        return false;
+      const int actor = entry.first / 256;
+      const int index = entry.first % 256;
+      const std::size_t sensor_index = static_cast<std::size_t>(
+          actor * config_.sensors_per_actor + index);
+      if (sensor_index < next_report_.size()) {
+        next_report_[sensor_index] =
+            loop_.now() + util::from_seconds(rng_.exponential(
+                              util::to_seconds(config_.report_interval_mean)));
+      }
+      return true;
+    });
+    // Keep idle devices working (e.g. a failed exchange freed a device).
+    // A device is idle only if its node is not mid-protocol AND no exchange
+    // of its is still settling on-chain.
+    if (completed_ + exchange_start_.size() < target_exchanges_) {
+      for (std::size_t i = 0; i < sensors_.size(); ++i) {
+        if (completed_ + exchange_start_.size() >= target_exchanges_) break;
+        core::SensorNode& sensor = *sensors_[i];
+        if (loop_.now() >= next_report_[i] && !sensor.busy() &&
+            exchange_start_.find(sensor.device_id()) ==
+                exchange_start_.end()) {
+          start_sensor(i);
+          // Until this exchange completes (or is written off) the device
+          // is covered by busy()/exchange_start_; push next_report_ out so
+          // the loop does not double-start while the request is in flight.
+          next_report_[i] = loop_.now() + util::kHour;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bcwan::sim

@@ -1,0 +1,43 @@
+// Byte-buffer primitives shared across all BcWAN modules.
+//
+// `Bytes` is the universal wire/value type: transaction payloads, script
+// programs, crypto blobs and LoRa frames are all carried as `Bytes`.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bcwan::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encode a byte buffer as lowercase hex.
+std::string to_hex(ByteView data);
+
+/// Decode a hex string (case-insensitive). Returns std::nullopt on malformed
+/// input (odd length or non-hex characters).
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Decode hex that is known-good at the call site (test vectors, constants).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex_strict(std::string_view hex);
+
+/// Byte-wise concatenation of any number of buffers.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Constant-time equality (length leak only); for comparing secrets/MACs.
+bool ct_equal(ByteView a, ByteView b) noexcept;
+
+/// Interpret a UTF-8/ASCII string as bytes.
+Bytes str_bytes(std::string_view s);
+
+/// Interpret bytes as a std::string (no validation).
+std::string bytes_str(ByteView b);
+
+}  // namespace bcwan::util

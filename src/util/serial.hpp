@@ -1,0 +1,73 @@
+// Canonical binary serialization used by transactions, blocks and frames.
+//
+// Integers are little-endian (Bitcoin convention); variable-length sizes use
+// Bitcoin's CompactSize ("varint") encoding so serialized transactions look
+// like the real thing on the wire.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace bcwan::util {
+
+/// Thrown by Reader when the input is truncated or malformed.
+class DeserializeError : public std::runtime_error {
+ public:
+  explicit DeserializeError(const std::string& what)
+      : std::runtime_error("deserialize: " + what) {}
+};
+
+/// Append-only binary writer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Bitcoin CompactSize.
+  void varint(std::uint64_t v);
+  void bytes(ByteView b) {
+    // reserve() first: avoids a GCC-12 -Wstringop-overflow false positive
+    // on the inlined insert path, and saves a realloc besides.
+    out_.reserve(out_.size() + b.size());
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  /// varint length prefix + raw bytes.
+  void var_bytes(ByteView b);
+
+  const Bytes& data() const noexcept { return out_; }
+  Bytes take() noexcept { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bounds-checked binary reader over a borrowed buffer.
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  Bytes bytes(std::size_t n);
+  Bytes var_bytes();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return remaining() == 0; }
+  /// Require that the whole buffer was consumed (canonical encodings).
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bcwan::util

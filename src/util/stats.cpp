@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bcwan::util {
+
+void SampleStats::add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+}
+
+void SampleStats::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleStats::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[std::max<std::size_t>(rank, 1) - 1];
+}
+
+std::string SampleStats::histogram(double lo, double hi, std::size_t bins,
+                                   std::size_t width) const {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("histogram: bad range");
+  std::vector<std::size_t> counts(bins, 0);
+  std::size_t overflow = 0;
+  std::size_t underflow = 0;
+  for (double v : samples_) {
+    if (v < lo) {
+      ++underflow;
+    } else if (v >= hi) {
+      ++overflow;
+    } else {
+      const auto idx = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                                static_cast<double>(bins));
+      ++counts[std::min(idx, bins - 1)];
+    }
+  }
+  std::size_t peak = 1;
+  for (auto c : counts) peak = std::max(peak, c);
+
+  std::string out;
+  char line[160];
+  const double bin_width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double a = lo + bin_width * static_cast<double>(i);
+    const double b = a + bin_width;
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts[i]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    std::snprintf(line, sizeof line, "  [%8.3f, %8.3f) %6zu |", a, b,
+                  counts[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow != 0 || overflow != 0) {
+    std::snprintf(line, sizeof line, "  (underflow %zu, overflow %zu)\n",
+                  underflow, overflow);
+    out += line;
+  }
+  return out;
+}
+
+std::string SampleStats::summary(const std::string& unit) const {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "n=%zu mean=%.3f%s sd=%.3f min=%.3f p50=%.3f p95=%.3f "
+                "p99=%.3f max=%.3f",
+                count(), mean(), unit.c_str(), stddev(), min(),
+                percentile(50), percentile(95), percentile(99), max());
+  return line;
+}
+
+}  // namespace bcwan::util

@@ -1,0 +1,41 @@
+// Online sample statistics used by the benchmark harness to summarise
+// exchange latencies the way the paper's Figures 5 and 6 do.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bcwan::util {
+
+class SampleStats {
+ public:
+  void add(double v);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// p in [0, 100]; nearest-rank on the sorted samples.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// Fixed-width ASCII histogram between [lo, hi) with `bins` buckets —
+  /// the bench binaries print these as the stand-in for the paper's figures.
+  std::string histogram(double lo, double hi, std::size_t bins,
+                        std::size_t width = 50) const;
+
+  /// One-line summary: n, mean, sd, min, p50, p95, p99, max.
+  std::string summary(const std::string& unit) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+}  // namespace bcwan::util

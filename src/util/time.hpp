@@ -1,0 +1,37 @@
+// Virtual-time types for the discrete-event simulator.
+//
+// All simulated latencies are carried as SimTime (microsecond ticks) so that
+// event ordering is exact and runs are reproducible across platforms — no
+// floating point drift in the scheduler.
+#pragma once
+
+#include <cstdint>
+
+namespace bcwan::util {
+
+/// Microseconds of virtual time since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr SimTime from_millis(double ms) noexcept {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+
+}  // namespace bcwan::util

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "baseline/exchange_models.hpp"
+#include "baseline/legacy_lorawan.hpp"
+
+namespace bcwan::baseline {
+namespace {
+
+TEST(LegacyLoraWan, LatencyIsSubSecond) {
+  LegacyConfig config;
+  LegacyLoraWan legacy(config);
+  legacy.run(500);
+  ASSERT_EQ(legacy.latency_stats().count(), 500u);
+  // Airtime (~70 ms for 33 B at SF7) + two WAN hops: well under a second.
+  EXPECT_GT(legacy.latency_stats().mean(), 0.05);
+  EXPECT_LT(legacy.latency_stats().mean(), 0.8);
+}
+
+TEST(LegacyLoraWan, SlowerAtHigherSf) {
+  LegacyConfig fast;
+  LegacyConfig slow;
+  slow.sf = lora::SpreadingFactor::kSF12;
+  LegacyLoraWan a(fast), b(slow);
+  a.run(200);
+  b.run(200);
+  EXPECT_GT(b.latency_stats().mean(), a.latency_stats().mean());
+}
+
+TEST(ExchangeModels, ReputationLosesMoneyToCheaters) {
+  ExchangeModelConfig config;
+  const auto result = run_reputation_model(config);
+  EXPECT_GT(result.value_lost, 0.0);           // the §4.4 problem
+  EXPECT_LT(result.delivery_rate(), 1.0);
+  // Reputation *bounds* the damage: each cheater can cheat only a few times
+  // before being shunned, so losses are far below the malicious fraction.
+  EXPECT_LT(result.value_lost, result.value_paid * 0.1);
+}
+
+TEST(ExchangeModels, BcwanNeverLosesMoney) {
+  ExchangeModelConfig config;
+  const auto result = run_bcwan_model(config);
+  EXPECT_EQ(result.value_lost, 0.0);           // fair exchange guarantee
+  EXPECT_GT(result.gateway_revenue, 0.0);      // incentive preserved
+  // But withholding gateways cost wall-clock time (reclaim penalty).
+  EXPECT_GT(result.mean_latency_s, config.normal_latency_s);
+}
+
+TEST(ExchangeModels, AltruisticHasNoIncentive) {
+  ExchangeModelConfig config;
+  const auto result = run_altruistic_model(config);
+  EXPECT_EQ(result.gateway_revenue, 0.0);      // §3: no gateway incentive
+  EXPECT_EQ(result.value_lost, 0.0);
+  EXPECT_NEAR(result.delivery_rate(), config.altruistic_fraction, 0.05);
+}
+
+TEST(ExchangeModels, WhitewashingDefeatsReputation) {
+  ExchangeModelConfig pinned;
+  pinned.malicious_fraction = 0.2;
+  ExchangeModelConfig sybil = pinned;
+  sybil.whitewashing = true;
+  const auto a = run_reputation_model(pinned);
+  const auto b = run_reputation_model(sybil);
+  // Fresh identities make losses scale with interactions, not gateways.
+  EXPECT_GT(b.value_lost, a.value_lost * 10);
+  EXPECT_GT(b.value_lost, b.value_paid * 0.1);
+}
+
+TEST(ExchangeModels, MoreMaliceMoreReputationLoss) {
+  ExchangeModelConfig low;
+  low.malicious_fraction = 0.1;
+  ExchangeModelConfig high;
+  high.malicious_fraction = 0.5;
+  EXPECT_LT(run_reputation_model(low).value_lost,
+            run_reputation_model(high).value_lost);
+}
+
+TEST(ExchangeModels, DeterministicForSeed) {
+  ExchangeModelConfig config;
+  const auto a = run_reputation_model(config);
+  const auto b = run_reputation_model(config);
+  EXPECT_EQ(a.value_lost, b.value_lost);
+  EXPECT_EQ(a.delivered, b.delivered);
+}
+
+}  // namespace
+}  // namespace bcwan::baseline

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "bignum/biguint.hpp"
+#include "bignum/primes.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::bignum {
+namespace {
+
+using util::Rng;
+
+TEST(BigUint, ZeroAndSmallValues) {
+  const BigUint zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.is_even());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_hex(), "0");
+
+  const BigUint one(1);
+  EXPECT_TRUE(one.is_one());
+  EXPECT_FALSE(one.is_even());
+  EXPECT_EQ(one.bit_length(), 1u);
+}
+
+TEST(BigUint, U64RoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 0xffffffffULL, 0x100000000ULL,
+                          0xdeadbeefcafebabeULL, ~0ULL}) {
+    EXPECT_EQ(BigUint(v).to_u64(), v);
+  }
+}
+
+TEST(BigUint, HexRoundTrip) {
+  const char* kCases[] = {
+      "1", "ff", "100", "deadbeef",
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"};
+  for (const char* h : kCases) {
+    EXPECT_EQ(BigUint::from_hex(h).to_hex(), h);
+  }
+}
+
+TEST(BigUint, BytesRoundTrip) {
+  const auto raw = util::from_hex_strict("00ffee010203");
+  const BigUint v = BigUint::from_bytes_be(raw);
+  EXPECT_EQ(util::to_hex(v.to_bytes_be(6)), "00ffee010203");
+  EXPECT_EQ(util::to_hex(v.to_bytes_be()), "ffee010203");
+}
+
+TEST(BigUint, ToBytesThrowsWhenTooNarrow) {
+  const BigUint v = BigUint::from_hex("010203");
+  EXPECT_THROW(v.to_bytes_be(2), std::domain_error);
+}
+
+TEST(BigUint, Comparison) {
+  EXPECT_LT(BigUint(1), BigUint(2));
+  EXPECT_GT(BigUint(0x100000000ULL), BigUint(0xffffffffULL));
+  EXPECT_EQ(BigUint(7), BigUint(7));
+}
+
+TEST(BigUint, AddSubInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const BigUint a = BigUint::random_bits(rng, 1 + rng.below(300));
+    const BigUint b = BigUint::random_bits(rng, 1 + rng.below(300));
+    const BigUint s = a + b;
+    EXPECT_EQ(s - a, b);
+    EXPECT_EQ(s - b, a);
+  }
+}
+
+TEST(BigUint, SubUnderflowThrows) {
+  EXPECT_THROW(BigUint(1) - BigUint(2), std::domain_error);
+}
+
+TEST(BigUint, AddCarryChain) {
+  const BigUint a = BigUint::from_hex("ffffffffffffffffffffffff");
+  EXPECT_EQ((a + BigUint(1)).to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigUint, MulKnownValues) {
+  EXPECT_EQ((BigUint(0xffffffffULL) * BigUint(0xffffffffULL)).to_hex(),
+            "fffffffe00000001");
+  EXPECT_TRUE((BigUint(12345) * BigUint()).is_zero());
+}
+
+TEST(BigUint, DivmodIdentityRandom) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const BigUint a = BigUint::random_bits(rng, 1 + rng.below(512));
+    BigUint b = BigUint::random_bits(rng, 1 + rng.below(300));
+    if (b.is_zero()) b = BigUint(1);
+    const auto [q, r] = BigUint::divmod(a, b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(BigUint, DivmodEdgeCases) {
+  EXPECT_THROW(BigUint::divmod(BigUint(1), BigUint()), std::domain_error);
+  const auto [q1, r1] = BigUint::divmod(BigUint(5), BigUint(7));
+  EXPECT_TRUE(q1.is_zero());
+  EXPECT_EQ(r1, BigUint(5));
+  const auto [q2, r2] = BigUint::divmod(BigUint(42), BigUint(42));
+  EXPECT_TRUE(q2.is_one());
+  EXPECT_TRUE(r2.is_zero());
+}
+
+TEST(BigUint, DivmodKnuthAddBackPath) {
+  // A divisor with a maximal high limb stresses the qhat correction branch.
+  const BigUint a = BigUint::from_hex(
+      "7fffffff800000010000000000000000");
+  const BigUint b = BigUint::from_hex("800000008000000200000005");
+  const auto [q, r] = BigUint::divmod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+}
+
+TEST(BigUint, Shifts) {
+  const BigUint v = BigUint::from_hex("123456789abcdef0");
+  EXPECT_EQ(v.shl(0), v);
+  EXPECT_EQ(v.shr(0), v);
+  EXPECT_EQ(v.shl(4).to_hex(), "123456789abcdef00");
+  EXPECT_EQ(v.shr(4).to_hex(), "123456789abcdef");
+  EXPECT_EQ(v.shl(64).shr(64), v);
+  EXPECT_TRUE(v.shr(100).is_zero());
+  EXPECT_EQ(v.shl(37).shr(37), v);
+}
+
+TEST(BigUint, BitAccess) {
+  const BigUint v = BigUint::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_EQ(v.bit_length(), 64u);
+}
+
+TEST(BigUint, ModExpKnownValues) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigUint::mod_exp(BigUint(2), BigUint(10), BigUint(1000)),
+            BigUint(24));
+  // Fermat: a^(p-1) = 1 mod p for prime p
+  const BigUint p(1000003);
+  EXPECT_EQ(BigUint::mod_exp(BigUint(12345), p - BigUint(1), p), BigUint(1));
+  // modulus 1 -> 0
+  EXPECT_TRUE(BigUint::mod_exp(BigUint(5), BigUint(5), BigUint(1)).is_zero());
+}
+
+TEST(BigUint, ModExpLarge) {
+  const BigUint m = BigUint::from_hex(
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  const BigUint base = BigUint::from_hex("deadbeef");
+  const BigUint e1 = BigUint::from_hex("12345");
+  const BigUint e2 = BigUint::from_hex("54321");
+  // (b^e1)^e2 == (b^e2)^e1
+  EXPECT_EQ(BigUint::mod_exp(BigUint::mod_exp(base, e1, m), e2, m),
+            BigUint::mod_exp(BigUint::mod_exp(base, e2, m), e1, m));
+}
+
+TEST(BigUint, ModInv) {
+  const BigUint m(97);
+  for (std::uint64_t a = 1; a < 97; ++a) {
+    const auto inv = BigUint::mod_inv(BigUint(a), m);
+    ASSERT_TRUE(inv.has_value()) << a;
+    EXPECT_EQ((BigUint(a) * *inv) % m, BigUint(1));
+  }
+  EXPECT_FALSE(BigUint::mod_inv(BigUint(6), BigUint(9)).has_value());
+}
+
+TEST(BigUint, ModInvLargeRandom) {
+  Rng rng(3);
+  const BigUint p = BigUint::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a = BigUint::random_below(rng, p - BigUint(1)) + BigUint(1);
+    const auto inv = BigUint::mod_inv(a, p);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ((a * *inv) % p, BigUint(1));
+  }
+}
+
+TEST(BigUint, ModAddSub) {
+  const BigUint m(101);
+  EXPECT_EQ(BigUint::mod_add(BigUint(100), BigUint(2), m), BigUint(1));
+  EXPECT_EQ(BigUint::mod_sub(BigUint(2), BigUint(100), m), BigUint(3));
+  EXPECT_EQ(BigUint::mod_sub(BigUint(100), BigUint(2), m), BigUint(98));
+}
+
+TEST(BigUint, Gcd) {
+  EXPECT_EQ(BigUint::gcd(BigUint(12), BigUint(18)), BigUint(6));
+  EXPECT_EQ(BigUint::gcd(BigUint(17), BigUint(13)), BigUint(1));
+  EXPECT_EQ(BigUint::gcd(BigUint(0), BigUint(5)), BigUint(5));
+  EXPECT_EQ(BigUint::gcd(BigUint(5), BigUint(0)), BigUint(5));
+}
+
+TEST(BigUint, RandomBitsExactWidth) {
+  Rng rng(4);
+  for (std::size_t bits : {1u, 7u, 8u, 9u, 64u, 255u, 256u}) {
+    const BigUint v = BigUint::random_bits(rng, bits);
+    EXPECT_LE(v.bit_length(), bits);
+  }
+}
+
+TEST(BigUint, RandomBelow) {
+  Rng rng(5);
+  const BigUint bound(1000);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(BigUint::random_below(rng, bound), bound);
+  }
+  EXPECT_THROW(BigUint::random_below(rng, BigUint()), std::domain_error);
+}
+
+TEST(Primes, SmallKnownValues) {
+  Rng rng(6);
+  EXPECT_FALSE(is_probable_prime(BigUint(0), rng));
+  EXPECT_FALSE(is_probable_prime(BigUint(1), rng));
+  EXPECT_TRUE(is_probable_prime(BigUint(2), rng));
+  EXPECT_TRUE(is_probable_prime(BigUint(3), rng));
+  EXPECT_FALSE(is_probable_prime(BigUint(4), rng));
+  EXPECT_TRUE(is_probable_prime(BigUint(65537), rng));
+  EXPECT_FALSE(is_probable_prime(BigUint(65537ULL * 3), rng));
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  Rng rng(7);
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 6601ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(Primes, KnownLargePrime) {
+  Rng rng(8);
+  // 2^127 - 1 is a Mersenne prime.
+  const BigUint m127 = (BigUint(1) << 127) - BigUint(1);
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  EXPECT_FALSE(is_probable_prime(m127 * BigUint(3), rng));
+}
+
+TEST(Primes, GeneratePrimeHasExactBits) {
+  Rng rng(9);
+  for (std::size_t bits : {32u, 64u, 128u}) {
+    const BigUint p = generate_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_FALSE(p.is_even());
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Primes, GenerateRsaPrimeCoprimality) {
+  Rng rng(10);
+  const BigUint e(65537);
+  const BigUint p = generate_rsa_prime(rng, 128, e);
+  EXPECT_TRUE(BigUint::gcd(p - BigUint(1), e).is_one());
+}
+
+class BigUintFieldProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigUintFieldProperty, DistributiveAndAssociative) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const BigUint a = BigUint::random_bits(rng, 200);
+  const BigUint b = BigUint::random_bits(rng, 180);
+  const BigUint c = BigUint::random_bits(rng, 160);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, BigUintFieldProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace bcwan::bignum

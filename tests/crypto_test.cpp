@@ -1,0 +1,521 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/base58.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::crypto {
+namespace {
+
+using util::Bytes;
+using util::ByteView;
+using util::from_hex_strict;
+using util::Rng;
+using util::str_bytes;
+using util::to_hex;
+
+std::string hex256(const Digest256& d) { return to_hex(digest_bytes(d)); }
+std::string hex160(const Digest160& d) { return to_hex(digest_bytes(d)); }
+
+// --- SHA-256 (FIPS 180-4 vectors) ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex256(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex256(sha256(str_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex256(sha256(str_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  const Bytes data(1000000, 'a');
+  EXPECT_EQ(hex256(sha256(data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(1000);
+  Sha256 ctx;
+  // Feed in irregular chunk sizes to exercise buffering.
+  std::size_t off = 0;
+  for (std::size_t chunk : {1u, 63u, 64u, 65u, 200u, 607u}) {
+    const std::size_t take = std::min(chunk, data.size() - off);
+    ctx.update(ByteView(data.data() + off, take));
+    off += take;
+  }
+  ctx.update(ByteView(data.data() + off, data.size() - off));
+  EXPECT_EQ(ctx.finalize(), sha256(data));
+}
+
+TEST(Sha256, DoubleHash) {
+  // sha256d("hello") — well-known value from Bitcoin documentation.
+  EXPECT_EQ(hex256(sha256d(str_bytes("hello"))),
+            "9595c9df90075148eb06860365df33584b75bff782a510c6cd4883a419833d50");
+}
+
+// --- RIPEMD-160 (Bosselaers vectors) ---
+
+TEST(Ripemd160, EmptyString) {
+  EXPECT_EQ(hex160(ripemd160({})),
+            "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+}
+
+TEST(Ripemd160, Abc) {
+  EXPECT_EQ(hex160(ripemd160(str_bytes("abc"))),
+            "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+}
+
+TEST(Ripemd160, SingleA) {
+  EXPECT_EQ(hex160(ripemd160(str_bytes("a"))),
+            "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe");
+}
+
+TEST(Ripemd160, MessageDigest) {
+  EXPECT_EQ(hex160(ripemd160(str_bytes("message digest"))),
+            "5d0689ef49d2fae572b881b123a85ffa21595f36");
+}
+
+TEST(Ripemd160, Alphabet) {
+  EXPECT_EQ(hex160(ripemd160(str_bytes("abcdefghijklmnopqrstuvwxyz"))),
+            "f71c27109c692c1b56bbdceb5b9d2865b3708dbc");
+}
+
+TEST(Ripemd160, LongPaddingBoundary) {
+  // 56..64-byte inputs cross the two-block padding boundary.
+  for (std::size_t len = 50; len <= 70; ++len) {
+    const Bytes data(len, 'x');
+    EXPECT_EQ(ripemd160(data).size(), 20u);
+  }
+}
+
+TEST(Hash160, KnownPubkeyHash) {
+  // HASH160 of the uncompressed generator-point pubkey (Bitcoin's
+  // "Satoshi" test value): computed as ripemd160(sha256(x)) by definition.
+  const Bytes data = str_bytes("bcwan");
+  const Digest256 inner = sha256(data);
+  EXPECT_EQ(hash160(data), ripemd160(ByteView(inner.data(), inner.size())));
+}
+
+// --- HMAC-SHA256 (RFC 4231 vectors) ---
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex256(hmac_sha256(key, str_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hex256(hmac_sha256(str_bytes("Jefe"),
+                               str_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      hex256(hmac_sha256(
+          key, str_bytes("Test Using Larger Than Block-Size Key - Hash Key "
+                         "First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- AES-256 (FIPS 197 + CBC round trips) ---
+
+TEST(Aes, Fips197Vector) {
+  AesKey256 key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  AesBlock pt;
+  const Bytes pt_raw = from_hex_strict("00112233445566778899aabbccddeeff");
+  std::copy(pt_raw.begin(), pt_raw.end(), pt.begin());
+
+  const Aes256 cipher(key);
+  const AesBlock ct = cipher.encrypt_block(pt);
+  EXPECT_EQ(to_hex(Bytes(ct.begin(), ct.end())),
+            "8ea2b7ca516745bfeafc49904b496089");
+  EXPECT_EQ(cipher.decrypt_block(ct), pt);
+}
+
+TEST(Aes, NistSp80038aCbcVector) {
+  // NIST SP 800-38A F.2.5 (CBC-AES256.Encrypt), first block. Our API adds
+  // PKCS#7 padding, so only the first 16 ciphertext bytes correspond.
+  AesKey256 key;
+  const Bytes key_raw = from_hex_strict(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  std::copy(key_raw.begin(), key_raw.end(), key.begin());
+  AesBlock iv;
+  const Bytes iv_raw = from_hex_strict("000102030405060708090a0b0c0d0e0f");
+  std::copy(iv_raw.begin(), iv_raw.end(), iv.begin());
+  const Bytes pt = from_hex_strict("6bc1bee22e409f96e93d7e117393172a");
+  const Bytes ct = aes256_cbc_encrypt(key, iv, pt);
+  ASSERT_GE(ct.size(), 16u);
+  EXPECT_EQ(to_hex(Bytes(ct.begin(), ct.begin() + 16)),
+            "f58c4c04d6e5f1ba779eabfb5f7bfbd6");
+}
+
+TEST(Aes, CbcRoundTripVariousLengths) {
+  Rng rng(2);
+  AesKey256 key;
+  const Bytes key_raw = rng.bytes(32);
+  std::copy(key_raw.begin(), key_raw.end(), key.begin());
+  AesBlock iv;
+  const Bytes iv_raw = rng.bytes(16);
+  std::copy(iv_raw.begin(), iv_raw.end(), iv.begin());
+
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 100u}) {
+    const Bytes pt = rng.bytes(len);
+    const Bytes ct = aes256_cbc_encrypt(key, iv, pt);
+    EXPECT_EQ(ct.size() % kAesBlockSize, 0u);
+    EXPECT_GE(ct.size(), len);  // padding never shrinks
+    const auto back = aes256_cbc_decrypt(key, iv, ct);
+    ASSERT_TRUE(back.has_value()) << len;
+    EXPECT_EQ(*back, pt);
+  }
+}
+
+TEST(Aes, PaperSizedMessageIsOneBlock) {
+  // §5.1: readings are < 16 bytes, so ciphertext is exactly 16 bytes and the
+  // Fig. 4 blob is 1 + 16 + 1 + 16 = 34 bytes.
+  Rng rng(3);
+  AesKey256 key{};
+  AesBlock iv{};
+  const Bytes reading = str_bytes("t=21.5C;h=40%");
+  ASSERT_LT(reading.size(), 16u);
+  const Bytes ct = aes256_cbc_encrypt(key, iv, reading);
+  EXPECT_EQ(ct.size(), 16u);
+}
+
+TEST(Aes, CbcRejectsCorruptPadding) {
+  Rng rng(4);
+  AesKey256 key{};
+  AesBlock iv{};
+  Bytes ct = aes256_cbc_encrypt(key, iv, str_bytes("hello"));
+  ct.back() ^= 0xff;
+  // Either padding check fails or (rarely) content differs; padding check
+  // must not crash and usually rejects.
+  const auto out = aes256_cbc_decrypt(key, iv, ct);
+  if (out) {
+    EXPECT_NE(*out, str_bytes("hello"));
+  }
+}
+
+TEST(Aes, CbcRejectsBadLengths) {
+  AesKey256 key{};
+  AesBlock iv{};
+  EXPECT_FALSE(aes256_cbc_decrypt(key, iv, Bytes{}).has_value());
+  EXPECT_FALSE(aes256_cbc_decrypt(key, iv, Bytes(15, 0)).has_value());
+}
+
+TEST(Aes, DifferentIvDifferentCiphertext) {
+  AesKey256 key{};
+  AesBlock iv1{};
+  AesBlock iv2{};
+  iv2[0] = 1;
+  const Bytes pt = str_bytes("same plaintext!");
+  EXPECT_NE(aes256_cbc_encrypt(key, iv1, pt), aes256_cbc_encrypt(key, iv2, pt));
+}
+
+TEST(Hmac, EmptyInputs) {
+  // HMAC with empty key and empty message still produces a fixed digest.
+  const Digest256 a = hmac_sha256({}, {});
+  const Digest256 b = hmac_sha256({}, {});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(hex256(a), hex256(hmac_sha256(str_bytes("k"), {})));
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block / 56-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes data(len, 0x61);
+    Sha256 ctx;
+    // Incremental one-byte feed must equal the one-shot digest.
+    for (std::size_t i = 0; i < len; ++i)
+      ctx.update(ByteView(data.data() + i, 1));
+    EXPECT_EQ(ctx.finalize(), sha256(data)) << len;
+  }
+}
+
+// --- RSA ---
+
+class RsaFixture : public ::testing::Test {
+ protected:
+  static const RsaKeyPair& pair512() {
+    static const RsaKeyPair kp = [] {
+      Rng rng(100);
+      return rsa_generate(rng, 512);
+    }();
+    return kp;
+  }
+};
+
+TEST_F(RsaFixture, ModulusExactly512Bits) {
+  EXPECT_EQ(pair512().pub.n.bit_length(), 512u);
+  EXPECT_EQ(pair512().pub.modulus_bytes(), 64u);
+}
+
+TEST_F(RsaFixture, EncryptDecryptRoundTrip) {
+  Rng rng(101);
+  const Bytes msg = str_bytes("ephemeral payload 34 bytes long!!x");
+  ASSERT_EQ(msg.size(), 34u);  // the Fig. 4 blob size
+  const Bytes ct = rsa_encrypt(pair512().pub, msg, rng);
+  EXPECT_EQ(ct.size(), 64u);  // §5.1: 64-byte RSA-512 blob
+  const auto back = rsa_decrypt(pair512().priv, ct);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST_F(RsaFixture, EncryptionIsRandomized) {
+  Rng rng(102);
+  const Bytes msg = str_bytes("m");
+  EXPECT_NE(rsa_encrypt(pair512().pub, msg, rng),
+            rsa_encrypt(pair512().pub, msg, rng));
+}
+
+TEST_F(RsaFixture, PlaintextTooLongThrows) {
+  Rng rng(103);
+  EXPECT_THROW(rsa_encrypt(pair512().pub, Bytes(54, 0), rng),
+               std::invalid_argument);
+  EXPECT_NO_THROW(rsa_encrypt(pair512().pub, Bytes(53, 0), rng));
+}
+
+TEST_F(RsaFixture, DecryptRejectsGarbage) {
+  EXPECT_FALSE(rsa_decrypt(pair512().priv, Bytes(63, 7)).has_value());
+  EXPECT_FALSE(rsa_decrypt(pair512().priv, Bytes(64, 0xff)).has_value());
+}
+
+TEST_F(RsaFixture, SignVerify) {
+  const Bytes msg = str_bytes("Em || ePk");
+  const Bytes sig = rsa_sign(pair512().priv, msg);
+  EXPECT_EQ(sig.size(), 64u);  // §5.1: 64-byte signature
+  EXPECT_TRUE(rsa_verify(pair512().pub, msg, sig));
+  EXPECT_FALSE(rsa_verify(pair512().pub, str_bytes("Em || ePk'"), sig));
+  Bytes tampered = sig;
+  tampered[10] ^= 1;
+  EXPECT_FALSE(rsa_verify(pair512().pub, msg, tampered));
+}
+
+TEST_F(RsaFixture, VerifyRejectsWrongKey) {
+  Rng rng(104);
+  const RsaKeyPair other = rsa_generate(rng, 512);
+  const Bytes msg = str_bytes("msg");
+  const Bytes sig = rsa_sign(pair512().priv, msg);
+  EXPECT_FALSE(rsa_verify(other.pub, msg, sig));
+}
+
+TEST_F(RsaFixture, PairMatches) {
+  EXPECT_TRUE(rsa_pair_matches(pair512().pub, pair512().priv));
+  Rng rng(105);
+  const RsaKeyPair other = rsa_generate(rng, 512);
+  EXPECT_FALSE(rsa_pair_matches(pair512().pub, other.priv));
+  EXPECT_FALSE(rsa_pair_matches(other.pub, pair512().priv));
+}
+
+TEST_F(RsaFixture, PairMatchRejectsMatchingModulusWrongExponent) {
+  RsaPrivateKey corrupted = pair512().priv;
+  corrupted.d = corrupted.d + bignum::BigUint(2);
+  EXPECT_FALSE(rsa_pair_matches(pair512().pub, corrupted));
+}
+
+TEST_F(RsaFixture, KeySerializationRoundTrip) {
+  const auto pub_ser = pair512().pub.serialize();
+  const auto pub_back = RsaPublicKey::deserialize(pub_ser);
+  ASSERT_TRUE(pub_back.has_value());
+  EXPECT_EQ(*pub_back, pair512().pub);
+
+  const auto priv_ser = pair512().priv.serialize();
+  const auto priv_back = RsaPrivateKey::deserialize(priv_ser);
+  ASSERT_TRUE(priv_back.has_value());
+  EXPECT_EQ(*priv_back, pair512().priv);
+
+  EXPECT_FALSE(RsaPublicKey::deserialize(Bytes{0x01}).has_value());
+  EXPECT_FALSE(RsaPrivateKey::deserialize(Bytes{}).has_value());
+}
+
+TEST(Rsa, LargerModuli) {
+  Rng rng(106);
+  for (std::size_t bits : {768u, 1024u}) {
+    const RsaKeyPair kp = rsa_generate(rng, bits);
+    EXPECT_EQ(kp.pub.n.bit_length(), bits);
+    const Bytes msg = str_bytes("ablation");
+    const Bytes ct = rsa_encrypt(kp.pub, msg, rng);
+    EXPECT_EQ(ct.size(), bits / 8);
+    EXPECT_EQ(rsa_decrypt(kp.priv, ct), msg);
+    EXPECT_TRUE(rsa_verify(kp.pub, msg, rsa_sign(kp.priv, msg)));
+  }
+}
+
+// --- ECDSA secp256k1 ---
+
+TEST(Ecdsa, GeneratorOnCurve) {
+  EXPECT_TRUE(Secp256k1::on_curve(Secp256k1::g()));
+}
+
+TEST(Ecdsa, GroupOrderAnnihilatesGenerator) {
+  const EcPoint ng = Secp256k1::mul(Secp256k1::n(), Secp256k1::g());
+  EXPECT_TRUE(ng.infinity);
+}
+
+TEST(Ecdsa, KnownScalarMultiple) {
+  // 2G, well-known value.
+  const EcPoint g2 = Secp256k1::mul(bignum::BigUint(2), Secp256k1::g());
+  EXPECT_EQ(g2.x.to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(g2.y.to_hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Ecdsa, AddCommutesWithMul) {
+  const EcPoint g = Secp256k1::g();
+  const EcPoint g2 = Secp256k1::add(g, g);
+  const EcPoint g3a = Secp256k1::add(g2, g);
+  const EcPoint g3b = Secp256k1::mul(bignum::BigUint(3), g);
+  EXPECT_EQ(g3a, g3b);
+}
+
+TEST(Ecdsa, AddInverseGivesInfinity) {
+  const EcPoint g = Secp256k1::g();
+  const EcPoint neg{g.x, Secp256k1::p() - g.y, false};
+  EXPECT_TRUE(Secp256k1::add(g, neg).infinity);
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  Rng rng(200);
+  const EcKeyPair kp = ec_generate(rng);
+  EXPECT_TRUE(Secp256k1::on_curve(kp.pub));
+  const Bytes msg = str_bytes("transaction bytes");
+  const EcdsaSignature sig = ecdsa_sign(kp.priv, msg);
+  EXPECT_TRUE(ecdsa_verify(kp.pub, msg, sig));
+  EXPECT_FALSE(ecdsa_verify(kp.pub, str_bytes("other"), sig));
+}
+
+TEST(Ecdsa, SignatureIsDeterministic) {
+  Rng rng(201);
+  const EcKeyPair kp = ec_generate(rng);
+  const Bytes msg = str_bytes("same message");
+  EXPECT_EQ(ecdsa_sign(kp.priv, msg), ecdsa_sign(kp.priv, msg));
+}
+
+TEST(Ecdsa, WrongKeyRejected) {
+  Rng rng(202);
+  const EcKeyPair kp1 = ec_generate(rng);
+  const EcKeyPair kp2 = ec_generate(rng);
+  const Bytes msg = str_bytes("msg");
+  EXPECT_FALSE(ecdsa_verify(kp2.pub, msg, ecdsa_sign(kp1.priv, msg)));
+}
+
+TEST(Ecdsa, TamperedSignatureRejected) {
+  Rng rng(203);
+  const EcKeyPair kp = ec_generate(rng);
+  const Bytes msg = str_bytes("msg");
+  EcdsaSignature sig = ecdsa_sign(kp.priv, msg);
+  sig.r = sig.r + bignum::BigUint(1);
+  EXPECT_FALSE(ecdsa_verify(kp.pub, msg, sig));
+}
+
+TEST(Ecdsa, LowSNormalization) {
+  Rng rng(204);
+  const EcKeyPair kp = ec_generate(rng);
+  for (int i = 0; i < 10; ++i) {
+    const Bytes msg = rng.bytes(32);
+    const EcdsaSignature sig = ecdsa_sign(kp.priv, msg);
+    EXPECT_TRUE(sig.s <= Secp256k1::n() >> 1);
+  }
+}
+
+TEST(Ecdsa, PubkeyEncodeDecodeRoundTrip) {
+  Rng rng(205);
+  const EcKeyPair kp = ec_generate(rng);
+  const Bytes enc = ec_pubkey_encode(kp.pub);
+  EXPECT_EQ(enc.size(), 65u);
+  EXPECT_EQ(enc[0], 0x04);
+  const auto back = ec_pubkey_decode(enc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, kp.pub);
+}
+
+TEST(Ecdsa, PubkeyDecodeRejectsOffCurve) {
+  Rng rng(206);
+  const EcKeyPair kp = ec_generate(rng);
+  Bytes enc = ec_pubkey_encode(kp.pub);
+  enc[40] ^= 1;
+  EXPECT_FALSE(ec_pubkey_decode(enc).has_value());
+  EXPECT_FALSE(ec_pubkey_decode(Bytes(64, 4)).has_value());
+}
+
+TEST(Ecdsa, SignatureSerializationRoundTrip) {
+  Rng rng(207);
+  const EcKeyPair kp = ec_generate(rng);
+  const EcdsaSignature sig = ecdsa_sign(kp.priv, str_bytes("x"));
+  const Bytes ser = sig.serialize();
+  EXPECT_EQ(ser.size(), 64u);
+  const auto back = EcdsaSignature::deserialize(ser);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, sig);
+  EXPECT_FALSE(EcdsaSignature::deserialize(Bytes(63, 1)).has_value());
+  EXPECT_FALSE(EcdsaSignature::deserialize(Bytes(64, 0)).has_value());
+}
+
+TEST(Ecdsa, SeededIdentityIsStable) {
+  const EcKeyPair a = ec_from_seed(str_bytes("gateway-1"));
+  const EcKeyPair b = ec_from_seed(str_bytes("gateway-1"));
+  const EcKeyPair c = ec_from_seed(str_bytes("gateway-2"));
+  EXPECT_EQ(a.priv, b.priv);
+  EXPECT_FALSE(a.priv == c.priv);
+  EXPECT_TRUE(Secp256k1::on_curve(a.pub));
+}
+
+// --- Base58 ---
+
+TEST(Base58, KnownVectors) {
+  EXPECT_EQ(base58_encode(str_bytes("hello world")), "StV1DL6CwTryKyV");
+  EXPECT_EQ(base58_encode({}), "");
+  const Bytes zeros = {0x00, 0x00, 0x01};
+  EXPECT_EQ(base58_encode(zeros), "112");
+}
+
+TEST(Base58, RoundTripRandom) {
+  Rng rng(300);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes data = rng.bytes(rng.below(40));
+    EXPECT_EQ(base58_decode(base58_encode(data)), data);
+  }
+}
+
+TEST(Base58, DecodeRejectsBadChars) {
+  EXPECT_FALSE(base58_decode("0OIl").has_value());
+  EXPECT_FALSE(base58_decode("abc!").has_value());
+}
+
+TEST(Base58Check, RoundTrip) {
+  Rng rng(301);
+  const Bytes payload = rng.bytes(20);
+  const std::string addr = base58check_encode(0x00, payload);
+  const auto back = base58check_decode(addr);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, 0x00);
+  EXPECT_EQ(back->payload, payload);
+}
+
+TEST(Base58Check, DetectsCorruption) {
+  const std::string addr = base58check_encode(0x00, Bytes(20, 7));
+  std::string bad = addr;
+  bad[bad.size() / 2] = bad[bad.size() / 2] == '2' ? '3' : '2';
+  EXPECT_FALSE(base58check_decode(bad).has_value());
+  EXPECT_FALSE(base58check_decode("abc").has_value());
+}
+
+}  // namespace
+}  // namespace bcwan::crypto

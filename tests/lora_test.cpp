@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "lora/airtime.hpp"
+#include "lora/frame.hpp"
+#include "lora/radio.hpp"
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace bcwan::lora {
+namespace {
+
+using util::Bytes;
+using util::SimTime;
+using util::kSecond;
+
+// --- Airtime (values cross-checked against the Semtech airtime formula) ---
+
+TEST(Airtime, SymbolTimes) {
+  LoraConfig sf7;
+  EXPECT_NEAR(symbol_time_s(sf7), 128.0 / 125000.0, 1e-9);
+  LoraConfig sf12;
+  sf12.sf = SpreadingFactor::kSF12;
+  EXPECT_NEAR(symbol_time_s(sf12), 4096.0 / 125000.0, 1e-9);
+}
+
+TEST(Airtime, GrowsWithSpreadingFactor) {
+  double prev = 0;
+  for (int sf = 7; sf <= 12; ++sf) {
+    LoraConfig cfg;
+    cfg.sf = static_cast<SpreadingFactor>(sf);
+    const double t = airtime_s(cfg, 64);
+    EXPECT_GT(t, prev) << "SF" << sf;
+    prev = t;
+  }
+}
+
+TEST(Airtime, GrowsWithPayload) {
+  LoraConfig cfg;
+  EXPECT_LT(airtime_s(cfg, 16), airtime_s(cfg, 64));
+  EXPECT_LT(airtime_s(cfg, 64), airtime_s(cfg, 128));
+}
+
+TEST(Airtime, Sf7KnownValue) {
+  // SF7/BW125/CR4-5, preamble 8, explicit header + CRC, 132-byte payload:
+  // T_sym = 1.024 ms; payload symbols = 8 + ceil((8*132-4*7+28+16)/(4*7))*5
+  //        = 8 + ceil(1072/28)*5 = 8 + 39*5 = 203; preamble = 12.25 sym.
+  // Total = 215.25 sym = 220.4 ms.
+  LoraConfig cfg;
+  const double t = airtime_s(cfg, 132);
+  EXPECT_NEAR(t, 0.220416, 0.0001);
+}
+
+TEST(Airtime, LowDataRateOptimizeKicksInAtSf11) {
+  LoraConfig sf10;
+  sf10.sf = SpreadingFactor::kSF10;
+  EXPECT_FALSE(sf10.low_data_rate_optimize());
+  LoraConfig sf11;
+  sf11.sf = SpreadingFactor::kSF11;
+  EXPECT_TRUE(sf11.low_data_rate_optimize());
+  LoraConfig sf11_250 = sf11;
+  sf11_250.bandwidth_hz = 250'000;
+  EXPECT_FALSE(sf11_250.low_data_rate_optimize());
+}
+
+TEST(Airtime, PaperDutyCycleClaim) {
+  // §5.2: 128 B payload + 4 B header at SF7, 1% duty cycle ->
+  // "a theoretical maximum of 183 messages per sensor per hour".
+  LoraConfig cfg;  // SF7 defaults
+  const int max_per_hour = max_messages_per_hour(cfg, 132, 0.01);
+  EXPECT_GE(max_per_hour, 155);
+  EXPECT_LE(max_per_hour, 190);
+  // The exact paper figure implies airtime ≈ 3600*0.01/183 ≈ 196.7 ms; our
+  // Semtech-exact computation gives 220.4 ms -> 163/h. Same order, slightly
+  // under the paper's optimistic accounting (documented in EXPERIMENTS.md).
+  EXPECT_EQ(max_per_hour, 163);
+}
+
+TEST(DutyCycle, AllowsInitialBurstThenThrottles) {
+  DutyCycleLimiter limiter(0.01);
+  // Fresh devices start with ~2% of the hourly budget (≈0.72 s of airtime
+  // at 1%): a request + data burst fits, sustained traffic does not.
+  const SimTime frame = util::from_millis(100);
+  SimTime now = 0;
+  int sent_immediately = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!limiter.can_transmit(now, frame)) break;
+    limiter.record(now, frame);
+    now += frame;
+    ++sent_immediately;
+  }
+  EXPECT_GE(sent_immediately, 2);   // burst allowed
+  EXPECT_LT(sent_immediately, 20);  // budget exhausts
+  EXPECT_GT(limiter.earliest_start(now, frame), now);
+}
+
+TEST(DutyCycle, CreditAccruesAtDutyRate) {
+  DutyCycleLimiter limiter(0.01);
+  SimTime now = 0;
+  const SimTime frame = util::from_millis(100);
+  // Exhaust the initial allowance.
+  while (limiter.can_transmit(now, frame)) {
+    limiter.record(now, frame);
+    now += frame;
+  }
+  // A 100 ms frame at 1% duty needs up to 10 s of accrual (less whatever
+  // fractional credit was left over).
+  const SimTime earliest = limiter.earliest_start(now, frame);
+  EXPECT_GT(earliest, now);
+  EXPECT_LE(earliest - now, util::from_millis(10001));
+  // And at that time the transmission is actually allowed.
+  EXPECT_TRUE(limiter.can_transmit(earliest, frame));
+}
+
+TEST(DutyCycle, HigherDutyShorterWait) {
+  DutyCycleLimiter strict(0.01);
+  DutyCycleLimiter loose(0.1);
+  const SimTime frame = util::from_millis(100);
+  SimTime now = 0;
+  while (strict.can_transmit(now, frame)) strict.record(now, frame);
+  while (loose.can_transmit(now, frame)) loose.record(now, frame);
+  EXPECT_GT(strict.earliest_start(now, frame),
+            loose.earliest_start(now, frame));
+}
+
+TEST(DutyCycle, HourlyRateBoundHolds) {
+  // Long-run: on-air time over an hour never exceeds duty * hour (+ the
+  // small starting allowance).
+  DutyCycleLimiter limiter(0.01);
+  const SimTime frame = util::from_millis(220);
+  SimTime now = 0;
+  SimTime on_air = 0;
+  while (now < util::kHour) {
+    const SimTime earliest = limiter.earliest_start(now, frame);
+    if (earliest > util::kHour) break;
+    now = std::max(now, earliest);
+    limiter.record(now, frame);
+    on_air += frame;
+    now += frame;
+  }
+  EXPECT_LE(util::to_seconds(on_air), 36.0 + 0.02 * 36.0 + 0.3);
+}
+
+// --- Frames ---
+
+TEST(Frame, InnerBlobLayoutIsFig4) {
+  InnerBlob blob;
+  blob.iv.fill(0xaa);
+  blob.ciphertext = Bytes(16, 0xbb);
+  const Bytes encoded = blob.encode();
+  ASSERT_EQ(encoded.size(), kInnerBlobSize);  // 34 bytes, per Fig. 4
+  EXPECT_EQ(encoded[0], 16);                  // IV length
+  EXPECT_EQ(encoded[17], 16);                 // ciphertext length
+  const auto back = InnerBlob::decode(encoded);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->iv, blob.iv);
+  EXPECT_EQ(back->ciphertext, blob.ciphertext);
+}
+
+TEST(Frame, InnerBlobRejectsMalformed) {
+  EXPECT_FALSE(InnerBlob::decode(Bytes{}).has_value());
+  EXPECT_FALSE(InnerBlob::decode(Bytes(10, 0)).has_value());
+  InnerBlob blob;
+  blob.ciphertext = Bytes(16, 1);
+  Bytes enc = blob.encode();
+  enc.push_back(0);  // trailing byte
+  EXPECT_FALSE(InnerBlob::decode(enc).has_value());
+}
+
+TEST(Frame, UplinkRequestRoundTrip) {
+  UplinkRequestFrame frame;
+  frame.device_id = 1234;
+  const auto back = UplinkRequestFrame::decode(frame.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->device_id, 1234);
+  EXPECT_EQ(frame.encode().size(), kFrameHeaderSize);
+}
+
+TEST(Frame, EphemeralKeyRoundTrip) {
+  util::Rng rng(1);
+  const crypto::RsaKeyPair kp = crypto::rsa_generate(rng, 512);
+  EphemeralKeyFrame frame;
+  frame.device_id = 7;
+  frame.ephemeral_pub = kp.pub;
+  const auto back = EphemeralKeyFrame::decode(frame.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->device_id, 7);
+  EXPECT_EQ(back->ephemeral_pub, kp.pub);
+}
+
+TEST(Frame, UplinkDataRoundTripAndSize) {
+  UplinkDataFrame frame;
+  frame.device_id = 99;
+  frame.recipient.fill(0xcd);
+  frame.em = Bytes(kDoubleEncSize, 0x11);
+  frame.sig = Bytes(kSignatureSize, 0x22);
+  const Bytes encoded = frame.encode();
+  const auto back = UplinkDataFrame::decode(encoded);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->device_id, frame.device_id);
+  EXPECT_EQ(back->em, frame.em);
+  EXPECT_EQ(back->sig, frame.sig);
+  EXPECT_EQ(back->recipient, frame.recipient);
+  // 128-byte payload as §5.1 states; the explicit wire adds the 20-byte @R
+  // and 2 varint length bytes.
+  EXPECT_EQ(frame.em.size() + frame.sig.size(), kDataPayloadSize);
+  EXPECT_NEAR(static_cast<double>(encoded.size()),
+              static_cast<double>(UplinkDataFrame::wire_size()), 2.0);
+}
+
+TEST(Frame, PeekType) {
+  UplinkRequestFrame req;
+  EXPECT_EQ(peek_frame_type(req.encode()), FrameType::kUplinkRequest);
+  EXPECT_FALSE(peek_frame_type(Bytes{}).has_value());
+  EXPECT_FALSE(peek_frame_type(Bytes{0x77}).has_value());
+}
+
+// --- Radio ---
+
+struct RadioHarness {
+  p2p::EventLoop loop;
+  LoraRadio radio;
+  std::vector<std::pair<RadioDeviceId, Bytes>> uplinks;
+  std::vector<Bytes> downlinks;
+  RadioGatewayId gw;
+
+  explicit RadioHarness(RadioConfig config = {})
+      : radio(loop, 11, config),
+        gw(radio.add_gateway([this](RadioDeviceId from, const Bytes& frame) {
+          uplinks.emplace_back(from, frame);
+        })) {}
+
+  RadioDeviceId add_device(double duty = 0.01) {
+    return radio.add_device(gw, LoraConfig{}, duty, [this](const Bytes& f) {
+      downlinks.push_back(f);
+    });
+  }
+};
+
+TEST(Radio, UplinkDeliveredAfterAirtime) {
+  RadioHarness h;
+  const RadioDeviceId dev = h.add_device();
+  const Bytes frame(132, 0xab);
+  const TxResult tx = h.radio.uplink(dev, frame);
+  ASSERT_TRUE(tx.accepted);
+  EXPECT_GT(tx.airtime, util::from_millis(200));  // SF7, 132 B ≈ 220 ms
+  EXPECT_LT(tx.airtime, util::from_millis(250));
+  h.loop.run();
+  ASSERT_EQ(h.uplinks.size(), 1u);
+  EXPECT_EQ(h.uplinks[0].first, dev);
+  EXPECT_EQ(h.uplinks[0].second, frame);
+  EXPECT_EQ(h.loop.now(), tx.airtime);
+}
+
+TEST(Radio, DutyCycleBlocksRapidFire) {
+  RadioHarness h;
+  const RadioDeviceId dev = h.add_device(0.01);
+  // The starting allowance (~0.72 s of airtime) covers a short burst of
+  // 220 ms frames, then the limiter must refuse and name a retry time.
+  int accepted = 0;
+  TxResult last{};
+  for (int i = 0; i < 10; ++i) {
+    last = h.radio.uplink(dev, Bytes(132, 1));
+    if (!last.accepted) break;
+    ++accepted;
+  }
+  EXPECT_GE(accepted, 2);
+  EXPECT_LT(accepted, 10);
+  EXPECT_FALSE(last.accepted);
+  EXPECT_GT(last.next_allowed, h.loop.now());
+  h.loop.run();
+  EXPECT_EQ(h.uplinks.size(), static_cast<std::size_t>(accepted));
+}
+
+TEST(Radio, DownlinkReachesDevice) {
+  RadioHarness h;
+  const RadioDeviceId dev = h.add_device();
+  const TxResult tx = h.radio.downlink(h.gw, dev, Bytes(70, 0x5a));
+  ASSERT_TRUE(tx.accepted);
+  h.loop.run();
+  ASSERT_EQ(h.downlinks.size(), 1u);
+  EXPECT_EQ(h.downlinks[0].size(), 70u);
+}
+
+TEST(Radio, CollisionsCorruptOverlappingUplinks) {
+  RadioConfig config;
+  config.collisions = true;
+  RadioHarness h(config);
+  const RadioDeviceId d1 = h.add_device(1.0);
+  const RadioDeviceId d2 = h.add_device(1.0);
+  // Both transmit at t=0: overlap at the shared gateway.
+  ASSERT_TRUE(h.radio.uplink(d1, Bytes(132, 1)).accepted);
+  ASSERT_TRUE(h.radio.uplink(d2, Bytes(132, 2)).accepted);
+  h.loop.run();
+  EXPECT_EQ(h.uplinks.size(), 0u);
+  EXPECT_EQ(h.radio.frames_lost(), 2u);
+  EXPECT_GE(h.radio.collisions_observed(), 1u);
+}
+
+TEST(Radio, NonOverlappingFramesBothArrive) {
+  RadioConfig config;
+  config.collisions = true;
+  RadioHarness h(config);
+  const RadioDeviceId d1 = h.add_device(1.0);
+  const RadioDeviceId d2 = h.add_device(1.0);
+  ASSERT_TRUE(h.radio.uplink(d1, Bytes(132, 1)).accepted);
+  h.loop.run();  // first completes
+  ASSERT_TRUE(h.radio.uplink(d2, Bytes(132, 2)).accepted);
+  h.loop.run();
+  EXPECT_EQ(h.uplinks.size(), 2u);
+}
+
+TEST(Radio, FrameLossDropsSomeFrames) {
+  RadioConfig config;
+  config.frame_loss = 0.5;
+  RadioHarness h(config);
+  const RadioDeviceId dev = h.add_device(1.0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(h.radio.uplink(dev, Bytes(32, 0)).accepted);
+    // Dropped frames schedule no events, so advance the clock explicitly
+    // past the airtime before the next attempt.
+    h.loop.run_until(h.loop.now() + kSecond);
+  }
+  EXPECT_GT(h.uplinks.size(), 20u);
+  EXPECT_LT(h.uplinks.size(), 80u);
+  EXPECT_EQ(h.uplinks.size() + h.radio.frames_lost(), 100u);
+}
+
+TEST(Radio, PaperScenarioThroughputCap) {
+  // One sensor at 1% duty, SF7, 132-byte frames: over one virtual hour it
+  // cannot deliver more than ~163 frames (Semtech-exact airtime).
+  RadioHarness h;
+  const RadioDeviceId dev = h.add_device(0.01);
+  int sent = 0;
+  std::function<void()> pump = [&] {
+    const TxResult tx = h.radio.uplink(dev, Bytes(132, 0));
+    if (tx.accepted) ++sent;
+    const SimTime next =
+        tx.accepted ? h.radio.device_next_allowed(dev, h.loop.now())
+                    : tx.next_allowed;
+    if (next < util::kHour) h.loop.at(next, pump);
+  };
+  pump();
+  h.loop.run_until(util::kHour);
+  EXPECT_GE(sent, 158);
+  EXPECT_LE(sent, 167);
+}
+
+}  // namespace
+}  // namespace bcwan::lora

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "chain/miner.hpp"
+#include "chain/wallet.hpp"
+#include "p2p/chain_node.hpp"
+#include "p2p/event_loop.hpp"
+#include "p2p/network.hpp"
+
+namespace bcwan::p2p {
+namespace {
+
+using util::SimTime;
+using util::kMillisecond;
+using util::kSecond;
+
+TEST(EventLoop, OrdersByTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.at(30, [&] { order.push_back(3); });
+  loop.at(10, [&] { order.push_back(1); });
+  loop.at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, FifoAtEqualTimes) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) loop.at(42, [&order, i] { order.push_back(i); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.at(10, [&] {
+    order.push_back(1);
+    loop.after(5, [&] { order.push_back(2); });
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), 15);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  SimTime seen = -1;
+  loop.at(100, [&] {
+    loop.at(50, [&] { seen = loop.now(); });  // in the past
+  });
+  loop.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.at(10, [&] { ++fired; });
+  loop.at(20, [&] { ++fired; });
+  loop.at(30, [&] { ++fired; });
+  loop.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, StopHaltsRun) {
+  EventLoop loop;
+  int fired = 0;
+  loop.at(1, [&] {
+    ++fired;
+    loop.stop();
+  });
+  loop.at(2, [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimNet, DeliversWithLatency) {
+  EventLoop loop;
+  SimNet net(loop, 1);
+  const HostId a = net.add_host("a");
+  const HostId b = net.add_host("b");
+  net.set_processing_time(b, 0);
+
+  SimTime arrival = -1;
+  net.set_handler(b, [&](const Message& msg) {
+    EXPECT_EQ(msg.type, "ping");
+    EXPECT_EQ(msg.from, a);
+    arrival = loop.now();
+  });
+  net.send(a, b, Message{"ping", {}, -1});
+  loop.run();
+  EXPECT_GT(arrival, 0);  // nonzero latency
+  EXPECT_LT(arrival, kSecond);
+}
+
+TEST(SimNet, LatencyIsSampledPerMessage) {
+  EventLoop loop;
+  SimNet net(loop, 2);
+  const HostId a = net.add_host("a");
+  const HostId b = net.add_host("b");
+  net.set_processing_time(b, 0);
+  std::vector<SimTime> arrivals;
+  net.set_handler(b, [&](const Message&) { arrivals.push_back(loop.now()); });
+  for (int i = 0; i < 10; ++i) net.send(a, b, Message{"m", {}, -1});
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 10u);
+  // Not all equal (lognormal samples differ).
+  EXPECT_NE(std::adjacent_find(arrivals.begin(), arrivals.end(),
+                               std::not_equal_to<>()),
+            arrivals.end());
+}
+
+TEST(SimNet, SerialProcessingQueues) {
+  EventLoop loop;
+  SimNet net(loop, 3);
+  const HostId a = net.add_host("a");
+  const HostId b = net.add_host("b");
+  // Zero-latency link, heavy processing: arrivals serialize.
+  net.set_latency(a, b, LatencyModel{0.001, 0.0, 0.001});
+  net.set_processing_time(b, 100 * kMillisecond);
+  std::vector<SimTime> handled;
+  net.set_handler(b, [&](const Message&) { handled.push_back(loop.now()); });
+  for (int i = 0; i < 3; ++i) net.send(a, b, Message{"m", {}, -1});
+  loop.run();
+  ASSERT_EQ(handled.size(), 3u);
+  EXPECT_GE(handled[1] - handled[0], 100 * kMillisecond);
+  EXPECT_GE(handled[2] - handled[1], 100 * kMillisecond);
+}
+
+TEST(SimNet, StallDelaysDelivery) {
+  EventLoop loop;
+  SimNet net(loop, 4);
+  const HostId a = net.add_host("a");
+  const HostId b = net.add_host("b");
+  net.set_latency(a, b, LatencyModel{1.0, 0.0, 1.0});
+  net.set_processing_time(b, 0);
+  SimTime handled = -1;
+  net.set_handler(b, [&](const Message&) { handled = loop.now(); });
+  // Stall b for 10 virtual seconds, then send.
+  net.stall(b, 10 * kSecond);
+  net.send(a, b, Message{"m", {}, -1});
+  loop.run();
+  EXPECT_GE(handled, 10 * kSecond);
+}
+
+TEST(SimNet, PartitionDropsTraffic) {
+  EventLoop loop;
+  SimNet net(loop, 5);
+  const HostId a = net.add_host("a");
+  const HostId b = net.add_host("b");
+  int received = 0;
+  net.set_handler(b, [&](const Message&) { ++received; });
+  net.set_partitioned(b, true);
+  net.send(a, b, Message{"m", {}, -1});
+  loop.run();
+  EXPECT_EQ(received, 0);
+  net.set_partitioned(b, false);
+  net.send(a, b, Message{"m", {}, -1});
+  loop.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNet, BroadcastReachesAllOthers) {
+  EventLoop loop;
+  SimNet net(loop, 6);
+  const HostId a = net.add_host("a");
+  std::vector<HostId> others;
+  int received = 0;
+  for (int i = 0; i < 4; ++i) {
+    const HostId h = net.add_host("h" + std::to_string(i));
+    net.set_handler(h, [&](const Message&) { ++received; });
+    others.push_back(h);
+  }
+  net.set_handler(a, [&](const Message&) { FAIL() << "self-delivery"; });
+  net.broadcast(a, Message{"m", {}, -1});
+  loop.run();
+  EXPECT_EQ(received, 4);
+}
+
+// --- ChainNode gossip ---
+
+struct GossipHarness {
+  chain::ChainParams params = [] {
+    chain::ChainParams p;
+    p.pow_zero_bits = 4;
+    p.coinbase_maturity = 1;
+    return p;
+  }();
+  EventLoop loop;
+  SimNet net{loop, 7};
+  std::vector<std::unique_ptr<ChainNode>> nodes;
+  chain::Wallet miner_wallet = chain::Wallet::from_seed("miner");
+  chain::Miner miner{params, miner_wallet.pkh()};
+
+  explicit GossipHarness(int n, ChainNodeConfig config = {}) {
+    for (int i = 0; i < n; ++i) {
+      const HostId h = net.add_host("node" + std::to_string(i));
+      nodes.push_back(std::make_unique<ChainNode>(loop, net, h, params,
+                                                  config, 100 + i));
+    }
+  }
+
+  void mine_and_submit(int node_index) {
+    auto& node = *nodes[node_index];
+    const chain::Block block = miner.mine(
+        node.chain(), node.mempool(),
+        static_cast<std::uint64_t>(loop.now() / util::kSecond));
+    node.submit_block(block);
+  }
+};
+
+TEST(ChainNode, BlockGossipSyncsAllNodes) {
+  GossipHarness h(4);
+  h.mine_and_submit(0);
+  h.loop.run();
+  for (const auto& node : h.nodes) {
+    EXPECT_EQ(node->chain().height(), 1);
+    EXPECT_EQ(node->chain().tip_hash(), h.nodes[0]->chain().tip_hash());
+  }
+}
+
+TEST(ChainNode, TxGossipReachesAllMempools) {
+  GossipHarness h(4);
+  // Fund the miner wallet on node 0 and let blocks propagate.
+  h.mine_and_submit(0);
+  h.loop.run();
+  h.mine_and_submit(0);
+  h.loop.run();
+
+  const chain::Wallet alice = chain::Wallet::from_seed("alice");
+  const auto tx = h.miner_wallet.create_payment(
+      h.nodes[0]->chain(), &h.nodes[0]->mempool(), alice.pkh(),
+      chain::kCoin, 1000);
+  ASSERT_TRUE(tx.has_value());
+  ASSERT_TRUE(h.nodes[0]->submit_tx(*tx).ok());
+  h.loop.run();
+  for (const auto& node : h.nodes) {
+    EXPECT_TRUE(node->mempool().contains(tx->txid()));
+  }
+}
+
+TEST(ChainNode, TxWatcherFires) {
+  GossipHarness h(2);
+  h.mine_and_submit(0);
+  h.loop.run();
+  h.mine_and_submit(0);
+  h.loop.run();
+
+  int fired = 0;
+  h.nodes[1]->add_tx_watcher([&](const chain::Transaction&) { ++fired; });
+  const chain::Wallet alice = chain::Wallet::from_seed("alice");
+  const auto tx = h.miner_wallet.create_payment(
+      h.nodes[0]->chain(), nullptr, alice.pkh(), chain::kCoin, 1000);
+  ASSERT_TRUE(tx.has_value());
+  ASSERT_TRUE(h.nodes[0]->submit_tx(*tx).ok());
+  h.loop.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ChainNode, VerificationStallFreezesDaemon) {
+  ChainNodeConfig stall_config;
+  stall_config.block_verification_stall = true;
+  stall_config.stall_median_s = 5.0;
+  stall_config.stall_sigma = 0.0;  // deterministic for the assertion
+  GossipHarness h(2, stall_config);
+
+  h.mine_and_submit(0);
+  h.loop.run();
+  // Node 1 received and verified the block: its daemon must have been busy
+  // for ~5 virtual seconds.
+  EXPECT_GE(h.net.busy_until(h.nodes[1]->host()), 5 * kSecond);
+  EXPECT_EQ(h.nodes[1]->chain().height(), 1);
+}
+
+TEST(ChainNode, PartitionedNodeCatchesUpViaOrphans) {
+  GossipHarness h(3);
+  h.net.set_partitioned(h.nodes[2]->host(), true);
+  h.mine_and_submit(0);
+  h.loop.run();
+  h.net.set_partitioned(h.nodes[2]->host(), false);
+  h.mine_and_submit(0);
+  h.loop.run();
+  // Node 2 missed block 1 but receives block 2 (orphan), then nothing else;
+  // it stays behind — a later block 3 plus re-gossip isn't modelled, so we
+  // verify the orphan is held, not connected.
+  EXPECT_EQ(h.nodes[2]->chain().height(), 0);
+  // Node 1 has both blocks.
+  EXPECT_EQ(h.nodes[1]->chain().height(), 2);
+}
+
+TEST(ChainNode, AppMessagesRouted) {
+  GossipHarness h(2);
+  std::string seen_type;
+  h.nodes[1]->set_app_handler(
+      [&](const Message& msg) { seen_type = msg.type; });
+  h.net.send(h.nodes[0]->host(), h.nodes[1]->host(),
+             Message{"DELIVER", util::str_bytes("hi"), -1});
+  h.loop.run();
+  EXPECT_EQ(seen_type, "DELIVER");
+}
+
+}  // namespace
+}  // namespace bcwan::p2p

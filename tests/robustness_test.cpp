@@ -1,0 +1,163 @@
+// Robustness sweeps: every wire-format decoder in the system must reject
+// malformed input gracefully (no crash, no exception escaping, no partial
+// state) — attackers control gossip payloads, LoRa frames and DELIVER
+// messages. Inputs are seeded-random garbage plus truncation/bit-flip
+// mutations of valid encodings.
+#include <gtest/gtest.h>
+
+#include "bcwan/directory.hpp"
+#include "bcwan/envelope.hpp"
+#include "chain/block.hpp"
+#include "chain/transaction.hpp"
+#include "chain/validation.hpp"
+#include "crypto/base58.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/rsa.hpp"
+#include "lora/frame.hpp"
+#include "script/script.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan {
+namespace {
+
+using util::Bytes;
+using util::Rng;
+
+/// Random garbage buffers across a spread of sizes.
+std::vector<Bytes> garbage_corpus(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<Bytes> corpus;
+  corpus.push_back({});
+  for (std::size_t i = 0; i < count; ++i) {
+    corpus.push_back(rng.bytes(rng.below(300)));
+  }
+  return corpus;
+}
+
+/// Truncations and single-bit flips of a valid encoding.
+std::vector<Bytes> mutations(const Bytes& valid, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> out;
+  for (std::size_t cut = 0; cut < valid.size();
+       cut += 1 + valid.size() / 17) {
+    out.emplace_back(valid.begin(), valid.begin() + static_cast<long>(cut));
+  }
+  for (int i = 0; i < 32 && !valid.empty(); ++i) {
+    Bytes flipped = valid;
+    flipped[rng.below(flipped.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    out.push_back(std::move(flipped));
+  }
+  return out;
+}
+
+class DecoderRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderRobustness, TransactionDecoder) {
+  for (const Bytes& data : garbage_corpus(GetParam(), 60)) {
+    const auto result = chain::Transaction::deserialize(data);
+    if (result) {
+      // Anything accepted must re-serialize canonically.
+      EXPECT_EQ(chain::Transaction::deserialize(result->serialize()), result);
+    }
+  }
+}
+
+TEST_P(DecoderRobustness, BlockDecoder) {
+  for (const Bytes& data : garbage_corpus(GetParam() + 1, 60)) {
+    const auto result = chain::Block::deserialize(data);
+    if (result) {
+      EXPECT_EQ(chain::Block::deserialize(result->serialize()), result);
+    }
+  }
+}
+
+TEST_P(DecoderRobustness, ScriptDecoderAndDisassembler) {
+  for (const Bytes& data : garbage_corpus(GetParam() + 2, 60)) {
+    const script::Script s(data);
+    const auto decoded = s.decode();      // may be nullopt; must not crash
+    const std::string text = s.disassemble();
+    EXPECT_FALSE(text.empty() && !data.empty() && decoded.has_value());
+  }
+}
+
+TEST_P(DecoderRobustness, FrameDecoders) {
+  for (const Bytes& data : garbage_corpus(GetParam() + 3, 60)) {
+    (void)lora::UplinkRequestFrame::decode(data);
+    (void)lora::EphemeralKeyFrame::decode(data);
+    (void)lora::UplinkDataFrame::decode(data);
+    (void)lora::InnerBlob::decode(data);
+    (void)lora::peek_frame_type(data);
+  }
+}
+
+TEST_P(DecoderRobustness, CryptoAndDirectoryDecoders) {
+  for (const Bytes& data : garbage_corpus(GetParam() + 4, 60)) {
+    (void)crypto::RsaPublicKey::deserialize(data);
+    (void)crypto::RsaPrivateKey::deserialize(data);
+    (void)crypto::EcdsaSignature::deserialize(data);
+    (void)crypto::ec_pubkey_decode(data);
+    (void)core::decode_directory_entry(data);
+    (void)core::DeliverPayload::deserialize(data);
+    (void)crypto::base58_decode(util::bytes_str(data));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderRobustness,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(MutationRobustness, ValidTransactionMutants) {
+  Rng rng(5);
+  chain::Transaction tx;
+  chain::TxIn in;
+  in.prevout.txid[3] = 9;
+  in.script_sig = script::Script(rng.bytes(40));
+  tx.vin.push_back(in);
+  chain::TxOut out;
+  out.value = 12345;
+  out.script_pubkey = script::make_p2pkh(script::PubKeyHash{});
+  tx.vout.push_back(out);
+  const Bytes valid = tx.serialize();
+  for (const Bytes& mutant : mutations(valid, 6)) {
+    const auto result = chain::Transaction::deserialize(mutant);
+    if (result) {
+      EXPECT_EQ(result->serialize().size(), mutant.size());
+    }
+  }
+}
+
+TEST(MutationRobustness, ValidDeliverPayloadMutants) {
+  Rng rng(7);
+  core::DeliverPayload payload;
+  payload.device_id = 3;
+  payload.em = rng.bytes(64);
+  payload.sig = rng.bytes(64);
+  const crypto::RsaKeyPair kp = crypto::rsa_generate(rng, 512);
+  payload.ephemeral_pub = kp.pub;
+  payload.price_quote = 1000;
+  const Bytes valid = payload.serialize();
+  for (const Bytes& mutant : mutations(valid, 8)) {
+    (void)core::DeliverPayload::deserialize(mutant);  // must not crash
+  }
+}
+
+TEST(MutationRobustness, ValidBlockMutants) {
+  chain::ChainParams params;
+  const chain::Block genesis = chain::make_genesis(params);
+  const Bytes valid = genesis.serialize();
+  for (const Bytes& mutant : mutations(valid, 9)) {
+    const auto result = chain::Block::deserialize(mutant);
+    if (result && !(*result == genesis)) {
+      // The block hash covers only the header; a body mutation must be
+      // caught by structural validation (merkle mismatch — or PoW, since
+      // the genesis header was never mined against params' difficulty).
+      if (result->hash() == genesis.hash()) {
+        EXPECT_NE(chain::check_block(*result, params).error,
+                  chain::BlockError::kOk);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcwan

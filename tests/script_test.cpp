@@ -1,0 +1,643 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "script/interpreter.hpp"
+#include "script/script.hpp"
+#include "script/templates.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::script {
+namespace {
+
+using util::Bytes;
+using util::Rng;
+using util::str_bytes;
+
+// A checker with programmable behaviour for unit-testing opcodes in
+// isolation from the chain module.
+class FakeChecker : public SignatureChecker {
+ public:
+  bool sig_valid = true;
+  std::int64_t locktime = 0;
+  bool sequence_final = false;
+  mutable Bytes last_sig, last_pubkey;
+
+  bool check_sig(util::ByteView sig, util::ByteView pubkey) const override {
+    last_sig.assign(sig.begin(), sig.end());
+    last_pubkey.assign(pubkey.begin(), pubkey.end());
+    return sig_valid;
+  }
+  std::int64_t tx_locktime() const override { return locktime; }
+  bool input_sequence_final() const override { return sequence_final; }
+};
+
+ExecResult run(const Script& s, const SignatureChecker& checker) {
+  return eval_script(s, {}, checker);
+}
+
+// --- ScriptNum ---
+
+TEST(ScriptNum, EncodeKnownValues) {
+  EXPECT_TRUE(scriptnum_encode(0).empty());
+  EXPECT_EQ(scriptnum_encode(1), (Bytes{0x01}));
+  EXPECT_EQ(scriptnum_encode(127), (Bytes{0x7f}));
+  EXPECT_EQ(scriptnum_encode(128), (Bytes{0x80, 0x00}));
+  EXPECT_EQ(scriptnum_encode(255), (Bytes{0xff, 0x00}));
+  EXPECT_EQ(scriptnum_encode(256), (Bytes{0x00, 0x01}));
+  EXPECT_EQ(scriptnum_encode(-1), (Bytes{0x81}));
+  EXPECT_EQ(scriptnum_encode(-127), (Bytes{0xff}));
+  EXPECT_EQ(scriptnum_encode(-128), (Bytes{0x80, 0x80}));
+}
+
+TEST(ScriptNum, RoundTrip) {
+  for (std::int64_t v : {0LL, 1LL, -1LL, 16LL, 17LL, 127LL, 128LL, 255LL,
+                         256LL, 1000LL, -1000LL, 100000LL, 2147483647LL}) {
+    EXPECT_EQ(scriptnum_decode(scriptnum_encode(v), 5), v) << v;
+  }
+}
+
+TEST(ScriptNum, RejectsNonMinimal) {
+  EXPECT_FALSE(scriptnum_decode(Bytes{0x01, 0x00}, 4).has_value());
+  EXPECT_FALSE(scriptnum_decode(Bytes{0x00}, 4).has_value());
+  // 0x80 0x00 would decode to 128 and IS minimal.
+  EXPECT_TRUE(scriptnum_decode(Bytes{0x80, 0x00}, 4).has_value());
+}
+
+TEST(ScriptNum, RejectsOversized) {
+  EXPECT_FALSE(scriptnum_decode(Bytes{1, 2, 3, 4, 5}, 4).has_value());
+  EXPECT_TRUE(scriptnum_decode(Bytes{1, 2, 3, 4, 5}, 5).has_value());
+}
+
+// --- Script container ---
+
+TEST(Script, PushEncodings) {
+  Script s;
+  s.push(Bytes{});             // OP_0
+  s.push(Bytes(1, 0xaa));      // direct
+  s.push(Bytes(75, 0xbb));     // max direct
+  s.push(Bytes(76, 0xcc));     // PUSHDATA1
+  s.push(Bytes(300, 0xdd));    // PUSHDATA2
+  const auto decoded = s.decode();
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 5u);
+  EXPECT_TRUE((*decoded)[0].push.empty());
+  EXPECT_EQ((*decoded)[1].push.size(), 1u);
+  EXPECT_EQ((*decoded)[2].push.size(), 75u);
+  EXPECT_EQ((*decoded)[3].push.size(), 76u);
+  EXPECT_EQ((*decoded)[4].push.size(), 300u);
+}
+
+TEST(Script, PushTooLargeThrows) {
+  Script s;
+  EXPECT_THROW(s.push(Bytes(kMaxElementSize + 1, 0)), std::invalid_argument);
+}
+
+TEST(Script, DecodeRejectsTruncatedPush) {
+  Script s(Bytes{0x05, 0x01, 0x02});  // declares 5 bytes, has 2
+  EXPECT_FALSE(s.decode().has_value());
+}
+
+TEST(Script, IsPushOnly) {
+  Script pushes;
+  pushes.push(str_bytes("a")).push_int(5).push_int(0);
+  EXPECT_TRUE(pushes.is_push_only());
+
+  Script with_op;
+  with_op.push(str_bytes("a")).op(Opcode::OP_DUP);
+  EXPECT_FALSE(with_op.is_push_only());
+}
+
+TEST(Script, Disassemble) {
+  PubKeyHash h{};
+  const Script s = make_p2pkh(h);
+  const std::string text = s.disassemble();
+  EXPECT_NE(text.find("OP_DUP"), std::string::npos);
+  EXPECT_NE(text.find("OP_HASH160"), std::string::npos);
+  EXPECT_NE(text.find("OP_CHECKSIG"), std::string::npos);
+}
+
+// --- Interpreter basics ---
+
+TEST(Interpreter, TruthinessRules) {
+  EXPECT_FALSE(cast_to_bool(Bytes{}));
+  EXPECT_FALSE(cast_to_bool(Bytes{0x00}));
+  EXPECT_FALSE(cast_to_bool(Bytes{0x00, 0x00}));
+  EXPECT_FALSE(cast_to_bool(Bytes{0x80}));        // negative zero
+  EXPECT_FALSE(cast_to_bool(Bytes{0x00, 0x80}));  // negative zero, 2 bytes
+  EXPECT_TRUE(cast_to_bool(Bytes{0x01}));
+  EXPECT_TRUE(cast_to_bool(Bytes{0x80, 0x00}));   // 128 is true
+}
+
+TEST(Interpreter, DupEqual) {
+  FakeChecker checker;
+  Script s;
+  s.push(str_bytes("x")).op(Opcode::OP_DUP).op(Opcode::OP_EQUAL);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(cast_to_bool(r.stack.back()));
+}
+
+TEST(Interpreter, Arithmetic) {
+  FakeChecker checker;
+  Script s;
+  s.push_int(2).push_int(3).op(Opcode::OP_ADD).push_int(5)
+      .op(Opcode::OP_NUMEQUAL);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(cast_to_bool(r.stack.back()));
+}
+
+TEST(Interpreter, StackOps) {
+  FakeChecker checker;
+  Script s;
+  s.push_int(1).push_int(2).op(Opcode::OP_SWAP).op(Opcode::OP_DROP);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(scriptnum_decode(r.stack.back()), 2);
+}
+
+TEST(Interpreter, UnderflowDetected) {
+  FakeChecker checker;
+  Script s;
+  s.op(Opcode::OP_DUP);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kStackUnderflow);
+}
+
+TEST(Interpreter, IfElseTakesCorrectBranch) {
+  FakeChecker checker;
+  for (const bool cond : {true, false}) {
+    Script s;
+    s.push_int(cond ? 1 : 0)
+        .op(Opcode::OP_IF)
+        .push_int(100)
+        .op(Opcode::OP_ELSE)
+        .push_int(200)
+        .op(Opcode::OP_ENDIF);
+    const auto r = run(s, checker);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(scriptnum_decode(r.stack.back()), cond ? 100 : 200);
+  }
+}
+
+TEST(Interpreter, NestedConditionals) {
+  FakeChecker checker;
+  Script s;
+  s.push_int(1)
+      .op(Opcode::OP_IF)
+      .push_int(0)
+      .op(Opcode::OP_IF)
+      .push_int(1)
+      .op(Opcode::OP_ELSE)
+      .push_int(42)
+      .op(Opcode::OP_ENDIF)
+      .op(Opcode::OP_ENDIF);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(scriptnum_decode(r.stack.back()), 42);
+}
+
+TEST(Interpreter, UnbalancedConditionalFails) {
+  FakeChecker checker;
+  Script s;
+  s.push_int(1).op(Opcode::OP_IF);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kUnbalancedConditional);
+
+  Script s2;
+  s2.op(Opcode::OP_ENDIF);
+  EXPECT_EQ(run(s2, checker).error, ScriptError::kUnbalancedConditional);
+}
+
+TEST(Interpreter, OpReturnAborts) {
+  FakeChecker checker;
+  Script s = make_op_return(str_bytes("directory payload"));
+  EXPECT_EQ(run(s, checker).error, ScriptError::kOpReturn);
+}
+
+TEST(Interpreter, SkippedBranchDoesNotExecute) {
+  FakeChecker checker;
+  // OP_RETURN inside a non-taken branch must not abort.
+  Script s;
+  s.push_int(0)
+      .op(Opcode::OP_IF)
+      .op(Opcode::OP_RETURN)
+      .op(Opcode::OP_ENDIF)
+      .push_int(1);
+  const auto r = run(s, checker);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Interpreter, BadOpcodeFails) {
+  FakeChecker checker;
+  Script s(Bytes{0xfe});
+  EXPECT_EQ(run(s, checker).error, ScriptError::kBadOpcode);
+}
+
+TEST(Interpreter, OpCountLimit) {
+  FakeChecker checker;
+  Script s;
+  s.push_int(1);
+  for (std::size_t i = 0; i < kMaxOpsPerScript + 1; ++i) s.op(Opcode::OP_DUP);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kOpCount);
+}
+
+TEST(Interpreter, HashOpcodes) {
+  FakeChecker checker;
+  Script s;
+  s.push(str_bytes("abc")).op(Opcode::OP_SHA256);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(util::to_hex(r.stack.back()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Interpreter, ChecksigDelegatesToChecker) {
+  FakeChecker checker;
+  checker.sig_valid = true;
+  Script s;
+  s.push(str_bytes("SIG")).push(str_bytes("PUB")).op(Opcode::OP_CHECKSIG);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(cast_to_bool(r.stack.back()));
+  EXPECT_EQ(checker.last_sig, str_bytes("SIG"));
+  EXPECT_EQ(checker.last_pubkey, str_bytes("PUB"));
+
+  checker.sig_valid = false;
+  const auto r2 = run(s, checker);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(cast_to_bool(r2.stack.back()));
+}
+
+TEST(Interpreter, AltStackRoundTrip) {
+  FakeChecker checker;
+  Script s;
+  s.push_int(7)
+      .op(Opcode::OP_TOALTSTACK)
+      .push_int(1)
+      .op(Opcode::OP_FROMALTSTACK);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.stack.size(), 2u);
+  EXPECT_EQ(scriptnum_decode(r.stack.back()), 7);
+}
+
+TEST(Interpreter, FromEmptyAltStackUnderflows) {
+  FakeChecker checker;
+  Script s;
+  s.op(Opcode::OP_FROMALTSTACK);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kStackUnderflow);
+}
+
+TEST(Interpreter, StackSizeLimit) {
+  FakeChecker checker;
+  // DUP beyond the 1000-element cap must fail. Raw data pushes don't count
+  // against the 201-operator budget (OP_1..OP_16 would), so build the base
+  // stack from explicit byte pushes and overflow it with <200 DUPs.
+  Script s;
+  for (int i = 0; i < 900; ++i) s.push(Bytes{0x2a});
+  for (int i = 0; i < 150; ++i) s.op(Opcode::OP_DUP);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kStackOverflow);
+}
+
+TEST(Interpreter, MinMaxWithin) {
+  FakeChecker checker;
+  Script s;
+  s.push_int(3).push_int(5).op(Opcode::OP_MIN);
+  auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(scriptnum_decode(r.stack.back()), 3);
+
+  Script s2;
+  s2.push_int(4).push_int(2).push_int(8).op(Opcode::OP_WITHIN);
+  r = run(s2, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(cast_to_bool(r.stack.back()));
+
+  Script s3;
+  s3.push_int(8).push_int(2).push_int(8).op(Opcode::OP_WITHIN);  // hi exclusive
+  r = run(s3, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(cast_to_bool(r.stack.back()));
+}
+
+TEST(Interpreter, SizeNipOverRot) {
+  FakeChecker checker;
+  Script s;
+  s.push(str_bytes("abcd")).op(Opcode::OP_SIZE);
+  auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(scriptnum_decode(r.stack.back()), 4);
+
+  Script s2;
+  s2.push_int(1).push_int(2).push_int(3).op(Opcode::OP_ROT);
+  r = run(s2, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(scriptnum_decode(r.stack.back()), 1);  // 1 rotated to top
+
+  Script s3;
+  s3.push_int(1).push_int(2).op(Opcode::OP_NIP);
+  r = run(s3, checker);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(scriptnum_decode(r.stack.back()), 2);
+
+  Script s4;
+  s4.push_int(1).push_int(2).op(Opcode::OP_OVER);
+  r = run(s4, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(scriptnum_decode(r.stack.back()), 1);
+}
+
+TEST(Interpreter, NumericOpcodesRejectOversizedOperands) {
+  FakeChecker checker;
+  Script s;
+  s.push(Bytes(5, 0x01)).push_int(1).op(Opcode::OP_ADD);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kBadNumber);
+}
+
+// --- OP_CHECKLOCKTIMEVERIFY ---
+
+TEST(Cltv, SatisfiedWhenTxLocktimeReached) {
+  FakeChecker checker;
+  checker.locktime = 150;
+  checker.sequence_final = false;
+  Script s;
+  s.push_int(100).op(Opcode::OP_CHECKLOCKTIMEVERIFY);
+  const auto r = run(s, checker);
+  EXPECT_TRUE(r.ok());
+  // CLTV peeks; the operand stays on the stack.
+  EXPECT_EQ(r.stack.size(), 1u);
+}
+
+TEST(Cltv, FailsWhenTxLocktimeTooLow) {
+  FakeChecker checker;
+  checker.locktime = 99;
+  Script s;
+  s.push_int(100).op(Opcode::OP_CHECKLOCKTIMEVERIFY);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kUnsatisfiedLocktime);
+}
+
+TEST(Cltv, FailsOnFinalSequence) {
+  FakeChecker checker;
+  checker.locktime = 150;
+  checker.sequence_final = true;
+  Script s;
+  s.push_int(100).op(Opcode::OP_CHECKLOCKTIMEVERIFY);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kUnsatisfiedLocktime);
+}
+
+TEST(Cltv, RejectsNegativeLocktime) {
+  FakeChecker checker;
+  Script s;
+  s.push_int(-5).op(Opcode::OP_CHECKLOCKTIMEVERIFY);
+  EXPECT_EQ(run(s, checker).error, ScriptError::kNegativeLocktime);
+}
+
+// --- OP_CHECKRSA512PAIR + Listing 1 ---
+
+class KeyReleaseFixture : public ::testing::Test {
+ protected:
+  static const crypto::RsaKeyPair& ephemeral() {
+    static const crypto::RsaKeyPair kp = [] {
+      Rng rng(500);
+      return crypto::rsa_generate(rng, 512);
+    }();
+    return kp;
+  }
+  static const crypto::RsaKeyPair& other() {
+    static const crypto::RsaKeyPair kp = [] {
+      Rng rng(501);
+      return crypto::rsa_generate(rng, 512);
+    }();
+    return kp;
+  }
+};
+
+TEST_F(KeyReleaseFixture, PairCheckTrueOnMatch) {
+  FakeChecker checker;
+  Script s;
+  s.push(ephemeral().priv.serialize())
+      .push(ephemeral().pub.serialize())
+      .op(Opcode::OP_CHECKRSA512PAIR);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(cast_to_bool(r.stack.back()));
+}
+
+TEST_F(KeyReleaseFixture, PairCheckFalseOnMismatch) {
+  FakeChecker checker;
+  Script s;
+  s.push(other().priv.serialize())
+      .push(ephemeral().pub.serialize())
+      .op(Opcode::OP_CHECKRSA512PAIR);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(cast_to_bool(r.stack.back()));
+}
+
+TEST_F(KeyReleaseFixture, PairCheckFalseOnGarbage) {
+  FakeChecker checker;
+  Script s;
+  s.push(Bytes{0x00}).push(ephemeral().pub.serialize())
+      .op(Opcode::OP_CHECKRSA512PAIR);
+  const auto r = run(s, checker);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(cast_to_bool(r.stack.back()));
+}
+
+TEST_F(KeyReleaseFixture, GatewayRedeemPathSucceeds) {
+  FakeChecker checker;
+  checker.sig_valid = true;
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  const Script sig_script = make_key_release_redeem(
+      str_bytes("sig"), str_bytes("gateway-pub"), ephemeral().priv);
+  const auto r = verify_spend(sig_script, pubkey_script, checker);
+  EXPECT_TRUE(r.ok()) << script_error_name(r.error);
+}
+
+TEST_F(KeyReleaseFixture, RedeemWithWrongKeyFallsToTimeoutBranchAndFails) {
+  FakeChecker checker;
+  checker.sig_valid = true;
+  checker.locktime = 0;  // timeout not reached
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  // Wrong ephemeral key -> OP_CHECKRSA512PAIR false -> ELSE branch -> CLTV
+  // unsatisfied.
+  const Script sig_script = make_key_release_redeem(
+      str_bytes("sig"), str_bytes("gateway-pub"), other().priv);
+  const auto r = verify_spend(sig_script, pubkey_script, checker);
+  EXPECT_EQ(r.error, ScriptError::kUnsatisfiedLocktime);
+}
+
+TEST_F(KeyReleaseFixture, RedeemWithWrongGatewayIdentityFails) {
+  FakeChecker checker;
+  checker.sig_valid = true;
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  // Correct eSk but a thief's pubkey: HASH160 mismatch.
+  const Script sig_script = make_key_release_redeem(
+      str_bytes("sig"), str_bytes("thief-pub"), ephemeral().priv);
+  const auto r = verify_spend(sig_script, pubkey_script, checker);
+  EXPECT_EQ(r.error, ScriptError::kVerifyFailed);
+}
+
+TEST_F(KeyReleaseFixture, BuyerReclaimAfterTimeout) {
+  FakeChecker checker;
+  checker.sig_valid = true;
+  checker.locktime = 200;  // reclaim tx sets nLockTime to the timeout height
+  checker.sequence_final = false;
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  const Script sig_script =
+      make_key_release_reclaim(str_bytes("sig"), str_bytes("buyer-pub"));
+  const auto r = verify_spend(sig_script, pubkey_script, checker);
+  EXPECT_TRUE(r.ok()) << script_error_name(r.error);
+}
+
+TEST_F(KeyReleaseFixture, BuyerReclaimBeforeTimeoutFails) {
+  FakeChecker checker;
+  checker.sig_valid = true;
+  checker.locktime = 150;  // before the 200 timeout
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  const Script sig_script =
+      make_key_release_reclaim(str_bytes("sig"), str_bytes("buyer-pub"));
+  const auto r = verify_spend(sig_script, pubkey_script, checker);
+  EXPECT_EQ(r.error, ScriptError::kUnsatisfiedLocktime);
+}
+
+TEST_F(KeyReleaseFixture, InvalidSignatureFailsBothPaths) {
+  FakeChecker checker;
+  checker.sig_valid = false;
+  checker.locktime = 500;
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  const auto redeem = verify_spend(
+      make_key_release_redeem(str_bytes("s"), str_bytes("gateway-pub"),
+                              ephemeral().priv),
+      pubkey_script, checker);
+  EXPECT_EQ(redeem.error, ScriptError::kEvalFalse);
+  const auto reclaim = verify_spend(
+      make_key_release_reclaim(str_bytes("s"), str_bytes("buyer-pub")),
+      pubkey_script, checker);
+  EXPECT_EQ(reclaim.error, ScriptError::kEvalFalse);
+}
+
+TEST_F(KeyReleaseFixture, ScriptSigMustBePushOnly) {
+  FakeChecker checker;
+  Script evil;
+  evil.push(str_bytes("x")).op(Opcode::OP_DUP);
+  const auto r = verify_spend(evil, make_p2pkh(PubKeyHash{}), checker);
+  EXPECT_EQ(r.error, ScriptError::kSigPushOnly);
+}
+
+// --- Classification & extraction ---
+
+TEST_F(KeyReleaseFixture, ClassifyP2pkh) {
+  const PubKeyHash h = to_pubkey_hash(str_bytes("someone"));
+  const auto c = classify(make_p2pkh(h));
+  EXPECT_EQ(c.type, ScriptType::kP2pkh);
+  EXPECT_EQ(c.pubkey_hash, h);
+}
+
+TEST_F(KeyReleaseFixture, ClassifyOpReturn) {
+  const auto c = classify(make_op_return(str_bytes("BCWAN/IP|...")));
+  EXPECT_EQ(c.type, ScriptType::kOpReturn);
+  EXPECT_EQ(c.data, str_bytes("BCWAN/IP|..."));
+}
+
+TEST_F(KeyReleaseFixture, ClassifyKeyRelease) {
+  const PubKeyHash gw = to_pubkey_hash(str_bytes("gw"));
+  const PubKeyHash buyer = to_pubkey_hash(str_bytes("buyer"));
+  const auto c = classify(make_key_release(ephemeral().pub, gw, buyer, 4242));
+  EXPECT_EQ(c.type, ScriptType::kKeyRelease);
+  EXPECT_EQ(c.pubkey_hash, gw);
+  EXPECT_EQ(c.buyer_pubkey_hash, buyer);
+  EXPECT_EQ(c.timeout_height, 4242);
+  ASSERT_TRUE(c.ephemeral_pub.has_value());
+  EXPECT_EQ(*c.ephemeral_pub, ephemeral().pub);
+}
+
+TEST_F(KeyReleaseFixture, ClassifyNonStandard) {
+  Script s;
+  s.op(Opcode::OP_DUP).op(Opcode::OP_DROP);
+  EXPECT_EQ(classify(s).type, ScriptType::kNonStandard);
+  EXPECT_EQ(classify(Script(Bytes{0x05, 0x01})).type,
+            ScriptType::kNonStandard);
+}
+
+TEST_F(KeyReleaseFixture, ExtractRevealedKey) {
+  const Script redeem = make_key_release_redeem(
+      str_bytes("sig"), str_bytes("pub"), ephemeral().priv);
+  const auto key = extract_revealed_key(redeem);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, ephemeral().priv);
+
+  const Script reclaim =
+      make_key_release_reclaim(str_bytes("sig"), str_bytes("pub"));
+  EXPECT_FALSE(extract_revealed_key(reclaim).has_value());
+
+  Script p2pkh_sig = make_p2pkh_scriptsig(str_bytes("s"), str_bytes("p"));
+  EXPECT_FALSE(extract_revealed_key(p2pkh_sig).has_value());
+}
+
+// Property sweep: the Listing-1 contract is exclusive — for every locktime
+// configuration exactly the intended party can spend.
+struct SpendCase {
+  bool gateway_has_key;
+  std::int64_t tx_locktime;
+  bool expect_gateway_ok;
+  bool expect_buyer_ok;
+};
+
+class KeyReleaseExclusivity : public ::testing::TestWithParam<SpendCase> {};
+
+TEST_P(KeyReleaseExclusivity, OnlyIntendedPartySpends) {
+  Rng rng(502);
+  static const crypto::RsaKeyPair eph = crypto::rsa_generate(rng, 512);
+  static const crypto::RsaKeyPair wrong = crypto::rsa_generate(rng, 512);
+  const auto& p = GetParam();
+
+  FakeChecker checker;
+  checker.sig_valid = true;
+  checker.locktime = p.tx_locktime;
+  const PubKeyHash gw = to_pubkey_hash(str_bytes("gw"));
+  const PubKeyHash buyer = to_pubkey_hash(str_bytes("buyer"));
+  const Script lock = make_key_release(eph.pub, gw, buyer, 300);
+
+  const Script gw_spend = make_key_release_redeem(
+      str_bytes("sig"), str_bytes("gw"),
+      p.gateway_has_key ? eph.priv : wrong.priv);
+  EXPECT_EQ(verify_spend(gw_spend, lock, checker).ok(), p.expect_gateway_ok);
+
+  const Script buyer_spend =
+      make_key_release_reclaim(str_bytes("sig"), str_bytes("buyer"));
+  EXPECT_EQ(verify_spend(buyer_spend, lock, checker).ok(), p.expect_buyer_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KeyReleaseExclusivity,
+    ::testing::Values(
+        // Before timeout: only a gateway holding eSk can spend.
+        SpendCase{true, 0, true, false},
+        SpendCase{false, 0, false, false},
+        // After timeout: gateway with key still can; buyer now can too.
+        SpendCase{true, 300, true, true},
+        SpendCase{false, 300, false, true},
+        SpendCase{false, 1000, false, true}));
+
+}  // namespace
+}  // namespace bcwan::script

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/serial.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace bcwan::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  EXPECT_FALSE(from_hex("abc"));   // odd length
+  EXPECT_FALSE(from_hex("zz"));    // bad chars
+  EXPECT_THROW(from_hex_strict("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = {};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, ByteView(a.data(), 2)));
+}
+
+TEST(Bytes, StringConversion) {
+  EXPECT_EQ(bytes_str(str_bytes("hello")), "hello");
+}
+
+TEST(Serial, IntegersLittleEndian) {
+  Writer w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090a0b0c0d0e0fULL);
+  EXPECT_EQ(to_hex(w.data()), "010302070605040f0e0d0c0b0a0908");
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u16(), 0x0203);
+  EXPECT_EQ(r.u32(), 0x04050607u);
+  EXPECT_EQ(r.u64(), 0x08090a0b0c0d0e0fULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, VarintBoundaries) {
+  for (std::uint64_t v : {0ULL, 1ULL, 0xfcULL, 0xfdULL, 0xffffULL, 0x10000ULL,
+                          0xffffffffULL, 0x100000000ULL,
+                          0xffffffffffffffffULL}) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Serial, VarintRejectsNonCanonical) {
+  // 0xfd 0x01 0x00 encodes 1 non-canonically.
+  const Bytes bad = {0xfd, 0x01, 0x00};
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), DeserializeError);
+}
+
+TEST(Serial, VarBytesRoundTrip) {
+  Writer w;
+  w.var_bytes(str_bytes("payload"));
+  Reader r(w.data());
+  EXPECT_EQ(r.var_bytes(), str_bytes("payload"));
+}
+
+TEST(Serial, TruncationThrows) {
+  const Bytes short_buf = {0x01};
+  Reader r(short_buf);
+  EXPECT_THROW(r.u32(), DeserializeError);
+}
+
+TEST(Serial, LengthPrefixBeyondInputThrows) {
+  Writer w;
+  w.varint(100);
+  w.u8(0);
+  Reader r(w.data());
+  EXPECT_THROW(r.var_bytes(), DeserializeError);
+}
+
+TEST(Serial, ExpectDone) {
+  const Bytes buf = {0x01, 0x02};
+  Reader r(buf);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DeserializeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, BytesLengthAndDeterminism) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(a.bytes(33), b.bytes(33));
+  EXPECT_EQ(a.bytes(0).size(), 0u);
+}
+
+TEST(Stats, BasicMoments) {
+  SampleStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Stats, HistogramCountsAll) {
+  SampleStats s;
+  for (int i = 0; i < 10; ++i) s.add(i + 0.5);
+  const std::string h = s.histogram(0, 10, 5);
+  EXPECT_NE(h.find('#'), std::string::npos);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 3600 * kSecond);
+}
+
+}  // namespace
+}  // namespace bcwan::util
