@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_confirmations.dir/bench_ablation_confirmations.cpp.o"
+  "CMakeFiles/bench_ablation_confirmations.dir/bench_ablation_confirmations.cpp.o.d"
+  "bench_ablation_confirmations"
+  "bench_ablation_confirmations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_confirmations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pos.dir/bench_ablation_pos.cpp.o"
+  "CMakeFiles/bench_ablation_pos.dir/bench_ablation_pos.cpp.o.d"
+  "bench_ablation_pos"
+  "bench_ablation_pos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

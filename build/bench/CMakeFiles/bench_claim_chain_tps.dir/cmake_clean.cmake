@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_chain_tps.dir/bench_claim_chain_tps.cpp.o"
+  "CMakeFiles/bench_claim_chain_tps.dir/bench_claim_chain_tps.cpp.o.d"
+  "bench_claim_chain_tps"
+  "bench_claim_chain_tps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_chain_tps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

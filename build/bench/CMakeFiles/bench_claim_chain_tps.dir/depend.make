@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_claim_chain_tps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_crypto.dir/bench_claim_crypto.cpp.o"
+  "CMakeFiles/bench_claim_crypto.dir/bench_claim_crypto.cpp.o.d"
+  "bench_claim_crypto"
+  "bench_claim_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

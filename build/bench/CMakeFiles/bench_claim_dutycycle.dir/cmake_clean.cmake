@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_dutycycle.dir/bench_claim_dutycycle.cpp.o"
+  "CMakeFiles/bench_claim_dutycycle.dir/bench_claim_dutycycle.cpp.o.d"
+  "bench_claim_dutycycle"
+  "bench_claim_dutycycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_dutycycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_payload.dir/bench_fig4_payload.cpp.o"
+  "CMakeFiles/bench_fig4_payload.dir/bench_fig4_payload.cpp.o.d"
+  "bench_fig4_payload"
+  "bench_fig4_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

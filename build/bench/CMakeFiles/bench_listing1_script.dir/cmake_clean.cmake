@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listing1_script.dir/bench_listing1_script.cpp.o"
+  "CMakeFiles/bench_listing1_script.dir/bench_listing1_script.cpp.o.d"
+  "bench_listing1_script"
+  "bench_listing1_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listing1_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asset_tracking.dir/asset_tracking.cpp.o"
+  "CMakeFiles/asset_tracking.dir/asset_tracking.cpp.o.d"
+  "asset_tracking"
+  "asset_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asset_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

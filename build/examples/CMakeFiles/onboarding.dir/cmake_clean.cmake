@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onboarding.dir/onboarding.cpp.o"
+  "CMakeFiles/onboarding.dir/onboarding.cpp.o.d"
+  "onboarding"
+  "onboarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

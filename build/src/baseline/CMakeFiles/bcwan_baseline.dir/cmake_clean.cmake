@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_baseline.dir/exchange_models.cpp.o"
+  "CMakeFiles/bcwan_baseline.dir/exchange_models.cpp.o.d"
+  "CMakeFiles/bcwan_baseline.dir/legacy_lorawan.cpp.o"
+  "CMakeFiles/bcwan_baseline.dir/legacy_lorawan.cpp.o.d"
+  "libbcwan_baseline.a"
+  "libbcwan_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbcwan_baseline.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bcwan/directory.cpp" "src/bcwan/CMakeFiles/bcwan_core.dir/directory.cpp.o" "gcc" "src/bcwan/CMakeFiles/bcwan_core.dir/directory.cpp.o.d"
+  "/root/repo/src/bcwan/election.cpp" "src/bcwan/CMakeFiles/bcwan_core.dir/election.cpp.o" "gcc" "src/bcwan/CMakeFiles/bcwan_core.dir/election.cpp.o.d"
+  "/root/repo/src/bcwan/envelope.cpp" "src/bcwan/CMakeFiles/bcwan_core.dir/envelope.cpp.o" "gcc" "src/bcwan/CMakeFiles/bcwan_core.dir/envelope.cpp.o.d"
+  "/root/repo/src/bcwan/fair_exchange.cpp" "src/bcwan/CMakeFiles/bcwan_core.dir/fair_exchange.cpp.o" "gcc" "src/bcwan/CMakeFiles/bcwan_core.dir/fair_exchange.cpp.o.d"
+  "/root/repo/src/bcwan/gateway_agent.cpp" "src/bcwan/CMakeFiles/bcwan_core.dir/gateway_agent.cpp.o" "gcc" "src/bcwan/CMakeFiles/bcwan_core.dir/gateway_agent.cpp.o.d"
+  "/root/repo/src/bcwan/recipient_agent.cpp" "src/bcwan/CMakeFiles/bcwan_core.dir/recipient_agent.cpp.o" "gcc" "src/bcwan/CMakeFiles/bcwan_core.dir/recipient_agent.cpp.o.d"
+  "/root/repo/src/bcwan/sensor_node.cpp" "src/bcwan/CMakeFiles/bcwan_core.dir/sensor_node.cpp.o" "gcc" "src/bcwan/CMakeFiles/bcwan_core.dir/sensor_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lora/CMakeFiles/bcwan_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/bcwan_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/bcwan_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/bcwan_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcwan_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcwan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/bcwan_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

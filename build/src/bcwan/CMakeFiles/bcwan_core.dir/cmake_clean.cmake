@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_core.dir/directory.cpp.o"
+  "CMakeFiles/bcwan_core.dir/directory.cpp.o.d"
+  "CMakeFiles/bcwan_core.dir/election.cpp.o"
+  "CMakeFiles/bcwan_core.dir/election.cpp.o.d"
+  "CMakeFiles/bcwan_core.dir/envelope.cpp.o"
+  "CMakeFiles/bcwan_core.dir/envelope.cpp.o.d"
+  "CMakeFiles/bcwan_core.dir/fair_exchange.cpp.o"
+  "CMakeFiles/bcwan_core.dir/fair_exchange.cpp.o.d"
+  "CMakeFiles/bcwan_core.dir/gateway_agent.cpp.o"
+  "CMakeFiles/bcwan_core.dir/gateway_agent.cpp.o.d"
+  "CMakeFiles/bcwan_core.dir/recipient_agent.cpp.o"
+  "CMakeFiles/bcwan_core.dir/recipient_agent.cpp.o.d"
+  "CMakeFiles/bcwan_core.dir/sensor_node.cpp.o"
+  "CMakeFiles/bcwan_core.dir/sensor_node.cpp.o.d"
+  "libbcwan_core.a"
+  "libbcwan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bcwan_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_bignum.dir/biguint.cpp.o"
+  "CMakeFiles/bcwan_bignum.dir/biguint.cpp.o.d"
+  "CMakeFiles/bcwan_bignum.dir/primes.cpp.o"
+  "CMakeFiles/bcwan_bignum.dir/primes.cpp.o.d"
+  "libbcwan_bignum.a"
+  "libbcwan_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

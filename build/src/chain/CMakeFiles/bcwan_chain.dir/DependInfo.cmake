@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/blockchain.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/blockchain.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/blockchain.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/mempool.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/mempool.cpp.o.d"
+  "/root/repo/src/chain/miner.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/miner.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/miner.cpp.o.d"
+  "/root/repo/src/chain/pos.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/pos.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/pos.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/transaction.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/transaction.cpp.o.d"
+  "/root/repo/src/chain/utxo.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/utxo.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/utxo.cpp.o.d"
+  "/root/repo/src/chain/validation.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/validation.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/validation.cpp.o.d"
+  "/root/repo/src/chain/wallet.cpp" "src/chain/CMakeFiles/bcwan_chain.dir/wallet.cpp.o" "gcc" "src/chain/CMakeFiles/bcwan_chain.dir/wallet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/script/CMakeFiles/bcwan_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcwan_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcwan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/bcwan_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

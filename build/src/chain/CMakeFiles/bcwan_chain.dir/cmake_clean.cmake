@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_chain.dir/block.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/block.cpp.o.d"
+  "CMakeFiles/bcwan_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/bcwan_chain.dir/mempool.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/mempool.cpp.o.d"
+  "CMakeFiles/bcwan_chain.dir/miner.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/miner.cpp.o.d"
+  "CMakeFiles/bcwan_chain.dir/pos.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/pos.cpp.o.d"
+  "CMakeFiles/bcwan_chain.dir/transaction.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/transaction.cpp.o.d"
+  "CMakeFiles/bcwan_chain.dir/utxo.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/utxo.cpp.o.d"
+  "CMakeFiles/bcwan_chain.dir/validation.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/validation.cpp.o.d"
+  "CMakeFiles/bcwan_chain.dir/wallet.cpp.o"
+  "CMakeFiles/bcwan_chain.dir/wallet.cpp.o.d"
+  "libbcwan_chain.a"
+  "libbcwan_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

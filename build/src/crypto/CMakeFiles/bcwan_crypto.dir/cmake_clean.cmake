@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_crypto.dir/aes.cpp.o"
+  "CMakeFiles/bcwan_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/bcwan_crypto.dir/base58.cpp.o"
+  "CMakeFiles/bcwan_crypto.dir/base58.cpp.o.d"
+  "CMakeFiles/bcwan_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/bcwan_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/bcwan_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/bcwan_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/bcwan_crypto.dir/ripemd160.cpp.o"
+  "CMakeFiles/bcwan_crypto.dir/ripemd160.cpp.o.d"
+  "CMakeFiles/bcwan_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/bcwan_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/bcwan_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/bcwan_crypto.dir/sha256.cpp.o.d"
+  "libbcwan_crypto.a"
+  "libbcwan_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_lora.dir/airtime.cpp.o"
+  "CMakeFiles/bcwan_lora.dir/airtime.cpp.o.d"
+  "CMakeFiles/bcwan_lora.dir/frame.cpp.o"
+  "CMakeFiles/bcwan_lora.dir/frame.cpp.o.d"
+  "CMakeFiles/bcwan_lora.dir/radio.cpp.o"
+  "CMakeFiles/bcwan_lora.dir/radio.cpp.o.d"
+  "libbcwan_lora.a"
+  "libbcwan_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/chain_node.cpp" "src/p2p/CMakeFiles/bcwan_p2p.dir/chain_node.cpp.o" "gcc" "src/p2p/CMakeFiles/bcwan_p2p.dir/chain_node.cpp.o.d"
+  "/root/repo/src/p2p/event_loop.cpp" "src/p2p/CMakeFiles/bcwan_p2p.dir/event_loop.cpp.o" "gcc" "src/p2p/CMakeFiles/bcwan_p2p.dir/event_loop.cpp.o.d"
+  "/root/repo/src/p2p/network.cpp" "src/p2p/CMakeFiles/bcwan_p2p.dir/network.cpp.o" "gcc" "src/p2p/CMakeFiles/bcwan_p2p.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/bcwan_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcwan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/bcwan_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcwan_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/bcwan_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_p2p.dir/chain_node.cpp.o"
+  "CMakeFiles/bcwan_p2p.dir/chain_node.cpp.o.d"
+  "CMakeFiles/bcwan_p2p.dir/event_loop.cpp.o"
+  "CMakeFiles/bcwan_p2p.dir/event_loop.cpp.o.d"
+  "CMakeFiles/bcwan_p2p.dir/network.cpp.o"
+  "CMakeFiles/bcwan_p2p.dir/network.cpp.o.d"
+  "libbcwan_p2p.a"
+  "libbcwan_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_script.dir/interpreter.cpp.o"
+  "CMakeFiles/bcwan_script.dir/interpreter.cpp.o.d"
+  "CMakeFiles/bcwan_script.dir/script.cpp.o"
+  "CMakeFiles/bcwan_script.dir/script.cpp.o.d"
+  "CMakeFiles/bcwan_script.dir/templates.cpp.o"
+  "CMakeFiles/bcwan_script.dir/templates.cpp.o.d"
+  "libbcwan_script.a"
+  "libbcwan_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

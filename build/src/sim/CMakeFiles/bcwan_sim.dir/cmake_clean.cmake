@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_sim.dir/scenario.cpp.o"
+  "CMakeFiles/bcwan_sim.dir/scenario.cpp.o.d"
+  "libbcwan_sim.a"
+  "libbcwan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_util.dir/bytes.cpp.o"
+  "CMakeFiles/bcwan_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/bcwan_util.dir/rng.cpp.o"
+  "CMakeFiles/bcwan_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bcwan_util.dir/serial.cpp.o"
+  "CMakeFiles/bcwan_util.dir/serial.cpp.o.d"
+  "CMakeFiles/bcwan_util.dir/stats.cpp.o"
+  "CMakeFiles/bcwan_util.dir/stats.cpp.o.d"
+  "libbcwan_util.a"
+  "libbcwan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

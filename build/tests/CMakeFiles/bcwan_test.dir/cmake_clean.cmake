@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcwan_test.dir/bcwan_test.cpp.o"
+  "CMakeFiles/bcwan_test.dir/bcwan_test.cpp.o.d"
+  "bcwan_test"
+  "bcwan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcwan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lora_test.cpp" "tests/CMakeFiles/lora_test.dir/lora_test.cpp.o" "gcc" "tests/CMakeFiles/lora_test.dir/lora_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lora/CMakeFiles/bcwan_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/bcwan_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/bcwan_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/bcwan_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bcwan_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/bcwan_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcwan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lora_test.dir/lora_test.cpp.o"
+  "CMakeFiles/lora_test.dir/lora_test.cpp.o.d"
+  "lora_test"
+  "lora_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lora_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bignum_test "/root/repo/build/tests/bignum_test")
+set_tests_properties(bignum_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crypto_test "/root/repo/build/tests/crypto_test")
+set_tests_properties(crypto_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(script_test "/root/repo/build/tests/script_test")
+set_tests_properties(script_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(chain_test "/root/repo/build/tests/chain_test")
+set_tests_properties(chain_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pos_test "/root/repo/build/tests/pos_test")
+set_tests_properties(pos_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(p2p_test "/root/repo/build/tests/p2p_test")
+set_tests_properties(p2p_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lora_test "/root/repo/build/tests/lora_test")
+set_tests_properties(lora_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bcwan_test "/root/repo/build/tests/bcwan_test")
+set_tests_properties(bcwan_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baseline_test "/root/repo/build/tests/baseline_test")
+set_tests_properties(baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(robustness_test "/root/repo/build/tests/robustness_test")
+set_tests_properties(robustness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;bcwan_test;/root/repo/tests/CMakeLists.txt;0;")
