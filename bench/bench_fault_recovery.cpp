@@ -1,0 +1,186 @@
+// Fault-intensity sweep: drive the §5.2 federation under escalating chaos
+// (Gilbert–Elliott burst loss, WAN partitions, gateway crashes, miner
+// stalls) and report delivery ratio, latency percentiles, retry effort and
+// invariant violations at each level. Output is one JSON document so the
+// sweep can be diffed or plotted directly.
+//
+//   BCWAN_EXCHANGES=40 ./bench_fault_recovery
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/faults.hpp"
+#include "sim/invariants.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace bcwan;
+
+struct SweepResult {
+  double intensity = 0.0;
+  std::size_t offered = 0;
+  std::uint64_t completed = 0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+  std::uint64_t request_retries = 0;
+  std::uint64_t data_retransmissions = 0;
+  std::uint64_t exchange_restarts = 0;
+  std::uint64_t deliver_retries = 0;
+  std::uint64_t rekeys = 0;
+  std::uint64_t redeem_resubmits = 0;
+  std::uint64_t offer_rebroadcasts = 0;
+  std::uint64_t reclaims = 0;
+  std::uint64_t duplicate_deliveries = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t faults_injected = 0;
+  std::size_t invariant_violations = 0;
+};
+
+sim::ScenarioConfig sweep_config(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.actors = 3;
+  config.sensors_per_actor = 3;
+  config.seed = seed;
+  config.chain_params.pow_zero_bits = 4;
+  config.chain_params.coinbase_maturity = 3;
+  config.chain_params.block_interval = 10 * util::kSecond;
+  config.recipient_funding = 200 * chain::kCoin;
+  config.gateway_config.offer_timeout = 5 * util::kMinute;
+  config.gateway_config.issued_key_timeout = 5 * util::kMinute;
+  config.recipient_config.timeout_blocks = 30;
+  return config;
+}
+
+SweepResult run_level(double intensity, std::size_t exchanges,
+                      std::uint64_t seed) {
+  sim::Scenario s(sweep_config(seed));
+  s.bootstrap();
+
+  const util::SimTime chaos_start = s.loop().now();
+  constexpr util::SimTime kHorizon = 40 * util::kMinute;
+  sim::FaultPlan faults(s, seed * 31 + 7);
+  if (intensity > 0.0) {
+    sim::ChaosProfile profile;
+    profile.partitions_per_actor = intensity;
+    profile.partition_duration = 60 * util::kSecond;
+    profile.gateway_crashes = intensity;
+    profile.crash_downtime = 90 * util::kSecond;
+    profile.miner_stalls = intensity;
+    profile.stall_duration = 2 * util::kMinute;
+    profile.burst.loss_good = 0.01;
+    profile.burst.loss_bad = 0.10 + 0.15 * intensity;
+    profile.burst.mean_good_s = 60.0;
+    profile.burst.mean_bad_s = 5.0 + 5.0 * intensity;
+    faults.unleash(profile, kHorizon);
+  }
+
+  s.run_exchanges(exchanges, 4 * util::kHour);
+  // Drain retries/housekeeping so the quiescence check is fair — and run
+  // past the fault horizon, or a late-scheduled partition is still open
+  // (or barely healed) when the convergence check fires.
+  const util::SimTime drain_until =
+      std::max(s.loop().now() + 20 * util::kMinute,
+               chaos_start + kHorizon + 10 * util::kMinute);
+  s.loop().run_until(drain_until);
+
+  SweepResult r;
+  r.intensity = intensity;
+  r.offered = exchanges;
+  r.completed = s.exchanges_completed();
+  if (s.latency_stats().count() > 0) {
+    r.p50_s = s.latency_stats().median();
+    r.p99_s = s.latency_stats().percentile(99);
+    r.mean_s = s.latency_stats().mean();
+  }
+  for (std::size_t a = 0; a < static_cast<std::size_t>(s.actor_count()); ++a) {
+    const int actor = static_cast<int>(a);
+    for (int i = 0; i < s.config().sensors_per_actor; ++i) {
+      r.request_retries += s.sensor(actor, i).request_retries();
+      r.data_retransmissions += s.sensor(actor, i).data_retransmissions();
+      r.exchange_restarts += s.sensor(actor, i).exchange_restarts();
+    }
+    r.offer_rebroadcasts += s.recipient(actor).offer_rebroadcasts();
+    r.reclaims += s.recipient(actor).reclaims_submitted();
+    r.duplicate_deliveries += s.recipient(actor).duplicate_deliveries();
+  }
+  for (std::size_t g = 0; g < s.gateway_count(); ++g) {
+    r.deliver_retries += s.gateway_by_index(g).deliver_retries();
+    r.rekeys += s.gateway_by_index(g).rekeys_issued();
+    r.redeem_resubmits += s.gateway_by_index(g).redeem_resubmits();
+  }
+  r.frames_lost = s.radio().frames_lost();
+  r.faults_injected = faults.partitions_injected() +
+                      faults.crashes_injected() + faults.stalls_injected() +
+                      faults.lora_degradations();
+  const auto report =
+      sim::check_federation_invariants(s, /*expect_quiescent=*/true);
+  r.invariant_violations = report.violations.size();
+  if (!report.ok()) {
+    std::fprintf(stderr, "[fault-recovery] intensity %.2f violations:\n%s\n",
+                 intensity, report.to_string().c_str());
+  }
+  return r;
+}
+
+void print_json(const SweepResult* results, std::size_t n,
+                std::size_t exchanges) {
+  std::printf("{\n  \"experiment\": \"fault_recovery_sweep\",\n");
+  std::printf("  \"exchanges_per_level\": %zu,\n  \"levels\": [\n", exchanges);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SweepResult& r = results[i];
+    std::printf("    {\"intensity\": %.2f, \"offered\": %zu, "
+                "\"completed\": %llu, \"delivery_ratio\": %.4f,\n",
+                r.intensity, r.offered,
+                static_cast<unsigned long long>(r.completed),
+                // A final in-flight exchange may still complete during the
+                // drain window, so clamp against the larger of the two.
+                r.completed == 0
+                    ? 0.0
+                    : static_cast<double>(r.completed) /
+                          static_cast<double>(std::max<std::uint64_t>(
+                              r.offered, r.completed)));
+    std::printf("     \"latency_s\": {\"mean\": %.3f, \"p50\": %.3f, "
+                "\"p99\": %.3f},\n",
+                r.mean_s, r.p50_s, r.p99_s);
+    std::printf("     \"retries\": {\"request\": %llu, \"data\": %llu, "
+                "\"exchange_restarts\": %llu, \"deliver\": %llu, "
+                "\"rekeys\": %llu, \"redeem_resubmits\": %llu, "
+                "\"offer_rebroadcasts\": %llu},\n",
+                static_cast<unsigned long long>(r.request_retries),
+                static_cast<unsigned long long>(r.data_retransmissions),
+                static_cast<unsigned long long>(r.exchange_restarts),
+                static_cast<unsigned long long>(r.deliver_retries),
+                static_cast<unsigned long long>(r.rekeys),
+                static_cast<unsigned long long>(r.redeem_resubmits),
+                static_cast<unsigned long long>(r.offer_rebroadcasts));
+    std::printf("     \"reclaims\": %llu, \"duplicate_deliveries\": %llu, "
+                "\"frames_lost\": %llu, \"faults_injected\": %llu, "
+                "\"invariant_violations\": %zu}%s\n",
+                static_cast<unsigned long long>(r.reclaims),
+                static_cast<unsigned long long>(r.duplicate_deliveries),
+                static_cast<unsigned long long>(r.frames_lost),
+                static_cast<unsigned long long>(r.faults_injected),
+                r.invariant_violations, i + 1 < n ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main() {
+  // Banner and progress go to stderr: stdout carries exactly one JSON
+  // document so the sweep pipes straight into jq / json.tool.
+  std::fprintf(stderr, "fault-recovery — delivery under escalating chaos injection\n");
+  const std::size_t exchanges = bench::exchange_count(12);
+  const double levels[] = {0.0, 0.5, 1.0, 2.0};
+  constexpr std::size_t kLevels = sizeof(levels) / sizeof(levels[0]);
+  SweepResult results[kLevels];
+  for (std::size_t i = 0; i < kLevels; ++i) {
+    std::fprintf(stderr, "[fault-recovery] level %.2f ...\n", levels[i]);
+    results[i] = run_level(levels[i], exchanges, 1000 + i);
+  }
+  print_json(results, kLevels, exchanges);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "bcwan/gateway_agent.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bcwan::core {
 
@@ -28,14 +29,44 @@ GatewayAgent::GatewayAgent(p2p::EventLoop& loop, p2p::SimNet& net,
       [this](const chain::Transaction& tx) { on_mempool_tx(tx); });
   node_.add_block_watcher(
       [this](const chain::Block& block) { on_block(block); });
+  schedule_housekeeping();
 }
 
 void GatewayAgent::attach_radio(lora::RadioGatewayId gateway) {
   radio_gateway_ = gateway;
 }
 
+util::SimTime GatewayAgent::backoff_delay(util::SimTime base, int attempt) {
+  double delay_s = util::to_seconds(base) *
+                   std::pow(config_.backoff_factor, std::max(attempt, 0));
+  delay_s = std::min(delay_s, util::to_seconds(config_.max_backoff));
+  const double jitter =
+      1.0 + config_.backoff_jitter * (2.0 * rng_.uniform() - 1.0);
+  return std::max<util::SimTime>(util::from_seconds(delay_s * jitter),
+                                 util::kMillisecond);
+}
+
+void GatewayAgent::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++epoch_;
+  issued_keys_.clear();
+  awaiting_offer_.clear();
+  pending_redeems_.clear();
+  pending_delivers_.clear();
+  recent_data_.clear();
+  submitted_redeems_.clear();
+}
+
+void GatewayAgent::restart() {
+  if (alive_) return;
+  alive_ = true;
+  ++epoch_;
+}
+
 void GatewayAgent::on_uplink(lora::RadioDeviceId from,
                              const util::Bytes& frame) {
+  if (!alive_) return;
   const auto type = lora::peek_frame_type(frame);
   if (!type) return;
   switch (*type) {
@@ -46,11 +77,12 @@ void GatewayAgent::on_uplink(lora::RadioDeviceId from,
     }
     case lora::FrameType::kUplinkData: {
       const auto data = lora::UplinkDataFrame::decode(frame);
-      if (data) handle_data(*data);
+      if (data) handle_data(from, *data);
       break;
     }
     case lora::FrameType::kEphemeralKey:
-      break;  // downlink-only frame; ignore on the uplink path
+    case lora::FrameType::kDataAck:
+      break;  // downlink-only frames; ignore on the uplink path
   }
 }
 
@@ -63,7 +95,9 @@ void GatewayAgent::handle_request(lora::RadioDeviceId from,
   issued_keys_[device_id] = PendingKey{keys, from, loop_.now()};
   ++keys_issued_;
 
-  loop_.after(timing_.gateway_keygen, [this, device_id, from, keys] {
+  const std::uint64_t epoch = epoch_;
+  loop_.after(timing_.gateway_keygen, [this, device_id, from, keys, epoch] {
+    if (epoch != epoch_) return;
     lora::EphemeralKeyFrame reply;
     reply.device_id = device_id;
     reply.ephemeral_pub = keys.pub;
@@ -80,7 +114,9 @@ void GatewayAgent::send_ephemeral_key(std::uint16_t device_id,
   const lora::TxResult tx = radio_.downlink(radio_gateway_, from, frame);
   if (!tx.accepted) {
     // Downlink duty budget exhausted; keep retrying until it fits.
-    loop_.at(tx.next_allowed, [this, device_id, from, frame] {
+    const std::uint64_t epoch = epoch_;
+    loop_.at(tx.next_allowed, [this, device_id, from, frame, epoch] {
+      if (epoch != epoch_) return;
       send_ephemeral_key(device_id, from, frame);
     });
     return;
@@ -88,11 +124,30 @@ void GatewayAgent::send_ephemeral_key(std::uint16_t device_id,
   if (on_ephemeral_sent) on_ephemeral_sent(device_id);
 }
 
-void GatewayAgent::handle_data(const lora::UplinkDataFrame& frame) {
+void GatewayAgent::handle_data(lora::RadioDeviceId from,
+                               const lora::UplinkDataFrame& frame) {
   const auto it = issued_keys_.find(frame.device_id);
-  if (it == issued_keys_.end()) return;  // no key issued: drop
+  if (it == issued_keys_.end()) {
+    // No key on file. Either this is a retransmission of a frame we have
+    // already consumed (the ACK got lost), or our issued-key state is gone
+    // (crash/restart, expiry). Re-ACK the former; re-key the latter so the
+    // node can re-seal under a key we actually hold.
+    const auto recent = recent_data_.find(frame.device_id);
+    if (recent != recent_data_.end() &&
+        loop_.now() - recent->second <= config_.reack_window) {
+      send_data_ack(frame.device_id, from);
+      return;
+    }
+    ++rekeys_;
+    lora::UplinkRequestFrame as_request;
+    as_request.device_id = frame.device_id;
+    handle_request(from, as_request);
+    return;
+  }
   const crypto::RsaKeyPair keys = it->second.keys;
   issued_keys_.erase(it);
+  recent_data_[frame.device_id] = loop_.now();
+  send_data_ack(frame.device_id, from);
 
   // Step 6: the blockchain lookup @R -> IP.
   const auto entry = directory_.lookup(frame.recipient);
@@ -110,32 +165,88 @@ void GatewayAgent::handle_data(const lora::UplinkDataFrame& frame) {
   payload.price_quote = config_.price_quote;
 
   // Remember the key so the recipient's offer can be recognised and
-  // redeemed (with a housekeeping timeout).
+  // redeemed; housekeeping ages the entry out after offer_timeout.
   const std::string handle = key_handle(keys.pub);
-  awaiting_offer_[handle] = AwaitedOffer{keys, frame.device_id};
-  loop_.after(config_.offer_timeout,
-              [this, handle] { awaiting_offer_.erase(handle); });
+  awaiting_offer_[handle] = AwaitedOffer{keys, frame.device_id, loop_.now()};
+  pending_delivers_[handle] =
+      PendingDeliver{payload, frame.recipient, from, 0};
 
-  const std::uint16_t device_id = frame.device_id;
-  // In the simulator the directory's IP is the recipient's host id.
-  const p2p::HostId dest = static_cast<p2p::HostId>(entry->ip & 0xff);
-  loop_.after(timing_.gateway_forward, [this, dest, payload, device_id] {
-    net_.send(node_.host(), dest,
-              p2p::Message{"DELIVER", payload.serialize(), node_.host()});
-    ++forwarded_;
-    if (on_forwarded) on_forwarded(device_id);
+  const std::uint64_t epoch = epoch_;
+  loop_.after(timing_.gateway_forward, [this, handle, epoch] {
+    if (epoch != epoch_) return;
+    send_deliver(handle);
   });
 }
 
+void GatewayAgent::send_data_ack(std::uint16_t device_id,
+                                 lora::RadioDeviceId from) {
+  lora::DataAckFrame ack;
+  ack.device_id = device_id;
+  const lora::TxResult tx = radio_.downlink(radio_gateway_, from, ack.encode());
+  if (!tx.accepted) {
+    const std::uint64_t epoch = epoch_;
+    loop_.at(tx.next_allowed, [this, device_id, from, epoch] {
+      if (epoch != epoch_) return;
+      send_data_ack(device_id, from);
+    });
+  }
+}
+
+void GatewayAgent::send_deliver(const std::string& handle) {
+  const auto it = pending_delivers_.find(handle);
+  if (it == pending_delivers_.end()) return;  // acked or expired meanwhile
+  PendingDeliver& pending = it->second;
+
+  // Re-resolve the recipient each attempt: the directory may have gained
+  // the entry (or a fresher IP) since the last try.
+  const auto entry = directory_.lookup(pending.recipient);
+  if (entry) {
+    const p2p::HostId dest = static_cast<p2p::HostId>(entry->ip & 0xff);
+    net_.send(node_.host(), dest,
+              p2p::Message{"DELIVER", pending.payload.serialize(),
+                           node_.host()});
+    if (pending.attempts == 0) {
+      ++forwarded_;
+      if (on_forwarded) on_forwarded(pending.payload.device_id);
+    } else {
+      ++deliver_retries_;
+    }
+  } else {
+    ++lookups_failed_;
+  }
+
+  if (++pending.attempts > config_.max_deliver_retries) {
+    pending_delivers_.erase(it);
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  loop_.after(backoff_delay(config_.deliver_retry_base, pending.attempts - 1),
+              [this, handle, epoch] {
+                if (epoch != epoch_) return;
+                send_deliver(handle);
+              });
+}
+
+void GatewayAgent::handle_message(const p2p::Message& msg) {
+  if (!alive_) return;
+  if (msg.type != "DELIVER_ACK") return;
+  // Payload: the serialized ephemeral pub of the delivery being confirmed.
+  pending_delivers_.erase(util::to_hex(msg.payload));
+}
+
 void GatewayAgent::on_mempool_tx(const chain::Transaction& tx) {
-  if (awaiting_offer_.empty()) return;
+  if (!alive_) return;
+  if (awaiting_offer_.empty() && pending_delivers_.empty()) return;
   const chain::Hash256 txid = tx.txid();
   for (std::uint32_t v = 0; v < tx.vout.size(); ++v) {
     const auto classified = script::classify(tx.vout[v].script_pubkey);
     if (classified.type != script::ScriptType::kKeyRelease) continue;
     if (classified.pubkey_hash != wallet_.pkh()) continue;
     if (!classified.ephemeral_pub) continue;
-    const auto it = awaiting_offer_.find(key_handle(*classified.ephemeral_pub));
+    const std::string handle = key_handle(*classified.ephemeral_pub);
+    // An offer is an implicit DELIVER_ACK: the recipient clearly has it.
+    pending_delivers_.erase(handle);
+    const auto it = awaiting_offer_.find(handle);
     if (it == awaiting_offer_.end()) continue;
 
     PendingRedeem redeem;
@@ -148,8 +259,11 @@ void GatewayAgent::on_mempool_tx(const chain::Transaction& tx) {
 
     if (config_.confirmations_required == 0) {
       // Paper PoC behaviour: reveal eSk straight from the mempool sighting.
-      loop_.after(timing_.wallet_tx_build,
-                  [this, redeem] { submit_redeem(redeem); });
+      const std::uint64_t epoch = epoch_;
+      loop_.after(timing_.wallet_tx_build, [this, redeem, epoch] {
+        if (epoch != epoch_) return;
+        submit_redeem(redeem);
+      });
     } else {
       pending_redeems_.push_back(std::move(redeem));
     }
@@ -157,14 +271,19 @@ void GatewayAgent::on_mempool_tx(const chain::Transaction& tx) {
 }
 
 void GatewayAgent::on_block(const chain::Block&) {
+  if (!alive_) return;
+  revisit_submitted_redeems();
   if (pending_redeems_.empty()) return;
   std::vector<PendingRedeem> still_waiting;
   for (const PendingRedeem& redeem : pending_redeems_) {
     int confirmations = 0;
     if (node_.chain().tx_confirmations(redeem.offer_txid, confirmations) &&
         confirmations >= config_.confirmations_required) {
-      loop_.after(timing_.wallet_tx_build,
-                  [this, redeem] { submit_redeem(redeem); });
+      const std::uint64_t epoch = epoch_;
+      loop_.after(timing_.wallet_tx_build, [this, redeem, epoch] {
+        if (epoch != epoch_) return;
+        submit_redeem(redeem);
+      });
     } else {
       still_waiting.push_back(redeem);
     }
@@ -178,8 +297,57 @@ void GatewayAgent::submit_redeem(const PendingRedeem& redeem) {
   const auto result = node_.submit_tx(tx);
   if (result.ok()) {
     ++redeems_;
+    submitted_redeems_.push_back(
+        SubmittedRedeem{tx, tx.txid(), redeem.outpoint, redeem.device_id, 0});
     if (on_redeemed) on_redeemed(redeem.device_id);
   }
+}
+
+void GatewayAgent::revisit_submitted_redeems() {
+  // A reorg can evict a redeem from the chain without it re-entering the
+  // mempool (its block simply lost). Re-broadcast until it is buried
+  // redeem_confirm_depth deep, the reclaim branch won (conflict), or the
+  // resubmit budget runs out.
+  std::erase_if(submitted_redeems_, [this](SubmittedRedeem& sub) {
+    int confirmations = 0;
+    if (node_.chain().tx_confirmations(sub.txid, confirmations) &&
+        confirmations >= config_.redeem_confirm_depth) {
+      return true;  // buried; settled for good
+    }
+    if (node_.mempool().contains(sub.txid)) return false;  // will re-mine
+    if (sub.resubmits >= config_.max_redeem_resubmits) return true;
+    ++sub.resubmits;
+    const auto result = node_.submit_tx(sub.tx);
+    if (result.ok()) {
+      ++redeem_resubmits_;
+      return false;
+    }
+    // kConflict: the recipient's reclaim spent the offer first — lost race,
+    // nothing left to recover. kInvalid: the offer output itself is gone.
+    return result.error != chain::MempoolError::kAlreadyKnown;
+  });
+}
+
+void GatewayAgent::schedule_housekeeping() {
+  // The sweep survives crash/restart (it models a cron job on the box, not
+  // daemon state), so it is deliberately not epoch-guarded.
+  loop_.after(config_.housekeeping_interval, [this] {
+    if (alive_) housekeeping();
+    schedule_housekeeping();
+  });
+}
+
+void GatewayAgent::housekeeping() {
+  const util::SimTime now = loop_.now();
+  keys_expired_ += std::erase_if(issued_keys_, [&](const auto& entry) {
+    return now - entry.second.issued_at > config_.issued_key_timeout;
+  });
+  offers_expired_ += std::erase_if(awaiting_offer_, [&](const auto& entry) {
+    return now - entry.second.since > config_.offer_timeout;
+  });
+  std::erase_if(recent_data_, [&](const auto& entry) {
+    return now - entry.second > config_.reack_window;
+  });
 }
 
 }  // namespace bcwan::core

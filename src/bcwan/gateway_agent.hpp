@@ -9,6 +9,20 @@
 //   10.  watches the mempool for the recipient's Listing-1 offer and
 //        redeems it, revealing eSk on-chain — optionally only after the
 //        offer has k confirmations (the §6 double-spend trade-off).
+//
+// Recovery (§6 extension):
+//   * every accepted data frame is ACKed over the radio (and duplicates
+//     from retransmitting nodes are re-ACKed);
+//   * a data frame with no matching ephemeral key (state lost in a crash)
+//     answers with a fresh ePk so the node can re-seal;
+//   * DELIVER is retried with exponential backoff until the recipient
+//     acknowledges it (DELIVER_ACK over the WAN);
+//   * redeem transactions evicted by a reorg are re-submitted until they
+//     confirm or the offer is settled another way;
+//   * issued keys and awaited offers age out on a housekeeping sweep, so
+//     long runs don't grow memory without bound.
+// crash()/restart() emulate a gateway process dying: all in-flight state
+// (issued keys, awaited offers, pending delivers/redeems) is dropped.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +49,24 @@ struct GatewayConfig {
   chain::Amount price_quote = chain::kCoin / 100;
   /// Forget an ephemeral key if no offer shows up for this long.
   util::SimTime offer_timeout = 30 * util::kMinute;
+  /// Forget an issued-but-unconsumed ephemeral key after this long (the
+  /// node never sent data, or died mid-exchange).
+  util::SimTime issued_key_timeout = 30 * util::kMinute;
+  /// DELIVER retry: base delay, doubled per attempt with jitter.
+  util::SimTime deliver_retry_base = 5 * util::kSecond;
+  int max_deliver_retries = 8;
+  double backoff_factor = 2.0;
+  util::SimTime max_backoff = 4 * util::kMinute;
+  double backoff_jitter = 0.25;
+  /// Drop a submitted redeem from the re-broadcast watch once it has this
+  /// many confirmations.
+  int redeem_confirm_depth = 1;
+  int max_redeem_resubmits = 20;
+  /// Period of the state-expiry sweep.
+  util::SimTime housekeeping_interval = 30 * util::kSecond;
+  /// Re-ACK window for duplicate data frames after the original was
+  /// consumed (covers lost DataAck downlinks).
+  util::SimTime reack_window = 10 * util::kMinute;
 };
 
 class GatewayAgent {
@@ -48,6 +80,16 @@ class GatewayAgent {
   void attach_radio(lora::RadioGatewayId gateway);
   /// The uplink handler to register with the radio.
   void on_uplink(lora::RadioDeviceId from, const util::Bytes& frame);
+  /// WAN entry point (DELIVER_ACK from recipients). Wire through the
+  /// host's app handler alongside the recipient's.
+  void handle_message(const p2p::Message& msg);
+
+  /// Fault injection: drop the process. All in-flight exchange state is
+  /// lost; the radio and chain daemon keep running (they are separate
+  /// boxes in the paper's deployment).
+  void crash();
+  void restart();
+  bool alive() const noexcept { return alive_; }
 
   const chain::Wallet& wallet() const noexcept { return wallet_; }
   const script::PubKeyHash& pkh() const noexcept { return wallet_.pkh(); }
@@ -64,9 +106,29 @@ class GatewayAgent {
   std::uint64_t frames_forwarded() const noexcept { return forwarded_; }
   std::uint64_t lookups_failed() const noexcept { return lookups_failed_; }
   std::uint64_t redeems_submitted() const noexcept { return redeems_; }
+  std::uint64_t deliver_retries() const noexcept { return deliver_retries_; }
+  std::uint64_t redeem_resubmits() const noexcept { return redeem_resubmits_; }
+  std::uint64_t rekeys_issued() const noexcept { return rekeys_; }
+  std::uint64_t keys_expired() const noexcept { return keys_expired_; }
+  std::uint64_t offers_expired() const noexcept { return offers_expired_; }
   /// Reward actually banked (confirmed, mature outputs).
   chain::Amount confirmed_reward() const {
     return wallet_.balance(node_.chain());
+  }
+
+  /// In-flight state sizes (leak checks / invariants).
+  std::size_t issued_key_count() const noexcept { return issued_keys_.size(); }
+  std::size_t awaiting_offer_count() const noexcept {
+    return awaiting_offer_.size();
+  }
+  std::size_t pending_redeem_count() const noexcept {
+    return pending_redeems_.size();
+  }
+  std::size_t pending_deliver_count() const noexcept {
+    return pending_delivers_.size();
+  }
+  std::size_t tracked_redeem_count() const noexcept {
+    return submitted_redeems_.size();
   }
 
  private:
@@ -78,6 +140,7 @@ class GatewayAgent {
   struct AwaitedOffer {
     crypto::RsaKeyPair keys;
     std::uint16_t device_id = 0;
+    util::SimTime since = 0;
   };
   struct PendingRedeem {
     chain::OutPoint outpoint;
@@ -86,15 +149,34 @@ class GatewayAgent {
     chain::Hash256 offer_txid{};
     std::uint16_t device_id = 0;
   };
+  struct PendingDeliver {
+    DeliverPayload payload;
+    script::PubKeyHash recipient{};
+    lora::RadioDeviceId radio_device = -1;
+    int attempts = 0;
+  };
+  struct SubmittedRedeem {
+    chain::Transaction tx;
+    chain::Hash256 txid{};
+    chain::OutPoint offer_outpoint;
+    std::uint16_t device_id = 0;
+    int resubmits = 0;
+  };
 
   void handle_request(lora::RadioDeviceId from,
                       const lora::UplinkRequestFrame& frame);
   void send_ephemeral_key(std::uint16_t device_id, lora::RadioDeviceId from,
                           const util::Bytes& frame);
-  void handle_data(const lora::UplinkDataFrame& frame);
+  void handle_data(lora::RadioDeviceId from, const lora::UplinkDataFrame& frame);
+  void send_data_ack(std::uint16_t device_id, lora::RadioDeviceId from);
+  void send_deliver(const std::string& handle);
   void on_mempool_tx(const chain::Transaction& tx);
   void on_block(const chain::Block& block);
   void submit_redeem(const PendingRedeem& redeem);
+  void revisit_submitted_redeems();
+  void schedule_housekeeping();
+  void housekeeping();
+  util::SimTime backoff_delay(util::SimTime base, int attempt);
 
   p2p::EventLoop& loop_;
   p2p::SimNet& net_;
@@ -106,6 +188,8 @@ class GatewayAgent {
   GatewayConfig config_;
   util::Rng rng_;
   lora::RadioGatewayId radio_gateway_ = -1;
+  bool alive_ = true;
+  std::uint64_t epoch_ = 0;  // invalidates callbacks armed before a crash
 
   // device id -> key pair issued and not yet consumed by a data frame.
   std::unordered_map<std::uint16_t, PendingKey> issued_keys_;
@@ -113,11 +197,22 @@ class GatewayAgent {
   std::unordered_map<std::string, AwaitedOffer> awaiting_offer_;
   // offers seen but still waiting for confirmations.
   std::vector<PendingRedeem> pending_redeems_;
+  // serialized ePk -> DELIVER awaiting the recipient's DELIVER_ACK.
+  std::unordered_map<std::string, PendingDeliver> pending_delivers_;
+  // device id -> last consumed data frame (re-ACK duplicates).
+  std::unordered_map<std::uint16_t, util::SimTime> recent_data_;
+  // redeems submitted but not yet buried (reorg re-broadcast watch).
+  std::vector<SubmittedRedeem> submitted_redeems_;
 
   std::uint64_t keys_issued_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t lookups_failed_ = 0;
   std::uint64_t redeems_ = 0;
+  std::uint64_t deliver_retries_ = 0;
+  std::uint64_t redeem_resubmits_ = 0;
+  std::uint64_t rekeys_ = 0;
+  std::uint64_t keys_expired_ = 0;
+  std::uint64_t offers_expired_ = 0;
 };
 
 }  // namespace bcwan::core

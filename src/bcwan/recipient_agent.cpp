@@ -4,10 +4,12 @@
 
 namespace bcwan::core {
 
-RecipientAgent::RecipientAgent(p2p::EventLoop& loop, p2p::ChainNode& node,
-                               chain::Wallet wallet, TimingModel timing,
-                               RecipientConfig config, std::uint64_t seed)
+RecipientAgent::RecipientAgent(p2p::EventLoop& loop, p2p::SimNet& net,
+                               p2p::ChainNode& node, chain::Wallet wallet,
+                               TimingModel timing, RecipientConfig config,
+                               std::uint64_t seed)
     : loop_(loop),
+      net_(net),
       node_(node),
       wallet_(std::move(wallet)),
       timing_(timing),
@@ -37,6 +39,21 @@ void RecipientAgent::handle_message(const p2p::Message& msg) {
   const auto payload = DeliverPayload::deserialize(msg.payload);
   if (!payload) return;
   ++deliveries_;
+  // Acknowledge every well-formed DELIVER — even ones we go on to reject —
+  // so the gateway's retry loop stops. The ACK names the ephemeral key.
+  net_.send(node_.host(), msg.from,
+            p2p::Message{"DELIVER_ACK", payload->ephemeral_pub.serialize(),
+                         node_.host()});
+  ++acks_sent_;
+  // Gateway retransmissions of an exchange we already accepted (our first
+  // ACK was lost) must not post a second offer.
+  const std::string handle = util::to_hex(payload->ephemeral_pub.serialize());
+  const auto seen = accepted_delivers_.find(handle);
+  if (seen != accepted_delivers_.end() &&
+      loop_.now() - seen->second <= config_.deliver_dedupe_window) {
+    ++duplicates_;
+    return;
+  }
   handle_deliver(*payload);
 }
 
@@ -61,6 +78,11 @@ void RecipientAgent::handle_deliver(const DeliverPayload& payload) {
     return;
   }
 
+  // Accepted: mark it so a retransmission does not open a second exchange.
+  // Rejects are deliberately not marked — a clean retransmission after a
+  // corrupted first copy should still go through.
+  accepted_delivers_[util::to_hex(payload.ephemeral_pub.serialize())] =
+      loop_.now();
   loop_.after(timing_.recipient_verify + timing_.wallet_tx_build,
               [this, payload] { post_offer(payload); });
 }
@@ -90,7 +112,9 @@ void RecipientAgent::post_offer(const DeliverPayload& payload) {
   pending.device_id = payload.device_id;
   pending.em = payload.em;
   pending.ephemeral_pub = payload.ephemeral_pub;
-  pending.offer_outpoint = chain::OutPoint{offer->txid(), 0};
+  pending.offer_tx = *offer;
+  pending.offer_txid = offer->txid();
+  pending.offer_outpoint = chain::OutPoint{pending.offer_txid, 0};
   pending.offer_out = offer->vout[0];
   pending.timeout_height = timeout_height;
   pending_.push_back(std::move(pending));
@@ -129,21 +153,79 @@ void RecipientAgent::on_mempool_tx(const chain::Transaction& tx) {
 }
 
 void RecipientAgent::on_block(const chain::Block&) {
-  // Withholding gateways: once the CLTV branch opens, take the funds back.
   const int height = node_.chain().height();
   for (PendingExchange& pending : pending_) {
     if (pending.settled) continue;
-    if (height + 1 < pending.timeout_height) continue;
-    const chain::Transaction reclaim =
-        wallet_.create_reclaim(pending.offer_outpoint, pending.offer_out,
-                               pending.timeout_height, config_.reclaim_fee);
-    if (node_.submit_tx(reclaim).ok()) {
-      pending.settled = true;
-      ++reclaims_;
-      if (on_reclaimed) on_reclaimed(pending.device_id);
-    }
+    revisit_transactions(pending);
+    if (!pending.settled && !pending.reclaiming)
+      maybe_reclaim(pending, height);
   }
   std::erase_if(pending_, [](const PendingExchange& p) { return p.settled; });
+
+  // Dedupe entries outlive their usefulness one window after acceptance.
+  std::erase_if(accepted_delivers_, [&](const auto& entry) {
+    return loop_.now() - entry.second > config_.deliver_dedupe_window;
+  });
+}
+
+void RecipientAgent::maybe_reclaim(PendingExchange& pending, int height) {
+  // Withholding gateways: once the CLTV branch opens, take the funds back.
+  if (height + 1 < pending.timeout_height) return;
+  const chain::Transaction reclaim =
+      wallet_.create_reclaim(pending.offer_outpoint, pending.offer_out,
+                             pending.timeout_height, config_.reclaim_fee);
+  if (node_.submit_tx(reclaim).ok()) {
+    pending.reclaiming = true;
+    pending.reclaim_tx = reclaim;
+    pending.reclaim_txid = reclaim.txid();
+    ++reclaims_;
+    if (on_reclaimed) on_reclaimed(pending.device_id);
+  }
+}
+
+void RecipientAgent::revisit_transactions(PendingExchange& pending) {
+  // Reorg recovery. A transaction whose block lost a reorg race vanishes
+  // without re-entering the mempool; re-broadcast it or the exchange hangs
+  // until the CLTV timeout (offer) or forever (reclaim).
+  int confirmations = 0;
+  if (pending.reclaiming) {
+    if (node_.chain().tx_confirmations(pending.reclaim_txid, confirmations)) {
+      if (confirmations >= 1) pending.settled = true;  // funds are back
+      return;
+    }
+    if (node_.mempool().contains(pending.reclaim_txid)) return;
+    if (pending.rebroadcasts >= config_.max_rebroadcasts) {
+      pending.settled = true;  // give up tracking
+      return;
+    }
+    ++pending.rebroadcasts;
+    const auto result = node_.submit_tx(pending.reclaim_tx);
+    if (result.ok()) {
+      ++reclaim_rebroadcasts_;
+    } else if (result.error == chain::MempoolError::kConflict) {
+      // The gateway's redeem beat us after all; go back to watching for it
+      // (its mempool sighting reveals eSk and settles the exchange).
+      pending.reclaiming = false;
+    }
+    return;
+  }
+  // No reclaim in flight: make sure the offer itself is still alive.
+  if (node_.chain().tx_confirmations(pending.offer_txid, confirmations))
+    return;
+  if (node_.mempool().contains(pending.offer_txid)) return;
+  if (pending.rebroadcasts >= config_.max_rebroadcasts) {
+    pending.settled = true;  // unrecoverable; stop leaking the entry
+    return;
+  }
+  ++pending.rebroadcasts;
+  const auto result = node_.submit_tx(pending.offer_tx);
+  if (result.ok()) {
+    ++offer_rebroadcasts_;
+  } else if (result.error == chain::MempoolError::kConflict) {
+    // An input was double-spent (shouldn't happen with our own wallet);
+    // the exchange cannot proceed.
+    pending.settled = true;
+  }
 }
 
 }  // namespace bcwan::core

@@ -12,10 +12,20 @@
 //     OP_CHECKLOCKTIMEVERIFY branch after the timeout height.
 //
 // It also owns the directory announcement for its IP (§4.3).
+//
+// Recovery (§6 extension):
+//   * every well-formed DELIVER is answered with a DELIVER_ACK so the
+//     gateway's retry loop can stop — including rejects, which would
+//     otherwise be retried for nothing;
+//   * retransmitted DELIVERs for an exchange already in flight are
+//     deduplicated by ephemeral key (no double offer);
+//   * offer and reclaim transactions evicted by a reorg are re-broadcast
+//     until they confirm or their conflict wins.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -39,11 +49,16 @@ struct RecipientConfig {
   int timeout_blocks = 100;
   /// Refuse to pay (misbehaving-recipient experiments).
   bool pay_for_data = true;
+  /// Reorg recovery: re-broadcast budget for evicted offers/reclaims.
+  int max_rebroadcasts = 20;
+  /// Retransmitted DELIVERs within this window of an accepted one are
+  /// duplicates, not new exchanges.
+  util::SimTime deliver_dedupe_window = util::kHour;
 };
 
 class RecipientAgent {
  public:
-  RecipientAgent(p2p::EventLoop& loop, p2p::ChainNode& node,
+  RecipientAgent(p2p::EventLoop& loop, p2p::SimNet& net, p2p::ChainNode& node,
                  chain::Wallet wallet, TimingModel timing,
                  RecipientConfig config, std::uint64_t seed);
 
@@ -75,6 +90,19 @@ class RecipientAgent {
   std::uint64_t offers_posted() const noexcept { return offers_; }
   std::uint64_t readings_decrypted() const noexcept { return decrypted_; }
   std::uint64_t reclaims_submitted() const noexcept { return reclaims_; }
+  std::uint64_t duplicate_deliveries() const noexcept { return duplicates_; }
+  std::uint64_t offer_rebroadcasts() const noexcept {
+    return offer_rebroadcasts_;
+  }
+  std::uint64_t reclaim_rebroadcasts() const noexcept {
+    return reclaim_rebroadcasts_;
+  }
+  std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+
+  /// Unsettled exchanges (leak checks / invariants).
+  std::size_t pending_exchange_count() const noexcept {
+    return pending_.size();
+  }
 
  private:
   struct DeviceView {
@@ -85,9 +113,15 @@ class RecipientAgent {
     std::uint16_t device_id = 0;
     util::Bytes em;
     crypto::RsaPublicKey ephemeral_pub;
+    chain::Transaction offer_tx;  // kept whole for reorg re-broadcast
+    chain::Hash256 offer_txid{};
     chain::OutPoint offer_outpoint;
     chain::TxOut offer_out;
     std::int64_t timeout_height = 0;
+    int rebroadcasts = 0;
+    bool reclaiming = false;  // reclaim submitted, awaiting burial
+    chain::Transaction reclaim_tx;
+    chain::Hash256 reclaim_txid{};
     bool settled = false;
   };
 
@@ -95,8 +129,11 @@ class RecipientAgent {
   void post_offer(const DeliverPayload& payload);
   void on_mempool_tx(const chain::Transaction& tx);
   void on_block(const chain::Block& block);
+  void maybe_reclaim(PendingExchange& pending, int height);
+  void revisit_transactions(PendingExchange& pending);
 
   p2p::EventLoop& loop_;
+  p2p::SimNet& net_;
   p2p::ChainNode& node_;
   chain::Wallet wallet_;
   TimingModel timing_;
@@ -105,6 +142,8 @@ class RecipientAgent {
 
   std::unordered_map<std::uint16_t, DeviceView> devices_;
   std::vector<PendingExchange> pending_;
+  // serialized-ePk hex of accepted deliveries -> acceptance time (dedupe).
+  std::unordered_map<std::string, util::SimTime> accepted_delivers_;
 
   int offer_retries_ = 0;
   std::uint64_t deliveries_ = 0;
@@ -113,6 +152,10 @@ class RecipientAgent {
   std::uint64_t offers_ = 0;
   std::uint64_t decrypted_ = 0;
   std::uint64_t reclaims_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t offer_rebroadcasts_ = 0;
+  std::uint64_t reclaim_rebroadcasts_ = 0;
+  std::uint64_t acks_sent_ = 0;
 };
 
 }  // namespace bcwan::core

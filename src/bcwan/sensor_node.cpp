@@ -1,5 +1,7 @@
 #include "bcwan/sensor_node.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace bcwan::core {
@@ -23,11 +25,27 @@ bool SensorNode::start_exchange(util::Bytes reading) {
     throw std::logic_error("SensorNode: radio not attached");
   if (busy()) return false;
   pending_reading_ = std::move(reading);
+  inflight_.reset();
+  sealed_key_.clear();
+  awaiting_ack_ = false;
+  data_announced_ = false;
   retries_ = 0;
+  data_retries_ = 0;
+  restarts_ = 0;
   ++started_;
   ++exchange_epoch_;
   send_request();
   return true;
+}
+
+util::SimTime SensorNode::backoff_delay(util::SimTime base, int attempt) {
+  double delay_s = util::to_seconds(base) *
+                   std::pow(config_.backoff_factor, std::max(attempt, 0));
+  delay_s = std::min(delay_s, util::to_seconds(config_.max_backoff));
+  const double jitter =
+      1.0 + config_.backoff_jitter * (2.0 * rng_.uniform() - 1.0);
+  return std::max<util::SimTime>(util::from_seconds(delay_s * jitter),
+                                 util::kMillisecond);
 }
 
 void SensorNode::send_request() {
@@ -43,60 +61,137 @@ void SensorNode::send_request() {
     });
     return;
   }
-  // Arm the ePk timeout.
+  // Arm the ePk timeout (exponential backoff across retries).
   const std::uint64_t epoch = exchange_epoch_;
-  loop_.after(config_.ephemeral_key_timeout, [this, epoch] {
-    if (epoch != exchange_epoch_ || !busy()) return;
-    if (++retries_ > config_.max_request_retries) {
-      fail_exchange();
-    } else {
-      send_request();
-    }
-  });
+  loop_.after(backoff_delay(config_.ephemeral_key_timeout, retries_),
+              [this, epoch] {
+                if (epoch != exchange_epoch_ || !busy() || awaiting_ack_)
+                  return;
+                if (++retries_ > config_.max_request_retries) {
+                  fail_exchange();
+                } else {
+                  ++request_retries_;
+                  send_request();
+                }
+              });
 }
 
 void SensorNode::on_downlink(const util::Bytes& frame) {
   const auto type = lora::peek_frame_type(frame);
-  if (!type || *type != lora::FrameType::kEphemeralKey) return;
-  const auto decoded = lora::EphemeralKeyFrame::decode(frame);
-  if (!decoded || decoded->device_id != provisioning_.device_id) return;
-  handle_ephemeral_key(*decoded);
+  if (!type) return;
+  if (*type == lora::FrameType::kEphemeralKey) {
+    const auto decoded = lora::EphemeralKeyFrame::decode(frame);
+    if (decoded && decoded->device_id == provisioning_.device_id)
+      handle_ephemeral_key(*decoded);
+    return;
+  }
+  if (*type == lora::FrameType::kDataAck) {
+    const auto decoded = lora::DataAckFrame::decode(frame);
+    if (decoded && decoded->device_id == provisioning_.device_id)
+      handle_data_ack();
+  }
 }
 
 void SensorNode::handle_ephemeral_key(const lora::EphemeralKeyFrame& frame) {
   if (!busy()) return;  // stale or duplicate key
+  if (awaiting_ack_) {
+    // Data is in flight. The same key again is a stale duplicate downlink;
+    // a *different* key means the gateway lost its ephemeral-key state
+    // (crash/restart) and re-keyed us: the sealed envelope is
+    // cryptographically dead, so restart by re-sealing under the new key.
+    if (frame.ephemeral_pub.serialize() == sealed_key_) return;
+    if (++restarts_ > config_.max_exchange_restarts) {
+      fail_exchange();
+      return;
+    }
+    ++restarts_total_;
+    data_retries_ = 0;
+  }
+  seal_and_send(frame.ephemeral_pub);
+}
+
+void SensorNode::seal_and_send(const crypto::RsaPublicKey& ephemeral_pub) {
   // Crypto happens "now"; the result becomes available node_seal later
   // (STM32-class AES + RSA-512 encrypt + sign).
   const Envelope envelope =
-      seal_reading(provisioning_, *pending_reading_, frame.ephemeral_pub, rng_);
-  const std::uint64_t epoch = ++exchange_epoch_;  // cancel the ePk timeout
+      seal_reading(provisioning_, *pending_reading_, ephemeral_pub, rng_);
+  const std::uint64_t epoch = ++exchange_epoch_;  // cancel pending timeouts
+  awaiting_ack_ = false;
+  sealed_key_ = ephemeral_pub.serialize();
   loop_.after(timing_.node_seal, [this, envelope, epoch] {
     if (epoch != exchange_epoch_ || !busy()) return;
-    send_data(envelope);
+    inflight_ = envelope;
+    send_data();
   });
 }
 
-void SensorNode::send_data(const Envelope& envelope) {
+void SensorNode::send_data() {
+  if (!busy() || !inflight_) return;
   lora::UplinkDataFrame frame;
   frame.device_id = provisioning_.device_id;
   frame.recipient = provisioning_.recipient;
-  frame.em = envelope.em;
-  frame.sig = envelope.sig;
+  frame.em = inflight_->em;
+  frame.sig = inflight_->sig;
   const lora::TxResult tx = radio_.uplink(radio_device_, frame.encode());
+  const std::uint64_t epoch = exchange_epoch_;
   if (!tx.accepted) {
-    const std::uint64_t epoch = exchange_epoch_;
-    loop_.at(tx.next_allowed, [this, envelope, epoch] {
-      if (epoch == exchange_epoch_ && busy()) send_data(envelope);
+    loop_.at(tx.next_allowed, [this, epoch] {
+      if (epoch == exchange_epoch_ && busy()) send_data();
     });
     return;
   }
+  awaiting_ack_ = true;
+  if (!data_announced_) {
+    data_announced_ = true;
+    if (on_data_sent) on_data_sent(provisioning_.device_id);
+  }
+  // Arm the ACK timeout; a silent gateway triggers retransmission.
+  loop_.after(backoff_delay(config_.data_ack_timeout, data_retries_),
+              [this, epoch] {
+                if (epoch != exchange_epoch_ || !busy() || !awaiting_ack_)
+                  return;
+                if (++data_retries_ > config_.max_data_retries) {
+                  restart_exchange();
+                } else {
+                  ++data_retransmissions_;
+                  send_data();
+                }
+              });
+}
+
+void SensorNode::handle_data_ack() {
+  if (!busy() || !awaiting_ack_) return;
+  ++acks_;
   pending_reading_.reset();
+  inflight_.reset();
+  sealed_key_.clear();
+  awaiting_ack_ = false;
   ++exchange_epoch_;
-  if (on_data_sent) on_data_sent(provisioning_.device_id);
+}
+
+void SensorNode::restart_exchange() {
+  // Data retries exhausted without an ACK: the gateway may be gone or our
+  // sealed envelope may be undecryptable on its side. Go back to step 1
+  // with the same reading, bounded by max_exchange_restarts.
+  if (++restarts_ > config_.max_exchange_restarts) {
+    fail_exchange();
+    return;
+  }
+  ++restarts_total_;
+  ++exchange_epoch_;
+  inflight_.reset();
+  sealed_key_.clear();
+  awaiting_ack_ = false;
+  retries_ = 0;
+  data_retries_ = 0;
+  send_request();
 }
 
 void SensorNode::fail_exchange() {
   pending_reading_.reset();
+  inflight_.reset();
+  sealed_key_.clear();
+  awaiting_ack_ = false;
   ++exchange_epoch_;
   ++abandoned_;
   if (on_exchange_failed) on_exchange_failed(provisioning_.device_id);

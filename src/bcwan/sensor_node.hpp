@@ -4,10 +4,16 @@
 //   1. sends an uplink request;
 //   2. waits for the gateway's ephemeral public key ePk;
 //   3-4. seals the reading (AES under K, RSA under ePk, RSA-signs);
-//   5. uplinks (Em, Sig, @R).
+//   5. uplinks (Em, Sig, @R) and waits for the gateway's data ACK.
 // Sealing costs virtual time (TimingModel::node_seal); transmissions obey
-// the device's duty cycle, with retries when the radio says "not yet" and a
-// timeout/retry loop when the ePk downlink is lost.
+// the device's duty cycle.
+//
+// Recovery (§6 extension): every radio step retries with exponential
+// backoff + jitter, bounded below by the duty-cycle budget. A lost ePk
+// downlink re-requests; a lost data frame (no ACK) retransmits; a gateway
+// that lost its ephemeral key state (crash/restart) answers the
+// retransmission with a fresh ePk, and the node restarts the exchange by
+// re-sealing the same reading under the new key.
 #pragma once
 
 #include <cstdint>
@@ -22,9 +28,20 @@
 namespace bcwan::core {
 
 struct SensorNodeConfig {
-  /// Give up waiting for ePk after this long and re-request.
+  /// Base wait for ePk before re-requesting; doubles per retry.
   util::SimTime ephemeral_key_timeout = 30 * util::kSecond;
   int max_request_retries = 5;
+  /// Base wait for the gateway's data ACK before retransmitting the data
+  /// frame; doubles per retry.
+  util::SimTime data_ack_timeout = 20 * util::kSecond;
+  int max_data_retries = 5;
+  /// Full protocol restarts (fresh ePk, re-seal) before giving up — covers
+  /// gateways that crashed away the ephemeral key the data was sealed for.
+  int max_exchange_restarts = 3;
+  /// Backoff shape: delay = base * factor^attempt, capped, +/- jitter.
+  double backoff_factor = 2.0;
+  util::SimTime max_backoff = 4 * util::kMinute;
+  double backoff_jitter = 0.25;
 };
 
 class SensorNode {
@@ -43,26 +60,39 @@ class SensorNode {
   /// is already in flight (one at a time per device).
   bool start_exchange(util::Bytes reading);
 
+  /// In flight from start_exchange until the gateway ACKs the data frame
+  /// (or the exchange fails).
   bool busy() const noexcept { return pending_reading_.has_value(); }
   std::uint16_t device_id() const noexcept { return provisioning_.device_id; }
   const NodeProvisioning& provisioning() const noexcept {
     return provisioning_;
   }
 
-  /// Fired when the data frame has been handed to the radio (step 5 done
-  /// from the node's perspective).
+  /// Fired when the data frame has been handed to the radio for the first
+  /// time (step 5 done from the node's perspective).
   std::function<void(std::uint16_t device_id)> on_data_sent;
   /// Fired when all retries are exhausted.
   std::function<void(std::uint16_t device_id)> on_exchange_failed;
 
   std::uint64_t exchanges_started() const noexcept { return started_; }
   std::uint64_t exchanges_abandoned() const noexcept { return abandoned_; }
+  std::uint64_t request_retries() const noexcept { return request_retries_; }
+  std::uint64_t data_retransmissions() const noexcept {
+    return data_retransmissions_;
+  }
+  std::uint64_t exchange_restarts() const noexcept { return restarts_total_; }
+  std::uint64_t acks_received() const noexcept { return acks_; }
 
  private:
   void send_request();
   void handle_ephemeral_key(const lora::EphemeralKeyFrame& frame);
-  void send_data(const Envelope& envelope);
+  void handle_data_ack();
+  void seal_and_send(const crypto::RsaPublicKey& ephemeral_pub);
+  void send_data();
+  void restart_exchange();
   void fail_exchange();
+  /// base * factor^attempt, capped at max_backoff, with +/- jitter.
+  util::SimTime backoff_delay(util::SimTime base, int attempt);
 
   p2p::EventLoop& loop_;
   lora::LoraRadio& radio_;
@@ -73,10 +103,20 @@ class SensorNode {
   lora::RadioDeviceId radio_device_ = -1;
 
   std::optional<util::Bytes> pending_reading_;
-  int retries_ = 0;
-  std::uint64_t exchange_epoch_ = 0;  // invalidates stale timeout callbacks
+  std::optional<Envelope> inflight_;     // sealed data being (re)transmitted
+  util::Bytes sealed_key_;               // serialized ePk inflight_ was sealed under
+  bool awaiting_ack_ = false;
+  bool data_announced_ = false;          // on_data_sent fired for this exchange
+  int retries_ = 0;                      // ePk request attempts this round
+  int data_retries_ = 0;                 // data retransmissions this round
+  int restarts_ = 0;                     // protocol restarts this exchange
+  std::uint64_t exchange_epoch_ = 0;     // invalidates stale timeout callbacks
   std::uint64_t started_ = 0;
   std::uint64_t abandoned_ = 0;
+  std::uint64_t request_retries_ = 0;
+  std::uint64_t data_retransmissions_ = 0;
+  std::uint64_t restarts_total_ = 0;
+  std::uint64_t acks_ = 0;
 };
 
 }  // namespace bcwan::core

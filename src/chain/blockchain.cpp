@@ -183,6 +183,16 @@ AcceptBlockResult Blockchain::maybe_reorg(const Hash256& new_tip) {
   }
   std::reverse(removed.begin(), removed.end());  // ascending height order
 
+  // Expose the losing branch's transactions (dependency order) so the node
+  // can resurrect them into its mempool; a coinbase-only winning branch
+  // would otherwise silently destroy every exchange the old branch carried.
+  disconnected_txs_.clear();
+  for (const Hash256& h : removed) {
+    const Block& old_block = blocks_.at(h).block;
+    for (std::size_t i = 1; i < old_block.txs.size(); ++i)
+      disconnected_txs_.push_back(old_block.txs[i]);
+  }
+
   // Connect the branch.
   for (std::size_t i = 0; i < branch.size(); ++i) {
     if (!connect_tip(blocks_.at(branch[i]).block)) {
@@ -201,6 +211,7 @@ AcceptBlockResult Blockchain::maybe_reorg(const Hash256& new_tip) {
         const bool ok = connect_tip(blocks_.at(h).block);
         (void)ok;  // previously-active blocks reconnect by construction
       }
+      disconnected_txs_.clear();  // nothing was lost after all
       return AcceptBlockResult::kInvalid;
     }
   }

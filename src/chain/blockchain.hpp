@@ -6,6 +6,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chain/block.hpp"
@@ -69,6 +70,16 @@ class Blockchain {
     return last_failure_;
   }
 
+  /// Non-coinbase transactions disconnected by the most recent reorg, in
+  /// dependency order (ascending block height, in-block order preserved).
+  /// The caller (the node) re-accepts them into its mempool so an orphaned
+  /// tx chain — e.g. an offer spending an orphaned announcement's change —
+  /// is re-mined instead of vanishing. Moves the list out; empty until the
+  /// next reorg.
+  std::vector<Transaction> take_disconnected_txs() {
+    return std::exchange(disconnected_txs_, {});
+  }
+
   /// Serialize the active chain (blocks above genesis) for persistence or
   /// for bootstrapping a new federation member out-of-band.
   util::Bytes export_chain() const;
@@ -99,6 +110,7 @@ class Blockchain {
   std::unordered_map<Hash256, int, Hash256Hasher> tx_index_;
   UtxoSet utxo_;
   BlockValidationResult last_failure_;
+  std::vector<Transaction> disconnected_txs_;
 };
 
 }  // namespace bcwan::chain

@@ -131,7 +131,7 @@ std::vector<Transaction> Mempool::select_for_block(
   return selected;
 }
 
-void Mempool::evict_with_descendants(const Hash256& txid) {
+void Mempool::evict_with_descendants(Hash256 txid) {
   const auto it = txs_.find(txid);
   if (it == txs_.end()) return;
   const Transaction tx = it->second.tx;

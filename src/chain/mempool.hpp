@@ -68,7 +68,9 @@ class Mempool {
   }
 
  private:
-  void evict_with_descendants(const Hash256& txid);
+  // Takes the txid by value: callers pass references into spent_/txs_,
+  // both of which this function erases from while recursing.
+  void evict_with_descendants(Hash256 txid);
 
   struct Entry {
     Transaction tx;

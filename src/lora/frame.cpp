@@ -126,12 +126,34 @@ std::optional<UplinkDataFrame> UplinkDataFrame::decode(util::ByteView data) {
   }
 }
 
+util::Bytes DataAckFrame::encode() const {
+  util::Writer w;
+  write_header(w, FrameType::kDataAck, device_id, 0);
+  return w.take();
+}
+
+std::optional<DataAckFrame> DataAckFrame::decode(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    if (r.u8() != static_cast<std::uint8_t>(FrameType::kDataAck))
+      return std::nullopt;
+    DataAckFrame frame;
+    frame.device_id = r.u16();
+    r.u8();  // length byte
+    r.expect_done();
+    return frame;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
 std::optional<FrameType> peek_frame_type(util::ByteView data) {
   if (data.empty()) return std::nullopt;
   switch (data[0]) {
     case 1: return FrameType::kUplinkRequest;
     case 2: return FrameType::kEphemeralKey;
     case 3: return FrameType::kUplinkData;
+    case 4: return FrameType::kDataAck;
     default: return std::nullopt;
   }
 }

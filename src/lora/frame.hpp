@@ -38,6 +38,10 @@ enum class FrameType : std::uint8_t {
   kUplinkRequest = 1,
   kEphemeralKey = 2,
   kUplinkData = 3,
+  /// Gateway -> node receipt for an uplink data frame. Not in the paper's
+  /// Fig. 3 (its LoRa uplinks are fire-and-forget); added so nodes can
+  /// retransmit lost data frames instead of writing the exchange off.
+  kDataAck = 4,
 };
 
 /// Fig. 4: | len | IV (16) | len | ciphertext (16) |. The paper assumes
@@ -83,6 +87,14 @@ struct UplinkDataFrame {
   static constexpr std::size_t wire_size() {
     return kFrameHeaderSize + 20 + kDataPayloadSize;
   }
+};
+
+/// Delivery receipt for a data frame (recovery extension; see kDataAck).
+struct DataAckFrame {
+  std::uint16_t device_id = 0;
+
+  util::Bytes encode() const;
+  static std::optional<DataAckFrame> decode(util::ByteView data);
 };
 
 /// First byte of an encoded frame, if valid.

@@ -24,6 +24,46 @@ RadioDeviceId LoraRadio::add_device(RadioGatewayId gateway, LoraConfig phy,
   return static_cast<RadioDeviceId>(devices_.size() - 1);
 }
 
+void LoraRadio::set_burst_model(const BurstLossModel& model) {
+  config_.burst = model;
+  for (Device& device : devices_) device.link = LinkState{};
+}
+
+void LoraRadio::force_channel_state(bool bad, util::SimTime hold) {
+  const util::SimTime now = loop_.now();
+  for (Device& device : devices_) {
+    device.link.bad = bad;
+    device.link.until = now + hold;
+  }
+}
+
+void LoraRadio::advance_link(LinkState& link, util::SimTime now) {
+  // Sojourn times are exponential, so the state sequence is a continuous-
+  // time two-state Markov chain sampled lazily at transmission instants.
+  if (link.until == 0 && !link.bad) {
+    // Fresh link: it starts in the good state; sample its first sojourn.
+    link.until = util::from_seconds(rng_.exponential(config_.burst.mean_good_s));
+    if (link.until > now) return;
+  }
+  while (link.until <= now) {
+    link.bad = !link.bad;
+    const double mean_s =
+        link.bad ? config_.burst.mean_bad_s : config_.burst.mean_good_s;
+    link.until += util::from_seconds(rng_.exponential(mean_s));
+  }
+}
+
+bool LoraRadio::frame_lost(Device& device) {
+  double p = config_.frame_loss;
+  if (config_.burst.enabled()) {
+    advance_link(device.link, loop_.now());
+    const double state_p =
+        device.link.bad ? config_.burst.loss_bad : config_.burst.loss_good;
+    p = 1.0 - (1.0 - p) * (1.0 - state_p);
+  }
+  return p > 0.0 && rng_.chance(p);
+}
+
 TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
   Device& device = devices_.at(static_cast<std::size_t>(device_id));
   const util::SimTime now = loop_.now();
@@ -37,7 +77,7 @@ TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
   Gateway& gateway = gateways_.at(static_cast<std::size_t>(device.gateway));
   const util::SimTime end = now + t_air;
 
-  bool corrupted = config_.frame_loss > 0.0 && rng_.chance(config_.frame_loss);
+  bool corrupted = frame_lost(device);
 
   if (config_.collisions) {
     // Overlap with any ongoing reception corrupts both frames (ALOHA).
@@ -101,8 +141,7 @@ TxResult LoraRadio::downlink(RadioGatewayId gateway_id, RadioDeviceId device_id,
   }
   gateway.duty.record(now, t_air);
 
-  const bool dropped =
-      config_.frame_loss > 0.0 && rng_.chance(config_.frame_loss);
+  const bool dropped = frame_lost(device);
   if (dropped) {
     ++lost_;
   } else {

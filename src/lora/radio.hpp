@@ -21,9 +21,24 @@ namespace bcwan::lora {
 using RadioGatewayId = int;
 using RadioDeviceId = int;
 
+/// Gilbert–Elliott burst-loss channel: each device↔gateway link alternates
+/// between a good and a bad state with exponentially distributed sojourn
+/// times, and drops frames with a state-dependent probability. This models
+/// LoRa links that fade for seconds at a time (moving obstacles, interferer
+/// duty cycles) far better than independent per-frame loss; the uniform
+/// `RadioConfig::frame_loss` knob is the degenerate single-state case.
+struct BurstLossModel {
+  double mean_good_s = 60.0;  // mean sojourn in the good state
+  double mean_bad_s = 10.0;   // mean sojourn in the bad (fading) state
+  double loss_good = 0.0;     // per-frame drop probability while good
+  double loss_bad = 0.0;      // per-frame drop probability while bad
+  bool enabled() const noexcept { return loss_good > 0.0 || loss_bad > 0.0; }
+};
+
 struct RadioConfig {
   bool collisions = false;   // overlapping uplinks at a gateway all corrupt
   double frame_loss = 0.0;   // independent loss probability per frame
+  BurstLossModel burst;      // correlated (burst) loss on top of frame_loss
   double gateway_duty_cycle = 0.1;  // downlink budget (EU869 10% band)
 };
 
@@ -68,6 +83,17 @@ class LoraRadio {
   std::uint64_t frames_lost() const noexcept { return lost_; }
   std::uint64_t collisions_observed() const noexcept { return collisions_; }
 
+  /// Swap the burst-loss model at runtime (fault injection). Link states
+  /// are resampled lazily on the next transmission.
+  void set_burst_model(const BurstLossModel& model);
+  /// Force every link into the given state for `hold`; afterwards the
+  /// Gilbert–Elliott dynamics resume from that state.
+  void force_channel_state(bool bad, util::SimTime hold);
+  /// Current Gilbert–Elliott state of one link (tests / telemetry).
+  bool link_in_bad_state(RadioDeviceId id) const {
+    return devices_.at(static_cast<std::size_t>(id)).link.bad;
+  }
+
  private:
   struct Gateway {
     RxHandler on_uplink;
@@ -81,13 +107,24 @@ class LoraRadio {
     };
     std::vector<Reception> receptions;
   };
+  struct LinkState {
+    bool bad = false;
+    util::SimTime until = 0;  // state holds until this virtual time
+  };
   struct Device {
     RadioGatewayId gateway;
     LoraConfig phy;
     DutyCycleLimiter duty;
     DeviceRxHandler on_downlink;
     util::SimTime last_airtime = util::kMillisecond;
+    LinkState link;
   };
+
+  /// Advance the link's Gilbert–Elliott state to `now`, then decide whether
+  /// a frame transmitted now is dropped (burst loss and the legacy uniform
+  /// loss are independent).
+  bool frame_lost(Device& device);
+  void advance_link(LinkState& link, util::SimTime now);
 
   p2p::EventLoop& loop_;
   util::Rng rng_;

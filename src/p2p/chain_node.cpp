@@ -1,5 +1,6 @@
 #include "p2p/chain_node.hpp"
 
+#include <algorithm>
 #include <cmath>
 namespace bcwan::p2p {
 
@@ -38,6 +39,8 @@ chain::AcceptBlockResult ChainNode::submit_block(const Block& block) {
     seen_blocks_.insert(block.hash());
     ++blocks_seen_;
     mempool_.remove_confirmed(block);
+    if (result == chain::AcceptBlockResult::kReorganized)
+      resurrect_disconnected();
     for (const auto& watcher : block_watchers_) watcher(block);
     relay_block(block);
   }
@@ -55,7 +58,11 @@ void ChainNode::handle_message(const Message& msg) {
   }
   if (msg.type == "block") {
     const auto block = Block::deserialize(msg.payload);
-    if (block) accept_gossip_block(*block);
+    if (block) accept_gossip_block(*block, msg.from);
+    return;
+  }
+  if (msg.type == "getblocks") {
+    serve_sync(msg.from, msg.payload);
     return;
   }
   if (app_handler_) app_handler_(msg);
@@ -111,7 +118,7 @@ void ChainNode::drain_orphan_txs() {
   draining_orphans_ = false;
 }
 
-void ChainNode::accept_gossip_block(const Block& block) {
+void ChainNode::accept_gossip_block(const Block& block, HostId from) {
   const chain::Hash256 hash = block.hash();
   if (seen_blocks_.count(hash)) return;
 
@@ -134,10 +141,94 @@ void ChainNode::accept_gossip_block(const Block& block) {
   if (result == chain::AcceptBlockResult::kConnected ||
       result == chain::AcceptBlockResult::kReorganized) {
     mempool_.remove_confirmed(block);
+    if (result == chain::AcceptBlockResult::kReorganized)
+      resurrect_disconnected();
     for (const auto& watcher : block_watchers_) watcher(block);
     drain_orphan_txs();
   }
+  if (result == chain::AcceptBlockResult::kOrphan) {
+    // We're missing ancestors: a partition/crash made us skip history, or
+    // the sender reorganised onto a branch whose early blocks were never
+    // relayed (side-branch blocks aren't gossiped). Ask the sender to
+    // stream the gap; without this the node parks orphans forever.
+    request_sync(from);
+  }
   relay_block(block);
+}
+
+void ChainNode::resurrect_disconnected() {
+  // A reorg just orphaned part of the old chain. Its transactions are in
+  // dependency order; re-accept what is still valid against the new chain
+  // (anything re-mined on the winning branch fails harmlessly) and relay,
+  // so in-flight exchanges survive the reorg instead of timing out.
+  for (const Transaction& tx : chain_.take_disconnected_txs()) {
+    const auto result =
+        mempool_.accept(tx, chain_.utxo(), chain_.height() + 1);
+    if (!result.ok()) continue;
+    seen_txs_.insert(tx.txid());
+    for (const auto& watcher : tx_watchers_) watcher(tx);
+    relay_tx(tx);
+  }
+}
+
+void ChainNode::request_sync(HostId peer) {
+  if (peer < 0 || peer == host_) return;
+  // One catch-up request per window: each gossiped descendant of a missing
+  // block would otherwise trigger its own full resync.
+  if (loop_.now() - last_sync_request_ < 2 * util::kSecond) return;
+  last_sync_request_ = loop_.now();
+  ++sync_requests_;
+  net_.send(host_, peer, Message{"getblocks", build_locator(), host_});
+}
+
+util::Bytes ChainNode::build_locator() const {
+  // Bitcoin-style exponential locator over our active chain, newest first:
+  // the serving peer finds the highest hash it shares and streams from
+  // there, so deep divergences still converge in O(log n) locator entries.
+  util::Bytes locator;
+  const int tip = chain_.height();
+  int step = 1;
+  int count = 0;
+  for (int h = tip; h > 0 && count < 31; h -= step, ++count) {
+    const auto& hash = chain_.active_chain()[static_cast<std::size_t>(h)];
+    locator.insert(locator.end(), hash.begin(), hash.end());
+    if (count >= 8) step *= 2;
+  }
+  const auto& genesis = chain_.active_chain().front();
+  locator.insert(locator.end(), genesis.begin(), genesis.end());
+  return locator;
+}
+
+void ChainNode::serve_sync(HostId peer, const util::Bytes& locator) {
+  if (peer < 0 || peer == host_) return;
+  if (locator.empty() || locator.size() % 32 != 0) return;
+  // Highest locator entry on our active chain = the fork point.
+  int ancestor = 0;
+  const auto& active = chain_.active_chain();
+  bool found = false;
+  for (std::size_t i = 0; i < locator.size() && !found; i += 32) {
+    chain::Hash256 hash;
+    std::copy(locator.begin() + static_cast<std::ptrdiff_t>(i),
+              locator.begin() + static_cast<std::ptrdiff_t>(i) + 32,
+              hash.begin());
+    for (int h = chain_.height(); h >= 0; --h) {
+      if (active[static_cast<std::size_t>(h)] == hash) {
+        ancestor = h;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) return;  // disjoint chains (different genesis) — nothing to do
+  constexpr int kMaxBlocksPerResponse = 256;
+  const int last =
+      std::min(chain_.height(), ancestor + kMaxBlocksPerResponse);
+  for (int h = ancestor + 1; h <= last; ++h) {
+    const auto block = chain_.block_at(h);
+    if (!block) break;
+    net_.send(host_, peer, Message{"block", block->serialize(), host_});
+    ++sync_served_;
+  }
 }
 
 void ChainNode::relay_tx(const Transaction& tx) {

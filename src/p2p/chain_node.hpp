@@ -83,13 +83,26 @@ class ChainNode {
 
   std::uint64_t txs_seen() const noexcept { return txs_seen_; }
   std::uint64_t blocks_seen() const noexcept { return blocks_seen_; }
+  /// Headers-first-style catch-up requests issued / blocks served to peers.
+  std::uint64_t sync_requests() const noexcept { return sync_requests_; }
+  std::uint64_t sync_blocks_served() const noexcept { return sync_served_; }
 
  private:
   void relay_tx(const chain::Transaction& tx);
   void relay_block(const chain::Block& block);
   void accept_gossip_tx(const chain::Transaction& tx);
-  void accept_gossip_block(const chain::Block& block);
+  void accept_gossip_block(const chain::Block& block, HostId from);
   void drain_orphan_txs();
+  /// Re-accept and relay the losing branch's transactions after a reorg.
+  void resurrect_disconnected();
+  /// Ask `peer` for the blocks between our chains (sent when a gossiped
+  /// block's parent is unknown — we missed history during a partition,
+  /// crash, or side-branch reorg that was never relayed).
+  void request_sync(HostId peer);
+  /// Answer a "getblocks" locator: stream our active chain from the highest
+  /// locator hash we recognise up to our tip.
+  void serve_sync(HostId peer, const util::Bytes& locator);
+  util::Bytes build_locator() const;
 
   EventLoop& loop_;
   SimNet& net_;
@@ -109,8 +122,11 @@ class ChainNode {
   // Bitcoin's mapOrphanTransactions does.
   std::vector<chain::Transaction> orphan_txs_;
   bool draining_orphans_ = false;
+  util::SimTime last_sync_request_ = -(1 << 30);
   std::uint64_t txs_seen_ = 0;
   std::uint64_t blocks_seen_ = 0;
+  std::uint64_t sync_requests_ = 0;
+  std::uint64_t sync_served_ = 0;
 };
 
 }  // namespace bcwan::p2p

@@ -1,0 +1,124 @@
+#include "sim/faults.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bcwan::sim {
+
+FaultPlan::FaultPlan(Scenario& scenario, std::uint64_t seed)
+    : scenario_(scenario), rng_(seed) {}
+
+void FaultPlan::record(util::SimTime at, const std::string& what) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof prefix, "t=%.1fs ", util::to_seconds(at));
+  log_.push_back(prefix + what);
+}
+
+void FaultPlan::partition_host(p2p::HostId host, util::SimTime at,
+                               util::SimTime duration) {
+  scenario_.loop().at(at, [this, host] {
+    scenario_.net().set_partitioned(host, true);
+    ++partitions_;
+    record(scenario_.loop().now(),
+           "partition open: " + scenario_.net().host_name(host));
+  });
+  scenario_.loop().at(at + duration, [this, host] {
+    scenario_.net().set_partitioned(host, false);
+    record(scenario_.loop().now(),
+           "partition heal: " + scenario_.net().host_name(host));
+  });
+}
+
+void FaultPlan::partition_actor(int actor, util::SimTime at,
+                                util::SimTime duration) {
+  partition_host(scenario_.actor_node(actor).host(), at, duration);
+}
+
+void FaultPlan::partition_master(util::SimTime at, util::SimTime duration) {
+  partition_host(scenario_.master_node().host(), at, duration);
+}
+
+void FaultPlan::degrade_lora(const lora::BurstLossModel& model,
+                             util::SimTime at, util::SimTime duration) {
+  scenario_.loop().at(at, [this, model, duration] {
+    scenario_.radio().set_burst_model(model);
+    scenario_.radio().force_channel_state(true, duration);
+    ++degradations_;
+    record(scenario_.loop().now(), "lora degraded (forced bad state)");
+  });
+}
+
+void FaultPlan::crash_gateway(std::size_t gateway_index, util::SimTime at,
+                              util::SimTime downtime) {
+  scenario_.loop().at(at, [this, gateway_index] {
+    scenario_.gateway_by_index(gateway_index).crash();
+    ++crashes_;
+    record(scenario_.loop().now(),
+           "gateway crash: #" + std::to_string(gateway_index));
+  });
+  scenario_.loop().at(at + downtime, [this, gateway_index] {
+    scenario_.gateway_by_index(gateway_index).restart();
+    record(scenario_.loop().now(),
+           "gateway restart: #" + std::to_string(gateway_index));
+  });
+}
+
+void FaultPlan::stall_miner(util::SimTime at, util::SimTime duration) {
+  scenario_.loop().at(at, [this] {
+    scenario_.set_mining_paused(true);
+    ++stalls_;
+    record(scenario_.loop().now(), "miner stalled");
+  });
+  scenario_.loop().at(at + duration, [this] {
+    scenario_.set_mining_paused(false);
+    record(scenario_.loop().now(), "miner resumed");
+  });
+}
+
+namespace {
+/// Expected-count -> integer draw: floor(lambda) events plus one more with
+/// probability frac(lambda).
+int sample_count(util::Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double whole = std::floor(lambda);
+  int n = static_cast<int>(whole);
+  if (rng.chance(lambda - whole)) ++n;
+  return n;
+}
+}  // namespace
+
+void FaultPlan::unleash(const ChaosProfile& profile, util::SimTime horizon) {
+  const util::SimTime now = scenario_.loop().now();
+  const auto sample_at = [&] {
+    return now + static_cast<util::SimTime>(
+                     rng_.below(static_cast<std::uint64_t>(
+                         std::max<util::SimTime>(horizon, 1))));
+  };
+
+  if (profile.burst.enabled()) {
+    scenario_.radio().set_burst_model(profile.burst);
+    ++degradations_;
+    record(now, "lora burst-loss model installed");
+  }
+
+  for (int a = 0; a < scenario_.actor_count(); ++a) {
+    const int n = sample_count(rng_, profile.partitions_per_actor);
+    for (int i = 0; i < n; ++i)
+      partition_actor(a, sample_at(), profile.partition_duration);
+  }
+  for (int i = 0; i < sample_count(rng_, profile.master_partitions); ++i)
+    partition_master(sample_at(), profile.partition_duration);
+
+  const std::size_t gateways = scenario_.gateway_count();
+  if (gateways > 0) {
+    for (int i = 0; i < sample_count(rng_, profile.gateway_crashes); ++i) {
+      crash_gateway(rng_.below(gateways), sample_at(),
+                    profile.crash_downtime);
+    }
+  }
+
+  for (int i = 0; i < sample_count(rng_, profile.miner_stalls); ++i)
+    stall_miner(sample_at(), profile.stall_duration);
+}
+
+}  // namespace bcwan::sim

@@ -1,0 +1,98 @@
+// Chaos-injection subsystem.
+//
+// A FaultPlan is a set of fault events — WAN partitions, LoRa channel
+// degradation, gateway crashes, miner stalls — scheduled on the scenario's
+// event loop. Faults exercise the recovery paths the paper's §6 hand-waves
+// ("malicious or faulty behaviour"): every fault here maps to a concrete
+// operational failure of the PoC deployment (a PlanetLab site dropping off
+// the net, a fading LoRa link, the gateway daemon dying, the EC2 miner
+// hanging).
+//
+// Two ways to use it:
+//   * deterministic: call partition_host / degrade_lora / crash_gateway /
+//     stall_miner with explicit times (regression tests);
+//   * randomized: describe an intensity with ChaosProfile and call
+//     unleash(), which samples start times uniformly over a horizon
+//     (chaos sweeps, bench_fault_recovery).
+// Every injected event is recorded in a human-readable log for debugging
+// and bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace bcwan::sim {
+
+/// Randomized chaos intensity over one horizon (see FaultPlan::unleash).
+struct ChaosProfile {
+  /// WAN partitions per actor host over the horizon (0 = none).
+  double partitions_per_actor = 1.0;
+  util::SimTime partition_duration = 60 * util::kSecond;
+  /// Also partition the master host this many times over the horizon.
+  double master_partitions = 0.0;
+  /// Gateway crash/restart cycles over the horizon, spread across gateways.
+  double gateway_crashes = 1.0;
+  util::SimTime crash_downtime = 90 * util::kSecond;
+  /// Miner stalls over the horizon.
+  double miner_stalls = 1.0;
+  util::SimTime stall_duration = 2 * util::kMinute;
+  /// Gilbert–Elliott burst loss installed for the whole horizon.
+  /// Left disabled (all-zero losses) unless set.
+  lora::BurstLossModel burst;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(Scenario& scenario, std::uint64_t seed);
+
+  // -- Deterministic fault scheduling (times are absolute virtual times). --
+
+  /// Disconnect one WAN host for `duration` starting at `at`.
+  void partition_host(p2p::HostId host, util::SimTime at,
+                      util::SimTime duration);
+  /// Disconnect an actor's host (its gateways + recipient).
+  void partition_actor(int actor, util::SimTime at, util::SimTime duration);
+  /// Disconnect the master miner's host.
+  void partition_master(util::SimTime at, util::SimTime duration);
+  /// Install a Gilbert–Elliott model and force every LoRa link into the bad
+  /// state for `duration`; links then resume normal G-E dynamics.
+  void degrade_lora(const lora::BurstLossModel& model, util::SimTime at,
+                    util::SimTime duration);
+  /// Crash one gateway agent at `at` and restart it `downtime` later.
+  void crash_gateway(std::size_t gateway_index, util::SimTime at,
+                     util::SimTime downtime);
+  /// Freeze the master's Poisson mining loop for `duration`.
+  void stall_miner(util::SimTime at, util::SimTime duration);
+
+  // -- Randomized chaos. --
+
+  /// Sample fault start times uniformly over [now, now + horizon] at the
+  /// profile's intensities and schedule them all. The profile's burst model
+  /// (if enabled) is installed immediately and left in place.
+  void unleash(const ChaosProfile& profile, util::SimTime horizon);
+
+  // -- Telemetry. --
+
+  std::uint64_t partitions_injected() const noexcept { return partitions_; }
+  std::uint64_t crashes_injected() const noexcept { return crashes_; }
+  std::uint64_t stalls_injected() const noexcept { return stalls_; }
+  std::uint64_t lora_degradations() const noexcept { return degradations_; }
+  /// Chronological, human-readable record of every injected event.
+  const std::vector<std::string>& log() const noexcept { return log_; }
+
+ private:
+  void record(util::SimTime at, const std::string& what);
+
+  Scenario& scenario_;
+  util::Rng rng_;
+  std::uint64_t partitions_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t degradations_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace bcwan::sim

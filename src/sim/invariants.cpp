@@ -1,0 +1,171 @@
+#include "sim/invariants.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "script/templates.hpp"
+#include "util/bytes.hpp"
+
+namespace bcwan::sim {
+
+std::string InvariantReport::to_string() const {
+  std::string out;
+  for (const std::string& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v;
+  }
+  return out.empty() ? "ok" : out;
+}
+
+InvariantReport check_chain_invariants(const chain::Blockchain& chain) {
+  InvariantReport report;
+
+  // Funds conservation. Each block mints exactly block_reward (the coinbase
+  // claims the fees back), genesis and OP_RETURN outputs carry zero value,
+  // so the UTXO total must equal height * block_reward to the satoshi.
+  const chain::Amount expected =
+      static_cast<chain::Amount>(chain.height()) *
+      chain.params().block_reward;
+  const chain::Amount actual = chain.utxo().total_value();
+  if (actual != expected) {
+    report.violations.push_back(
+        "funds not conserved: utxo total " + std::to_string(actual) +
+        " != height*reward " + std::to_string(expected));
+  }
+
+  // Settlement uniqueness. Walk the active chain once, collecting every
+  // Listing-1 offer output and every spend of one.
+  struct OfferInfo {
+    std::string ephemeral_hex;
+    int spends = 0;
+    bool redeemed = false;
+  };
+  std::map<std::pair<std::string, std::uint32_t>, OfferInfo> offers;
+  const auto offer_key = [](const chain::OutPoint& op) {
+    return std::make_pair(util::to_hex(util::ByteView(op.txid.data(),
+                                                      op.txid.size())),
+                          op.index);
+  };
+  for (int h = 0; h <= chain.height(); ++h) {
+    const auto block = chain.block_at(h);
+    if (!block) continue;
+    for (const chain::Transaction& tx : block->txs) {
+      const chain::Hash256 txid = tx.txid();
+      for (std::uint32_t v = 0; v < tx.vout.size(); ++v) {
+        const auto classified = script::classify(tx.vout[v].script_pubkey);
+        if (classified.type != script::ScriptType::kKeyRelease) continue;
+        if (!classified.ephemeral_pub) continue;
+        OfferInfo info;
+        info.ephemeral_hex =
+            util::to_hex(classified.ephemeral_pub->serialize());
+        offers[offer_key(chain::OutPoint{txid, v})] = std::move(info);
+      }
+      for (const chain::TxIn& in : tx.vin) {
+        const auto it = offers.find(offer_key(in.prevout));
+        if (it == offers.end()) continue;
+        ++it->second.spends;
+        if (script::extract_revealed_key(in.script_sig))
+          it->second.redeemed = true;
+      }
+    }
+  }
+  std::unordered_map<std::string, int> redeems_per_key;
+  for (const auto& [key, info] : offers) {
+    if (info.spends > 1) {
+      report.violations.push_back("offer " + key.first + ":" +
+                                  std::to_string(key.second) +
+                                  " spent more than once in active chain");
+    }
+    if (info.redeemed) ++redeems_per_key[info.ephemeral_hex];
+  }
+  for (const auto& [ephemeral, count] : redeems_per_key) {
+    if (count > 1) {
+      report.violations.push_back(
+          "ephemeral key " + ephemeral.substr(0, 16) + "... settled " +
+          std::to_string(count) + " times (double pay)");
+    }
+  }
+  return report;
+}
+
+InvariantReport check_federation_invariants(Scenario& scenario,
+                                            bool expect_quiescent) {
+  InvariantReport report;
+  const auto absorb = [&](const InvariantReport& sub,
+                          const std::string& where) {
+    for (const std::string& v : sub.violations)
+      report.violations.push_back(where + ": " + v);
+  };
+
+  absorb(check_chain_invariants(scenario.master_node().chain()), "master");
+  const int master_height = scenario.master_node().chain().height();
+  for (int a = 0; a < scenario.actor_count(); ++a) {
+    const std::string where = "actor" + std::to_string(a);
+    const chain::Blockchain& chain = scenario.actor_node(a).chain();
+    absorb(check_chain_invariants(chain), where);
+    // Convergence: a healed actor must be within gossip distance of the
+    // master and the master must at least know its tip block.
+    if (chain.height() < master_height - 2) {
+      report.violations.push_back(
+          where + ": chain lagging (" + std::to_string(chain.height()) +
+          " vs master " + std::to_string(master_height) + ")");
+    } else if (!scenario.master_node().chain().have_block(chain.tip_hash())) {
+      report.violations.push_back(where +
+                                  ": tip unknown to master (stuck fork)");
+    }
+  }
+
+  if (expect_quiescent) {
+    for (std::size_t g = 0; g < scenario.gateway_count(); ++g) {
+      core::GatewayAgent& gw = scenario.gateway_by_index(g);
+      const std::string where = "gateway" + std::to_string(g);
+      if (gw.pending_deliver_count() != 0) {
+        report.violations.push_back(
+            where + ": " + std::to_string(gw.pending_deliver_count()) +
+            " unacked DELIVERs leaked");
+      }
+      if (gw.pending_redeem_count() != 0) {
+        report.violations.push_back(
+            where + ": " + std::to_string(gw.pending_redeem_count()) +
+            " confirmation-gated redeems leaked");
+      }
+      if (gw.tracked_redeem_count() != 0) {
+        report.violations.push_back(
+            where + ": " + std::to_string(gw.tracked_redeem_count()) +
+            " submitted redeems never buried");
+      }
+      if (gw.issued_key_count() != 0) {
+        report.violations.push_back(
+            where + ": " + std::to_string(gw.issued_key_count()) +
+            " issued keys not consumed or expired");
+      }
+      if (gw.awaiting_offer_count() != 0) {
+        report.violations.push_back(
+            where + ": " + std::to_string(gw.awaiting_offer_count()) +
+            " awaited offers not settled or expired");
+      }
+    }
+    for (int a = 0; a < scenario.actor_count(); ++a) {
+      core::RecipientAgent& recipient = scenario.recipient(a);
+      if (recipient.pending_exchange_count() != 0) {
+        report.violations.push_back(
+            "recipient" + std::to_string(a) + ": " +
+            std::to_string(recipient.pending_exchange_count()) +
+            " pending exchanges never settled or reclaimed");
+      }
+    }
+    for (int a = 0; a < scenario.actor_count(); ++a) {
+      for (int s = 0; s < scenario.config().sensors_per_actor; ++s) {
+        core::SensorNode& sensor = scenario.sensor(a, s);
+        if (sensor.busy()) {
+          report.violations.push_back(
+              "sensor device " + std::to_string(sensor.device_id()) +
+              " still mid-exchange");
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bcwan::sim

@@ -1,0 +1,44 @@
+// Safety invariants of the BcWAN federation, checkable at any point of a
+// (chaotic) run. Fault injection is only trustworthy if we can tell
+// "degraded but correct" from "corrupted": these checks encode what must
+// hold no matter which faults fired.
+//
+//   * funds conservation — every coin in any node's UTXO set traces back to
+//     a coinbase; total value equals height * block_reward exactly (the
+//     miner claims fees, OP_RETURN outputs carry zero value);
+//   * at-most-one settlement per exchange — no ephemeral key is ever paid
+//     for twice via distinct redeemed offers (the double-pay a crashing
+//     gateway could otherwise cause), and no single offer output is both
+//     redeemed and reclaimed (guaranteed by UTXO validation, re-checked
+//     here against the stored blocks);
+//   * convergence — after faults heal, every actor's chain tip is (close
+//     to) the master's;
+//   * quiescence — once traffic has drained, no agent leaks in-flight
+//     exchange state (pending delivers, tracked redeems, busy sensors).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace bcwan::sim {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  /// All violations joined for one-line test diagnostics.
+  std::string to_string() const;
+};
+
+/// Chain-level invariants on a single node's view of the world.
+InvariantReport check_chain_invariants(const chain::Blockchain& chain);
+
+/// Federation-wide sweep: chain invariants on every node, tip convergence
+/// against the master, and (optionally) the no-leaked-state quiescence
+/// check. Only pass `expect_quiescent` after the loop has run long enough
+/// for retries and housekeeping to drain.
+InvariantReport check_federation_invariants(Scenario& scenario,
+                                            bool expect_quiescent);
+
+}  // namespace bcwan::sim

@@ -68,6 +68,7 @@ void Scenario::build() {
     directories_.push_back(std::make_unique<core::Directory>(node));
 
     std::vector<script::PubKeyHash> candidates;
+    std::vector<core::GatewayAgent*> actor_gateways;
     for (int g = 0; g < config_.gateways_per_actor; ++g) {
       gateways_.push_back(std::make_unique<core::GatewayAgent>(
           loop_, *net_, *radio_, node, *directories_.back(),
@@ -81,21 +82,32 @@ void Scenario::build() {
           });
       gw->attach_radio(radio_gw);
       candidates.push_back(gw->pkh());
+      actor_gateways.push_back(gw);
     }
     masters_.push_back(core::elect_master_gateway(candidates));
 
     recipients_.push_back(std::make_unique<core::RecipientAgent>(
-        loop_, node, chain::Wallet::from_seed("recipient-" + std::to_string(a)),
+        loop_, *net_, node,
+        chain::Wallet::from_seed("recipient-" + std::to_string(a)),
         config_.timing, config_.recipient_config, rng_.next()));
 
+    // The host carries both the recipient (DELIVER) and its gateways
+    // (DELIVER_ACK); each agent filters on message type.
     core::RecipientAgent* recipient = recipients_.back().get();
-    node.set_app_handler(
-        [recipient](const p2p::Message& msg) { recipient->handle_message(msg); });
+    node.set_app_handler([recipient, actor_gateways](const p2p::Message& msg) {
+      recipient->handle_message(msg);
+      for (core::GatewayAgent* gw : actor_gateways) gw->handle_message(msg);
+    });
 
     // Latency hooks go on the elected master (the one devices talk to).
     core::GatewayAgent* gw = &gateway(a);
     gw->on_ephemeral_sent = [this](std::uint16_t device_id) {
-      exchange_start_[device_id] = loop_.now();
+      // Only count exchanges the device is actually running (a duty-delayed
+      // resend after a write-off must not plant a phantom entry), and keep
+      // the earliest timestamp (retries must not skew the latency clock).
+      const core::SensorNode* sensor = sensor_for(device_id);
+      if (sensor == nullptr || !sensor->busy()) return;
+      exchange_start_.emplace(device_id, loop_.now());
     };
     // A reclaimed exchange is over (no data); free the device for new work.
     recipient->on_reclaimed = [this](std::uint16_t device_id) {
@@ -236,8 +248,13 @@ void Scenario::bootstrap() {
 void Scenario::schedule_mining() {
   const double mean_s = util::to_seconds(config_.chain_params.block_interval);
   const util::SimTime delay = util::from_seconds(rng_.exponential(mean_s));
+  mining_timer_armed_ = true;
   loop_.after(delay, [this] {
-    if (!mining_active_) return;
+    if (!mining_active_ || mining_paused_) {
+      // The chain of timers stops here; set_mining_paused(false) restarts it.
+      mining_timer_armed_ = false;
+      return;
+    }
     const chain::Block block = miner_->mine(
         master_node_->chain(), master_node_->mempool(),
         static_cast<std::uint64_t>(loop_.now() / util::kSecond));
@@ -245,6 +262,25 @@ void Scenario::schedule_mining() {
     ++blocks_mined_;
     schedule_mining();
   });
+}
+
+void Scenario::set_mining_paused(bool paused) {
+  mining_paused_ = paused;
+  // Re-arm only if the timer chain actually died while paused — a resume
+  // racing a still-armed timer must not fork a second chain (doubled rate).
+  if (!paused && mining_active_ && !mining_timer_armed_) schedule_mining();
+}
+
+core::SensorNode* Scenario::sensor_for(std::uint16_t device_id) {
+  const int actor = device_id / 256;
+  const int index = device_id % 256;
+  const std::size_t sensor_index =
+      static_cast<std::size_t>(actor * config_.sensors_per_actor + index);
+  if (actor >= config_.actors || index >= config_.sensors_per_actor ||
+      sensor_index >= sensors_.size()) {
+    return nullptr;
+  }
+  return sensors_[sensor_index].get();
 }
 
 void Scenario::reschedule_report(std::uint16_t device_id) {

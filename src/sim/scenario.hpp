@@ -93,7 +93,13 @@ class Scenario {
 
   p2p::EventLoop& loop() noexcept { return loop_; }
   p2p::SimNet& net() noexcept { return *net_; }
+  lora::LoraRadio& radio() noexcept { return *radio_; }
   const ScenarioConfig& config() const noexcept { return config_; }
+
+  /// Fault injection: freeze/unfreeze the master's Poisson mining loop
+  /// (the "miner stall" fault — the EC2 box hangs, nobody else mines).
+  void set_mining_paused(bool paused);
+  bool mining_paused() const noexcept { return mining_paused_; }
 
   int actor_count() const noexcept { return config_.actors; }
   p2p::ChainNode& actor_node(int i) { return *actor_nodes_[i]; }
@@ -112,7 +118,13 @@ class Scenario {
   core::SensorNode& sensor(int actor, int index) {
     return *sensors_[static_cast<std::size_t>(actor * config_.sensors_per_actor + index)];
   }
+  /// Device-id lookup (actor*256 + index); nullptr if out of range.
+  core::SensorNode* sensor_for(std::uint16_t device_id);
+  std::size_t sensor_count() const noexcept { return sensors_.size(); }
+  std::size_t gateway_count() const noexcept { return gateways_.size(); }
+  core::GatewayAgent& gateway_by_index(std::size_t i) { return *gateways_[i]; }
   p2p::ChainNode& master_node() { return *master_node_; }
+  const chain::Wallet& master_wallet() const { return *master_wallet_; }
 
   std::uint64_t exchanges_completed() const noexcept { return completed_; }
   std::uint64_t blocks_mined() const noexcept { return blocks_mined_; }
@@ -140,6 +152,8 @@ class Scenario {
   std::unique_ptr<chain::Wallet> master_wallet_;
   std::unique_ptr<chain::Miner> miner_;
   bool mining_active_ = false;
+  bool mining_paused_ = false;
+  bool mining_timer_armed_ = false;
   std::uint64_t blocks_mined_ = 0;
 
   // Per-sensor earliest next report time (duty-aware pacing).

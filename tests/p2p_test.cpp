@@ -284,10 +284,12 @@ TEST(ChainNode, PartitionedNodeCatchesUpViaOrphans) {
   h.net.set_partitioned(h.nodes[2]->host(), false);
   h.mine_and_submit(0);
   h.loop.run();
-  // Node 2 missed block 1 but receives block 2 (orphan), then nothing else;
-  // it stays behind — a later block 3 plus re-gossip isn't modelled, so we
-  // verify the orphan is held, not connected.
-  EXPECT_EQ(h.nodes[2]->chain().height(), 0);
+  // Node 2 missed block 1 and receives block 2 as an orphan; parking it
+  // triggers a "getblocks" catch-up request to the sender, which streams
+  // the gap. The node ends fully synced, not stuck holding orphans.
+  EXPECT_EQ(h.nodes[2]->chain().height(), 2);
+  EXPECT_EQ(h.nodes[2]->chain().tip_hash(), h.nodes[0]->chain().tip_hash());
+  EXPECT_GE(h.nodes[2]->sync_requests(), 1u);
   // Node 1 has both blocks.
   EXPECT_EQ(h.nodes[1]->chain().height(), 2);
 }

@@ -86,6 +86,7 @@ TEST_P(DecoderRobustness, FrameDecoders) {
     (void)lora::UplinkRequestFrame::decode(data);
     (void)lora::EphemeralKeyFrame::decode(data);
     (void)lora::UplinkDataFrame::decode(data);
+    (void)lora::DataAckFrame::decode(data);
     (void)lora::InnerBlob::decode(data);
     (void)lora::peek_frame_type(data);
   }
@@ -136,8 +137,53 @@ TEST(MutationRobustness, ValidDeliverPayloadMutants) {
   payload.ephemeral_pub = kp.pub;
   payload.price_quote = 1000;
   const Bytes valid = payload.serialize();
+  // The untampered encoding must survive a round trip bit-for-bit — the
+  // DELIVER retry path depends on the ACK handle (the serialized ePk)
+  // matching across re-encodes.
+  const auto round = core::DeliverPayload::deserialize(valid);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->serialize(), valid);
   for (const Bytes& mutant : mutations(valid, 8)) {
     (void)core::DeliverPayload::deserialize(mutant);  // must not crash
+  }
+}
+
+TEST(MutationRobustness, ValidDirectoryEntryMutants) {
+  // The directory parses OP_RETURN payloads straight off gossip: anyone can
+  // publish an announcement-shaped transaction, so the decoder faces fully
+  // attacker-controlled bytes.
+  script::PubKeyHash owner{};
+  for (std::size_t i = 0; i < owner.size(); ++i) {
+    owner[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  const Bytes valid = core::encode_directory_entry(owner, 0x0a000042, 8333);
+  const auto round = core::decode_directory_entry(valid);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->owner, owner);
+  EXPECT_EQ(round->ip, 0x0a000042u);
+  EXPECT_EQ(round->port, 8333);
+  for (const Bytes& mutant : mutations(valid, 10)) {
+    const auto decoded = core::decode_directory_entry(mutant);
+    if (decoded && mutant.size() == valid.size()) {
+      // A bit flip may still parse (payload is unauthenticated at this
+      // layer) but must re-encode to exactly the mutant bytes: the decoder
+      // cannot invent or drop fields.
+      EXPECT_EQ(core::encode_directory_entry(decoded->owner, decoded->ip,
+                                             decoded->port),
+                mutant);
+    }
+  }
+}
+
+TEST(MutationRobustness, ValidDataAckFrameMutants) {
+  lora::DataAckFrame ack;
+  ack.device_id = 0x0102;
+  const Bytes valid = ack.encode();
+  const auto round = lora::DataAckFrame::decode(valid);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->device_id, ack.device_id);
+  for (const Bytes& mutant : mutations(valid, 13)) {
+    (void)lora::DataAckFrame::decode(mutant);  // must not crash
   }
 }
 
