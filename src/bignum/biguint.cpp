@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "bignum/montgomery.hpp"
+
 namespace bcwan::bignum {
 
 namespace {
@@ -277,6 +279,13 @@ BigUint operator%(const BigUint& a, const BigUint& b) {
 BigUint BigUint::mod_exp(const BigUint& base, const BigUint& exp,
                          const BigUint& m) {
   if (m.is_zero()) throw std::domain_error("BigUint: mod_exp modulus zero");
+  if (const auto ctx = MontgomeryCtx::cached(m)) return ctx->mod_exp(base, exp);
+  return mod_exp_basic(base, exp, m);
+}
+
+BigUint BigUint::mod_exp_basic(const BigUint& base, const BigUint& exp,
+                               const BigUint& m) {
+  if (m.is_zero()) throw std::domain_error("BigUint: mod_exp modulus zero");
   if (m.is_one()) return {};
   BigUint result(1);
   BigUint b = base % m;
@@ -289,6 +298,17 @@ BigUint BigUint::mod_exp(const BigUint& base, const BigUint& exp,
 }
 
 BigUint BigUint::mod_mul(const BigUint& a, const BigUint& b, const BigUint& m) {
+  // The two-CIOS Montgomery product beats multiply-then-divide once the
+  // modulus is wide enough to make Knuth division (and its allocations) the
+  // dominant cost; below that the basic path wins.
+  if (!m.is_even() && m.bit_length() >= 128) {
+    if (const auto ctx = MontgomeryCtx::cached(m)) return ctx->mod_mul(a, b);
+  }
+  return mod_mul_basic(a, b, m);
+}
+
+BigUint BigUint::mod_mul_basic(const BigUint& a, const BigUint& b,
+                               const BigUint& m) {
   return (a * b) % m;
 }
 

@@ -24,6 +24,8 @@
 
 namespace bcwan::bignum {
 
+class MontgomeryCtx;
+
 class BigUint {
  public:
   /// Zero.
@@ -79,13 +81,23 @@ class BigUint {
   /// Quotient and remainder in one pass. Throws std::domain_error on b == 0.
   static std::pair<BigUint, BigUint> divmod(const BigUint& a, const BigUint& b);
 
-  /// (base ^ exp) mod m via square-and-multiply. Throws on m == 0.
+  /// (base ^ exp) mod m. Routed through the Montgomery fast path for odd
+  /// multi-limb moduli (see bignum/montgomery.hpp); otherwise falls back to
+  /// mod_exp_basic. Throws on m == 0.
   static BigUint mod_exp(const BigUint& base, const BigUint& exp,
                          const BigUint& m);
+  /// Reference slow path: square-and-multiply over schoolbook division.
+  /// Works for any modulus; differential tests pit the Montgomery path
+  /// against this.
+  static BigUint mod_exp_basic(const BigUint& base, const BigUint& exp,
+                               const BigUint& m);
   /// Modular inverse via extended Euclid; nullopt when gcd(a, m) != 1.
   static std::optional<BigUint> mod_inv(const BigUint& a, const BigUint& m);
-  /// (a * b) mod m.
+  /// (a * b) mod m. Routed through Montgomery for odd moduli >= 128 bits.
   static BigUint mod_mul(const BigUint& a, const BigUint& b, const BigUint& m);
+  /// Reference slow path: full product then Knuth division.
+  static BigUint mod_mul_basic(const BigUint& a, const BigUint& b,
+                               const BigUint& m);
   /// (a + b) mod m, assuming a, b < m.
   static BigUint mod_add(const BigUint& a, const BigUint& b, const BigUint& m);
   /// (a - b) mod m, assuming a, b < m.
@@ -98,6 +110,8 @@ class BigUint {
   static BigUint random_below(util::Rng& rng, const BigUint& bound);
 
  private:
+  friend class MontgomeryCtx;  // raw limb access for CIOS multiplication
+
   void trim() noexcept;
   std::vector<std::uint32_t> limbs_;  // little-endian, normalized
 };

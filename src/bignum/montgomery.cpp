@@ -1,0 +1,202 @@
+#include "bignum/montgomery.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace bcwan::bignum {
+
+namespace {
+
+std::atomic<bool> g_montgomery_enabled{true};
+
+/// Inverse of an odd 32-bit value mod 2^32 by Newton iteration: each step
+/// doubles the number of correct low bits; five steps from a 1-bit seed
+/// cover all 32.
+std::uint32_t inv32(std::uint32_t odd) {
+  std::uint32_t x = odd;  // correct to 3 bits for odd inputs
+  for (int i = 0; i < 4; ++i) x *= 2 - odd * x;
+  return x;
+}
+
+constexpr std::size_t kCtxCacheCap = 64;
+
+}  // namespace
+
+bool montgomery_enabled() noexcept {
+  return g_montgomery_enabled.load(std::memory_order_relaxed);
+}
+
+void set_montgomery_enabled(bool enabled) noexcept {
+  g_montgomery_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MontgomeryCtx::MontgomeryCtx(const BigUint& modulus) : m_(modulus) {
+  if (m_.is_zero() || m_.is_one() || m_.is_even())
+    throw std::domain_error("MontgomeryCtx: modulus must be odd and > 1");
+  mod_limbs_ = m_.limbs_;
+  n0inv_ = ~inv32(mod_limbs_[0]) + 1;  // -m[0]^-1 mod 2^32
+  const std::size_t n = mod_limbs_.size();
+  r1_ = to_padded((BigUint(1) << (32 * n)) % m_);
+  r2_ = to_padded((BigUint(1) << (64 * n)) % m_);
+}
+
+std::vector<std::uint32_t> MontgomeryCtx::to_padded(const BigUint& v) const {
+  std::vector<std::uint32_t> out(mod_limbs_.size(), 0);
+  for (std::size_t i = 0; i < v.limbs_.size(); ++i) out[i] = v.limbs_[i];
+  return out;
+}
+
+BigUint MontgomeryCtx::from_limbs(const std::uint32_t* v) const {
+  BigUint out;
+  out.limbs_.assign(v, v + limbs());
+  out.trim();
+  return out;
+}
+
+void MontgomeryCtx::mont_mul(const std::uint32_t* a, const std::uint32_t* b,
+                             std::uint32_t* out, std::uint32_t* t) const {
+  // CIOS (Koç/Acar/Kaliski): interleave the a_i*b partial product with one
+  // Montgomery reduction step per outer iteration; t holds n+2 limbs and
+  // stays < 2m at the end, so one conditional subtract finishes.
+  const std::size_t n = limbs();
+  const std::uint32_t* m = mod_limbs_.data();
+  for (std::size_t i = 0; i < n + 2; ++i) t[i] = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ai = a[i];
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t cur = t[j] + ai * b[j] + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[n] + carry;
+    t[n] = static_cast<std::uint32_t>(cur);
+    t[n + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    const std::uint32_t mi = t[0] * n0inv_;
+    cur = t[0] + static_cast<std::uint64_t>(mi) * m[0];
+    carry = cur >> 32;  // low limb is zero by construction of mi
+    for (std::size_t j = 1; j < n; ++j) {
+      cur = t[j] + static_cast<std::uint64_t>(mi) * m[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[n] + carry;
+    t[n - 1] = static_cast<std::uint32_t>(cur);
+    t[n] = t[n + 1] + static_cast<std::uint32_t>(cur >> 32);
+  }
+
+  // t may be in [0, 2m): subtract m once if t >= m.
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (t[i] != m[i]) {
+        ge = t[i] > m[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t diff =
+          static_cast<std::int64_t>(t[i]) - m[i] - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(1) << 32;
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out[i] = static_cast<std::uint32_t>(diff);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = t[i];
+  }
+}
+
+BigUint MontgomeryCtx::mod_mul(const BigUint& a, const BigUint& b) const {
+  const std::vector<std::uint32_t> av =
+      to_padded(BigUint::compare(a, m_) >= 0 ? a % m_ : a);
+  const std::vector<std::uint32_t> bv =
+      to_padded(BigUint::compare(b, m_) >= 0 ? b % m_ : b);
+  const std::size_t n = limbs();
+  std::vector<std::uint32_t> scratch(2 * n + 2);
+  std::uint32_t* ar = scratch.data();      // a*R
+  std::uint32_t* t = scratch.data() + n;   // CIOS scratch, n+2
+  mont_mul(av.data(), r2_.data(), ar, t);  // aR = mont(a, R^2)
+  std::vector<std::uint32_t> out(n);
+  mont_mul(ar, bv.data(), out.data(), t);  // ab = mont(aR, b)
+  return from_limbs(out.data());
+}
+
+BigUint MontgomeryCtx::mod_exp(const BigUint& base, const BigUint& exp) const {
+  const std::size_t n = limbs();
+  if (exp.is_zero()) return BigUint(1);  // m > 1, so 1 mod m == 1
+  const std::vector<std::uint32_t> bv =
+      to_padded(BigUint::compare(base, m_) >= 0 ? base % m_ : base);
+
+  std::vector<std::uint32_t> t(n + 2);
+  // 16-entry window table in the Montgomery domain: table[k] = base^k * R.
+  std::vector<std::uint32_t> table(16 * n);
+  std::uint32_t* tab = table.data();
+  for (std::size_t i = 0; i < n; ++i) tab[i] = r1_[i];          // base^0
+  mont_mul(bv.data(), r2_.data(), tab + n, t.data());           // base^1
+  for (std::size_t k = 2; k < 16; ++k)
+    mont_mul(tab + (k - 1) * n, tab + n, tab + k * n, t.data());
+
+  std::vector<std::uint32_t> acc(r1_);  // 1 in Montgomery form
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (started) {
+      for (int s = 0; s < 4; ++s)
+        mont_mul(acc.data(), acc.data(), acc.data(), t.data());
+    }
+    std::uint32_t win = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (exp.bit(4 * w + b)) win |= 1u << b;
+    }
+    if (win != 0) {
+      mont_mul(acc.data(), tab + win * n, acc.data(), t.data());
+      started = true;
+    }
+  }
+  // Leave the Montgomery domain: mont(acc, 1) = acc * R^-1.
+  std::vector<std::uint32_t> one(n, 0);
+  one[0] = 1;
+  mont_mul(acc.data(), one.data(), acc.data(), t.data());
+  return from_limbs(acc.data());
+}
+
+std::shared_ptr<const MontgomeryCtx> MontgomeryCtx::cached(
+    const BigUint& modulus) {
+  if (!montgomery_enabled()) return nullptr;
+  // Single-limb moduli already hit BigUint's one-word division fast path;
+  // even moduli have no Montgomery form.
+  if (modulus.is_even() || modulus.bit_length() <= 32) return nullptr;
+
+  // Thread-local MRU list: no locking under the parallel check queue, and
+  // the hottest moduli (secp256k1 p/n, the federation's RSA keys) stay at
+  // the front where the scan is one compare.
+  thread_local std::vector<std::shared_ptr<const MontgomeryCtx>> cache;
+  for (auto it = cache.begin(); it != cache.end(); ++it) {
+    if ((*it)->modulus() == modulus) {
+      std::shared_ptr<const MontgomeryCtx> hit = *it;
+      if (it != cache.begin()) {
+        cache.erase(it);
+        cache.insert(cache.begin(), hit);
+      }
+      return hit;
+    }
+  }
+  auto ctx = std::make_shared<const MontgomeryCtx>(modulus);
+  cache.insert(cache.begin(), ctx);
+  if (cache.size() > kCtxCacheCap) cache.pop_back();
+  return ctx;
+}
+
+}  // namespace bcwan::bignum

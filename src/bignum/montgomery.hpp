@@ -1,0 +1,75 @@
+// Montgomery-form modular arithmetic — the validation fast path.
+//
+// Every fair-exchange settlement funnels through RSA-512 `mod_exp` (the
+// OP_CHECKRSA512PAIR probes and signature checks) and secp256k1 field
+// multiplications, all under a handful of fixed odd moduli. A MontgomeryCtx
+// precomputes, once per modulus, everything needed to replace each
+// multiply-then-Knuth-divide step with a single CIOS (coarsely integrated
+// operand scanning) interleaved multiply-reduce:
+//
+//   * n0' = -m[0]^-1 mod 2^32   (limb-wise Montgomery constant)
+//   * R mod m and R^2 mod m     (domain conversion, R = 2^(32*limbs))
+//
+// `mod_exp` stays in the Montgomery domain throughout and uses a 4-bit
+// window (16-entry table: 4 squarings + at most 1 multiply per window);
+// `mod_mul` is two CIOS passes (a*R^2 -> aR, then aR*b -> ab mod m).
+//
+// Contexts are memoized in a small thread-local MRU cache keyed on the
+// modulus, so repeated verifies under the same RSA key — or the fixed
+// secp256k1 p/n — skip precomputation entirely, with no locking on the
+// parallel script-check workers. The classic square-and-multiply /
+// schoolbook-division code remains in BigUint as the reference slow path
+// (`mod_exp_basic` / `mod_mul_basic`) and handles even moduli, for which
+// Montgomery reduction is undefined.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+
+namespace bcwan::bignum {
+
+class MontgomeryCtx {
+ public:
+  /// Throws std::domain_error unless `modulus` is odd and > 1.
+  explicit MontgomeryCtx(const BigUint& modulus);
+
+  const BigUint& modulus() const noexcept { return m_; }
+
+  /// (a * b) mod m. Operands need not be reduced.
+  BigUint mod_mul(const BigUint& a, const BigUint& b) const;
+
+  /// (base ^ exp) mod m, 4-bit windowed, constant Montgomery domain.
+  BigUint mod_exp(const BigUint& base, const BigUint& exp) const;
+
+  /// Memoized context for `modulus` from a bounded thread-local MRU cache.
+  /// nullptr when the fast path does not apply: modulus even, zero, one,
+  /// single-limb, or Montgomery globally disabled (bench ablations).
+  static std::shared_ptr<const MontgomeryCtx> cached(const BigUint& modulus);
+
+ private:
+  std::size_t limbs() const noexcept { return mod_limbs_.size(); }
+  /// out = a * b * R^-1 mod m (CIOS). All pointers reference `limbs()`-sized
+  /// arrays; `t` is scratch of limbs()+2. `out` may alias `a` or `b`.
+  void mont_mul(const std::uint32_t* a, const std::uint32_t* b,
+                std::uint32_t* out, std::uint32_t* t) const;
+  /// Value -> limbs()-sized little-endian array (value must be < m).
+  std::vector<std::uint32_t> to_padded(const BigUint& v) const;
+  BigUint from_limbs(const std::uint32_t* v) const;
+
+  BigUint m_;
+  std::vector<std::uint32_t> mod_limbs_;  // m, little-endian
+  std::vector<std::uint32_t> r1_;         // R mod m (1 in Montgomery form)
+  std::vector<std::uint32_t> r2_;         // R^2 mod m (to-Montgomery factor)
+  std::uint32_t n0inv_ = 0;               // -m[0]^-1 mod 2^32
+};
+
+/// Global kill switch for the fast path (default on). The bench ablation
+/// flips it to isolate Montgomery's contribution; reads are relaxed atomics
+/// so the hot path pays one load.
+bool montgomery_enabled() noexcept;
+void set_montgomery_enabled(bool enabled) noexcept;
+
+}  // namespace bcwan::bignum

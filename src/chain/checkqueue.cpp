@@ -1,0 +1,83 @@
+#include "chain/checkqueue.hpp"
+
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <mutex>
+
+#include "util/threadpool.hpp"
+
+namespace bcwan::chain {
+
+namespace {
+
+/// Order key: lower = earlier in serial validation order.
+std::uint64_t check_key(std::size_t tx_index, std::size_t input_index) {
+  return (static_cast<std::uint64_t>(tx_index) << 32) |
+         static_cast<std::uint64_t>(input_index);
+}
+
+}  // namespace
+
+script::ScriptError ScriptCheck::run() const {
+  const TxSignatureChecker checker(*tx, input_index, script_pubkey);
+  return script::verify_spend(tx->vin[input_index].script_sig, script_pubkey,
+                              checker)
+      .error;
+}
+
+std::optional<ScriptCheckFailure> run_script_checks(
+    const std::vector<ScriptCheck>& checks, unsigned threads) {
+  if (checks.empty()) return std::nullopt;
+
+  if (threads <= 1) {
+    for (const ScriptCheck& check : checks) {
+      const script::ScriptError err = check.run();
+      if (err != script::ScriptError::kOk)
+        return ScriptCheckFailure{check.tx_index, check.input_index, err};
+    }
+    return std::nullopt;
+  }
+
+  constexpr std::uint64_t kNoFailure =
+      std::numeric_limits<std::uint64_t>::max();
+  std::atomic<std::uint64_t> best_key{kNoFailure};
+  std::mutex best_mutex;
+  ScriptCheckFailure best;
+
+  // Chunk the batch so each pool task amortizes queue traffic over several
+  // script executions; 4 chunks per thread keeps the stealing granular
+  // enough to balance an uneven mix (RSA redeems vs plain P2PKH).
+  const std::size_t chunk =
+      std::max<std::size_t>(1, checks.size() / (threads * 4));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve((checks.size() + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < checks.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, checks.size());
+    tasks.push_back([&checks, &best_key, &best_mutex, &best, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        const ScriptCheck& check = checks[i];
+        const std::uint64_t key =
+            check_key(check.tx_index, check.input_index);
+        // A check later than the current best failure cannot change the
+        // verdict; skip it once the block is known bad.
+        if (key > best_key.load(std::memory_order_relaxed)) continue;
+        const script::ScriptError err = check.run();
+        if (err == script::ScriptError::kOk) continue;
+        std::lock_guard lock(best_mutex);
+        if (key < best_key.load(std::memory_order_relaxed)) {
+          best_key.store(key, std::memory_order_relaxed);
+          best = {check.tx_index, check.input_index, err};
+        }
+      }
+    });
+  }
+
+  util::ThreadPool::shared(threads - 1).run(std::move(tasks));
+
+  if (best_key.load(std::memory_order_relaxed) == kNoFailure)
+    return std::nullopt;
+  return best;
+}
+
+}  // namespace bcwan::chain

@@ -1,0 +1,50 @@
+// Parallel script-check queue for block connection.
+//
+// connect_block batches every input-script check of a block into
+// ScriptChecks, then run_script_checks executes them across the shared
+// work-stealing pool (util/threadpool). Failure reporting is deterministic:
+// whatever order the workers finish in, the reported failure is the one
+// with the lowest (tx index, input index) — exactly the check the serial
+// path would have tripped on first — so error codes are identical between
+// the serial and parallel paths. Workers skip any check that can no longer
+// win (its index is above the current best failure), which bounds wasted
+// work once a block is known bad.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "script/interpreter.hpp"
+#include "script/script.hpp"
+
+namespace bcwan::chain {
+
+/// One deferred input-script execution. Holds its own copy of the spent
+/// scriptPubKey (the coin is consumed from the UTXO set before the check
+/// runs); `tx` points into the block being connected, which outlives the
+/// batch.
+struct ScriptCheck {
+  const Transaction* tx = nullptr;
+  std::uint32_t tx_index = 0;
+  std::uint32_t input_index = 0;
+  script::Script script_pubkey;
+
+  script::ScriptError run() const;
+};
+
+struct ScriptCheckFailure {
+  std::size_t tx_index = 0;
+  std::size_t input_index = 0;
+  script::ScriptError error = script::ScriptError::kOk;
+};
+
+/// Execute all checks; `threads` <= 1 runs serially in order (first failure
+/// wins — which is also the lowest index, since connect_block queues checks
+/// in block order). With N > 1, N-1 pool workers plus the calling thread
+/// execute chunks concurrently and the lowest-index failure is returned.
+std::optional<ScriptCheckFailure> run_script_checks(
+    const std::vector<ScriptCheck>& checks, unsigned threads);
+
+}  // namespace bcwan::chain

@@ -66,6 +66,10 @@ struct ChainParams {
   /// Minimum relay fee per transaction (flat, simulation-scale).
   Amount min_tx_fee = 100;
 
+  /// Threads used for block script verification (0 or 1 = serial; N > 1
+  /// runs N-1 pool workers plus the connecting thread via chain/checkqueue).
+  unsigned script_check_threads = 0;
+
   /// Block election. Under kProofOfStake, `validators` must be non-empty
   /// and PoW checks are replaced by the slot-leader schedule of
   /// chain/pos.hpp.

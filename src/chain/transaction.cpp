@@ -1,9 +1,10 @@
 #include "chain/transaction.hpp"
 
 #include <cstring>
-#include <unordered_map>
 
+#include "chain/sigcache.hpp"
 #include "crypto/ecdsa.hpp"
+#include "crypto/sha256.hpp"
 #include "util/serial.hpp"
 
 namespace bcwan::chain {
@@ -117,29 +118,25 @@ util::Bytes signature_hash_message(const Transaction& tx,
 
 bool TxSignatureChecker::check_sig(util::ByteView sig,
                                    util::ByteView pubkey) const {
+  const util::Bytes message =
+      signature_hash_message(tx_, input_index_, script_pubkey_spent_);
+  const crypto::Digest256 digest = crypto::sha256(message);
+
+  // Salted signature cache (Bitcoin has carried one since 0.7): a
+  // federation daemon re-verifies the same (msg, sig, pubkey) triple once
+  // per gossip hop, and a block re-verifies what the mempool already
+  // checked. A hit also skips pubkey decode + on-curve — the cached entry
+  // was only ever written after the full check passed on identical bytes.
+  const Hash256 key = sig_cache().key(
+      {util::ByteView(digest.data(), digest.size()), pubkey, sig});
+  if (sig_cache().contains(key)) return true;
+
   const auto decoded_sig = crypto::EcdsaSignature::deserialize(sig);
   if (!decoded_sig) return false;
   const auto decoded_pub = crypto::ec_pubkey_decode(pubkey);
   if (!decoded_pub) return false;
-  const util::Bytes message =
-      signature_hash_message(tx_, input_index_, script_pubkey_spent_);
-
-  // Signature cache (Bitcoin has carried one since 0.7): in a federation
-  // every daemon re-verifies the same (msg, sig, pubkey) triple, and a
-  // block re-verifies what the mempool already checked. The simulator is
-  // single-threaded, so a plain map suffices.
-  static std::unordered_map<Hash256, bool, Hash256Hasher> cache;
-  util::Writer key_writer;
-  key_writer.var_bytes(message);
-  key_writer.var_bytes(sig);
-  key_writer.var_bytes(pubkey);
-  const Hash256 key = crypto::sha256(key_writer.data());
-  const auto cached = cache.find(key);
-  if (cached != cache.end()) return cached->second;
-
   const bool valid = crypto::ecdsa_verify(*decoded_pub, message, *decoded_sig);
-  if (cache.size() > 200'000) cache.clear();
-  cache.emplace(key, valid);
+  if (valid) sig_cache().insert(key);
   return valid;
 }
 

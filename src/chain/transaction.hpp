@@ -44,7 +44,19 @@ struct OutPoint {
 
 struct OutPointHasher {
   std::size_t operator()(const OutPoint& o) const noexcept {
-    return Hash256Hasher{}(o.txid) ^ (static_cast<std::size_t>(o.index) << 1);
+    // splitmix64 finalization over (txid word ^ index): the txid word alone
+    // is uniform, but adjacent outputs of the same transaction differ only
+    // in `index`, and a shift-xor mix sends them to adjacent buckets.
+    std::uint64_t x = 0;
+    static_assert(sizeof x <= 32);
+    std::memcpy(&x, o.txid.data(), sizeof x);
+    x ^= static_cast<std::uint64_t>(o.index) + 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
   }
 };
 

@@ -34,6 +34,10 @@ class UtxoSet : public CoinView {
   /// Removes and returns the coin; std::nullopt if absent.
   std::optional<Coin> spend(const OutPoint& op);
 
+  /// Pre-size the backing map (block connection knows how many outputs it
+  /// is about to add; rehashing mid-connect is pure waste).
+  void reserve(std::size_t n) { coins_.reserve(n); }
+
   std::size_t size() const noexcept { return coins_.size(); }
 
   /// All coins whose scriptPubKey matches `script` — wallet rescans.

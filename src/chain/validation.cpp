@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "chain/sigcache.hpp"
 #include "script/templates.hpp"
 
 namespace bcwan::chain {
@@ -91,7 +92,9 @@ TxValidationResult check_transaction(const Transaction& tx,
 }
 
 TxValidationResult check_tx_inputs(const Transaction& tx, const CoinView& utxo,
-                                   int height, const ChainParams& params) {
+                                   int height, const ChainParams& params,
+                                   std::vector<ScriptCheck>* deferred_checks,
+                                   std::size_t tx_index) {
   TxValidationResult result = check_transaction(tx, params);
   if (!result.ok()) return result;
   auto fail = [&result](TxError err) {
@@ -111,31 +114,53 @@ TxValidationResult check_tx_inputs(const Transaction& tx, const CoinView& utxo,
     if (!all_final) return fail(TxError::kLocktimeNotReached);
   }
 
-  Amount total_in = 0;
-  for (std::size_t i = 0; i < tx.vin.size(); ++i) {
-    const auto coin = utxo.get(tx.vin[i].prevout);
+  // One view lookup per input; the coins feed both the fee/maturity pass
+  // and the script checks below.
+  std::vector<Coin> coins;
+  coins.reserve(tx.vin.size());
+  for (const TxIn& in : tx.vin) {
+    auto coin = utxo.get(in.prevout);
     if (!coin) return fail(TxError::kMissingInput);
-    if (coin->coinbase &&
-        height - coin->height < params.coinbase_maturity) {
+    coins.push_back(*std::move(coin));
+  }
+
+  Amount total_in = 0;
+  for (const Coin& coin : coins) {
+    if (coin.coinbase && height - coin.height < params.coinbase_maturity)
       return fail(TxError::kImmatureCoinbase);
-    }
-    total_in += coin->out.value;
+    total_in += coin.out.value;
     if (total_in > params.max_money)
       return fail(TxError::kInputValueOutOfRange);
   }
   if (total_in < tx.total_output()) return fail(TxError::kFeeNegative);
   result.fee = total_in - tx.total_output();
 
+  // The txid commits to every prevout (which in turn names the spent coins)
+  // and to every scriptSig, so a txid this node has already fully verified
+  // needs no script execution at all — the common case when a mempool tx
+  // later arrives in a block.
+  const Hash256 exec_key = script_exec_key(tx.txid());
+  if (script_exec_cache().contains(exec_key)) return result;
+
+  if (deferred_checks) {
+    for (std::uint32_t i = 0; i < tx.vin.size(); ++i) {
+      deferred_checks->push_back(ScriptCheck{
+          &tx, static_cast<std::uint32_t>(tx_index), i,
+          coins[i].out.script_pubkey});
+    }
+    return result;
+  }
+
   for (std::size_t i = 0; i < tx.vin.size(); ++i) {
-    const auto coin = utxo.get(tx.vin[i].prevout);
-    const TxSignatureChecker checker(tx, i, coin->out.script_pubkey);
+    const TxSignatureChecker checker(tx, i, coins[i].out.script_pubkey);
     const auto exec = script::verify_spend(tx.vin[i].script_sig,
-                                           coin->out.script_pubkey, checker);
+                                           coins[i].out.script_pubkey, checker);
     if (!exec.ok()) {
       result.script_error = exec.error;
       return fail(TxError::kScriptFailed);
     }
   }
+  script_exec_cache().insert(exec_key);
   return result;
 }
 
@@ -199,23 +224,42 @@ BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
     undo = BlockUndo{};
   };
 
+  // Pre-size the coin map for everything this block can add; rehashing in
+  // the middle of connection is pure waste.
+  std::size_t new_outputs = 0;
+  for (const Transaction& tx : block.txs) new_outputs += tx.vout.size();
+  utxo.reserve(utxo.size() + new_outputs);
+
+  // Contextual checks and UTXO application stay serial (they are order
+  // dependent: intra-block spends must see earlier txs' outputs), while the
+  // expensive input-script executions are batched and run across the check
+  // queue afterwards. ScriptChecks copy the spent scriptPubKeys, so spending
+  // the coins below does not invalidate them.
+  std::vector<ScriptCheck> checks;
+  std::vector<Amount> fees(block.txs.size(), 0);
+  std::vector<Hash256> exec_keys(block.txs.size());
+  std::size_t contextual_fail_index = block.txs.size();
+
   for (std::size_t i = 1; i < block.txs.size(); ++i) {
     const Transaction& tx = block.txs[i];
     const TxValidationResult tx_result =
-        check_tx_inputs(tx, utxo, height, params);
+        check_tx_inputs(tx, utxo, height, params, &checks, i);
     if (!tx_result.ok()) {
       result.error = BlockError::kBadTransaction;
       result.tx_failure = tx_result;
       result.failed_tx_index = i;
+      contextual_fail_index = i;
       failed = true;
       break;
     }
     total_fees += tx_result.fee;
+    fees[i] = tx_result.fee;
 
     // Apply: spend inputs (this also enforces intra-block double spends —
     // the second spend of the same outpoint fails check_tx_inputs above
     // because the coin is already gone).
     const Hash256 txid = tx.txid();
+    exec_keys[i] = script_exec_key(txid);
     for (const TxIn& in : tx.vin) {
       auto coin = utxo.spend(in.prevout);
       undo.spent.emplace_back(in.prevout, *std::move(coin));
@@ -231,6 +275,22 @@ BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
       utxo.add(op, Coin{tx.vout[v], height, false});
       undo.created.push_back(op);
     }
+  }
+
+  // Run the batched scripts. Only transactions that fully passed their
+  // contextual checks queued anything, so every queued index precedes any
+  // contextual failure — and in serial order scripts of tx i run before
+  // contextual checks of tx j>i, so the lowest-index script failure is
+  // exactly what the serial path would have reported first.
+  if (const auto script_failure =
+          run_script_checks(checks, params.script_check_threads);
+      script_failure && script_failure->tx_index < contextual_fail_index) {
+    result.error = BlockError::kBadTransaction;
+    result.tx_failure = TxValidationResult{
+        TxError::kScriptFailed, script_failure->error,
+        fees[script_failure->tx_index]};
+    result.failed_tx_index = script_failure->tx_index;
+    failed = true;
   }
 
   if (!failed) {
@@ -252,6 +312,11 @@ BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
     rollback();
     return result;
   }
+
+  // Every script in the block verified: remember the txids so a reorg
+  // re-connect or mempool revalidation skips execution next time.
+  for (std::size_t i = 1; i < block.txs.size(); ++i)
+    script_exec_cache().insert(exec_keys[i]);
   return result;
 }
 

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "chain/block.hpp"
+#include "chain/checkqueue.hpp"
 #include "chain/params.hpp"
 #include "chain/transaction.hpp"
 #include "chain/utxo.hpp"
@@ -47,8 +49,18 @@ TxValidationResult check_transaction(const Transaction& tx,
 /// Contextual checks against a coin view, assuming the transaction would
 /// confirm at `height`. Does NOT mutate the view. Coinbases are rejected
 /// here (they are only valid as the first transaction of a block).
+///
+/// Script execution is the expensive tail: when `deferred_checks` is null
+/// the input scripts run inline (mempool admission); when non-null the
+/// scripts are appended as ScriptChecks tagged with `tx_index` for the
+/// caller to batch across the check queue (connect_block), and the returned
+/// result covers only the contextual checks. Either way, a transaction the
+/// script-execution cache already knows skips script work entirely.
 TxValidationResult check_tx_inputs(const Transaction& tx, const CoinView& utxo,
-                                   int height, const ChainParams& params);
+                                   int height, const ChainParams& params,
+                                   std::vector<ScriptCheck>* deferred_checks =
+                                       nullptr,
+                                   std::size_t tx_index = 0);
 
 enum class BlockError {
   kOk,

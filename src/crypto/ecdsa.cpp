@@ -44,14 +44,27 @@ Jacobian to_jacobian(const EcPoint& p) {
   return {p.x, p.y, BigUint(1), false};
 }
 
+// Field multiply: BigUint::mod_mul routes through the thread-local cached
+// Montgomery context for the (fixed, odd) secp256k1 prime — one CIOS pass
+// pair instead of a schoolbook multiply plus Knuth division. Small-constant
+// products (2x, 3x, 4x, 8x) become modular doublings so every operand stays
+// reduced.
+BigUint fe_mul(const BigUint& a, const BigUint& b) {
+  return BigUint::mod_mul(a, b, field_p());
+}
+
+BigUint fe_dbl(const BigUint& a) {
+  return BigUint::mod_add(a, a, field_p());
+}
+
 EcPoint from_jacobian(const Jacobian& j) {
   if (j.infinity) return {BigUint{}, BigUint{}, true};
   const BigUint& p = field_p();
   const auto z_inv = BigUint::mod_inv(j.z, p);
   if (!z_inv) throw std::logic_error("secp256k1: non-invertible Z");
-  const BigUint z2 = (*z_inv * *z_inv) % p;
-  const BigUint z3 = (z2 * *z_inv) % p;
-  return {(j.x * z2) % p, (j.y * z3) % p, false};
+  const BigUint z2 = fe_mul(*z_inv, *z_inv);
+  const BigUint z3 = fe_mul(z2, *z_inv);
+  return {fe_mul(j.x, z2), fe_mul(j.y, z3), false};
 }
 
 Jacobian jac_double(const Jacobian& a) {
@@ -59,15 +72,16 @@ Jacobian jac_double(const Jacobian& a) {
   const BigUint& p = field_p();
   if (a.y.is_zero()) return {};
   // Standard dbl-2007-b style formulas for a = 0 curves.
-  const BigUint y2 = (a.y * a.y) % p;
-  const BigUint s = (BigUint(4) * a.x % p) * y2 % p;
-  const BigUint m = (BigUint(3) * a.x % p) * a.x % p;
-  const BigUint x3 = BigUint::mod_sub((m * m) % p,
-                                      BigUint::mod_add(s, s, p), p);
-  const BigUint y4 = (y2 * y2) % p;
-  const BigUint y3 = BigUint::mod_sub(
-      (m * BigUint::mod_sub(s, x3, p)) % p, (BigUint(8) * y4) % p, p);
-  const BigUint z3 = (BigUint(2) * a.y % p) * a.z % p;
+  const BigUint y2 = fe_mul(a.y, a.y);
+  const BigUint xy2 = fe_mul(a.x, y2);
+  const BigUint s = fe_dbl(fe_dbl(xy2));  // 4*X*Y^2
+  const BigUint xx = fe_mul(a.x, a.x);
+  const BigUint m = BigUint::mod_add(fe_dbl(xx), xx, p);  // 3*X^2
+  const BigUint x3 = BigUint::mod_sub(fe_mul(m, m), fe_dbl(s), p);
+  const BigUint y8 = fe_dbl(fe_dbl(fe_dbl(fe_mul(y2, y2))));  // 8*Y^4
+  const BigUint y3 =
+      BigUint::mod_sub(fe_mul(m, BigUint::mod_sub(s, x3, p)), y8, p);
+  const BigUint z3 = fe_mul(fe_dbl(a.y), a.z);
   return {x3, y3, z3, false};
 }
 
@@ -75,26 +89,26 @@ Jacobian jac_add(const Jacobian& a, const Jacobian& b) {
   if (a.infinity) return b;
   if (b.infinity) return a;
   const BigUint& p = field_p();
-  const BigUint z1z1 = (a.z * a.z) % p;
-  const BigUint z2z2 = (b.z * b.z) % p;
-  const BigUint u1 = (a.x * z2z2) % p;
-  const BigUint u2 = (b.x * z1z1) % p;
-  const BigUint s1 = (a.y * z2z2 % p) * b.z % p;
-  const BigUint s2 = (b.y * z1z1 % p) * a.z % p;
+  const BigUint z1z1 = fe_mul(a.z, a.z);
+  const BigUint z2z2 = fe_mul(b.z, b.z);
+  const BigUint u1 = fe_mul(a.x, z2z2);
+  const BigUint u2 = fe_mul(b.x, z1z1);
+  const BigUint s1 = fe_mul(fe_mul(a.y, z2z2), b.z);
+  const BigUint s2 = fe_mul(fe_mul(b.y, z1z1), a.z);
   if (u1 == u2) {
     if (!(s1 == s2)) return {};  // P + (-P) = infinity
     return jac_double(a);
   }
   const BigUint h = BigUint::mod_sub(u2, u1, p);
   const BigUint r = BigUint::mod_sub(s2, s1, p);
-  const BigUint h2 = (h * h) % p;
-  const BigUint h3 = (h2 * h) % p;
-  const BigUint u1h2 = (u1 * h2) % p;
-  BigUint x3 = BigUint::mod_sub((r * r) % p, h3, p);
-  x3 = BigUint::mod_sub(x3, BigUint::mod_add(u1h2, u1h2, p), p);
+  const BigUint h2 = fe_mul(h, h);
+  const BigUint h3 = fe_mul(h2, h);
+  const BigUint u1h2 = fe_mul(u1, h2);
+  BigUint x3 = BigUint::mod_sub(fe_mul(r, r), h3, p);
+  x3 = BigUint::mod_sub(x3, fe_dbl(u1h2), p);
   const BigUint y3 = BigUint::mod_sub(
-      (r * BigUint::mod_sub(u1h2, x3, p)) % p, (s1 * h3) % p, p);
-  const BigUint z3 = ((h * a.z) % p) * b.z % p;
+      fe_mul(r, BigUint::mod_sub(u1h2, x3, p)), fe_mul(s1, h3), p);
+  const BigUint z3 = fe_mul(fe_mul(h, a.z), b.z);
   return {x3, y3, z3, false};
 }
 
@@ -150,8 +164,9 @@ EcPoint Secp256k1::mul(const BigUint& k, const EcPoint& point) {
 bool Secp256k1::on_curve(const EcPoint& point) {
   if (point.infinity) return true;
   const BigUint& p = field_p();
-  const BigUint lhs = (point.y * point.y) % p;
-  const BigUint rhs = ((point.x * point.x % p) * point.x + BigUint(7)) % p;
+  const BigUint lhs = fe_mul(point.y, point.y);
+  const BigUint rhs = BigUint::mod_add(
+      fe_mul(fe_mul(point.x, point.x), point.x), BigUint(7), p);
   return lhs == rhs;
 }
 
@@ -219,7 +234,8 @@ EcdsaSignature ecdsa_sign(const BigUint& priv, util::ByteView message) {
     if (r.is_zero()) continue;
     const auto k_inv = BigUint::mod_inv(k, n);
     if (!k_inv) continue;
-    BigUint s = (*k_inv * ((z + (r * priv) % n) % n)) % n;
+    BigUint s = BigUint::mod_mul(
+        *k_inv, BigUint::mod_add(z, BigUint::mod_mul(r, priv, n), n), n);
     if (s.is_zero()) continue;
     // Low-s normalization (BIP-62) for canonical signatures.
     if (s > n >> 1) s = n - s;
@@ -237,8 +253,8 @@ bool ecdsa_verify(const EcPoint& pub, util::ByteView message,
   const BigUint z = hash_to_scalar(message);
   const auto s_inv = BigUint::mod_inv(sig.s, n);
   if (!s_inv) return false;
-  const BigUint u1 = (z * *s_inv) % n;
-  const BigUint u2 = (sig.r * *s_inv) % n;
+  const BigUint u1 = BigUint::mod_mul(z, *s_inv, n);
+  const BigUint u2 = BigUint::mod_mul(sig.r, *s_inv, n);
   const Jacobian sum = jac_add(jac_mul(u1, to_jacobian(gen_g())),
                                jac_mul(u2, to_jacobian(pub)));
   if (sum.infinity) return false;

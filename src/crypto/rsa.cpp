@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "bignum/montgomery.hpp"
 #include "bignum/primes.hpp"
 #include "crypto/sha256.hpp"
 #include "util/serial.hpp"
@@ -9,6 +10,7 @@
 namespace bcwan::crypto {
 
 using bignum::BigUint;
+using bignum::MontgomeryCtx;
 
 namespace {
 
@@ -16,6 +18,17 @@ util::Bytes serialize_ints(std::initializer_list<const BigUint*> values) {
   util::Writer w;
   for (const BigUint* v : values) w.var_bytes(v->to_bytes_be());
   return w.take();
+}
+
+// One cached-context lookup per RSA operation: repeated verifies under the
+// same key (every OP_CHECKRSA512PAIR probe, every uplink signature) reuse
+// the per-modulus Montgomery precomputation. RSA moduli are odd by
+// construction, but deserialized keys are attacker-supplied, so an even
+// modulus falls back to the reference path instead of asserting.
+BigUint pow_mod(const std::shared_ptr<const MontgomeryCtx>& ctx,
+                const BigUint& base, const BigUint& exp, const BigUint& m) {
+  if (ctx) return ctx->mod_exp(base, exp);
+  return BigUint::mod_exp_basic(base, exp, m);
 }
 
 }  // namespace
@@ -95,7 +108,7 @@ util::Bytes rsa_encrypt(const RsaPublicKey& pub, util::ByteView plaintext,
   eb.insert(eb.end(), plaintext.begin(), plaintext.end());
 
   const BigUint m = BigUint::from_bytes_be(eb);
-  const BigUint c = BigUint::mod_exp(m, pub.e, pub.n);
+  const BigUint c = pow_mod(MontgomeryCtx::cached(pub.n), m, pub.e, pub.n);
   return c.to_bytes_be(k);
 }
 
@@ -105,7 +118,7 @@ std::optional<util::Bytes> rsa_decrypt(const RsaPrivateKey& priv,
   if (ciphertext.size() != k) return std::nullopt;
   const BigUint c = BigUint::from_bytes_be(ciphertext);
   if (BigUint::compare(c, priv.n) >= 0) return std::nullopt;
-  const BigUint m = BigUint::mod_exp(c, priv.d, priv.n);
+  const BigUint m = pow_mod(MontgomeryCtx::cached(priv.n), c, priv.d, priv.n);
   const util::Bytes eb = m.to_bytes_be(k);
   if (eb[0] != 0x00 || eb[1] != 0x02) return std::nullopt;
   std::size_t sep = 2;
@@ -138,7 +151,7 @@ util::Bytes rsa_sign(const RsaPrivateKey& priv, util::ByteView message) {
   const std::size_t k = priv.modulus_bytes();
   const util::Bytes eb = signature_encoding(k, message);
   const BigUint m = BigUint::from_bytes_be(eb);
-  const BigUint s = BigUint::mod_exp(m, priv.d, priv.n);
+  const BigUint s = pow_mod(MontgomeryCtx::cached(priv.n), m, priv.d, priv.n);
   return s.to_bytes_be(k);
 }
 
@@ -148,7 +161,7 @@ bool rsa_verify(const RsaPublicKey& pub, util::ByteView message,
   if (signature.size() != k) return false;
   const BigUint s = BigUint::from_bytes_be(signature);
   if (BigUint::compare(s, pub.n) >= 0) return false;
-  const BigUint m = BigUint::mod_exp(s, pub.e, pub.n);
+  const BigUint m = pow_mod(MontgomeryCtx::cached(pub.n), s, pub.e, pub.n);
   const util::Bytes expected = signature_encoding(k, message);
   return util::ct_equal(m.to_bytes_be(k), expected);
 }
@@ -158,10 +171,12 @@ bool rsa_pair_matches(const RsaPublicKey& pub, const RsaPrivateKey& priv) {
   if (pub.n.is_zero() || priv.d.is_zero()) return false;
   // Round-trip probes: x^(e*d) == x (mod n) for fixed x. Two probes make a
   // coincidental match on a wrong-but-related key astronomically unlikely.
+  // One context serves all four exponentiations (pub.n == priv.n here).
+  const auto ctx = MontgomeryCtx::cached(pub.n);
   for (std::uint64_t probe : {0x42ULL, 0xdeadbeefULL}) {
     const BigUint x = BigUint(probe) % pub.n;
-    const BigUint y = BigUint::mod_exp(x, pub.e, pub.n);
-    const BigUint back = BigUint::mod_exp(y, priv.d, priv.n);
+    const BigUint y = pow_mod(ctx, x, pub.e, pub.n);
+    const BigUint back = pow_mod(ctx, y, priv.d, priv.n);
     if (!(back == x)) return false;
   }
   return true;

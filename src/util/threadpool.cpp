@@ -1,0 +1,109 @@
+#include "util/threadpool.hpp"
+
+namespace bcwan::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  queues_.reserve(workers + 1);
+  for (std::size_t i = 0; i < workers + 1; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::run_one(std::size_t home) {
+  std::function<void()> task;
+  {
+    Queue& own = *queues_[home];
+    std::lock_guard lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+    }
+  }
+  if (!task) {
+    // Own queue dry: steal from the back of a victim's deque. Starting the
+    // scan at home+1 spreads contention instead of mobbing queue 0.
+    for (std::size_t k = 1; k < queues_.size() && !task; ++k) {
+      Queue& victim = *queues_[(home + k) % queues_.size()];
+      std::lock_guard lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+      }
+    }
+  }
+  if (!task) return false;
+  task();
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(mutex_);
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_id_ != seen_batch &&
+                         remaining_.load(std::memory_order_acquire) > 0);
+      });
+      if (stop_) return;
+      seen_batch = batch_id_;
+    }
+    while (run_one(index)) {
+    }
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty()) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  std::lock_guard batch_lock(batch_mutex_);
+  remaining_.store(tasks.size(), std::memory_order_release);
+  const std::size_t nq = queues_.size();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Queue& q = *queues_[i % nq];
+    std::lock_guard lock(q.mutex);
+    q.tasks.push_back(std::move(tasks[i]));
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++batch_id_;
+  }
+  work_cv_.notify_all();
+
+  const std::size_t master = nq - 1;
+  while (run_one(master)) {
+  }
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::shared(std::size_t workers) {
+  static std::mutex mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard lock(mutex);
+  if (!pool || pool->worker_count() != workers)
+    pool = std::make_unique<ThreadPool>(workers);
+  return *pool;
+}
+
+}  // namespace bcwan::util

@@ -1,0 +1,71 @@
+// Small work-stealing thread pool for batch workloads.
+//
+// Built for the block-validation check queue: a master thread drops a batch
+// of independent tasks, every worker (plus the master itself) drains its own
+// deque front-to-back and steals from the back of a victim's deque when it
+// runs dry, and run() returns once the whole batch has executed. Workers
+// park on a condition variable between batches, so an idle pool costs
+// nothing but N sleeping threads.
+//
+// Scope limits, deliberately: one batch in flight at a time (run() holds the
+// batch lock), tasks must not throw, and tasks must not call run() on the
+// same pool re-entrantly. That is exactly the shape connect_block needs, and
+// it keeps the synchronization small enough to reason about under TSan.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bcwan::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 is valid: run() then executes inline.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Execute every task to completion; the calling thread participates.
+  void run(std::vector<std::function<void()>> tasks);
+
+  /// Process-wide pool, lazily (re)built when a different size is asked
+  /// for. Not safe to resize while another thread is inside run().
+  static ThreadPool& shared(std::size_t workers);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  /// Pop from own queue (front) or steal (back) and execute one task.
+  bool run_one(std::size_t home);
+
+  // queues_[i] feeds worker thread i; the last queue belongs to the thread
+  // calling run().
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex batch_mutex_;  // serializes run() calls
+
+  std::mutex mutex_;  // guards batch_id_/stop_, pairs with the cvs
+  std::condition_variable work_cv_;  // workers: a new batch arrived
+  std::condition_variable done_cv_;  // master: the batch finished
+  std::atomic<std::size_t> remaining_{0};
+  std::uint64_t batch_id_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace bcwan::util

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
 #include "bignum/primes.hpp"
 #include "util/rng.hpp"
 
@@ -267,6 +268,106 @@ TEST_P(BigUintFieldProperty, DistributiveAndAssociative) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSweep, BigUintFieldProperty,
                          ::testing::Range(0, 20));
+
+// ---- Montgomery fast path vs the reference slow path -----------------------
+
+BigUint random_odd_modulus(Rng& rng, std::size_t bits) {
+  BigUint m = BigUint::random_bits(rng, bits);
+  if (m.is_even()) m = m + BigUint(1);
+  return m;
+}
+
+TEST(Montgomery, DifferentialModMulAcrossWidths) {
+  Rng rng(101);
+  for (std::size_t bits : {512u, 1024u, 2048u}) {
+    const BigUint m = random_odd_modulus(rng, bits);
+    const MontgomeryCtx ctx(m);
+    for (int round = 0; round < 8; ++round) {
+      // Operands deliberately wider than the modulus: mod_mul must reduce
+      // unreduced inputs the same way the reference path does.
+      const BigUint a = BigUint::random_bits(rng, bits + 64);
+      const BigUint b = BigUint::random_bits(rng, bits + 64);
+      EXPECT_EQ(ctx.mod_mul(a, b), BigUint::mod_mul_basic(a, b, m))
+          << "bits=" << bits << " round=" << round;
+    }
+  }
+}
+
+TEST(Montgomery, DifferentialModExpAcrossWidths) {
+  Rng rng(102);
+  for (std::size_t bits : {512u, 1024u, 2048u}) {
+    const BigUint m = random_odd_modulus(rng, bits);
+    const MontgomeryCtx ctx(m);
+    for (int round = 0; round < 3; ++round) {
+      const BigUint base = BigUint::random_bits(rng, bits + 64);
+      // Short exponents keep the schoolbook reference path fast at 2048
+      // bits; the window logic is identical for longer exponents.
+      const BigUint exp = BigUint::random_bits(rng, 96);
+      EXPECT_EQ(ctx.mod_exp(base, exp), BigUint::mod_exp_basic(base, exp, m))
+          << "bits=" << bits << " round=" << round;
+    }
+  }
+}
+
+TEST(Montgomery, ModExpEdgeCases) {
+  Rng rng(103);
+  const BigUint m = random_odd_modulus(rng, 512);
+  const MontgomeryCtx ctx(m);
+  EXPECT_TRUE(ctx.mod_exp(BigUint::random_bits(rng, 512), BigUint()).is_one());
+  EXPECT_TRUE(ctx.mod_exp(BigUint(), BigUint(5)).is_zero());
+  EXPECT_TRUE(ctx.mod_exp(BigUint(1), BigUint::random_bits(rng, 256)).is_one());
+  const BigUint base = BigUint::random_bits(rng, 512);
+  EXPECT_EQ(ctx.mod_exp(base, BigUint(1)), base % m);
+  // A multiple of the modulus is congruent to zero.
+  EXPECT_TRUE(ctx.mod_mul(m * BigUint(7), BigUint(3)).is_zero());
+}
+
+TEST(Montgomery, SmallOddModulusMatchesReference) {
+  Rng rng(104);
+  const MontgomeryCtx ctx(BigUint(0xfffffffbULL));  // single-limb odd
+  for (int round = 0; round < 16; ++round) {
+    const BigUint a = BigUint::random_bits(rng, 96);
+    const BigUint b = BigUint::random_bits(rng, 96);
+    EXPECT_EQ(ctx.mod_mul(a, b),
+              BigUint::mod_mul_basic(a, b, BigUint(0xfffffffbULL)));
+  }
+}
+
+TEST(Montgomery, EvenModulusRejectedAndDispatchFallsBack) {
+  Rng rng(105);
+  BigUint even = BigUint::random_bits(rng, 512);
+  if (!even.is_even()) even = even + BigUint(1);
+  EXPECT_THROW(MontgomeryCtx ctx(even), std::domain_error);
+  EXPECT_EQ(MontgomeryCtx::cached(even), nullptr);
+
+  // BigUint::mod_exp must still work (reference path) and agree with basic.
+  const BigUint base = BigUint::random_bits(rng, 512);
+  const BigUint exp = BigUint::random_bits(rng, 64);
+  EXPECT_EQ(BigUint::mod_exp(base, exp, even),
+            BigUint::mod_exp_basic(base, exp, even));
+}
+
+TEST(Montgomery, DispatchAgreesWithBasicOnOddModuli) {
+  Rng rng(106);
+  for (int round = 0; round < 6; ++round) {
+    const BigUint m = random_odd_modulus(rng, 384);
+    const BigUint a = BigUint::random_bits(rng, 448);
+    const BigUint b = BigUint::random_bits(rng, 448);
+    const BigUint e = BigUint::random_bits(rng, 80);
+    EXPECT_EQ(BigUint::mod_mul(a, b, m), BigUint::mod_mul_basic(a, b, m));
+    EXPECT_EQ(BigUint::mod_exp(a, e, m), BigUint::mod_exp_basic(a, e, m));
+  }
+}
+
+TEST(Montgomery, KillSwitchDisablesCachedContexts) {
+  Rng rng(107);
+  const BigUint m = random_odd_modulus(rng, 256);
+  ASSERT_NE(MontgomeryCtx::cached(m), nullptr);
+  set_montgomery_enabled(false);
+  EXPECT_EQ(MontgomeryCtx::cached(m), nullptr);
+  set_montgomery_enabled(true);
+  EXPECT_NE(MontgomeryCtx::cached(m), nullptr);
+}
 
 }  // namespace
 }  // namespace bcwan::bignum

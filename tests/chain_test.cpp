@@ -3,6 +3,7 @@
 #include "chain/blockchain.hpp"
 #include "chain/mempool.hpp"
 #include "chain/miner.hpp"
+#include "chain/sigcache.hpp"
 #include "chain/validation.hpp"
 #include "chain/wallet.hpp"
 #include "util/rng.hpp"
@@ -873,6 +874,199 @@ TEST(ChainSupply, UtxoValueNeverExceedsIssuance) {
         static_cast<Amount>(h.chain.height()) * h.params.block_reward;
     EXPECT_LE(h.chain.utxo().total_value(), issued);
   }
+}
+
+// --- Signature / script-execution cache ---
+
+TEST(SigCache, SaltedEntryNeverValidatesDifferentTriple) {
+  VerifyCache cache(64);
+  Hash256 digest{};
+  for (std::size_t i = 0; i < digest.size(); ++i)
+    digest[i] = static_cast<std::uint8_t>(i * 3 + 1);
+  Bytes pubkey = str_bytes("serialized-pubkey-bytes");
+  Bytes sig = str_bytes("der-encoded-signature");
+
+  auto key_of = [&](const Hash256& d, const Bytes& pk, const Bytes& s) {
+    return cache.key({util::ByteView(d.data(), d.size()),
+                      util::ByteView(pk.data(), pk.size()),
+                      util::ByteView(s.data(), s.size())});
+  };
+  const Hash256 k = key_of(digest, pubkey, sig);
+  cache.insert(k);
+  ASSERT_TRUE(cache.contains(k));
+
+  // Flipping any single component of the triple must produce a key the
+  // cache has never seen — a cached verdict can never be replayed for a
+  // different (sighash, pubkey, sig).
+  Hash256 digest2 = digest;
+  digest2[0] ^= 0x01;
+  EXPECT_FALSE(cache.contains(key_of(digest2, pubkey, sig)));
+  Bytes pubkey2 = pubkey;
+  pubkey2[0] ^= 0x01;
+  EXPECT_FALSE(cache.contains(key_of(digest, pubkey2, sig)));
+  Bytes sig2 = sig;
+  sig2.back() ^= 0x01;
+  EXPECT_FALSE(cache.contains(key_of(digest, pubkey, sig2)));
+
+  // Length prefixes prevent concatenation ambiguity between fields.
+  EXPECT_NE(cache.key({util::ByteView(pubkey.data(), 4),
+                       util::ByteView(pubkey.data() + 4, 4)}),
+            cache.key({util::ByteView(pubkey.data(), 5),
+                       util::ByteView(pubkey.data() + 5, 3)}));
+
+  // A different cache instance draws a different salt, so even the same
+  // triple maps to an unrelated key (no cross-node cache poisoning).
+  VerifyCache other(64);
+  EXPECT_NE(k, other.key({util::ByteView(digest.data(), digest.size()),
+                          util::ByteView(pubkey.data(), pubkey.size()),
+                          util::ByteView(sig.data(), sig.size())}));
+}
+
+TEST(SigCache, BoundedEviction) {
+  VerifyCache cache(32);
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    Hash256 k{};
+    for (std::size_t j = 0; j < 8; ++j)
+      k[j] = static_cast<std::uint8_t>(rng.next() >> (j * 8));
+    k[8] = static_cast<std::uint8_t>(i);
+    k[9] = static_cast<std::uint8_t>(i >> 8);
+    cache.insert(k);
+    EXPECT_LE(cache.size(), 32u);
+  }
+}
+
+// --- Serial vs parallel block validation ---
+
+/// Mines funding, queues `n` mempool payments, and assembles (but does not
+/// connect) the next block containing them.
+Block assemble_payment_block(Harness& h, int n) {
+  h.fund();
+  h.mine_blocks(4);  // several mature coinbases => independent inputs
+  const Wallet alice = Wallet::from_seed("alice");
+  for (int i = 0; i < n; ++i) {
+    const auto tx = h.miner_wallet.create_payment(h.chain, &h.pool,
+                                                  alice.pkh(), kCoin, 1000);
+    if (!tx) break;
+    h.pool.accept(*tx, h.chain.utxo(), h.chain.height() + 1);
+  }
+  Block block = h.miner.assemble(h.chain, h.pool, ++h.now);
+  solve_pow(block.header);
+  return block;
+}
+
+TEST(Validation, SerialAndParallelAgreeOnValidBlock) {
+  Harness h;
+  const Block block = assemble_payment_block(h, 5);
+  ASSERT_GT(block.txs.size(), 3u);
+  const int height = h.chain.height() + 1;
+
+  UtxoSet serial_utxo = h.chain.utxo();
+  UtxoSet parallel_utxo = h.chain.utxo();
+  ChainParams serial_params = h.params;
+  serial_params.script_check_threads = 0;
+  ChainParams parallel_params = h.params;
+  parallel_params.script_check_threads = 4;
+
+  // Flush the caches so both paths genuinely execute every script.
+  sig_cache().clear();
+  script_exec_cache().clear();
+  BlockUndo serial_undo;
+  const auto serial = connect_block(block, serial_utxo, height,
+                                    serial_params, serial_undo);
+  sig_cache().clear();
+  script_exec_cache().clear();
+  BlockUndo parallel_undo;
+  const auto parallel = connect_block(block, parallel_utxo, height,
+                                      parallel_params, parallel_undo);
+
+  ASSERT_TRUE(serial.ok()) << block_error_name(serial.error);
+  ASSERT_TRUE(parallel.ok()) << block_error_name(parallel.error);
+  EXPECT_EQ(serial_utxo.size(), parallel_utxo.size());
+  EXPECT_EQ(serial_utxo.total_value(), parallel_utxo.total_value());
+  ASSERT_EQ(serial_undo.created.size(), parallel_undo.created.size());
+  for (std::size_t i = 0; i < serial_undo.created.size(); ++i)
+    EXPECT_EQ(serial_undo.created[i], parallel_undo.created[i]);
+  EXPECT_EQ(serial_undo.spent.size(), parallel_undo.spent.size());
+}
+
+TEST(Validation, SerialAndParallelAgreeOnBadScript) {
+  Harness h;
+  Block block = assemble_payment_block(h, 5);
+  ASSERT_GT(block.txs.size(), 3u);
+  // Corrupt the signature of a mid-block transaction, then re-commit the
+  // header so only script validation can reject the block.
+  Transaction& victim = block.txs[2];
+  ASSERT_FALSE(victim.vin[0].script_sig.empty());
+  Bytes corrupted = victim.vin[0].script_sig.bytes();
+  corrupted[corrupted.size() / 2] ^= 0x01;
+  victim.vin[0].script_sig = script::Script(std::move(corrupted));
+  block.header.merkle_root = compute_merkle_root(block.txs);
+  solve_pow(block.header);
+  const int height = h.chain.height() + 1;
+
+  const std::size_t utxo_size_before = h.chain.utxo().size();
+  const Amount utxo_value_before = h.chain.utxo().total_value();
+
+  for (unsigned threads : {0u, 4u}) {
+    UtxoSet utxo = h.chain.utxo();
+    ChainParams params = h.params;
+    params.script_check_threads = threads;
+    sig_cache().clear();
+    script_exec_cache().clear();
+    BlockUndo undo;
+    const auto result = connect_block(block, utxo, height, params, undo);
+    EXPECT_EQ(result.error, BlockError::kBadTransaction) << threads;
+    EXPECT_EQ(result.failed_tx_index, 2u) << threads;
+    EXPECT_EQ(result.tx_failure.error, TxError::kScriptFailed) << threads;
+    EXPECT_NE(result.tx_failure.script_error, script::ScriptError::kOk)
+        << threads;
+    // Failure rolls everything back.
+    EXPECT_EQ(utxo.size(), utxo_size_before) << threads;
+    EXPECT_EQ(utxo.total_value(), utxo_value_before) << threads;
+    EXPECT_TRUE(undo.created.empty()) << threads;
+    EXPECT_TRUE(undo.spent.empty()) << threads;
+  }
+
+  // Both paths agree on the exact script error too.
+  UtxoSet u1 = h.chain.utxo();
+  UtxoSet u2 = h.chain.utxo();
+  ChainParams p1 = h.params;
+  ChainParams p2 = h.params;
+  p2.script_check_threads = 4;
+  BlockUndo undo1;
+  BlockUndo undo2;
+  sig_cache().clear();
+  script_exec_cache().clear();
+  const auto serial = connect_block(block, u1, height, p1, undo1);
+  sig_cache().clear();
+  script_exec_cache().clear();
+  const auto parallel = connect_block(block, u2, height, p2, undo2);
+  EXPECT_EQ(serial.tx_failure.script_error, parallel.tx_failure.script_error);
+  EXPECT_EQ(serial.tx_failure.fee, parallel.tx_failure.fee);
+}
+
+TEST(Validation, ScriptExecCacheSkipsReExecution) {
+  Harness h;
+  const Block block = assemble_payment_block(h, 3);
+  const int height = h.chain.height() + 1;
+
+  sig_cache().clear();
+  script_exec_cache().clear();
+  UtxoSet u1 = h.chain.utxo();
+  BlockUndo undo1;
+  ASSERT_TRUE(connect_block(block, u1, height, h.params, undo1).ok());
+  const std::uint64_t misses_first = script_exec_cache().misses();
+  EXPECT_GT(misses_first, 0u);
+
+  // Re-connecting the same block (a reorg replay) hits the cache for every
+  // transaction and still yields the same state.
+  UtxoSet u2 = h.chain.utxo();
+  BlockUndo undo2;
+  ASSERT_TRUE(connect_block(block, u2, height, h.params, undo2).ok());
+  EXPECT_GT(script_exec_cache().hits(), 0u);
+  EXPECT_EQ(u1.size(), u2.size());
+  EXPECT_EQ(u1.total_value(), u2.total_value());
 }
 
 }  // namespace

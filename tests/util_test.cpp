@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+#include <vector>
+
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "util/serial.hpp"
 #include "util/stats.hpp"
+#include "util/threadpool.hpp"
 #include "util/time.hpp"
 
 namespace bcwan::util {
@@ -219,6 +224,69 @@ TEST(Time, Conversions) {
   EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
   EXPECT_EQ(kMinute, 60 * kSecond);
   EXPECT_EQ(kHour, 3600 * kSecond);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> hit(kTasks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i)
+    tasks.push_back([&hit, i] { hit[i].fetch_add(1); });
+  pool.run(std::move(tasks));
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(hit[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  int sum = 0;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 10; ++i) tasks.push_back([&sum, i] { sum += i; });
+  pool.run(std::move(tasks));
+  EXPECT_EQ(sum, 55);
+}
+
+TEST(ThreadPool, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i)
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    pool.run(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 20 * 16);
+}
+
+TEST(ThreadPool, UnevenTaskDurationsStillComplete) {
+  // Work stealing: front-load one queue with slow tasks; idle workers must
+  // steal them rather than wait.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&total, i] {
+      long local = 0;
+      const int spin = (i % 8 == 0) ? 20000 : 10;
+      for (int k = 0; k < spin; ++k) local += k;
+      total.fetch_add(local + 1);
+    });
+  }
+  pool.run(std::move(tasks));
+  EXPECT_GE(total.load(), 64);
+}
+
+TEST(ThreadPool, SharedPoolRebuildsOnSizeChange) {
+  ThreadPool& a = ThreadPool::shared(2);
+  EXPECT_EQ(a.worker_count(), 2u);
+  ThreadPool& b = ThreadPool::shared(3);
+  EXPECT_EQ(b.worker_count(), 3u);
+  std::atomic<int> n{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back([&n] { n.fetch_add(1); });
+  ThreadPool::shared(3).run(std::move(tasks));
+  EXPECT_EQ(n.load(), 8);
 }
 
 }  // namespace
