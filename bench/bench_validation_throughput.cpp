@@ -145,10 +145,11 @@ int main() {
     // Corrupt one mid-block signature: both paths must reject with the same
     // transaction index and error.
     chain::Block bad = block;
-    auto& sig = bad.txs[bad.txs.size() / 2].vin[0].script_sig;
-    util::Bytes tampered = sig.bytes();
+    chain::Transaction& victim = bad.txs[bad.txs.size() / 2];
+    util::Bytes tampered = victim.vin[0].script_sig.bytes();
     tampered[tampered.size() / 2] ^= 0x01;
-    sig = script::Script(std::move(tampered));
+    victim.vin[0].script_sig = script::Script(std::move(tampered));
+    victim.invalidate_txid();
     bad.header.merkle_root = chain::compute_merkle_root(bad.txs);
     chain::solve_pow(bad.header);
     chain::UtxoSet u3 = bc.utxo();

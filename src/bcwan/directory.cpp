@@ -56,28 +56,36 @@ std::string format_ip(IpAddress ip) {
 }
 
 Directory::Directory(p2p::ChainNode& node, int startup_scan_depth)
-    : node_(node) {
-  rescan(startup_scan_depth);
+    : node_(node), scan_depth_(startup_scan_depth) {
+  rescan(scan_depth_);
   node_.add_tx_watcher(
       [this](const chain::Transaction& tx) { ingest(tx, -1); });
   node_.add_block_watcher([this](const chain::Block& block) {
     const int height = node_.chain().height();
     for (const chain::Transaction& tx : block.txs) ingest(tx, height);
   });
+  // A reorg disconnects blocks whose announcements we already ingested;
+  // without a resync those entries survive with heights that no longer
+  // exist on the active chain (and shadow older, still-valid ones).
+  node_.add_reorg_watcher([this] { rescan(scan_depth_); });
 }
 
 void Directory::rescan(int depth) {
   entries_.clear();
   // Oldest-first so newer announcements overwrite older ones: scan_recent
-  // walks newest-first, so collect then replay in reverse.
-  std::vector<std::pair<chain::Transaction, int>> found;
+  // walks newest-first, so collect then replay in reverse. The callback
+  // refs point into the chain's block storage, which is stable for the
+  // duration of the scan — collecting pointers avoids copying every
+  // scanned transaction (the old full-copy collection dominated startup
+  // on deep scans).
+  std::vector<std::pair<const chain::Transaction*, int>> found;
   node_.chain().scan_recent(depth, [&](const chain::Transaction& tx, int h) {
-    found.emplace_back(tx, h);
+    found.emplace_back(&tx, h);
   });
   for (auto it = found.rbegin(); it != found.rend(); ++it)
-    ingest(it->first, it->second);
-  for (const chain::Transaction& tx : node_.mempool().snapshot())
-    ingest(tx, -1);
+    ingest(*it->first, it->second);
+  node_.mempool().for_each(
+      [this](const chain::Transaction& tx) { ingest(tx, -1); });
 }
 
 void Directory::ingest(const chain::Transaction& tx, int height) {

@@ -42,7 +42,9 @@ std::string format_ip(IpAddress ip);
 
 class Directory {
  public:
-  /// Installs tx/block watchers on the node and performs the start-up scan.
+  /// Installs tx/block/reorg watchers on the node and performs the start-up
+  /// scan; a reorg triggers a full resync so entries from disconnected
+  /// blocks cannot linger.
   /// LIFETIME: the watchers reference this object for the node's remaining
   /// lifetime — a Directory must outlive any further event processing on
   /// the node it watches.
@@ -68,6 +70,7 @@ class Directory {
   void ingest(const chain::Transaction& tx, int height);
 
   p2p::ChainNode& node_;
+  int scan_depth_;
   std::unordered_map<script::PubKeyHash, DirectoryEntry, PkhHasher> entries_;
 };
 

@@ -1,8 +1,11 @@
 #include "chain/block.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <functional>
 
 #include "util/serial.hpp"
+#include "util/threadpool.hpp"
 
 namespace bcwan::chain {
 
@@ -57,29 +60,58 @@ std::optional<Block> Block::deserialize(util::ByteView data) {
   }
 }
 
-Hash256 merkle_root(const std::vector<Hash256>& leaves) {
+namespace {
+
+/// Below this many pairs a level is hashed on the calling thread; pool
+/// dispatch overhead would eat the win on small levels (and every tree
+/// shrinks under the threshold within a few levels anyway).
+constexpr std::size_t kMinPairsPerWorker = 64;
+
+}  // namespace
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves, unsigned threads) {
   if (leaves.empty()) return Hash256{};
   std::vector<Hash256> level = leaves;
   while (level.size() > 1) {
-    std::vector<Hash256> next;
-    next.reserve((level.size() + 1) / 2);
-    for (std::size_t i = 0; i < level.size(); i += 2) {
-      const Hash256& left = level[i];
-      const Hash256& right = i + 1 < level.size() ? level[i + 1] : level[i];
-      util::Bytes combined(left.begin(), left.end());
-      combined.insert(combined.end(), right.begin(), right.end());
-      next.push_back(crypto::sha256d(combined));
+    // Duplicate the last node on odd levels up front so every pair is one
+    // contiguous 64-byte input: Hash256 is std::array<uint8_t, 32>, so the
+    // level's vector storage IS the packed input buffer for sha256d64.
+    if (level.size() & 1) level.push_back(level.back());
+    const std::size_t pairs = level.size() / 2;
+    std::vector<Hash256> next(pairs);
+    const std::uint8_t* in = level[0].data();
+    std::uint8_t* out = next[0].data();
+
+    if (threads > 1 && pairs >= 2 * kMinPairsPerWorker) {
+      // Split the level into equal slices; each worker runs the batched
+      // kernel on its own disjoint range, so the output is bitwise the
+      // same as the serial pass regardless of scheduling.
+      const std::size_t slices =
+          std::min<std::size_t>(threads, pairs / kMinPairsPerWorker);
+      const std::size_t per = (pairs + slices - 1) / slices;
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(slices);
+      for (std::size_t begin = 0; begin < pairs; begin += per) {
+        const std::size_t count = std::min(per, pairs - begin);
+        tasks.push_back([in, out, begin, count] {
+          crypto::sha256d64(out + 32 * begin, in + 64 * begin, count);
+        });
+      }
+      util::ThreadPool::shared(threads - 1).run(std::move(tasks));
+    } else {
+      crypto::sha256d64(out, in, pairs);
     }
     level = std::move(next);
   }
   return level[0];
 }
 
-Hash256 compute_merkle_root(const std::vector<Transaction>& txs) {
+Hash256 compute_merkle_root(const std::vector<Transaction>& txs,
+                            unsigned threads) {
   std::vector<Hash256> leaves;
   leaves.reserve(txs.size());
   for (const Transaction& tx : txs) leaves.push_back(tx.txid());
-  return merkle_root(leaves);
+  return merkle_root(leaves, threads);
 }
 
 bool hash_meets_target(const Hash256& hash, unsigned zero_bits) noexcept {

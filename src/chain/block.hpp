@@ -42,9 +42,15 @@ struct Block {
 
 /// Merkle root over txids (Bitcoin's duplicate-last-on-odd-level scheme).
 /// Empty input yields the zero hash.
-Hash256 merkle_root(const std::vector<Hash256>& leaves);
+///
+/// Each level is hashed through the batched sha256d64 kernel (pairs of
+/// 32-byte nodes are exactly its 64-byte input shape). `threads` > 1 splits
+/// large levels across the shared thread pool; the result is identical for
+/// any thread count.
+Hash256 merkle_root(const std::vector<Hash256>& leaves, unsigned threads = 0);
 
-Hash256 compute_merkle_root(const std::vector<Transaction>& txs);
+Hash256 compute_merkle_root(const std::vector<Transaction>& txs,
+                            unsigned threads = 0);
 
 /// True if `hash` has at least `zero_bits` leading zero bits.
 bool hash_meets_target(const Hash256& hash, unsigned zero_bits) noexcept;

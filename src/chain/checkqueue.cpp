@@ -20,7 +20,7 @@ std::uint64_t check_key(std::size_t tx_index, std::size_t input_index) {
 }  // namespace
 
 script::ScriptError ScriptCheck::run() const {
-  const TxSignatureChecker checker(*tx, input_index, script_pubkey);
+  const TxSignatureChecker checker(*tx, input_index, script_pubkey, precomp);
   return script::verify_spend(tx->vin[input_index].script_sig, script_pubkey,
                               checker)
       .error;

@@ -23,13 +23,16 @@ namespace bcwan::chain {
 
 /// One deferred input-script execution. Holds its own copy of the spent
 /// scriptPubKey (the coin is consumed from the UTXO set before the check
-/// runs); `tx` points into the block being connected, which outlives the
-/// batch.
+/// runs); `tx` and `precomp` point into state owned by the block-connection
+/// frame, which outlives the batch. `precomp`, when set, carries the
+/// transaction's sighash midstates so workers skip per-input
+/// re-serialization.
 struct ScriptCheck {
   const Transaction* tx = nullptr;
   std::uint32_t tx_index = 0;
   std::uint32_t input_index = 0;
   script::Script script_pubkey;
+  const PrecomputedTxData* precomp = nullptr;
 
   script::ScriptError run() const;
 };

@@ -62,6 +62,13 @@ class Mempool {
   /// All transactions (observers/watchers iterate the pool).
   std::vector<Transaction> snapshot() const;
 
+  /// Visit every pooled transaction in place — no copies. The callback must
+  /// not mutate the pool.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, entry] : txs_) fn(entry.tx);
+  }
+
   /// True if any in-pool transaction spends this outpoint.
   bool spends(const OutPoint& op) const {
     return spent_.find(op) != spent_.end();

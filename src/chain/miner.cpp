@@ -51,7 +51,8 @@ Block Miner::assemble(const Blockchain& chain, const Mempool& pool,
   block.txs.push_back(std::move(coinbase));
   block.txs.insert(block.txs.end(), included.begin(), included.end());
   block.header.prev_block = chain.tip_hash();
-  block.header.merkle_root = compute_merkle_root(block.txs);
+  block.header.merkle_root =
+      compute_merkle_root(block.txs, params_.script_check_threads);
   block.header.time = time;
   block.header.target_zero_bits = params_.pow_zero_bits;
   return block;

@@ -48,6 +48,57 @@ void write_tx(util::Writer& w, const Transaction& tx) {
 
 }  // namespace
 
+Transaction::Transaction(const Transaction& other)
+    : version(other.version), vin(other.vin), vout(other.vout),
+      locktime(other.locktime) {
+  if (other.txid_state_.load(std::memory_order_acquire) == 2) {
+    cached_txid_ = other.cached_txid_;
+    txid_state_.store(2, std::memory_order_relaxed);
+  }
+}
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : version(other.version), vin(std::move(other.vin)),
+      vout(std::move(other.vout)), locktime(other.locktime) {
+  if (other.txid_state_.load(std::memory_order_acquire) == 2) {
+    cached_txid_ = other.cached_txid_;
+    txid_state_.store(2, std::memory_order_relaxed);
+  }
+  // The moved-from shell no longer serializes to the cached id.
+  other.invalidate_txid();
+}
+
+Transaction& Transaction::operator=(const Transaction& other) {
+  if (this == &other) return *this;
+  version = other.version;
+  vin = other.vin;
+  vout = other.vout;
+  locktime = other.locktime;
+  if (other.txid_state_.load(std::memory_order_acquire) == 2) {
+    cached_txid_ = other.cached_txid_;
+    txid_state_.store(2, std::memory_order_relaxed);
+  } else {
+    invalidate_txid();
+  }
+  return *this;
+}
+
+Transaction& Transaction::operator=(Transaction&& other) noexcept {
+  if (this == &other) return *this;
+  version = other.version;
+  vin = std::move(other.vin);
+  vout = std::move(other.vout);
+  locktime = other.locktime;
+  if (other.txid_state_.load(std::memory_order_acquire) == 2) {
+    cached_txid_ = other.cached_txid_;
+    txid_state_.store(2, std::memory_order_relaxed);
+  } else {
+    invalidate_txid();
+  }
+  other.invalidate_txid();
+  return *this;
+}
+
 util::Bytes Transaction::serialize() const {
   util::Writer w;
   write_tx(w, *this);
@@ -76,13 +127,29 @@ std::optional<Transaction> Transaction::deserialize(util::ByteView data) {
     }
     tx.locktime = r.u32();
     r.expect_done();
+    // Canonical varints + expect_done guarantee serialize(tx) == data, so
+    // the wire bytes already in hand ARE the txid preimage — seed the cache
+    // and the gossip path never re-serializes.
+    tx.cached_txid_ = crypto::sha256d(data);
+    tx.txid_state_.store(2, std::memory_order_relaxed);
     return tx;
   } catch (const util::DeserializeError&) {
     return std::nullopt;
   }
 }
 
-Hash256 Transaction::txid() const { return crypto::sha256d(serialize()); }
+Hash256 Transaction::txid() const {
+  if (txid_state_.load(std::memory_order_acquire) == 2) return cached_txid_;
+  const Hash256 h = crypto::sha256d(serialize());
+  std::uint8_t expected = 0;
+  if (txid_state_.compare_exchange_strong(expected, 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+    cached_txid_ = h;
+    txid_state_.store(2, std::memory_order_release);
+  }
+  return h;
+}
 
 Amount Transaction::total_output() const {
   Amount total = 0;
@@ -116,11 +183,69 @@ util::Bytes signature_hash_message(const Transaction& tx,
   return w.take();
 }
 
+PrecomputedTxData::PrecomputedTxData(const Transaction& tx) {
+  util::Writer w;
+  std::vector<std::size_t> slot_start;
+  slot_start.reserve(tx.vin.size());
+  slot_end_.reserve(tx.vin.size());
+  w.u32(tx.version);
+  w.varint(tx.vin.size());
+  for (const TxIn& in : tx.vin) {
+    write_outpoint(w, in.prevout);
+    slot_start.push_back(w.data().size());
+    w.var_bytes({});  // blank scriptSig: one 0x00 length byte
+    slot_end_.push_back(w.data().size());
+    w.u32(in.sequence);
+  }
+  w.varint(tx.vout.size());
+  for (const TxOut& out : tx.vout) {
+    w.u64(static_cast<std::uint64_t>(out.value));
+    w.var_bytes(out.script_pubkey.bytes());
+  }
+  w.u32(tx.locktime);
+  template_ = w.take();
+
+  // One rolling context absorbs the template left to right; the snapshot
+  // taken just before input i's slot is i's prefix midstate.
+  crypto::Sha256 rolling;
+  std::size_t absorbed = 0;
+  prefixes_.reserve(slot_start.size());
+  for (const std::size_t start : slot_start) {
+    rolling.update(
+        util::ByteView(template_.data() + absorbed, start - absorbed));
+    absorbed = start;
+    prefixes_.push_back(rolling);
+  }
+}
+
+crypto::Digest256 PrecomputedTxData::sighash(
+    std::size_t input_index, const script::Script& script_pubkey_spent) const {
+  crypto::Sha256 h = prefixes_[input_index];  // resume at this input's slot
+  util::Writer spk;
+  spk.var_bytes(script_pubkey_spent.bytes());
+  h.update(spk.data());
+  h.update(util::ByteView(template_.data() + slot_end_[input_index],
+                          template_.size() - slot_end_[input_index]));
+  std::uint8_t trailer[5];  // u32 input index (LE) + SIGHASH_ALL tag
+  const auto idx = static_cast<std::uint32_t>(input_index);
+  trailer[0] = static_cast<std::uint8_t>(idx);
+  trailer[1] = static_cast<std::uint8_t>(idx >> 8);
+  trailer[2] = static_cast<std::uint8_t>(idx >> 16);
+  trailer[3] = static_cast<std::uint8_t>(idx >> 24);
+  trailer[4] = 0x01;
+  h.update(util::ByteView(trailer, sizeof trailer));
+  const crypto::Digest256 first = h.finalize();
+  return crypto::sha256(util::ByteView(first.data(), first.size()));
+}
+
 bool TxSignatureChecker::check_sig(util::ByteView sig,
                                    util::ByteView pubkey) const {
-  const util::Bytes message =
-      signature_hash_message(tx_, input_index_, script_pubkey_spent_);
-  const crypto::Digest256 digest = crypto::sha256(message);
+  // The SHA-256d sighash digest — from midstates when the caller supplied a
+  // PrecomputedTxData, otherwise by materializing the message once.
+  const crypto::Digest256 digest =
+      precomp_ ? precomp_->sighash(input_index_, script_pubkey_spent_)
+               : crypto::sha256d(signature_hash_message(
+                     tx_, input_index_, script_pubkey_spent_));
 
   // Salted signature cache (Bitcoin has carried one since 0.7): a
   // federation daemon re-verifies the same (msg, sig, pubkey) triple once
@@ -135,7 +260,8 @@ bool TxSignatureChecker::check_sig(util::ByteView sig,
   if (!decoded_sig) return false;
   const auto decoded_pub = crypto::ec_pubkey_decode(pubkey);
   if (!decoded_pub) return false;
-  const bool valid = crypto::ecdsa_verify(*decoded_pub, message, *decoded_sig);
+  const bool valid =
+      crypto::ecdsa_verify_digest(*decoded_pub, digest, *decoded_sig);
   if (valid) sig_cache().insert(key);
   return valid;
 }

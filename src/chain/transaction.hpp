@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <optional>
@@ -85,6 +86,12 @@ struct Transaction {
   /// Interpreted as a block height before which the tx cannot be mined.
   std::uint32_t locktime = 0;
 
+  Transaction() = default;
+  Transaction(const Transaction& other);
+  Transaction(Transaction&& other) noexcept;
+  Transaction& operator=(const Transaction& other);
+  Transaction& operator=(Transaction&& other) noexcept;
+
   bool is_coinbase() const noexcept {
     return vin.size() == 1 && vin[0].prevout.txid == Hash256{} &&
            vin[0].prevout.index == kSequenceFinal;
@@ -93,12 +100,37 @@ struct Transaction {
   util::Bytes serialize() const;
   static std::optional<Transaction> deserialize(util::ByteView data);
 
-  /// Double SHA-256 of the serialization.
+  /// Double SHA-256 of the serialization; memoized. The first call hashes
+  /// and caches, later calls return the cached id. Concurrent readers are
+  /// safe (the script-check workers hash the same block's transactions);
+  /// mutation requires the same external synchronization the field vectors
+  /// already do, plus an invalidate_txid() call.
   Hash256 txid() const;
+
+  /// Drop the memoized txid. MUST be called after mutating any serialized
+  /// field (version/vin/vout/locktime) on a transaction whose txid may
+  /// already have been observed — a stale id is not just wrong, it can
+  /// alias the script-exec and signature caches (keyed by txid) and skip
+  /// validation of the mutated bytes.
+  void invalidate_txid() const noexcept {
+    txid_state_.store(0, std::memory_order_relaxed);
+  }
 
   Amount total_output() const;
 
-  friend bool operator==(const Transaction&, const Transaction&) = default;
+  /// Logical equality: serialized fields only, cache state ignored.
+  friend bool operator==(const Transaction& a, const Transaction& b) {
+    return a.version == b.version && a.locktime == b.locktime &&
+           a.vin == b.vin && a.vout == b.vout;
+  }
+
+ private:
+  // Lazy txid cache: 0 = empty, 1 = one thread is filling it, 2 = valid.
+  // The CAS winner alone writes cached_txid_ and publishes with a release
+  // store; losers return their locally computed copy. That keeps concurrent
+  // first calls race-free without a lock in the hot path.
+  mutable Hash256 cached_txid_{};
+  mutable std::atomic<std::uint8_t> txid_state_{0};
 };
 
 /// Canonical coinbase prevout.
@@ -112,13 +144,53 @@ util::Bytes signature_hash_message(const Transaction& tx,
                                    std::size_t input_index,
                                    const script::Script& script_pubkey_spent);
 
-/// script::SignatureChecker bound to a (transaction, input) pair.
+/// Per-transaction sighash midstates: turns the O(inputs × tx-size)
+/// re-serialization of signature_hash_message into O(tx-size + inputs ×
+/// suffix) hashing.
+///
+/// The SIGHASH_ALL message for input i is the serialized transaction with
+/// every scriptSig slot blanked except slot i, which carries the spent
+/// scriptPubKey, followed by the input index and the 0x01 tag. All messages
+/// for one transaction therefore share a template — the fully-blanked
+/// serialization — and differ only in what sits in slot i and in the
+/// trailer. We build that template once, record each slot's byte offset,
+/// and snapshot a SHA-256 midstate over the template prefix ending just
+/// before each slot. sighash(i, spk) resumes midstate i, absorbs the spent
+/// script and the template suffix after slot i, appends the trailer, and
+/// double-hashes — bit-identical to hashing the naive message.
+///
+/// Validity: the template blanks ALL scriptSigs, so signing input j (which
+/// mutates tx.vin[j].script_sig) does not perturb any input's message —
+/// one instance serves a whole wallet signing pass and a whole block's
+/// script checks. Outputs/locktime/sequence mutations DO invalidate it.
+class PrecomputedTxData {
+ public:
+  explicit PrecomputedTxData(const Transaction& tx);
+
+  /// SHA-256d sighash digest for `input_index` spending
+  /// `script_pubkey_spent` — exactly
+  /// sha256d(signature_hash_message(tx, input_index, script_pubkey_spent)).
+  crypto::Digest256 sighash(std::size_t input_index,
+                            const script::Script& script_pubkey_spent) const;
+
+  std::size_t input_count() const noexcept { return prefixes_.size(); }
+
+ private:
+  util::Bytes template_;                  // all-blank message, no trailer
+  std::vector<std::size_t> slot_end_;     // offset just past input i's blank
+  std::vector<crypto::Sha256> prefixes_;  // midstate up to input i's slot
+};
+
+/// script::SignatureChecker bound to a (transaction, input) pair. When a
+/// PrecomputedTxData for the same transaction is supplied, sighashes come
+/// from its midstates instead of re-serializing the transaction per input.
 class TxSignatureChecker : public script::SignatureChecker {
  public:
   TxSignatureChecker(const Transaction& tx, std::size_t input_index,
-                     const script::Script& script_pubkey_spent)
+                     const script::Script& script_pubkey_spent,
+                     const PrecomputedTxData* precomp = nullptr)
       : tx_(tx), input_index_(input_index),
-        script_pubkey_spent_(script_pubkey_spent) {}
+        script_pubkey_spent_(script_pubkey_spent), precomp_(precomp) {}
 
   bool check_sig(util::ByteView sig, util::ByteView pubkey) const override;
   std::int64_t tx_locktime() const override { return tx_.locktime; }
@@ -130,6 +202,7 @@ class TxSignatureChecker : public script::SignatureChecker {
   const Transaction& tx_;
   std::size_t input_index_;
   const script::Script& script_pubkey_spent_;
+  const PrecomputedTxData* precomp_;
 };
 
 }  // namespace bcwan::chain

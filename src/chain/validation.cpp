@@ -1,6 +1,8 @@
 #include "chain/validation.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <optional>
 #include <unordered_set>
 
 #include "chain/sigcache.hpp"
@@ -94,7 +96,8 @@ TxValidationResult check_transaction(const Transaction& tx,
 TxValidationResult check_tx_inputs(const Transaction& tx, const CoinView& utxo,
                                    int height, const ChainParams& params,
                                    std::vector<ScriptCheck>* deferred_checks,
-                                   std::size_t tx_index) {
+                                   std::size_t tx_index,
+                                   const PrecomputedTxData* precomp) {
   TxValidationResult result = check_transaction(tx, params);
   if (!result.ok()) return result;
   auto fail = [&result](TxError err) {
@@ -146,13 +149,22 @@ TxValidationResult check_tx_inputs(const Transaction& tx, const CoinView& utxo,
     for (std::uint32_t i = 0; i < tx.vin.size(); ++i) {
       deferred_checks->push_back(ScriptCheck{
           &tx, static_cast<std::uint32_t>(tx_index), i,
-          coins[i].out.script_pubkey});
+          coins[i].out.script_pubkey, precomp});
     }
     return result;
   }
 
+  // Inline path (mempool admission): build the sighash midstates here when
+  // the caller didn't, so multi-input transactions avoid the quadratic
+  // re-serialization even outside block connection.
+  std::optional<PrecomputedTxData> local_precomp;
+  if (!precomp && tx.vin.size() > 1) {
+    local_precomp.emplace(tx);
+    precomp = &*local_precomp;
+  }
   for (std::size_t i = 0; i < tx.vin.size(); ++i) {
-    const TxSignatureChecker checker(tx, i, coins[i].out.script_pubkey);
+    const TxSignatureChecker checker(tx, i, coins[i].out.script_pubkey,
+                                     precomp);
     const auto exec = script::verify_spend(tx.vin[i].script_sig,
                                            coins[i].out.script_pubkey, checker);
     if (!exec.ok()) {
@@ -182,7 +194,8 @@ BlockValidationResult check_block(const Block& block,
       !hash_meets_target(block.hash(), params.pow_zero_bits)) {
     return fail(BlockError::kBadPow);
   }
-  if (block.header.merkle_root != compute_merkle_root(block.txs))
+  if (block.header.merkle_root !=
+      compute_merkle_root(block.txs, params.script_check_threads))
     return fail(BlockError::kBadMerkleRoot);
   if (!block.txs[0].is_coinbase())
     return fail(BlockError::kFirstTxNotCoinbase);
@@ -240,10 +253,15 @@ BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
   std::vector<Hash256> exec_keys(block.txs.size());
   std::size_t contextual_fail_index = block.txs.size();
 
+  // Sighash midstates, one per transaction, shared by all of its deferred
+  // checks. A deque keeps them address-stable while the batch grows.
+  std::deque<PrecomputedTxData> precomps;
+
   for (std::size_t i = 1; i < block.txs.size(); ++i) {
     const Transaction& tx = block.txs[i];
+    precomps.emplace_back(tx);
     const TxValidationResult tx_result =
-        check_tx_inputs(tx, utxo, height, params, &checks, i);
+        check_tx_inputs(tx, utxo, height, params, &checks, i, &precomps.back());
     if (!tx_result.ok()) {
       result.error = BlockError::kBadTransaction;
       result.tx_failure = tx_result;

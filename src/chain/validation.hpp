@@ -56,11 +56,15 @@ TxValidationResult check_transaction(const Transaction& tx,
 /// caller to batch across the check queue (connect_block), and the returned
 /// result covers only the contextual checks. Either way, a transaction the
 /// script-execution cache already knows skips script work entirely.
+///
+/// `precomp`, when supplied, must be built from `tx`; the script checks
+/// (inline or deferred) then take the midstate sighash fast path.
 TxValidationResult check_tx_inputs(const Transaction& tx, const CoinView& utxo,
                                    int height, const ChainParams& params,
                                    std::vector<ScriptCheck>* deferred_checks =
                                        nullptr,
-                                   std::size_t tx_index = 0);
+                                   std::size_t tx_index = 0,
+                                   const PrecomputedTxData* precomp = nullptr);
 
 enum class BlockError {
   kOk,

@@ -101,20 +101,28 @@ Transaction Wallet::build_and_sign(const Funding& funding,
     back.script_pubkey = own_script_;
     tx.vout.push_back(std::move(back));
   }
+  // One midstate set serves every input: the sighash template ignores
+  // scriptSigs, so signatures landing in earlier inputs don't stale it.
+  const PrecomputedTxData precomp(tx);
   for (std::size_t i = 0; i < tx.vin.size(); ++i) {
-    sign_p2pkh_input(tx, i, funding.inputs[i].second.out.script_pubkey);
+    sign_p2pkh_input(tx, i, funding.inputs[i].second.out.script_pubkey,
+                     &precomp);
   }
   return tx;
 }
 
 void Wallet::sign_p2pkh_input(Transaction& tx, std::size_t index,
-                              const script::Script& spent_script) const {
-  const util::Bytes message =
-      signature_hash_message(tx, index, spent_script);
+                              const script::Script& spent_script,
+                              const PrecomputedTxData* precomp) const {
+  const crypto::Digest256 digest =
+      precomp ? precomp->sighash(index, spent_script)
+              : crypto::sha256d(
+                    signature_hash_message(tx, index, spent_script));
   const crypto::EcdsaSignature sig =
-      crypto::ecdsa_sign(identity_.priv, message);
+      crypto::ecdsa_sign_digest(identity_.priv, digest);
   tx.vin[index].script_sig =
       script::make_p2pkh_scriptsig(sig.serialize(), pubkey_);
+  tx.invalidate_txid();
 }
 
 std::optional<Transaction> Wallet::create_payment(
@@ -175,6 +183,7 @@ Transaction Wallet::create_redeem(const OutPoint& offer_outpoint,
       crypto::ecdsa_sign(identity_.priv, message);
   tx.vin[0].script_sig = script::make_key_release_redeem(
       sig.serialize(), pubkey_, ephemeral_priv);
+  tx.invalidate_txid();
   return tx;
 }
 
@@ -199,6 +208,7 @@ Transaction Wallet::create_reclaim(const OutPoint& offer_outpoint,
       crypto::ecdsa_sign(identity_.priv, message);
   tx.vin[0].script_sig =
       script::make_key_release_reclaim(sig.serialize(), pubkey_);
+  tx.invalidate_txid();
   return tx;
 }
 

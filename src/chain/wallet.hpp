@@ -80,9 +80,14 @@ class Wallet {
                              std::int64_t timeout_height, Amount fee) const;
 
   /// Sign input `index` of `tx` (P2PKH shape) against the given spent
-  /// script; fills the input's scriptSig.
+  /// script; fills the input's scriptSig (and drops any memoized txid —
+  /// the signature changes the serialization). `precomp`, when supplied,
+  /// must be built from `tx` and provides the sighash digest via midstates;
+  /// it stays valid across the whole signing pass because the sighash
+  /// template blanks every scriptSig.
   void sign_p2pkh_input(Transaction& tx, std::size_t index,
-                        const script::Script& spent_script) const;
+                        const script::Script& spent_script,
+                        const PrecomputedTxData* precomp = nullptr) const;
 
  private:
   struct Funding {

@@ -123,12 +123,6 @@ Jacobian jac_mul(const BigUint& k, const Jacobian& point) {
   return result;
 }
 
-BigUint hash_to_scalar(util::ByteView message) {
-  const Digest256 h = sha256d(message);
-  return BigUint::from_bytes_be(util::ByteView(h.data(), h.size())) %
-         order_n();
-}
-
 // Deterministic nonce: HMAC chain over (priv || digest || counter), reduced
 // mod n. Simplified from RFC 6979 but preserves its key property — the nonce
 // is a pseudorandom function of (key, message) and never repeats across
@@ -220,8 +214,11 @@ std::optional<EcPoint> ec_pubkey_decode(util::ByteView data) {
 }
 
 EcdsaSignature ecdsa_sign(const BigUint& priv, util::ByteView message) {
+  return ecdsa_sign_digest(priv, sha256d(message));
+}
+
+EcdsaSignature ecdsa_sign_digest(const BigUint& priv, const Digest256& digest) {
   const BigUint& n = order_n();
-  const Digest256 digest = sha256d(message);
   const BigUint z =
       BigUint::from_bytes_be(util::ByteView(digest.data(), digest.size())) % n;
 
@@ -245,12 +242,18 @@ EcdsaSignature ecdsa_sign(const BigUint& priv, util::ByteView message) {
 
 bool ecdsa_verify(const EcPoint& pub, util::ByteView message,
                   const EcdsaSignature& sig) {
+  return ecdsa_verify_digest(pub, sha256d(message), sig);
+}
+
+bool ecdsa_verify_digest(const EcPoint& pub, const Digest256& digest,
+                         const EcdsaSignature& sig) {
   const BigUint& n = order_n();
   if (sig.r.is_zero() || sig.s.is_zero()) return false;
   if (sig.r >= n || sig.s >= n) return false;
   if (pub.infinity || !Secp256k1::on_curve(pub)) return false;
 
-  const BigUint z = hash_to_scalar(message);
+  const BigUint z =
+      BigUint::from_bytes_be(util::ByteView(digest.data(), digest.size())) % n;
   const auto s_inv = BigUint::mod_inv(sig.s, n);
   if (!s_inv) return false;
   const BigUint u1 = BigUint::mod_mul(z, *s_inv, n);

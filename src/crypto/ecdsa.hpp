@@ -78,4 +78,15 @@ EcdsaSignature ecdsa_sign(const bignum::BigUint& priv, util::ByteView message);
 bool ecdsa_verify(const EcPoint& pub, util::ByteView message,
                   const EcdsaSignature& sig);
 
+/// Digest-level entry points: `digest` is the already-computed
+/// SHA-256d(message). Byte-identical to the message overloads (same nonce
+/// derivation, same scalar reduction) — they exist so callers holding a
+/// midstate-derived sighash digest (chain::PrecomputedTxData) skip
+/// re-materializing and re-hashing the full message.
+EcdsaSignature ecdsa_sign_digest(const bignum::BigUint& priv,
+                                 const Digest256& digest);
+
+bool ecdsa_verify_digest(const EcPoint& pub, const Digest256& digest,
+                         const EcdsaSignature& sig);
+
 }  // namespace bcwan::crypto

@@ -1,7 +1,10 @@
 #include "crypto/sha256.hpp"
 
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+
+#include "crypto/sha256_impl.hpp"
 
 namespace bcwan::crypto {
 
@@ -20,66 +23,182 @@ constexpr std::array<std::uint32_t, 64> kK = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
+constexpr std::array<std::uint32_t, 8> kIv = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
 std::uint32_t rotr(std::uint32_t x, int n) noexcept {
   return std::rotr(x, n);
 }
 
+void write_be32(std::uint8_t* out, std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+/// A dispatch table entry: streaming compressor + batched double-SHA.
+struct Backend {
+  const char* name;
+  detail::TransformFn transform;
+  detail::Sha256D64Fn d64;
+};
+
+constexpr Backend kScalarBackend{"scalar", &detail::transform_scalar,
+                                 &detail::sha256d64_scalar};
+
+Backend detect_backend() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  // SHA-NI wins for streams; for the batched d64 shape prefer SHA-NI too
+  // (per-hash latency beats 8-way scalar-width throughput on every CPU that
+  // has it), falling back to AVX2 8-way, then scalar.
+  if (detail::shani_available()) {
+    return Backend{"shani", &detail::transform_shani, &detail::sha256d64_shani};
+  }
+  if (detail::avx2_available()) {
+    return Backend{"avx2", &detail::transform_scalar, &detail::sha256d64_avx2};
+  }
+#endif
+  return kScalarBackend;
+}
+
+Backend select_by_name(std::string_view name, bool& ok) noexcept {
+  ok = true;
+  if (name == "auto") return detect_backend();
+  if (name == "scalar") return kScalarBackend;
+#if defined(__x86_64__) || defined(__i386__)
+  if (name == "shani" && detail::shani_available()) {
+    return Backend{"shani", &detail::transform_shani, &detail::sha256d64_shani};
+  }
+  if (name == "avx2" && detail::avx2_available()) {
+    return Backend{"avx2", &detail::transform_scalar, &detail::sha256d64_avx2};
+  }
+#endif
+  ok = false;
+  return kScalarBackend;
+}
+
+/// Process-wide dispatch, initialized once on first use; the
+/// BCWAN_SHA256_BACKEND environment variable pins a backend for the whole
+/// run (unknown/unsupported values fall back to auto-detection).
+Backend& active_backend() noexcept {
+  static Backend backend = [] {
+    if (const char* env = std::getenv("BCWAN_SHA256_BACKEND")) {
+      bool ok = false;
+      const Backend forced = select_by_name(env, ok);
+      if (ok) return forced;
+    }
+    return detect_backend();
+  }();
+  return backend;
+}
+
 }  // namespace
 
+namespace detail {
+
+void transform_scalar(std::uint32_t* state, const std::uint8_t* blocks,
+                      std::size_t nblocks) {
+  for (std::size_t blk = 0; blk < nblocks; ++blk, blocks += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = static_cast<std::uint32_t>(blocks[4 * i]) << 24 |
+             static_cast<std::uint32_t>(blocks[4 * i + 1]) << 16 |
+             static_cast<std::uint32_t>(blocks[4 * i + 2]) << 8 |
+             static_cast<std::uint32_t>(blocks[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+void sha256d64_via(TransformFn transform, std::uint8_t* out,
+                   const std::uint8_t* in, std::size_t n) {
+  // Both hashes have fixed-size inputs, so both padding blocks are known at
+  // compile time: the 64-byte message needs a full block of (0x80, ...,
+  // len=512 bits) and the 32-byte digest re-hash fits one block with its
+  // padding inline.
+  static constexpr std::array<std::uint8_t, 64> kPad512 = [] {
+    std::array<std::uint8_t, 64> p{};
+    p[0] = 0x80;
+    p[62] = 0x02;  // 512 = 0x0200 bits, big-endian in the last 8 bytes
+    return p;
+  }();
+
+  for (std::size_t i = 0; i < n; ++i, in += 64, out += 32) {
+    std::uint32_t state[8];
+    std::memcpy(state, kIv.data(), sizeof state);
+    transform(state, in, 1);
+    transform(state, kPad512.data(), 1);
+
+    std::uint8_t block2[64] = {};
+    for (int w = 0; w < 8; ++w) write_be32(block2 + 4 * w, state[w]);
+    block2[32] = 0x80;
+    block2[62] = 0x01;  // 256 = 0x0100 bits
+
+    std::memcpy(state, kIv.data(), sizeof state);
+    transform(state, block2, 1);
+    for (int w = 0; w < 8; ++w) write_be32(out + 4 * w, state[w]);
+  }
+}
+
+void sha256d64_scalar(std::uint8_t* out, const std::uint8_t* in,
+                      std::size_t n) {
+  sha256d64_via(&transform_scalar, out, in, n);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+void sha256d64_shani(std::uint8_t* out, const std::uint8_t* in,
+                     std::size_t n) {
+  sha256d64_via(&transform_shani, out, in, n);
+}
+#endif
+
+}  // namespace detail
+
 void Sha256::reset() noexcept {
-  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  state_ = kIv;
   total_len_ = 0;
   buffer_len_ = 0;
 }
 
-void Sha256::compress(const std::uint8_t* block) noexcept {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
-           static_cast<std::uint32_t>(block[4 * i + 1]) << 16 |
-           static_cast<std::uint32_t>(block[4 * i + 2]) << 8 |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
-
 Sha256& Sha256::update(util::ByteView data) noexcept {
+  const detail::TransformFn transform = active_backend().transform;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ != 0) {
@@ -88,13 +207,14 @@ Sha256& Sha256::update(util::ByteView data) noexcept {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == 64) {
-      compress(buffer_.data());
+      transform(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    compress(data.data() + offset);
-    offset += 64;
+  if (offset + 64 <= data.size()) {
+    const std::size_t nblocks = (data.size() - offset) / 64;
+    transform(state_.data(), data.data() + offset, nblocks);
+    offset += nblocks * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -115,12 +235,7 @@ Digest256 Sha256::finalize() noexcept {
   update(util::ByteView(len_bytes, 8));
 
   Digest256 out;
-  for (int i = 0; i < 8; ++i) {
-    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
-  }
+  for (int i = 0; i < 8; ++i) write_be32(out.data() + 4 * i, state_[i]);
   return out;
 }
 
@@ -131,6 +246,19 @@ Digest256 sha256(util::ByteView data) noexcept {
 Digest256 sha256d(util::ByteView data) noexcept {
   const Digest256 first = sha256(data);
   return sha256(util::ByteView(first.data(), first.size()));
+}
+
+void sha256d64(std::uint8_t* out, const std::uint8_t* in, std::size_t n) {
+  active_backend().d64(out, in, n);
+}
+
+const char* sha256_backend_name() noexcept { return active_backend().name; }
+
+bool sha256_select_backend(std::string_view name) noexcept {
+  bool ok = false;
+  const Backend chosen = select_by_name(name, ok);
+  if (ok) active_backend() = chosen;
+  return ok;
 }
 
 util::Bytes digest_bytes(const Digest256& d) {

@@ -1,0 +1,179 @@
+// AVX2 8-way batched double-SHA-256 of 64-byte inputs.
+//
+// Eight independent messages occupy one 32-bit lane each of a __m256i, so
+// the scalar compressor's data flow runs unchanged with every arithmetic op
+// widened to 8 lanes. Specialized for the merkle inner-node shape: the first
+// hash is (data block, constant padding block) and the second hash's input
+// is the first digest — which is already sitting in the state vectors, so
+// the middle transposition costs nothing.
+//
+// Compiled with -mavx2; callers gate on avx2_available().
+#include "crypto/sha256_impl.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace bcwan::crypto::detail {
+
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t kIv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                  0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                  0x1f83d9ab, 0x5be0cd19};
+
+__attribute__((target("avx2"))) inline __m256i Add(__m256i a, __m256i b) {
+  return _mm256_add_epi32(a, b);
+}
+__attribute__((target("avx2"))) inline __m256i Xor(__m256i a, __m256i b) {
+  return _mm256_xor_si256(a, b);
+}
+__attribute__((target("avx2"))) inline __m256i RotR(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+__attribute__((target("avx2"))) inline __m256i BigSigma0(__m256i x) {
+  return Xor(Xor(RotR(x, 2), RotR(x, 13)), RotR(x, 22));
+}
+__attribute__((target("avx2"))) inline __m256i BigSigma1(__m256i x) {
+  return Xor(Xor(RotR(x, 6), RotR(x, 11)), RotR(x, 25));
+}
+__attribute__((target("avx2"))) inline __m256i SmallSigma0(__m256i x) {
+  return Xor(Xor(RotR(x, 7), RotR(x, 18)), _mm256_srli_epi32(x, 3));
+}
+__attribute__((target("avx2"))) inline __m256i SmallSigma1(__m256i x) {
+  return Xor(Xor(RotR(x, 17), RotR(x, 19)), _mm256_srli_epi32(x, 10));
+}
+__attribute__((target("avx2"))) inline __m256i Ch(__m256i e, __m256i f,
+                                                  __m256i g) {
+  // (e & f) ^ (~e & g) == g ^ (e & (f ^ g))
+  return Xor(g, _mm256_and_si256(e, Xor(f, g)));
+}
+__attribute__((target("avx2"))) inline __m256i Maj(__m256i a, __m256i b,
+                                                   __m256i c) {
+  // (a & b) ^ (a & c) ^ (b & c) == (a & b) | (c & (a | b))
+  return _mm256_or_si256(_mm256_and_si256(a, b),
+                         _mm256_and_si256(c, _mm256_or_si256(a, b)));
+}
+
+inline std::uint32_t read_be32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | static_cast<std::uint32_t>(p[3]);
+}
+
+inline void write_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+/// 64 rounds over 8 lanes; w[] is consumed/extended in place (ring of 16).
+__attribute__((target("avx2"))) void rounds_8way(__m256i s[8], __m256i w[16]) {
+  __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+  __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+  for (int i = 0; i < 64; ++i) {
+    if (i >= 16) {
+      w[i & 15] =
+          Add(Add(w[i & 15], SmallSigma0(w[(i + 1) & 15])),
+              Add(w[(i + 9) & 15], SmallSigma1(w[(i + 14) & 15])));
+    }
+    const __m256i t1 = Add(Add(h, BigSigma1(e)),
+                           Add(Ch(e, f, g), Add(_mm256_set1_epi32(
+                                                    static_cast<int>(kK[i])),
+                                                w[i & 15])));
+    const __m256i t2 = Add(BigSigma0(a), Maj(a, b, c));
+    h = g;
+    g = f;
+    f = e;
+    e = Add(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = Add(t1, t2);
+  }
+  s[0] = Add(s[0], a);
+  s[1] = Add(s[1], b);
+  s[2] = Add(s[2], c);
+  s[3] = Add(s[3], d);
+  s[4] = Add(s[4], e);
+  s[5] = Add(s[5], f);
+  s[6] = Add(s[6], g);
+  s[7] = Add(s[7], h);
+}
+
+__attribute__((target("avx2"))) void d64_8way(std::uint8_t* out,
+                                              const std::uint8_t* in) {
+  // First hash, block 1: gather word t of each of the 8 messages into the
+  // lanes of w[t].
+  __m256i w[16];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = _mm256_set_epi32(
+        static_cast<int>(read_be32(in + 7 * 64 + 4 * t)),
+        static_cast<int>(read_be32(in + 6 * 64 + 4 * t)),
+        static_cast<int>(read_be32(in + 5 * 64 + 4 * t)),
+        static_cast<int>(read_be32(in + 4 * 64 + 4 * t)),
+        static_cast<int>(read_be32(in + 3 * 64 + 4 * t)),
+        static_cast<int>(read_be32(in + 2 * 64 + 4 * t)),
+        static_cast<int>(read_be32(in + 1 * 64 + 4 * t)),
+        static_cast<int>(read_be32(in + 0 * 64 + 4 * t)));
+  }
+  __m256i s[8];
+  for (int i = 0; i < 8; ++i) s[i] = _mm256_set1_epi32(static_cast<int>(kIv[i]));
+  rounds_8way(s, w);
+
+  // First hash, block 2: constant padding for a 64-byte message.
+  w[0] = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  for (int t = 1; t < 15; ++t) w[t] = _mm256_setzero_si256();
+  w[15] = _mm256_set1_epi32(512);
+  rounds_8way(s, w);
+
+  // Second hash: the 32-byte digest is already transposed in s[0..7].
+  for (int t = 0; t < 8; ++t) w[t] = s[t];
+  w[8] = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  for (int t = 9; t < 15; ++t) w[t] = _mm256_setzero_si256();
+  w[15] = _mm256_set1_epi32(256);
+  for (int i = 0; i < 8; ++i) s[i] = _mm256_set1_epi32(static_cast<int>(kIv[i]));
+  rounds_8way(s, w);
+
+  // Scatter: lane L of s[t] is word t of output L.
+  alignas(32) std::uint32_t lanes[8][8];
+  for (int t = 0; t < 8; ++t)
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes[t]), s[t]);
+  for (int lane = 0; lane < 8; ++lane)
+    for (int t = 0; t < 8; ++t)
+      write_be32(out + lane * 32 + 4 * t, lanes[t][lane]);
+}
+
+}  // namespace
+
+bool avx2_available() { return __builtin_cpu_supports("avx2"); }
+
+void sha256d64_avx2(std::uint8_t* out, const std::uint8_t* in, std::size_t n) {
+  while (n >= 8) {
+    d64_8way(out, in);
+    in += 8 * 64;
+    out += 8 * 32;
+    n -= 8;
+  }
+  if (n != 0) sha256d64_scalar(out, in, n);
+}
+
+}  // namespace bcwan::crypto::detail
+
+#endif  // x86

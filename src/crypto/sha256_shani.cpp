@@ -1,0 +1,102 @@
+// SHA-NI (x86 SHA extensions) single-stream SHA-256 compressor.
+//
+// Structure follows the canonical Intel reference flow: the eight state
+// words live in two XMM registers (ABEF / CDGH), each _mm_sha256rnds2_epu32
+// executes two rounds, and the message schedule is extended in-register with
+// _mm_sha256msg1/msg2 plus one PALIGNR for the W[t-7] term. Round constants
+// are loaded straight from the little-endian kK table — four consecutive
+// uint32s are exactly the 128-bit operand the round instruction wants.
+//
+// This translation unit is compiled with -msha -msse4.1; callers must gate
+// on shani_available() (sha256.cpp's dispatch does).
+#include "crypto/sha256_impl.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace bcwan::crypto::detail {
+
+namespace {
+
+alignas(16) constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+bool shani_available() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+}
+
+__attribute__((target("sha,sse4.1"))) void transform_shani(
+    std::uint32_t* state, const std::uint8_t* blocks, std::size_t nblocks) {
+  // Big-endian 32-bit loads via byte shuffle.
+  const __m128i kBswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Pack {a,b,c,d,e,f,g,h} into ABEF / CDGH register order.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i cdgh = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);    // CDAB
+  cdgh = _mm_shuffle_epi32(cdgh, 0x1B);  // EFGH
+  __m128i abef = _mm_alignr_epi8(tmp, cdgh, 8);
+  cdgh = _mm_blend_epi16(cdgh, tmp, 0xF0);
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk, blocks += 64) {
+    const __m128i abef_save = abef;
+    const __m128i cdgh_save = cdgh;
+
+    // m[g & 3] holds W[4g .. 4g+3] when group g's rounds execute.
+    __m128i m[4];
+    for (int i = 0; i < 4; ++i) {
+      m[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16 * i)),
+          kBswap);
+    }
+
+    for (int g = 0; g < 16; ++g) {
+      __m128i msg = _mm_add_epi32(
+          m[g & 3],
+          _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+      cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+      if (g >= 3 && g < 15) {
+        // Finish W[4(g+1) .. 4(g+1)+3]: add the W[t-7] window, then msg2
+        // supplies the sigma1(W[t-2]) terms.
+        const __m128i w7 = _mm_alignr_epi8(m[g & 3], m[(g + 3) & 3], 4);
+        m[(g + 1) & 3] = _mm_add_epi32(m[(g + 1) & 3], w7);
+        m[(g + 1) & 3] = _mm_sha256msg2_epu32(m[(g + 1) & 3], m[g & 3]);
+      }
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);
+      if (g >= 1 && g < 13) {
+        // Start the sigma0 part of the group that msg2 will finish later.
+        m[(g + 3) & 3] = _mm_sha256msg1_epu32(m[(g + 3) & 3], m[g & 3]);
+      }
+    }
+
+    abef = _mm_add_epi32(abef, abef_save);
+    cdgh = _mm_add_epi32(cdgh, cdgh_save);
+  }
+
+  // Unpack ABEF / CDGH back to {a..h}.
+  tmp = _mm_shuffle_epi32(abef, 0x1B);    // FEBA
+  cdgh = _mm_shuffle_epi32(cdgh, 0xB1);   // DCHG
+  abef = _mm_blend_epi16(tmp, cdgh, 0xF0);  // DCBA
+  cdgh = _mm_alignr_epi8(cdgh, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), abef);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), cdgh);
+}
+
+}  // namespace bcwan::crypto::detail
+
+#endif  // x86

@@ -39,8 +39,10 @@ chain::AcceptBlockResult ChainNode::submit_block(const Block& block) {
     seen_blocks_.insert(block.hash());
     ++blocks_seen_;
     mempool_.remove_confirmed(block);
-    if (result == chain::AcceptBlockResult::kReorganized)
+    if (result == chain::AcceptBlockResult::kReorganized) {
       resurrect_disconnected();
+      for (const auto& watcher : reorg_watchers_) watcher();
+    }
     for (const auto& watcher : block_watchers_) watcher(block);
     relay_block(block);
   }
@@ -141,8 +143,10 @@ void ChainNode::accept_gossip_block(const Block& block, HostId from) {
   if (result == chain::AcceptBlockResult::kConnected ||
       result == chain::AcceptBlockResult::kReorganized) {
     mempool_.remove_confirmed(block);
-    if (result == chain::AcceptBlockResult::kReorganized)
+    if (result == chain::AcceptBlockResult::kReorganized) {
       resurrect_disconnected();
+      for (const auto& watcher : reorg_watchers_) watcher();
+    }
     for (const auto& watcher : block_watchers_) watcher(block);
     drain_orphan_txs();
   }

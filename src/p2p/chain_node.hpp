@@ -73,6 +73,15 @@ class ChainNode {
     block_watchers_.push_back(std::move(watcher));
   }
 
+  /// Fires after a reorganization completed on this node: the losing branch
+  /// is disconnected and its transactions resurrected before the call.
+  /// Chain-derived caches (the gateway directory) must resync here —
+  /// anything ingested from a disconnected block would otherwise survive
+  /// with a dead height. Runs before the block watchers for the winning tip.
+  void add_reorg_watcher(std::function<void()> watcher) {
+    reorg_watchers_.push_back(std::move(watcher));
+  }
+
   /// Fires for every transaction *message* this host receives, before and
   /// regardless of mempool acceptance — an on-the-wire tap. The §6 attacker
   /// uses this to pull eSk out of a redeem transaction its own mempool
@@ -115,6 +124,7 @@ class ChainNode {
   std::function<void(const chain::Transaction&)> raw_tx_tap_;
   std::vector<std::function<void(const chain::Transaction&)>> tx_watchers_;
   std::vector<std::function<void(const chain::Block&)>> block_watchers_;
+  std::vector<std::function<void()>> reorg_watchers_;
   std::unordered_set<chain::Hash256, chain::Hash256Hasher> seen_txs_;
   std::unordered_set<chain::Hash256, chain::Hash256Hasher> seen_blocks_;
   // Transactions whose inputs are not yet known (gossip reordered a chain

@@ -5,6 +5,7 @@
 // like the real thing on the wire.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -30,9 +31,13 @@ class Writer {
   /// Bitcoin CompactSize.
   void varint(std::uint64_t v);
   void bytes(ByteView b) {
-    // reserve() first: avoids a GCC-12 -Wstringop-overflow false positive
-    // on the inlined insert path, and saves a realloc besides.
-    out_.reserve(out_.size() + b.size());
+    // The explicit capacity check keeps GCC-12's -Wstringop-overflow quiet
+    // on the inlined insert path. Grow geometrically when we do grow: an
+    // exact-size reserve() would pin capacity == size and turn a run of
+    // appends quadratic, since reserve never over-allocates.
+    const std::size_t need = out_.size() + b.size();
+    if (need > out_.capacity())
+      out_.reserve(std::max(need, out_.size() + out_.size() / 2));
     out_.insert(out_.end(), b.begin(), b.end());
   }
   /// varint length prefix + raw bytes.

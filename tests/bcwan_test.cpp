@@ -561,6 +561,70 @@ TEST(Federation, MultiGatewayActorsUseElectedMaster) {
   EXPECT_GE(master_redeems, 3u);
 }
 
+// Minimal single-node world for exercising the directory against reorgs:
+// a ChainNode with no peers, driven by direct block submission.
+struct DirReorgHarness {
+  chain::ChainParams params = [] {
+    chain::ChainParams p;
+    p.pow_zero_bits = 4;
+    p.coinbase_maturity = 1;
+    return p;
+  }();
+  p2p::EventLoop loop;
+  p2p::SimNet net{loop, 77};
+  p2p::HostId host = net.add_host("dir-node");
+  p2p::ChainNode node{loop, net, host, params, {}, 42};
+  chain::Wallet miner_wallet = chain::Wallet::from_seed("dir-miner");
+  chain::Miner miner{params, miner_wallet.pkh()};
+
+  chain::Block mine(std::uint64_t time) {
+    return miner.mine(node.chain(), node.mempool(), time);
+  }
+};
+
+TEST(Directory, ReorgResyncsStaleEntries) {
+  DirReorgHarness a;
+  Directory dir(a.node);
+
+  // Fund the announcer, then put an announcement on-chain in block 2.
+  ASSERT_EQ(a.node.submit_block(a.mine(1)),
+            chain::AcceptBlockResult::kConnected);
+  const auto announce = a.miner_wallet.create_announcement(
+      a.node.chain(), &a.node.mempool(),
+      encode_directory_entry(a.miner_wallet.pkh(), 0x0a000001, 9000), 1000);
+  ASSERT_TRUE(announce.has_value());
+  ASSERT_TRUE(a.node.submit_tx(*announce).ok());
+  ASSERT_EQ(a.node.submit_block(a.mine(2)),
+            chain::AcceptBlockResult::kConnected);
+  {
+    const auto entry = dir.lookup(a.miner_wallet.pkh());
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->height, 2);
+  }
+
+  // A competing branch (same genesis + block 1, no announcement) overtakes
+  // the announcement block.
+  DirReorgHarness b;
+  const auto common = a.node.chain().block_at(1);
+  ASSERT_TRUE(common.has_value());
+  ASSERT_EQ(b.node.submit_block(*common), chain::AcceptBlockResult::kConnected);
+  const chain::Block b2 = b.mine(20);
+  ASSERT_EQ(b.node.submit_block(b2), chain::AcceptBlockResult::kConnected);
+  const chain::Block b3 = b.mine(21);
+  ASSERT_EQ(b.node.submit_block(b3), chain::AcceptBlockResult::kConnected);
+
+  ASSERT_EQ(a.node.submit_block(b2), chain::AcceptBlockResult::kSideChain);
+  ASSERT_EQ(a.node.submit_block(b3), chain::AcceptBlockResult::kReorganized);
+
+  // The announcement's block was disconnected; its tx was resurrected into
+  // the mempool. The reorg watcher must have resynced the directory, so
+  // the entry now reports the mempool (-1), not the dead height 2 — before
+  // the resync hook it kept claiming a block the active chain doesn't have.
+  const auto entry = dir.lookup(a.miner_wallet.pkh());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->height, -1);
+}
+
 TEST(Federation, DirectoryServesForeignLookups) {
   sim::Scenario scenario(small_config(29));
   scenario.bootstrap();

@@ -101,6 +101,7 @@ TEST(Transaction, TxidChangesWithContent) {
   tx.vout.emplace_back();
   const Hash256 id1 = tx.txid();
   tx.vout[0].value = 1;
+  tx.invalidate_txid();  // mutation after a txid() call must be declared
   EXPECT_NE(tx.txid(), id1);
 }
 
@@ -259,6 +260,7 @@ TEST(Blockchain, RejectsOverpayingCoinbase) {
   Harness h;
   Block block = h.miner.assemble(h.chain, h.pool, 1);
   block.txs[0].vout[0].value = h.params.block_reward + 1;
+  block.txs[0].invalidate_txid();
   block.header.merkle_root = compute_merkle_root(block.txs);
   solve_pow(block.header);
   EXPECT_EQ(h.chain.accept_block(block), AcceptBlockResult::kInvalid);
@@ -1001,6 +1003,7 @@ TEST(Validation, SerialAndParallelAgreeOnBadScript) {
   Bytes corrupted = victim.vin[0].script_sig.bytes();
   corrupted[corrupted.size() / 2] ^= 0x01;
   victim.vin[0].script_sig = script::Script(std::move(corrupted));
+  victim.invalidate_txid();
   block.header.merkle_root = compute_merkle_root(block.txs);
   solve_pow(block.header);
   const int height = h.chain.height() + 1;
