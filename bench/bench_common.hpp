@@ -4,14 +4,117 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-
-#include <cstdio>
 #include <vector>
 
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
 namespace bcwan::bench {
+
+/// Minimal streaming JSON emitter for the BENCH_*.json result files. Tracks
+/// the container stack so call sites never hand-manage commas, newlines or
+/// indentation (the bug-prone part of the old per-bench fprintf blocks).
+/// Usage:
+///   JsonWriter w(f);
+///   w.begin_object();
+///   w.str("experiment", "VAL-TPUT").boolean("smoke", smoke);
+///   w.begin_array("configs");
+///   w.begin_object().str("name", name).num("ms", ms, "%.3f").end_object();
+///   w.end_array();
+///   w.end_object();
+///   w.finish();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  JsonWriter& begin_object(const char* key = nullptr) {
+    open(key, '{');
+    return *this;
+  }
+  JsonWriter& end_object() {
+    close('}');
+    return *this;
+  }
+  JsonWriter& begin_array(const char* key = nullptr) {
+    open(key, '[');
+    return *this;
+  }
+  JsonWriter& end_array() {
+    close(']');
+    return *this;
+  }
+
+  JsonWriter& str(const char* key, const std::string& value) {
+    prefix(key);
+    std::fputc('"', f_);
+    for (const char c : value) {
+      if (c == '"' || c == '\\') {
+        std::fputc('\\', f_);
+        std::fputc(c, f_);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        std::fprintf(f_, "\\u%04x", c);
+      } else {
+        std::fputc(c, f_);
+      }
+    }
+    std::fputc('"', f_);
+    return *this;
+  }
+  JsonWriter& boolean(const char* key, bool value) {
+    prefix(key);
+    std::fputs(value ? "true" : "false", f_);
+    return *this;
+  }
+  /// `fmt` must consume exactly one double (e.g. "%.3f").
+  JsonWriter& num(const char* key, double value, const char* fmt = "%.6g") {
+    prefix(key);
+    std::fprintf(f_, fmt, value);
+    return *this;
+  }
+  JsonWriter& uint(const char* key, unsigned long long value) {
+    prefix(key);
+    std::fprintf(f_, "%llu", value);
+    return *this;
+  }
+  JsonWriter& integer(const char* key, long long value) {
+    prefix(key);
+    std::fprintf(f_, "%lld", value);
+    return *this;
+  }
+
+  /// Call once after the top-level container closes.
+  void finish() { std::fputc('\n', f_); }
+
+ private:
+  void indent() {
+    for (std::size_t i = 0; i < counts_.size(); ++i) std::fputs("  ", f_);
+  }
+  void prefix(const char* key) {
+    if (!counts_.empty()) {
+      if (counts_.back()++ > 0) std::fputc(',', f_);
+      std::fputc('\n', f_);
+      indent();
+    }
+    if (key != nullptr) std::fprintf(f_, "\"%s\": ", key);
+  }
+  void open(const char* key, char bracket) {
+    prefix(key);
+    std::fputc(bracket, f_);
+    counts_.push_back(0);
+  }
+  void close(char bracket) {
+    const std::size_t children = counts_.back();
+    counts_.pop_back();
+    if (children > 0) {
+      std::fputc('\n', f_);
+      indent();
+    }
+    std::fputc(bracket, f_);
+  }
+
+  std::FILE* f_;
+  std::vector<std::size_t> counts_;
+};
 
 inline void print_header(const char* experiment_id, const char* title) {
   std::printf("==========================================================\n");

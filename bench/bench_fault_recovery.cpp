@@ -12,6 +12,8 @@
 #include "sim/faults.hpp"
 #include "sim/invariants.hpp"
 #include "sim/scenario.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -126,45 +128,50 @@ SweepResult run_level(double intensity, std::size_t exchanges,
 
 void print_json(const SweepResult* results, std::size_t n,
                 std::size_t exchanges) {
-  std::printf("{\n  \"experiment\": \"fault_recovery_sweep\",\n");
-  std::printf("  \"exchanges_per_level\": %zu,\n  \"levels\": [\n", exchanges);
+  bench::JsonWriter w(stdout);
+  w.begin_object();
+  w.str("experiment", "fault_recovery_sweep");
+  w.uint("exchanges_per_level", exchanges);
+  w.begin_array("levels");
   for (std::size_t i = 0; i < n; ++i) {
     const SweepResult& r = results[i];
-    std::printf("    {\"intensity\": %.2f, \"offered\": %zu, "
-                "\"completed\": %llu, \"delivery_ratio\": %.4f,\n",
-                r.intensity, r.offered,
-                static_cast<unsigned long long>(r.completed),
-                // A final in-flight exchange may still complete during the
-                // drain window, so clamp against the larger of the two.
-                r.completed == 0
-                    ? 0.0
-                    : static_cast<double>(r.completed) /
-                          static_cast<double>(std::max<std::uint64_t>(
-                              r.offered, r.completed)));
-    std::printf("     \"latency_s\": {\"mean\": %.3f, \"p50\": %.3f, "
-                "\"p99\": %.3f},\n",
-                r.mean_s, r.p50_s, r.p99_s);
-    std::printf("     \"retries\": {\"request\": %llu, \"data\": %llu, "
-                "\"exchange_restarts\": %llu, \"deliver\": %llu, "
-                "\"rekeys\": %llu, \"redeem_resubmits\": %llu, "
-                "\"offer_rebroadcasts\": %llu},\n",
-                static_cast<unsigned long long>(r.request_retries),
-                static_cast<unsigned long long>(r.data_retransmissions),
-                static_cast<unsigned long long>(r.exchange_restarts),
-                static_cast<unsigned long long>(r.deliver_retries),
-                static_cast<unsigned long long>(r.rekeys),
-                static_cast<unsigned long long>(r.redeem_resubmits),
-                static_cast<unsigned long long>(r.offer_rebroadcasts));
-    std::printf("     \"reclaims\": %llu, \"duplicate_deliveries\": %llu, "
-                "\"frames_lost\": %llu, \"faults_injected\": %llu, "
-                "\"invariant_violations\": %zu}%s\n",
-                static_cast<unsigned long long>(r.reclaims),
-                static_cast<unsigned long long>(r.duplicate_deliveries),
-                static_cast<unsigned long long>(r.frames_lost),
-                static_cast<unsigned long long>(r.faults_injected),
-                r.invariant_violations, i + 1 < n ? "," : "");
+    w.begin_object();
+    w.num("intensity", r.intensity, "%.2f");
+    w.uint("offered", r.offered);
+    w.uint("completed", r.completed);
+    // A final in-flight exchange may still complete during the drain
+    // window, so clamp against the larger of the two.
+    w.num("delivery_ratio",
+          r.completed == 0
+              ? 0.0
+              : static_cast<double>(r.completed) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(r.offered, r.completed)),
+          "%.4f");
+    w.begin_object("latency_s");
+    w.num("mean", r.mean_s, "%.3f");
+    w.num("p50", r.p50_s, "%.3f");
+    w.num("p99", r.p99_s, "%.3f");
+    w.end_object();
+    w.begin_object("retries");
+    w.uint("request", r.request_retries);
+    w.uint("data", r.data_retransmissions);
+    w.uint("exchange_restarts", r.exchange_restarts);
+    w.uint("deliver", r.deliver_retries);
+    w.uint("rekeys", r.rekeys);
+    w.uint("redeem_resubmits", r.redeem_resubmits);
+    w.uint("offer_rebroadcasts", r.offer_rebroadcasts);
+    w.end_object();
+    w.uint("reclaims", r.reclaims);
+    w.uint("duplicate_deliveries", r.duplicate_deliveries);
+    w.uint("frames_lost", r.frames_lost);
+    w.uint("faults_injected", r.faults_injected);
+    w.uint("invariant_violations", r.invariant_violations);
+    w.end_object();
   }
-  std::printf("  ]\n}\n");
+  w.end_array();
+  w.end_object();
+  w.finish();
 }
 
 }  // namespace
@@ -173,6 +180,9 @@ int main() {
   // Banner and progress go to stderr: stdout carries exactly one JSON
   // document so the sweep pipes straight into jq / json.tool.
   std::fprintf(stderr, "fault-recovery — delivery under escalating chaos injection\n");
+  // Virtual-time bench: telemetry stays on for the whole sweep (no
+  // wall-clock numbers to perturb) so the snapshot covers every level.
+  telemetry::set_enabled(true);
   const std::size_t exchanges = bench::exchange_count(12);
   const double levels[] = {0.0, 0.5, 1.0, 2.0};
   constexpr std::size_t kLevels = sizeof(levels) / sizeof(levels[0]);
@@ -182,5 +192,10 @@ int main() {
     results[i] = run_level(levels[i], exchanges, 1000 + i);
   }
   print_json(results, kLevels, exchanges);
+  if (telemetry::compiled_in() &&
+      telemetry::write_json_snapshot("TELEMETRY_fault_recovery.json")) {
+    std::fprintf(stderr,
+                 "telemetry snapshot written to TELEMETRY_fault_recovery.json\n");
+  }
   return 0;
 }

@@ -336,37 +336,35 @@ int main() {
 
   std::FILE* f = std::fopen("BENCH_hashing.json", "w");
   if (f != nullptr) {
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"experiment\": \"HASH-TPUT\",\n");
-    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"detected_backend\": \"%s\",\n", detected.c_str());
-    std::fprintf(f, "  \"available_backends\": [");
-    for (std::size_t i = 0; i < backends.size(); ++i)
-      std::fprintf(f, "\"%s\"%s", backends[i].c_str(),
-                   i + 1 < backends.size() ? ", " : "");
-    std::fprintf(f, "],\n");
-    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
-    std::fprintf(f, "  \"equivalence_ok\": true,\n");
-    std::fprintf(f, "  \"merkle_leaves\": %zu,\n", kMerkleLeaves);
-    std::fprintf(f, "  \"sighash_inputs\": %zu,\n", kSighashInputs);
-    std::fprintf(f, "  \"stream_bytes\": %zu,\n", kStreamBytes);
-    std::fprintf(f, "  \"axes\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      std::fprintf(f, "    {\"name\": \"%s\", \"ms_mean\": %.5f}%s\n",
-                   results[i].name.c_str(), results[i].ms_mean,
-                   i + 1 < results.size() ? "," : "");
+    bench::JsonWriter w(f);
+    w.begin_object();
+    w.str("experiment", "HASH-TPUT");
+    w.boolean("smoke", smoke);
+    w.str("detected_backend", detected);
+    w.begin_array("available_backends");
+    for (const std::string& backend : backends) w.str(nullptr, backend);
+    w.end_array();
+    w.uint("hardware_threads", hw);
+    w.boolean("equivalence_ok", true);
+    w.uint("merkle_leaves", kMerkleLeaves);
+    w.uint("sighash_inputs", kSighashInputs);
+    w.uint("stream_bytes", kStreamBytes);
+    w.begin_array("axes");
+    for (const auto& r : results) {
+      w.begin_object();
+      w.str("name", r.name);
+      w.num("ms_mean", r.ms_mean, "%.5f");
+      w.end_object();
     }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"stream_speedup_vs_scalar\": %.3f,\n", stream_speedup);
-    std::fprintf(f, "  \"merkle_speedup_vs_scalar\": %.3f,\n", merkle_speedup);
-    std::fprintf(f, "  \"sighash_speedup_vs_naive\": %.3f,\n", sighash_speedup);
-    std::fprintf(f, "  \"txid_memo_speedup\": %.3f,\n",
-                 txid_cold_ms / txid_memo_ms);
-    std::fprintf(f, "  \"merkle_target_2x_met\": %s,\n",
-                 merkle_speedup >= 2.0 ? "true" : "false");
-    std::fprintf(f, "  \"sighash_target_2x_met\": %s\n",
-                 sighash_speedup >= 2.0 ? "true" : "false");
-    std::fprintf(f, "}\n");
+    w.end_array();
+    w.num("stream_speedup_vs_scalar", stream_speedup, "%.3f");
+    w.num("merkle_speedup_vs_scalar", merkle_speedup, "%.3f");
+    w.num("sighash_speedup_vs_naive", sighash_speedup, "%.3f");
+    w.num("txid_memo_speedup", txid_cold_ms / txid_memo_ms, "%.3f");
+    w.boolean("merkle_target_2x_met", merkle_speedup >= 2.0);
+    w.boolean("sighash_target_2x_met", sighash_speedup >= 2.0);
+    w.end_object();
+    w.finish();
     std::fclose(f);
     std::printf("results written to BENCH_hashing.json\n");
   }

@@ -31,6 +31,8 @@
 #include "chain/sigcache.hpp"
 #include "chain/validation.hpp"
 #include "chain/wallet.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -220,30 +222,58 @@ int main() {
 
   std::FILE* f = std::fopen("BENCH_validation.json", "w");
   if (f != nullptr) {
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"experiment\": \"VAL-TPUT\",\n");
-    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"block_txs\": %zu,\n", block.txs.size());
-    std::fprintf(f, "  \"hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"repetitions\": %d,\n", kReps);
-    std::fprintf(f, "  \"verdicts_match\": %s,\n",
-                 verdicts_match ? "true" : "false");
-    std::fprintf(f, "  \"configs\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const ConfigResult& r = results[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"threads\": %u, \"sigcache\": "
-                   "%s, \"montgomery\": %s, \"connect_ms_mean\": %.3f, "
-                   "\"speedup_vs_serial\": %.2f}%s\n",
-                   r.name.c_str(), r.threads, r.cache ? "true" : "false",
-                   r.montgomery ? "true" : "false", r.connect_ms_mean,
-                   baseline / r.connect_ms_mean,
-                   i + 1 < results.size() ? "," : "");
+    bench::JsonWriter w(f);
+    w.begin_object();
+    w.str("experiment", "VAL-TPUT");
+    w.boolean("smoke", smoke);
+    w.uint("block_txs", block.txs.size());
+    w.uint("hardware_threads", std::thread::hardware_concurrency());
+    w.integer("repetitions", kReps);
+    w.boolean("verdicts_match", verdicts_match);
+    w.begin_array("configs");
+    for (const ConfigResult& r : results) {
+      w.begin_object();
+      w.str("name", r.name);
+      w.uint("threads", r.threads);
+      w.boolean("sigcache", r.cache);
+      w.boolean("montgomery", r.montgomery);
+      w.num("connect_ms_mean", r.connect_ms_mean, "%.3f");
+      w.num("speedup_vs_serial", baseline / r.connect_ms_mean, "%.2f");
+      w.end_object();
     }
-    std::fprintf(f, "  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    w.finish();
     std::fclose(f);
     std::printf("results written to BENCH_validation.json\n");
+  }
+
+  // Telemetry snapshot — taken from one extra *untimed* connect so enabling
+  // the runtime flag cannot perturb the numbers above (DESIGN.md §10).
+  if (telemetry::compiled_in()) {
+    telemetry::set_enabled(true);
+    telemetry::registry().reset_all();
+    chain::ChainParams p = params;
+    p.script_check_threads = 8;
+    // Two connects over warm caches so the snapshot's hit-rate gauges are
+    // exercised, not vacuously zero.
+    set_caches(true);
+    chain::BlockValidationResult result;
+    for (int pass = 0; pass < 2; ++pass) {
+      chain::UtxoSet utxo = bc.utxo();
+      chain::BlockUndo undo;
+      result = chain::connect_block(block, utxo, height, p, undo);
+      if (!result.ok()) break;
+    }
+    // Snapshot while still enabled: collectors write gauges at export time,
+    // and those writes are no-ops once the runtime flag drops.
+    if (result.ok() &&
+        telemetry::write_json_snapshot("TELEMETRY_validation.json",
+                                       telemetry::registry(),
+                                       /*include_spans=*/false)) {
+      std::printf("telemetry snapshot written to TELEMETRY_validation.json\n");
+    }
+    telemetry::set_enabled(false);
   }
   return verdicts_match ? 0 : 1;
 }

@@ -1,0 +1,114 @@
+// Telemetry probe — the CI scrape smoke test.
+//
+// Runs a small federation with telemetry enabled, then:
+//   1. renders the Prometheus text exposition and runs the strict
+//      validator over it (any malformed line fails the build);
+//   2. writes TELEMETRY_probe.prom and TELEMETRY_probe.json;
+//   3. asserts the metrics the acceptance criteria name are present:
+//      per-phase exchange latency histograms, verification-cache hit
+//      rates, and LoRa duty-cycle gauges;
+//   4. checks extracted quantiles are monotone.
+//
+// Exits nonzero on any failure so CI catches exporter or wiring
+// regressions.
+//
+//   ./telemetry_probe
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/scenario.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+int failures = 0;
+
+void require(bool ok, const char* what) {
+  std::printf("  %-58s %s\n", what, ok ? "ok" : "FAIL");
+  if (!ok) ++failures;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bcwan;
+  std::printf("telemetry probe — scrape + snapshot smoke test\n");
+
+  if (!telemetry::compiled_in()) {
+    std::printf("telemetry compiled out (BCWAN_TELEMETRY=OFF) — nothing to "
+                "probe, exiting clean.\n");
+    return 0;
+  }
+  telemetry::set_enabled(true);
+
+  sim::ScenarioConfig config;
+  config.actors = 2;
+  config.sensors_per_actor = 2;
+  config.chain_params.pow_zero_bits = 8;
+  config.chain_params.coinbase_maturity = 3;
+  config.recipient_funding = 10 * chain::kCoin;
+  sim::Scenario scenario(config);
+  scenario.bootstrap();
+  scenario.run_exchanges(4, 2 * util::kHour);
+  std::printf("scenario done: %llu exchanges completed\n\n",
+              static_cast<unsigned long long>(scenario.exchanges_completed()));
+  require(scenario.exchanges_completed() >= 4, "4 exchanges completed");
+
+  // --- Prometheus exposition ---------------------------------------------
+  const std::string prom = telemetry::render_prometheus();
+  const auto error = telemetry::validate_prometheus(prom);
+  require(!error.has_value(), "prometheus exposition validates");
+  if (error) std::printf("    validator: %s\n", error->c_str());
+
+  const auto has = [&prom](const char* needle) {
+    return prom.find(needle) != std::string::npos;
+  };
+  require(has("bcwan_exchange_phase_seconds_bucket{phase=\"uplink\""),
+          "phase histogram: uplink");
+  require(has("bcwan_exchange_phase_seconds_bucket{phase=\"offer\""),
+          "phase histogram: offer");
+  require(has("bcwan_exchange_phase_seconds_bucket{phase=\"reveal\""),
+          "phase histogram: reveal");
+  require(has("bcwan_exchange_phase_seconds_bucket{phase=\"decrypt\""),
+          "phase histogram: decrypt");
+  require(has("bcwan_chain_cache_hit_rate{cache=\"sig\"}"),
+          "sigcache hit-rate gauge");
+  require(has("bcwan_chain_cache_hit_rate{cache=\"script_exec\"}"),
+          "script-exec-cache hit-rate gauge");
+  require(has("bcwan_lora_duty_credit_seconds{direction=\"uplink\"}"),
+          "LoRa duty-credit gauge (uplink)");
+  require(has("bcwan_lora_airtime_seconds_total{direction=\"uplink\"}"),
+          "LoRa airtime gauge");
+  require(has("bcwan_p2p_messages_in_total"), "p2p message counters");
+  require(has("bcwan_chain_connect_block_seconds_count"),
+          "connect-block histogram");
+
+  // --- Quantile sanity ----------------------------------------------------
+  auto& latency = telemetry::registry().histogram(
+      "bcwan_exchange_latency_seconds");
+  const double p50 = latency.quantile(0.50);
+  const double p90 = latency.quantile(0.90);
+  const double p99 = latency.quantile(0.99);
+  require(latency.count() >= 4, "latency histogram populated");
+  require(p50 <= p90 && p90 <= p99, "quantiles monotone (p50<=p90<=p99)");
+  require(p50 >= latency.observed_min() && p99 <= latency.observed_max(),
+          "quantiles clamped to observed range");
+
+  // --- Snapshot files -----------------------------------------------------
+  bool prom_written = false;
+  if (std::FILE* f = std::fopen("TELEMETRY_probe.prom", "w")) {
+    prom_written =
+        std::fwrite(prom.data(), 1, prom.size(), f) == prom.size();
+    std::fclose(f);
+  }
+  require(prom_written, "TELEMETRY_probe.prom written");
+  require(telemetry::write_json_snapshot("TELEMETRY_probe.json",
+                                         telemetry::registry(),
+                                         /*include_spans=*/true),
+          "TELEMETRY_probe.json written");
+
+  std::printf("\n%s\n", failures == 0 ? "probe passed." : "probe FAILED.");
+  return failures == 0 ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "telemetry/metrics.hpp"
 #include "util/serial.hpp"
 
 namespace bcwan::core {
@@ -71,6 +72,12 @@ Directory::Directory(p2p::ChainNode& node, int startup_scan_depth)
 }
 
 void Directory::rescan(int depth) {
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .counter("bcwan_directory_rescans_total",
+                 "Full directory rebuilds (startup + post-reorg resyncs)")
+        .add();
+  }
   entries_.clear();
   // Oldest-first so newer announcements overwrite older ones: scan_recent
   // walks newest-first, so collect then replay in reverse. The callback
@@ -108,6 +115,12 @@ void Directory::ingest(const chain::Transaction& tx, int height) {
     // Newest wins; a mempool sighting (height -1) still updates the IP
     // because it is the most recent information.
     entries_[stored.owner] = stored;
+    if (telemetry::enabled()) {
+      telemetry::registry()
+          .gauge("bcwan_directory_entries",
+                 "Resolver entries in the most recently updated directory")
+          .set(static_cast<double>(entries_.size()));
+    }
   }
 }
 

@@ -4,6 +4,8 @@
 
 #include "chain/pos.hpp"
 #include "script/templates.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/bytes.hpp"
 #include "util/serial.hpp"
 
@@ -81,6 +83,13 @@ void Blockchain::scan_recent(
 }
 
 bool Blockchain::connect_tip(const Block& block) {
+  telemetry::Histogram* connect_hist = nullptr;
+  if (telemetry::enabled()) {
+    connect_hist = &telemetry::registry().histogram(
+        "bcwan_chain_connect_block_seconds",
+        "Wall-clock time to validate and connect one block at the tip");
+  }
+  telemetry::Span span("chain.connect_tip", connect_hist);
   const Hash256 hash = block.hash();
   auto& stored = blocks_.at(hash);
   BlockUndo undo;
@@ -94,6 +103,21 @@ bool Blockchain::connect_tip(const Block& block) {
   active_.push_back(hash);
   for (const Transaction& tx : block.txs)
     tx_index_[tx.txid()] = stored.height;
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.counter("bcwan_chain_blocks_connected_total",
+                "Blocks connected to the active chain")
+        .add();
+    reg.counter("bcwan_chain_txs_connected_total",
+                "Transactions (incl. coinbases) in connected blocks")
+        .add(block.txs.size());
+    reg.gauge("bcwan_chain_utxo_size",
+              "Unspent outputs tracked by the most recently updated node")
+        .set(static_cast<double>(utxo_.size()));
+    reg.gauge("bcwan_chain_height",
+              "Active chain height of the most recently updated node")
+        .set(static_cast<double>(height()));
+  }
   return true;
 }
 
@@ -194,6 +218,12 @@ AcceptBlockResult Blockchain::maybe_reorg(const Hash256& new_tip) {
   }
 
   // Connect the branch.
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .counter("bcwan_chain_reorgs_total",
+                 "Chain reorganizations attempted (incl. rolled-back ones)")
+        .add();
+  }
   for (std::size_t i = 0; i < branch.size(); ++i) {
     if (!connect_tip(blocks_.at(branch[i]).block)) {
       // Invalid branch: roll back whatever connected and restore the old

@@ -5,6 +5,7 @@
 #include <limits>
 #include <mutex>
 
+#include "telemetry/metrics.hpp"
 #include "util/threadpool.hpp"
 
 namespace bcwan::chain {
@@ -29,6 +30,17 @@ script::ScriptError ScriptCheck::run() const {
 std::optional<ScriptCheckFailure> run_script_checks(
     const std::vector<ScriptCheck>& checks, unsigned threads) {
   if (checks.empty()) return std::nullopt;
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.histogram("bcwan_chain_script_check_batch_size",
+                  "Input-script checks queued per block connection",
+                  telemetry::Histogram::Options{1.0, 2.0, 24})
+        .observe(static_cast<double>(checks.size()));
+    reg.counter("bcwan_chain_script_checks_total",
+                "Input-script checks executed (serial or pooled)")
+        .add(checks.size());
+  }
 
   if (threads <= 1) {
     for (const ScriptCheck& check : checks) {

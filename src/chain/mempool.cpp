@@ -3,8 +3,27 @@
 #include <algorithm>
 
 #include "script/templates.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bcwan::chain {
+
+namespace {
+
+// Node-level gauge: with several simulated nodes in one process this holds
+// the most recently updated node's depth (DESIGN.md §10).
+void telemetry_note_depth(std::size_t depth, MempoolError error) {
+  if (!telemetry::enabled()) return;
+  auto& reg = telemetry::registry();
+  reg.gauge("bcwan_chain_mempool_depth",
+            "Transactions in the most recently updated mempool")
+      .set(static_cast<double>(depth));
+  reg.counter("bcwan_chain_mempool_accepts_total", "result",
+              error == MempoolError::kOk ? "accepted" : "rejected",
+              "Mempool admission attempts by outcome")
+      .add();
+}
+
+}  // namespace
 
 std::string mempool_error_name(MempoolError err) {
   switch (err) {
@@ -20,6 +39,12 @@ std::string mempool_error_name(MempoolError err) {
 MempoolAcceptResult Mempool::accept(const Transaction& tx, const CoinView& utxo,
                                     int height) {
   MempoolAcceptResult result;
+  // Records the admission outcome and post-call depth on every return path.
+  struct TelemetryNote {
+    const Mempool& pool;
+    const MempoolAcceptResult& result;
+    ~TelemetryNote() { telemetry_note_depth(pool.size(), result.error); }
+  } telemetry_note{*this, result};
   const Hash256 txid = tx.txid();
   if (txs_.find(txid) != txs_.end()) {
     result.error = MempoolError::kAlreadyKnown;
@@ -164,6 +189,12 @@ void Mempool::remove_confirmed(const Block& block) {
       if (spender == spent_.end()) continue;
       evict_with_descendants(spender->second);
     }
+  }
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .gauge("bcwan_chain_mempool_depth",
+               "Transactions in the most recently updated mempool")
+        .set(static_cast<double>(size()));
   }
 }
 

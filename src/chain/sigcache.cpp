@@ -4,6 +4,7 @@
 #include <random>
 
 #include "crypto/sha256.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/serial.hpp"
 
 namespace bcwan::chain {
@@ -65,13 +66,48 @@ std::size_t VerifyCache::size() const {
   return entries_.size();
 }
 
+namespace {
+
+// Bridges a process-lifetime cache's hit/miss counters into gauges at export
+// time; the contains() hot path stays untouched. Registered once per cache
+// from the accessor below (the caches are leaked statics, so the captured
+// reference never dangles).
+void register_cache_collector(const char* name, const VerifyCache& cache) {
+  if (!telemetry::compiled_in()) return;
+  telemetry::registry().add_collector([name, &cache] {
+    auto& reg = telemetry::registry();
+    const double hits = static_cast<double>(cache.hits());
+    const double misses = static_cast<double>(cache.misses());
+    reg.gauge("bcwan_chain_cache_hits", "cache", name,
+              "Lookup hits per verification cache")
+        .set(hits);
+    reg.gauge("bcwan_chain_cache_misses", "cache", name,
+              "Lookup misses per verification cache")
+        .set(misses);
+    reg.gauge("bcwan_chain_cache_hit_rate", "cache", name,
+              "hits / (hits + misses) per verification cache")
+        .set(hits + misses > 0.0 ? hits / (hits + misses) : 0.0);
+    reg.gauge("bcwan_chain_cache_entries", "cache", name,
+              "Resident entries per verification cache")
+        .set(static_cast<double>(cache.size()));
+  });
+}
+
+}  // namespace
+
 VerifyCache& sig_cache() {
   static VerifyCache cache(1 << 18);
+  static const bool telemetry_registered =
+      (register_cache_collector("sig", cache), true);
+  (void)telemetry_registered;
   return cache;
 }
 
 VerifyCache& script_exec_cache() {
   static VerifyCache cache(1 << 17);
+  static const bool telemetry_registered =
+      (register_cache_collector("script_exec", cache), true);
+  (void)telemetry_registered;
   return cache;
 }
 

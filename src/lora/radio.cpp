@@ -2,7 +2,45 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace bcwan::lora {
+
+namespace {
+
+// Shared by uplink and downlink. Airtime is virtual (SimTime µs), exported
+// in seconds; duty-cycle credit gauges are per-direction, last-writer-wins
+// across devices/gateways of one radio.
+void telemetry_note_tx(const char* direction, util::SimTime t_air,
+                       util::SimTime credit_left) {
+  auto& reg = bcwan::telemetry::registry();
+  reg.counter("bcwan_lora_frames_sent_total", "direction", direction,
+              "Frames put on the air by direction")
+      .add();
+  reg.gauge("bcwan_lora_airtime_seconds_total", "direction", direction,
+            "Cumulative simulated on-air time by direction")
+      .add(util::to_seconds(t_air));
+  reg.gauge("bcwan_lora_duty_credit_seconds", "direction", direction,
+            "Remaining duty-cycle on-air credit after the latest transmission")
+      .set(util::to_seconds(credit_left));
+}
+
+void telemetry_note_outcome(const char* outcome) {
+  if (!bcwan::telemetry::enabled()) return;
+  bcwan::telemetry::registry()
+      .counter("bcwan_lora_frame_outcomes_total", "outcome", outcome,
+               "Frame fates: delivered, lost, or collided")
+      .add();
+}
+
+void telemetry_note_duty_reject(const char* direction) {
+  bcwan::telemetry::registry()
+      .counter("bcwan_lora_duty_rejections_total", "direction", direction,
+               "Transmissions deferred by the duty-cycle limiter")
+      .add();
+}
+
+}  // namespace
 
 LoraRadio::LoraRadio(p2p::EventLoop& loop, std::uint64_t seed,
                      RadioConfig config)
@@ -70,9 +108,12 @@ TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
   const util::SimTime t_air = airtime(device.phy, frame.size());
   const util::SimTime earliest = device.duty.earliest_start(now, t_air);
   if (earliest > now) {
+    if (telemetry::enabled()) telemetry_note_duty_reject("uplink");
     return TxResult{false, 0, earliest};
   }
   device.duty.record(now, t_air);
+  if (telemetry::enabled())
+    telemetry_note_tx("uplink", t_air, device.duty.credit(now));
 
   Gateway& gateway = gateways_.at(static_cast<std::size_t>(device.gateway));
   const util::SimTime end = now + t_air;
@@ -88,6 +129,7 @@ TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
         reception.corrupted = true;
         corrupted = true;
         ++collisions_;
+        telemetry_note_outcome("collision");
       }
     }
     gateway.receptions.push_back(Gateway::Reception{now, end, corrupted});
@@ -107,18 +149,22 @@ TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
       (void)slot;
       if (ok) {
         ++delivered_;
+        telemetry_note_outcome("delivered");
         if (gw.on_uplink) gw.on_uplink(device_id, frame);
       } else {
         ++lost_;
+        telemetry_note_outcome("lost");
       }
     });
   } else {
     if (corrupted) {
       ++lost_;
+      telemetry_note_outcome("lost");
     } else {
       const RadioGatewayId gw_id = device.gateway;
       loop_.at(end, [this, gw_id, device_id, frame]() {
         ++delivered_;
+        telemetry_note_outcome("delivered");
         Gateway& gw = gateways_.at(static_cast<std::size_t>(gw_id));
         if (gw.on_uplink) gw.on_uplink(device_id, frame);
       });
@@ -137,16 +183,21 @@ TxResult LoraRadio::downlink(RadioGatewayId gateway_id, RadioDeviceId device_id,
   const util::SimTime t_air = airtime(device.phy, frame.size());
   const util::SimTime earliest = gateway.duty.earliest_start(now, t_air);
   if (earliest > now) {
+    if (telemetry::enabled()) telemetry_note_duty_reject("downlink");
     return TxResult{false, 0, earliest};
   }
   gateway.duty.record(now, t_air);
+  if (telemetry::enabled())
+    telemetry_note_tx("downlink", t_air, gateway.duty.credit(now));
 
   const bool dropped = frame_lost(device);
   if (dropped) {
     ++lost_;
+    telemetry_note_outcome("lost");
   } else {
     loop_.at(now + t_air, [this, device_id, frame]() {
       ++delivered_;
+      telemetry_note_outcome("delivered");
       Device& dev = devices_.at(static_cast<std::size_t>(device_id));
       if (dev.on_downlink) dev.on_downlink(frame);
     });

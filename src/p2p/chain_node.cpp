@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+
+#include "telemetry/metrics.hpp"
+
 namespace bcwan::p2p {
 
 using chain::Block;
@@ -50,6 +53,12 @@ chain::AcceptBlockResult ChainNode::submit_block(const Block& block) {
 }
 
 void ChainNode::handle_message(const Message& msg) {
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .counter("bcwan_p2p_messages_in_total", "type", msg.type,
+                 "Messages delivered to chain daemons by type")
+        .add();
+  }
   if (msg.type == "tx") {
     const auto tx = Transaction::deserialize(msg.payload);
     if (tx) {
@@ -182,6 +191,12 @@ void ChainNode::request_sync(HostId peer) {
   if (loop_.now() - last_sync_request_ < 2 * util::kSecond) return;
   last_sync_request_ = loop_.now();
   ++sync_requests_;
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .counter("bcwan_p2p_sync_requests_total",
+                 "Catch-up sync rounds requested from a peer")
+        .add();
+  }
   net_.send(host_, peer, Message{"getblocks", build_locator(), host_});
 }
 
@@ -232,6 +247,12 @@ void ChainNode::serve_sync(HostId peer, const util::Bytes& locator) {
     if (!block) break;
     net_.send(host_, peer, Message{"block", block->serialize(), host_});
     ++sync_served_;
+    if (telemetry::enabled()) {
+      telemetry::registry()
+          .counter("bcwan_p2p_sync_blocks_served_total",
+                   "Blocks streamed to peers during catch-up sync")
+          .add();
+    }
   }
 }
 

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+
 namespace bcwan::p2p {
 
 util::SimTime LatencyModel::sample(util::Rng& rng) const {
@@ -49,6 +51,20 @@ util::SimTime SimNet::latency_between(HostId a, HostId b) {
 void SimNet::send(HostId from, HostId to, Message msg) {
   auto& src = hosts_.at(static_cast<std::size_t>(from));
   auto& dst = hosts_.at(static_cast<std::size_t>(to));
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.counter("bcwan_p2p_messages_out_total", "type", msg.type,
+                "Messages submitted to the federation backbone by type")
+        .add();
+    reg.counter("bcwan_p2p_bytes_out_total",
+                "Payload bytes submitted to the federation backbone")
+        .add(msg.payload.size());
+    if (src.partitioned || dst.partitioned) {
+      reg.counter("bcwan_p2p_messages_dropped_total",
+                  "Messages dropped at a partitioned endpoint")
+          .add();
+    }
+  }
   if (src.partitioned || dst.partitioned) return;  // dropped on the floor
 
   msg.from = from;

@@ -3,7 +3,21 @@
 #include <cmath>
 #include <cstdio>
 
+#include "telemetry/metrics.hpp"
+
 namespace bcwan::sim {
+
+namespace {
+
+void telemetry_note_fault(const char* kind) {
+  if (!telemetry::enabled()) return;
+  telemetry::registry()
+      .counter("bcwan_faults_injected_total", "kind", kind,
+               "Chaos events injected by kind")
+      .add();
+}
+
+}  // namespace
 
 FaultPlan::FaultPlan(Scenario& scenario, std::uint64_t seed)
     : scenario_(scenario), rng_(seed) {}
@@ -19,6 +33,7 @@ void FaultPlan::partition_host(p2p::HostId host, util::SimTime at,
   scenario_.loop().at(at, [this, host] {
     scenario_.net().set_partitioned(host, true);
     ++partitions_;
+    telemetry_note_fault("partition");
     record(scenario_.loop().now(),
            "partition open: " + scenario_.net().host_name(host));
   });
@@ -44,6 +59,7 @@ void FaultPlan::degrade_lora(const lora::BurstLossModel& model,
     scenario_.radio().set_burst_model(model);
     scenario_.radio().force_channel_state(true, duration);
     ++degradations_;
+    telemetry_note_fault("lora_degradation");
     record(scenario_.loop().now(), "lora degraded (forced bad state)");
   });
 }
@@ -53,6 +69,7 @@ void FaultPlan::crash_gateway(std::size_t gateway_index, util::SimTime at,
   scenario_.loop().at(at, [this, gateway_index] {
     scenario_.gateway_by_index(gateway_index).crash();
     ++crashes_;
+    telemetry_note_fault("gateway_crash");
     record(scenario_.loop().now(),
            "gateway crash: #" + std::to_string(gateway_index));
   });
@@ -67,6 +84,7 @@ void FaultPlan::stall_miner(util::SimTime at, util::SimTime duration) {
   scenario_.loop().at(at, [this] {
     scenario_.set_mining_paused(true);
     ++stalls_;
+    telemetry_note_fault("miner_stall");
     record(scenario_.loop().now(), "miner stalled");
   });
   scenario_.loop().at(at + duration, [this] {
@@ -98,6 +116,7 @@ void FaultPlan::unleash(const ChaosProfile& profile, util::SimTime horizon) {
   if (profile.burst.enabled()) {
     scenario_.radio().set_burst_model(profile.burst);
     ++degradations_;
+    telemetry_note_fault("lora_degradation");
     record(now, "lora burst-loss model installed");
   }
 

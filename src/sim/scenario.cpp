@@ -1,11 +1,31 @@
 #include "sim/scenario.hpp"
 
 #include "bcwan/election.hpp"
+#include "telemetry/metrics.hpp"
 
 #include <cstdio>
 #include <stdexcept>
 
 namespace bcwan::sim {
+
+namespace {
+
+// The paper's headline figure, split into its protocol phases. Virtual-time
+// durations, exported in seconds.
+constexpr const char* kPhaseFamily = "bcwan_exchange_phase_seconds";
+constexpr const char* kPhaseHelp =
+    "Virtual time spent per fair-exchange phase "
+    "(uplink, offer, reveal, decrypt)";
+
+void telemetry_note_exchange(const char* outcome) {
+  if (!telemetry::enabled()) return;
+  telemetry::registry()
+      .counter("bcwan_exchange_outcomes_total", "outcome", outcome,
+               "Fair exchanges by final outcome")
+      .add();
+}
+
+}  // namespace
 
 core::IpAddress host_ip(p2p::HostId host) {
   return 0x0a000000u | static_cast<core::IpAddress>(host & 0xff);
@@ -16,7 +36,28 @@ Scenario::Scenario(ScenarioConfig config)
   build();
 }
 
-Scenario::~Scenario() = default;
+Scenario::~Scenario() {
+  // The collector captures `this`; it must not outlive the scenario.
+  if (telemetry_collector_id_ != 0)
+    telemetry::registry().remove_collector(telemetry_collector_id_);
+}
+
+void Scenario::observe_phase(std::uint16_t device_id, const char* phase) {
+  if (!telemetry::enabled()) return;
+  const auto it = phase_mark_.find(device_id);
+  if (it == phase_mark_.end()) return;
+  const util::SimTime now = loop_.now();
+  telemetry::registry()
+      .histogram(kPhaseFamily, "phase", phase, kPhaseHelp)
+      .observe(util::to_seconds(now - it->second));
+  it->second = now;
+}
+
+void Scenario::end_exchange_telemetry(std::uint16_t device_id,
+                                      const char* outcome) {
+  phase_mark_.erase(device_id);
+  telemetry_note_exchange(outcome);
+}
 
 void Scenario::build() {
   // Proof-of-stake mode (§6 extension): if no validator set was supplied,
@@ -108,10 +149,23 @@ void Scenario::build() {
       const core::SensorNode* sensor = sensor_for(device_id);
       if (sensor == nullptr || !sensor->busy()) return;
       exchange_start_.emplace(device_id, loop_.now());
+      if (telemetry::enabled()) phase_mark_[device_id] = loop_.now();
+    };
+    // Per-phase latency marks: the same clock the headline latency uses,
+    // split at each protocol transition.
+    gw->on_forwarded = [this](std::uint16_t device_id) {
+      observe_phase(device_id, "uplink");
+    };
+    recipient->on_offer_posted = [this](std::uint16_t device_id) {
+      observe_phase(device_id, "offer");
+    };
+    gw->on_redeemed = [this](std::uint16_t device_id) {
+      observe_phase(device_id, "reveal");
     };
     // A reclaimed exchange is over (no data); free the device for new work.
     recipient->on_reclaimed = [this](std::uint16_t device_id) {
       exchange_start_.erase(device_id);
+      end_exchange_telemetry(device_id, "reclaimed");
       reschedule_report(device_id);
     };
     recipient->on_reading = [this](std::uint16_t device_id,
@@ -123,6 +177,14 @@ void Scenario::build() {
       record.ephemeral_sent_at = it->second;
       record.decrypted_at = loop_.now();
       exchange_start_.erase(it);
+      observe_phase(device_id, "decrypt");
+      end_exchange_telemetry(device_id, "success");
+      if (telemetry::enabled()) {
+        telemetry::registry()
+            .histogram("bcwan_exchange_latency_seconds",
+                       "End-to-end exchange latency (ePk sent to decrypt)")
+            .observe(record.latency_s());
+      }
       latency_.add(record.latency_s());
       records_.push_back(record);
       ++completed_;
@@ -163,6 +225,7 @@ void Scenario::build() {
       // the device as "in flight".
       sensor->on_exchange_failed = [this](std::uint16_t id) {
         exchange_start_.erase(id);
+        end_exchange_telemetry(id, "failed");
         reschedule_report(id);
       };
       const lora::RadioDeviceId radio_device = radio_->add_device(
@@ -172,6 +235,36 @@ void Scenario::build() {
       sensor->attach_radio(radio_device);
       next_report_.push_back(0);
     }
+  }
+
+  if (telemetry::compiled_in()) {
+    // Export-time snapshot of scenario aggregates (no hot-path cost).
+    telemetry_collector_id_ = telemetry::registry().add_collector([this] {
+      auto& reg = telemetry::registry();
+      reg.gauge("bcwan_exchange_in_flight",
+                "Exchanges started but not yet completed or written off")
+          .set(static_cast<double>(exchange_start_.size()));
+      reg.gauge("bcwan_sim_virtual_seconds",
+                "Scenario event-loop virtual time")
+          .set(util::to_seconds(loop_.now()));
+      reg.gauge("bcwan_sim_blocks_mined", "Blocks mined by the master")
+          .set(static_cast<double>(blocks_mined_));
+      std::uint64_t request_retries = 0, data_retx = 0, restarts = 0;
+      for (const auto& sensor : sensors_) {
+        request_retries += sensor->request_retries();
+        data_retx += sensor->data_retransmissions();
+        restarts += sensor->exchange_restarts();
+      }
+      reg.gauge("bcwan_exchange_request_retries",
+                "ePk request retries summed over all sensors")
+          .set(static_cast<double>(request_retries));
+      reg.gauge("bcwan_exchange_data_retransmissions",
+                "Data-frame retransmissions summed over all sensors")
+          .set(static_cast<double>(data_retx));
+      reg.gauge("bcwan_exchange_restarts",
+                "Full exchange restarts summed over all sensors")
+          .set(static_cast<double>(restarts));
+    });
   }
 }
 
@@ -327,6 +420,7 @@ void Scenario::run_exchanges(std::size_t total_exchanges,
     std::erase_if(exchange_start_, [this](const auto& entry) {
       if (loop_.now() - entry.second <= config_.exchange_stale_after)
         return false;
+      end_exchange_telemetry(entry.first, "timeout");
       const int actor = entry.first / 256;
       const int index = entry.first % 256;
       const std::size_t sensor_index = static_cast<std::size_t>(

@@ -134,6 +134,10 @@ class Scenario {
   void schedule_mining();
   void start_sensor(std::size_t sensor_index);
   void reschedule_report(std::uint16_t device_id);
+  /// Observe the virtual time since the device's last phase mark into
+  /// bcwan_exchange_phase_seconds{phase=...} and advance the mark.
+  void observe_phase(std::uint16_t device_id, const char* phase);
+  void end_exchange_telemetry(std::uint16_t device_id, const char* outcome);
 
   ScenarioConfig config_;
   p2p::EventLoop loop_;
@@ -161,6 +165,10 @@ class Scenario {
 
   // Latency bookkeeping: device id -> ePk-sent timestamp.
   std::unordered_map<std::uint16_t, util::SimTime> exchange_start_;
+  // Telemetry: device id -> start of the exchange phase currently in flight
+  // (ePk sent -> uplink -> offer -> reveal -> decrypt).
+  std::unordered_map<std::uint16_t, util::SimTime> phase_mark_;
+  std::uint64_t telemetry_collector_id_ = 0;
   util::SampleStats latency_;
   std::vector<ExchangeRecord> records_;
   std::uint64_t completed_ = 0;

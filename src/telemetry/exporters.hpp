@@ -1,0 +1,41 @@
+// Telemetry exporters: Prometheus text exposition and a structured JSON
+// snapshot, plus a strict validator for the Prometheus format (used by the
+// tests and the CI scrape smoke step).
+//
+// Both exporters first run the registry's collectors, so gauges bridged
+// from external state (cache hit rates, scenario aggregates) are fresh at
+// render time.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace bcwan::telemetry {
+
+/// Prometheus text exposition format 0.0.4: # HELP / # TYPE headers, one
+/// sample line per counter/gauge, and cumulative _bucket/_sum/_count series
+/// per histogram.
+std::string render_prometheus(Registry& reg = registry());
+
+/// Strict line-by-line check of a Prometheus text exposition: well-formed
+/// comment lines, legal metric names and label syntax, parseable sample
+/// values. Returns the first offending line's description, or std::nullopt
+/// when the whole document is clean.
+std::optional<std::string> validate_prometheus(const std::string& text);
+
+/// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms":
+/// {name: {count, sum, min, max, quantiles {p50, p90, p99, p999}}}, and
+/// optionally the recent span ring}. Labelled instances render under the
+/// key `family{key="value"}`.
+std::string render_json(Registry& reg = registry(),
+                        bool include_spans = false);
+
+/// Write render_json() to `path`. Returns false when the file cannot be
+/// opened.
+bool write_json_snapshot(const std::string& path,
+                         Registry& reg = registry(),
+                         bool include_spans = false);
+
+}  // namespace bcwan::telemetry

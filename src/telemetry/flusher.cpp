@@ -1,0 +1,58 @@
+#include "telemetry/flusher.hpp"
+
+#include <cstdio>
+
+#include "telemetry/exporters.hpp"
+
+namespace bcwan::telemetry {
+
+namespace {
+
+bool write_atomically(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  if (!ok) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+Flusher::Flusher(Options options) : options_(std::move(options)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+Flusher::~Flusher() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  flush_now();
+}
+
+void Flusher::flush_now() {
+  if (!options_.json_path.empty())
+    write_atomically(options_.json_path,
+                     render_json(registry(), options_.include_spans));
+  if (!options_.prom_path.empty())
+    write_atomically(options_.prom_path, render_prometheus(registry()));
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Flusher::run() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; }))
+      break;
+    lock.unlock();
+    flush_now();
+    lock.lock();
+  }
+}
+
+}  // namespace bcwan::telemetry

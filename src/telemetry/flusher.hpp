@@ -1,0 +1,60 @@
+// Optional periodic exporter thread.
+//
+// A Flusher wakes on a fixed wall-clock interval and writes the current
+// registry state to a JSON snapshot file and/or a Prometheus text file
+// (atomically: rendered to <path>.tmp, then renamed). Long-running daemons
+// point a scraper or tail at the files; short-lived benches call
+// flush_now() or skip the thread and export directly.
+//
+// CAUTION: collectors run on the flusher thread. A collector reading
+// non-thread-safe state (e.g. a live Scenario) must not be combined with a
+// running Flusher; export from the owning thread instead.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace bcwan::telemetry {
+
+class Flusher {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+    std::string json_path;   // empty: skip the JSON snapshot
+    std::string prom_path;   // empty: skip the Prometheus text file
+    bool include_spans = false;
+  };
+
+  /// Starts the thread immediately; the first flush happens one interval in.
+  explicit Flusher(Options options);
+  /// Final flush, then stop and join.
+  ~Flusher();
+
+  Flusher(const Flusher&) = delete;
+  Flusher& operator=(const Flusher&) = delete;
+
+  /// Synchronous export on the calling thread.
+  void flush_now();
+
+  std::uint64_t flushes() const noexcept {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> flushes_{0};
+  std::thread thread_;
+};
+
+}  // namespace bcwan::telemetry

@@ -1,0 +1,263 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace bcwan::telemetry {
+
+#ifndef BCWAN_TELEMETRY_DISABLED
+namespace detail {
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("BCWAN_TELEMETRY");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }()};
+  return flag;
+}
+
+}  // namespace detail
+#endif
+
+namespace detail {
+
+unsigned thread_slot() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram() : Histogram(Options()) {}
+
+Histogram::Histogram(Options options)
+    : options_(options),
+      inv_log_factor_(1.0 / std::log(options.factor)),
+      counts_(std::max<std::size_t>(options.buckets, 2)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+std::size_t Histogram::bucket_index(double v) const noexcept {
+  if (!(v > options_.min)) return 0;
+  const double pos = std::log(v / options_.min) * inv_log_factor_;
+  const auto idx = static_cast<std::size_t>(std::ceil(pos));
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!enabled()) return;
+  if (std::isnan(v)) return;
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // Monotone CAS loops for the observed extrema.
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::observed_min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::observed_max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::upper_bound(std::size_t i) const noexcept {
+  if (i + 1 >= counts_.size())
+    return std::numeric_limits<double>::infinity();
+  if (i == 0) return options_.min;
+  return options_.min * std::pow(options_.factor, static_cast<double>(i));
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      const double lower = i == 0 ? 0.0 : upper_bound(i - 1);
+      double upper = upper_bound(i);
+      if (!std::isfinite(upper)) upper = std::max(observed_max(), lower);
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      const double v = lower + frac * (upper - lower);
+      return std::clamp(v, observed_min(), observed_max());
+    }
+    cum += in_bucket;
+  }
+  return observed_max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricEntry& Registry::entry(const std::string& family,
+                             const std::string& label_key,
+                             const std::string& label_value,
+                             const std::string& help, MetricType type,
+                             const Histogram::Options* options) {
+  {
+    std::shared_lock lock(mutex_);
+    for (const auto& e : entries_) {
+      if (e->family == family && e->label_value == label_value) return *e;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->family == family && e->label_value == label_value) return *e;
+  }
+  auto e = std::make_unique<MetricEntry>();
+  e->family = family;
+  e->help = help;
+  e->label_key = label_key;
+  e->label_value = label_value;
+  e->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      e->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      e->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      e->histogram = std::make_unique<Histogram>(
+          options != nullptr ? *options : Histogram::Options{});
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& family,
+                           const std::string& help) {
+  return *entry(family, "", "", help, MetricType::kCounter, nullptr).counter;
+}
+
+Counter& Registry::counter(const std::string& family,
+                           const std::string& label_key,
+                           const std::string& label_value,
+                           const std::string& help) {
+  return *entry(family, label_key, label_value, help, MetricType::kCounter,
+                nullptr)
+              .counter;
+}
+
+Gauge& Registry::gauge(const std::string& family, const std::string& help) {
+  return *entry(family, "", "", help, MetricType::kGauge, nullptr).gauge;
+}
+
+Gauge& Registry::gauge(const std::string& family, const std::string& label_key,
+                       const std::string& label_value,
+                       const std::string& help) {
+  return *entry(family, label_key, label_value, help, MetricType::kGauge,
+                nullptr)
+              .gauge;
+}
+
+Histogram& Registry::histogram(const std::string& family,
+                               const std::string& help,
+                               Histogram::Options options) {
+  return *entry(family, "", "", help, MetricType::kHistogram, &options)
+              .histogram;
+}
+
+Histogram& Registry::histogram(const std::string& family,
+                               const std::string& label_key,
+                               const std::string& label_value,
+                               const std::string& help,
+                               Histogram::Options options) {
+  return *entry(family, label_key, label_value, help, MetricType::kHistogram,
+                &options)
+              .histogram;
+}
+
+std::uint64_t Registry::add_collector(std::function<void()> fn) {
+  std::lock_guard lock(collector_mutex_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Registry::remove_collector(std::uint64_t id) {
+  std::lock_guard lock(collector_mutex_);
+  std::erase_if(collectors_, [id](const auto& c) { return c.first == id; });
+}
+
+void Registry::collect() {
+  // Copy under the lock, run without it: collectors register gauges, which
+  // takes the metrics mutex, and may themselves add/remove collectors.
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard lock(collector_mutex_);
+    fns.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) fns.push_back(fn);
+  }
+  for (const auto& fn : fns) fn();
+}
+
+void Registry::visit(
+    const std::function<void(const MetricEntry&)>& fn) const {
+  std::vector<const MetricEntry*> sorted;
+  {
+    std::shared_lock lock(mutex_);
+    sorted.reserve(entries_.size());
+    for (const auto& e : entries_) sorted.push_back(e.get());
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricEntry* a, const MetricEntry* b) {
+              if (a->family != b->family) return a->family < b->family;
+              return a->label_value < b->label_value;
+            });
+  for (const MetricEntry* e : sorted) fn(*e);
+}
+
+std::size_t Registry::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+void Registry::reset_all() {
+  std::shared_lock lock(mutex_);
+  for (const auto& e : entries_) {
+    switch (e->type) {
+      case MetricType::kCounter: e->counter->reset(); break;
+      case MetricType::kGauge: e->gauge->reset(); break;
+      case MetricType::kHistogram: e->histogram->reset(); break;
+    }
+  }
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+}  // namespace bcwan::telemetry

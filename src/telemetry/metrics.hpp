@@ -1,0 +1,246 @@
+// Process-wide telemetry: metric registry, lock-free counters/gauges and
+// log-bucketed latency histograms.
+//
+// Design constraints (DESIGN.md §10):
+//   * near-zero cost when disabled — every mutation checks a single relaxed
+//     atomic flag first, and when the library is compiled out
+//     (-DBCWAN_TELEMETRY_DISABLED / cmake -DBCWAN_TELEMETRY=OFF) enabled()
+//     is a constexpr false, so the optimizer deletes the instrumentation
+//     outright;
+//   * lock-free hot path — counters are sharded over cache-line-padded
+//     atomics indexed by a per-thread slot, gauges are single atomics,
+//     histogram buckets are atomics; nothing on a mutation path takes a
+//     lock or allocates;
+//   * one process-wide Registry — metrics are identified by family name
+//     plus an optional single label pair (e.g. bcwan_exchange_phase_seconds
+//     {phase="uplink"}); repeated registration returns the same object, so
+//     call sites cache a reference in a function-local static.
+//
+// Naming convention: every metric family starts with `bcwan_`, uses
+// snake_case, and counters end in `_total`; latency histograms end in
+// `_seconds` and observe seconds as doubles.
+//
+// Multi-node simulations share the one process-wide registry: node-level
+// gauges (mempool depth, UTXO size, directory entries) then carry the most
+// recently updated node's value, while counters and histograms aggregate
+// across all nodes — exactly what a fleet-level scrape of the federation
+// would see.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace bcwan::telemetry {
+
+#ifdef BCWAN_TELEMETRY_DISABLED
+constexpr bool compiled_in() noexcept { return false; }
+constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+#else
+constexpr bool compiled_in() noexcept { return true; }
+
+namespace detail {
+std::atomic<bool>& enabled_flag() noexcept;
+}  // namespace detail
+
+/// Runtime master switch. Defaults to off unless the BCWAN_TELEMETRY
+/// environment variable is set to a non-"0" value at process start.
+inline bool enabled() noexcept {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+#endif
+
+namespace detail {
+/// Small dense per-thread slot for shard selection (first use of telemetry
+/// on a thread claims the next slot; slots wrap modulo the shard count).
+unsigned thread_slot() noexcept;
+}  // namespace detail
+
+/// Monotonic event counter, sharded so concurrent writers on different
+/// threads never contend on one cache line.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[detail::thread_slot() % kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_)
+      total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-value gauge (double). set() is a plain store; add() is an atomic
+/// floating-point RMW (C++20).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double d) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram: bucket 0 holds observations <= `min`, bucket i
+/// holds (min*factor^(i-1), min*factor^i], and the last bucket is the
+/// +Inf overflow. Defaults cover 1 µs .. ~13 days at x√2 resolution (~6%
+/// relative quantile error). Observation is one relaxed fetch_add plus a
+/// log2; quantiles interpolate linearly inside the winning bucket and clamp
+/// to the observed min/max, so they are monotone in q by construction.
+class Histogram {
+ public:
+  struct Options {
+    double min = 1e-6;
+    double factor = 1.4142135623730951;  // sqrt(2)
+    std::size_t buckets = 80;
+  };
+
+  Histogram();
+  explicit Histogram(Options options);
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double observed_min() const noexcept;
+  double observed_max() const noexcept;
+
+  /// q in [0, 1]. Returns 0 when empty.
+  double quantile(double q) const noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  /// Inclusive upper bound of bucket i (+Inf for the last bucket).
+  double upper_bound(std::size_t i) const noexcept;
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::size_t bucket_index(double v) const noexcept;
+
+  Options options_;
+  double inv_log_factor_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One registered metric instance: a family name, an optional single label
+/// pair, and the metric object (exactly one of the pointers is set).
+struct MetricEntry {
+  std::string family;
+  std::string help;
+  std::string label_key;    // empty when unlabelled
+  std::string label_value;
+  MetricType type = MetricType::kCounter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+/// Process-wide metric registry. Registration is idempotent: the same
+/// (family, label) pair always returns the same object, so instrumented
+/// code may call counter()/gauge()/histogram() on every hit or cache the
+/// reference — both are correct. Returned references stay valid for the
+/// process lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& family, const std::string& help = "");
+  Counter& counter(const std::string& family, const std::string& label_key,
+                   const std::string& label_value,
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& family, const std::string& help = "");
+  Gauge& gauge(const std::string& family, const std::string& label_key,
+               const std::string& label_value, const std::string& help = "");
+  Histogram& histogram(const std::string& family,
+                       const std::string& help = "",
+                       Histogram::Options options = Histogram::Options());
+  Histogram& histogram(const std::string& family,
+                       const std::string& label_key,
+                       const std::string& label_value,
+                       const std::string& help = "",
+                       Histogram::Options options = Histogram::Options());
+
+  /// Collectors bridge externally maintained state (cache hit counters,
+  /// per-scenario aggregates) into gauges right before an export. They run
+  /// on the exporting thread; owners of non-thread-safe state must remove
+  /// their collector before that state dies (see ~Scenario).
+  std::uint64_t add_collector(std::function<void()> fn);
+  void remove_collector(std::uint64_t id);
+  /// Run every collector (exporters call this before reading metrics).
+  void collect();
+
+  /// Visit all entries sorted by (family, label_value). Entries are
+  /// address-stable; the visitor must not register metrics.
+  void visit(const std::function<void(const MetricEntry&)>& fn) const;
+
+  std::size_t size() const;
+
+  /// Zero every metric value; registrations survive (bench ablations and
+  /// tests that want a clean slate without invalidating cached references).
+  void reset_all();
+
+ private:
+  MetricEntry& entry(const std::string& family, const std::string& label_key,
+                     const std::string& label_value, const std::string& help,
+                     MetricType type, const Histogram::Options* options);
+
+  mutable std::shared_mutex mutex_;
+  // Key: family + '\x01' + label_value (one label per family by
+  // convention, so the pair is unique).
+  std::vector<std::unique_ptr<MetricEntry>> entries_;
+
+  mutable std::mutex collector_mutex_;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> collectors_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+/// The process-wide registry.
+Registry& registry();
+
+}  // namespace bcwan::telemetry

@@ -1,0 +1,90 @@
+#include "telemetry/span.hpp"
+
+#include <array>
+#include <mutex>
+
+namespace bcwan::telemetry {
+
+namespace {
+
+thread_local Span* t_current_span = nullptr;
+
+std::chrono::steady_clock::time_point telemetry_epoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+struct SpanRing {
+  std::mutex mutex;
+  std::array<SpanRecord, kSpanRingCapacity> records;
+  std::uint64_t total = 0;  // monotone count of pushes
+};
+
+SpanRing& span_ring() {
+  static SpanRing* ring = new SpanRing();  // leaked: outlives all users
+  return *ring;
+}
+
+}  // namespace
+
+Span::Span(const char* name, Histogram* histogram) noexcept
+    : name_(name), histogram_(histogram) {
+  if (!enabled()) return;
+  active_ = true;
+  parent_ = t_current_span;
+  depth_ = parent_ != nullptr ? parent_->depth_ + 1 : 0;
+  t_current_span = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  t_current_span = parent_;
+  const auto duration =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_);
+  if (histogram_ != nullptr) {
+    histogram_->observe(
+        std::chrono::duration<double>(end - start_).count());
+  }
+  SpanRecord record;
+  record.name = name_;
+  record.parent = parent_ != nullptr ? parent_->name_ : "";
+  record.depth = depth_;
+  record.start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start_ -
+                                                           telemetry_epoch())
+          .count());
+  record.duration_ns = static_cast<std::uint64_t>(duration.count());
+  record.thread_slot = detail::thread_slot();
+  SpanRing& ring = span_ring();
+  std::lock_guard lock(ring.mutex);
+  ring.records[ring.total % kSpanRingCapacity] = std::move(record);
+  ++ring.total;
+}
+
+std::vector<SpanRecord> recent_spans() {
+  SpanRing& ring = span_ring();
+  std::lock_guard lock(ring.mutex);
+  const std::uint64_t n = std::min<std::uint64_t>(ring.total,
+                                                  kSpanRingCapacity);
+  std::vector<SpanRecord> out;
+  out.reserve(n);
+  for (std::uint64_t i = ring.total - n; i < ring.total; ++i)
+    out.push_back(ring.records[i % kSpanRingCapacity]);
+  return out;
+}
+
+std::uint64_t spans_recorded() {
+  SpanRing& ring = span_ring();
+  std::lock_guard lock(ring.mutex);
+  return ring.total;
+}
+
+void clear_spans() {
+  SpanRing& ring = span_ring();
+  std::lock_guard lock(ring.mutex);
+  ring.total = 0;
+}
+
+}  // namespace bcwan::telemetry

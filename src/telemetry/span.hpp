@@ -1,0 +1,62 @@
+// RAII trace spans / scoped timers with parent-child nesting.
+//
+// A Span measures the wall-clock time between its construction and
+// destruction, optionally feeds the duration (in seconds) into a Histogram,
+// and records a SpanRecord — name, parent, nesting depth, start offset and
+// duration — into a bounded process-wide ring buffer for debugging and the
+// JSON exporter. Nesting is tracked per thread: the innermost live Span on
+// the constructing thread becomes the parent.
+//
+// When telemetry is runtime-disabled the constructor reads one atomic flag
+// and does nothing else (no clock read, no ring push); when compiled out it
+// folds to nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace bcwan::telemetry {
+
+struct SpanRecord {
+  std::string name;
+  std::string parent;      // empty for root spans
+  unsigned depth = 0;      // 0 for root spans
+  std::uint64_t start_ns = 0;  // since process telemetry epoch
+  std::uint64_t duration_ns = 0;
+  unsigned thread_slot = 0;
+};
+
+class Span {
+ public:
+  /// `name` must outlive the span (string literals at call sites).
+  /// `histogram`, when non-null, receives the duration in seconds.
+  explicit Span(const char* name, Histogram* histogram = nullptr) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const noexcept { return active_; }
+  unsigned depth() const noexcept { return depth_; }
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  Span* parent_ = nullptr;
+  unsigned depth_ = 0;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Copy of the most recent completed spans, oldest first. The buffer is
+/// bounded (kSpanRingCapacity); older records are overwritten.
+constexpr std::size_t kSpanRingCapacity = 1024;
+std::vector<SpanRecord> recent_spans();
+std::uint64_t spans_recorded();
+void clear_spans();
+
+}  // namespace bcwan::telemetry
