@@ -1,0 +1,165 @@
+// Persistent chain daemon, built for the CI kill-9 crash-recovery job.
+//
+// The workload is fully deterministic (fixed wallet seeds, block time ==
+// block height, payment schedule derived from the height), so a run that is
+// SIGKILLed anywhere — including mid-append, leaving a torn tail — and then
+// restarted must converge on the exact same tip hash and UTXO state hash as
+// one uninterrupted run. CI asserts exactly that:
+//
+//   ./persistence expected 120            # uninterrupted, in-memory
+//   ./persistence run <dir> 120 &         # durable run; kill -9 mid-way
+//   ./persistence run <dir> 120           # recover from disk, finish
+//   ./persistence status <dir>            # print recovered tip/state
+//
+// Subcommands:
+//   run <dir> <height> [throttle_ms]
+//                         open-or-recover <dir>, mine/replay to <height>,
+//                         print "TIP <hex>" / "STATE <hex>" and exit 0.
+//                         throttle_ms sleeps after every block so a CI kill
+//                         lands mid-run instead of after completion
+//   expected <height>     same workload against an in-memory chain
+//   status <dir>          open-or-recover only; print recovery stats + tip
+//   tear <dir> <bytes>    shear bytes off the block log tail (torn write)
+#include <ctime>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chain/miner.hpp"
+#include "chain/wallet.hpp"
+#include "store/store.hpp"
+
+using namespace bcwan;
+
+namespace {
+
+chain::ChainParams demo_params() {
+  chain::ChainParams params;
+  params.pow_zero_bits = 8;
+  params.coinbase_maturity = 2;
+  return params;
+}
+
+/// Mine deterministically until `target` height. Every 5th block carries a
+/// payment whose amount is a function of the height, so the UTXO set keeps
+/// churning and undo records stay non-trivial. `throttle_ms` slows the loop
+/// down (wall-clock only — the chain itself stays deterministic).
+void mine_to(chain::Blockchain& chain, store::ChainStore* store, int target,
+             int throttle_ms = 0) {
+  const chain::ChainParams& params = chain.params();
+  chain::Mempool pool(params);
+  const chain::Wallet miner_wallet = chain::Wallet::from_seed("miner");
+  const chain::Wallet alice = chain::Wallet::from_seed("alice");
+  const chain::Miner miner(params, miner_wallet.pkh());
+
+  while (chain.height() < target) {
+    const int next = chain.height() + 1;
+    if (next % 5 == 0) {
+      const chain::Amount amount =
+          (static_cast<chain::Amount>(next % 7) + 1) * chain::kCoin / 10;
+      const auto tx =
+          miner_wallet.create_payment(chain, &pool, alice.pkh(), amount, 1000);
+      if (tx) pool.accept(*tx, chain.utxo(), next);
+    }
+    const chain::Block block =
+        miner.mine(chain, pool, static_cast<std::uint64_t>(next));
+    const auto result = chain.accept_block(block);
+    if (result != chain::AcceptBlockResult::kConnected) {
+      std::fprintf(stderr, "block at height %d rejected: %s\n", next,
+                   chain::accept_block_result_name(result).c_str());
+      std::exit(1);
+    }
+    pool.remove_confirmed(block);
+    if (store != nullptr) store->maybe_snapshot(chain);
+    if (throttle_ms > 0) {
+      const timespec delay{throttle_ms / 1000,
+                           (throttle_ms % 1000) * 1'000'000L};
+      nanosleep(&delay, nullptr);
+    }
+    if (next % 20 == 0) {
+      std::printf("height %d tip %s\n", chain.height(),
+                  util::to_hex(chain.tip_hash()).c_str());
+      std::fflush(stdout);
+    }
+  }
+}
+
+void print_tip(const chain::Blockchain& chain) {
+  std::printf("HEIGHT %d\n", chain.height());
+  std::printf("TIP %s\n", util::to_hex(chain.tip_hash()).c_str());
+  std::printf("STATE %s\n", util::to_hex(chain.state_hash()).c_str());
+}
+
+std::unique_ptr<store::ChainStore> open_or_die(const std::string& dir) {
+  store::StoreOptions options;
+  options.dir = dir;
+  options.snapshot_interval = 32;
+  options.fsync_each_append = true;
+  std::string error;
+  auto store = store::ChainStore::open(demo_params(), options, &error);
+  if (!store) {
+    std::fprintf(stderr, "store refused to open: %s\n", error.c_str());
+    std::exit(2);
+  }
+  const store::RecoveryStats& stats = store->recovery();
+  std::printf(
+      "recovered: snapshot=%s replayed=%zu truncated=%lluB tip_height=%d\n",
+      stats.snapshot_loaded ? "yes" : "no", stats.replayed_blocks,
+      static_cast<unsigned long long>(stats.truncated_bytes),
+      stats.tip_height);
+  return store;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: persistence run <dir> <height>\n"
+               "       persistence expected <height>\n"
+               "       persistence status <dir>\n"
+               "       persistence tear <dir> <bytes>\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "expected" && argc == 3) {
+    chain::Blockchain chain(demo_params());
+    mine_to(chain, nullptr, std::atoi(argv[2]));
+    print_tip(chain);
+    return 0;
+  }
+
+  if (cmd == "run" && (argc == 4 || argc == 5)) {
+    auto store = open_or_die(argv[2]);
+    chain::Blockchain chain = store->take_chain();
+    chain.set_block_sink([&store](const chain::Block& b,
+                                  const chain::BlockUndo* u) {
+      store->append_block(b, u);
+    });
+    mine_to(chain, store.get(), std::atoi(argv[3]),
+            argc == 5 ? std::atoi(argv[4]) : 0);
+    print_tip(chain);
+    return 0;
+  }
+
+  if (cmd == "status" && argc == 3) {
+    auto store = open_or_die(argv[2]);
+    print_tip(store->take_chain());
+    return 0;
+  }
+
+  if (cmd == "tear" && argc == 4) {
+    const std::uint64_t torn = store::tear_log_tail(
+        store::log_file_path(argv[2]),
+        static_cast<std::uint64_t>(std::atoll(argv[3])));
+    std::printf("sheared %llu bytes\n", static_cast<unsigned long long>(torn));
+    return torn > 0 ? 0 : 1;
+  }
+
+  return usage();
+}

@@ -82,7 +82,7 @@ void Blockchain::scan_recent(
   }
 }
 
-bool Blockchain::connect_tip(const Block& block) {
+bool Blockchain::connect_tip(const Block& block, const BlockUndo* undo_hint) {
   telemetry::Histogram* connect_hist = nullptr;
   if (telemetry::enabled()) {
     connect_hist = &telemetry::registry().histogram(
@@ -92,14 +92,21 @@ bool Blockchain::connect_tip(const Block& block) {
   telemetry::Span span("chain.connect_tip", connect_hist);
   const Hash256 hash = block.hash();
   auto& stored = blocks_.at(hash);
-  BlockUndo undo;
-  const BlockValidationResult result =
-      connect_block(block, utxo_, stored.height, params_, undo);
-  if (!result.ok()) {
-    last_failure_ = result;
-    return false;
+  if (undo_hint != nullptr) {
+    // Trusted replay of a logged tip extension: re-apply the recorded UTXO
+    // delta, no validation (the log's CRC owns integrity).
+    apply_block_from_undo(block, *undo_hint, utxo_, stored.height);
+    stored.undo = *undo_hint;
+  } else {
+    BlockUndo undo;
+    const BlockValidationResult result = connect_block(
+        block, utxo_, stored.height, params_, undo, !replay_mode_);
+    if (!result.ok()) {
+      last_failure_ = result;
+      return false;
+    }
+    stored.undo = std::move(undo);
   }
-  stored.undo = std::move(undo);
   active_.push_back(hash);
   for (const Transaction& tx : block.txs)
     tx_index_[tx.txid()] = stored.height;
@@ -122,13 +129,28 @@ bool Blockchain::connect_tip(const Block& block) {
 }
 
 AcceptBlockResult Blockchain::accept_block(const Block& block) {
+  return accept_internal(block, nullptr);
+}
+
+AcceptBlockResult Blockchain::replay_block(const Block& block,
+                                           const BlockUndo* undo) {
+  replay_mode_ = true;
+  const AcceptBlockResult result = accept_internal(block, undo);
+  replay_mode_ = false;
+  return result;
+}
+
+AcceptBlockResult Blockchain::accept_internal(const Block& block,
+                                              const BlockUndo* replay_undo) {
   const Hash256 hash = block.hash();
   if (blocks_.find(hash) != blocks_.end()) return AcceptBlockResult::kDuplicate;
 
-  const BlockValidationResult structural = check_block(block, params_);
-  if (!structural.ok()) {
-    last_failure_ = structural;
-    return AcceptBlockResult::kInvalid;
+  if (!replay_mode_) {
+    const BlockValidationResult structural = check_block(block, params_);
+    if (!structural.ok()) {
+      last_failure_ = structural;
+      return AcceptBlockResult::kInvalid;
+    }
   }
 
   const auto parent = blocks_.find(block.header.prev_block);
@@ -141,7 +163,7 @@ AcceptBlockResult Blockchain::accept_block(const Block& block) {
 
   // Proof-of-stake election: the block must be signed by the validator the
   // slot-leader schedule picked for this (parent, height).
-  if (params_.consensus == ConsensusMode::kProofOfStake) {
+  if (!replay_mode_ && params_.consensus == ConsensusMode::kProofOfStake) {
     const std::size_t slot = scheduled_proposer(
         params_.validators, block.header.prev_block, block_height);
     if (!pos_verify_block(block.header, params_.validators[slot])) {
@@ -154,7 +176,7 @@ AcceptBlockResult Blockchain::accept_block(const Block& block) {
 
   AcceptBlockResult result;
   if (block.header.prev_block == tip_hash()) {
-    if (!connect_tip(block)) {
+    if (!connect_tip(block, replay_undo)) {
       blocks_.erase(hash);
       return AcceptBlockResult::kInvalid;
     }
@@ -169,8 +191,28 @@ AcceptBlockResult Blockchain::accept_block(const Block& block) {
     result = AcceptBlockResult::kSideChain;
   }
 
+  // Persist before orphan descendants are promoted: the log must record a
+  // parent ahead of every child so replay never sees an orphan.
+  if (!replay_mode_ && block_sink_) {
+    const BlockUndo* undo = result == AcceptBlockResult::kConnected
+                                ? &blocks_.at(hash).undo
+                                : nullptr;
+    block_sink_(block, undo);
+  }
+
   try_connect_orphans(hash);
   return result;
+}
+
+const BlockUndo* Blockchain::undo_for(const Hash256& hash) const {
+  const auto it = blocks_.find(hash);
+  if (it == blocks_.end()) return nullptr;
+  const int h = it->second.height;
+  if (h >= static_cast<int>(active_.size()) ||
+      active_[static_cast<std::size_t>(h)] != hash) {
+    return nullptr;
+  }
+  return &it->second.undo;
 }
 
 AcceptBlockResult Blockchain::maybe_reorg(const Hash256& new_tip) {
@@ -271,6 +313,101 @@ std::optional<Blockchain> Blockchain::import_chain(const ChainParams& params,
       }
     }
     r.expect_done();
+    return chain;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+Hash256 Blockchain::state_hash() const {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(height()));
+  const Hash256 tip = tip_hash();
+  w.bytes(util::ByteView(tip.data(), tip.size()));
+  const Hash256 utxo_hash = utxo_.state_hash();
+  w.bytes(util::ByteView(utxo_hash.data(), utxo_hash.size()));
+  return crypto::sha256d(w.take());
+}
+
+namespace {
+constexpr std::uint32_t kStateVersion = 1;
+}  // namespace
+
+util::Bytes Blockchain::serialize_state() const {
+  util::Writer w;
+  w.u32(kStateVersion);
+  w.varint(blocks_.size());
+  for (const auto& [hash, stored] : blocks_) {
+    w.var_bytes(stored.block.serialize());
+    w.u32(static_cast<std::uint32_t>(stored.height));
+    util::Writer undo_w;
+    write_undo(undo_w, stored.undo);
+    w.var_bytes(undo_w.take());
+  }
+  w.varint(active_.size());
+  for (const Hash256& h : active_)
+    w.bytes(util::ByteView(h.data(), h.size()));
+  w.var_bytes(utxo_.serialize());
+  return w.take();
+}
+
+std::optional<Blockchain> Blockchain::restore_state(const ChainParams& params,
+                                                    util::ByteView data) {
+  try {
+    util::Reader r(data);
+    if (r.u32() != kStateVersion) return std::nullopt;
+    Blockchain chain(params);
+    const Hash256 genesis_hash = chain.active_.front();
+    chain.blocks_.clear();
+    chain.active_.clear();
+    chain.tx_index_.clear();
+
+    const std::uint64_t block_count = r.varint();
+    chain.blocks_.reserve(static_cast<std::size_t>(block_count));
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+      const auto block = Block::deserialize(r.var_bytes());
+      if (!block) return std::nullopt;
+      const int block_height = static_cast<int>(r.u32());
+      const util::Bytes undo_bytes = r.var_bytes();
+      util::Reader undo_r(undo_bytes);
+      BlockUndo undo = read_undo(undo_r);
+      undo_r.expect_done();
+      const Hash256 hash = block->hash();
+      chain.blocks_.emplace(hash,
+                            StoredBlock{*block, block_height, std::move(undo)});
+    }
+
+    const std::uint64_t active_count = r.varint();
+    chain.active_.reserve(static_cast<std::size_t>(active_count));
+    for (std::uint64_t i = 0; i < active_count; ++i) {
+      Hash256 h{};
+      const util::Bytes raw = r.bytes(h.size());
+      std::copy(raw.begin(), raw.end(), h.begin());
+      chain.active_.push_back(h);
+    }
+
+    auto utxo = UtxoSet::deserialize(r.var_bytes());
+    if (!utxo) return std::nullopt;
+    chain.utxo_ = *std::move(utxo);
+    r.expect_done();
+
+    // Structural consistency: the active chain must start at this
+    // federation's deterministic genesis and every entry must be a stored
+    // block whose recorded height matches its position.
+    if (chain.active_.empty() || chain.active_.front() != genesis_hash) {
+      return std::nullopt;
+    }
+    for (std::size_t h = 0; h < chain.active_.size(); ++h) {
+      const auto it = chain.blocks_.find(chain.active_[h]);
+      if (it == chain.blocks_.end()) return std::nullopt;
+      if (it->second.height != static_cast<int>(h)) return std::nullopt;
+      if (h > 0 &&
+          it->second.block.header.prev_block != chain.active_[h - 1]) {
+        return std::nullopt;
+      }
+      for (const Transaction& tx : it->second.block.txs)
+        chain.tx_index_[tx.txid()] = static_cast<int>(h);
+    }
     return chain;
   } catch (const util::DeserializeError&) {
     return std::nullopt;

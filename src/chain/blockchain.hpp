@@ -45,6 +45,45 @@ class Blockchain {
   /// and connected automatically when their parent arrives.
   AcceptBlockResult accept_block(const Block& block);
 
+  /// Trusted store-recovery path: the same acceptance/reorg state machine
+  /// as accept_block, but structural checks, PoS election and script
+  /// execution are skipped — every replayed block passed full validation
+  /// before it reached the CRC-protected log. A logged `undo` lets a plain
+  /// tip extension skip validation entirely and re-apply the recorded UTXO
+  /// delta. The block sink never fires during replay.
+  AcceptBlockResult replay_block(const Block& block,
+                                 const BlockUndo* undo = nullptr);
+
+  /// Observer invoked whenever a block is newly stored (connected, reorg
+  /// trigger or side-chain — not still-unparented orphans), before any
+  /// orphan descendants are processed, so log order preserves
+  /// parent-before-child. `undo` is non-null exactly when the block
+  /// connected directly at the tip; the store appends it to the block log
+  /// so replay can skip validation for the common case.
+  using BlockSink = std::function<void(const Block&, const BlockUndo*)>;
+  void set_block_sink(BlockSink sink) { block_sink_ = std::move(sink); }
+
+  /// Undo record of an active-chain block; nullptr for side-chain or
+  /// unknown blocks (their undo is cleared on disconnect).
+  const BlockUndo* undo_for(const Hash256& hash) const;
+
+  /// Digest over (height, tip hash, UTXO set): two chainstates hash equal
+  /// iff they agree on the active chain tip and every spendable coin. The
+  /// crash-recovery gates compare this across restarts.
+  Hash256 state_hash() const;
+
+  /// Full chainstate dump for snapshots: every stored block with height
+  /// and undo, the active chain, and the UTXO set. Heavier than
+  /// export_chain() but restore_state() needs no re-validation.
+  util::Bytes serialize_state() const;
+
+  /// Rebuild from a serialize_state() dump. std::nullopt if the stream is
+  /// malformed or internally inconsistent (wrong genesis, dangling active
+  /// hash, height mismatch). No validation beyond structural consistency —
+  /// snapshot integrity is the store's CRC's job.
+  static std::optional<Blockchain> restore_state(const ChainParams& params,
+                                                 util::ByteView data);
+
   bool have_block(const Hash256& hash) const {
     return blocks_.find(hash) != blocks_.end();
   }
@@ -97,7 +136,11 @@ class Blockchain {
     BlockUndo undo;
   };
 
-  bool connect_tip(const Block& block);
+  AcceptBlockResult accept_internal(const Block& block,
+                                    const BlockUndo* replay_undo);
+  /// `undo_hint` non-null takes the no-validation fast path (trusted log
+  /// replay of a tip extension).
+  bool connect_tip(const Block& block, const BlockUndo* undo_hint = nullptr);
   void try_connect_orphans(const Hash256& parent);
   /// Attempt to make `hash` (already stored, with known height) the tip.
   AcceptBlockResult maybe_reorg(const Hash256& hash);
@@ -111,6 +154,11 @@ class Blockchain {
   UtxoSet utxo_;
   BlockValidationResult last_failure_;
   std::vector<Transaction> disconnected_txs_;
+  BlockSink block_sink_;
+  // Replay of the trusted block log: skip structural/PoS/script validation
+  // and keep the sink quiet (the records being replayed are already on
+  // disk). Set for the duration of replay_block().
+  bool replay_mode_ = false;
 };
 
 }  // namespace bcwan::chain

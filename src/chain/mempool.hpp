@@ -59,6 +59,13 @@ class Mempool {
   /// Drop transactions confirmed by (or conflicting with) a new block.
   void remove_confirmed(const Block& block);
 
+  /// Drop everything — a crashed node's pool does not survive the restart.
+  void clear() {
+    txs_.clear();
+    spent_.clear();
+    next_sequence_ = 0;
+  }
+
   /// All transactions (observers/watchers iterate the pool).
   std::vector<Transaction> snapshot() const;
 

@@ -1,6 +1,43 @@
 #include "chain/utxo.hpp"
 
+#include <algorithm>
+#include <cstring>
+
+#include "util/serial.hpp"
+
 namespace bcwan::chain {
+
+void write_coin(util::Writer& w, const OutPoint& op, const Coin& coin) {
+  w.bytes(util::ByteView(op.txid.data(), op.txid.size()));
+  w.u32(op.index);
+  w.u64(static_cast<std::uint64_t>(coin.out.value));
+  w.var_bytes(coin.out.script_pubkey.bytes());
+  w.u32(static_cast<std::uint32_t>(coin.height));
+  w.u8(coin.coinbase ? 1 : 0);
+}
+
+std::pair<OutPoint, Coin> read_coin(util::Reader& r) {
+  OutPoint op;
+  const util::Bytes txid = r.bytes(op.txid.size());
+  std::copy(txid.begin(), txid.end(), op.txid.begin());
+  op.index = r.u32();
+  Coin coin;
+  coin.out.value = static_cast<Amount>(r.u64());
+  coin.out.script_pubkey = script::Script(r.var_bytes());
+  coin.height = static_cast<int>(r.u32());
+  coin.coinbase = r.u8() != 0;
+  return {op, std::move(coin)};
+}
+
+namespace {
+
+bool outpoint_less(const OutPoint& a, const OutPoint& b) {
+  const int cmp = std::memcmp(a.txid.data(), b.txid.data(), a.txid.size());
+  if (cmp != 0) return cmp < 0;
+  return a.index < b.index;
+}
+
+}  // namespace
 
 std::optional<Coin> UtxoSet::get(const OutPoint& op) const {
   const auto it = coins_.find(op);
@@ -34,5 +71,39 @@ Amount UtxoSet::total_value() const {
   for (const auto& [op, coin] : coins_) total += coin.out.value;
   return total;
 }
+
+util::Bytes UtxoSet::serialize() const {
+  std::vector<const std::pair<const OutPoint, Coin>*> sorted;
+  sorted.reserve(coins_.size());
+  for (const auto& entry : coins_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) {
+              return outpoint_less(a->first, b->first);
+            });
+  util::Writer w;
+  w.varint(sorted.size());
+  for (const auto* entry : sorted) write_coin(w, entry->first, entry->second);
+  return w.take();
+}
+
+std::optional<UtxoSet> UtxoSet::deserialize(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    UtxoSet set;
+    const std::uint64_t count = r.varint();
+    set.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto [op, coin] = read_coin(r);
+      set.coins_.emplace(op, std::move(coin));
+    }
+    r.expect_done();
+    if (set.coins_.size() != count) return std::nullopt;  // duplicate entry
+    return set;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+Hash256 UtxoSet::state_hash() const { return crypto::sha256d(serialize()); }
 
 }  // namespace bcwan::chain

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "chain/transaction.hpp"
+#include "util/serial.hpp"
 
 namespace bcwan::chain {
 
@@ -13,7 +14,14 @@ struct Coin {
   TxOut out;
   int height = 0;       // block height that created it
   bool coinbase = false;
+
+  friend bool operator==(const Coin&, const Coin&) = default;
 };
+
+/// Coin serialization shared by UTXO snapshots and undo records.
+void write_coin(util::Writer& w, const OutPoint& op, const Coin& coin);
+/// Throws util::DeserializeError on malformed input.
+std::pair<OutPoint, Coin> read_coin(util::Reader& r);
 
 /// Read-only view of spendable coins. UtxoSet is the concrete chainstate;
 /// the mempool layers unconfirmed outputs on top without copying.
@@ -46,6 +54,23 @@ class UtxoSet : public CoinView {
 
   /// Total value of all coins (supply-conservation checks in tests).
   Amount total_value() const;
+
+  /// Visit every (outpoint, coin) pair — snapshot writers and invariants.
+  /// The callback must not mutate the set.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [op, coin] : coins_) fn(op, coin);
+  }
+
+  /// Canonical serialization, sorted by outpoint, so equal sets serialize
+  /// identically (chainstate snapshots, state hashing).
+  util::Bytes serialize() const;
+  static std::optional<UtxoSet> deserialize(util::ByteView data);
+
+  /// Double SHA-256 of the canonical serialization: two UTXO sets hash
+  /// equal iff they contain exactly the same coins. Crash-recovery gates
+  /// compare a recovered node's hash against the uninterrupted run's.
+  Hash256 state_hash() const;
 
  private:
   std::unordered_map<OutPoint, Coin, OutPointHasher> coins_;

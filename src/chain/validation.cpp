@@ -3,12 +3,41 @@
 #include <algorithm>
 #include <deque>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "chain/sigcache.hpp"
 #include "script/templates.hpp"
+#include "util/serial.hpp"
 
 namespace bcwan::chain {
+
+void write_undo(util::Writer& w, const BlockUndo& undo) {
+  w.varint(undo.spent.size());
+  for (const auto& [op, coin] : undo.spent) write_coin(w, op, coin);
+  w.varint(undo.created.size());
+  for (const OutPoint& op : undo.created) {
+    w.bytes(util::ByteView(op.txid.data(), op.txid.size()));
+    w.u32(op.index);
+  }
+}
+
+BlockUndo read_undo(util::Reader& r) {
+  BlockUndo undo;
+  const std::uint64_t spent = r.varint();
+  undo.spent.reserve(static_cast<std::size_t>(spent));
+  for (std::uint64_t i = 0; i < spent; ++i) undo.spent.push_back(read_coin(r));
+  const std::uint64_t created = r.varint();
+  undo.created.reserve(static_cast<std::size_t>(created));
+  for (std::uint64_t i = 0; i < created; ++i) {
+    OutPoint op;
+    const util::Bytes txid = r.bytes(op.txid.size());
+    std::copy(txid.begin(), txid.end(), op.txid.begin());
+    op.index = r.u32();
+    undo.created.push_back(op);
+  }
+  return undo;
+}
 
 std::string tx_error_name(TxError err) {
   switch (err) {
@@ -221,7 +250,7 @@ BlockValidationResult check_block(const Block& block,
 
 BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
                                     int height, const ChainParams& params,
-                                    BlockUndo& undo) {
+                                    BlockUndo& undo, bool verify_scripts) {
   BlockValidationResult result = check_block(block, params);
   if (!result.ok()) return result;
 
@@ -300,6 +329,9 @@ BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
   // contextual failure — and in serial order scripts of tx i run before
   // contextual checks of tx j>i, so the lowest-index script failure is
   // exactly what the serial path would have reported first.
+  // Trusted replay (verify_scripts == false) drops the batch: the store
+  // only logs blocks that already passed full validation.
+  if (!verify_scripts) checks.clear();
   if (const auto script_failure =
           run_script_checks(checks, params.script_check_threads);
       script_failure && script_failure->tx_index < contextual_fail_index) {
@@ -336,6 +368,26 @@ BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
   for (std::size_t i = 1; i < block.txs.size(); ++i)
     script_exec_cache().insert(exec_keys[i]);
   return result;
+}
+
+void apply_block_from_undo(const Block& block, const BlockUndo& undo,
+                           UtxoSet& utxo, int height) {
+  for (const auto& [op, coin] : undo.spent) utxo.spend(op);
+  // `undo.created` names exactly the outpoints connect_block added (it
+  // already excludes OP_RETURN outputs); rebuild each coin from the block's
+  // own outputs. The coinbase is always block.txs[0].
+  const Hash256 coinbase_txid = block.txs.empty() ? Hash256{}
+                                                  : block.txs[0].txid();
+  std::unordered_map<Hash256, const Transaction*, Hash256Hasher> by_txid;
+  by_txid.reserve(block.txs.size());
+  for (const Transaction& tx : block.txs) by_txid.emplace(tx.txid(), &tx);
+  utxo.reserve(utxo.size() + undo.created.size());
+  for (const OutPoint& op : undo.created) {
+    const auto it = by_txid.find(op.txid);
+    if (it == by_txid.end() || op.index >= it->second->vout.size()) continue;
+    utxo.add(op, Coin{it->second->vout[op.index], height,
+                      op.txid == coinbase_txid});
+  }
 }
 
 void disconnect_block(const BlockUndo& undo, UtxoSet& utxo) {

@@ -95,7 +95,14 @@ struct BlockValidationResult {
 struct BlockUndo {
   std::vector<std::pair<OutPoint, Coin>> spent;
   std::vector<OutPoint> created;
+
+  friend bool operator==(const BlockUndo&, const BlockUndo&) = default;
 };
+
+/// Undo serialization (block-log records and chainstate snapshots).
+void write_undo(util::Writer& w, const BlockUndo& undo);
+/// Throws util::DeserializeError on malformed input.
+BlockUndo read_undo(util::Reader& r);
 
 /// Structure-only checks (PoW, merkle root, coinbase placement, size).
 BlockValidationResult check_block(const Block& block,
@@ -103,9 +110,22 @@ BlockValidationResult check_block(const Block& block,
 
 /// Full contextual validation; on success the UTXO set is updated and
 /// `undo` describes how to roll it back. On failure the set is untouched.
+/// `verify_scripts = false` skips input-script execution — the store's
+/// trusted replay path, where every block was fully validated before it
+/// reached the CRC-protected log; all contextual checks (maturity, fees,
+/// missing inputs, double spends) still run.
 BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
                                     int height, const ChainParams& params,
-                                    BlockUndo& undo);
+                                    BlockUndo& undo,
+                                    bool verify_scripts = true);
+
+/// Re-apply a block's recorded UTXO delta with no validation at all — the
+/// replay fast path for log records that carry their undo. Spends exactly
+/// `undo.spent`, re-creates exactly `undo.created` (coin data rebuilt from
+/// the block's outputs at `height`). The caller owns integrity (the log's
+/// CRC) and ordering (records replay in append order).
+void apply_block_from_undo(const Block& block, const BlockUndo& undo,
+                           UtxoSet& utxo, int height);
 
 /// Roll a connected block back out of the UTXO set.
 void disconnect_block(const BlockUndo& undo, UtxoSet& utxo);

@@ -58,7 +58,8 @@ RadioDeviceId LoraRadio::add_device(RadioGatewayId gateway, LoraConfig phy,
                                     double duty_cycle,
                                     DeviceRxHandler on_downlink) {
   devices_.push_back(Device{gateway, phy, DutyCycleLimiter(duty_cycle),
-                            std::move(on_downlink)});
+                            std::move(on_downlink), util::kMillisecond,
+                            LinkState{}});
   return static_cast<RadioDeviceId>(devices_.size() - 1);
 }
 

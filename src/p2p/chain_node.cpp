@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "telemetry/metrics.hpp"
 
@@ -16,14 +17,87 @@ ChainNode::ChainNode(EventLoop& loop, SimNet& net, HostId host,
     : loop_(loop),
       net_(net),
       host_(host),
-      config_(config),
+      config_(std::move(config)),
       rng_(seed),
       chain_(params),
       mempool_(chain_.params()) {
+  if (persistent()) {
+    std::string error;
+    if (!open_store_and_recover(&error)) {
+      // Construction-time refusal means the operator pointed the daemon at
+      // a store with mid-file corruption; nothing sane to fall back to.
+      throw std::runtime_error("chain store: " + error);
+    }
+    resurrect_disconnected();
+  }
   net_.set_handler(host_, [this](const Message& msg) { handle_message(msg); });
 }
 
+bool ChainNode::open_store_and_recover(std::string* error) {
+  store::StoreOptions opts;
+  opts.dir = config_.store_dir;
+  opts.fsync_each_append = config_.store_fsync;
+  opts.snapshot_interval = config_.snapshot_interval;
+  auto opened = store::ChainStore::open(chain_.params(), std::move(opts), error);
+  if (!opened) return false;
+  store_ = std::move(opened);
+  last_recovery_ = store_->recovery();
+  chain_ = store_->take_chain();
+  chain_.set_block_sink(
+      [this](const Block& block, const chain::BlockUndo* undo) {
+        store_->append_block(block, undo);
+      });
+  return true;
+}
+
+void ChainNode::crash() {
+  crashed_ = true;
+  // Process death: the sink's captured store pointer dies with us.
+  chain_.set_block_sink(nullptr);
+  store_.reset();
+  mempool_.clear();
+  orphan_txs_.clear();
+  seen_txs_.clear();
+  seen_blocks_.clear();
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .counter("bcwan_node_crashes_total", "Chain daemon crash-stops")
+        .add();
+  }
+}
+
+bool ChainNode::restart() {
+  if (!crashed_) return true;
+  if (persistent()) {
+    std::string error;
+    if (!open_store_and_recover(&error)) return false;
+  } else {
+    // No disk: reboot at genesis and let gossip catch-up sync refill us.
+    chain_ = chain::Blockchain(chain_.params());
+  }
+  crashed_ = false;
+  // Replay can end in a reorg whose losing branch carried live exchanges;
+  // resurrect them exactly like an online reorg would.
+  resurrect_disconnected();
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .counter("bcwan_node_restarts_total", "Chain daemon restarts")
+        .add();
+  }
+  return true;
+}
+
+std::uint64_t ChainNode::tear_store_tail(std::uint64_t bytes) {
+  if (!persistent()) return 0;
+  return store::tear_log_tail(store::log_file_path(config_.store_dir), bytes);
+}
+
 chain::MempoolAcceptResult ChainNode::submit_tx(const Transaction& tx) {
+  if (crashed_) {
+    chain::MempoolAcceptResult dead;
+    dead.error = chain::MempoolError::kInvalid;
+    return dead;
+  }
   const auto result = mempool_.accept(tx, chain_.utxo(), chain_.height() + 1);
   if (result.ok()) {
     seen_txs_.insert(tx.txid());
@@ -36,6 +110,7 @@ chain::MempoolAcceptResult ChainNode::submit_tx(const Transaction& tx) {
 }
 
 chain::AcceptBlockResult ChainNode::submit_block(const Block& block) {
+  if (crashed_) return chain::AcceptBlockResult::kInvalid;
   const auto result = chain_.accept_block(block);
   if (result == chain::AcceptBlockResult::kConnected ||
       result == chain::AcceptBlockResult::kReorganized) {
@@ -47,12 +122,14 @@ chain::AcceptBlockResult ChainNode::submit_block(const Block& block) {
       for (const auto& watcher : reorg_watchers_) watcher();
     }
     for (const auto& watcher : block_watchers_) watcher(block);
+    if (store_) store_->maybe_snapshot(chain_);
     relay_block(block);
   }
   return result;
 }
 
 void ChainNode::handle_message(const Message& msg) {
+  if (crashed_) return;  // a dead process receives nothing
   if (telemetry::enabled()) {
     telemetry::registry()
         .counter("bcwan_p2p_messages_in_total", "type", msg.type,
@@ -157,6 +234,7 @@ void ChainNode::accept_gossip_block(const Block& block, HostId from) {
       for (const auto& watcher : reorg_watchers_) watcher();
     }
     for (const auto& watcher : block_watchers_) watcher(block);
+    if (store_) store_->maybe_snapshot(chain_);
     drain_orphan_txs();
   }
   if (result == chain::AcceptBlockResult::kOrphan) {

@@ -11,11 +11,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <string>
 #include <unordered_set>
 
 #include "chain/blockchain.hpp"
 #include "chain/mempool.hpp"
 #include "p2p/network.hpp"
+#include "store/store.hpp"
 
 namespace bcwan::p2p {
 
@@ -30,6 +33,14 @@ struct ChainNodeConfig {
   util::SimTime tx_processing = 4 * util::kMillisecond;
   /// CPU charged per block connected (besides any stall).
   util::SimTime block_processing = 20 * util::kMillisecond;
+  /// Durable chainstate directory. Empty (the default) keeps the daemon
+  /// fully in-memory; non-empty opens-or-recovers a ChainStore there and
+  /// every accepted block is logged before it is relayed.
+  std::string store_dir;
+  /// fsync the block log on every append (see StoreOptions).
+  bool store_fsync = true;
+  /// Blocks between automatic chainstate snapshots.
+  std::uint64_t snapshot_interval = 16;
 };
 
 class ChainNode {
@@ -96,7 +107,36 @@ class ChainNode {
   std::uint64_t sync_requests() const noexcept { return sync_requests_; }
   std::uint64_t sync_blocks_served() const noexcept { return sync_served_; }
 
+  // -- Durability & crash-stop (chaos layer / daemon lifecycle). --
+
+  /// True when this daemon journals to disk.
+  bool persistent() const noexcept { return !config_.store_dir.empty(); }
+  /// The open store; nullptr for in-memory nodes and while crashed.
+  store::ChainStore* store() noexcept { return store_.get(); }
+
+  /// Crash-stop: the process dies mid-whatever. All volatile state
+  /// (mempool, orphan pools, gossip dedupe) is lost and the store file
+  /// handle closes without any final snapshot — exactly what SIGKILL
+  /// leaves behind. The node ignores all traffic until restart().
+  void crash();
+  /// Come back up. A persistent node re-opens its store and runs real disk
+  /// recovery (snapshot + log replay + torn-tail truncation); an in-memory
+  /// node resets to genesis. Both rely on gossip catch-up sync for
+  /// whatever the disk doesn't cover. Returns false — node stays down —
+  /// only if a persistent store refuses to open (mid-file corruption).
+  bool restart();
+  bool crashed() const noexcept { return crashed_; }
+  /// Stats from the most recent open-or-recover (construction or restart).
+  const store::RecoveryStats& last_recovery() const noexcept {
+    return last_recovery_;
+  }
+
+  /// Chaos hook: shear `bytes` off the store's block log tail, emulating a
+  /// torn write. Only meaningful while crashed. Returns bytes removed.
+  std::uint64_t tear_store_tail(std::uint64_t bytes);
+
  private:
+  bool open_store_and_recover(std::string* error);
   void relay_tx(const chain::Transaction& tx);
   void relay_block(const chain::Block& block);
   void accept_gossip_tx(const chain::Transaction& tx);
@@ -118,8 +158,11 @@ class ChainNode {
   HostId host_;
   ChainNodeConfig config_;
   util::Rng rng_;
+  std::unique_ptr<store::ChainStore> store_;
   chain::Blockchain chain_;
   chain::Mempool mempool_;
+  bool crashed_ = false;
+  store::RecoveryStats last_recovery_;
   std::function<void(const Message&)> app_handler_;
   std::function<void(const chain::Transaction&)> raw_tx_tap_;
   std::vector<std::function<void(const chain::Transaction&)>> tx_watchers_;

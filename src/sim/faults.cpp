@@ -68,15 +68,82 @@ void FaultPlan::crash_gateway(std::size_t gateway_index, util::SimTime at,
                               util::SimTime downtime) {
   scenario_.loop().at(at, [this, gateway_index] {
     scenario_.gateway_by_index(gateway_index).crash();
+    auto& node = scenario_.node_for_gateway(gateway_index);
+    if (node.persistent() && !node.crashed()) node.crash();
     ++crashes_;
     telemetry_note_fault("gateway_crash");
     record(scenario_.loop().now(),
            "gateway crash: #" + std::to_string(gateway_index));
   });
   scenario_.loop().at(at + downtime, [this, gateway_index] {
+    auto& node = scenario_.node_for_gateway(gateway_index);
+    if (node.crashed() && node.restart()) {
+      const auto& stats = node.last_recovery();
+      record(scenario_.loop().now(),
+             "daemon recovered: #" + std::to_string(gateway_index) +
+                 " replayed=" + std::to_string(stats.replayed_blocks) +
+                 " truncated=" + std::to_string(stats.truncated_bytes) +
+                 "B tip=" + std::to_string(stats.tip_height));
+    }
     scenario_.gateway_by_index(gateway_index).restart();
     record(scenario_.loop().now(),
            "gateway restart: #" + std::to_string(gateway_index));
+  });
+}
+
+void FaultPlan::torn_write_crash(std::size_t gateway_index, util::SimTime at,
+                                 util::SimTime downtime,
+                                 std::uint64_t tear_bytes) {
+  scenario_.loop().at(at, [this, gateway_index, tear_bytes] {
+    scenario_.gateway_by_index(gateway_index).crash();
+    auto& node = scenario_.node_for_gateway(gateway_index);
+    std::uint64_t torn = 0;
+    if (node.persistent()) {
+      if (!node.crashed()) node.crash();
+      torn = node.tear_store_tail(tear_bytes);
+    }
+    ++crashes_;
+    telemetry_note_fault("torn_write");
+    record(scenario_.loop().now(),
+           "torn-write crash: #" + std::to_string(gateway_index) +
+               " sheared=" + std::to_string(torn) + "B");
+  });
+  scenario_.loop().at(at + downtime, [this, gateway_index] {
+    auto& node = scenario_.node_for_gateway(gateway_index);
+    if (node.crashed() && node.restart()) {
+      const auto& stats = node.last_recovery();
+      record(scenario_.loop().now(),
+             "daemon recovered after torn write: #" +
+                 std::to_string(gateway_index) +
+                 " replayed=" + std::to_string(stats.replayed_blocks) +
+                 " truncated=" + std::to_string(stats.truncated_bytes) + "B");
+    }
+    scenario_.gateway_by_index(gateway_index).restart();
+    record(scenario_.loop().now(),
+           "gateway restart: #" + std::to_string(gateway_index));
+  });
+}
+
+void FaultPlan::crash_miner(util::SimTime at, util::SimTime downtime) {
+  scenario_.loop().at(at, [this] {
+    scenario_.set_mining_paused(true);
+    auto& node = scenario_.master_node();
+    if (node.persistent() && !node.crashed()) node.crash();
+    ++crashes_;
+    telemetry_note_fault("miner_crash");
+    record(scenario_.loop().now(), "miner crash");
+  });
+  scenario_.loop().at(at + downtime, [this] {
+    auto& node = scenario_.master_node();
+    if (node.crashed() && node.restart()) {
+      const auto& stats = node.last_recovery();
+      record(scenario_.loop().now(),
+             "miner recovered: replayed=" +
+                 std::to_string(stats.replayed_blocks) +
+                 " tip=" + std::to_string(stats.tip_height));
+    }
+    scenario_.set_mining_paused(false);
+    record(scenario_.loop().now(), "miner restarted");
   });
 }
 
@@ -134,7 +201,16 @@ void FaultPlan::unleash(const ChaosProfile& profile, util::SimTime horizon) {
       crash_gateway(rng_.below(gateways), sample_at(),
                     profile.crash_downtime);
     }
+    for (int i = 0; i < sample_count(rng_, profile.torn_writes); ++i) {
+      // Shear 1..64 bytes — enough to land anywhere inside the tail
+      // record's header or payload.
+      torn_write_crash(rng_.below(gateways), sample_at(),
+                       profile.crash_downtime, 1 + rng_.below(64));
+    }
   }
+
+  for (int i = 0; i < sample_count(rng_, profile.miner_crashes); ++i)
+    crash_miner(sample_at(), profile.crash_downtime);
 
   for (int i = 0; i < sample_count(rng_, profile.miner_stalls); ++i)
     stall_miner(sample_at(), profile.stall_duration);

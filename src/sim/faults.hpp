@@ -34,8 +34,18 @@ struct ChaosProfile {
   /// Also partition the master host this many times over the horizon.
   double master_partitions = 0.0;
   /// Gateway crash/restart cycles over the horizon, spread across gateways.
+  /// On persistent deployments the co-located chain daemon crash-stops too
+  /// and comes back through real disk recovery.
   double gateway_crashes = 1.0;
   util::SimTime crash_downtime = 90 * util::kSecond;
+  /// Gateway crashes that additionally shear a partial record off the
+  /// block log tail while the host is down (torn write at the moment of
+  /// death). No-op on in-memory deployments.
+  double torn_writes = 0.0;
+  /// Master (miner) host crash/restart cycles over the horizon — mining
+  /// pauses for the downtime and the master's chainstate recovers from
+  /// disk on persistent deployments.
+  double miner_crashes = 0.0;
   /// Miner stalls over the horizon.
   double miner_stalls = 1.0;
   util::SimTime stall_duration = 2 * util::kMinute;
@@ -61,9 +71,20 @@ class FaultPlan {
   /// state for `duration`; links then resume normal G-E dynamics.
   void degrade_lora(const lora::BurstLossModel& model, util::SimTime at,
                     util::SimTime duration);
-  /// Crash one gateway agent at `at` and restart it `downtime` later.
+  /// Crash one gateway agent at `at` and restart it `downtime` later. On a
+  /// persistent deployment its host's chain daemon crash-stops with it and
+  /// restarts through disk recovery (snapshot load + log replay).
   void crash_gateway(std::size_t gateway_index, util::SimTime at,
                      util::SimTime downtime);
+  /// crash_gateway plus a torn write: while the host is down, `tear_bytes`
+  /// are sheared off its block log tail, so recovery must detect and
+  /// truncate a partial record. In-memory deployments just crash.
+  void torn_write_crash(std::size_t gateway_index, util::SimTime at,
+                        util::SimTime downtime, std::uint64_t tear_bytes);
+  /// Crash the master host: mining stops, its daemon crash-stops (with
+  /// disk recovery on restart where persistent) and resumes after
+  /// `downtime`.
+  void crash_miner(util::SimTime at, util::SimTime downtime);
   /// Freeze the master's Poisson mining loop for `duration`.
   void stall_miner(util::SimTime at, util::SimTime duration);
 

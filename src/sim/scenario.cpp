@@ -81,16 +81,24 @@ void Scenario::build() {
   node_config.block_verification_stall = config_.block_verification_stall;
   node_config.stall_median_s = config_.stall_median_s;
   node_config.stall_sigma = config_.stall_sigma;
+  node_config.store_fsync = config_.persist_fsync;
+  node_config.snapshot_interval = config_.snapshot_interval;
 
   // Actor hosts (the "PlanetLab nodes").
   for (int a = 0; a < config_.actors; ++a) {
     const p2p::HostId host = net_->add_host("actor" + std::to_string(a));
+    if (!config_.persist_dir.empty()) {
+      node_config.store_dir =
+          config_.persist_dir + "/actor-" + std::to_string(a);
+    }
     actor_nodes_.push_back(std::make_unique<p2p::ChainNode>(
         loop_, *net_, host, config_.chain_params, node_config, rng_.next()));
   }
   // Master host (the "AWS EC2 instance"): mines, never stalls the others.
   {
     p2p::ChainNodeConfig master_config = node_config;
+    if (!config_.persist_dir.empty())
+      master_config.store_dir = config_.persist_dir + "/master";
     const p2p::HostId host = net_->add_host("master");
     master_node_ = std::make_unique<p2p::ChainNode>(
         loop_, *net_, host, config_.chain_params, master_config, rng_.next());

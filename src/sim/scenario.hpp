@@ -56,6 +56,17 @@ struct ScenarioConfig {
   /// data frame died on the air); the device is re-armed.
   util::SimTime exchange_stale_after = 10 * util::kMinute;
   std::uint64_t seed = 1;
+
+  /// Root directory for durable per-host chainstates. Empty (the default —
+  /// benches and most tests) keeps every daemon in-memory; non-empty gives
+  /// each actor host `<persist_dir>/actor-<i>` and the master
+  /// `<persist_dir>/master`, so gateway/miner crash faults go through real
+  /// disk recovery instead of a state wipe.
+  std::string persist_dir;
+  /// fsync the block log on every append (see StoreOptions).
+  bool persist_fsync = true;
+  /// Blocks between automatic chainstate snapshots on persistent hosts.
+  std::uint64_t snapshot_interval = 16;
 };
 
 /// One completed (or failed) exchange, as the paper measures it: "from the
@@ -123,6 +134,12 @@ class Scenario {
   std::size_t sensor_count() const noexcept { return sensors_.size(); }
   std::size_t gateway_count() const noexcept { return gateways_.size(); }
   core::GatewayAgent& gateway_by_index(std::size_t i) { return *gateways_[i]; }
+  /// The chain daemon co-located with a gateway (its actor's host) — the
+  /// chaos layer crashes both together on persistent deployments.
+  p2p::ChainNode& node_for_gateway(std::size_t gateway_index) {
+    return *actor_nodes_[gateway_index /
+                         static_cast<std::size_t>(config_.gateways_per_actor)];
+  }
   p2p::ChainNode& master_node() { return *master_node_; }
   const chain::Wallet& master_wallet() const { return *master_wallet_; }
 

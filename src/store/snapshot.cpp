@@ -1,0 +1,178 @@
+#include "store/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "store/crc32c.hpp"
+#include "util/serial.hpp"
+
+namespace fs = std::filesystem;
+
+namespace bcwan::store {
+namespace {
+
+constexpr std::size_t kSnapshotHeaderBytes = 8 + 4 + 8 + 4 + 4;
+
+std::uint32_t snapshot_crc(std::uint64_t next_seq, util::ByteView payload) {
+  util::Writer w;
+  w.u64(next_seq);
+  return crc32c_extend(crc32c(w.data()), payload);
+}
+
+std::string snapshot_name(std::uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020llu.snap",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+bool parse_snapshot_name(const std::string& name, std::uint64_t& seq) {
+  if (name.size() < 14 || name.rfind("snapshot-", 0) != 0 ||
+      name.substr(name.size() - 5) != ".snap") {
+    return false;
+  }
+  const std::string digits = name.substr(9, name.size() - 14);
+  if (digits.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  seq = v;
+  return true;
+}
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+void set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+std::vector<SnapshotInfo> list_snapshots(const std::string& dir) {
+  std::vector<SnapshotInfo> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::uint64_t seq = 0;
+    const std::string name = entry.path().filename().string();
+    if (!parse_snapshot_name(name, seq)) continue;
+    SnapshotInfo info;
+    info.seq = seq;
+    info.path = entry.path().string();
+    info.bytes = static_cast<std::uint64_t>(entry.file_size(ec));
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotInfo& a, const SnapshotInfo& b) {
+              return a.seq > b.seq;
+            });
+  return out;
+}
+
+bool write_snapshot_file(const std::string& dir, std::uint64_t next_seq,
+                         util::ByteView state, SnapshotInfo* info,
+                         std::string* error) {
+  const fs::path final_path = fs::path(dir) / snapshot_name(next_seq);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    set_error(error, "cannot create snapshot tmp: " + tmp_path.string());
+    return false;
+  }
+  util::Writer header;
+  header.bytes(util::ByteView(
+      reinterpret_cast<const std::uint8_t*>(kSnapshotMagic),
+      sizeof(kSnapshotMagic)));
+  header.u32(kSnapshotVersion);
+  header.u64(next_seq);
+  header.u32(static_cast<std::uint32_t>(state.size()));
+  header.u32(snapshot_crc(next_seq, state));
+  bool ok = std::fwrite(header.data().data(), 1, header.data().size(), f) ==
+            header.data().size();
+  ok = ok && (state.empty() ||
+              std::fwrite(state.data(), 1, state.size(), f) == state.size());
+  // Ordering contract: data must be on disk BEFORE the rename publishes the
+  // file, and the rename must be on disk before the caller retires the log.
+  ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    set_error(error, "cannot write snapshot: " + tmp_path.string());
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec || !fsync_dir(dir)) {
+    fs::remove(tmp_path, ec);
+    set_error(error, "cannot publish snapshot: " + final_path.string());
+    return false;
+  }
+  if (info != nullptr) {
+    info->seq = next_seq;
+    info->path = final_path.string();
+    info->bytes = kSnapshotHeaderBytes + state.size();
+  }
+  return true;
+}
+
+std::optional<util::Bytes> load_snapshot_file(const std::string& path,
+                                              std::uint64_t* next_seq) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < static_cast<long>(kSnapshotHeaderBytes)) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  util::Bytes data(static_cast<std::size_t>(size));
+  const bool read_ok =
+      std::fread(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  if (!read_ok) return std::nullopt;
+
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
+    return std::nullopt;
+  try {
+    util::Reader r(util::ByteView(data).subspan(sizeof(kSnapshotMagic)));
+    if (r.u32() != kSnapshotVersion) return std::nullopt;
+    const std::uint64_t seq = r.u64();
+    const std::uint32_t len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (len != r.remaining()) return std::nullopt;
+    util::Bytes payload = r.bytes(len);
+    r.expect_done();
+    if (snapshot_crc(seq, payload) != crc) return std::nullopt;
+    if (next_seq != nullptr) *next_seq = seq;
+    return payload;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+void prune_snapshots(const std::string& dir, std::size_t keep) {
+  const std::vector<SnapshotInfo> all = list_snapshots(dir);
+  std::error_code ec;
+  for (std::size_t i = keep; i < all.size(); ++i) {
+    fs::remove(all[i].path, ec);
+  }
+}
+
+}  // namespace bcwan::store

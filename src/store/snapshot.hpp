@@ -1,0 +1,50 @@
+// Atomic chainstate snapshots.
+//
+// A snapshot is a full Blockchain::serialize_state() dump plus the log
+// sequence number it covers (`next_seq`): replay skips every log record
+// with seq < next_seq. Files are named snapshot-<seq>.snap and written
+// with the tmp + fflush + fsync + rename + fsync(dir) dance so a crash at
+// any instant leaves either the old set of snapshots or the old set plus
+// one complete new file — never a half-written one under the final name.
+//
+// On-disk layout: 8-byte magic "BCWANSNP" | u32 version | u64 next_seq
+//                 | u32 payload_len | u32 crc32c(next_seq || payload)
+//                 | payload (serialize_state bytes)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace bcwan::store {
+
+inline constexpr char kSnapshotMagic[8] = {'B', 'C', 'W', 'A',
+                                           'N', 'S', 'N', 'P'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct SnapshotInfo {
+  std::uint64_t seq = 0;  // next_seq recorded in the file (from the name)
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// Snapshot files in `dir`, newest (highest seq) first.
+std::vector<SnapshotInfo> list_snapshots(const std::string& dir);
+
+/// Atomically write a snapshot covering log records seq < `next_seq`.
+bool write_snapshot_file(const std::string& dir, std::uint64_t next_seq,
+                         util::ByteView state, SnapshotInfo* info,
+                         std::string* error);
+
+/// Load + CRC-verify one snapshot file. std::nullopt if unreadable, torn
+/// or corrupt (the caller falls back to an older snapshot or full replay).
+std::optional<util::Bytes> load_snapshot_file(const std::string& path,
+                                              std::uint64_t* next_seq);
+
+/// Delete all snapshots except the newest `keep` (bounds disk usage).
+void prune_snapshots(const std::string& dir, std::size_t keep);
+
+}  // namespace bcwan::store

@@ -1,0 +1,115 @@
+// Durable chainstate: block log + snapshots + crash recovery.
+//
+// ChainStore::open() is the single entry point: it loads the newest valid
+// snapshot, truncates a torn log tail, replays the remaining records
+// through the trusted Blockchain::replay_block() path and hands back a
+// fully recovered chain. The owning node then wires the store in as the
+// chain's block sink so every accepted block is logged before its orphan
+// descendants connect.
+//
+// Recovery state machine (see DESIGN.md §11):
+//
+//   open dir ─→ load newest snapshot ──bad──→ older snapshot / genesis
+//        │
+//        ├─→ scan log ──bad header / mid-file corruption──→ REFUSE
+//        │        └──torn tail──→ truncate (durable) ─┐
+//        └────────────────────────────────────────────┴─→ replay seq ≥
+//             snapshot.next_seq ──any record fails──→ REFUSE
+//                                └─→ OPEN (next append seq =
+//                                    max(last log seq + 1, snapshot seq))
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chain/blockchain.hpp"
+#include "store/log.hpp"
+
+namespace bcwan::store {
+
+struct StoreOptions {
+  std::string dir;
+  /// Blocks between automatic snapshots (maybe_snapshot).
+  std::uint64_t snapshot_interval = 16;
+  /// fsync the log after every append. Durability for daemons; benches and
+  /// bulk sims turn it off and rely on the torn-tail recovery path.
+  bool fsync_each_append = true;
+  /// Snapshots retained after a new one is written.
+  std::size_t keep_snapshots = 2;
+};
+
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_seq = 0;     // next_seq of the loaded snapshot
+  std::size_t snapshots_skipped = 0;  // corrupt/unreadable ones passed over
+  std::size_t replayed_blocks = 0;
+  std::uint64_t truncated_bytes = 0;  // torn tail sheared off the log
+  std::uint64_t log_bytes = 0;        // log size after truncation
+  double replay_seconds = 0.0;
+  int tip_height = -1;
+};
+
+class ChainStore {
+ public:
+  /// Open-or-recover. nullptr (with `error` filled) only on unrecoverable
+  /// states: mid-file log corruption, foreign file header, I/O failure, or
+  /// a log record the chain itself refuses to replay.
+  static std::unique_ptr<ChainStore> open(const chain::ChainParams& params,
+                                          StoreOptions options,
+                                          std::string* error = nullptr);
+
+  /// The recovered chain, moved out exactly once. The caller must then
+  /// re-attach the store: chain.set_block_sink([&store](b, u) {
+  /// store.append_block(b, u); }).
+  chain::Blockchain take_chain();
+
+  const RecoveryStats& recovery() const noexcept { return recovery_; }
+  const StoreOptions& options() const noexcept { return options_; }
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
+  std::uint64_t log_bytes() const noexcept { return log_.size_bytes(); }
+  std::string log_path() const { return log_.path(); }
+
+  /// Block-sink entry point: append one accepted block (undo present iff it
+  /// connected directly at the tip) to the log.
+  bool append_block(const chain::Block& block, const chain::BlockUndo* undo);
+
+  /// Write a snapshot if `snapshot_interval` blocks were appended since the
+  /// last one. Returns true if a snapshot was written.
+  bool maybe_snapshot(const chain::Blockchain& chain);
+
+  /// Unconditionally snapshot the chain, rotate the log (its records are
+  /// now covered) and prune old snapshots.
+  bool write_snapshot(const chain::Blockchain& chain);
+
+  bool sync() { return log_.sync(); }
+
+ private:
+  ChainStore() = default;
+
+  StoreOptions options_;
+  BlockLog log_;
+  std::optional<chain::Blockchain> chain_;  // until take_chain()
+  RecoveryStats recovery_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t appends_since_snapshot_ = 0;
+};
+
+/// Path of the block log inside a store directory (chaos hooks shear its
+/// tail while the owning node is down).
+std::string log_file_path(const std::string& dir);
+
+/// Serialize one log payload: kind | has_undo | block | undo.
+util::Bytes encode_block_record(const chain::Block& block,
+                                const chain::BlockUndo* undo);
+
+/// Parse a log payload. std::nullopt on malformed bytes (CRC passed but the
+/// content does not decode — treated as unrecoverable corruption).
+struct DecodedBlockRecord {
+  chain::Block block;
+  std::optional<chain::BlockUndo> undo;
+};
+std::optional<DecodedBlockRecord> decode_block_record(util::ByteView payload);
+
+}  // namespace bcwan::store

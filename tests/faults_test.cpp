@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 
 #include "chain/miner.hpp"
 #include "script/templates.hpp"
@@ -298,6 +300,117 @@ TEST(Chaos, FederationSurvivesCombinedFaults) {
                               chaos_start + kHorizon + 10 * util::kMinute));
   auto final = sim::check_federation_invariants(s, true);
   EXPECT_TRUE(final.ok()) << final.to_string();
+}
+
+// --- Persistent deployments: crash-restart through real disk recovery ---
+
+struct ChaosTempDir {
+  std::filesystem::path path;
+  ChaosTempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "bcwan-chaos-XXXXXX")
+            .string();
+    path = ::mkdtemp(tmpl.data());
+  }
+  ~ChaosTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+TEST(Recovery, TornWriteCrashRecoversFromDisk) {
+  // Deterministic torn-write fault against a persistent deployment: the
+  // gateway's co-located daemon crash-stops, bytes are sheared off its
+  // block log tail, and restart must come back through snapshot + replay +
+  // torn-tail truncation — visible in the fault log and telemetry.
+  ChaosTempDir dir;
+  sim::ScenarioConfig config = fault_config(109);
+  config.persist_dir = dir.path.string();
+  sim::Scenario s(config);
+  s.bootstrap();
+  // Let some blocks reach disk first.
+  s.loop().run_until(s.loop().now() + 2 * util::kMinute);
+  ASSERT_TRUE(s.node_for_gateway(0).persistent());
+  const int height_before = s.node_for_gateway(0).chain().height();
+  ASSERT_GT(height_before, 0);
+
+  sim::FaultPlan faults(s, 3);
+  faults.torn_write_crash(0, s.loop().now() + util::kSecond,
+                          30 * util::kSecond, 7);
+  s.loop().run_until(s.loop().now() + 2 * util::kMinute);
+
+  auto& node = s.node_for_gateway(0);
+  EXPECT_FALSE(node.crashed());
+  EXPECT_GT(node.last_recovery().truncated_bytes, 0u);
+  // Catch-up gossip closes whatever the torn tail cost.
+  s.loop().run_until(s.loop().now() + 2 * util::kMinute);
+  EXPECT_GE(node.chain().height(), height_before);
+  const auto& log = faults.log();
+  const bool recovered_logged =
+      std::any_of(log.begin(), log.end(), [](const std::string& line) {
+        return line.find("recovered after torn write") != std::string::npos;
+      });
+  EXPECT_TRUE(recovered_logged);
+}
+
+TEST(Recovery, MinerCrashRecoversAndResumesMining) {
+  ChaosTempDir dir;
+  sim::ScenarioConfig config = fault_config(110);
+  config.persist_dir = dir.path.string();
+  sim::Scenario s(config);
+  s.bootstrap();
+  s.loop().run_until(s.loop().now() + 2 * util::kMinute);
+  ASSERT_TRUE(s.master_node().persistent());
+  const int height_before = s.master_node().chain().height();
+  ASSERT_GT(height_before, 0);
+
+  sim::FaultPlan faults(s, 4);
+  faults.crash_miner(s.loop().now() + util::kSecond, 30 * util::kSecond);
+  s.loop().run_until(s.loop().now() + 10 * util::kSecond);
+  EXPECT_TRUE(s.mining_paused());
+  EXPECT_TRUE(s.master_node().crashed());
+
+  s.loop().run_until(s.loop().now() + 3 * util::kMinute);
+  EXPECT_FALSE(s.mining_paused());
+  EXPECT_FALSE(s.master_node().crashed());
+  EXPECT_GE(s.master_node().last_recovery().tip_height, height_before);
+  EXPECT_GT(s.master_node().chain().height(), height_before)
+      << "mining never resumed after the crash";
+}
+
+TEST(Chaos, PersistentFederationSurvivesCrashChaos) {
+  // The ISSUE acceptance path: chaos profile with gateway crashes, torn
+  // writes and a miner crash, all against a store-backed deployment, while
+  // exchanges run. Every crash-restart goes through real disk recovery.
+  ChaosTempDir dir;
+  sim::ScenarioConfig config = fault_config(111);
+  config.persist_dir = dir.path.string();
+  config.gateway_config.offer_timeout = 5 * util::kMinute;
+  config.gateway_config.issued_key_timeout = 5 * util::kMinute;
+  config.recipient_config.timeout_blocks = 30;
+  sim::Scenario s(config);
+  s.bootstrap();
+
+  constexpr util::SimTime kHorizon = 20 * util::kMinute;
+  sim::FaultPlan faults(s, 11);
+  sim::ChaosProfile profile;
+  profile.partitions_per_actor = 0.0;
+  profile.gateway_crashes = 1.0;
+  profile.torn_writes = 1.0;
+  profile.miner_crashes = 1.0;
+  profile.miner_stalls = 0.0;
+  profile.crash_downtime = 60 * util::kSecond;
+  faults.unleash(profile, kHorizon);
+
+  s.run_exchanges(6, 3 * util::kHour);
+  EXPECT_GE(s.exchanges_completed(), 6u);
+  s.loop().run_until(s.loop().now() + kHorizon + 10 * util::kMinute);
+  auto report = sim::check_federation_invariants(s, true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // Every persistent daemon is back up.
+  EXPECT_FALSE(s.master_node().crashed());
+  for (std::size_t g = 0; g < s.gateway_count(); ++g)
+    EXPECT_FALSE(s.node_for_gateway(g).crashed()) << "gateway " << g;
 }
 
 TEST(Chaos, CleanRunPassesAllInvariants) {

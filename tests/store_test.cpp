@@ -1,0 +1,692 @@
+// Durable persistence tests: CRC32C, log framing and torn-tail scanning,
+// snapshot atomicity, ChainStore open-or-recover, and crash/restart at the
+// ChainNode level. The torn-tail sweep drives a truncation through every
+// byte offset of the final record; the mid-file CRC-flip cases pin the
+// refuse-don't-truncate policy.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "chain/miner.hpp"
+#include "chain/wallet.hpp"
+#include "p2p/chain_node.hpp"
+#include "p2p/event_loop.hpp"
+#include "p2p/network.hpp"
+#include "store/crc32c.hpp"
+#include "store/log.hpp"
+#include "store/snapshot.hpp"
+#include "store/store.hpp"
+
+namespace bcwan::store {
+namespace {
+
+namespace fs = std::filesystem;
+using chain::AcceptBlockResult;
+using chain::Block;
+using chain::Blockchain;
+using chain::ChainParams;
+using chain::Mempool;
+using chain::Miner;
+using chain::Wallet;
+using util::Bytes;
+
+ChainParams test_params() {
+  ChainParams p;
+  p.pow_zero_bits = 4;
+  p.coinbase_maturity = 2;
+  return p;
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "bcwan-store-XXXXXX").string();
+    path = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, util::ByteView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+/// A persistent chain: mines into a store-backed Blockchain, and can
+/// "crash" (drop everything without a final snapshot) and reopen.
+struct StoreHarness {
+  ChainParams params = test_params();
+  TempDir dir;
+  StoreOptions opts;
+  std::unique_ptr<ChainStore> store;
+  std::optional<Blockchain> chain;
+  Mempool pool{params};
+  Wallet wallet = Wallet::from_seed("miner");
+  Miner miner{params, wallet.pkh()};
+  std::uint64_t now = 0;
+
+  StoreHarness() {
+    opts.dir = dir.str();
+    opts.snapshot_interval = 1000;  // no automatic snapshots unless asked
+    open();
+  }
+
+  void open() {
+    std::string error;
+    store = ChainStore::open(params, opts, &error);
+    ASSERT_NE(store, nullptr) << error;
+    chain.emplace(store->take_chain());
+    chain->set_block_sink([this](const Block& b, const chain::BlockUndo* u) {
+      store->append_block(b, u);
+    });
+  }
+
+  /// Crash-stop: no snapshot, no extra fsync — just drop the handles.
+  void crash() {
+    chain.reset();
+    store.reset();
+  }
+
+  void reopen() {
+    crash();
+    open();
+  }
+
+  void mine_block() {
+    const Block block = miner.mine(*chain, pool, ++now);
+    const auto result = chain->accept_block(block);
+    ASSERT_TRUE(result == AcceptBlockResult::kConnected ||
+                result == AcceptBlockResult::kReorganized)
+        << chain::accept_block_result_name(result);
+    pool.remove_confirmed(block);
+    store->maybe_snapshot(*chain);
+  }
+
+  void mine_blocks(int n) {
+    for (int i = 0; i < n; ++i) mine_block();
+  }
+
+  void fund() { mine_blocks(params.coinbase_maturity + 1); }
+
+  void pay(chain::Amount amount) {
+    const Wallet alice = Wallet::from_seed("alice");
+    const auto tx =
+        wallet.create_payment(*chain, &pool, alice.pkh(), amount, 1000);
+    ASSERT_TRUE(tx.has_value());
+    ASSERT_TRUE(pool.accept(*tx, chain->utxo(), chain->height() + 1).ok());
+    mine_block();
+  }
+
+  std::string log_path() const { return log_file_path(dir.str()); }
+};
+
+// --- CRC32C ---
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 check value.
+  EXPECT_EQ(crc32c(util::str_bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c(util::ByteView{}), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  EXPECT_EQ(crc32c(Bytes(32, 0x00)), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(Bytes(32, 0xFF)), 0x62A8AB43u);
+}
+
+TEST(Crc32c, StreamingMatchesOneShot) {
+  const Bytes data = util::str_bytes("the quick brown fox jumps over");
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t part =
+        crc32c_extend(crc32c(util::ByteView(data).subspan(0, split)),
+                      util::ByteView(data).subspan(split));
+    EXPECT_EQ(part, whole) << "split at " << split;
+  }
+}
+
+// --- Log framing & scanning ---
+
+Bytes build_log_image(const std::vector<Bytes>& payloads) {
+  TempDir dir;
+  const std::string path = (dir.path / "img.log").string();
+  BlockLog log;
+  ScanResult scan;
+  EXPECT_TRUE(log.open(path, scan, nullptr));
+  std::uint64_t seq = 1;
+  for (const Bytes& p : payloads) EXPECT_TRUE(log.append(seq++, p, false));
+  log.close();
+  return read_file(path);
+}
+
+TEST(BlockLog, ScanRoundTrip) {
+  const Bytes image = build_log_image(
+      {util::str_bytes("alpha"), util::str_bytes("beta"), Bytes{}});
+  const ScanResult scan = scan_log(image);
+  EXPECT_EQ(scan.status, ScanStatus::kOk);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+  EXPECT_EQ(scan.records[0].payload, util::str_bytes("alpha"));
+  EXPECT_EQ(scan.records[2].payload, Bytes{});
+  EXPECT_EQ(scan.valid_bytes, image.size());
+}
+
+TEST(BlockLog, ScanRejectsForeignHeader) {
+  EXPECT_EQ(scan_log(util::str_bytes("not a log file at all")).status,
+            ScanStatus::kBadHeader);
+  EXPECT_EQ(scan_log(Bytes{}).status, ScanStatus::kBadHeader);
+  // Right magic, wrong version.
+  Bytes image = build_log_image({util::str_bytes("x")});
+  image[8] ^= 0x01;
+  EXPECT_EQ(scan_log(image).status, ScanStatus::kBadHeader);
+}
+
+TEST(BlockLog, TornTailAtEveryOffset) {
+  const Bytes image = build_log_image({util::str_bytes("first record"),
+                                       util::str_bytes("second record"),
+                                       util::str_bytes("the torn one")});
+  const ScanResult full = scan_log(image);
+  ASSERT_EQ(full.status, ScanStatus::kOk);
+  ASSERT_EQ(full.records.size(), 3u);
+  const std::uint64_t last_start =
+      full.valid_bytes - kRecordHeaderBytes - full.records[2].payload.size();
+
+  // Truncate at every byte inside the final record: always a torn tail
+  // recovering exactly the first two records, never a refusal.
+  for (std::uint64_t cut = last_start + 1; cut < image.size(); ++cut) {
+    const ScanResult scan =
+        scan_log(util::ByteView(image).subspan(0, static_cast<std::size_t>(cut)));
+    EXPECT_EQ(scan.status, ScanStatus::kTornTail) << "cut at " << cut;
+    EXPECT_EQ(scan.records.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(scan.valid_bytes, last_start) << "cut at " << cut;
+  }
+  // Truncating exactly at the record boundary is a clean two-record log.
+  const ScanResult boundary = scan_log(
+      util::ByteView(image).subspan(0, static_cast<std::size_t>(last_start)));
+  EXPECT_EQ(boundary.status, ScanStatus::kOk);
+  EXPECT_EQ(boundary.records.size(), 2u);
+}
+
+TEST(BlockLog, CorruptionInLastRecordIsTornTail) {
+  Bytes image = build_log_image(
+      {util::str_bytes("aaaa"), util::str_bytes("bbbb")});
+  // Flip a payload byte of the LAST record: truncate, don't refuse.
+  image[image.size() - 1] ^= 0xFF;
+  const ScanResult scan = scan_log(image);
+  EXPECT_EQ(scan.status, ScanStatus::kTornTail);
+  EXPECT_EQ(scan.records.size(), 1u);
+}
+
+TEST(BlockLog, CorruptionMidFileRefuses) {
+  Bytes image = build_log_image(
+      {util::str_bytes("aaaa"), util::str_bytes("bbbb"),
+       util::str_bytes("cccc")});
+  // Flip a byte in the FIRST record's payload: valid records follow, so
+  // this is mid-file corruption and must be refused, not truncated.
+  image[kFileHeaderBytes + kRecordHeaderBytes] ^= 0xFF;
+  EXPECT_EQ(scan_log(image).status, ScanStatus::kCorrupt);
+}
+
+TEST(BlockLog, OpenTruncatesTornTailOnDisk) {
+  TempDir dir;
+  const std::string path = (dir.path / "blocks.log").string();
+  {
+    BlockLog log;
+    ScanResult scan;
+    ASSERT_TRUE(log.open(path, scan, nullptr));
+    ASSERT_TRUE(log.append(1, util::str_bytes("keep me"), true));
+    ASSERT_TRUE(log.append(2, util::str_bytes("torn"), true));
+  }
+  ASSERT_GT(tear_log_tail(path, 2), 0u);
+
+  BlockLog log;
+  ScanResult scan;
+  std::string error;
+  ASSERT_TRUE(log.open(path, scan, &error)) << error;
+  EXPECT_EQ(scan.status, ScanStatus::kTornTail);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].payload, util::str_bytes("keep me"));
+  // Appending after recovery continues the sequence cleanly.
+  ASSERT_TRUE(log.append(2, util::str_bytes("replacement"), true));
+  log.close();
+  const ScanResult rescan = scan_log(read_file(path));
+  EXPECT_EQ(rescan.status, ScanStatus::kOk);
+  ASSERT_EQ(rescan.records.size(), 2u);
+  EXPECT_EQ(rescan.records[1].payload, util::str_bytes("replacement"));
+}
+
+// --- Snapshots ---
+
+TEST(Snapshot, RoundTripAndListing) {
+  TempDir dir;
+  const Bytes state = util::str_bytes("pretend chainstate");
+  SnapshotInfo info;
+  ASSERT_TRUE(write_snapshot_file(dir.str(), 42, state, &info, nullptr));
+  EXPECT_EQ(info.seq, 42u);
+
+  const auto listed = list_snapshots(dir.str());
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].seq, 42u);
+
+  std::uint64_t next_seq = 0;
+  const auto loaded = load_snapshot_file(listed[0].path, &next_seq);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, state);
+  EXPECT_EQ(next_seq, 42u);
+}
+
+TEST(Snapshot, CorruptFileIsSkippedNotFatal) {
+  TempDir dir;
+  SnapshotInfo info;
+  ASSERT_TRUE(write_snapshot_file(dir.str(), 7,
+                                  util::str_bytes("snapshot body"), &info,
+                                  nullptr));
+  Bytes raw = read_file(info.path);
+  raw[raw.size() - 3] ^= 0x40;
+  write_file(info.path, raw);
+  EXPECT_FALSE(load_snapshot_file(info.path, nullptr).has_value());
+}
+
+TEST(Snapshot, PruneKeepsNewest) {
+  TempDir dir;
+  for (std::uint64_t seq : {3u, 1u, 9u, 5u}) {
+    ASSERT_TRUE(
+        write_snapshot_file(dir.str(), seq, util::str_bytes("s"), nullptr,
+                            nullptr));
+  }
+  prune_snapshots(dir.str(), 2);
+  const auto listed = list_snapshots(dir.str());
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].seq, 9u);
+  EXPECT_EQ(listed[1].seq, 5u);
+}
+
+// --- ChainStore open-or-recover ---
+
+TEST(ChainStore, FreshDirectoryStartsAtGenesis) {
+  StoreHarness h;
+  EXPECT_EQ(h.chain->height(), 0);
+  EXPECT_FALSE(h.store->recovery().snapshot_loaded);
+  EXPECT_EQ(h.store->recovery().replayed_blocks, 0u);
+}
+
+TEST(ChainStore, ReopenReplaysLoggedBlocks) {
+  StoreHarness h;
+  h.fund();
+  h.pay(5 * chain::kCoin);
+  const chain::Hash256 state = h.chain->state_hash();
+  const int height = h.chain->height();
+
+  h.reopen();
+  EXPECT_EQ(h.chain->height(), height);
+  EXPECT_EQ(h.chain->state_hash(), state);
+  EXPECT_EQ(h.store->recovery().replayed_blocks,
+            static_cast<std::size_t>(height));
+  EXPECT_FALSE(h.store->recovery().snapshot_loaded);
+  EXPECT_EQ(h.store->recovery().truncated_bytes, 0u);
+
+  // The recovered chain keeps working: mine more, reopen again.
+  h.mine_blocks(2);
+  const chain::Hash256 state2 = h.chain->state_hash();
+  h.reopen();
+  EXPECT_EQ(h.chain->state_hash(), state2);
+}
+
+TEST(ChainStore, SnapshotShortensReplay) {
+  StoreHarness h;
+  h.opts.snapshot_interval = 3;
+  h.reopen();
+  h.mine_blocks(8);  // snapshots at 3 and 6; log holds 2 blocks
+
+  const chain::Hash256 state = h.chain->state_hash();
+  h.reopen();
+  EXPECT_TRUE(h.store->recovery().snapshot_loaded);
+  EXPECT_EQ(h.store->recovery().replayed_blocks, 2u);
+  EXPECT_EQ(h.chain->height(), 8);
+  EXPECT_EQ(h.chain->state_hash(), state);
+}
+
+TEST(ChainStore, SnapshotNewerThanLog) {
+  StoreHarness h;
+  h.mine_blocks(5);
+  // Snapshot rotates the log; a crash right after leaves an empty log with
+  // a snapshot whose next_seq is ahead of everything in it.
+  ASSERT_TRUE(h.store->write_snapshot(*h.chain));
+  const std::uint64_t seq_before = h.store->next_seq();
+  const chain::Hash256 state = h.chain->state_hash();
+
+  h.reopen();
+  EXPECT_TRUE(h.store->recovery().snapshot_loaded);
+  EXPECT_EQ(h.store->recovery().replayed_blocks, 0u);
+  EXPECT_EQ(h.chain->height(), 5);
+  EXPECT_EQ(h.chain->state_hash(), state);
+  // Sequence numbering resumes at the snapshot's next_seq, not at 1.
+  EXPECT_EQ(h.store->next_seq(), seq_before);
+  h.mine_block();
+  h.reopen();
+  EXPECT_EQ(h.chain->height(), 6);
+}
+
+TEST(ChainStore, TornTailRecoversToPreviousBlock) {
+  StoreHarness h;
+  h.mine_blocks(4);
+  const Bytes image = read_file(h.log_path());
+  const ScanResult full = scan_log(image);
+  ASSERT_EQ(full.records.size(), 4u);
+  const std::uint64_t last_start =
+      full.valid_bytes - kRecordHeaderBytes - full.records[3].payload.size();
+  h.crash();
+
+  // Rip off progressively deeper torn tails: a few bytes, half the record,
+  // all but one byte of it. Every variant must recover to height 3.
+  for (const std::uint64_t keep :
+       {image.size() - 3, last_start + kRecordHeaderBytes + 1,
+        last_start + 7, last_start + 1}) {
+    write_file(h.log_path(), util::ByteView(image).subspan(
+                                 0, static_cast<std::size_t>(keep)));
+    std::string error;
+    auto store = ChainStore::open(h.params, h.opts, &error);
+    ASSERT_NE(store, nullptr) << error;
+    EXPECT_EQ(store->recovery().truncated_bytes, keep - last_start)
+        << "keep=" << keep;
+    Blockchain chain = store->take_chain();
+    EXPECT_EQ(chain.height(), 3) << "keep=" << keep;
+  }
+}
+
+TEST(ChainStore, MidFileCorruptionRefusesToOpen) {
+  StoreHarness h;
+  h.mine_blocks(4);
+  h.crash();
+  Bytes image = read_file(h.log_path());
+  // Flip one byte in the middle of the second record's payload.
+  const ScanResult full = scan_log(image);
+  ASSERT_EQ(full.records.size(), 4u);
+  const std::uint64_t second_payload = kFileHeaderBytes +
+                                       2 * kRecordHeaderBytes +
+                                       full.records[0].payload.size() + 10;
+  ASSERT_TRUE(flip_log_byte(h.log_path(), second_payload));
+
+  std::string error;
+  auto store = ChainStore::open(h.params, h.opts, &error);
+  EXPECT_EQ(store, nullptr);
+  EXPECT_NE(error.find("corrupt"), std::string::npos) << error;
+  // The file was NOT truncated by the refused open.
+  EXPECT_EQ(read_file(h.log_path()).size(), image.size());
+}
+
+TEST(ChainStore, CorruptSnapshotFallsBackToReplay) {
+  StoreHarness h;
+  h.opts.snapshot_interval = 2;
+  h.reopen();
+  h.mine_blocks(4);
+  const chain::Hash256 state = h.chain->state_hash();
+  h.crash();
+
+  // Corrupt every snapshot: recovery must fall back to... nothing but the
+  // log. The log was rotated at the last snapshot though, so corrupt only
+  // the NEWEST and let the older one + replay carry the day.
+  auto snapshots = list_snapshots(h.dir.str());
+  ASSERT_GE(snapshots.size(), 2u);
+  Bytes raw = read_file(snapshots[0].path);
+  raw[raw.size() / 2] ^= 0x10;
+  write_file(snapshots[0].path, raw);
+
+  std::string error;
+  auto store = ChainStore::open(h.params, h.opts, &error);
+  ASSERT_NE(store, nullptr) << error;
+  EXPECT_EQ(store->recovery().snapshots_skipped, 1u);
+  // NOTE: the newest snapshot covered the rotated log, and it's gone. The
+  // older snapshot + the current log can only rebuild up to what they
+  // jointly know — which is everything up to the last rotation point.
+  Blockchain chain = store->take_chain();
+  EXPECT_LE(chain.height(), 4);
+  EXPECT_GE(chain.height(), 2);
+  (void)state;
+}
+
+TEST(ChainStore, ReplayAcrossReorg) {
+  StoreHarness h;  // persistent node that will reorg
+  // A competing in-memory branch builder sharing the same genesis.
+  Blockchain rival(h.params);
+  Mempool rival_pool(h.params);
+  Miner rival_miner(h.params, Wallet::from_seed("rival").pkh());
+
+  h.fund();
+  h.pay(3 * chain::kCoin);  // payment that will be disconnected
+  const int fork_height = h.chain->height() - 1;
+
+  // Rival catches up to the block BELOW our tip (excluding the payment
+  // block), then mines two blocks on top — a longer branch that forces the
+  // payment block to disconnect.
+  for (int bh = 1; bh <= fork_height; ++bh) {
+    ASSERT_EQ(rival.accept_block(*h.chain->block_at(bh)),
+              AcceptBlockResult::kConnected);
+  }
+  std::uint64_t rt = 1000;
+  const Block r1 = rival_miner.mine(rival, rival_pool, ++rt);
+  ASSERT_EQ(rival.accept_block(r1), AcceptBlockResult::kConnected);
+  const Block r2 = rival_miner.mine(rival, rival_pool, ++rt);
+  ASSERT_EQ(rival.accept_block(r2), AcceptBlockResult::kConnected);
+
+  // Feed the longer rival branch into the persistent chain: side-chain
+  // first, then the reorg trigger. Both land in the block log via the sink.
+  ASSERT_EQ(h.chain->accept_block(r1), AcceptBlockResult::kSideChain);
+  ASSERT_EQ(h.chain->accept_block(r2), AcceptBlockResult::kReorganized);
+  EXPECT_EQ(h.chain->tip_hash(), r2.hash());
+  const chain::Hash256 state = h.chain->state_hash();
+  const int height = h.chain->height();
+
+  // The log now carries: linear history, then r1 (side), then r2 (reorg
+  // trigger). Replay must walk the same side-chain + reorg path.
+  h.reopen();
+  EXPECT_EQ(h.chain->height(), height);
+  EXPECT_EQ(h.chain->tip_hash(), r2.hash());
+  EXPECT_EQ(h.chain->state_hash(), state);
+  // Every logged record replayed: the linear history (fork_height + the
+  // disconnected payment block), the side-chain block, the reorg trigger.
+  EXPECT_EQ(h.store->recovery().replayed_blocks,
+            static_cast<std::size_t>(fork_height) + 3);
+}
+
+TEST(ChainStore, ReplayedChainKeepsUndoForNewReorgs) {
+  StoreHarness h;
+  h.fund();
+  const chain::Hash256 old_tip = h.chain->tip_hash();
+  const int fork_height = h.chain->height() - 1;
+  h.reopen();
+  ASSERT_EQ(h.chain->tip_hash(), old_tip);
+
+  // Build a two-block rival branch from fork_height and feed it in: the
+  // replayed chain must disconnect its replayed tip using the undo data
+  // regenerated during recovery.
+  Blockchain rival(h.params);
+  Mempool rival_pool(h.params);
+  Miner rival_miner(h.params, Wallet::from_seed("rival2").pkh());
+  for (int bh = 1; bh <= fork_height; ++bh) {
+    ASSERT_EQ(rival.accept_block(*h.chain->block_at(bh)),
+              AcceptBlockResult::kConnected);
+  }
+  std::uint64_t rt = 2000;
+  const Block r1 = rival_miner.mine(rival, rival_pool, ++rt);
+  ASSERT_EQ(rival.accept_block(r1), AcceptBlockResult::kConnected);
+  const Block r2 = rival_miner.mine(rival, rival_pool, ++rt);
+  ASSERT_EQ(rival.accept_block(r2), AcceptBlockResult::kConnected);
+
+  ASSERT_EQ(h.chain->accept_block(r1), AcceptBlockResult::kSideChain);
+  ASSERT_EQ(h.chain->accept_block(r2), AcceptBlockResult::kReorganized);
+  EXPECT_EQ(h.chain->tip_hash(), r2.hash());
+  EXPECT_EQ(h.chain->utxo().state_hash(), rival.utxo().state_hash());
+}
+
+// --- Blockchain state serialization ---
+
+TEST(Blockchain, StateSerializationRoundTrip) {
+  StoreHarness h;
+  h.fund();
+  h.pay(2 * chain::kCoin);
+
+  const Bytes state = h.chain->serialize_state();
+  const auto restored = Blockchain::restore_state(h.params, state);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->height(), h.chain->height());
+  EXPECT_EQ(restored->tip_hash(), h.chain->tip_hash());
+  EXPECT_EQ(restored->state_hash(), h.chain->state_hash());
+  EXPECT_EQ(restored->active_chain(), h.chain->active_chain());
+  // tx_index_ rebuilt: confirmations resolve on the restored chain.
+  int confs = 0;
+  ASSERT_TRUE(restored->tx_confirmations(
+      h.chain->block_at(h.chain->height())->txs[0].txid(), confs));
+  EXPECT_EQ(confs, 1);
+}
+
+TEST(Blockchain, RestoreStateRejectsMalformedInput) {
+  StoreHarness h;
+  h.mine_blocks(2);
+  Bytes state = h.chain->serialize_state();
+
+  EXPECT_FALSE(Blockchain::restore_state(h.params, Bytes{}).has_value());
+  Bytes truncated(state.begin(), state.begin() + state.size() / 2);
+  EXPECT_FALSE(Blockchain::restore_state(h.params, truncated).has_value());
+  Bytes trailing = state;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(Blockchain::restore_state(h.params, trailing).has_value());
+
+  // Foreign genesis: restoring under different consensus params must fail
+  // (the federation's deterministic genesis no longer matches).
+  ChainParams other = h.params;
+  other.block_reward = h.params.block_reward + 1;
+  EXPECT_FALSE(Blockchain::restore_state(other, state).has_value());
+}
+
+TEST(UtxoSet, SerializationIsCanonical) {
+  StoreHarness h;
+  h.fund();
+  h.pay(chain::kCoin);
+  const chain::UtxoSet& utxo = h.chain->utxo();
+  const Bytes raw = utxo.serialize();
+  const auto back = chain::UtxoSet::deserialize(raw);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), utxo.size());
+  EXPECT_EQ(back->state_hash(), utxo.state_hash());
+  EXPECT_EQ(back->serialize(), raw);  // canonical: same bytes either way
+  EXPECT_EQ(back->total_value(), utxo.total_value());
+}
+
+TEST(Validation, UndoSerializationRoundTrip) {
+  StoreHarness h;
+  h.fund();
+  h.pay(chain::kCoin);
+  const chain::BlockUndo* undo = h.chain->undo_for(h.chain->tip_hash());
+  ASSERT_NE(undo, nullptr);
+  ASSERT_FALSE(undo->spent.empty());
+
+  util::Writer w;
+  chain::write_undo(w, *undo);
+  util::Reader r(w.data());
+  const chain::BlockUndo back = chain::read_undo(r);
+  r.expect_done();
+  EXPECT_EQ(back, *undo);
+}
+
+// --- ChainNode crash/restart ---
+
+struct NodeHarness {
+  ChainParams params = test_params();
+  TempDir dir;
+  p2p::EventLoop loop;
+  p2p::SimNet net{loop, 7};
+  std::vector<std::unique_ptr<p2p::ChainNode>> nodes;
+  Wallet wallet = Wallet::from_seed("miner");
+  Miner miner{params, wallet.pkh()};
+  std::uint64_t now = 0;
+
+  /// node 0: persistent; node 1: in-memory peer.
+  NodeHarness() {
+    p2p::ChainNodeConfig persistent;
+    persistent.store_dir = (dir.path / "node0").string();
+    nodes.push_back(std::make_unique<p2p::ChainNode>(
+        loop, net, net.add_host("node0"), params, persistent, 100));
+    nodes.push_back(std::make_unique<p2p::ChainNode>(
+        loop, net, net.add_host("node1"), params, p2p::ChainNodeConfig{},
+        101));
+  }
+
+  void mine_on(int i) {
+    auto& node = *nodes[i];
+    const Block block = miner.mine(node.chain(), node.mempool(), ++now);
+    ASSERT_EQ(node.submit_block(block), AcceptBlockResult::kConnected);
+    loop.run();
+  }
+};
+
+TEST(ChainNode, PersistentRestartRecoversFromDisk) {
+  NodeHarness h;
+  for (int i = 0; i < 5; ++i) h.mine_on(0);
+  const chain::Hash256 state = h.nodes[0]->chain().state_hash();
+
+  h.nodes[0]->crash();
+  EXPECT_TRUE(h.nodes[0]->crashed());
+  ASSERT_TRUE(h.nodes[0]->restart());
+  EXPECT_EQ(h.nodes[0]->chain().state_hash(), state);
+  EXPECT_EQ(h.nodes[0]->last_recovery().replayed_blocks, 5u);
+
+  // Still a functioning daemon after recovery.
+  h.mine_on(0);
+  EXPECT_EQ(h.nodes[0]->chain().height(), 6);
+  EXPECT_EQ(h.nodes[1]->chain().height(), 6);  // gossip still flows
+}
+
+TEST(ChainNode, CrashedNodeIgnoresTraffic) {
+  NodeHarness h;
+  h.mine_on(0);
+  h.nodes[0]->crash();
+  const int before = h.nodes[0]->chain().height();
+  h.mine_on(1);  // gossip lands while node 0 is dead
+  EXPECT_EQ(h.nodes[0]->chain().height(), before);
+  ASSERT_TRUE(h.nodes[0]->restart());
+  // The missed block arrives via catch-up when the next one gossips.
+  h.mine_on(1);
+  EXPECT_EQ(h.nodes[0]->chain().height(), h.nodes[1]->chain().height());
+}
+
+TEST(ChainNode, InMemoryRestartResetsAndResyncs) {
+  NodeHarness h;
+  for (int i = 0; i < 3; ++i) h.mine_on(0);
+  ASSERT_EQ(h.nodes[1]->chain().height(), 3);
+  h.nodes[1]->crash();
+  ASSERT_TRUE(h.nodes[1]->restart());
+  EXPECT_EQ(h.nodes[1]->chain().height(), 0);  // no disk: genesis reboot
+  h.mine_on(0);  // next gossip block is an orphan -> catch-up sync
+  EXPECT_EQ(h.nodes[1]->chain().height(), 4);
+}
+
+TEST(ChainNode, TornStoreTailRecovers) {
+  NodeHarness h;
+  for (int i = 0; i < 4; ++i) h.mine_on(0);
+  h.nodes[0]->crash();
+  ASSERT_GT(h.nodes[0]->tear_store_tail(5), 0u);
+  ASSERT_TRUE(h.nodes[0]->restart());
+  // Shearing 5 bytes leaves a partial tail record; recovery truncates the
+  // whole remainder of that record, not just the missing bytes.
+  EXPECT_GT(h.nodes[0]->last_recovery().truncated_bytes, 0u);
+  EXPECT_EQ(h.nodes[0]->chain().height(), 3);  // tip block was torn
+  // Catch-up sync restores the lost tip on the next gossip round.
+  h.mine_on(1);
+  EXPECT_EQ(h.nodes[0]->chain().height(), 5);
+  EXPECT_EQ(h.nodes[0]->chain().state_hash(),
+            h.nodes[1]->chain().state_hash());
+}
+
+}  // namespace
+}  // namespace bcwan::store
