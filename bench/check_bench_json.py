@@ -53,6 +53,15 @@ SCHEMAS = {
         "stream_speedup_vs_scalar": NUM,
         "sighash_speedup_vs_naive": NUM,
     },
+    "ADV-MATRIX": {
+        "smoke": bool,
+        "exchanges_per_level": NUM,
+        "attacks_launched": NUM,
+        "attacks_defended": NUM,
+        "defense_success_ratio": NUM,
+        "economic_invariants_hold": bool,
+        "levels": list,
+    },
 }
 
 # (metric, direction): direction "higher" means larger values are better.
@@ -62,10 +71,12 @@ HEADLINES = {
     "STORE-REPLAY": ("replay_blocks_per_s", "higher"),
     "VAL-TPUT": ("best_config_speedup", "higher"),  # derived, see below
     "HASH-TPUT": ("sighash_speedup_vs_naive", "higher"),
+    "ADV-MATRIX": ("defense_success_ratio", "higher"),
 }
 
 # Hard correctness bits: if present and false, fail regardless of timings.
-CORRECTNESS_FLAGS = ["equivalence_ok", "verdicts_match"]
+CORRECTNESS_FLAGS = ["equivalence_ok", "verdicts_match",
+                     "economic_invariants_hold"]
 
 
 def fail(code, msg):

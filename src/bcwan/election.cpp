@@ -1,5 +1,7 @@
 #include "bcwan/election.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "crypto/sha256.hpp"
@@ -26,6 +28,44 @@ std::size_t elect_master_gateway(
       first = false;
     }
   }
+  return winner;
+}
+
+std::size_t elect_master_gateway_weighted(
+    const std::vector<script::PubKeyHash>& gateway_identities,
+    const std::vector<double>& weights, int epoch) {
+  if (gateway_identities.empty())
+    throw std::invalid_argument("elect_master_gateway_weighted: no candidates");
+  if (gateway_identities.size() != weights.size())
+    throw std::invalid_argument(
+        "elect_master_gateway_weighted: weights/identities size mismatch");
+  // Efraimidis–Spirakis: candidate i draws u_i uniform from its ticket and
+  // scores -ln(u_i)/w_i; the minimum score wins with probability w_i / Σw.
+  std::size_t winner = gateway_identities.size();
+  double best = 0.0;
+  for (std::size_t i = 0; i < gateway_identities.size(); ++i) {
+    if (!(weights[i] > 0.0)) continue;
+    util::Writer w;
+    w.bytes(util::ByteView(gateway_identities[i].data(),
+                           gateway_identities[i].size()));
+    w.u32(static_cast<std::uint32_t>(epoch));
+    const crypto::Digest256 ticket = crypto::sha256(w.data());
+    std::uint64_t raw = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      raw = (raw << 8) | ticket[b];
+    }
+    // Map to (0, 1]: u = (raw + 1) / 2^64. Never zero, so log() is finite.
+    const double u =
+        (static_cast<double>(raw) + 1.0) / 18446744073709551616.0;
+    const double score = -std::log(u) / weights[i];
+    if (winner == gateway_identities.size() || score < best) {
+      best = score;
+      winner = i;
+    }
+  }
+  if (winner == gateway_identities.size())
+    throw std::invalid_argument(
+        "elect_master_gateway_weighted: no candidate with positive weight");
   return winner;
 }
 

@@ -26,4 +26,19 @@ namespace bcwan::core {
 std::size_t elect_master_gateway(
     const std::vector<script::PubKeyHash>& gateway_identities, int epoch = 0);
 
+/// Sybil-resistant variant: weighted election (Efraimidis–Spirakis A-Res
+/// over the same epoch tickets). Each candidate i wins with probability
+/// proportional to weights[i], so an attacker who registers k zero-cost
+/// identities gains nothing unless it also acquires weight (stake, paid
+/// registration, attested hardware — whatever the deployment prices).
+/// The unweighted election is the uniform special case and is exactly
+/// k/(n+k) vulnerable to a k-identity Sybil swarm.
+///
+/// Deterministic for a given (identities, weights, epoch); candidates with
+/// weight <= 0 can never win. Throws if sizes mismatch or no candidate has
+/// positive weight.
+std::size_t elect_master_gateway_weighted(
+    const std::vector<script::PubKeyHash>& gateway_identities,
+    const std::vector<double>& weights, int epoch = 0);
+
 }  // namespace bcwan::core

@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crypto/sha256.hpp"
+
 namespace bcwan::core {
 
 namespace {
 std::string key_handle(const crypto::RsaPublicKey& pub) {
   return util::to_hex(pub.serialize());
+}
+
+/// Replay-defence fingerprint of a DATA frame: the sealed payload is bound
+/// to the device by the node's signature, so device_id || Em || Sig uniquely
+/// identifies one sealed reading regardless of which ephemeral key it rode
+/// in on.
+std::string payload_fingerprint(const lora::UplinkDataFrame& frame) {
+  util::Bytes buf;
+  buf.reserve(2 + frame.em.size() + frame.sig.size());
+  buf.push_back(static_cast<std::uint8_t>(frame.device_id >> 8));
+  buf.push_back(static_cast<std::uint8_t>(frame.device_id & 0xff));
+  buf.insert(buf.end(), frame.em.begin(), frame.em.end());
+  buf.insert(buf.end(), frame.sig.begin(), frame.sig.end());
+  const crypto::Digest256 digest = crypto::sha256(buf);
+  return std::string(reinterpret_cast<const char*>(digest.data()),
+                     digest.size());
 }
 }  // namespace
 
@@ -55,7 +73,9 @@ void GatewayAgent::crash() {
   pending_redeems_.clear();
   pending_delivers_.clear();
   recent_data_.clear();
+  seen_payloads_.clear();
   submitted_redeems_.clear();
+  withheld_redeems_.clear();
 }
 
 void GatewayAgent::restart() {
@@ -126,6 +146,20 @@ void GatewayAgent::send_ephemeral_key(std::uint16_t device_id,
 
 void GatewayAgent::handle_data(lora::RadioDeviceId from,
                                const lora::UplinkDataFrame& frame) {
+  // Replay defence first, before any key can be consumed: a frame whose
+  // payload we have already accepted is either the node retransmitting
+  // (ACK lost — re-ACK it) or an attacker replaying sniffed bytes (silent
+  // drop; re-keying would burn an RSA keygen per replayed frame).
+  const std::string fp = payload_fingerprint(frame);
+  const auto seen = seen_payloads_.find(fp);
+  if (seen != seen_payloads_.end()) {
+    if (loop_.now() - seen->second <= config_.reack_window) {
+      send_data_ack(frame.device_id, from);
+    } else {
+      ++replays_dropped_;
+    }
+    return;
+  }
   const auto it = issued_keys_.find(frame.device_id);
   if (it == issued_keys_.end()) {
     // No key on file. Either this is a retransmission of a frame we have
@@ -147,6 +181,7 @@ void GatewayAgent::handle_data(lora::RadioDeviceId from,
   const crypto::RsaKeyPair keys = it->second.keys;
   issued_keys_.erase(it);
   recent_data_[frame.device_id] = loop_.now();
+  seen_payloads_[fp] = loop_.now();
   send_data_ack(frame.device_id, from);
 
   // Step 6: the blockchain lookup @R -> IP.
@@ -292,6 +327,36 @@ void GatewayAgent::on_block(const chain::Block&) {
 }
 
 void GatewayAgent::submit_redeem(const PendingRedeem& redeem) {
+  switch (misbehavior_) {
+    case GatewayMisbehavior::kWithholdKey:
+      // Take the offer, never reveal. The recipient's only exit is the
+      // CLTV reclaim branch; release_withheld_redeems() can later dump
+      // these to fee-snipe that reclaim.
+      ++redeems_withheld_;
+      withheld_redeems_.push_back(redeem);
+      return;
+    case GatewayMisbehavior::kGarbleKey: {
+      // Reveal a well-formed RSA-512 private key that does NOT pair with
+      // the offer's ePk. OP_CHECKRSA512PAIR evaluates false, the spend
+      // falls into the CLTV branch and fails kUnsatisfiedLocktime — at
+      // this node and at every peer the raw bytes are pushed to.
+      if (!decoy_keys_) decoy_keys_ = crypto::rsa_generate(rng_, 512);
+      const chain::Transaction garbled = wallet_.create_redeem(
+          redeem.outpoint, redeem.out, decoy_keys_->priv, config_.redeem_fee);
+      ++garbled_submits_;
+      if (!node_.submit_tx(garbled).ok()) {
+        ++garbled_rejected_;
+        // Push the raw tx over gossip anyway: peers must reject it through
+        // the same script path, not just trust our mempool's verdict.
+        net_.broadcast(node_.host(),
+                       p2p::Message{"tx", garbled.serialize(), node_.host()});
+      }
+      return;
+    }
+    case GatewayMisbehavior::kHonest:
+    case GatewayMisbehavior::kDoubleClaim:
+      break;
+  }
   const chain::Transaction tx = wallet_.create_redeem(
       redeem.outpoint, redeem.out, redeem.ephemeral_priv, config_.redeem_fee);
   const auto result = node_.submit_tx(tx);
@@ -300,7 +365,33 @@ void GatewayAgent::submit_redeem(const PendingRedeem& redeem) {
     submitted_redeems_.push_back(
         SubmittedRedeem{tx, tx.txid(), redeem.outpoint, redeem.device_id, 0});
     if (on_redeemed) on_redeemed(redeem.device_id);
+    if (misbehavior_ == GatewayMisbehavior::kDoubleClaim) {
+      // Honest reveal, then a second conflicting claim of the same output
+      // (fee bumped by 1 so the txid differs). First-seen mempools must
+      // answer kConflict; there is no RBF to displace the original.
+      const std::uint64_t epoch = epoch_;
+      loop_.after(timing_.wallet_tx_build, [this, redeem, epoch] {
+        if (epoch != epoch_) return;
+        const chain::Transaction second =
+            wallet_.create_redeem(redeem.outpoint, redeem.out,
+                                  redeem.ephemeral_priv, config_.redeem_fee + 1);
+        ++double_claims_;
+        if (!node_.submit_tx(second).ok()) ++double_claims_rejected_;
+      });
+    }
   }
+}
+
+std::size_t GatewayAgent::release_withheld_redeems() {
+  if (withheld_redeems_.empty()) return 0;
+  std::vector<PendingRedeem> held = std::move(withheld_redeems_);
+  withheld_redeems_.clear();
+  // Submit through the honest path regardless of the standing misbehavior.
+  const GatewayMisbehavior saved = misbehavior_;
+  misbehavior_ = GatewayMisbehavior::kHonest;
+  for (const PendingRedeem& redeem : held) submit_redeem(redeem);
+  misbehavior_ = saved;
+  return held.size();
 }
 
 void GatewayAgent::revisit_submitted_redeems() {
@@ -347,6 +438,9 @@ void GatewayAgent::housekeeping() {
   });
   std::erase_if(recent_data_, [&](const auto& entry) {
     return now - entry.second > config_.reack_window;
+  });
+  std::erase_if(seen_payloads_, [&](const auto& entry) {
+    return now - entry.second > config_.replay_window;
   });
 }
 

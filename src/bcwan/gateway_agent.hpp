@@ -27,6 +27,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +40,21 @@
 #include "p2p/chain_node.hpp"
 
 namespace bcwan::core {
+
+/// Byzantine behaviours a gateway can be flipped into by sim/adversary.
+/// kHonest is the protocol; the others attack the fair exchange of Fig. 3:
+///  * kWithholdKey: take the recipient's offer but never reveal eSk —
+///    forces the OP_CHECKLOCKTIMEVERIFY reclaim branch of Listing 1.
+///  * kGarbleKey: reveal a well-formed but *wrong* RSA-512 private key —
+///    must be rejected by OP_CHECKRSA512PAIR at every validating node.
+///  * kDoubleClaim: reveal honestly, then submit a second, conflicting
+///    redeem of the same offer output (first-seen mempools must refuse it).
+enum class GatewayMisbehavior {
+  kHonest,
+  kWithholdKey,
+  kGarbleKey,
+  kDoubleClaim,
+};
 
 struct GatewayConfig {
   /// Confirmations required on the offer before revealing eSk. The paper's
@@ -67,6 +84,11 @@ struct GatewayConfig {
   /// Re-ACK window for duplicate data frames after the original was
   /// consumed (covers lost DataAck downlinks).
   util::SimTime reack_window = 10 * util::kMinute;
+  /// Replay defence: remember the payload fingerprint of every consumed
+  /// DATA frame this long. A duplicate inside reack_window is the node's
+  /// own retransmission (re-ACK it); beyond that it is a replay and is
+  /// silently dropped — never re-keyed, never forwarded, never settled.
+  util::SimTime replay_window = util::kHour;
 };
 
 class GatewayAgent {
@@ -91,6 +113,15 @@ class GatewayAgent {
   void restart();
   bool alive() const noexcept { return alive_; }
 
+  /// Adversary injection (sim/adversary): flip this gateway byzantine.
+  /// Takes effect on the next redeem; kHonest restores protocol behaviour.
+  void set_misbehavior(GatewayMisbehavior m) noexcept { misbehavior_ = m; }
+  GatewayMisbehavior misbehavior() const noexcept { return misbehavior_; }
+  /// Fee-sniping: a withholding gateway sits on its redeems, then dumps
+  /// them all the moment the recipient's reclaim appears — racing the
+  /// timeout boundary. Returns the number of redeems released.
+  std::size_t release_withheld_redeems();
+
   const chain::Wallet& wallet() const noexcept { return wallet_; }
   const script::PubKeyHash& pkh() const noexcept { return wallet_.pkh(); }
 
@@ -111,6 +142,14 @@ class GatewayAgent {
   std::uint64_t rekeys_issued() const noexcept { return rekeys_; }
   std::uint64_t keys_expired() const noexcept { return keys_expired_; }
   std::uint64_t offers_expired() const noexcept { return offers_expired_; }
+  std::uint64_t redeems_withheld() const noexcept { return redeems_withheld_; }
+  std::uint64_t garbled_submits() const noexcept { return garbled_submits_; }
+  std::uint64_t garbled_rejected() const noexcept { return garbled_rejected_; }
+  std::uint64_t double_claims() const noexcept { return double_claims_; }
+  std::uint64_t double_claims_rejected() const noexcept {
+    return double_claims_rejected_;
+  }
+  std::uint64_t replays_dropped() const noexcept { return replays_dropped_; }
   /// Reward actually banked (confirmed, mature outputs).
   chain::Amount confirmed_reward() const {
     return wallet_.balance(node_.chain());
@@ -190,6 +229,11 @@ class GatewayAgent {
   lora::RadioGatewayId radio_gateway_ = -1;
   bool alive_ = true;
   std::uint64_t epoch_ = 0;  // invalidates callbacks armed before a crash
+  GatewayMisbehavior misbehavior_ = GatewayMisbehavior::kHonest;
+  // Redeems held back under kWithholdKey (released by a fee-snipe).
+  std::vector<PendingRedeem> withheld_redeems_;
+  // Lazily minted decoy pair for kGarbleKey (wrong but well-formed eSk).
+  std::optional<crypto::RsaKeyPair> decoy_keys_;
 
   // device id -> key pair issued and not yet consumed by a data frame.
   std::unordered_map<std::uint16_t, PendingKey> issued_keys_;
@@ -201,6 +245,9 @@ class GatewayAgent {
   std::unordered_map<std::string, PendingDeliver> pending_delivers_;
   // device id -> last consumed data frame (re-ACK duplicates).
   std::unordered_map<std::uint16_t, util::SimTime> recent_data_;
+  // payload fingerprint -> first-seen time (replay defence; aged out after
+  // replay_window by housekeeping).
+  std::unordered_map<std::string, util::SimTime> seen_payloads_;
   // redeems submitted but not yet buried (reorg re-broadcast watch).
   std::vector<SubmittedRedeem> submitted_redeems_;
 
@@ -213,6 +260,12 @@ class GatewayAgent {
   std::uint64_t rekeys_ = 0;
   std::uint64_t keys_expired_ = 0;
   std::uint64_t offers_expired_ = 0;
+  std::uint64_t redeems_withheld_ = 0;
+  std::uint64_t garbled_submits_ = 0;
+  std::uint64_t garbled_rejected_ = 0;
+  std::uint64_t double_claims_ = 0;
+  std::uint64_t double_claims_rejected_ = 0;
+  std::uint64_t replays_dropped_ = 0;
 };
 
 }  // namespace bcwan::core

@@ -84,10 +84,10 @@ void RecipientAgent::handle_deliver(const DeliverPayload& payload) {
   accepted_delivers_[util::to_hex(payload.ephemeral_pub.serialize())] =
       loop_.now();
   loop_.after(timing_.recipient_verify + timing_.wallet_tx_build,
-              [this, payload] { post_offer(payload); });
+              [this, payload] { post_offer(payload, 0); });
 }
 
-void RecipientAgent::post_offer(const DeliverPayload& payload) {
+void RecipientAgent::post_offer(const DeliverPayload& payload, int attempt) {
   const std::int64_t timeout_height =
       node_.chain().height() + config_.timeout_blocks;
   const chain::Amount agreed_price =
@@ -98,13 +98,15 @@ void RecipientAgent::post_offer(const DeliverPayload& payload) {
   if (!offer) {
     // Transiently out of spendable coins (e.g. everything is tied up in
     // unconfirmed offers another node hasn't relayed back yet): retry for
-    // a bounded window, then drop the exchange.
-    if (++offer_retries_ <= 24) {
-      loop_.after(5 * util::kSecond, [this, payload] { post_offer(payload); });
+    // a bounded window, then drop the exchange. The budget is per-exchange
+    // — a shared counter would let one starved exchange eat the retries of
+    // every concurrent one.
+    if (attempt < 24) {
+      loop_.after(5 * util::kSecond,
+                  [this, payload, attempt] { post_offer(payload, attempt + 1); });
     }
     return;
   }
-  offer_retries_ = 0;
   const auto result = node_.submit_tx(*offer);
   if (!result.ok()) return;
 
@@ -122,37 +124,55 @@ void RecipientAgent::post_offer(const DeliverPayload& payload) {
   if (on_offer_posted) on_offer_posted(payload.device_id);
 }
 
+bool RecipientAgent::try_extract_reveal(PendingExchange& pending,
+                                        const chain::TxIn& in) {
+  if (pending.settled || !(in.prevout == pending.offer_outpoint)) return false;
+  // Step 10: someone spent our offer. If it is the gateway's redeem, the
+  // scriptSig carries eSk.
+  const auto revealed = script::extract_revealed_key(in.script_sig);
+  if (!revealed) return false;  // our own reclaim, or malformed
+  if (!crypto::rsa_pair_matches(pending.ephemeral_pub, *revealed))
+    return false;  // garbled key: the chain will reject this spend too
+  pending.settled = true;
+
+  const auto device = devices_.find(pending.device_id);
+  if (device == devices_.end()) return true;
+  const auto device_id = pending.device_id;
+  const auto em = pending.em;
+  const auto k = device->second.k;
+  const auto eSk = *revealed;
+  loop_.after(timing_.recipient_decrypt, [this, device_id, em, k, eSk] {
+    const auto reading = open_envelope(k, eSk, em);
+    if (!reading) return;
+    ++decrypted_;
+    if (on_reading) on_reading(device_id, *reading);
+  });
+  return true;
+}
+
 void RecipientAgent::on_mempool_tx(const chain::Transaction& tx) {
   if (pending_.empty()) return;
   for (const chain::TxIn& in : tx.vin) {
     for (PendingExchange& pending : pending_) {
-      if (pending.settled || !(in.prevout == pending.offer_outpoint)) continue;
-      // Step 10: someone spent our offer. If it is the gateway's redeem,
-      // the scriptSig carries eSk.
-      const auto revealed = script::extract_revealed_key(in.script_sig);
-      if (!revealed) continue;  // our own reclaim, or malformed
-      if (!crypto::rsa_pair_matches(pending.ephemeral_pub, *revealed))
-        continue;
-      pending.settled = true;
-
-      const auto device = devices_.find(pending.device_id);
-      if (device == devices_.end()) continue;
-      const auto device_id = pending.device_id;
-      const auto em = pending.em;
-      const auto k = device->second.k;
-      const auto eSk = *revealed;
-      loop_.after(timing_.recipient_decrypt, [this, device_id, em, k, eSk] {
-        const auto reading = open_envelope(k, eSk, em);
-        if (!reading) return;
-        ++decrypted_;
-        if (on_reading) on_reading(device_id, *reading);
-      });
+      try_extract_reveal(pending, in);
     }
   }
   std::erase_if(pending_, [](const PendingExchange& p) { return p.settled; });
 }
 
-void RecipientAgent::on_block(const chain::Block&) {
+void RecipientAgent::on_block(const chain::Block& block) {
+  // A redeem can arrive already inside a block without ever crossing our
+  // mempool (a miner that got it first, censorship lifting, a partition
+  // healing straight into a block announcement). Missing it here would
+  // hang the exchange and burn the reclaim budget on kInvalid submissions
+  // against an already-spent offer output.
+  for (const chain::Transaction& tx : block.txs) {
+    for (const chain::TxIn& in : tx.vin) {
+      for (PendingExchange& pending : pending_) {
+        try_extract_reveal(pending, in);
+      }
+    }
+  }
   const int height = node_.chain().height();
   for (PendingExchange& pending : pending_) {
     if (pending.settled) continue;
@@ -196,6 +216,7 @@ void RecipientAgent::revisit_transactions(PendingExchange& pending) {
     if (node_.mempool().contains(pending.reclaim_txid)) return;
     if (pending.rebroadcasts >= config_.max_rebroadcasts) {
       pending.settled = true;  // give up tracking
+      ++exchanges_abandoned_;
       return;
     }
     ++pending.rebroadcasts;
@@ -215,6 +236,7 @@ void RecipientAgent::revisit_transactions(PendingExchange& pending) {
   if (node_.mempool().contains(pending.offer_txid)) return;
   if (pending.rebroadcasts >= config_.max_rebroadcasts) {
     pending.settled = true;  // unrecoverable; stop leaking the entry
+    ++exchanges_abandoned_;
     return;
   }
   ++pending.rebroadcasts;

@@ -98,6 +98,12 @@ class RecipientAgent {
     return reclaim_rebroadcasts_;
   }
   std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+  /// Exchanges given up for good (rebroadcast budget exhausted with the
+  /// offer or reclaim unrecoverable). Money may be stranded; the invariant
+  /// layer counts these as explicit losses, never as silent leaks.
+  std::uint64_t exchanges_abandoned() const noexcept {
+    return exchanges_abandoned_;
+  }
 
   /// Unsettled exchanges (leak checks / invariants).
   std::size_t pending_exchange_count() const noexcept {
@@ -126,9 +132,13 @@ class RecipientAgent {
   };
 
   void handle_deliver(const DeliverPayload& payload);
-  void post_offer(const DeliverPayload& payload);
+  void post_offer(const DeliverPayload& payload, int attempt);
   void on_mempool_tx(const chain::Transaction& tx);
   void on_block(const chain::Block& block);
+  /// If `in` spends this exchange's offer and carries a matching eSk,
+  /// settle the exchange (decrypt + hand the reading up). Returns whether
+  /// it settled. Shared by the mempool watcher and the block scanner.
+  bool try_extract_reveal(PendingExchange& pending, const chain::TxIn& in);
   void maybe_reclaim(PendingExchange& pending, int height);
   void revisit_transactions(PendingExchange& pending);
 
@@ -145,7 +155,6 @@ class RecipientAgent {
   // serialized-ePk hex of accepted deliveries -> acceptance time (dedupe).
   std::unordered_map<std::string, util::SimTime> accepted_delivers_;
 
-  int offer_retries_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t sig_rejects_ = 0;
   std::uint64_t price_rejects_ = 0;
@@ -156,6 +165,7 @@ class RecipientAgent {
   std::uint64_t offer_rebroadcasts_ = 0;
   std::uint64_t reclaim_rebroadcasts_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t exchanges_abandoned_ = 0;
 };
 
 }  // namespace bcwan::core

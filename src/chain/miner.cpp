@@ -19,6 +19,10 @@ Block Miner::assemble(const Blockchain& chain, const Mempool& pool,
   std::vector<Transaction> included;
   Amount fees = 0;
   for (const Transaction& tx : candidates) {
+    if (tx_filter_ && !tx_filter_(tx)) {
+      ++censored_;
+      continue;
+    }
     const TxValidationResult result =
         check_tx_inputs(tx, scratch, new_height, params_);
     if (!result.ok()) continue;

@@ -7,6 +7,8 @@
 // master host.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "chain/blockchain.hpp"
@@ -39,10 +41,20 @@ class Miner {
   Block mine(const Blockchain& chain, const Mempool& pool,
              std::uint64_t time) const;
 
+  /// Adversarial censorship: transactions for which `keep` returns false
+  /// are silently excluded from assembled blocks (they stay in the
+  /// mempool — censorship delays, it cannot rewrite). nullptr uninstalls.
+  void set_tx_filter(std::function<bool(const Transaction&)> keep) {
+    tx_filter_ = std::move(keep);
+  }
+  std::uint64_t txs_censored() const noexcept { return censored_; }
+
  private:
   const ChainParams& params_;
   script::PubKeyHash reward_dest_;
   std::optional<crypto::EcKeyPair> pos_key_;
+  std::function<bool(const Transaction&)> tx_filter_;
+  mutable std::uint64_t censored_ = 0;
 };
 
 }  // namespace bcwan::chain

@@ -92,6 +92,13 @@ void LoraRadio::advance_link(LinkState& link, util::SimTime now) {
   }
 }
 
+bool LoraRadio::jam_check() {
+  if (loop_.now() >= jam_until_) return false;
+  ++jammed_;
+  telemetry_note_outcome("jammed");
+  return true;
+}
+
 bool LoraRadio::frame_lost(Device& device) {
   double p = config_.frame_loss;
   if (config_.burst.enabled()) {
@@ -120,6 +127,12 @@ TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
   const util::SimTime end = now + t_air;
 
   bool corrupted = frame_lost(device);
+  if (jam_check()) corrupted = true;
+
+  // An in-flight adversary (bit-flips) corrupts the bytes the gateway — and
+  // any sniffer — will actually receive.
+  util::Bytes rx_frame = frame;
+  if (uplink_mangler_ && uplink_mangler_(rx_frame)) ++mangled_;
 
   if (config_.collisions) {
     // Overlap with any ongoing reception corrupts both frames (ALOHA).
@@ -138,7 +151,7 @@ TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
     // can still corrupt this one.
     const std::size_t slot = gateway.receptions.size() - 1;
     const RadioGatewayId gw_id = device.gateway;
-    loop_.at(end, [this, gw_id, device_id, frame, now, slot]() {
+    loop_.at(end, [this, gw_id, device_id, rx_frame, now, slot]() {
       Gateway& gw = gateways_.at(static_cast<std::size_t>(gw_id));
       // Find our reception entry (by start time; the vector may have been
       // compacted).
@@ -151,7 +164,8 @@ TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
       if (ok) {
         ++delivered_;
         telemetry_note_outcome("delivered");
-        if (gw.on_uplink) gw.on_uplink(device_id, frame);
+        if (gw.on_uplink) gw.on_uplink(device_id, rx_frame);
+        if (uplink_tap_) uplink_tap_(gw_id, device_id, rx_frame);
       } else {
         ++lost_;
         telemetry_note_outcome("lost");
@@ -163,11 +177,12 @@ TxResult LoraRadio::uplink(RadioDeviceId device_id, const util::Bytes& frame) {
       telemetry_note_outcome("lost");
     } else {
       const RadioGatewayId gw_id = device.gateway;
-      loop_.at(end, [this, gw_id, device_id, frame]() {
+      loop_.at(end, [this, gw_id, device_id, rx_frame]() {
         ++delivered_;
         telemetry_note_outcome("delivered");
         Gateway& gw = gateways_.at(static_cast<std::size_t>(gw_id));
-        if (gw.on_uplink) gw.on_uplink(device_id, frame);
+        if (gw.on_uplink) gw.on_uplink(device_id, rx_frame);
+        if (uplink_tap_) uplink_tap_(gw_id, device_id, rx_frame);
       });
     }
   }
@@ -191,7 +206,8 @@ TxResult LoraRadio::downlink(RadioGatewayId gateway_id, RadioDeviceId device_id,
   if (telemetry::enabled())
     telemetry_note_tx("downlink", t_air, gateway.duty.credit(now));
 
-  const bool dropped = frame_lost(device);
+  bool dropped = frame_lost(device);
+  if (jam_check()) dropped = true;
   if (dropped) {
     ++lost_;
     telemetry_note_outcome("lost");

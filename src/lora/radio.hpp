@@ -7,6 +7,7 @@
 // uplinks at the same gateway plus random frame loss.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -82,6 +83,34 @@ class LoraRadio {
   std::uint64_t frames_delivered() const noexcept { return delivered_; }
   std::uint64_t frames_lost() const noexcept { return lost_; }
   std::uint64_t collisions_observed() const noexcept { return collisions_; }
+  std::uint64_t frames_jammed() const noexcept { return jammed_; }
+  std::uint64_t frames_mangled() const noexcept { return mangled_; }
+
+  // -- Adversary hooks (sim/adversary). The radio medium is unauthenticated
+  // -- and shared: anyone in range can sniff, jam, or key up a transmitter.
+
+  /// Observe every uplink frame the moment it is delivered to a gateway —
+  /// an attacker's receiver parked on the same channel. Fires after the
+  /// gateway's own handler.
+  using UplinkTap = std::function<void(RadioGatewayId gateway,
+                                       RadioDeviceId from,
+                                       const util::Bytes& frame)>;
+  void set_uplink_tap(UplinkTap tap) { uplink_tap_ = std::move(tap); }
+
+  /// Corrupt uplink frames in flight (targeted bit-flips on the 128 B
+  /// payload). The mangler may mutate the buffer; return true to count the
+  /// frame as mangled. nullptr uninstalls.
+  using UplinkMangler = std::function<bool(util::Bytes&)>;
+  void set_uplink_mangler(UplinkMangler mangler) {
+    uplink_mangler_ = std::move(mangler);
+  }
+
+  /// Targeted jamming window: every frame (either direction) put on the air
+  /// before `until` is lost. Extends, never shortens, an open window.
+  void jam_until(util::SimTime until) {
+    jam_until_ = std::max(jam_until_, until);
+  }
+  bool jammed() const { return loop_.now() < jam_until_; }
 
   /// Swap the burst-loss model at runtime (fault injection). Link states
   /// are resampled lazily on the next transmission.
@@ -125,15 +154,23 @@ class LoraRadio {
   /// loss are independent).
   bool frame_lost(Device& device);
   void advance_link(LinkState& link, util::SimTime now);
+  /// Jamming check shared by both directions: counts and reports loss when
+  /// the transmission starts inside an open jam window.
+  bool jam_check();
 
   p2p::EventLoop& loop_;
   util::Rng rng_;
   RadioConfig config_;
   std::vector<Gateway> gateways_;
   std::vector<Device> devices_;
+  UplinkTap uplink_tap_;
+  UplinkMangler uplink_mangler_;
+  util::SimTime jam_until_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t collisions_ = 0;
+  std::uint64_t jammed_ = 0;
+  std::uint64_t mangled_ = 0;
 };
 
 }  // namespace bcwan::lora

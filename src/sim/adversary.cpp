@@ -1,0 +1,285 @@
+#include "sim/adversary.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "bcwan/election.hpp"
+#include "lora/frame.hpp"
+#include "script/templates.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bcwan::sim {
+
+namespace {
+
+void telemetry_note_attack(const char* kind) {
+  if (!telemetry::enabled()) return;
+  telemetry::registry()
+      .counter("bcwan_adversary_attacks_total", "kind", kind,
+               "Byzantine attacks launched by kind")
+      .add();
+}
+
+const char* misbehavior_name(core::GatewayMisbehavior m) {
+  switch (m) {
+    case core::GatewayMisbehavior::kHonest:
+      return "gateway_honest";
+    case core::GatewayMisbehavior::kWithholdKey:
+      return "gateway_withhold";
+    case core::GatewayMisbehavior::kGarbleKey:
+      return "gateway_garble";
+    case core::GatewayMisbehavior::kDoubleClaim:
+      return "gateway_double_claim";
+  }
+  return "gateway_unknown";
+}
+
+/// Expected-count -> integer draw: floor(lambda) events plus one more with
+/// probability frac(lambda). (Same sampling as FaultPlan::unleash.)
+int sample_count(util::Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double whole = std::floor(lambda);
+  int n = static_cast<int>(whole);
+  if (rng.chance(lambda - whole)) ++n;
+  return n;
+}
+
+}  // namespace
+
+AdversaryPlan::AdversaryPlan(Scenario& scenario, std::uint64_t seed)
+    : scenario_(scenario), rng_(seed) {}
+
+void AdversaryPlan::record(util::SimTime at, const std::string& what) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof prefix, "t=%.1fs ", util::to_seconds(at));
+  log_.push_back(prefix + what);
+}
+
+lora::RadioDeviceId AdversaryPlan::attacker_device_for(
+    lora::RadioGatewayId gateway) {
+  const auto it = attacker_devices_.find(gateway);
+  if (it != attacker_devices_.end()) return it->second;
+  lora::LoraConfig phy;
+  phy.sf = scenario_.config().sf;
+  // Duty cycle 1.0: the attacker's transmitter does not respect ETSI.
+  const lora::RadioDeviceId device = scenario_.radio().add_device(
+      gateway, phy, 1.0, [](const util::Bytes&) {});
+  attacker_devices_[gateway] = device;
+  return device;
+}
+
+void AdversaryPlan::corrupt_gateway(std::size_t gateway_index,
+                                    core::GatewayMisbehavior m,
+                                    util::SimTime at) {
+  scenario_.loop().at(at, [this, gateway_index, m] {
+    scenario_.gateway_by_index(gateway_index).set_misbehavior(m);
+    if (m != core::GatewayMisbehavior::kHonest) {
+      ++cheats_;
+      telemetry_note_attack(misbehavior_name(m));
+    }
+    record(scenario_.loop().now(),
+           std::string(misbehavior_name(m)) + ": #" +
+               std::to_string(gateway_index));
+  });
+}
+
+void AdversaryPlan::fee_snipe(std::size_t gateway_index, util::SimTime at) {
+  scenario_.loop().at(at, [this, gateway_index] {
+    const std::size_t released =
+        scenario_.gateway_by_index(gateway_index).release_withheld_redeems();
+    ++snipes_;
+    telemetry_note_attack("fee_snipe");
+    record(scenario_.loop().now(),
+           "fee snipe: #" + std::to_string(gateway_index) + " released " +
+               std::to_string(released) + " withheld redeems");
+  });
+}
+
+void AdversaryPlan::censor_reveals(util::SimTime at, util::SimTime duration) {
+  scenario_.loop().at(at, [this] {
+    scenario_.miner().set_tx_filter([](const chain::Transaction& tx) {
+      for (const chain::TxIn& in : tx.vin) {
+        if (script::extract_revealed_key(in.script_sig)) return false;
+      }
+      return true;
+    });
+    ++censorships_;
+    telemetry_note_attack("censorship");
+    record(scenario_.loop().now(), "reveal censorship begins");
+  });
+  scenario_.loop().at(at + duration, [this] {
+    scenario_.miner().set_tx_filter(nullptr);
+    record(scenario_.loop().now(), "reveal censorship lifted");
+  });
+}
+
+void AdversaryPlan::jam_lora(util::SimTime at, util::SimTime duration) {
+  scenario_.loop().at(at, [this, duration] {
+    scenario_.radio().jam_until(scenario_.loop().now() + duration);
+    ++jams_;
+    telemetry_note_attack("jam");
+    record(scenario_.loop().now(),
+           "jamming window open for " +
+               std::to_string(util::to_seconds(duration)) + "s");
+  });
+}
+
+void AdversaryPlan::flip_bits(double probability) {
+  scenario_.radio().set_uplink_mangler([this,
+                                        probability](util::Bytes& frame) {
+    if (!rng_.chance(probability)) return false;
+    const auto type = lora::peek_frame_type(frame);
+    if (!type || *type != lora::FrameType::kUplinkData) return false;
+    // Corrupt the sealed payload, not the framing: decode, flip one random
+    // bit of Em or Sig, re-encode. The frame still parses downstream —
+    // only the RSA-512 envelope signature can catch it.
+    auto data = lora::UplinkDataFrame::decode(frame);
+    if (!data) return false;
+    const std::size_t payload = data->em.size() + data->sig.size();
+    if (payload == 0) return false;
+    const std::size_t target = rng_.below(payload);
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << rng_.below(8));
+    if (target < data->em.size()) {
+      data->em[target] ^= bit;
+    } else {
+      data->sig[target - data->em.size()] ^= bit;
+    }
+    frame = data->encode();
+    telemetry_note_attack("bitflip");
+    return true;
+  });
+  record(scenario_.loop().now(),
+         "bit-flip mangler installed (p=" + std::to_string(probability) + ")");
+}
+
+void AdversaryPlan::replay_data_frames(double probability,
+                                       util::SimTime delay) {
+  scenario_.radio().set_uplink_tap([this, probability, delay](
+                                       lora::RadioGatewayId gateway,
+                                       lora::RadioDeviceId /*from*/,
+                                       const util::Bytes& frame) {
+    const auto type = lora::peek_frame_type(frame);
+    if (!type || *type != lora::FrameType::kUplinkData) return;
+    const std::string key(frame.begin(), frame.end());
+    if (replayed_.count(key)) return;  // our own replay coming back around
+    if (!rng_.chance(probability)) return;
+    replayed_.insert(key);
+    scenario_.loop().after(delay, [this, gateway, frame] {
+      const lora::RadioDeviceId attacker = attacker_device_for(gateway);
+      scenario_.radio().uplink(attacker, frame);
+      ++replays_;
+      telemetry_note_attack("replay");
+      record(scenario_.loop().now(),
+             "replayed DATA frame at gateway radio #" +
+                 std::to_string(gateway));
+    });
+  });
+  record(scenario_.loop().now(),
+         "replay sniffer installed (p=" + std::to_string(probability) + ")");
+}
+
+void AdversaryPlan::add_duty_griefer(int actor, int requests, util::SimTime at,
+                                     util::SimTime spacing) {
+  const int target =
+      actor * scenario_.config().gateways_per_actor +
+      static_cast<int>(scenario_.master_index(actor));
+  const std::uint16_t spoofed = next_spoofed_id_++;
+  record(at, "duty griefer armed at gateway radio #" + std::to_string(target) +
+                 " (" + std::to_string(requests) + " spoofed requests)");
+  for (int i = 0; i < requests; ++i) {
+    scenario_.loop().at(at + static_cast<util::SimTime>(i) * spacing,
+                        [this, target, spoofed] {
+                          const lora::RadioDeviceId attacker =
+                              attacker_device_for(target);
+                          lora::UplinkRequestFrame request;
+                          request.device_id = spoofed;
+                          scenario_.radio().uplink(attacker, request.encode());
+                          ++griefs_;
+                          telemetry_note_attack("duty_grief");
+                        });
+  }
+}
+
+void AdversaryPlan::unleash(const AdversaryProfile& profile,
+                            util::SimTime horizon) {
+  const util::SimTime now = scenario_.loop().now();
+  const auto sample_at = [&] {
+    return now + static_cast<util::SimTime>(
+                     rng_.below(static_cast<std::uint64_t>(
+                         std::max<util::SimTime>(horizon, 1))));
+  };
+
+  const std::size_t gateways = scenario_.gateway_count();
+  if (gateways > 0) {
+    for (int i = 0; i < sample_count(rng_, profile.withholding_gateways);
+         ++i) {
+      const std::size_t g = rng_.below(gateways);
+      corrupt_gateway(g, core::GatewayMisbehavior::kWithholdKey, sample_at());
+      // Withholding is only profitable with the snipe: dump the redeems
+      // near the end of the horizon, racing reclaims at the boundary.
+      fee_snipe(g, now + horizon);
+    }
+    for (int i = 0; i < sample_count(rng_, profile.garbling_gateways); ++i) {
+      corrupt_gateway(rng_.below(gateways),
+                      core::GatewayMisbehavior::kGarbleKey, sample_at());
+    }
+    for (int i = 0; i < sample_count(rng_, profile.double_claim_gateways);
+         ++i) {
+      corrupt_gateway(rng_.below(gateways),
+                      core::GatewayMisbehavior::kDoubleClaim, sample_at());
+    }
+  }
+
+  for (int i = 0; i < sample_count(rng_, profile.censorship_windows); ++i)
+    censor_reveals(sample_at(), profile.censorship_duration);
+
+  for (int i = 0; i < sample_count(rng_, profile.jam_windows); ++i)
+    jam_lora(sample_at(), profile.jam_duration);
+
+  if (profile.bitflip_probability > 0.0)
+    flip_bits(profile.bitflip_probability);
+
+  if (profile.replay_probability > 0.0)
+    replay_data_frames(profile.replay_probability, profile.replay_delay);
+
+  for (int i = 0; i < profile.duty_griefers; ++i) {
+    add_duty_griefer(static_cast<int>(rng_.below(
+                         static_cast<std::size_t>(scenario_.actor_count()))),
+                     profile.grief_requests, sample_at(), 30 * util::kSecond);
+  }
+}
+
+SybilElectionStats run_sybil_election_trial(int honest, int sybils,
+                                            int epochs, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<script::PubKeyHash> identities;
+  std::vector<double> weights;
+  identities.reserve(static_cast<std::size_t>(honest + sybils));
+  for (int i = 0; i < honest + sybils; ++i) {
+    script::PubKeyHash id{};
+    const util::Bytes bytes = rng.bytes(id.size());
+    std::copy(bytes.begin(), bytes.end(), id.begin());
+    identities.push_back(id);
+    // Honest gateways carry weight (stake / paid registration / attested
+    // hardware); Sybil identities are free and carry none.
+    weights.push_back(i < honest ? 1.0 : 0.0);
+  }
+
+  SybilElectionStats stats;
+  stats.epochs = epochs;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const std::size_t plain = core::elect_master_gateway(identities, epoch);
+    if (plain < static_cast<std::size_t>(honest)) {
+      ++stats.honest_wins;
+    } else {
+      ++stats.sybil_wins;
+    }
+    const std::size_t weighted =
+        core::elect_master_gateway_weighted(identities, weights, epoch);
+    if (weighted >= static_cast<std::size_t>(honest))
+      ++stats.weighted_sybil_wins;
+  }
+  return stats;
+}
+
+}  // namespace bcwan::sim

@@ -1,0 +1,159 @@
+// Byzantine adversary layer.
+//
+// Where sim/faults injects *benign* failures (hosts drop, links fade,
+// daemons die), an AdversaryPlan injects *actors that want to cheat* — the
+// "malicious or faulty behaviour" the paper's §6 defers. Every attack maps
+// to a concrete strategy against the BcWAN protocol and to the invariant
+// that must defeat it (sim/invariants::check_settlement_invariants plus the
+// per-agent counters):
+//
+//   * cheating gateways — take the recipient's offer and withhold eSk
+//     (forcing the OP_CHECKLOCKTIMEVERIFY reclaim branch of Listing 1),
+//     reveal a garbled key (must die on OP_CHECKRSA512PAIR), or reveal and
+//     then double-claim the same offer output (first-seen mempools refuse);
+//   * adversarial miners — censor reveal transactions out of blocks and
+//     fee-snipe reclaims at the timeout boundary (withhold, then dump the
+//     real redeems the moment the reclaim appears);
+//   * Sybil swarms — flood the master-gateway election with free
+//     identities (run_sybil_election_trial quantifies the unweighted
+//     election's k/(n+k) exposure against the weighted variant's bound);
+//   * LoRa-hop attacks — replay sniffed DATA frames, open targeted jamming
+//     windows, and flip bits on the 128 B payload (the RSA-512 envelope
+//     signature must catch every flip before any money moves).
+//
+// Composes with FaultPlan/ChaosProfile: both schedule on the same event
+// loop, so chaos and adversaries can run in the same horizon. Deterministic
+// methods take absolute virtual times (regression tests); unleash() samples
+// an AdversaryProfile over a horizon (bench_adversarial sweeps).
+//
+// Lifetime: handlers installed on the radio and miner capture this plan's
+// RNG and counters — the AdversaryPlan must outlive the scenario run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bcwan/gateway_agent.hpp"
+#include "sim/scenario.hpp"
+
+namespace bcwan::sim {
+
+/// Randomized attack intensity over one horizon (see AdversaryPlan::unleash).
+/// Gateway counts are expected numbers of gateways flipped byzantine;
+/// window counts are expected attack windows over the horizon.
+struct AdversaryProfile {
+  double withholding_gateways = 0.0;
+  double garbling_gateways = 0.0;
+  double double_claim_gateways = 0.0;
+  /// Reveal-censorship windows on the master miner.
+  double censorship_windows = 0.0;
+  util::SimTime censorship_duration = 2 * util::kMinute;
+  /// Targeted jamming windows on the shared radio channel.
+  double jam_windows = 0.0;
+  util::SimTime jam_duration = 30 * util::kSecond;
+  /// Per-frame probability of an in-flight bit-flip on DATA payloads
+  /// (0 = mangler not installed).
+  double bitflip_probability = 0.0;
+  /// Duty-cycle griefers: attacker radios spraying spoofed key requests at
+  /// randomly chosen master gateways to drain the downlink duty budget.
+  int duty_griefers = 0;
+  int grief_requests = 20;
+  /// Per-frame probability of capturing a DATA frame for delayed replay
+  /// (0 = tap not installed).
+  double replay_probability = 0.0;
+  util::SimTime replay_delay = 15 * util::kMinute;
+};
+
+class AdversaryPlan {
+ public:
+  AdversaryPlan(Scenario& scenario, std::uint64_t seed);
+
+  // -- Deterministic attack scheduling (times are absolute virtual times). --
+
+  /// Flip one gateway into a byzantine mode at `at` (kHonest restores it).
+  void corrupt_gateway(std::size_t gateway_index, core::GatewayMisbehavior m,
+                       util::SimTime at);
+  /// Fee-snipe: at `at`, a withholding gateway dumps every redeem it has
+  /// been sitting on — racing the recipient's reclaim near the timeout.
+  void fee_snipe(std::size_t gateway_index, util::SimTime at);
+  /// Censor every reveal-carrying transaction out of mined blocks for
+  /// `duration` (the transactions stay in mempools: censorship delays
+  /// settlement, it cannot steal).
+  void censor_reveals(util::SimTime at, util::SimTime duration);
+  /// Open a jamming window on the radio: every frame in flight during
+  /// [at, at + duration) is lost.
+  void jam_lora(util::SimTime at, util::SimTime duration);
+  /// Install the bit-flip mangler: each uplink DATA frame is corrupted
+  /// with `probability` (one random bit of Em or Sig — the RSA envelope
+  /// signature must reject it downstream). Takes effect immediately.
+  void flip_bits(double probability);
+  /// Install the replay attacker: sniff delivered DATA frames with
+  /// `probability` and re-transmit the exact bytes `delay` later from an
+  /// attacker radio. The gateway's payload-fingerprint dedupe must drop
+  /// every replay. Takes effect immediately.
+  void replay_data_frames(double probability, util::SimTime delay);
+  /// Duty-cycle griefer: an attacker radio attached to `actor`'s master
+  /// gateway sprays `requests` spoofed key requests `spacing` apart
+  /// starting at `at`, burning gateway keygen cycles and downlink duty
+  /// budget on devices that will never pay.
+  void add_duty_griefer(int actor, int requests, util::SimTime at,
+                        util::SimTime spacing);
+
+  // -- Randomized attack sweep. --
+
+  /// Sample attack times uniformly over [now, now + horizon] at the
+  /// profile's intensities and schedule them all. Withholding gateways
+  /// also get a fee-snipe scheduled near the end of the horizon.
+  void unleash(const AdversaryProfile& profile, util::SimTime horizon);
+
+  // -- Telemetry. --
+
+  std::uint64_t gateways_corrupted() const noexcept { return cheats_; }
+  std::uint64_t fee_snipes() const noexcept { return snipes_; }
+  std::uint64_t censorship_windows() const noexcept { return censorships_; }
+  std::uint64_t jam_windows() const noexcept { return jams_; }
+  std::uint64_t frames_replayed() const noexcept { return replays_; }
+  std::uint64_t grief_requests_sent() const noexcept { return griefs_; }
+  /// Chronological, human-readable record of every attack.
+  const std::vector<std::string>& log() const noexcept { return log_; }
+
+ private:
+  void record(util::SimTime at, const std::string& what);
+  /// Attacker transmitter in range of `gateway` (lazily registered; duty
+  /// cycle 1.0 — attackers do not respect ETSI).
+  lora::RadioDeviceId attacker_device_for(lora::RadioGatewayId gateway);
+
+  Scenario& scenario_;
+  util::Rng rng_;
+  std::unordered_map<int, lora::RadioDeviceId> attacker_devices_;
+  // Frames already replayed (or queued for replay): keeps the uplink tap
+  // from re-capturing its own replayed delivery in an endless loop.
+  std::unordered_set<std::string> replayed_;
+  std::uint16_t next_spoofed_id_ = 0xFF00;
+  std::uint64_t cheats_ = 0;
+  std::uint64_t snipes_ = 0;
+  std::uint64_t censorships_ = 0;
+  std::uint64_t jams_ = 0;
+  std::uint64_t replays_ = 0;
+  std::uint64_t griefs_ = 0;
+  std::vector<std::string> log_;
+};
+
+/// Pure Sybil-pressure experiment on the election itself (no scenario
+/// needed): `honest` weight-1 identities vs `sybils` weight-0 identities
+/// across `epochs` epochs. The unweighted election hands the swarm
+/// ~sybils/(honest+sybils) of the wins; the weighted election hands it
+/// exactly zero.
+struct SybilElectionStats {
+  int epochs = 0;
+  int honest_wins = 0;
+  int sybil_wins = 0;
+  int weighted_sybil_wins = 0;
+};
+SybilElectionStats run_sybil_election_trial(int honest, int sybils,
+                                            int epochs, std::uint64_t seed);
+
+}  // namespace bcwan::sim

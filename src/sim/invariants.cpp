@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "crypto/rsa.hpp"
 #include "script/templates.hpp"
 #include "util/bytes.hpp"
 
@@ -88,6 +89,90 @@ InvariantReport check_chain_invariants(const chain::Blockchain& chain) {
   return report;
 }
 
+SettlementTally check_settlement_invariants(const chain::Blockchain& chain,
+                                            InvariantReport& report) {
+  SettlementTally tally;
+  struct Offer {
+    script::ClassifiedScript meta;
+    std::string label;
+    bool spent = false;
+  };
+  std::map<std::pair<std::string, std::uint32_t>, Offer> offers;
+  const auto offer_key = [](const chain::OutPoint& op) {
+    return std::make_pair(
+        util::to_hex(util::ByteView(op.txid.data(), op.txid.size())), op.index);
+  };
+  const auto pays_hash = [](const chain::Transaction& tx,
+                            const script::PubKeyHash& pkh) {
+    for (const chain::TxOut& out : tx.vout) {
+      const auto c = script::classify(out.script_pubkey);
+      if (c.type == script::ScriptType::kP2pkh && c.pubkey_hash == pkh)
+        return true;
+    }
+    return false;
+  };
+
+  for (int h = 0; h <= chain.height(); ++h) {
+    const auto block = chain.block_at(h);
+    if (!block) continue;
+    for (const chain::Transaction& tx : block->txs) {
+      const chain::Hash256 txid = tx.txid();
+      for (std::uint32_t v = 0; v < tx.vout.size(); ++v) {
+        const auto classified = script::classify(tx.vout[v].script_pubkey);
+        if (classified.type != script::ScriptType::kKeyRelease) continue;
+        if (!classified.ephemeral_pub) continue;
+        Offer offer;
+        offer.meta = classified;
+        const auto key = offer_key(chain::OutPoint{txid, v});
+        offer.label = key.first.substr(0, 16) + ":" + std::to_string(v);
+        offers[key] = std::move(offer);
+        ++tally.offers;
+      }
+      for (const chain::TxIn& in : tx.vin) {
+        const auto it = offers.find(offer_key(in.prevout));
+        if (it == offers.end()) continue;
+        Offer& offer = it->second;
+        if (offer.spent) continue;  // double-spend flagged by uniqueness check
+        offer.spent = true;
+        const auto revealed = script::extract_revealed_key(in.script_sig);
+        if (revealed) {
+          ++tally.redeemed;
+          // Paid-without-reveal: a redeem whose eSk does not pair with the
+          // offer's ePk took the money without releasing the real key.
+          // OP_CHECKRSA512PAIR makes this unconfirmable; seeing one on the
+          // active chain means consensus validation is broken.
+          if (!crypto::rsa_pair_matches(*offer.meta.ephemeral_pub,
+                                        *revealed)) {
+            report.violations.push_back("offer " + offer.label +
+                                        " paid without matching reveal "
+                                        "(garbled eSk confirmed)");
+          }
+          if (!pays_hash(tx, offer.meta.pubkey_hash)) {
+            report.violations.push_back(
+                "offer " + offer.label +
+                " redeem does not pay the revealing gateway");
+          }
+        } else {
+          ++tally.reclaimed;
+          if (static_cast<std::int64_t>(h) < offer.meta.timeout_height) {
+            report.violations.push_back(
+                "offer " + offer.label + " reclaimed at height " +
+                std::to_string(h) + " before timeout " +
+                std::to_string(offer.meta.timeout_height));
+          }
+          if (!pays_hash(tx, offer.meta.buyer_pubkey_hash)) {
+            report.violations.push_back(
+                "offer " + offer.label +
+                " reclaim does not return funds to the buyer");
+          }
+        }
+      }
+    }
+  }
+  tally.open = tally.offers - tally.redeemed - tally.reclaimed;
+  return tally;
+}
+
 InvariantReport check_federation_invariants(Scenario& scenario,
                                             bool expect_quiescent) {
   InvariantReport report;
@@ -98,6 +183,13 @@ InvariantReport check_federation_invariants(Scenario& scenario,
   };
 
   absorb(check_chain_invariants(scenario.master_node().chain()), "master");
+  {
+    // Economic fair-exchange outcomes on the canonical (master) history.
+    InvariantReport settlement;
+    (void)check_settlement_invariants(scenario.master_node().chain(),
+                                      settlement);
+    absorb(settlement, "master settlement");
+  }
   const int master_height = scenario.master_node().chain().height();
   for (int a = 0; a < scenario.actor_count(); ++a) {
     const std::string where = "actor" + std::to_string(a);

@@ -17,6 +17,7 @@
 //     exchange state (pending delivers, tracked redeems, busy sensors).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,24 @@ struct InvariantReport {
 
 /// Chain-level invariants on a single node's view of the world.
 InvariantReport check_chain_invariants(const chain::Blockchain& chain);
+
+/// Economic fair-exchange outcome over one chain's history (adversary
+/// runs). For every Listing-1 offer on the active chain, exactly one of:
+///   * redeemed — spent with an eSk that pairs with the offer's ePk, and
+///     the spend pays the gateway (paid ⟺ revealed);
+///   * reclaimed — spent via the CLTV branch at or after timeout_height,
+///     paying the buyer back;
+///   * open — still unspent (exchange in flight at snapshot time).
+/// Violations: paid-without-reveal, revealed-without-pay, reclaim before
+/// the timeout, or a reclaim not returning funds to the buyer.
+struct SettlementTally {
+  std::uint64_t offers = 0;
+  std::uint64_t redeemed = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t open = 0;
+};
+SettlementTally check_settlement_invariants(const chain::Blockchain& chain,
+                                            InvariantReport& report);
 
 /// Federation-wide sweep: chain invariants on every node, tip convergence
 /// against the master, and (optionally) the no-leaked-state quiescence

@@ -142,6 +142,9 @@ class Scenario {
   }
   p2p::ChainNode& master_node() { return *master_node_; }
   const chain::Wallet& master_wallet() const { return *master_wallet_; }
+  /// The master's block assembler (valid after bootstrap()); the adversary
+  /// layer installs censorship filters here.
+  chain::Miner& miner() noexcept { return *miner_; }
 
   std::uint64_t exchanges_completed() const noexcept { return completed_; }
   std::uint64_t blocks_mined() const noexcept { return blocks_mined_; }

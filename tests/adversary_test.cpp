@@ -1,0 +1,400 @@
+// Byzantine adversary tests: every attack in sim/adversary asserts the
+// economic/safety invariant that defeats it. The fair exchange of Listing 1
+// must hold against cheating gateways (withheld, garbled and double-claimed
+// reveals), adversarial miners (censorship, fee-sniping), Sybil election
+// swarms, and LoRa-hop attacks (replay, jamming, bit-flips).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bcwan/election.hpp"
+#include "sim/adversary.hpp"
+#include "sim/faults.hpp"
+#include "sim/invariants.hpp"
+#include "sim/scenario.hpp"
+
+namespace bcwan {
+namespace {
+
+using util::str_bytes;
+
+sim::ScenarioConfig adversary_config(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.actors = 2;
+  config.sensors_per_actor = 1;
+  config.seed = seed;
+  config.chain_params.pow_zero_bits = 4;
+  config.chain_params.coinbase_maturity = 3;
+  config.chain_params.block_interval = 10 * util::kSecond;
+  config.recipient_funding = 50 * chain::kCoin;
+  // Short CLTV window so reclaim tests resolve in simulated minutes, not
+  // the paper's height+100.
+  config.recipient_config.timeout_blocks = 12;
+  return config;
+}
+
+/// Step the loop in 1 s ticks until `pred()` or the deadline.
+template <typename Pred>
+void run_until(sim::Scenario& s, Pred pred, util::SimTime deadline) {
+  while (!pred() && s.loop().now() < deadline) {
+    s.loop().run_until(s.loop().now() + util::kSecond);
+  }
+}
+
+/// The gateway serving actor 0's sensors (they attach to actor 1's master).
+std::size_t serving_gateway_index(sim::Scenario& s) {
+  return static_cast<std::size_t>(1 * s.config().gateways_per_actor) +
+         s.master_index(1);
+}
+
+// --- Cheating gateways ---
+
+TEST(Adversary, WithholdingGatewayForcesCltvReclaim) {
+  sim::Scenario s(adversary_config(601));
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 1);
+  adversary.corrupt_gateway(serving_gateway_index(s),
+                            core::GatewayMisbehavior::kWithholdKey,
+                            s.loop().now());
+  s.loop().run_until(s.loop().now() + util::kSecond);
+
+  s.sensor(0, 0).start_exchange(str_bytes("pay me first"));
+  const util::SimTime deadline = s.loop().now() + 30 * util::kMinute;
+  run_until(
+      s, [&] { return s.recipient(0).pending_exchange_count() == 0 &&
+                      s.recipient(0).offers_posted() > 0; },
+      deadline);
+
+  // The offer went out, eSk never did; the recipient's only exit is the
+  // OP_CHECKLOCKTIMEVERIFY branch, and it must have taken it exactly once.
+  EXPECT_GE(s.gateway(1).redeems_withheld(), 1u);
+  EXPECT_EQ(s.gateway(1).redeems_submitted(), 0u);
+  EXPECT_GE(s.recipient(0).reclaims_submitted(), 1u);
+  EXPECT_EQ(s.recipient(0).readings_decrypted(), 0u);
+  EXPECT_EQ(s.recipient(0).pending_exchange_count(), 0u);
+
+  sim::InvariantReport report;
+  const sim::SettlementTally tally =
+      sim::check_settlement_invariants(s.master_node().chain(), report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(tally.offers, 1u);
+  EXPECT_EQ(tally.redeemed, 0u) << "paid without reveal";
+  EXPECT_GE(tally.reclaimed, 1u) << "withheld exchange never reclaimed";
+}
+
+TEST(Adversary, GarbledRevealRejectedByCheckRsaPair) {
+  sim::Scenario s(adversary_config(602));
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 2);
+  adversary.corrupt_gateway(serving_gateway_index(s),
+                            core::GatewayMisbehavior::kGarbleKey,
+                            s.loop().now());
+  s.loop().run_until(s.loop().now() + util::kSecond);
+
+  s.sensor(0, 0).start_exchange(str_bytes("garbled"));
+  const util::SimTime deadline = s.loop().now() + 30 * util::kMinute;
+  run_until(
+      s, [&] { return s.recipient(0).pending_exchange_count() == 0 &&
+                      s.gateway(1).garbled_submits() > 0; },
+      deadline);
+
+  // Every garbled reveal must have been rejected — locally and at every
+  // peer: OP_CHECKRSA512PAIR fails, the spend falls into the CLTV branch
+  // and dies on the unsatisfied locktime.
+  EXPECT_GE(s.gateway(1).garbled_submits(), 1u);
+  EXPECT_EQ(s.gateway(1).garbled_rejected(), s.gateway(1).garbled_submits());
+  EXPECT_EQ(s.recipient(0).readings_decrypted(), 0u);
+  EXPECT_GE(s.recipient(0).reclaims_submitted(), 1u);
+
+  sim::InvariantReport report;
+  const sim::SettlementTally tally =
+      sim::check_settlement_invariants(s.master_node().chain(), report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(tally.redeemed, 0u) << "a garbled reveal reached the chain";
+}
+
+TEST(Adversary, DoubleClaimRejectedByFirstSeenMempool) {
+  sim::Scenario s(adversary_config(603));
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 3);
+  adversary.corrupt_gateway(serving_gateway_index(s),
+                            core::GatewayMisbehavior::kDoubleClaim,
+                            s.loop().now());
+  s.loop().run_until(s.loop().now() + util::kSecond);
+
+  s.sensor(0, 0).start_exchange(str_bytes("claim once"));
+  const util::SimTime deadline = s.loop().now() + 20 * util::kMinute;
+  run_until(
+      s, [&] { return s.recipient(0).readings_decrypted() > 0 &&
+                      s.gateway(1).double_claims() > 0; },
+      deadline);
+
+  // The honest reveal settles the exchange; the conflicting second claim
+  // must bounce off the first-seen mempool (no RBF).
+  EXPECT_EQ(s.recipient(0).readings_decrypted(), 1u);
+  EXPECT_GE(s.gateway(1).double_claims(), 1u);
+  EXPECT_EQ(s.gateway(1).double_claims_rejected(),
+            s.gateway(1).double_claims());
+
+  // Let the chain bury the settlement, then check at-most-once pay.
+  s.loop().run_until(s.loop().now() + 2 * util::kMinute);
+  sim::InvariantReport report;
+  (void)sim::check_settlement_invariants(s.master_node().chain(), report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// --- Adversarial miners ---
+
+TEST(Adversary, CensoringMinerDelaysButCannotSteal) {
+  sim::Scenario s(adversary_config(604));
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 4);
+  // Censor reveals for a long window covering the whole exchange.
+  adversary.censor_reveals(s.loop().now() + util::kSecond, 10 * util::kMinute);
+  s.loop().run_until(s.loop().now() + 2 * util::kSecond);
+
+  s.sensor(0, 0).start_exchange(str_bytes("censored"));
+  const util::SimTime deadline = s.loop().now() + 20 * util::kMinute;
+  run_until(s, [&] { return s.recipient(0).readings_decrypted() > 0; },
+            deadline);
+
+  // The recipient learns eSk from the mempool sighting (paper's 0-conf
+  // fast path): censorship delays burial, it cannot unwind the reveal.
+  EXPECT_EQ(s.recipient(0).readings_decrypted(), 1u);
+  EXPECT_EQ(adversary.censorship_windows(), 1u);
+
+  // After the window lifts, the redeem confirms and invariants hold. (The
+  // censored-tx counter only ticks when blocks are assembled with the
+  // reveal stuck in the mempool, so it is checked after the drain.)
+  s.loop().run_until(s.loop().now() + 12 * util::kMinute);
+  EXPECT_GT(s.miner().txs_censored(), 0u) << "filter never engaged";
+  sim::InvariantReport report;
+  const sim::SettlementTally tally =
+      sim::check_settlement_invariants(s.master_node().chain(), report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(tally.redeemed, 1u) << "reveal never confirmed after censorship";
+}
+
+TEST(Adversary, FeeSnipeRaceSettlesExactlyOnce) {
+  sim::Scenario s(adversary_config(605));
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 5);
+  const std::size_t gw = serving_gateway_index(s);
+  adversary.corrupt_gateway(gw, core::GatewayMisbehavior::kWithholdKey,
+                            s.loop().now());
+  s.loop().run_until(s.loop().now() + util::kSecond);
+
+  s.sensor(0, 0).start_exchange(str_bytes("snipe me"));
+  const util::SimTime deadline = s.loop().now() + 30 * util::kMinute;
+  // Wait for the reclaim to hit the recipient's mempool, then dump the
+  // withheld redeem — the race at the timeout boundary.
+  run_until(s, [&] { return s.recipient(0).reclaims_submitted() > 0; },
+            deadline);
+  ASSERT_GT(s.recipient(0).reclaims_submitted(), 0u);
+  adversary.fee_snipe(gw, s.loop().now() + util::kSecond);
+
+  run_until(s, [&] { return s.recipient(0).pending_exchange_count() == 0; },
+            deadline);
+  EXPECT_EQ(adversary.fee_snipes(), 1u);
+
+  // Either side may win the gossip race; what must NOT happen is both
+  // spends confirming, or neither. The offer settles exactly once.
+  sim::InvariantReport report;
+  const sim::SettlementTally tally =
+      sim::check_settlement_invariants(s.master_node().chain(), report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(tally.offers, 1u);
+  EXPECT_EQ(tally.redeemed + tally.reclaimed, tally.offers)
+      << "offer neither redeemed nor reclaimed";
+}
+
+// --- LoRa-hop attacks ---
+
+TEST(Adversary, ReplayedDataFrameIsDroppedNotSettled) {
+  sim::ScenarioConfig config = adversary_config(606);
+  // Shrink the re-ACK window below the replay delay: a replay arriving
+  // after it must be recognised as hostile, not re-ACKed as a retransmit.
+  config.gateway_config.reack_window = 10 * util::kSecond;
+  sim::Scenario s(config);
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 6);
+  adversary.replay_data_frames(1.0, 30 * util::kSecond);
+
+  s.sensor(0, 0).start_exchange(str_bytes("replay me"));
+  const util::SimTime deadline = s.loop().now() + 20 * util::kMinute;
+  run_until(s, [&] { return s.recipient(0).readings_decrypted() > 0; },
+            deadline);
+  ASSERT_EQ(s.recipient(0).readings_decrypted(), 1u);
+
+  // Let the replay fire and bounce off the payload-fingerprint dedupe.
+  run_until(s, [&] { return s.gateway(1).replays_dropped() > 0; },
+            s.loop().now() + 5 * util::kMinute);
+  EXPECT_GE(adversary.frames_replayed(), 1u);
+  EXPECT_GE(s.gateway(1).replays_dropped(), 1u);
+  // Defeated, not just detected: no new key burned, no second delivery,
+  // no second offer, no second settlement.
+  EXPECT_EQ(s.gateway(1).rekeys_issued(), 0u);
+  EXPECT_EQ(s.gateway(1).frames_forwarded(), 1u);
+  EXPECT_EQ(s.recipient(0).offers_posted(), 1u);
+  EXPECT_EQ(s.recipient(0).readings_decrypted(), 1u);
+
+  sim::InvariantReport report;
+  (void)sim::check_settlement_invariants(s.master_node().chain(), report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Adversary, BitFlippedPayloadCaughtByRsaSignature) {
+  sim::Scenario s(adversary_config(607));
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 7);
+  adversary.flip_bits(1.0);  // corrupt every DATA frame in flight
+
+  s.sensor(0, 0).start_exchange(str_bytes("flip me"));
+  const util::SimTime deadline = s.loop().now() + 10 * util::kMinute;
+  run_until(s, [&] { return s.recipient(0).signature_rejects() > 0; },
+            deadline);
+
+  // The gateway cannot verify the envelope (it never holds K or Pk), so it
+  // forwards the corrupted payload; the recipient's RSA-512 signature
+  // check is the firewall — and no offer is ever posted for flipped data.
+  EXPECT_GT(s.radio().frames_mangled(), 0u);
+  EXPECT_GE(s.recipient(0).signature_rejects(), 1u);
+  EXPECT_EQ(s.recipient(0).offers_posted(), 0u);
+  EXPECT_EQ(s.recipient(0).readings_decrypted(), 0u);
+
+  sim::InvariantReport report;
+  const sim::SettlementTally tally =
+      sim::check_settlement_invariants(s.master_node().chain(), report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(tally.offers, 0u) << "corrupted frame reached settlement";
+}
+
+TEST(Adversary, JammingWindowDelaysButExchangeRecovers) {
+  sim::Scenario s(adversary_config(608));
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 8);
+  adversary.jam_lora(s.loop().now() + util::kSecond, util::kMinute);
+  s.loop().run_until(s.loop().now() + 2 * util::kSecond);
+
+  s.sensor(0, 0).start_exchange(str_bytes("thru the jam"));
+  const util::SimTime deadline = s.loop().now() + 30 * util::kMinute;
+  run_until(s, [&] { return s.recipient(0).readings_decrypted() > 0; },
+            deadline);
+
+  EXPECT_EQ(s.recipient(0).readings_decrypted(), 1u);
+  EXPECT_GT(s.radio().frames_jammed(), 0u);
+  EXPECT_EQ(adversary.jam_windows(), 1u);
+}
+
+TEST(Adversary, DutyGrieferCannotStarveHonestExchange) {
+  sim::ScenarioConfig config = adversary_config(609);
+  // Age spoofed-device keys out quickly so the griefer cannot leak state.
+  config.gateway_config.issued_key_timeout = 2 * util::kMinute;
+  sim::Scenario s(config);
+  s.bootstrap();
+  sim::AdversaryPlan adversary(s, 9);
+  // Spray spoofed key requests at actor 1's master gateway — the one
+  // serving actor 0's sensor — fast enough to drain its downlink duty
+  // budget while the honest exchange runs.
+  adversary.add_duty_griefer(1, 30, s.loop().now() + util::kSecond,
+                             util::kSecond);
+  s.loop().run_until(s.loop().now() + 2 * util::kSecond);
+
+  s.sensor(0, 0).start_exchange(str_bytes("still here"));
+  const util::SimTime deadline = s.loop().now() + 30 * util::kMinute;
+  run_until(s, [&] { return s.recipient(0).readings_decrypted() > 0; },
+            deadline);
+
+  // The duty limiter and retry machinery must carry the honest exchange
+  // through the grief load.
+  EXPECT_EQ(s.recipient(0).readings_decrypted(), 1u);
+  // Drain the rest of the barrage, then confirm the griefer really burned
+  // gateway keygens and that the spoofed keys age out instead of leaking.
+  s.loop().run_until(s.loop().now() + 5 * util::kMinute);
+  EXPECT_GE(adversary.grief_requests_sent(), 25u);
+  EXPECT_GT(s.gateway(1).keys_issued(), 1u) << "griefer burned no keygens";
+  EXPECT_EQ(s.gateway(1).issued_key_count(), 0u);
+}
+
+// --- Sybil election pressure ---
+
+TEST(Adversary, SybilSwarmGamesUnweightedElectionOnly) {
+  const sim::SybilElectionStats stats =
+      sim::run_sybil_election_trial(/*honest=*/5, /*sybils=*/15,
+                                    /*epochs=*/400, /*seed=*/42);
+  // Unweighted: identities are free, so the swarm wins ~15/20 of epochs.
+  EXPECT_GT(stats.sybil_wins, stats.epochs / 2);
+  EXPECT_LT(stats.sybil_wins, stats.epochs);  // not a total takeover
+  // Weighted: zero-weight identities can never win an epoch.
+  EXPECT_EQ(stats.weighted_sybil_wins, 0);
+  EXPECT_EQ(stats.honest_wins + stats.sybil_wins, stats.epochs);
+}
+
+TEST(Adversary, WeightedElectionTracksWeightAndIsDeterministic) {
+  util::Rng rng(7);
+  std::vector<script::PubKeyHash> ids(3);
+  for (auto& id : ids) {
+    const util::Bytes b = rng.bytes(id.size());
+    std::copy(b.begin(), b.end(), id.begin());
+  }
+  const std::vector<double> weights{1.0, 1.0, 8.0};
+  int heavy_wins = 0;
+  const int epochs = 300;
+  for (int e = 0; e < epochs; ++e) {
+    const std::size_t w = core::elect_master_gateway_weighted(ids, weights, e);
+    // Deterministic: recomputing the same epoch elects the same winner.
+    ASSERT_EQ(core::elect_master_gateway_weighted(ids, weights, e), w);
+    if (w == 2) ++heavy_wins;
+  }
+  // Expected share 0.8; demand well above the uniform 1/3.
+  EXPECT_GT(heavy_wins, epochs / 2);
+
+  EXPECT_THROW(core::elect_master_gateway_weighted(ids, {1.0, 1.0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(core::elect_master_gateway_weighted(ids, {0.0, 0.0, 0.0}, 0),
+               std::invalid_argument);
+}
+
+// --- Composition with the chaos layer ---
+
+TEST(Adversary, UnleashComposesWithChaosAndInvariantsHold) {
+  sim::ScenarioConfig config = adversary_config(610);
+  config.sensors_per_actor = 2;
+  sim::Scenario s(config);
+  s.bootstrap();
+
+  sim::AdversaryPlan adversary(s, 10);
+  sim::AdversaryProfile profile;
+  profile.withholding_gateways = 1.0;
+  profile.censorship_windows = 1.0;
+  profile.censorship_duration = util::kMinute;
+  profile.jam_windows = 1.0;
+  profile.jam_duration = 20 * util::kSecond;
+  profile.replay_probability = 0.5;
+  profile.replay_delay = 3 * util::kMinute;
+  profile.duty_griefers = 1;
+  adversary.unleash(profile, 10 * util::kMinute);
+
+  sim::FaultPlan faults(s, 11);
+  sim::ChaosProfile chaos;
+  chaos.partitions_per_actor = 0.5;
+  chaos.partition_duration = 30 * util::kSecond;
+  chaos.gateway_crashes = 0.0;  // keep the byzantine gateway's state alive
+  chaos.miner_stalls = 1.0;
+  chaos.stall_duration = util::kMinute;
+  faults.unleash(chaos, 10 * util::kMinute);
+
+  s.run_exchanges(6, 40 * util::kMinute);
+  // Drain: let reclaims confirm and retries settle.
+  s.loop().run_until(s.loop().now() + 20 * util::kMinute);
+
+  // Under combined chaos + adversaries the safety invariants must hold
+  // (liveness may degrade — that is the point of the attack).
+  const sim::InvariantReport report = sim::check_federation_invariants(
+      s, /*expect_quiescent=*/false);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_FALSE(adversary.log().empty());
+}
+
+}  // namespace
+}  // namespace bcwan

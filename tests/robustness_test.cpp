@@ -5,9 +5,14 @@
 // mutations of valid encodings.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+
 #include "bcwan/directory.hpp"
 #include "bcwan/envelope.hpp"
+#include "bcwan/recipient_agent.hpp"
 #include "chain/block.hpp"
+#include "chain/miner.hpp"
 #include "chain/transaction.hpp"
 #include "chain/validation.hpp"
 #include "crypto/base58.hpp"
@@ -206,4 +211,123 @@ TEST(MutationRobustness, ValidBlockMutants) {
 }
 
 }  // namespace
+}  // namespace bcwan
+
+namespace bcwan {
+
+// --- Reclaim rebroadcast-budget exhaustion ---
+//
+// A reclaim can be knocked out of existence after submission (node crash
+// wipes the mempool; a reorg evicts the block it rode in). The recipient's
+// revisit loop re-broadcasts it up to max_rebroadcasts times; when the
+// budget is spent, the exchange must be *abandoned* — counted in
+// exchanges_abandoned() and dropped from pending state — never leaked as a
+// forever-pending entry that keeps resubmitting.
+
+namespace {
+
+struct ReclaimTempDir {
+  std::filesystem::path path;
+  ReclaimTempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "bcwan-reclaim-XXXXXX")
+            .string();
+    path = ::mkdtemp(tmpl.data());
+  }
+  ~ReclaimTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+}  // namespace
+
+TEST(ReclaimRobustness, BudgetExhaustedReclaimIsAbandonedNotLeaked) {
+  chain::ChainParams params;
+  params.pow_zero_bits = 4;
+  params.coinbase_maturity = 2;
+
+  ReclaimTempDir dir;
+  p2p::EventLoop loop;
+  p2p::SimNet net{loop, 7};
+  // Persistent daemon: crash()/restart() goes through real disk recovery,
+  // so the chain (offer included) survives while the mempool (reclaim
+  // included) is wiped — exactly the eviction this test needs.
+  p2p::ChainNodeConfig node_config;
+  node_config.store_dir = (dir.path / "node").string();
+  p2p::ChainNode node(loop, net, net.add_host("recipient"), params,
+                      node_config, 100);
+  const p2p::HostId gateway_host = net.add_host("gateway");
+
+  chain::Wallet recipient_wallet = chain::Wallet::from_seed("reclaim-buyer");
+  chain::Miner miner{params, recipient_wallet.pkh()};
+  core::RecipientConfig config;
+  config.timeout_blocks = 3;
+  config.max_rebroadcasts = 0;  // the budget under test
+  core::RecipientAgent recipient(loop, net, node, recipient_wallet,
+                                 core::TimingModel{}, config, 7);
+
+  std::uint64_t now = 0;
+  const auto mine = [&] {
+    const chain::Block block =
+        miner.mine(node.chain(), node.mempool(), ++now);
+    ASSERT_EQ(node.submit_block(block), chain::AcceptBlockResult::kConnected);
+    loop.run();
+  };
+
+  // Fund the recipient: block rewards mature after coinbase_maturity.
+  for (int i = 0; i < params.coinbase_maturity + 1; ++i) mine();
+  ASSERT_GT(recipient_wallet.balance(node.chain()), 0);
+
+  // Hand-craft the DELIVER a gateway would forward (Fig. 3 step 7).
+  util::Rng rng(9);
+  const core::NodeProvisioning prov =
+      core::provision_node(7, recipient_wallet.pkh(), rng);
+  recipient.register_device(prov);
+  const crypto::RsaKeyPair ephemeral = crypto::rsa_generate(rng, 512);
+  core::DeliverPayload payload;
+  payload.device_id = prov.device_id;
+  const core::Envelope envelope =
+      core::seal_reading(prov, util::str_bytes("42"), ephemeral.pub, rng);
+  payload.em = envelope.em;
+  payload.sig = envelope.sig;
+  payload.ephemeral_pub = ephemeral.pub;
+  payload.gateway = chain::Wallet::from_seed("reclaim-gateway").pkh();
+  payload.price_quote = chain::kCoin / 100;
+  recipient.handle_message(
+      p2p::Message{"DELIVER", payload.serialize(), gateway_host});
+  loop.run_until(loop.now() + util::kSecond);
+  ASSERT_EQ(recipient.offers_posted(), 1u);
+
+  // Confirm the offer, then mine past the CLTV height with the gateway
+  // silent: the recipient reclaims.
+  mine();
+  while (recipient.reclaims_submitted() == 0 &&
+         node.chain().height() < 10) {
+    mine();
+  }
+  ASSERT_EQ(recipient.reclaims_submitted(), 1u);
+  ASSERT_EQ(recipient.pending_exchange_count(), 1u);
+
+  // Crash-stop the daemon: disk recovery restores the chain, the mempool
+  // (and the reclaim in it) is gone.
+  node.crash();
+  ASSERT_TRUE(node.restart());
+  ASSERT_FALSE(node.mempool().contains(chain::Hash256{}));  // sanity: empty
+
+  // Next block triggers the revisit sweep. With a zero budget the evicted
+  // reclaim cannot be re-broadcast: the exchange is written off — once —
+  // and the pending entry is released rather than leaked.
+  mine();
+  loop.run();
+  EXPECT_EQ(recipient.exchanges_abandoned(), 1u);
+  EXPECT_EQ(recipient.pending_exchange_count(), 0u);
+  EXPECT_EQ(recipient.reclaim_rebroadcasts(), 0u);
+
+  // And the abandonment is terminal: further blocks change nothing.
+  mine();
+  EXPECT_EQ(recipient.exchanges_abandoned(), 1u);
+  EXPECT_EQ(recipient.pending_exchange_count(), 0u);
+}
+
 }  // namespace bcwan

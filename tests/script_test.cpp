@@ -474,6 +474,79 @@ TEST_F(KeyReleaseFixture, RedeemWithWrongKeyFallsToTimeoutBranchAndFails) {
   EXPECT_EQ(r.error, ScriptError::kUnsatisfiedLocktime);
 }
 
+TEST_F(KeyReleaseFixture, RedeemWithBitFlippedKeyBytesFails) {
+  // A garbling gateway reveals a serialized eSk with one bit flipped: the
+  // bytes either fail to deserialize or decode to a key that cannot invert
+  // ePk — both land OP_CHECKRSA512PAIR on false and die on the CLTV branch.
+  FakeChecker checker;
+  checker.sig_valid = true;
+  checker.locktime = 0;
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  const Bytes serialized = ephemeral().priv.serialize();
+  Rng rng(502);
+  for (int i = 0; i < 16; ++i) {
+    Bytes garbled = serialized;
+    garbled[rng.below(garbled.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    if (garbled == serialized) continue;
+    Script sig_script;
+    sig_script.push(str_bytes("sig")).push(str_bytes("gateway-pub"))
+        .push(garbled);
+    const auto r = verify_spend(sig_script, pubkey_script, checker);
+    EXPECT_EQ(r.error, ScriptError::kUnsatisfiedLocktime)
+        << "flipped byte slipped past the pair check (iteration " << i << ")";
+  }
+}
+
+TEST_F(KeyReleaseFixture, RedeemWithTruncatedKeyFails) {
+  FakeChecker checker;
+  checker.sig_valid = true;
+  checker.locktime = 0;
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  const Bytes serialized = ephemeral().priv.serialize();
+  // Every proper prefix — including empty — must fail closed, never crash.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{1}, serialized.size() / 2,
+        serialized.size() - 1}) {
+    Script sig_script;
+    sig_script.push(str_bytes("sig")).push(str_bytes("gateway-pub"))
+        .push(Bytes(serialized.begin(),
+                    serialized.begin() + static_cast<long>(cut)));
+    const auto r = verify_spend(sig_script, pubkey_script, checker);
+    EXPECT_EQ(r.error, ScriptError::kUnsatisfiedLocktime)
+        << "truncation to " << cut << " bytes slipped past the pair check";
+  }
+}
+
+TEST_F(KeyReleaseFixture, RedeemWithMismatchedPairFails) {
+  // A well-formed RSA-512 private key from a *different* pair: structurally
+  // valid, semantically wrong. Exactly the decoy a garbling gateway mints.
+  FakeChecker checker;
+  checker.sig_valid = true;
+  checker.locktime = 0;
+  const PubKeyHash gw_pkh = to_pubkey_hash(str_bytes("gateway-pub"));
+  const PubKeyHash buyer_pkh = to_pubkey_hash(str_bytes("buyer-pub"));
+  const Script pubkey_script =
+      make_key_release(ephemeral().pub, gw_pkh, buyer_pkh, 200);
+  const Script sig_script = make_key_release_redeem(
+      str_bytes("sig"), str_bytes("gateway-pub"), other().priv);
+  const auto r = verify_spend(sig_script, pubkey_script, checker);
+  EXPECT_EQ(r.error, ScriptError::kUnsatisfiedLocktime);
+  // And even once the timeout passes, the pair check still refuses the
+  // gateway branch: a locktime-satisfied spend with a wrong key only works
+  // as a *buyer* reclaim, never as a gateway redeem with the thief's hash.
+  checker.locktime = 200;
+  checker.sequence_final = false;
+  const auto late = verify_spend(sig_script, pubkey_script, checker);
+  EXPECT_EQ(late.error, ScriptError::kVerifyFailed);
+}
+
 TEST_F(KeyReleaseFixture, RedeemWithWrongGatewayIdentityFails) {
   FakeChecker checker;
   checker.sig_valid = true;
