@@ -297,6 +297,22 @@ BigUint BigUint::mod_exp_basic(const BigUint& base, const BigUint& exp,
   return result;
 }
 
+BigUint BigUint::mod_exp_crt(const BigUint& base, const BigUint& dp,
+                             const BigUint& dq, const BigUint& p,
+                             const BigUint& q, const BigUint& qinv) {
+  if (p.is_zero() || q.is_zero())
+    throw std::domain_error("BigUint: mod_exp_crt prime zero");
+  // Half-width exponentiations: each routes through MontgomeryCtx::cached
+  // for its own (odd) prime, so repeated operations under the same key
+  // reuse both precomputed contexts.
+  const BigUint m1 = mod_exp(base % p, dp, p);
+  const BigUint m2 = mod_exp(base % q, dq, q);
+  // Garner recombination: h = qinv * (m1 - m2) mod p; result = m2 + h*q.
+  // m2 is reduced mod p first because q may exceed p.
+  const BigUint h = mod_mul(mod_sub(m1, m2 % p, p), qinv % p, p);
+  return m2 + h * q;
+}
+
 BigUint BigUint::mod_mul(const BigUint& a, const BigUint& b, const BigUint& m) {
   // The two-CIOS Montgomery product beats multiply-then-divide once the
   // modulus is wide enough to make Knuth division (and its allocations) the

@@ -5,6 +5,7 @@
 #include <limits>
 #include <mutex>
 
+#include "crypto/ecdsa.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/threadpool.hpp"
 
@@ -42,6 +43,12 @@ std::optional<ScriptCheckFailure> run_script_checks(
         .add(checks.size());
   }
 
+  // Batch-level warmup: force the one-time wNAF generator tables (process
+  // wide) and prime this thread's Montgomery-context MRU for the curve
+  // moduli, so the first cold verify of the batch doesn't pay setup costs
+  // that every later verify amortizes. A no-op after the first batch.
+  crypto::ecdsa_warmup();
+
   if (threads <= 1) {
     for (const ScriptCheck& check : checks) {
       const script::ScriptError err = check.run();
@@ -67,6 +74,9 @@ std::optional<ScriptCheckFailure> run_script_checks(
   for (std::size_t begin = 0; begin < checks.size(); begin += chunk) {
     const std::size_t end = std::min(begin + chunk, checks.size());
     tasks.push_back([&checks, &best_key, &best_mutex, &best, begin, end] {
+      // Pool workers have their own thread-local Montgomery MRU; prime it
+      // once per chunk rather than inside the first script check.
+      crypto::ecdsa_warmup();
       for (std::size_t i = begin; i < end; ++i) {
         const ScriptCheck& check = checks[i];
         const std::uint64_t key =

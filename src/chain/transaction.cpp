@@ -5,6 +5,8 @@
 #include "chain/sigcache.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/sha256.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/serial.hpp"
 
 namespace bcwan::chain {
@@ -254,14 +256,38 @@ bool TxSignatureChecker::check_sig(util::ByteView sig,
   // was only ever written after the full check passed on identical bytes.
   const Hash256 key = sig_cache().key(
       {util::ByteView(digest.data(), digest.size()), pubkey, sig});
-  if (sig_cache().contains(key)) return true;
+  if (sig_cache().contains(key)) {
+    if (telemetry::enabled())
+      telemetry::registry()
+          .counter("bcwan_chain_sigverify_total", "result", "cached",
+                   "Signature checks by outcome: sigcache hits vs cold "
+                   "ECDSA verifications")
+          .add(1);
+    return true;
+  }
 
   const auto decoded_sig = crypto::EcdsaSignature::deserialize(sig);
   if (!decoded_sig) return false;
   const auto decoded_pub = crypto::ec_pubkey_decode(pubkey);
   if (!decoded_pub) return false;
-  const bool valid =
-      crypto::ecdsa_verify_digest(*decoded_pub, digest, *decoded_sig);
+
+  telemetry::Histogram* cold_hist = nullptr;
+  if (telemetry::enabled())
+    cold_hist = &telemetry::registry().histogram(
+        "bcwan_chain_sigverify_cold_seconds",
+        "Wall-clock time of one cold (cache-miss) ECDSA verification");
+  bool valid = false;
+  {
+    telemetry::Span span("chain.sigverify_cold", cold_hist);
+    valid = crypto::ecdsa_verify_digest(*decoded_pub, digest, *decoded_sig);
+  }
+  if (telemetry::enabled())
+    telemetry::registry()
+        .counter("bcwan_chain_sigverify_total", "result",
+                 valid ? "cold_valid" : "cold_invalid",
+                 "Signature checks by outcome: sigcache hits vs cold "
+                 "ECDSA verifications")
+        .add(1);
   if (valid) sig_cache().insert(key);
   return valid;
 }

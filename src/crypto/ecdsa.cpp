@@ -182,7 +182,7 @@ EcKeyPair ec_generate(util::Rng& rng) {
   const BigUint one(1);
   const BigUint span = order_n() - one;
   const BigUint priv = BigUint::random_below(rng, span) + one;
-  return {priv, Secp256k1::mul(priv, gen_g())};
+  return {priv, ec_mul_gen(priv)};
 }
 
 EcKeyPair ec_from_seed(util::ByteView seed) {
@@ -190,7 +190,7 @@ EcKeyPair ec_from_seed(util::ByteView seed) {
   BigUint priv = BigUint::from_bytes_be(util::ByteView(h.data(), h.size())) %
                  (order_n() - BigUint(1));
   priv = priv + BigUint(1);
-  return {priv, Secp256k1::mul(priv, gen_g())};
+  return {priv, ec_mul_gen(priv)};
 }
 
 util::Bytes ec_pubkey_encode(const EcPoint& pub) {
@@ -225,7 +225,10 @@ EcdsaSignature ecdsa_sign_digest(const BigUint& priv, const Digest256& digest) {
   for (std::uint32_t counter = 0;; ++counter) {
     const BigUint k = deterministic_nonce(priv, digest, counter);
     if (k.is_zero()) continue;
-    const EcPoint rp = Secp256k1::mul(k, gen_g());
+    // Backend-dispatched fixed-base multiply: the wNAF table path and the
+    // reference ladder produce the identical point, so signatures are
+    // byte-identical across backends (differentially tested).
+    const EcPoint rp = ec_mul_gen(k);
     if (rp.infinity) continue;
     const BigUint r = rp.x % n;
     if (r.is_zero()) continue;
@@ -258,6 +261,28 @@ bool ecdsa_verify_digest(const EcPoint& pub, const Digest256& digest,
   if (!s_inv) return false;
   const BigUint u1 = BigUint::mod_mul(z, *s_inv, n);
   const BigUint u2 = BigUint::mod_mul(sig.r, *s_inv, n);
+
+  switch (ecdsa_backend()) {
+    case EcdsaBackend::kShamir: {
+      // Single interleaved double-scalar pass: one doubling chain serves
+      // both u1*G (mixed adds against the shared fixed-base table) and
+      // u2*Q, with one field inversion at the very end.
+      const EcPoint sum = ec_shamir(u1, u2, pub);
+      if (sum.infinity) return false;
+      return sum.x % n == sig.r;
+    }
+    case EcdsaBackend::kWnaf: {
+      // Ablation midpoint: both scalar muls on the wNAF fast core, but
+      // combined through the reference affine addition (two extra
+      // inversions vs Shamir — exactly what the bench isolates).
+      const EcPoint sum =
+          Secp256k1::add(ec_mul_gen_wnaf(u1), ec_mul_wnaf(u2, pub));
+      if (sum.infinity) return false;
+      return sum.x % n == sig.r;
+    }
+    case EcdsaBackend::kReference:
+      break;
+  }
   const Jacobian sum = jac_add(jac_mul(u1, to_jacobian(gen_g())),
                                jac_mul(u2, to_jacobian(pub)));
   if (sum.infinity) return false;

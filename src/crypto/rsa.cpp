@@ -1,6 +1,12 @@
 #include "crypto/rsa.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "bignum/montgomery.hpp"
 #include "bignum/primes.hpp"
@@ -29,6 +35,138 @@ BigUint pow_mod(const std::shared_ptr<const MontgomeryCtx>& ctx,
                 const BigUint& base, const BigUint& exp, const BigUint& m) {
   if (ctx) return ctx->mod_exp(base, exp);
   return BigUint::mod_exp_basic(base, exp, m);
+}
+
+std::atomic<std::uint64_t> g_crt_faults{0};
+
+std::atomic<bool>& crt_enabled_flag() {
+  // Magic static: the env var is read exactly once, race-free, the first
+  // time any thread asks (same pattern as the SHA-256 backend pin).
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("BCWAN_RSA_BACKEND");
+    return !(env && std::string_view(env) == std::string_view("reference"));
+  }()};
+  return flag;
+}
+
+// Computes dp/dq/qinv from a claimed factorization (p, q) of key.n and
+// installs all five CRT fields. Rejects (leaving the key untouched) unless
+// p*q really is n and q is invertible mod p — defensive, since recovery
+// feeds this gcd outputs from attacker-supplied key material.
+bool fill_crt_fields(RsaPrivateKey& key, BigUint p, BigUint q) {
+  if (p.is_zero() || q.is_zero() || p.is_one() || q.is_one()) return false;
+  if (!(p * q == key.n)) return false;
+  const auto qinv = BigUint::mod_inv(q % p, p);
+  if (!qinv) return false;
+  key.dp = key.d % (p - BigUint(1));
+  key.dq = key.d % (q - BigUint(1));
+  key.qinv = *qinv;
+  key.p = std::move(p);
+  key.q = std::move(q);
+  return true;
+}
+
+struct CrtParams {
+  BigUint p, q, dp, dq, qinv;
+};
+
+// Thread-local MRU cache of CRT recoveries keyed on (n, d): deserialized
+// keys (on-chain reveals, gateway decrypt keys) carry no CRT fields, and
+// factoring n costs a few full-width exponentiations — worth paying once
+// per key per thread, not once per operation. Failed recoveries are cached
+// too so inconsistent attacker keys don't re-run the factoring loop.
+// Mirrors the MontgomeryCtx::cached MRU discipline, but sized for a block
+// of reveals: every redeem in a block carries a distinct ephemeral key, and
+// a capacity below the per-block reveal count would thrash — refactoring n
+// on every operation costs more than CRT saves. ~128 entries of five
+// half-width values each is a few hundred KB per verification thread.
+const CrtParams* cached_crt(const RsaPrivateKey& key) {
+  struct Entry {
+    BigUint n, d;
+    CrtParams params;
+    bool ok = false;
+  };
+  constexpr std::size_t kCapacity = 128;
+  thread_local std::vector<Entry> cache;
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i].n == key.n && cache[i].d == key.d) {
+      if (i != 0)
+        std::rotate(cache.begin(), cache.begin() + static_cast<std::ptrdiff_t>(i),
+                    cache.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      return cache.front().ok ? &cache.front().params : nullptr;
+    }
+  }
+  RsaPrivateKey probe = key;
+  Entry entry;
+  entry.n = key.n;
+  entry.d = key.d;
+  entry.ok = rsa_crt_recover(probe);
+  if (entry.ok)
+    entry.params = {std::move(probe.p), std::move(probe.q), std::move(probe.dp),
+                    std::move(probe.dq), std::move(probe.qinv)};
+  cache.insert(cache.begin(), std::move(entry));
+  if (cache.size() > kCapacity) cache.pop_back();
+  return cache.front().ok ? &cache.front().params : nullptr;
+}
+
+// x^d mod n through the CRT halves, with the public-exponent re-check that
+// makes the fast path result-equivalent to the reference one: y is accepted
+// only if y^e == x (mod n), otherwise we count the fault and recompute with
+// the full-width exponent. Precondition (all callers enforce): x < n.
+BigUint crt_exp_checked(const RsaPrivateKey& priv, const BigUint& x,
+                        const BigUint& p, const BigUint& q, const BigUint& dp,
+                        const BigUint& dq, const BigUint& qinv) {
+  BigUint y;
+  bool computed = false;
+  try {
+    y = BigUint::mod_exp_crt(x, dp, dq, p, q, qinv);
+    computed = true;
+  } catch (const std::domain_error&) {
+    // Degenerate CRT material (zero prime); fall through to the re-check
+    // failure path below.
+  }
+  const auto ctx = MontgomeryCtx::cached(priv.n);
+  if (computed && BigUint::compare(y, priv.n) < 0 &&
+      pow_mod(ctx, y, priv.e, priv.n) == x)
+    return y;
+  g_crt_faults.fetch_add(1, std::memory_order_relaxed);
+  return pow_mod(ctx, x, priv.d, priv.n);
+}
+
+// Are the key-carried CRT fields actually derived from (n, d)? Stale or
+// tampered fields would otherwise exponentiate with the *old* d and still
+// pass the public-exponent re-check (the result is a valid e-th root either
+// way), silently overriding the authoritative d. A handful of divisions and
+// one mod_mul — noise next to the exponentiation they guard.
+bool crt_consistent(const RsaPrivateKey& priv) {
+  if (priv.q.is_zero() || priv.p.is_one() || priv.q.is_one()) return false;
+  if (!(priv.p * priv.q == priv.n)) return false;
+  if (!(priv.dp == priv.d % (priv.p - BigUint(1)))) return false;
+  if (!(priv.dq == priv.d % (priv.q - BigUint(1)))) return false;
+  return BigUint::mod_mul(priv.qinv, priv.q % priv.p, priv.p).is_one();
+}
+
+// The single private-key entry point: CRT when available (either carried on
+// the key from rsa_generate or recovered+cached for wire keys), full-width
+// exponent otherwise or when the backend pin forces reference.
+// Precondition: x < priv.n.
+BigUint rsa_priv_exp(const RsaPrivateKey& priv, const BigUint& x) {
+  if (crt_enabled_flag().load(std::memory_order_relaxed)) {
+    if (priv.has_crt()) {
+      if (crt_consistent(priv))
+        return crt_exp_checked(priv, x, priv.p, priv.q, priv.dp, priv.dq,
+                               priv.qinv);
+      // Sabotaged/stale CRT material: count it and use the full-width
+      // exponent, which needs only (n, d).
+      g_crt_faults.fetch_add(1, std::memory_order_relaxed);
+    } else if (const CrtParams* crt = cached_crt(priv)) {
+      // Recovery output was validated by fill_crt_fields against this very
+      // (n, d); no recheck needed.
+      return crt_exp_checked(priv, x, crt->p, crt->q, crt->dp, crt->dq,
+                             crt->qinv);
+    }
+  }
+  return pow_mod(MontgomeryCtx::cached(priv.n), x, priv.d, priv.n);
 }
 
 }  // namespace
@@ -83,7 +221,13 @@ RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits) {
     if (!d) continue;
     RsaKeyPair pair;
     pair.pub = {n, e};
-    pair.priv = {n, e, *d};
+    pair.priv.n = n;
+    pair.priv.e = e;
+    pair.priv.d = *d;
+    // The primes are in hand at generation time, so CRT comes for free; it
+    // cannot fail here (distinct odd primes), but a failure would only cost
+    // the speedup, not correctness.
+    fill_crt_fields(pair.priv, p, q);
     return pair;
   }
 }
@@ -118,7 +262,7 @@ std::optional<util::Bytes> rsa_decrypt(const RsaPrivateKey& priv,
   if (ciphertext.size() != k) return std::nullopt;
   const BigUint c = BigUint::from_bytes_be(ciphertext);
   if (BigUint::compare(c, priv.n) >= 0) return std::nullopt;
-  const BigUint m = pow_mod(MontgomeryCtx::cached(priv.n), c, priv.d, priv.n);
+  const BigUint m = rsa_priv_exp(priv, c);
   const util::Bytes eb = m.to_bytes_be(k);
   if (eb[0] != 0x00 || eb[1] != 0x02) return std::nullopt;
   std::size_t sep = 2;
@@ -151,7 +295,9 @@ util::Bytes rsa_sign(const RsaPrivateKey& priv, util::ByteView message) {
   const std::size_t k = priv.modulus_bytes();
   const util::Bytes eb = signature_encoding(k, message);
   const BigUint m = BigUint::from_bytes_be(eb);
-  const BigUint s = pow_mod(MontgomeryCtx::cached(priv.n), m, priv.d, priv.n);
+  // m < n: the encoding starts with a zero byte, so m has at most 8(k-1)
+  // bits while n has more.
+  const BigUint s = rsa_priv_exp(priv, m);
   return s.to_bytes_be(k);
 }
 
@@ -176,10 +322,72 @@ bool rsa_pair_matches(const RsaPublicKey& pub, const RsaPrivateKey& priv) {
   for (std::uint64_t probe : {0x42ULL, 0xdeadbeefULL}) {
     const BigUint x = BigUint(probe) % pub.n;
     const BigUint y = pow_mod(ctx, x, pub.e, pub.n);
-    const BigUint back = pow_mod(ctx, y, priv.d, priv.n);
+    const BigUint back = rsa_priv_exp(priv, y);
     if (!(back == x)) return false;
   }
   return true;
+}
+
+bool rsa_crt_recover(RsaPrivateKey& key) {
+  if (key.has_crt()) return true;
+  const BigUint& n = key.n;
+  if (n.is_zero() || n.is_even() || key.e.is_zero() || key.d.is_zero())
+    return false;
+  if (n.bit_length() < 16) return false;  // smaller than any real modulus
+  // e*d - 1 is a multiple of lambda(n), so for any base g, g^(e*d-1) == 1
+  // (mod n). Walking the square-root chain of that unity (write
+  // e*d - 1 = 2^s * t, t odd) finds a square root of 1 other than +-1 with
+  // probability >= 1/2 per base, and gcd(root - 1, n) then splits n. The
+  // base list is fixed so recovery is deterministic for a given key.
+  BigUint k = key.e * key.d - BigUint(1);
+  if (k.is_zero()) return false;
+  std::size_t s = 0;
+  while (k.is_even()) {
+    k = k >> 1;
+    ++s;
+  }
+  const BigUint t = k;
+  const BigUint n_minus_1 = n - BigUint(1);
+  const auto ctx = MontgomeryCtx::cached(n);
+  for (const std::uint64_t g :
+       {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+        31ULL, 37ULL}) {
+    const BigUint base(g);
+    const BigUint shared = BigUint::gcd(base, n);
+    if (!shared.is_one()) {
+      // The base itself divides n (never for real RSA moduli, but wire keys
+      // are attacker-supplied).
+      if (!(shared == n) && fill_crt_fields(key, shared, n / shared))
+        return true;
+      continue;
+    }
+    BigUint z = pow_mod(ctx, base, t, n);
+    if (z.is_one() || z == n_minus_1) continue;
+    for (std::size_t i = 0; i < s; ++i) {
+      const BigUint w = BigUint::mod_mul(z, z, n);
+      if (w.is_one()) {
+        const BigUint f = BigUint::gcd(z - BigUint(1), n);
+        if (!f.is_one() && !(f == n) && fill_crt_fields(key, f, n / f))
+          return true;
+        break;
+      }
+      if (w == n_minus_1) break;
+      z = w;
+    }
+  }
+  return false;
+}
+
+bool rsa_crt_enabled() noexcept {
+  return crt_enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_rsa_crt_enabled(bool enabled) noexcept {
+  crt_enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t rsa_crt_fault_count() noexcept {
+  return g_crt_faults.load(std::memory_order_relaxed);
 }
 
 }  // namespace bcwan::crypto

@@ -39,13 +39,32 @@ struct RsaPrivateKey {
   bignum::BigUint e;
   bignum::BigUint d;
 
+  // CRT acceleration parameters: p*q = n, dp = d mod p-1, dq = d mod q-1,
+  // qinv = q^-1 mod p. Filled by rsa_generate (the primes are in hand) or
+  // recovered from (n, e, d) by rsa_crt_recover; all-zero means absent and
+  // every private-key operation falls back to the full-width exponent.
+  // Deliberately NOT serialized: the on-chain reveal format (the consensus
+  // encoding OP_CHECKRSA512PAIR deserializes) stays n‖e‖d, and CRT is
+  // re-derived locally by whoever wants the speedup.
+  bignum::BigUint p;
+  bignum::BigUint q;
+  bignum::BigUint dp;
+  bignum::BigUint dq;
+  bignum::BigUint qinv;
+
+  bool has_crt() const { return !p.is_zero(); }
+
   std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
   RsaPublicKey public_key() const { return {n, e}; }
 
   util::Bytes serialize() const;
   static std::optional<RsaPrivateKey> deserialize(util::ByteView data);
 
-  friend bool operator==(const RsaPrivateKey&, const RsaPrivateKey&) = default;
+  /// Semantic identity: (n, e, d) only. A freshly generated key (CRT in
+  /// hand) must equal its serialize/deserialize round trip (CRT dropped).
+  friend bool operator==(const RsaPrivateKey& a, const RsaPrivateKey& b) {
+    return a.n == b.n && a.e == b.e && a.d == b.d;
+  }
 };
 
 struct RsaKeyPair {
@@ -79,5 +98,27 @@ bool rsa_verify(const RsaPublicKey& pub, util::ByteView message,
 /// matching `pub`. Checked algebraically by a round-trip on fixed probe
 /// values, plus modulus equality.
 bool rsa_pair_matches(const RsaPublicKey& pub, const RsaPrivateKey& priv);
+
+/// Recover the CRT parameters of `key` from (n, e, d) by factoring n —
+/// the standard probabilistic reduction (square roots of 1 along the
+/// e*d - 1 = 2^s * t chain), run over a fixed deterministic base list.
+/// Returns true and fills p/q/dp/dq/qinv on success; leaves the key
+/// untouched (and returns false) when the key material is inconsistent.
+/// Used to re-arm CRT on deserialized keys (on-chain reveals, gateway
+/// decrypt keys), which carry only n‖e‖d on the wire.
+bool rsa_crt_recover(RsaPrivateKey& key);
+
+/// RSA-CRT kill switch (default on; BCWAN_RSA_BACKEND=reference pins it
+/// off for a whole run, mirroring BCWAN_SHA256_BACKEND). While off, every
+/// private-key operation uses the full-width exponent — the reference path
+/// differential tests and CI's forced-reference pass run against.
+bool rsa_crt_enabled() noexcept;
+void set_rsa_crt_enabled(bool enabled) noexcept;
+
+/// Count of CRT results that failed the public-exponent re-check and fell
+/// back to the full-width exponent (a miscomputation can therefore never
+/// escape into a signature, plaintext or pairing verdict). Process-wide,
+/// monotonic; exercised by the fault-injection tests.
+std::uint64_t rsa_crt_fault_count() noexcept;
 
 }  // namespace bcwan::crypto

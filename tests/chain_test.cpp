@@ -6,6 +6,7 @@
 #include "chain/sigcache.hpp"
 #include "chain/validation.hpp"
 #include "chain/wallet.hpp"
+#include "crypto/ecdsa.hpp"
 #include "util/rng.hpp"
 
 namespace bcwan::chain {
@@ -1047,6 +1048,39 @@ TEST(Validation, SerialAndParallelAgreeOnBadScript) {
   const auto parallel = connect_block(block, u2, height, p2, undo2);
   EXPECT_EQ(serial.tx_failure.script_error, parallel.tx_failure.script_error);
   EXPECT_EQ(serial.tx_failure.fee, parallel.tx_failure.fee);
+}
+
+TEST(Validation, ColdConnectAgreesAcrossEcdsaBackends) {
+  // A checkqueue-driven cold connect (caches flushed, 4 threads) under each
+  // ECDSA backend: the wNAF/Shamir fast paths must accept exactly what the
+  // reference ladder accepts and leave identical UTXO state. Under TSan
+  // this also exercises the one-time precomputation-table init and the
+  // per-worker ecdsa_warmup calls racing across pool threads.
+  Harness h;
+  const Block block = assemble_payment_block(h, 5);
+  const int height = h.chain.height() + 1;
+
+  std::optional<std::size_t> utxo_size;
+  std::optional<Amount> utxo_value;
+  for (const char* backend : {"reference", "wnaf", "shamir"}) {
+    ASSERT_TRUE(crypto::ecdsa_select_backend(backend)) << backend;
+    UtxoSet utxo = h.chain.utxo();
+    ChainParams params = h.params;
+    params.script_check_threads = 4;
+    sig_cache().clear();
+    script_exec_cache().clear();
+    BlockUndo undo;
+    const auto result = connect_block(block, utxo, height, params, undo);
+    EXPECT_TRUE(result.ok()) << backend << ": " << block_error_name(result.error);
+    if (!utxo_size) {
+      utxo_size = utxo.size();
+      utxo_value = utxo.total_value();
+    } else {
+      EXPECT_EQ(utxo.size(), *utxo_size) << backend;
+      EXPECT_EQ(utxo.total_value(), *utxo_value) << backend;
+    }
+  }
+  ASSERT_TRUE(crypto::ecdsa_select_backend("auto"));
 }
 
 TEST(Validation, ScriptExecCacheSkipsReExecution) {
