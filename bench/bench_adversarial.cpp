@@ -211,6 +211,7 @@ void write_json(const LevelResult* results, std::size_t n, bool smoke,
   w.uint("attacks_defended", defended);
   w.num("defense_success_ratio", ratio, "%.4f");
   w.boolean("economic_invariants_hold", violations == 0);
+  w.uint("peak_rss_bytes", bench::peak_rss_bytes());
   w.begin_array("levels");
   for (std::size_t i = 0; i < n; ++i) {
     const LevelResult& r = results[i];

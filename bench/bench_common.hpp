@@ -116,6 +116,21 @@ class JsonWriter {
   std::vector<std::size_t> counts_;
 };
 
+/// Peak resident set size of this process (VmHWM from /proc/self/status),
+/// in bytes. Returns 0 on platforms without procfs. All JSON-emitting
+/// benches report this so memory regressions gate alongside throughput.
+inline unsigned long long peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
 inline void print_header(const char* experiment_id, const char* title) {
   std::printf("==========================================================\n");
   std::printf("%s — %s\n", experiment_id, title);

@@ -363,6 +363,7 @@ int main() {
     w.num("txid_memo_speedup", txid_cold_ms / txid_memo_ms, "%.3f");
     w.boolean("merkle_target_2x_met", merkle_speedup >= 2.0);
     w.boolean("sighash_target_2x_met", sighash_speedup >= 2.0);
+    w.uint("peak_rss_bytes", bench::peak_rss_bytes());
     w.end_object();
     w.finish();
     std::fclose(f);

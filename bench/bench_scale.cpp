@@ -1,0 +1,288 @@
+// SCALE — city-scale simulation engine benchmark.
+//
+// Exercises the sharded deterministic event core (DESIGN.md §14) end to
+// end:
+//
+//   1. Determinism preamble (hard gates, run before any timing):
+//      * the city engine's commutative trace digest and its full sorted
+//        trace must be identical under the serial backend and the sharded
+//        backend at 2 threads;
+//      * the paper-scale Scenario — the real agent/chain stack — must
+//        produce the same chain tip, height and completed-exchange count
+//        under both backends.
+//   2. Headline run: 10k gateways / 100k sensors / 1k recipients driven
+//      until over one million fair exchanges complete, reporting
+//      exchanges/s and events/s of wall time plus peak RSS.
+//   3. Shard ablation: the same city re-run under the sharded backend at
+//      1/2/4/8 workers, digest-checked against the serial run.
+//
+// Smoke mode (BCWAN_SCALE_SMOKE=1) shrinks the city so CI finishes in
+// seconds. Results land in BENCH_scale.json (schema-checked and
+// headline-gated by bench/check_bench_json.py).
+//
+// Note on speedup numbers: wall-clock speedup from sharding is bounded by
+// the physical cores of the host (reported as "cores"); on a single-core
+// runner the ablation mostly measures the overhead of the merge barrier.
+// The determinism gates are core-count independent.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/citysim.hpp"
+#include "sim/scenario.hpp"
+#include "util/time.hpp"
+
+namespace {
+
+using bcwan::util::SimTime;
+namespace util = bcwan::util;
+namespace sim = bcwan::sim;
+namespace p2p = bcwan::p2p;
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+sim::CityConfig city_config(bool smoke) {
+  sim::CityConfig config;
+  if (smoke) {
+    config.gateways = 200;
+    config.sensors = 2000;
+    config.recipients = 50;
+  } else {
+    config.gateways = 10000;
+    config.sensors = 100000;
+    config.recipients = 1000;
+  }
+  config.seed = 42;
+  return config;
+}
+
+struct CityResult {
+  std::uint64_t exchanges = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  std::uint64_t verify_failures = 0;
+  std::uint64_t parallel_windows = 0;
+  double latency_mean_s = 0.0;
+  double wall_ms = 0.0;
+};
+
+CityResult run_city(const sim::CityConfig& config,
+                    p2p::EventLoop::Backend backend, unsigned threads,
+                    SimTime duration) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::CityEngine engine(config, backend, threads);
+  engine.run_for(duration);
+  CityResult r;
+  r.exchanges = engine.exchanges_completed();
+  r.digest = engine.trace_digest();
+  r.events = engine.loop().events_executed();
+  r.verify_failures = engine.verify_failures();
+  r.parallel_windows = engine.loop().parallel_windows();
+  r.latency_mean_s = engine.latency_mean_s();
+  r.wall_ms = wall_ms_since(t0);
+  return r;
+}
+
+struct ScenarioFingerprint {
+  bcwan::chain::Hash256 tip{};
+  int height = 0;
+  std::uint64_t exchanges = 0;
+  double latency_mean_s = 0.0;
+};
+
+/// Run the full-stack Scenario (real agents, real chain) under the given
+/// backend and fingerprint its end state. BCWAN_SIM_BACKEND is set for the
+/// Scenario's internally constructed EventLoop.
+ScenarioFingerprint run_scenario_backend(const char* backend) {
+  setenv("BCWAN_SIM_BACKEND", backend, 1);
+  sim::ScenarioConfig config;
+  config.actors = 3;
+  config.sensors_per_actor = 4;
+  config.seed = 7;
+  sim::Scenario scenario(config);
+  scenario.bootstrap();
+  scenario.run_exchanges(8, 30 * util::kMinute);
+  ScenarioFingerprint fp;
+  fp.tip = scenario.master_node().chain().tip_hash();
+  fp.height = scenario.master_node().chain().height();
+  fp.exchanges = scenario.exchanges_completed();
+  fp.latency_mean_s = scenario.streamed_latency().mean();
+  unsetenv("BCWAN_SIM_BACKEND");
+  return fp;
+}
+
+}  // namespace
+
+int main() {
+  bcwan::bench::print_header("SCALE",
+                             "city-scale sharded deterministic event core");
+  const bool smoke = []() {
+    for (const char* name : {"BCWAN_SMOKE", "BCWAN_SCALE_SMOKE"}) {
+      const char* env = std::getenv(name);
+      if (env != nullptr && std::string(env) != "0") return true;
+    }
+    return false;
+  }();
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("mode: %s, cores: %u\n\n", smoke ? "smoke" : "full", cores);
+
+  // ---- 1. determinism gates ------------------------------------------------
+  std::printf("[1/3] cross-backend determinism gates\n");
+  sim::CityConfig gate_config = city_config(true);
+  gate_config.keep_trace = true;
+  const SimTime gate_virtual = 2 * util::kMinute;
+  sim::CityEngine gate_serial(gate_config, p2p::EventLoop::Backend::kSerial,
+                              1);
+  gate_serial.run_for(gate_virtual);
+  sim::CityEngine gate_sharded(gate_config, p2p::EventLoop::Backend::kSharded,
+                               2);
+  gate_sharded.run_for(gate_virtual);
+  const bool trace_equal =
+      gate_serial.trace_digest() == gate_sharded.trace_digest() &&
+      gate_serial.exchanges_completed() == gate_sharded.exchanges_completed() &&
+      gate_serial.sorted_trace() == gate_sharded.sorted_trace();
+  std::printf("  city trace: serial digest %016llx, sharded digest %016llx "
+              "(%llu exchanges) -> %s\n",
+              static_cast<unsigned long long>(gate_serial.trace_digest()),
+              static_cast<unsigned long long>(gate_sharded.trace_digest()),
+              static_cast<unsigned long long>(
+                  gate_serial.exchanges_completed()),
+              trace_equal ? "EQUAL" : "MISMATCH");
+
+  const ScenarioFingerprint fp_serial = run_scenario_backend("serial");
+  const ScenarioFingerprint fp_sharded = run_scenario_backend("sharded");
+  const bool tips_equal = fp_serial.tip == fp_sharded.tip &&
+                          fp_serial.height == fp_sharded.height &&
+                          fp_serial.exchanges == fp_sharded.exchanges;
+  std::printf("  scenario chain: height %d/%d, exchanges %llu/%llu -> %s\n",
+              fp_serial.height, fp_sharded.height,
+              static_cast<unsigned long long>(fp_serial.exchanges),
+              static_cast<unsigned long long>(fp_sharded.exchanges),
+              tips_equal ? "EQUAL" : "MISMATCH");
+  if (!trace_equal || !tips_equal) {
+    std::fprintf(stderr, "determinism gate failed; aborting bench\n");
+    return 1;
+  }
+
+  // ---- 2. headline city run ------------------------------------------------
+  // A sensor's duty cycle is interval + pipeline latency (~55 s at the
+  // defaults), so the city completes ~sensors/55 exchanges per virtual
+  // second. Size the virtual horizon to clear the exchange target.
+  const sim::CityConfig config = city_config(smoke);
+  const std::uint64_t target_exchanges = smoke ? 20000 : 1000000;
+  const SimTime duration =
+      smoke ? 12 * util::kMinute : 11 * util::kMinute;
+  std::printf("\n[2/3] headline: %u gateways, %u sensors, %u recipients, "
+              "%.0f virtual minutes\n",
+              config.gateways, config.sensors, config.recipients,
+              util::to_seconds(duration) / 60.0);
+
+  const CityResult headline =
+      run_city(config, p2p::EventLoop::Backend::kSerial, 1, duration);
+  const double exchanges_per_sec =
+      static_cast<double>(headline.exchanges) / (headline.wall_ms / 1e3);
+  const double events_per_sec =
+      static_cast<double>(headline.events) / (headline.wall_ms / 1e3);
+  const unsigned long long rss = bcwan::bench::peak_rss_bytes();
+  const double rss_gib = static_cast<double>(rss) / (1024.0 * 1024.0 * 1024.0);
+  std::printf("  exchanges : %llu (target %llu) in %.1f s wall\n",
+              static_cast<unsigned long long>(headline.exchanges),
+              static_cast<unsigned long long>(target_exchanges),
+              headline.wall_ms / 1e3);
+  std::printf("  throughput: %.0f exchanges/s, %.0f events/s (wall)\n",
+              exchanges_per_sec, events_per_sec);
+  std::printf("  latency   : %.3f s mean (virtual), verify failures %llu\n",
+              headline.latency_mean_s,
+              static_cast<unsigned long long>(headline.verify_failures));
+  std::printf("  peak RSS  : %.3f GiB\n", rss_gib);
+  const bool scale_target_met = headline.exchanges >= target_exchanges &&
+                                headline.wall_ms <= 600e3 &&
+                                (rss == 0 || rss_gib <= 4.0);
+  std::printf("  scale target (>=%llu exchanges, <=10 min, <=4 GiB): %s\n",
+              static_cast<unsigned long long>(target_exchanges),
+              scale_target_met ? "MET" : "NOT MET");
+
+  // ---- 3. shard ablation ---------------------------------------------------
+  std::printf("\n[3/3] shard ablation (sharded backend, digest-checked)\n");
+  struct Ablation {
+    unsigned threads;
+    CityResult result;
+  };
+  std::vector<Ablation> ablation;
+  double speedup_8t = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const CityResult r = run_city(config, p2p::EventLoop::Backend::kSharded,
+                                  threads, duration);
+    const double speedup = headline.wall_ms / r.wall_ms;
+    if (threads == 8) speedup_8t = speedup;
+    std::printf("  %u threads: %8.0f ms wall, %llu windows, digest %s, "
+                "%.2fx vs serial\n",
+                threads, r.wall_ms,
+                static_cast<unsigned long long>(r.parallel_windows),
+                r.digest == headline.digest ? "EQUAL" : "MISMATCH", speedup);
+    if (r.digest != headline.digest ||
+        r.exchanges != headline.exchanges) {
+      std::fprintf(stderr, "ablation digest mismatch at %u threads\n",
+                   threads);
+      return 1;
+    }
+    ablation.push_back(Ablation{threads, r});
+  }
+  if (cores < 8) {
+    std::printf("  (host has %u core(s); wall-clock speedup is bounded by "
+                "physical parallelism)\n", cores);
+  }
+
+  // ---- JSON ----------------------------------------------------------------
+  std::FILE* f = std::fopen("BENCH_scale.json", "w");
+  if (f != nullptr) {
+    bcwan::bench::JsonWriter w(f);
+    w.begin_object();
+    w.str("experiment", "SCALE");
+    w.boolean("smoke", smoke);
+    w.uint("cores", cores);
+    w.uint("gateways", config.gateways);
+    w.uint("sensors", config.sensors);
+    w.uint("recipients", config.recipients);
+    w.num("virtual_seconds", util::to_seconds(duration), "%.1f");
+    w.uint("exchanges_completed", headline.exchanges);
+    w.uint("events_executed", headline.events);
+    w.num("wall_seconds", headline.wall_ms / 1e3, "%.3f");
+    w.num("exchanges_per_sec_wall", exchanges_per_sec, "%.1f");
+    w.num("events_per_sec_wall", events_per_sec, "%.1f");
+    w.num("latency_mean_s", headline.latency_mean_s, "%.3f");
+    w.uint("verify_failures", headline.verify_failures);
+    w.boolean("verify_clean", headline.verify_failures == 0);
+    w.boolean("backend_trace_equal", trace_equal);
+    w.boolean("chain_tips_equal", tips_equal);
+    w.boolean("scale_target_met", scale_target_met);
+    w.uint("peak_rss_bytes", rss);
+    w.num("peak_rss_gib", rss_gib, "%.3f");
+    w.num("sharded_speedup_8t", speedup_8t, "%.2f");
+    w.begin_array("ablation");
+    for (const Ablation& a : ablation) {
+      w.begin_object();
+      w.uint("threads", a.threads);
+      w.num("wall_ms", a.result.wall_ms, "%.1f");
+      w.uint("parallel_windows", a.result.parallel_windows);
+      w.num("speedup_vs_serial", headline.wall_ms / a.result.wall_ms, "%.3f");
+      w.boolean("digest_match", a.result.digest == headline.digest);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish();
+    std::fclose(f);
+    std::printf("\nresults written to BENCH_scale.json\n");
+  }
+  return 0;
+}

@@ -229,6 +229,7 @@ int main() {
     w.num("snapshot_resume_ms", resume_ms.mean(), "%.3f");
     w.num("resume_speedup_vs_replay", replay_ms.mean() / resume_ms.mean(),
           "%.2f");
+    w.uint("peak_rss_bytes", bench::peak_rss_bytes());
     w.end_object();
     w.finish();
     std::fclose(f);

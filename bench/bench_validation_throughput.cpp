@@ -385,6 +385,7 @@ int main() {
       w.end_object();
     }
     w.end_array();
+    w.uint("peak_rss_bytes", bench::peak_rss_bytes());
     w.end_object();
     w.finish();
     std::fclose(f);

@@ -37,6 +37,7 @@ SCHEMAS = {
         "replay_mib_per_s": NUM,
         "snapshot_resume_ms": NUM,
         "resume_speedup_vs_replay": NUM,
+        "peak_rss_bytes": NUM,
     },
     "VAL-TPUT": {
         "smoke": bool,
@@ -50,6 +51,7 @@ SCHEMAS = {
         "rsa_crt_ms": NUM,
         "rsa_crt_speedup": NUM,
         "configs": list,
+        "peak_rss_bytes": NUM,
     },
     "HASH-TPUT": {
         "smoke": bool,
@@ -58,6 +60,7 @@ SCHEMAS = {
         "axes": list,
         "stream_speedup_vs_scalar": NUM,
         "sighash_speedup_vs_naive": NUM,
+        "peak_rss_bytes": NUM,
     },
     "ADV-MATRIX": {
         "smoke": bool,
@@ -67,6 +70,30 @@ SCHEMAS = {
         "defense_success_ratio": NUM,
         "economic_invariants_hold": bool,
         "levels": list,
+        "peak_rss_bytes": NUM,
+    },
+    "SCALE": {
+        "smoke": bool,
+        "cores": NUM,
+        "gateways": NUM,
+        "sensors": NUM,
+        "recipients": NUM,
+        "virtual_seconds": NUM,
+        "exchanges_completed": NUM,
+        "events_executed": NUM,
+        "wall_seconds": NUM,
+        "exchanges_per_sec_wall": NUM,
+        "events_per_sec_wall": NUM,
+        "latency_mean_s": NUM,
+        "verify_failures": NUM,
+        "verify_clean": bool,
+        "backend_trace_equal": bool,
+        "chain_tips_equal": bool,
+        "scale_target_met": bool,
+        "peak_rss_bytes": NUM,
+        "peak_rss_gib": NUM,
+        "sharded_speedup_8t": NUM,
+        "ablation": list,
     },
 }
 
@@ -80,11 +107,19 @@ HEADLINES = {
                  ("rsa_crt_speedup", "higher")],
     "HASH-TPUT": [("sighash_speedup_vs_naive", "higher")],
     "ADV-MATRIX": [("defense_success_ratio", "higher")],
+    # SCALE smoke runs a much smaller city than the committed full
+    # baseline, so a smoke run's per-second throughput sits *above* the
+    # baseline; the gate still catches order-of-magnitude slowdowns.
+    "SCALE": [("exchanges_per_sec_wall", "higher"),
+              ("peak_rss_gib", "lower")],
 }
 
 # Hard correctness bits: if present and false, fail regardless of timings.
+# backend_trace_equal / chain_tips_equal are the cross-backend determinism
+# gates (serial vs sharded event loop must be bit-identical).
 CORRECTNESS_FLAGS = ["equivalence_ok", "verdicts_match",
-                     "economic_invariants_hold"]
+                     "economic_invariants_hold", "verify_clean",
+                     "backend_trace_equal", "chain_tips_equal"]
 
 
 def fail(code, msg):

@@ -71,7 +71,9 @@ void scenario_tampering_gateway() {
   auto& recipient = scenario.recipient(0);
   node.set_app_handler([&recipient](const p2p::Message& msg) {
     p2p::Message corrupted = msg;
-    if (corrupted.payload.size() > 10) corrupted.payload[9] ^= 0x55;
+    util::Bytes mangled = corrupted.payload;
+    if (mangled.size() > 10) mangled[9] ^= 0x55;
+    corrupted.payload = std::move(mangled);
     recipient.handle_message(corrupted);
   });
 

@@ -1,0 +1,56 @@
+#include "p2p/message.hpp"
+
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace bcwan::p2p {
+
+namespace {
+
+struct InternTable {
+  std::shared_mutex mutex;
+  std::vector<std::unique_ptr<std::string>> names;  // address-stable
+  std::unordered_map<std::string_view, std::uint16_t> ids;
+};
+
+InternTable& table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+std::uint16_t MsgType::intern(std::string_view name) {
+  InternTable& t = table();
+  {
+    std::shared_lock lock(t.mutex);
+    const auto it = t.ids.find(name);
+    if (it != t.ids.end()) return it->second;
+  }
+  std::unique_lock lock(t.mutex);
+  const auto it = t.ids.find(name);  // raced with another writer?
+  if (it != t.ids.end()) return it->second;
+  if (t.names.size() > 0xFFFF)
+    throw std::length_error("MsgType: intern table full");
+  const auto id = static_cast<std::uint16_t>(t.names.size());
+  t.names.push_back(std::make_unique<std::string>(name));
+  t.ids.emplace(*t.names.back(), id);
+  return id;
+}
+
+const std::string& MsgType::str() const noexcept {
+  InternTable& t = table();
+  std::shared_lock lock(t.mutex);
+  return *t.names[id_];
+}
+
+const std::shared_ptr<const util::Bytes>& SharedPayload::empty_buffer() {
+  static const std::shared_ptr<const util::Bytes> empty =
+      std::make_shared<const util::Bytes>();
+  return empty;
+}
+
+}  // namespace bcwan::p2p

@@ -1,0 +1,88 @@
+// Federation message plumbing: interned message types and shared payloads.
+//
+// The original Message carried a std::string type tag and an owned byte
+// vector; every hop of a broadcast deep-copied both. At city scale that is
+// one string + one vector allocation per receiver per message. This header
+// replaces them with:
+//
+//   * MsgType — a process-wide interned identifier (uint16). Construction
+//     from a string literal interns once and compares/copies as an integer;
+//     the implicit conversion back to the interned std::string keeps every
+//     existing `msg.type == "tx"` comparison and telemetry label site
+//     compiling unchanged.
+//   * SharedPayload — an immutable, reference-counted byte buffer. A
+//     broadcast allocates the payload once and every per-receiver Message
+//     copy bumps a refcount. Implicit conversions to const util::Bytes& and
+//     util::ByteView keep deserialize()/to_hex() call sites unchanged, and
+//     immutability makes the sharing sound: receivers cannot observe each
+//     other's processing order through the buffer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace bcwan::p2p {
+
+using HostId = int;
+
+/// Interned message-type tag. Equality via the implicit string conversion;
+/// hot paths may compare id() directly.
+class MsgType {
+ public:
+  MsgType() : id_(intern("")) {}
+  MsgType(const char* name) : id_(intern(name)) {}  // NOLINT(runtime/explicit)
+  MsgType(const std::string& name) : id_(intern(name)) {}  // NOLINT
+
+  std::uint16_t id() const noexcept { return id_; }
+  const std::string& str() const noexcept;
+  operator const std::string&() const noexcept { return str(); }  // NOLINT
+
+  /// Comparisons intern the other side and compare ids — `msg.type == "tx"`
+  /// converts the literal through the MsgType ctor (one table lookup).
+  friend bool operator==(const MsgType& a, const MsgType& b) noexcept {
+    return a.id_ == b.id_;
+  }
+
+ private:
+  static std::uint16_t intern(std::string_view name);
+  std::uint16_t id_;
+};
+
+/// Immutable shared byte buffer: copying a SharedPayload is a refcount
+/// bump, never a data copy.
+class SharedPayload {
+ public:
+  SharedPayload() : bytes_(empty_buffer()) {}
+  SharedPayload(util::Bytes bytes)  // NOLINT(runtime/explicit)
+      : bytes_(std::make_shared<const util::Bytes>(std::move(bytes))) {}
+
+  const util::Bytes& bytes() const noexcept { return *bytes_; }
+  operator const util::Bytes&() const noexcept { return *bytes_; }  // NOLINT
+  operator util::ByteView() const noexcept { return *bytes_; }      // NOLINT
+
+  std::size_t size() const noexcept { return bytes_->size(); }
+  bool empty() const noexcept { return bytes_->empty(); }
+  std::uint8_t operator[](std::size_t i) const noexcept { return (*bytes_)[i]; }
+  const std::uint8_t* data() const noexcept { return bytes_->data(); }
+  auto begin() const noexcept { return bytes_->begin(); }
+  auto end() const noexcept { return bytes_->end(); }
+
+  /// Number of Messages (and in-flight copies) sharing this buffer.
+  long use_count() const noexcept { return bytes_.use_count(); }
+
+ private:
+  static const std::shared_ptr<const util::Bytes>& empty_buffer();
+  std::shared_ptr<const util::Bytes> bytes_;
+};
+
+struct Message {
+  MsgType type;
+  SharedPayload payload;
+  HostId from = -1;
+};
+
+}  // namespace bcwan::p2p

@@ -15,18 +15,12 @@
 #include <vector>
 
 #include "p2p/event_loop.hpp"
+#include "p2p/message.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
+#include "util/slab.hpp"
 
 namespace bcwan::p2p {
-
-using HostId = int;
-
-struct Message {
-  std::string type;
-  util::Bytes payload;
-  HostId from = -1;
-};
 
 /// One-way WAN latency model: lognormal with a fixed floor.
 struct LatencyModel {
@@ -39,7 +33,7 @@ struct LatencyModel {
 
 class SimNet {
  public:
-  SimNet(EventLoop& loop, std::uint64_t seed) : loop_(loop), rng_(seed) {}
+  SimNet(EventLoop& loop, std::uint64_t seed);
 
   HostId add_host(std::string name);
   std::size_t host_count() const noexcept { return hosts_.size(); }
@@ -57,10 +51,12 @@ class SimNet {
 
   /// Queue a message; it arrives after sampled latency and is processed
   /// when the receiver's daemon is free. Self-sends skip the wire but still
-  /// queue behind the daemon.
+  /// queue behind the daemon. The in-flight record lives in a slab slot —
+  /// no per-hop heap allocation beyond the payload refcount.
   void send(HostId from, HostId to, Message msg);
 
-  /// Broadcast to every other host.
+  /// Broadcast to every other host. The payload buffer is allocated once
+  /// (by the caller's Message) and shared across the whole fan-out.
   void broadcast(HostId from, const Message& msg);
 
   /// Make the host's daemon unresponsive for `duration` starting now (block
@@ -88,13 +84,27 @@ class SimNet {
     bool partitioned = false;
   };
 
+  struct Inflight {
+    Message msg;
+    HostId to;
+  };
+
   util::SimTime latency_between(HostId a, HostId b);
+  void on_arrive(std::uint64_t slot, std::uint64_t);
+  void on_process(std::uint64_t slot, std::uint64_t);
 
   EventLoop& loop_;
-  util::Rng rng_;
+  std::uint64_t seed_;
   std::vector<Host> hosts_;
   LatencyModel default_latency_;
   std::unordered_map<std::uint64_t, LatencyModel> pair_latency_;
+  // Latency randomness is drawn from one substream per host pair, derived
+  // statelessly from (seed, pair key): adding hosts or reordering unrelated
+  // traffic no longer perturbs the samples another pair sees.
+  std::unordered_map<std::uint64_t, util::Rng> pair_rng_;
+  util::Slab<Inflight> inflight_;
+  std::uint32_t arrive_code_ = 0;
+  std::uint32_t process_code_ = 0;
   std::uint64_t delivered_ = 0;
 };
 

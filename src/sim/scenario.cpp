@@ -42,20 +42,37 @@ Scenario::~Scenario() {
     telemetry::registry().remove_collector(telemetry_collector_id_);
 }
 
+std::ptrdiff_t Scenario::sensor_index_for(
+    std::uint16_t device_id) const noexcept {
+  const int actor = device_id / 256;
+  const int index = device_id % 256;
+  if (actor >= config_.actors || index >= config_.sensors_per_actor) return -1;
+  return static_cast<std::ptrdiff_t>(actor) * config_.sensors_per_actor +
+         index;
+}
+
+void Scenario::clear_exchange_start(std::size_t sensor_index) noexcept {
+  if (exchange_start_[sensor_index] != kNoMark) {
+    exchange_start_[sensor_index] = kNoMark;
+    --in_flight_;
+  }
+}
+
 void Scenario::observe_phase(std::uint16_t device_id, const char* phase) {
   if (!telemetry::enabled()) return;
-  const auto it = phase_mark_.find(device_id);
-  if (it == phase_mark_.end()) return;
+  const std::ptrdiff_t idx = sensor_index_for(device_id);
+  if (idx < 0 || phase_mark_[static_cast<std::size_t>(idx)] == kNoMark) return;
   const util::SimTime now = loop_.now();
   telemetry::registry()
       .histogram(kPhaseFamily, "phase", phase, kPhaseHelp)
-      .observe(util::to_seconds(now - it->second));
-  it->second = now;
+      .observe(util::to_seconds(now - phase_mark_[static_cast<std::size_t>(idx)]));
+  phase_mark_[static_cast<std::size_t>(idx)] = now;
 }
 
 void Scenario::end_exchange_telemetry(std::uint16_t device_id,
                                       const char* outcome) {
-  phase_mark_.erase(device_id);
+  const std::ptrdiff_t idx = sensor_index_for(device_id);
+  if (idx >= 0) phase_mark_[static_cast<std::size_t>(idx)] = kNoMark;
   telemetry_note_exchange(outcome);
 }
 
@@ -156,8 +173,14 @@ void Scenario::build() {
       // the earliest timestamp (retries must not skew the latency clock).
       const core::SensorNode* sensor = sensor_for(device_id);
       if (sensor == nullptr || !sensor->busy()) return;
-      exchange_start_.emplace(device_id, loop_.now());
-      if (telemetry::enabled()) phase_mark_[device_id] = loop_.now();
+      const std::ptrdiff_t idx = sensor_index_for(device_id);
+      if (idx < 0) return;
+      const auto i = static_cast<std::size_t>(idx);
+      if (exchange_start_[i] == kNoMark) {
+        exchange_start_[i] = loop_.now();
+        ++in_flight_;
+      }
+      if (telemetry::enabled()) phase_mark_[i] = loop_.now();
     };
     // Per-phase latency marks: the same clock the headline latency uses,
     // split at each protocol transition.
@@ -172,19 +195,22 @@ void Scenario::build() {
     };
     // A reclaimed exchange is over (no data); free the device for new work.
     recipient->on_reclaimed = [this](std::uint16_t device_id) {
-      exchange_start_.erase(device_id);
+      const std::ptrdiff_t idx = sensor_index_for(device_id);
+      if (idx >= 0) clear_exchange_start(static_cast<std::size_t>(idx));
       end_exchange_telemetry(device_id, "reclaimed");
       reschedule_report(device_id);
     };
     recipient->on_reading = [this](std::uint16_t device_id,
                                    const util::Bytes&) {
-      const auto it = exchange_start_.find(device_id);
-      if (it == exchange_start_.end()) return;
+      const std::ptrdiff_t idx = sensor_index_for(device_id);
+      if (idx < 0) return;
+      const auto sensor_index = static_cast<std::size_t>(idx);
+      if (exchange_start_[sensor_index] == kNoMark) return;
       ExchangeRecord record;
       record.device_id = device_id;
-      record.ephemeral_sent_at = it->second;
+      record.ephemeral_sent_at = exchange_start_[sensor_index];
       record.decrypted_at = loop_.now();
-      exchange_start_.erase(it);
+      clear_exchange_start(sensor_index);
       observe_phase(device_id, "decrypt");
       end_exchange_telemetry(device_id, "success");
       if (telemetry::enabled()) {
@@ -193,20 +219,15 @@ void Scenario::build() {
                        "End-to-end exchange latency (ePk sent to decrypt)")
             .observe(record.latency_s());
       }
-      latency_.add(record.latency_s());
-      records_.push_back(record);
+      latency_streamed_.add(record.latency_s());
+      if (records_.size() < config_.keep_records) {
+        latency_.add(record.latency_s());
+        records_.push_back(record);
+      }
       ++completed_;
       // Schedule the device's next report (duty-aware pacing; the run loop
       // starts it once the time comes).
-      const int actor = device_id / 256;
-      const int index = device_id % 256;
-      const std::size_t sensor_index = static_cast<std::size_t>(
-          actor * config_.sensors_per_actor + index);
-      if (sensor_index < next_report_.size()) {
-        next_report_[sensor_index] =
-            loop_.now() + util::from_seconds(rng_.exponential(
-                              util::to_seconds(config_.report_interval_mean)));
-      }
+      reschedule_report(device_id);
     };
   }
 
@@ -232,7 +253,8 @@ void Scenario::build() {
       // A failed exchange must not leave a stale start timestamp pinning
       // the device as "in flight".
       sensor->on_exchange_failed = [this](std::uint16_t id) {
-        exchange_start_.erase(id);
+        const std::ptrdiff_t idx = sensor_index_for(id);
+        if (idx >= 0) clear_exchange_start(static_cast<std::size_t>(idx));
         end_exchange_telemetry(id, "failed");
         reschedule_report(id);
       };
@@ -242,6 +264,8 @@ void Scenario::build() {
           [sensor](const util::Bytes& frame) { sensor->on_downlink(frame); });
       sensor->attach_radio(radio_device);
       next_report_.push_back(0);
+      exchange_start_.push_back(kNoMark);
+      phase_mark_.push_back(kNoMark);
     }
   }
 
@@ -251,7 +275,7 @@ void Scenario::build() {
       auto& reg = telemetry::registry();
       reg.gauge("bcwan_exchange_in_flight",
                 "Exchanges started but not yet completed or written off")
-          .set(static_cast<double>(exchange_start_.size()));
+          .set(static_cast<double>(in_flight_));
       reg.gauge("bcwan_sim_virtual_seconds",
                 "Scenario event-loop virtual time")
           .set(util::to_seconds(loop_.now()));
@@ -373,24 +397,16 @@ void Scenario::set_mining_paused(bool paused) {
 }
 
 core::SensorNode* Scenario::sensor_for(std::uint16_t device_id) {
-  const int actor = device_id / 256;
-  const int index = device_id % 256;
-  const std::size_t sensor_index =
-      static_cast<std::size_t>(actor * config_.sensors_per_actor + index);
-  if (actor >= config_.actors || index >= config_.sensors_per_actor ||
-      sensor_index >= sensors_.size()) {
+  const std::ptrdiff_t idx = sensor_index_for(device_id);
+  if (idx < 0 || static_cast<std::size_t>(idx) >= sensors_.size())
     return nullptr;
-  }
-  return sensors_[sensor_index].get();
+  return sensors_[static_cast<std::size_t>(idx)].get();
 }
 
 void Scenario::reschedule_report(std::uint16_t device_id) {
-  const int actor = device_id / 256;
-  const int index = device_id % 256;
-  const std::size_t sensor_index =
-      static_cast<std::size_t>(actor * config_.sensors_per_actor + index);
-  if (sensor_index < next_report_.size()) {
-    next_report_[sensor_index] =
+  const std::ptrdiff_t idx = sensor_index_for(device_id);
+  if (idx >= 0 && static_cast<std::size_t>(idx) < next_report_.size()) {
+    next_report_[static_cast<std::size_t>(idx)] =
         loop_.now() + util::from_seconds(rng_.exponential(
                           util::to_seconds(config_.report_interval_mean)));
   }
@@ -425,31 +441,26 @@ void Scenario::run_exchanges(std::size_t total_exchanges,
     loop_.run_until(loop_.now() + util::kSecond);
     // Write off exchanges whose data frame died on the air (unconfirmed
     // LoRa uplinks are fire-and-forget): their devices become idle again.
-    std::erase_if(exchange_start_, [this](const auto& entry) {
-      if (loop_.now() - entry.second <= config_.exchange_stale_after)
-        return false;
-      end_exchange_telemetry(entry.first, "timeout");
-      const int actor = entry.first / 256;
-      const int index = entry.first % 256;
-      const std::size_t sensor_index = static_cast<std::size_t>(
-          actor * config_.sensors_per_actor + index);
-      if (sensor_index < next_report_.size()) {
-        next_report_[sensor_index] =
-            loop_.now() + util::from_seconds(rng_.exponential(
-                              util::to_seconds(config_.report_interval_mean)));
+    // Linear sweep over the dense per-sensor array.
+    for (std::size_t i = 0; i < exchange_start_.size(); ++i) {
+      if (exchange_start_[i] == kNoMark ||
+          loop_.now() - exchange_start_[i] <= config_.exchange_stale_after) {
+        continue;
       }
-      return true;
-    });
+      const std::uint16_t device_id = sensors_[i]->device_id();
+      end_exchange_telemetry(device_id, "timeout");
+      reschedule_report(device_id);
+      clear_exchange_start(i);
+    }
     // Keep idle devices working (e.g. a failed exchange freed a device).
     // A device is idle only if its node is not mid-protocol AND no exchange
     // of its is still settling on-chain.
-    if (completed_ + exchange_start_.size() < target_exchanges_) {
+    if (completed_ + in_flight_ < target_exchanges_) {
       for (std::size_t i = 0; i < sensors_.size(); ++i) {
-        if (completed_ + exchange_start_.size() >= target_exchanges_) break;
+        if (completed_ + in_flight_ >= target_exchanges_) break;
         core::SensorNode& sensor = *sensors_[i];
         if (loop_.now() >= next_report_[i] && !sensor.busy() &&
-            exchange_start_.find(sensor.device_id()) ==
-                exchange_start_.end()) {
+            exchange_start_[i] == kNoMark) {
           start_sensor(i);
           // Until this exchange completes (or is written off) the device
           // is covered by busy()/exchange_start_; push next_report_ out so

@@ -13,7 +13,9 @@
 // Poisson schedule and bootstraps everyone's funds.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -55,6 +57,12 @@ struct ScenarioConfig {
   /// An exchange with no completion after this long is written off (its
   /// data frame died on the air); the device is re-armed.
   util::SimTime exchange_stale_after = 10 * util::kMinute;
+  /// Cap on retained per-exchange material (records() entries and
+  /// latency_stats() samples). The default keeps everything — the paper-scale
+  /// figures want the raw samples; long soak runs set a cap and read the
+  /// O(1) streamed_latency() / telemetry histograms instead, which are always
+  /// maintained regardless of the cap.
+  std::size_t keep_records = std::numeric_limits<std::size_t>::max();
   std::uint64_t seed = 1;
 
   /// Root directory for durable per-host chainstates. Empty (the default —
@@ -97,7 +105,13 @@ class Scenario {
   void run_exchanges(std::size_t total_exchanges,
                      util::SimTime deadline = 24 * util::kHour);
 
+  /// Retained latency samples; bounded by ScenarioConfig::keep_records.
   const util::SampleStats& latency_stats() const noexcept { return latency_; }
+  /// O(1)-memory running latency statistics over *every* completed
+  /// exchange, unaffected by keep_records.
+  const util::StreamingStats& streamed_latency() const noexcept {
+    return latency_streamed_;
+  }
   const std::vector<ExchangeRecord>& records() const noexcept {
     return records_;
   }
@@ -150,10 +164,16 @@ class Scenario {
   std::uint64_t blocks_mined() const noexcept { return blocks_mined_; }
 
  private:
+  /// Sentinel for "no timestamp" in the indexed per-sensor arrays.
+  static constexpr util::SimTime kNoMark = -1;
+
   void build();
   void schedule_mining();
   void start_sensor(std::size_t sensor_index);
   void reschedule_report(std::uint16_t device_id);
+  /// device_id (actor*256 + index) -> dense sensor index; -1 if invalid.
+  std::ptrdiff_t sensor_index_for(std::uint16_t device_id) const noexcept;
+  void clear_exchange_start(std::size_t sensor_index) noexcept;
   /// Observe the virtual time since the device's last phase mark into
   /// bcwan_exchange_phase_seconds{phase=...} and advance the mark.
   void observe_phase(std::uint16_t device_id, const char* phase);
@@ -183,13 +203,17 @@ class Scenario {
   // Per-sensor earliest next report time (duty-aware pacing).
   std::vector<util::SimTime> next_report_;
 
-  // Latency bookkeeping: device id -> ePk-sent timestamp.
-  std::unordered_map<std::uint16_t, util::SimTime> exchange_start_;
-  // Telemetry: device id -> start of the exchange phase currently in flight
+  // Latency bookkeeping, indexed by dense sensor index (kNoMark = idle):
+  // ePk-sent timestamp per sensor. A flat array instead of a hash map —
+  // the staleness sweep and the in-flight gauge walk it linearly.
+  std::vector<util::SimTime> exchange_start_;
+  // Telemetry: start of the exchange phase currently in flight per sensor
   // (ePk sent -> uplink -> offer -> reveal -> decrypt).
-  std::unordered_map<std::uint16_t, util::SimTime> phase_mark_;
+  std::vector<util::SimTime> phase_mark_;
+  std::size_t in_flight_ = 0;  // exchange_start_ entries != kNoMark
   std::uint64_t telemetry_collector_id_ = 0;
   util::SampleStats latency_;
+  util::StreamingStats latency_streamed_;
   std::vector<ExchangeRecord> records_;
   std::uint64_t completed_ = 0;
   std::size_t target_exchanges_ = 0;

@@ -20,6 +20,8 @@ std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 
 }  // namespace
 
+std::uint64_t mix64(std::uint64_t x) noexcept { return splitmix64(x); }
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);

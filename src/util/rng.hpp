@@ -11,6 +11,10 @@
 
 namespace bcwan::util {
 
+/// One stateless splitmix64 scramble: a full-avalanche 64-bit mix used to
+/// derive independent RNG substreams and order-free trace digests.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
 class Rng {
  public:
   /// Seeds via splitmix64 expansion of `seed`.
@@ -42,6 +46,20 @@ class Rng {
 
   /// Derive an independent generator (stable given call order).
   Rng fork() noexcept { return Rng(next() ^ 0xa0761d6478bd642fULL); }
+
+  /// Order-independent substream derivation: the returned generator's state
+  /// is a pure function of (seed, stream), never of how many draws any other
+  /// stream has made. This is what makes sharded-simulation sampling
+  /// deterministic — per-entity and per-host-pair streams stay bit-identical
+  /// no matter which thread samples first.
+  static Rng substream(std::uint64_t seed, std::uint64_t stream) noexcept {
+    return Rng(mix64(seed ^ mix64(stream ^ 0x6a09e667f3bcc909ULL)));
+  }
+  /// Two-dimensional substream (entity, per-entity nonce).
+  static Rng substream(std::uint64_t seed, std::uint64_t stream,
+                       std::uint64_t nonce) noexcept {
+    return substream(seed, mix64(stream) ^ nonce * 0x9e3779b97f4a7c15ULL);
+  }
 
  private:
   std::uint64_t s_[4];

@@ -7,6 +7,27 @@
 
 namespace bcwan::util {
 
+double StreamingStats::stddev() const noexcept {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(count_);
+  const auto m = static_cast<double>(other.count_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 void SampleStats::add(double v) {
   samples_.push_back(v);
   sorted_ = false;

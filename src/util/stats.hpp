@@ -3,10 +3,45 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace bcwan::util {
+
+/// O(1)-memory running statistics (Welford). The streaming counterpart of
+/// SampleStats for workloads whose sample count is unbounded — city-scale
+/// runs stream millions of exchange latencies through one of these instead
+/// of retaining them. No percentiles; the telemetry histograms cover those.
+class StreamingStats {
+ public:
+  void add(double v) noexcept {
+    ++count_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// Fold another accumulator in (Chan et al. parallel combine) — used to
+  /// merge per-shard partials.
+  void merge(const StreamingStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 class SampleStats {
  public:

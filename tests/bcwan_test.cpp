@@ -466,7 +466,10 @@ TEST(Federation, TamperedDeliveryNeverPaid) {
   auto& recipient = scenario.recipient(0);
   node.set_app_handler([&recipient](const p2p::Message& msg) {
     p2p::Message corrupted = msg;
-    if (corrupted.payload.size() > 10) corrupted.payload[8] ^= 0xff;
+    // Payload buffers are shared/immutable: tampering takes a private copy.
+    util::Bytes mangled = corrupted.payload;
+    if (mangled.size() > 10) mangled[8] ^= 0xff;
+    corrupted.payload = std::move(mangled);
     recipient.handle_message(corrupted);
   });
 

@@ -1,0 +1,150 @@
+// Cross-backend determinism gates for the city-scale engine (DESIGN.md §14)
+// plus the Scenario's streamed-stats / keep_records contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <tuple>
+
+#include "sim/citysim.hpp"
+#include "sim/scenario.hpp"
+
+namespace bcwan::sim {
+namespace {
+
+CityConfig small_city() {
+  CityConfig config;
+  config.gateways = 100;
+  config.sensors = 1200;
+  config.recipients = 40;
+  config.seed = 17;
+  config.keep_trace = true;
+  return config;
+}
+
+struct CityRun {
+  std::uint64_t exchanges;
+  std::uint64_t digest;
+  std::uint64_t verify_failures;
+  std::uint64_t sum_us, min_us, max_us;
+  std::uint64_t parallel_windows;
+  std::vector<CityTraceRecord> trace;
+};
+
+CityRun run_city(p2p::EventLoop::Backend backend, unsigned threads) {
+  CityEngine engine(small_city(), backend, threads);
+  engine.run_for(90 * util::kSecond);
+  return CityRun{engine.exchanges_completed(),
+                 engine.trace_digest(),
+                 engine.verify_failures(),
+                 engine.latency_sum_us(),
+                 engine.latency_min_us(),
+                 engine.latency_max_us(),
+                 engine.loop().parallel_windows(),
+                 engine.sorted_trace()};
+}
+
+// The tentpole contract: serial and sharded backends (at several worker
+// counts) complete the identical exchange set — same digest, same exact
+// latency aggregates, same full trace.
+TEST(CityEngine, BackendsProduceIdenticalTraces) {
+  const CityRun serial = run_city(p2p::EventLoop::Backend::kSerial, 1);
+  ASSERT_GT(serial.exchanges, 100u);
+  EXPECT_EQ(serial.verify_failures, 0u);
+  EXPECT_EQ(serial.parallel_windows, 0u);
+  EXPECT_EQ(serial.trace.size(), serial.exchanges);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const CityRun sharded = run_city(p2p::EventLoop::Backend::kSharded,
+                                     threads);
+    EXPECT_EQ(sharded.exchanges, serial.exchanges) << threads << " threads";
+    EXPECT_EQ(sharded.digest, serial.digest) << threads << " threads";
+    EXPECT_EQ(sharded.verify_failures, 0u);
+    EXPECT_EQ(sharded.sum_us, serial.sum_us) << threads << " threads";
+    EXPECT_EQ(sharded.min_us, serial.min_us);
+    EXPECT_EQ(sharded.max_us, serial.max_us);
+    EXPECT_EQ(sharded.trace, serial.trace) << threads << " threads";
+    if (threads > 1) {
+      // The dense city must actually exercise the worker-pool path —
+      // otherwise this test silently degrades to serial-vs-serial.
+      EXPECT_GT(sharded.parallel_windows, 0u) << threads << " threads";
+    }
+  }
+}
+
+TEST(CityEngine, RealCryptoPipelineVerifies) {
+  CityConfig config = small_city();
+  config.sensors = 300;
+  CityEngine engine(config, p2p::EventLoop::Backend::kSerial, 1);
+  engine.run_for(60 * util::kSecond);
+  EXPECT_GT(engine.exchanges_completed(), 0u);
+  // Every AES decrypt matched its plaintext and every SHA-256 envelope tag
+  // checked out.
+  EXPECT_EQ(engine.verify_failures(), 0u);
+  EXPECT_GE(engine.latency_min_us(), 1000u);  // > 1 ms of modeled pipeline
+  EXPECT_LE(engine.latency_min_us(), engine.latency_max_us());
+  EXPECT_DOUBLE_EQ(
+      engine.latency_mean_s(),
+      static_cast<double>(engine.latency_sum_us()) / 1e6 /
+          static_cast<double>(engine.exchanges_completed()));
+}
+
+TEST(CityEngine, RejectsConfigBreakingLookahead) {
+  CityConfig config = small_city();
+  config.wan_floor_ms = 1.0;  // below the 5 ms lookahead window
+  EXPECT_THROW(CityEngine(config, p2p::EventLoop::Backend::kSharded, 2),
+               std::invalid_argument);
+}
+
+// The full-stack Scenario (real agents, RSA, chain) must settle on the same
+// chain under both backends — its traffic is serial-strand, so the sharded
+// loop must preserve exact legacy ordering.
+TEST(Scenario, ChainTipsEqualAcrossBackends) {
+  const auto fingerprint = [](const char* backend) {
+    setenv("BCWAN_SIM_BACKEND", backend, 1);
+    ScenarioConfig config;
+    config.actors = 2;
+    config.sensors_per_actor = 3;
+    config.seed = 5;
+    Scenario scenario(config);
+    scenario.bootstrap();
+    scenario.run_exchanges(4, 20 * util::kMinute);
+    unsetenv("BCWAN_SIM_BACKEND");
+    return std::tuple(scenario.master_node().chain().tip_hash(),
+                      scenario.master_node().chain().height(),
+                      scenario.exchanges_completed());
+  };
+  const auto serial = fingerprint("serial");
+  const auto sharded = fingerprint("sharded");
+  EXPECT_GE(std::get<2>(serial), 4u);
+  EXPECT_EQ(serial, sharded);
+}
+
+// keep_records caps the retained per-exchange material while the streamed
+// statistics keep covering every completion.
+TEST(Scenario, KeepRecordsCapsRetainedSamples) {
+  setenv("BCWAN_SIM_BACKEND", "serial", 1);
+  ScenarioConfig config;
+  config.actors = 2;
+  config.sensors_per_actor = 3;
+  config.seed = 11;
+  config.keep_records = 3;
+  Scenario scenario(config);
+  scenario.bootstrap();
+  scenario.run_exchanges(8, 40 * util::kMinute);
+  unsetenv("BCWAN_SIM_BACKEND");
+
+  ASSERT_GE(scenario.exchanges_completed(), 8u);
+  EXPECT_EQ(scenario.records().size(), 3u);
+  EXPECT_EQ(scenario.latency_stats().count(), 3u);
+  // Streamed stats saw everything.
+  EXPECT_EQ(scenario.streamed_latency().count(),
+            scenario.exchanges_completed());
+  EXPECT_GT(scenario.streamed_latency().mean(), 0.0);
+  EXPECT_GE(scenario.streamed_latency().max(),
+            scenario.streamed_latency().mean());
+}
+
+}  // namespace
+}  // namespace bcwan::sim
