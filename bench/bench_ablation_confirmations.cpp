@@ -19,6 +19,7 @@
 #include "chain/miner.hpp"
 #include "chain/wallet.hpp"
 #include "p2p/chain_node.hpp"
+#include "p2p/network.hpp"
 #include "util/stats.hpp"
 
 namespace {

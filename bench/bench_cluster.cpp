@@ -1,0 +1,231 @@
+// CLUSTER: fair-exchange round-trip cost over real TCP on localhost.
+//
+// The simulator benches (FIG5/FIG6, SCALE) measure the protocol in virtual
+// time; this one pays for real sockets. One process hosts three daemons —
+// seller gateway, buyer gateway, miner — each on its own TcpTransport
+// (epoll, framed wire protocol), and drives sequential fair exchanges:
+//
+//   offer (buyer, gossip) -> redeem (seller's mempool watcher, gossip)
+//     -> eSk observed (buyer) = settled, then a block confirms the pair.
+//
+// Reported: exchange throughput (settled/s of wall clock, confirmation
+// included) and the offer->settled latency distribution (p50/p99), plus a
+// `converged` correctness flag: at the end all three nodes must agree on
+// the tip with clean chain + settlement invariants and every exchange
+// redeemed on-chain. Results go to BENCH_cluster.json (schema-checked and
+// gated by bench/check_bench_json.py).
+//
+// BCWAN_SMOKE=1 runs fewer exchanges for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bcwan/fair_exchange.hpp"
+#include "chain/miner.hpp"
+#include "chain/wallet.hpp"
+#include "crypto/rsa.hpp"
+#include "p2p/chain_node.hpp"
+#include "p2p/tcp_transport.hpp"
+#include "sim/invariants.hpp"
+#include "util/rng.hpp"
+
+using namespace bcwan;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr chain::Amount kPrice = 2 * chain::kCoin;
+constexpr chain::Amount kFee = 1000;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("BCWAN_SMOKE") != nullptr;
+  const int kExchanges = smoke ? 6 : 40;
+
+  chain::ChainParams params;
+  params.pow_zero_bits = 8;
+  params.coinbase_maturity = 2;
+
+  // Three daemons, one process: seller gateway (0), buyer gateway (1),
+  // miner (2), each on its own epoll transport with a real listen socket.
+  p2p::TcpTransportConfig c0, c1, c2;
+  c0.self = 0;
+  c1.self = 1;
+  c2.self = 2;
+  p2p::TcpTransport t0(c0), t1(c1), t2(c2);
+  p2p::TcpTransport* transports[] = {&t0, &t1, &t2};
+  for (p2p::TcpTransport* a : transports) {
+    for (p2p::TcpTransport* b : transports) {
+      if (a != b) {
+        a->set_peer_address(b->self(),
+                            "127.0.0.1:" + std::to_string(b->listen_port()));
+      }
+    }
+  }
+  p2p::ChainNode n0(t0, 0, params, {}, 1);
+  p2p::ChainNode n1(t1, 1, params, {}, 2);
+  p2p::ChainNode n2(t2, 2, params, {}, 3);
+  p2p::ChainNode* nodes[] = {&n0, &n1, &n2};
+
+  auto pump = [&](const std::function<bool()>& done, double deadline_ms) {
+    const auto t0c = Clock::now();
+    while (ms_since(t0c) < deadline_ms) {
+      for (p2p::TcpTransport* t : transports) t->poll(1);
+      if (done()) return true;
+    }
+    return done();
+  };
+
+  chain::Wallet seller_wallet = chain::Wallet::from_seed("bench-seller");
+  chain::Wallet buyer_wallet = chain::Wallet::from_seed("bench-buyer");
+  chain::Miner miner(params, buyer_wallet.pkh());  // rewards fund the buyer
+  std::uint64_t mine_time = 0;
+  auto mine = [&] {
+    const chain::Block block =
+        miner.mine(n2.chain(), n2.mempool(), ++mine_time);
+    n2.submit_block(block);
+  };
+
+  // Bootstrap: mature coins for the buyer, propagated to everyone.
+  for (int i = 0; i < params.coinbase_maturity + 1; ++i) mine();
+  if (!pump([&] { return n0.chain().height() == n2.chain().height() &&
+                         n1.chain().height() == n2.chain().height(); },
+            10000)) {
+    std::fprintf(stderr, "bootstrap propagation timed out\n");
+    return 1;
+  }
+
+  // The seller's redeem watcher survives all exchanges; it redeems against
+  // whichever sale is currently open.
+  std::unique_ptr<core::FairExchangeSeller> seller;
+  n0.add_tx_watcher([&](const chain::Transaction& tx) {
+    if (!seller) return;
+    if (auto redeem = seller->try_redeem(tx, kFee)) {
+      n0.submit_tx(*redeem);
+    }
+  });
+  std::unique_ptr<core::FairExchangeBuyer> buyer;
+  bool settled = false;
+  n1.add_tx_watcher([&](const chain::Transaction& tx) {
+    if (buyer && !settled && buyer->observe(tx)) settled = true;
+  });
+
+  util::Rng rng(0xBC4A);
+  std::vector<double> latency_ms;
+  latency_ms.reserve(static_cast<std::size_t>(kExchanges));
+  int completed = 0;
+  const auto run_start = Clock::now();
+  for (int i = 0; i < kExchanges; ++i) {
+    seller = std::make_unique<core::FairExchangeSeller>(
+        seller_wallet, crypto::rsa_generate(rng, 512));
+    buyer = std::make_unique<core::FairExchangeBuyer>(
+        buyer_wallet, seller->ephemeral_pub(), seller_wallet.pkh(), kPrice,
+        kFee, 40);
+    settled = false;
+
+    const auto x0 = Clock::now();
+    const auto offer = buyer->make_offer(n1.chain(), &n1.mempool());
+    if (!offer || !n1.submit_tx(*offer).ok()) {
+      std::fprintf(stderr, "exchange %d: offer failed (funds?)\n", i);
+      break;
+    }
+    // offer: 1 -> 0 gossip; redeem: 0 -> 1 gossip. Settled = eSk in hand.
+    if (!pump([&] { return settled; }, 10000)) {
+      std::fprintf(stderr, "exchange %d: timed out\n", i);
+      break;
+    }
+    latency_ms.push_back(ms_since(x0));
+
+    // Confirm the pair before the next round (keeps every exchange's
+    // settlement on-chain and the buyer's change spendable).
+    mine();
+    if (!pump([&] { return n1.chain().height() == n2.chain().height(); },
+              10000)) {
+      std::fprintf(stderr, "exchange %d: confirmation timed out\n", i);
+      break;
+    }
+    ++completed;
+  }
+  const double wall_s = ms_since(run_start) / 1000.0;
+
+  // Final convergence audit across all three nodes.
+  mine();
+  bool converged = pump(
+      [&] {
+        return n0.chain().tip_hash() == n2.chain().tip_hash() &&
+               n1.chain().tip_hash() == n2.chain().tip_hash();
+      },
+      10000);
+  std::uint64_t redeemed = 0;
+  for (p2p::ChainNode* node : nodes) {
+    sim::InvariantReport settle_report;
+    const sim::SettlementTally tally =
+        sim::check_settlement_invariants(node->chain(), settle_report);
+    if (!sim::check_chain_invariants(node->chain()).ok() ||
+        !settle_report.ok()) {
+      converged = false;
+    }
+    redeemed = tally.redeemed;
+  }
+  if (redeemed != static_cast<std::uint64_t>(completed)) converged = false;
+  if (completed != kExchanges) converged = false;
+
+  std::sort(latency_ms.begin(), latency_ms.end());
+  const double p50 = percentile(latency_ms, 0.50);
+  const double p99 = percentile(latency_ms, 0.99);
+  const double per_s = wall_s > 0 ? completed / wall_s : 0.0;
+
+  std::printf("CLUSTER: localhost TCP fair exchange (%s)\n",
+              smoke ? "smoke" : "full");
+  std::printf("  exchanges        : %d/%d settled + confirmed\n", completed,
+              kExchanges);
+  std::printf("  throughput       : %.1f exchanges/s wall\n", per_s);
+  std::printf("  offer->settled   : p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  std::printf("  converged        : %s (3 nodes, %llu redeemed on-chain)\n",
+              converged ? "yes" : "NO",
+              static_cast<unsigned long long>(redeemed));
+
+  std::FILE* f = std::fopen("BENCH_cluster.json", "w");
+  if (f != nullptr) {
+    bench::JsonWriter w(f);
+    w.begin_object();
+    w.str("experiment", "CLUSTER");
+    w.boolean("smoke", smoke);
+    w.integer("nodes", 3);
+    w.integer("exchanges", kExchanges);
+    w.integer("exchanges_completed", completed);
+    w.num("wall_seconds", wall_s, "%.3f");
+    w.num("exchanges_per_s", per_s, "%.2f");
+    w.num("latency_p50_ms", p50, "%.3f");
+    w.num("latency_p99_ms", p99, "%.3f");
+    w.uint("frames_sent", t0.stats().frames_out + t1.stats().frames_out +
+                              t2.stats().frames_out);
+    w.uint("bytes_sent", t0.stats().bytes_out + t1.stats().bytes_out +
+                             t2.stats().bytes_out);
+    w.boolean("converged", converged);
+    w.uint("peak_rss_bytes", bench::peak_rss_bytes());
+    w.end_object();
+    w.finish();
+    std::fclose(f);
+    std::printf("results written to BENCH_cluster.json\n");
+  }
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,432 @@
+// bcwand — the BcWAN federation daemon over real TCP.
+//
+// One process per federation member, the deployment shape of the paper's
+// §5.2 evaluation (five PlanetLab gateway hosts + one mining master), built
+// on the epoll Transport backend instead of SimNet. `examples/cluster`
+// spawns six of these on localhost, SIGKILLs one mid-exchange and asserts
+// convergence; this binary is also a usable standalone daemon.
+//
+//   bcwand --node-id N --peers ip:port,ip:port,...   (index = HostId)
+//          --role gateway|miner --store-dir DIR
+//          [--status-file PATH]        atomically rewritten ~4x/sec:
+//                                      "height tip state redeemed reclaimed
+//                                       open offers violations settled"
+//          [--block-interval-ms 150]   miner: mining cadence
+//          [--exchange-interval-ms 300] gateway: new-sale cadence
+//          [--fund-until-height 40]    miner: round-robin gateway funding
+//          [--target-height H]         miner: stop mining at H (0 = never)
+//          [--telemetry-out PATH]      JSON metric snapshot at shutdown
+//          [--seed S]
+//
+// Workload (the fair exchange of §4, end-to-end over TCP): each gateway
+// periodically generates an ephemeral RSA pair and broadcasts an "esale"
+// announcement; the next gateway around the ring answers as buyer with a
+// Listing-1 offer transaction; the seller's mempool watcher redeems it,
+// revealing eSk on-chain; the buyer verifies the reveal against the
+// announced ePk. If a seller dies before redeeming (the cluster's SIGKILL),
+// the buyer reclaims through the CLTV branch after the timeout — settlement
+// invariants hold either way, and `cluster` re-checks them offline from the
+// persisted stores.
+//
+// Clean shutdown: SIGTERM/SIGINT stop the workload timers, drain the
+// transport queues for a grace period (so the last mined block reaches
+// every peer), write a final snapshot and fsync the store.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/miner.hpp"
+#include "chain/wallet.hpp"
+#include "bcwan/fair_exchange.hpp"
+#include "p2p/chain_node.hpp"
+#include "p2p/tcp_transport.hpp"
+#include "sim/invariants.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/serial.hpp"
+
+using namespace bcwan;
+
+namespace {
+
+p2p::TcpTransport* g_transport = nullptr;
+
+void on_signal(int) {
+  if (g_transport != nullptr) g_transport->stop();
+}
+
+struct Options {
+  p2p::HostId node_id = 0;
+  std::vector<std::string> peers;
+  std::string role = "gateway";
+  std::string store_dir;
+  std::string status_file;
+  std::string telemetry_out;
+  int block_interval_ms = 150;
+  int exchange_interval_ms = 300;
+  int fund_until_height = 40;
+  int target_height = 0;
+  std::uint64_t seed = 1;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bcwand --node-id N --peers ip:port,... "
+               "--role gateway|miner --store-dir DIR [--status-file PATH]\n"
+               "              [--block-interval-ms N] "
+               "[--exchange-interval-ms N] [--fund-until-height H]\n"
+               "              [--target-height H] [--telemetry-out PATH] "
+               "[--seed S]\n");
+  return 64;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(start));
+      break;
+    }
+    out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Shared-by-construction chain parameters; every daemon must agree.
+chain::ChainParams cluster_params() {
+  chain::ChainParams params;
+  params.pow_zero_bits = 8;       // trivial grind: schedule comes from timers
+  params.coinbase_maturity = 2;
+  return params;
+}
+
+constexpr chain::Amount kPrice = 2 * chain::kCoin;
+constexpr chain::Amount kFee = 1000;
+constexpr int kOfferTimeoutBlocks = 40;
+constexpr std::size_t kMaxActiveSales = 8;
+
+/// The fair-exchange "esale" announcement: sale id + seller identity +
+/// ephemeral public key, broadcast over the app-message channel.
+util::Bytes encode_esale(std::uint64_t sale_id,
+                         const script::PubKeyHash& seller,
+                         const crypto::RsaPublicKey& ephemeral) {
+  util::Writer w;
+  w.u64(sale_id);
+  w.bytes(util::ByteView(seller.data(), seller.size()));
+  w.var_bytes(ephemeral.serialize());
+  return w.take();
+}
+
+struct Esale {
+  std::uint64_t sale_id = 0;
+  script::PubKeyHash seller{};
+  crypto::RsaPublicKey ephemeral;
+};
+
+std::optional<Esale> decode_esale(util::ByteView payload) {
+  try {
+    util::Reader r(payload);
+    Esale out;
+    out.sale_id = r.u64();
+    const util::Bytes pkh = r.bytes(out.seller.size());
+    std::copy(pkh.begin(), pkh.end(), out.seller.begin());
+    const util::Bytes pub = r.var_bytes();
+    r.expect_done();
+    auto key = crypto::RsaPublicKey::deserialize(pub);
+    if (!key) return std::nullopt;
+    out.ephemeral = std::move(*key);
+    return out;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+/// The daemon: one ChainNode over TCP plus the role-specific workload.
+class Daemon {
+ public:
+  Daemon(const Options& opts, p2p::TcpTransport& transport)
+      : opts_(opts),
+        transport_(transport),
+        wallet_(chain::Wallet::from_seed("node-" +
+                                         std::to_string(opts.node_id))),
+        // Ephemeral-key RNG must differ across restarts of the same node:
+        // replaying the seed after a SIGKILL would re-announce an already
+        // settled RSA key and double-pay it. Mix in process identity.
+        rng_(opts.seed ^ (0x9e37u + static_cast<std::uint64_t>(opts.node_id)) ^
+             (static_cast<std::uint64_t>(getpid()) << 32) ^
+             static_cast<std::uint64_t>(time(nullptr))),
+        node_(transport, opts.node_id, params_,
+              [&] {
+                p2p::ChainNodeConfig config;
+                config.store_dir = opts.store_dir;
+                config.store_fsync = true;
+                config.snapshot_interval = 32;
+                return config;
+              }(),
+              opts.seed + static_cast<std::uint64_t>(opts.node_id)) {
+    gateway_count_ = static_cast<int>(opts_.peers.size()) - 1;
+    node_.set_app_handler([this](const p2p::Message& msg) { on_app(msg); });
+    node_.add_tx_watcher(
+        [this](const chain::Transaction& tx) { on_tx(tx); });
+    node_.add_block_watcher(
+        [this](const chain::Block& block) { on_block(block); });
+    if (opts_.role == "miner") {
+      miner_ = std::make_unique<chain::Miner>(params_, wallet_.pkh());
+      arm_mining_timer();
+    } else {
+      arm_exchange_timer();
+    }
+    arm_status_timer();
+  }
+
+  void shutdown() {
+    stopping_ = true;
+    // Drain: flush queued frames (the last block!) and keep serving reads.
+    const util::SimTime until = transport_.now() + 700 * util::kMillisecond;
+    while (transport_.now() < until) transport_.poll(20);
+    if (node_.store() != nullptr) {
+      node_.store()->write_snapshot(node_.chain());
+      node_.store()->sync();
+    }
+    write_status();
+    if (!opts_.telemetry_out.empty() && telemetry::enabled())
+      telemetry::write_json_snapshot(opts_.telemetry_out);
+    std::printf("bcwand[%d]: clean shutdown at height %d tip %s\n",
+                opts_.node_id, node_.chain().height(),
+                util::to_hex(node_.chain().tip_hash()).c_str());
+  }
+
+ private:
+  // -- Miner role. --
+
+  void arm_mining_timer() {
+    transport_.add_timer(opts_.block_interval_ms * util::kMillisecond,
+                         [this] {
+                           if (!stopping_) {
+                             mine_one();
+                             arm_mining_timer();
+                           }
+                         });
+  }
+
+  void mine_one() {
+    const int next = node_.chain().height() + 1;
+    if (opts_.target_height > 0 && next > opts_.target_height) return;
+    // Bootstrap: round-robin funding payments so every gateway can buy.
+    if (next <= opts_.fund_until_height && gateway_count_ > 0) {
+      const int gateway = next % gateway_count_;
+      const chain::Wallet dest =
+          chain::Wallet::from_seed("node-" + std::to_string(gateway));
+      const auto payment = wallet_.create_payment(
+          node_.chain(), &node_.mempool(), dest.pkh(), 10 * chain::kCoin,
+          kFee);
+      if (payment) node_.submit_tx(*payment);
+    }
+    const chain::Block block =
+        miner_->mine(node_.chain(), node_.mempool(),
+                     static_cast<std::uint64_t>(next));
+    node_.submit_block(block);
+  }
+
+  // -- Gateway role: seller side. --
+
+  void arm_exchange_timer() {
+    transport_.add_timer(opts_.exchange_interval_ms * util::kMillisecond,
+                         [this] {
+                           if (!stopping_) {
+                             start_sale();
+                             arm_exchange_timer();
+                           }
+                         });
+  }
+
+  void start_sale() {
+    if (sales_.size() >= kMaxActiveSales) return;
+    const std::uint64_t sale_id =
+        static_cast<std::uint64_t>(opts_.node_id) << 32 | next_sale_++;
+    crypto::RsaKeyPair ephemeral = crypto::rsa_generate(rng_, 512);
+    const crypto::RsaPublicKey pub = ephemeral.pub;
+    sales_.emplace(sale_id, std::make_unique<core::FairExchangeSeller>(
+                                wallet_, std::move(ephemeral)));
+    transport_.broadcast(opts_.node_id,
+                         p2p::Message{"esale",
+                                      encode_esale(sale_id, wallet_.pkh(), pub),
+                                      opts_.node_id});
+  }
+
+  // -- Gateway role: buyer side. --
+
+  void on_app(const p2p::Message& msg) {
+    if (opts_.role == "miner" || msg.type != "esale") return;
+    const auto sale = decode_esale(msg.payload);
+    if (!sale) return;
+    // Ring assignment: gateway (seller+1) % n buys; everyone else ignores.
+    if (msg.from < 0 || (msg.from + 1) % gateway_count_ != opts_.node_id)
+      return;
+    if (buys_.count(sale->sale_id) != 0) return;
+    auto buyer = std::make_unique<core::FairExchangeBuyer>(
+        wallet_, sale->ephemeral, sale->seller, kPrice, kFee,
+        kOfferTimeoutBlocks);
+    const auto offer = buyer->make_offer(node_.chain(), &node_.mempool());
+    if (!offer) return;  // not funded yet; seller's sale goes stale
+    if (!node_.submit_tx(*offer).ok()) return;
+    buys_.emplace(sale->sale_id, std::move(buyer));
+  }
+
+  void on_tx(const chain::Transaction& tx) {
+    // Seller: does any of my open sales' redeem match this offer?
+    for (auto it = sales_.begin(); it != sales_.end();) {
+      if (auto redeem = it->second->try_redeem(tx, kFee)) {
+        node_.submit_tx(*redeem);
+        ++redeems_sent_;
+        it = sales_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Buyer: is this the seller's reveal?
+    for (auto it = buys_.begin(); it != buys_.end();) {
+      if (it->second->observe(tx)) {
+        ++settled_;  // eSk recovered and verified against the announced ePk
+        it = buys_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void on_block(const chain::Block&) {
+    // Buyer reclaim path: a seller that died (the cluster SIGKILL) never
+    // redeems; pull the funds back through the CLTV branch after timeout.
+    const int height = node_.chain().height();
+    for (auto it = buys_.begin(); it != buys_.end();) {
+      if (auto reclaim = it->second->make_reclaim(height)) {
+        node_.submit_tx(*reclaim);
+        it = buys_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // -- Status export (the cluster launcher's progress probe). --
+
+  void arm_status_timer() {
+    transport_.add_timer(250 * util::kMillisecond, [this] {
+      if (!stopping_) {
+        write_status();
+        arm_status_timer();
+      }
+    });
+  }
+
+  void write_status() {
+    if (opts_.status_file.empty()) return;
+    sim::InvariantReport report;
+    const sim::SettlementTally tally =
+        sim::check_settlement_invariants(node_.chain(), report);
+    const std::string tmp = opts_.status_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "%d %s %s %llu %llu %llu %llu %zu %llu\n",
+                 node_.chain().height(),
+                 util::to_hex(node_.chain().tip_hash()).c_str(),
+                 util::to_hex(node_.chain().state_hash()).c_str(),
+                 static_cast<unsigned long long>(tally.redeemed),
+                 static_cast<unsigned long long>(tally.reclaimed),
+                 static_cast<unsigned long long>(tally.open),
+                 static_cast<unsigned long long>(tally.offers),
+                 report.violations.size(),
+                 static_cast<unsigned long long>(settled_));
+    std::fclose(f);
+    std::rename(tmp.c_str(), opts_.status_file.c_str());
+  }
+
+  const Options& opts_;
+  p2p::TcpTransport& transport_;
+  chain::ChainParams params_ = cluster_params();
+  chain::Wallet wallet_;
+  util::Rng rng_;
+  p2p::ChainNode node_;
+  std::unique_ptr<chain::Miner> miner_;
+  int gateway_count_ = 0;
+  bool stopping_ = false;
+  std::uint64_t next_sale_ = 0;
+  std::uint64_t redeems_sent_ = 0;
+  std::uint64_t settled_ = 0;
+  std::unordered_map<std::uint64_t, std::unique_ptr<core::FairExchangeSeller>>
+      sales_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<core::FairExchangeBuyer>>
+      buys_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--node-id") opts.node_id = std::atoi(value());
+    else if (arg == "--peers") opts.peers = split_csv(value());
+    else if (arg == "--role") opts.role = value();
+    else if (arg == "--store-dir") opts.store_dir = value();
+    else if (arg == "--status-file") opts.status_file = value();
+    else if (arg == "--telemetry-out") opts.telemetry_out = value();
+    else if (arg == "--block-interval-ms") opts.block_interval_ms = std::atoi(value());
+    else if (arg == "--exchange-interval-ms") opts.exchange_interval_ms = std::atoi(value());
+    else if (arg == "--fund-until-height") opts.fund_until_height = std::atoi(value());
+    else if (arg == "--target-height") opts.target_height = std::atoi(value());
+    else if (arg == "--seed") opts.seed = std::strtoull(value(), nullptr, 10);
+    else return usage();
+  }
+  if (opts.peers.empty() || opts.node_id < 0 ||
+      static_cast<std::size_t>(opts.node_id) >= opts.peers.size() ||
+      (opts.role != "gateway" && opts.role != "miner") ||
+      opts.store_dir.empty()) {
+    return usage();
+  }
+
+  if (!opts.telemetry_out.empty() && telemetry::compiled_in())
+    telemetry::set_enabled(true);
+
+  p2p::TcpTransportConfig tcfg;
+  tcfg.self = opts.node_id;
+  tcfg.listen = opts.peers[static_cast<std::size_t>(opts.node_id)];
+  tcfg.peers = opts.peers;
+  tcfg.seed = opts.seed;
+  try {
+    p2p::TcpTransport transport(std::move(tcfg));
+    g_transport = &transport;
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    Daemon daemon(opts, transport);
+    std::printf("bcwand[%d]: %s listening on %s, %zu peers\n", opts.node_id,
+                opts.role.c_str(),
+                opts.peers[static_cast<std::size_t>(opts.node_id)].c_str(),
+                opts.peers.size() - 1);
+    std::fflush(stdout);
+    transport.run();  // until SIGTERM/SIGINT
+    daemon.shutdown();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bcwand[%d]: fatal: %s\n", opts.node_id, e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,389 @@
+// Multi-process cluster harness: the paper's §5.2 testbed on localhost.
+//
+// Spawns five gateway `bcwand` daemons plus one miner over real TCP, lets
+// the fair-exchange workload run, then SIGKILLs one gateway mid-exchange,
+// restarts it, and asserts federation convergence: after an orderly
+// shutdown every persisted store must reopen to the identical tip hash and
+// state hash, with clean chain + settlement invariants and a nonzero
+// redeemed count. Exit code 0 only when every assertion holds — CI gates
+// on it, under ASan/UBSan too.
+//
+//   cluster [--gateways 5] [--target-redeemed 6] [--workdir DIR]
+//           [--base-port P] [--timeout-s 120] [--no-kill]
+//
+// The SIGKILL victim (gateway 2 by default) is killed once the federation
+// has redeemed about half the target, left dead for a beat, then restarted
+// with the same argv: it must recover its chain from disk (snapshot + log
+// replay) and catch up the rest over getblocks sync.
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "sim/invariants.hpp"
+#include "store/store.hpp"
+#include "util/bytes.hpp"
+
+using namespace bcwan;
+
+namespace {
+
+struct NodeStatus {
+  int height = -1;
+  std::string tip;
+  std::string state;
+  unsigned long long redeemed = 0;
+  unsigned long long reclaimed = 0;
+  unsigned long long open = 0;
+  unsigned long long offers = 0;
+  unsigned long long violations = 0;
+  unsigned long long settled = 0;
+  bool valid = false;
+};
+
+NodeStatus read_status(const std::string& path) {
+  NodeStatus s;
+  std::ifstream in(path);
+  if (!in) return s;
+  in >> s.height >> s.tip >> s.state >> s.redeemed >> s.reclaimed >> s.open >>
+      s.offers >> s.violations >> s.settled;
+  s.valid = static_cast<bool>(in);
+  return s;
+}
+
+std::int64_t now_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000 + ts.tv_nsec / 1000000;
+}
+
+void sleep_ms(int ms) {
+  timespec ts{ms / 1000, static_cast<long>(ms % 1000) * 1000000};
+  nanosleep(&ts, nullptr);
+}
+
+std::string exe_dir(const char* argv0) {
+  std::string path(argv0);
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  return path.substr(0, slash);
+}
+
+struct Child {
+  pid_t pid = -1;
+  std::vector<std::string> argv;  // saved for restart
+  std::string log_path;
+};
+
+pid_t spawn(const std::vector<std::string>& argv, const std::string& log_path) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    const int log_fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd >= 0) {
+      dup2(log_fd, STDOUT_FILENO);
+      dup2(log_fd, STDERR_FILENO);
+      if (log_fd > STDERR_FILENO) ::close(log_fd);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    execv(cargv[0], cargv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Probe a localhost port range for availability so parallel CI jobs on the
+/// same host don't collide. Returns the first base where all `n` ports bind.
+int find_port_base(int preferred, int n) {
+  for (int base = preferred; base < preferred + 4000; base += 100) {
+    bool ok = true;
+    for (int i = 0; i < n && ok; ++i) {
+      const int fd = socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) return base;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(base + i));
+      ok = bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+      ::close(fd);
+    }
+    if (ok) return base;
+  }
+  return preferred;
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "cluster: FAIL: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n_gateways = 5;
+  unsigned long long target_redeemed = 6;
+  std::string workdir;
+  int base_port = 0;
+  int timeout_s = 120;
+  bool do_kill = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--gateways") n_gateways = std::atoi(value());
+    else if (arg == "--target-redeemed") target_redeemed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--workdir") workdir = value();
+    else if (arg == "--base-port") base_port = std::atoi(value());
+    else if (arg == "--timeout-s") timeout_s = std::atoi(value());
+    else if (arg == "--no-kill") do_kill = false;
+    else {
+      std::fprintf(stderr,
+                   "usage: cluster [--gateways N] [--target-redeemed N] "
+                   "[--workdir DIR] [--base-port P] [--timeout-s S] "
+                   "[--no-kill]\n");
+      return 64;
+    }
+  }
+  const int n_nodes = n_gateways + 1;  // + miner
+  const int miner_id = n_gateways;
+
+  if (workdir.empty()) {
+    workdir = "/tmp/bcwan_cluster_" + std::to_string(getpid());
+  }
+  mkdir(workdir.c_str(), 0755);
+  if (base_port == 0) {
+    // Derive from pid so concurrent runs start probing different ranges.
+    base_port = find_port_base(21000 + (getpid() % 200) * 10, n_nodes);
+  }
+
+  const std::string bcwand = exe_dir(argv[0]) + "/bcwand";
+  if (access(bcwand.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "cluster: cannot find bcwand next to cluster (%s)\n",
+                 bcwand.c_str());
+    return 2;
+  }
+
+  std::string peers;
+  for (int i = 0; i < n_nodes; ++i) {
+    if (i > 0) peers += ',';
+    peers += "127.0.0.1:" + std::to_string(base_port + i);
+  }
+
+  std::printf("cluster: %d gateways + 1 miner, ports %d-%d, workdir %s\n",
+              n_gateways, base_port, base_port + n_nodes - 1, workdir.c_str());
+
+  std::vector<Child> nodes(static_cast<std::size_t>(n_nodes));
+  std::vector<std::string> status_files(static_cast<std::size_t>(n_nodes));
+  std::vector<std::string> store_dirs(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    store_dirs[idx] = workdir + "/node" + std::to_string(i);
+    mkdir(store_dirs[idx].c_str(), 0755);
+    status_files[idx] = workdir + "/status" + std::to_string(i);
+    nodes[idx].log_path = workdir + "/node" + std::to_string(i) + ".log";
+    nodes[idx].argv = {bcwand,
+                       "--node-id", std::to_string(i),
+                       "--peers", peers,
+                       "--role", i == miner_id ? "miner" : "gateway",
+                       "--store-dir", store_dirs[idx],
+                       "--status-file", status_files[idx],
+                       "--seed", std::to_string(1000 + i)};
+    nodes[idx].pid = spawn(nodes[idx].argv, nodes[idx].log_path);
+  }
+
+  // Reap any child that dies unexpectedly; the drill's SIGKILL is expected.
+  auto reap_check = [&](pid_t expect_dead) -> bool {
+    int wstatus = 0;
+    pid_t dead;
+    while ((dead = waitpid(-1, &wstatus, WNOHANG)) > 0) {
+      if (dead != expect_dead) {
+        std::fprintf(stderr, "cluster: node pid %d died early (status %d)\n",
+                     dead, wstatus);
+        return false;
+      }
+    }
+    return true;
+  };
+  auto kill_all = [&] {
+    for (auto& node : nodes) {
+      if (node.pid > 0) kill(node.pid, SIGKILL);
+    }
+    while (waitpid(-1, nullptr, WNOHANG) > 0) {
+    }
+  };
+
+  const std::int64_t deadline = now_ms() + timeout_s * 1000;
+  const int victim = do_kill ? (2 < n_gateways ? 2 : 0) : -1;
+  bool killed = false, restarted = false;
+  std::int64_t restart_at = 0;
+  unsigned long long best_redeemed = 0;
+
+  // Phase 1: run the workload until the federation redeems the target,
+  // with the SIGKILL + restart drill at the halfway mark.
+  while (true) {
+    if (now_ms() > deadline) {
+      kill_all();
+      return fail("timeout waiting for target redeemed count");
+    }
+    if (!reap_check(-1)) {
+      kill_all();
+      return fail("daemon exited prematurely");
+    }
+    sleep_ms(200);
+
+    // The miner's chain view drives progress decisions.
+    const NodeStatus miner =
+        read_status(status_files[static_cast<std::size_t>(miner_id)]);
+    if (!miner.valid) continue;
+    if (miner.violations != 0) {
+      kill_all();
+      return fail("settlement invariant violation reported by miner");
+    }
+    best_redeemed = miner.redeemed > best_redeemed ? miner.redeemed
+                                                   : best_redeemed;
+
+    if (!killed && victim >= 0 && miner.redeemed >= target_redeemed / 2) {
+      auto& node = nodes[static_cast<std::size_t>(victim)];
+      std::printf("cluster: SIGKILL gateway %d (pid %d) at redeemed=%llu\n",
+                  victim, node.pid, miner.redeemed);
+      kill(node.pid, SIGKILL);
+      waitpid(node.pid, nullptr, 0);
+      killed = true;
+      restart_at = now_ms() + 1500;  // stay dead long enough to miss blocks
+      continue;
+    }
+    if (killed && !restarted && now_ms() >= restart_at) {
+      auto& node = nodes[static_cast<std::size_t>(victim)];
+      node.pid = spawn(node.argv, node.log_path);
+      restarted = true;
+      std::printf("cluster: restarted gateway %d (pid %d)\n", victim,
+                  node.pid);
+      continue;
+    }
+    // Don't finish before the drill completed and the victim caught up.
+    if (miner.redeemed >= target_redeemed && (!do_kill || restarted)) {
+      if (do_kill) {
+        const NodeStatus v =
+            read_status(status_files[static_cast<std::size_t>(victim)]);
+        if (!v.valid || v.height + 2 < miner.height) continue;
+      }
+      break;
+    }
+  }
+  std::printf("cluster: target reached (redeemed=%llu), shutting down\n",
+              best_redeemed);
+
+  // Phase 2: orderly shutdown. Miner first so the block schedule stops,
+  // gateways drain in-flight exchanges, then everyone snapshots + fsyncs.
+  kill(nodes[static_cast<std::size_t>(miner_id)].pid, SIGTERM);
+  sleep_ms(1500);
+  for (int i = 0; i < n_gateways; ++i) {
+    kill(nodes[static_cast<std::size_t>(i)].pid, SIGTERM);
+  }
+  const std::int64_t shutdown_deadline = now_ms() + 15000;
+  int exited = 0;
+  while (exited < n_nodes && now_ms() < shutdown_deadline) {
+    int wstatus = 0;
+    const pid_t dead = waitpid(-1, &wstatus, WNOHANG);
+    if (dead > 0) {
+      ++exited;
+      if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+        kill_all();
+        return fail("daemon did not shut down cleanly");
+      }
+    } else {
+      sleep_ms(100);
+    }
+  }
+  if (exited < n_nodes) {
+    kill_all();
+    return fail("daemon hung during shutdown");
+  }
+
+  // Phase 3: offline convergence audit straight from the persisted stores —
+  // the ground truth, independent of anything the daemons claimed.
+  chain::ChainParams params;
+  params.pow_zero_bits = 8;
+  params.coinbase_maturity = 2;
+  std::string ref_tip, ref_state;
+  int ref_height = -1;
+  for (int i = 0; i < n_nodes; ++i) {
+    std::string error;
+    store::StoreOptions options;
+    options.dir = store_dirs[static_cast<std::size_t>(i)];
+    auto st = store::ChainStore::open(params, options, &error);
+    if (!st) {
+      std::fprintf(stderr, "cluster: node %d store reopen failed: %s\n", i,
+                   error.c_str());
+      return 1;
+    }
+    chain::Blockchain chain = st->take_chain();
+    const std::string tip = util::to_hex(chain.tip_hash());
+    const std::string state = util::to_hex(chain.state_hash());
+    const sim::InvariantReport chain_report =
+        sim::check_chain_invariants(chain);
+    sim::InvariantReport settle_report;
+    const sim::SettlementTally tally =
+        sim::check_settlement_invariants(chain, settle_report);
+    std::printf(
+        "cluster: node %d height=%d tip=%.12s redeemed=%llu reclaimed=%llu "
+        "open=%llu\n",
+        i, chain.height(), tip.c_str(),
+        static_cast<unsigned long long>(tally.redeemed),
+        static_cast<unsigned long long>(tally.reclaimed),
+        static_cast<unsigned long long>(tally.open));
+    if (!chain_report.ok()) {
+      std::fprintf(stderr, "cluster: node %d chain invariants: %s\n", i,
+                   chain_report.to_string().c_str());
+      return 1;
+    }
+    if (!settle_report.ok()) {
+      std::fprintf(stderr, "cluster: node %d settlement invariants: %s\n", i,
+                   settle_report.to_string().c_str());
+      return 1;
+    }
+    if (i == 0) {
+      ref_tip = tip;
+      ref_state = state;
+      ref_height = chain.height();
+    } else if (tip != ref_tip || state != ref_state) {
+      std::fprintf(stderr,
+                   "cluster: node %d diverged (tip %.12s vs %.12s, height %d "
+                   "vs %d)\n",
+                   i, tip.c_str(), ref_tip.c_str(), chain.height(),
+                   ref_height);
+      return fail("federation did not converge");
+    }
+    if (i == 0 && tally.redeemed < target_redeemed) {
+      return fail("redeemed count below target after shutdown");
+    }
+  }
+
+  std::printf("cluster: PASS — %d nodes converged at height %d, tip %.12s\n",
+              n_nodes, ref_height, ref_tip.c_str());
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "p2p/tcp_transport.hpp"
 #include "sim/scenario.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
@@ -56,6 +57,29 @@ int main() {
               static_cast<unsigned long long>(scenario.exchanges_completed()));
   require(scenario.exchanges_completed() >= 4, "4 exchanges completed");
 
+  // --- Real-socket transport metrics -------------------------------------
+  // A tiny TCP loopback exchange so the bcwan_p2p_tcp_* family shows up in
+  // the same scrape as the simulated federation.
+  {
+    p2p::TcpTransportConfig ca;
+    ca.self = 0;
+    p2p::TcpTransportConfig cb;
+    cb.self = 1;
+    p2p::TcpTransport ta(ca), tb(cb);
+    ta.set_peer_address(1, "127.0.0.1:" + std::to_string(tb.listen_port()));
+    tb.set_peer_address(0, "127.0.0.1:" + std::to_string(ta.listen_port()));
+    bool got = false;
+    tb.set_handler(1, [&](const p2p::Message&) { got = true; });
+    ta.send(0, 1, p2p::Message{"probe", util::str_bytes("ping"), 0});
+    for (int i = 0; i < 5000 && !got; ++i) {
+      ta.poll(1);
+      tb.poll(1);
+    }
+    require(got, "TCP loopback frame delivered");
+    require(ta.stats().frames_out >= 1 && tb.stats().frames_in >= 1,
+            "TCP transport stats counted the frame");
+  }
+
   // --- Prometheus exposition ---------------------------------------------
   const std::string prom = telemetry::render_prometheus();
   const auto error = telemetry::validate_prometheus(prom);
@@ -84,6 +108,11 @@ int main() {
   require(has("bcwan_p2p_messages_in_total"), "p2p message counters");
   require(has("bcwan_chain_connect_block_seconds_count"),
           "connect-block histogram");
+  require(has("bcwan_p2p_tcp_frames_out_total"), "TCP frames-out counter");
+  require(has("bcwan_p2p_tcp_frames_in_total"), "TCP frames-in counter");
+  require(has("bcwan_p2p_tcp_bytes_out_total"), "TCP bytes-out counter");
+  require(has("bcwan_p2p_tcp_connects_total"), "TCP connects counter");
+  require(has("bcwan_p2p_tcp_open_sockets"), "TCP open-sockets gauge");
 
   // --- Quantile sanity ----------------------------------------------------
   auto& latency = telemetry::registry().histogram(

@@ -29,7 +29,7 @@ std::string payload_fingerprint(const lora::UplinkDataFrame& frame) {
 }
 }  // namespace
 
-GatewayAgent::GatewayAgent(p2p::EventLoop& loop, p2p::SimNet& net,
+GatewayAgent::GatewayAgent(p2p::EventLoop& loop, p2p::Transport& net,
                            lora::LoraRadio& radio, p2p::ChainNode& node,
                            Directory& directory, chain::Wallet wallet,
                            TimingModel timing, GatewayConfig config,

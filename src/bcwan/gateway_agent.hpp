@@ -38,6 +38,7 @@
 #include "chain/wallet.hpp"
 #include "lora/radio.hpp"
 #include "p2p/chain_node.hpp"
+#include "p2p/event_loop.hpp"
 
 namespace bcwan::core {
 
@@ -93,7 +94,7 @@ struct GatewayConfig {
 
 class GatewayAgent {
  public:
-  GatewayAgent(p2p::EventLoop& loop, p2p::SimNet& net, lora::LoraRadio& radio,
+  GatewayAgent(p2p::EventLoop& loop, p2p::Transport& net, lora::LoraRadio& radio,
                p2p::ChainNode& node, Directory& directory,
                chain::Wallet wallet, TimingModel timing, GatewayConfig config,
                std::uint64_t seed);
@@ -218,7 +219,7 @@ class GatewayAgent {
   util::SimTime backoff_delay(util::SimTime base, int attempt);
 
   p2p::EventLoop& loop_;
-  p2p::SimNet& net_;
+  p2p::Transport& net_;
   lora::LoraRadio& radio_;
   p2p::ChainNode& node_;
   Directory& directory_;

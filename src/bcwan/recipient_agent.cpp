@@ -4,7 +4,7 @@
 
 namespace bcwan::core {
 
-RecipientAgent::RecipientAgent(p2p::EventLoop& loop, p2p::SimNet& net,
+RecipientAgent::RecipientAgent(p2p::EventLoop& loop, p2p::Transport& net,
                                p2p::ChainNode& node, chain::Wallet wallet,
                                TimingModel timing, RecipientConfig config,
                                std::uint64_t seed)

@@ -34,6 +34,7 @@
 #include "bcwan/timing.hpp"
 #include "chain/wallet.hpp"
 #include "p2p/chain_node.hpp"
+#include "p2p/event_loop.hpp"
 
 namespace bcwan::core {
 
@@ -58,7 +59,7 @@ struct RecipientConfig {
 
 class RecipientAgent {
  public:
-  RecipientAgent(p2p::EventLoop& loop, p2p::SimNet& net, p2p::ChainNode& node,
+  RecipientAgent(p2p::EventLoop& loop, p2p::Transport& net, p2p::ChainNode& node,
                  chain::Wallet wallet, TimingModel timing,
                  RecipientConfig config, std::uint64_t seed);
 
@@ -143,7 +144,7 @@ class RecipientAgent {
   void revisit_transactions(PendingExchange& pending);
 
   p2p::EventLoop& loop_;
-  p2p::SimNet& net_;
+  p2p::Transport& net_;
   p2p::ChainNode& node_;
   chain::Wallet wallet_;
   TimingModel timing_;

@@ -259,10 +259,11 @@ BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
   bool failed = false;
 
   auto rollback = [&]() {
-    // Restore spent coins and remove created ones, in reverse.
-    for (const OutPoint& op : undo.created) utxo.spend(op);
+    // Restore spent coins first, then remove created ones — same intra-block
+    // spend-chain ordering rule as disconnect_block.
     for (auto it = undo.spent.rbegin(); it != undo.spent.rend(); ++it)
       utxo.add(it->first, it->second);
+    for (const OutPoint& op : undo.created) utxo.spend(op);
     undo = BlockUndo{};
   };
 
@@ -372,10 +373,14 @@ BlockValidationResult connect_block(const Block& block, UtxoSet& utxo,
 
 void apply_block_from_undo(const Block& block, const BlockUndo& undo,
                            UtxoSet& utxo, int height) {
-  for (const auto& [op, coin] : undo.spent) utxo.spend(op);
   // `undo.created` names exactly the outpoints connect_block added (it
   // already excludes OP_RETURN outputs); rebuild each coin from the block's
   // own outputs. The coinbase is always block.txs[0].
+  //
+  // Creates must run BEFORE spends: an output created and consumed by an
+  // intra-block spend chain (offer + redeem confirming in the same block)
+  // appears in both lists, and spending-first would leave it resurrected —
+  // the replayed node mints coins its peers never saw.
   const Hash256 coinbase_txid = block.txs.empty() ? Hash256{}
                                                   : block.txs[0].txid();
   std::unordered_map<Hash256, const Transaction*, Hash256Hasher> by_txid;
@@ -388,12 +393,17 @@ void apply_block_from_undo(const Block& block, const BlockUndo& undo,
     utxo.add(op, Coin{it->second->vout[op.index], height,
                       op.txid == coinbase_txid});
   }
+  for (const auto& [op, coin] : undo.spent) utxo.spend(op);
 }
 
 void disconnect_block(const BlockUndo& undo, UtxoSet& utxo) {
-  for (const OutPoint& op : undo.created) utxo.spend(op);
+  // Mirror image of the apply order above: restore the spent coins first,
+  // then delete everything the block created. An intra-block-spent output
+  // is in both lists; deleting last guarantees it ends up absent, as it was
+  // before the block connected.
   for (auto it = undo.spent.rbegin(); it != undo.spent.rend(); ++it)
     utxo.add(it->first, it->second);
+  for (const OutPoint& op : undo.created) utxo.spend(op);
 }
 
 }  // namespace bcwan::chain

@@ -11,11 +11,10 @@ namespace bcwan::p2p {
 using chain::Block;
 using chain::Transaction;
 
-ChainNode::ChainNode(EventLoop& loop, SimNet& net, HostId host,
+ChainNode::ChainNode(Transport& net, HostId host,
                      const chain::ChainParams& params, ChainNodeConfig config,
                      std::uint64_t seed)
-    : loop_(loop),
-      net_(net),
+    : net_(net),
       host_(host),
       config_(std::move(config)),
       rng_(seed),
@@ -266,8 +265,8 @@ void ChainNode::request_sync(HostId peer) {
   if (peer < 0 || peer == host_) return;
   // One catch-up request per window: each gossiped descendant of a missing
   // block would otherwise trigger its own full resync.
-  if (loop_.now() - last_sync_request_ < 2 * util::kSecond) return;
-  last_sync_request_ = loop_.now();
+  if (net_.now() - last_sync_request_ < 2 * util::kSecond) return;
+  last_sync_request_ = net_.now();
   ++sync_requests_;
   if (telemetry::enabled()) {
     telemetry::registry()

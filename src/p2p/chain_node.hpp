@@ -17,10 +17,13 @@
 
 #include "chain/blockchain.hpp"
 #include "chain/mempool.hpp"
-#include "p2p/network.hpp"
+#include "p2p/transport.hpp"
 #include "store/store.hpp"
+#include "util/rng.hpp"
 
 namespace bcwan::p2p {
+
+class EventLoop;
 
 struct ChainNodeConfig {
   /// Fig. 6 mode: stall the daemon on every block arrival.
@@ -45,9 +48,19 @@ struct ChainNodeConfig {
 
 class ChainNode {
  public:
-  ChainNode(EventLoop& loop, SimNet& net, HostId host,
+  /// Transport-agnostic form: `net` is either the SimNet backend or a real
+  /// TcpTransport; the node's timers (sync back-off) read `net.now()`.
+  ChainNode(Transport& net, HostId host, const chain::ChainParams& params,
+            ChainNodeConfig config, std::uint64_t seed);
+  /// Legacy simulator signature — the loop argument is implied by the
+  /// SimNet and kept only so existing scenario/test call sites read
+  /// naturally.
+  ChainNode(EventLoop& loop, Transport& net, HostId host,
             const chain::ChainParams& params, ChainNodeConfig config,
-            std::uint64_t seed);
+            std::uint64_t seed)
+      : ChainNode(net, host, params, std::move(config), seed) {
+    (void)loop;
+  }
 
   HostId host() const noexcept { return host_; }
   chain::Blockchain& chain() noexcept { return chain_; }
@@ -153,8 +166,7 @@ class ChainNode {
   void serve_sync(HostId peer, const util::Bytes& locator);
   util::Bytes build_locator() const;
 
-  EventLoop& loop_;
-  SimNet& net_;
+  Transport& net_;
   HostId host_;
   ChainNodeConfig config_;
   util::Rng rng_;

@@ -1,0 +1,86 @@
+// Wire framing for the TCP transport.
+//
+// The sim backend hands Message objects across host boundaries in memory;
+// the TCP backend has to survive an actual byte stream: torn writes, frames
+// split across arbitrary read() boundaries, garbage from a confused or
+// malicious peer. Every frame is length-prefixed and checksummed:
+//
+//   offset size field
+//   0      4    magic        0xB3C7A901 (constant; catches desync/garbage)
+//   4      2    version      kFrameVersion (catches incompatible peers)
+//   6      2    type_len     length of the message-type string (<= 64)
+//   8      4    payload_len  length of the payload (<= kMaxFramePayload)
+//   12     4    from         sender HostId (two's complement, little-endian)
+//   16     4    crc32c       over body = type bytes ++ payload bytes
+//   20     ...  body
+//
+// All integers little-endian (matching util::Writer). Decoding never
+// throws and never reads past the buffer: a malformed header poisons the
+// decoder with a FrameError and the connection owner must drop the socket —
+// a byte stream that has lost framing cannot be resynchronized safely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "p2p/message.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace bcwan::p2p {
+
+constexpr std::uint32_t kFrameMagic = 0xB3C7A901u;
+constexpr std::uint16_t kFrameVersion = 1;
+constexpr std::size_t kFrameHeaderSize = 20;
+constexpr std::size_t kMaxFrameTypeLen = 64;
+constexpr std::size_t kMaxFramePayload = 4 * 1024 * 1024;
+
+/// Serialize one message (the existing Message wire serialization rides in
+/// the payload untouched; framing only wraps it).
+util::Bytes encode_frame(const Message& msg, HostId from);
+
+enum class FrameError {
+  kNone,
+  kBadMagic,
+  kBadVersion,
+  kOversized,   // type_len or payload_len beyond the caps
+  kBadChecksum,
+};
+const char* frame_error_name(FrameError error) noexcept;
+
+/// Incremental frame reassembly over an arbitrary-boundary byte stream.
+/// feed() bytes as they arrive, then drain next() until it returns
+/// std::nullopt. After any error the decoder is poisoned: next() keeps
+/// returning std::nullopt and error() names the reason — drop the
+/// connection and start a fresh decoder on reconnect.
+class FrameDecoder {
+ public:
+  /// Append raw received bytes.
+  void feed(util::ByteView data);
+
+  /// Extract the next complete frame, or std::nullopt when more bytes are
+  /// needed / the decoder is poisoned.
+  std::optional<Message> next();
+
+  FrameError error() const noexcept { return error_; }
+  bool poisoned() const noexcept { return error_ != FrameError::kNone; }
+  /// Bytes buffered but not yet consumed (backpressure accounting).
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  util::Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted on feed()
+  FrameError error_ = FrameError::kNone;
+};
+
+/// Reconnect schedule: jittered exponential backoff. Attempt 0 waits
+/// ~base, each further attempt doubles, capped at `cap`; the jitter factor
+/// is uniform in [0.7, 1.3) drawn from `rng`, so a restarted cluster's
+/// daemons don't reconnect in lockstep. Deterministic given (attempt, rng
+/// state) — the schedule itself is unit-tested with a seeded Rng.
+util::SimTime reconnect_backoff(unsigned attempt, util::Rng& rng,
+                                util::SimTime base = 100 * util::kMillisecond,
+                                util::SimTime cap = 5 * util::kSecond);
+
+}  // namespace bcwan::p2p

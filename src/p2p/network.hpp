@@ -16,6 +16,7 @@
 
 #include "p2p/event_loop.hpp"
 #include "p2p/message.hpp"
+#include "p2p/transport.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "util/slab.hpp"
@@ -31,7 +32,7 @@ struct LatencyModel {
   util::SimTime sample(util::Rng& rng) const;
 };
 
-class SimNet {
+class SimNet final : public Transport {
  public:
   SimNet(EventLoop& loop, std::uint64_t seed);
 
@@ -47,21 +48,25 @@ class SimNet {
   /// its event loop).
   void set_processing_time(HostId id, util::SimTime t);
 
-  void set_handler(HostId id, std::function<void(const Message&)> handler);
+  void set_handler(HostId id,
+                   std::function<void(const Message&)> handler) override;
 
   /// Queue a message; it arrives after sampled latency and is processed
   /// when the receiver's daemon is free. Self-sends skip the wire but still
   /// queue behind the daemon. The in-flight record lives in a slab slot —
   /// no per-hop heap allocation beyond the payload refcount.
-  void send(HostId from, HostId to, Message msg);
+  void send(HostId from, HostId to, Message msg) override;
 
   /// Broadcast to every other host. The payload buffer is allocated once
   /// (by the caller's Message) and shared across the whole fan-out.
-  void broadcast(HostId from, const Message& msg);
+  void broadcast(HostId from, const Message& msg) override;
 
   /// Make the host's daemon unresponsive for `duration` starting now (block
   /// verification stall). Stalls extend any existing busy period.
-  void stall(HostId id, util::SimTime duration);
+  void stall(HostId id, util::SimTime duration) override;
+
+  /// Virtual time (the underlying EventLoop's clock).
+  util::SimTime now() const override { return loop_.now(); }
 
   /// Virtual time at which the host's daemon frees up.
   util::SimTime busy_until(HostId id) const { return hosts_.at(id).busy_until; }

@@ -1,0 +1,580 @@
+#include "p2p/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "telemetry/metrics.hpp"
+
+namespace bcwan::p2p {
+
+namespace {
+
+// epoll_event.data.u64 tags: which object the event belongs to.
+constexpr std::uint64_t kTagListen = 1;
+constexpr std::uint64_t kTagWake = 2;
+constexpr std::uint64_t kTagOut = 3;  // low 32 bits: HostId
+constexpr std::uint64_t kTagIn = 4;   // low 32 bits: inbound_ slot
+
+std::uint64_t tag(std::uint64_t kind, std::uint64_t idx) noexcept {
+  return kind << 32 | idx;
+}
+
+struct ParsedAddr {
+  sockaddr_in sin{};
+  bool ok = false;
+};
+
+ParsedAddr parse_addr(const std::string& addr) {
+  ParsedAddr out;
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) return out;
+  const std::string host = addr.substr(0, colon);
+  const int port = std::atoi(addr.c_str() + colon + 1);
+  if (port < 0 || port > 65535) return out;
+  out.sin.sin_family = AF_INET;
+  out.sin.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &out.sin.sin_addr) != 1) return out;
+  out.ok = true;
+  return out;
+}
+
+void count(const char* family, const char* help, std::uint64_t n = 1) {
+  if (telemetry::enabled())
+    telemetry::registry().counter(family, help).add(n);
+}
+
+void count_rejected(FrameError error) {
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .counter("bcwan_p2p_tcp_frames_rejected_total", "reason",
+                 frame_error_name(error),
+                 "Frames rejected by the TCP framing layer, by reason")
+        .add();
+  }
+}
+
+std::int64_t monotonic_ns() noexcept {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : config_(std::move(config)),
+      jitter_rng_(util::Rng::substream(config_.seed,
+                                       static_cast<std::uint64_t>(config_.self))),
+      t0_ns_(monotonic_ns()) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) throw std::runtime_error("eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = tag(kTagWake, 0);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  peers_.resize(config_.peers.size());
+  for (std::size_t i = 0; i < config_.peers.size(); ++i)
+    peers_[i].addr = config_.peers[i];
+  if (config_.self >= 0 &&
+      static_cast<std::size_t>(config_.self) < peers_.size())
+    peers_[static_cast<std::size_t>(config_.self)].addr.clear();
+
+  if (!config_.listen.empty()) setup_listen();
+}
+
+TcpTransport::~TcpTransport() {
+  for (std::size_t i = 0; i < peers_.size(); ++i)
+    close_outbound(static_cast<HostId>(i), /*reschedule=*/false);
+  for (std::size_t i = 0; i < inbound_.size(); ++i) close_inbound(i);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void TcpTransport::setup_listen() {
+  const ParsedAddr parsed = parse_addr(config_.listen);
+  if (!parsed.ok)
+    throw std::runtime_error("tcp transport: bad listen address '" +
+                             config_.listen + "'");
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("tcp transport: socket failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&parsed.sin),
+           sizeof(parsed.sin)) != 0) {
+    throw std::runtime_error("tcp transport: bind(" + config_.listen +
+                             ") failed: " + std::strerror(errno));
+  }
+  if (listen(listen_fd_, 64) != 0)
+    throw std::runtime_error("tcp transport: listen failed");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  listen_port_ = ntohs(bound.sin_port);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = tag(kTagListen, 0);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+}
+
+void TcpTransport::set_handler(HostId id,
+                               std::function<void(const Message&)> handler) {
+  if (id != config_.self) return;  // one transport, one daemon
+  handler_ = std::move(handler);
+}
+
+void TcpTransport::set_peer_address(HostId peer, std::string addr) {
+  if (peer < 0 || peer == config_.self) return;
+  if (static_cast<std::size_t>(peer) >= peers_.size())
+    peers_.resize(static_cast<std::size_t>(peer) + 1);
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  p.addr = std::move(addr);
+  p.retry_at = 0;  // dial on the next poll
+  p.attempt = 0;
+}
+
+util::SimTime TcpTransport::now() const {
+  return (monotonic_ns() - t0_ns_) / 1000;
+}
+
+void TcpTransport::send(HostId from, HostId to, Message msg) {
+  if (from != config_.self) return;
+  msg.from = from;
+  if (msg.type.str().size() > kMaxFrameTypeLen ||
+      msg.payload.size() > kMaxFramePayload) {
+    ++stats_.queue_drops;
+    count("bcwan_p2p_tcp_queue_dropped_total",
+          "Frames dropped before the wire (queue cap or size limit)");
+    return;
+  }
+  if (to == config_.self) {
+    local_.push_back(std::move(msg));
+    return;
+  }
+  enqueue(to, encode_frame(msg, from));
+}
+
+void TcpTransport::broadcast(HostId from, const Message& msg) {
+  if (from != config_.self) return;
+  if (msg.type.str().size() > kMaxFrameTypeLen ||
+      msg.payload.size() > kMaxFramePayload) {
+    ++stats_.queue_drops;
+    count("bcwan_p2p_tcp_queue_dropped_total",
+          "Frames dropped before the wire (queue cap or size limit)");
+    return;
+  }
+  // One encode for the whole fan-out (the TCP analog of SharedPayload).
+  const util::Bytes frame = encode_frame(msg, from);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (static_cast<HostId>(i) == config_.self) continue;
+    if (peers_[i].addr.empty()) continue;
+    enqueue(static_cast<HostId>(i), frame);
+  }
+}
+
+void TcpTransport::enqueue(HostId peer, const util::Bytes& frame) {
+  if (peer < 0) return;
+  if (static_cast<std::size_t>(peer) >= peers_.size())
+    peers_.resize(static_cast<std::size_t>(peer) + 1);
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.pending.size() - p.sent + frame.size() > config_.max_queue_bytes) {
+    ++stats_.queue_drops;
+    count("bcwan_p2p_tcp_queue_dropped_total",
+          "Frames dropped before the wire (queue cap or size limit)");
+    return;
+  }
+  // Compact the consumed prefix before growing.
+  if (p.sent > 0) {
+    p.pending.erase(p.pending.begin(),
+                    p.pending.begin() + static_cast<std::ptrdiff_t>(p.sent));
+    p.sent = 0;
+  }
+  p.pending.insert(p.pending.end(), frame.begin(), frame.end());
+  ++stats_.frames_out;
+  count("bcwan_p2p_tcp_frames_out_total", "Frames queued for TCP peers");
+  if (p.connected) flush_pending(peer);
+}
+
+void TcpTransport::flush_pending(HostId peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  while (p.sent < p.pending.size()) {
+    const ssize_t n =
+        ::send(p.fd, p.pending.data() + p.sent, p.pending.size() - p.sent,
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      p.sent += static_cast<std::size_t>(n);
+      stats_.bytes_out += static_cast<std::uint64_t>(n);
+      count("bcwan_p2p_tcp_bytes_out_total", "Bytes written to TCP peers",
+            static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_outbound(peer, /*reschedule=*/true);  // torn write / dead peer
+    return;
+  }
+  if (p.sent == p.pending.size()) {
+    p.pending.clear();
+    p.sent = 0;
+  }
+  update_epoll_out(peer);
+}
+
+void TcpTransport::update_epoll_out(HostId peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (!p.connected || p.sent < p.pending.size()) ev.events |= EPOLLOUT;
+  ev.data.u64 = tag(kTagOut, static_cast<std::uint64_t>(peer));
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, p.fd, &ev);
+}
+
+void TcpTransport::dial(HostId peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.fd >= 0 || p.addr.empty()) return;
+  const ParsedAddr parsed = parse_addr(p.addr);
+  if (!parsed.ok) return;  // bad table entry; retried if re-set
+  if (p.attempt > 0) {
+    ++stats_.reconnect_attempts;
+    count("bcwan_p2p_tcp_reconnect_attempts_total",
+          "Outbound dial attempts after a connection failure");
+  }
+  p.fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (p.fd < 0) {
+    schedule_redial(peer);
+    return;
+  }
+  const int one = 1;
+  setsockopt(p.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int rc = connect(p.fd, reinterpret_cast<const sockaddr*>(&parsed.sin),
+                         sizeof(parsed.sin));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(p.fd);
+    p.fd = -1;
+    schedule_redial(peer);
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.u64 = tag(kTagOut, static_cast<std::uint64_t>(peer));
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, p.fd, &ev);
+  if (rc == 0) on_dial_result(peer, true);
+}
+
+void TcpTransport::on_dial_result(HostId peer, bool ok) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (!ok) {
+    close_outbound(peer, /*reschedule=*/true);
+    return;
+  }
+  p.connected = true;
+  p.attempt = 0;
+  p.decoder = FrameDecoder();
+  ++stats_.connects;
+  count("bcwan_p2p_tcp_connects_total", "Outbound TCP connections established");
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .gauge("bcwan_p2p_tcp_open_sockets", "Open TCP transport sockets")
+        .set(static_cast<double>(open_sockets()));
+  }
+  flush_pending(peer);
+}
+
+void TcpTransport::schedule_redial(HostId peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  p.retry_at = now() + reconnect_backoff(p.attempt, jitter_rng_,
+                                         config_.backoff_base,
+                                         config_.backoff_cap);
+  if (p.attempt < 31) ++p.attempt;
+}
+
+void TcpTransport::close_outbound(HostId peer, bool reschedule) {
+  if (static_cast<std::size_t>(peer) >= peers_.size()) return;
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, p.fd, nullptr);
+    ::close(p.fd);
+    p.fd = -1;
+  }
+  p.connected = false;
+  // Pending frames survive one reconnect cycle (bounded by the queue cap):
+  // the next successful dial flushes them, and getblocks sync covers
+  // anything dropped beyond the cap.
+  if (reschedule) schedule_redial(peer);
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .gauge("bcwan_p2p_tcp_open_sockets", "Open TCP transport sockets")
+        .set(static_cast<double>(open_sockets()));
+  }
+}
+
+void TcpTransport::close_inbound(std::size_t idx) {
+  if (idx >= inbound_.size() || !inbound_[idx]) return;
+  Inbound& in = *inbound_[idx];
+  if (in.fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, in.fd, nullptr);
+    ::close(in.fd);
+  }
+  inbound_[idx].reset();
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .gauge("bcwan_p2p_tcp_open_sockets", "Open TCP transport sockets")
+        .set(static_cast<double>(open_sockets()));
+  }
+}
+
+void TcpTransport::accept_all() {
+  for (;;) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN / transient error: nothing more to accept
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::size_t slot = inbound_.size();
+    for (std::size_t i = 0; i < inbound_.size(); ++i) {
+      if (!inbound_[i]) {
+        slot = i;
+        break;
+      }
+    }
+    auto in = std::make_unique<Inbound>();
+    in->fd = fd;
+    if (slot == inbound_.size())
+      inbound_.push_back(std::move(in));
+    else
+      inbound_[slot] = std::move(in);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = tag(kTagIn, slot);
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    ++stats_.accepts;
+    count("bcwan_p2p_tcp_accepts_total", "Inbound TCP connections accepted");
+    if (telemetry::enabled()) {
+      telemetry::registry()
+          .gauge("bcwan_p2p_tcp_open_sockets", "Open TCP transport sockets")
+          .set(static_cast<double>(open_sockets()));
+    }
+  }
+}
+
+bool TcpTransport::drain_decoder(FrameDecoder& decoder) {
+  while (auto msg = decoder.next()) {
+    ++stats_.frames_in;
+    ++delivered_this_poll_;
+    count("bcwan_p2p_tcp_frames_in_total",
+          "Frames decoded from TCP peers and delivered");
+    if (handler_) handler_(*msg);
+  }
+  if (decoder.poisoned()) {
+    ++stats_.frames_rejected;
+    count_rejected(decoder.error());
+    return false;
+  }
+  return true;
+}
+
+void TcpTransport::on_readable_inbound(std::size_t idx) {
+  if (idx >= inbound_.size() || !inbound_[idx]) return;
+  Inbound& in = *inbound_[idx];
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(in.fd, buf, sizeof(buf));
+    if (n > 0) {
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      count("bcwan_p2p_tcp_bytes_in_total", "Bytes read from TCP peers",
+            static_cast<std::uint64_t>(n));
+      in.decoder.feed(util::ByteView(buf, static_cast<std::size_t>(n)));
+      if (!drain_decoder(in.decoder)) {
+        close_inbound(idx);  // garbage stream: drop, never crash
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    close_inbound(idx);  // EOF or hard error
+    return;
+  }
+}
+
+void TcpTransport::on_readable_outbound(HostId peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.fd < 0) return;
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(p.fd, buf, sizeof(buf));
+    if (n > 0) {
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      count("bcwan_p2p_tcp_bytes_in_total", "Bytes read from TCP peers",
+            static_cast<std::uint64_t>(n));
+      p.decoder.feed(util::ByteView(buf, static_cast<std::size_t>(n)));
+      if (!drain_decoder(p.decoder)) {
+        close_outbound(peer, /*reschedule=*/true);
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    close_outbound(peer, /*reschedule=*/true);  // peer went away
+    return;
+  }
+}
+
+void TcpTransport::add_timer(util::SimTime delay, std::function<void()> fn) {
+  timers_.push_back(Timer{now() + std::max<util::SimTime>(0, delay),
+                          timer_seq_++, std::move(fn)});
+  std::push_heap(timers_.begin(), timers_.end(), std::greater<>{});
+}
+
+void TcpTransport::run_due_timers() {
+  const util::SimTime t = now();
+  while (!timers_.empty() && timers_.front().deadline <= t) {
+    std::pop_heap(timers_.begin(), timers_.end(), std::greater<>{});
+    Timer timer = std::move(timers_.back());
+    timers_.pop_back();
+    timer.fn();
+  }
+}
+
+void TcpTransport::run_due_redials() {
+  const util::SimTime t = now();
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    Peer& p = peers_[i];
+    if (p.fd >= 0 || p.addr.empty()) continue;
+    if (static_cast<HostId>(i) == config_.self) continue;
+    if (p.retry_at <= t) dial(static_cast<HostId>(i));
+  }
+}
+
+std::size_t TcpTransport::drain_local() {
+  std::size_t delivered = 0;
+  while (!local_.empty()) {
+    local_now_.swap(local_);
+    for (Message& msg : local_now_) {
+      ++delivered;
+      if (handler_) handler_(msg);
+    }
+    local_now_.clear();
+  }
+  return delivered;
+}
+
+int TcpTransport::epoll_timeout(int requested_ms) const {
+  util::SimTime next = std::numeric_limits<util::SimTime>::max();
+  if (!timers_.empty()) next = timers_.front().deadline;
+  for (const Peer& p : peers_) {
+    if (p.fd < 0 && !p.addr.empty()) next = std::min(next, p.retry_at);
+  }
+  if (!local_.empty()) return 0;
+  if (next == std::numeric_limits<util::SimTime>::max()) return requested_ms;
+  const util::SimTime wait_us = std::max<util::SimTime>(0, next - now());
+  const auto wait_ms = static_cast<int>(
+      std::min<util::SimTime>(wait_us / 1000 + 1, requested_ms));
+  return std::min(requested_ms, wait_ms);
+}
+
+std::size_t TcpTransport::poll(int timeout_ms) {
+  delivered_this_poll_ = 0;
+  run_due_redials();  // first poll dials the address table
+  epoll_event events[64];
+  const int n = epoll_wait(epoll_fd_, events, 64, epoll_timeout(timeout_ms));
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t kind = events[i].data.u64 >> 32;
+    const auto idx = static_cast<std::uint32_t>(events[i].data.u64);
+    if (kind == kTagWake) {
+      std::uint64_t tmp;
+      while (::read(wake_fd_, &tmp, sizeof(tmp)) > 0) {
+      }
+      continue;
+    }
+    if (kind == kTagListen) {
+      accept_all();
+      continue;
+    }
+    if (kind == kTagIn) {
+      if (events[i].events & (EPOLLERR | EPOLLHUP))
+        close_inbound(idx);
+      else
+        on_readable_inbound(idx);
+      continue;
+    }
+    if (kind == kTagOut) {
+      const auto peer = static_cast<HostId>(idx);
+      Peer& p = peers_[idx];
+      if (p.fd < 0) continue;  // closed earlier this poll
+      if (!p.connected) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if ((events[i].events & (EPOLLERR | EPOLLHUP)) || err != 0) {
+          on_dial_result(peer, false);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) on_dial_result(peer, true);
+        continue;
+      }
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        close_outbound(peer, /*reschedule=*/true);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) on_readable_outbound(peer);
+      if (p.fd >= 0 && (events[i].events & EPOLLOUT)) flush_pending(peer);
+    }
+  }
+  run_due_redials();
+  run_due_timers();
+  const std::size_t delivered = delivered_this_poll_ + drain_local();
+  return delivered;
+}
+
+void TcpTransport::run() {
+  running_.store(true, std::memory_order_relaxed);
+  while (running_.load(std::memory_order_relaxed)) poll(50);
+}
+
+void TcpTransport::stop() noexcept {
+  running_.store(false, std::memory_order_relaxed);
+  const std::uint64_t one = 1;
+  // write() is async-signal-safe; the result only matters for lint.
+  [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool TcpTransport::peer_connected(HostId peer) const noexcept {
+  if (peer < 0 || static_cast<std::size_t>(peer) >= peers_.size())
+    return false;
+  return peers_[static_cast<std::size_t>(peer)].connected;
+}
+
+std::size_t TcpTransport::connected_peers() const noexcept {
+  std::size_t n = 0;
+  for (const Peer& p : peers_) n += p.connected ? 1 : 0;
+  return n;
+}
+
+std::size_t TcpTransport::open_sockets() const noexcept {
+  std::size_t n = listen_fd_ >= 0 ? 1 : 0;
+  for (const Peer& p : peers_) n += p.fd >= 0 ? 1 : 0;
+  for (const auto& in : inbound_) n += (in && in->fd >= 0) ? 1 : 0;
+  return n;
+}
+
+}  // namespace bcwan::p2p

@@ -1,0 +1,203 @@
+// Real-socket Transport backend: epoll, non-blocking TCP, localhost or LAN.
+//
+// This is the deployable counterpart of SimNet — the backbone the paper's
+// PlanetLab daemons actually had (§5.2). One TcpTransport serves one
+// daemon (one HostId); the federation is a set of processes, each dialing
+// every peer in its address table.
+//
+// Connection model: per peer pair there are two simplex TCP connections.
+// Each daemon owns the connection it dialed and only ever *writes* frames
+// on it; frames are *read* from connections the peer dialed to us. That
+// removes simultaneous-connect dedup entirely — both sides dial, both
+// succeed, each direction has exactly one owner. (Reads are still serviced
+// on outbound sockets so EOF/garbage from the remote is noticed.)
+//
+// Failure discipline (the chaos pack's contract): a peer that vanishes
+// mid-frame, sends garbage, or overruns the frame caps costs us exactly
+// one connection teardown — drop + reconnect with jittered exponential
+// backoff, never a crash, never a blocked daemon. Frames queued for a dead
+// peer are bounded by `max_queue_bytes` and dropped beyond it; the
+// protocol layer (getblocks catch-up) heals whatever the wire loses.
+//
+// Threading: everything runs on the thread that calls run()/poll().
+// Handler callbacks, timers and reconnects all fire there, so a ChainNode
+// driven by one TcpTransport needs no locks — same single-daemon-thread
+// discipline the simulator enforces with virtual time. stop() is safe to
+// call from a signal handler (one eventfd write).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "p2p/framing.hpp"
+#include "p2p/transport.hpp"
+#include "util/rng.hpp"
+
+namespace bcwan::p2p {
+
+struct TcpTransportConfig {
+  /// This daemon's HostId — its index in the federation address table.
+  HostId self = 0;
+  /// "ip:port" to bind + listen on; port 0 picks an ephemeral port
+  /// (read it back via listen_port()). Empty disables listening.
+  std::string listen = "127.0.0.1:0";
+  /// Federation address table, indexed by HostId. The self entry and empty
+  /// entries are ignored; addresses may also arrive later via
+  /// set_peer_address().
+  std::vector<std::string> peers;
+  /// Reconnect backoff schedule (see reconnect_backoff()).
+  util::SimTime backoff_base = 100 * util::kMillisecond;
+  util::SimTime backoff_cap = 5 * util::kSecond;
+  /// Per-peer pending-write cap; whole frames beyond it are dropped.
+  std::size_t max_queue_bytes = 16 * 1024 * 1024;
+  /// Seed for the reconnect jitter stream.
+  std::uint64_t seed = 1;
+};
+
+/// Always-on transport statistics (telemetry mirrors them when enabled).
+struct TcpStats {
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t connects = 0;            // outbound connections established
+  std::uint64_t accepts = 0;             // inbound connections accepted
+  std::uint64_t reconnect_attempts = 0;  // dial attempts after a failure
+  std::uint64_t frames_rejected = 0;     // framing violations (-> disconnect)
+  std::uint64_t queue_drops = 0;         // frames dropped at the queue cap
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds and listens immediately; throws std::runtime_error if the
+  /// listen address is unusable. Peer dialing starts on the first poll().
+  explicit TcpTransport(TcpTransportConfig config);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // -- Transport interface. --
+  void set_handler(HostId id,
+                   std::function<void(const Message&)> handler) override;
+  /// `from` must be self. Self-sends loop back through the local queue
+  /// (delivered on the next poll, like any other arrival).
+  void send(HostId from, HostId to, Message msg) override;
+  void broadcast(HostId from, const Message& msg) override;
+  /// Real daemons burn real CPU; nothing to model.
+  void stall(HostId, util::SimTime) override {}
+  /// Monotonic wall clock, microseconds since transport construction.
+  util::SimTime now() const override;
+
+  // -- Real-socket surface. --
+
+  /// The port the listen socket actually bound (resolves port 0).
+  std::uint16_t listen_port() const noexcept { return listen_port_; }
+  HostId self() const noexcept { return config_.self; }
+
+  /// Install/replace a peer's dial address (grows the table as needed).
+  /// Takes effect on the next reconnect cycle.
+  void set_peer_address(HostId peer, std::string addr);
+
+  /// One-shot real-clock timer; fires on the polling thread.
+  void add_timer(util::SimTime delay, std::function<void()> fn);
+
+  /// Service the loop once: wait up to `timeout_ms` for socket events,
+  /// then run due timers, reconnects and the local delivery queue.
+  /// Returns the number of frames delivered to the handler.
+  std::size_t poll(int timeout_ms);
+
+  /// poll() until stop() is called.
+  void run();
+  /// Safe from signal handlers: one eventfd write.
+  void stop() noexcept;
+
+  /// True when the outbound connection to `peer` is established.
+  bool peer_connected(HostId peer) const noexcept;
+  /// Established outbound connections.
+  std::size_t connected_peers() const noexcept;
+  /// Open socket fds of any kind (listen + in + out) — exported as the
+  /// bcwan_p2p_tcp_open_sockets gauge.
+  std::size_t open_sockets() const noexcept;
+
+  const TcpStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Peer {
+    std::string addr;           // "ip:port"; empty = unknown yet
+    int fd = -1;                // outbound socket (connecting or connected)
+    bool connected = false;     // three-way handshake finished
+    unsigned attempt = 0;       // consecutive failed dials
+    util::SimTime retry_at = 0; // next dial deadline (0 = dial asap)
+    util::Bytes pending;        // encoded frames waiting for the socket
+    std::size_t sent = 0;       // consumed prefix of `pending`
+    FrameDecoder decoder;       // remote shouldn't write here, but if it
+                                // does the bytes are validated like any
+  };                            // inbound stream
+
+  struct Inbound {
+    int fd = -1;
+    FrameDecoder decoder;
+  };
+
+  struct Timer {
+    util::SimTime deadline;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const noexcept {
+      return deadline != o.deadline ? deadline > o.deadline : seq > o.seq;
+    }
+  };
+
+  void setup_listen();
+  void dial(HostId peer);
+  void on_dial_result(HostId peer, bool ok);
+  void schedule_redial(HostId peer);
+  void close_outbound(HostId peer, bool reschedule);
+  void close_inbound(std::size_t idx);
+  void enqueue(HostId peer, const util::Bytes& frame);
+  void flush_pending(HostId peer);
+  void on_readable_inbound(std::size_t idx);
+  void on_readable_outbound(HostId peer);
+  /// Drain a decoder after feeding it; returns false if the stream is
+  /// poisoned and the connection must die.
+  bool drain_decoder(FrameDecoder& decoder);
+  void accept_all();
+  void run_due_timers();
+  void run_due_redials();
+  std::size_t drain_local();
+  void update_epoll_out(HostId peer);
+  int epoll_timeout(int requested_ms) const;
+
+  TcpTransportConfig config_;
+  std::function<void(const Message&)> handler_;
+  util::Rng jitter_rng_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() / cross-thread wakeup
+  std::uint16_t listen_port_ = 0;
+
+  // A deque so Peer references stay valid when a handler callback grows the
+  // table mid-event (send() to a brand-new HostId resizes it).
+  std::deque<Peer> peers_;
+  std::vector<std::unique_ptr<Inbound>> inbound_;
+
+  std::vector<Timer> timers_;  // min-heap via std::greater
+  std::uint64_t timer_seq_ = 0;
+
+  std::vector<Message> local_;      // self-sends, delivered next poll
+  std::vector<Message> local_now_;  // scratch for the draining pass
+
+  std::int64_t t0_ns_ = 0;  // construction time, CLOCK_MONOTONIC
+  std::atomic<bool> running_{false};
+  TcpStats stats_;
+  std::size_t delivered_this_poll_ = 0;
+};
+
+}  // namespace bcwan::p2p

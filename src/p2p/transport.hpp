@@ -1,0 +1,54 @@
+// Transport — the federation backbone abstraction.
+//
+// Everything above this interface (ChainNode gossip, the BcWAN daemon
+// protocol, catch-up sync) is written against five verbs: deliver my
+// handler, send, broadcast, charge CPU, and tell the time. Two backends
+// implement them:
+//
+//   * SimNet (p2p/network.hpp) — the deterministic discrete-event
+//     simulator. `now()` is virtual time from the EventLoop; `stall()`
+//     models the daemon's serial message processing (Fig. 6).
+//   * TcpTransport (p2p/tcp_transport.hpp) — epoll-based non-blocking TCP
+//     between real processes. `now()` is the monotonic clock; `stall()` is
+//     a no-op because real validation burns real CPU on the real thread.
+//
+// The timer source rides on `now()`: sim code sees virtual microseconds,
+// daemons see wall-clock microseconds, and rate-limit logic (e.g. the
+// getblocks back-off in ChainNode) works unchanged against either.
+#pragma once
+
+#include <functional>
+
+#include "p2p/message.hpp"
+#include "util/time.hpp"
+
+namespace bcwan::p2p {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Install the message sink for host `id`. SimNet hosts many simulated
+  /// daemons; a TcpTransport serves exactly one (its own HostId).
+  virtual void set_handler(HostId id,
+                           std::function<void(const Message&)> handler) = 0;
+
+  /// Queue a message from `from` to `to`. Delivery is asynchronous and
+  /// unreliable-by-contract: partitions (sim) or dead sockets (TCP) drop
+  /// traffic silently, and the protocol layer heals via catch-up sync.
+  virtual void send(HostId from, HostId to, Message msg) = 0;
+
+  /// Send to every known peer except `from`. Payload buffers are shared
+  /// across the fan-out (SharedPayload refcount / one encoded TCP frame).
+  virtual void broadcast(HostId from, const Message& msg) = 0;
+
+  /// Charge `duration` of per-daemon serial processing time to host `id`.
+  /// Only meaningful under simulation; a real daemon's CPU time is real.
+  virtual void stall(HostId id, util::SimTime duration) = 0;
+
+  /// Timer source in microseconds: virtual time under SimNet, monotonic
+  /// wall-clock time under TcpTransport.
+  virtual util::SimTime now() const = 0;
+};
+
+}  // namespace bcwan::p2p

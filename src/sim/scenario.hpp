@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bcwan/directory.hpp"
+#include "p2p/network.hpp"
 #include "bcwan/gateway_agent.hpp"
 #include "bcwan/recipient_agent.hpp"
 #include "bcwan/sensor_node.hpp"

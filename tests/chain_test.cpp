@@ -1083,6 +1083,69 @@ TEST(Validation, ColdConnectAgreesAcrossEcdsaBackends) {
   ASSERT_TRUE(crypto::ecdsa_select_backend("auto"));
 }
 
+TEST(Validation, UndoHandlesIntraBlockSpendChains) {
+  // An output created AND spent by a later tx in the same block appears in
+  // both undo.created and undo.spent. The trusted-replay and disconnect
+  // paths must not resurrect it — a replayed node would otherwise carry
+  // extra coins its peers never saw (caught live by the cluster harness:
+  // fair-exchange offers redeemed in their own block leaked on restart).
+  Harness h;
+  h.fund();
+  const Wallet alice = Wallet::from_seed("alice");
+  const Wallet bob = Wallet::from_seed("bob");
+  const auto pay = h.miner_wallet.create_payment(h.chain, &h.pool,
+                                                 alice.pkh(), 10 * kCoin,
+                                                 1000);
+  ASSERT_TRUE(pay.has_value());
+  ASSERT_TRUE(h.pool.accept(*pay, h.chain.utxo(), h.chain.height() + 1).ok());
+  // Alice spends her unconfirmed credit in the same block.
+  const auto chained = alice.create_payment(h.chain, &h.pool, bob.pkh(),
+                                            4 * kCoin, 1000);
+  ASSERT_TRUE(chained.has_value());
+  ASSERT_TRUE(
+      h.pool.accept(*chained, h.chain.utxo(), h.chain.height() + 1).ok());
+
+  Block block = h.miner.assemble(h.chain, h.pool, ++h.now);
+  solve_pow(block.header);
+  ASSERT_GE(block.txs.size(), 3u);  // coinbase + pay + chained
+
+  const UtxoSet before = h.chain.utxo();
+  const int height = h.chain.height() + 1;
+  UtxoSet validated = before;
+  BlockUndo undo;
+  ASSERT_TRUE(connect_block(block, validated, height, h.params, undo).ok());
+  // Alice's 10-coin output must be gone: it was consumed intra-block.
+  const OutPoint alice_out{pay->txid(), 0};
+  const bool alice_has_0 =
+      validated.get(OutPoint{pay->txid(), 0}).has_value() &&
+      validated.get(OutPoint{pay->txid(), 0})->out.value == 10 * kCoin;
+  (void)alice_out;
+  EXPECT_FALSE(alice_has_0);
+
+  // Trusted replay from the undo record must land on the identical state.
+  UtxoSet replayed = before;
+  apply_block_from_undo(block, undo, replayed, height);
+  EXPECT_EQ(replayed.size(), validated.size());
+  EXPECT_EQ(replayed.total_value(), validated.total_value());
+  for (const auto& [op, coin] : [&] {
+         std::vector<std::pair<OutPoint, Coin>> all;
+         replayed.for_each([&](const OutPoint& op, const Coin& c) {
+           all.emplace_back(op, c);
+         });
+         return all;
+       }()) {
+    const auto v = validated.get(op);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, coin);
+  }
+
+  // And disconnecting restores the pre-block state exactly.
+  UtxoSet rolled = validated;
+  disconnect_block(undo, rolled);
+  EXPECT_EQ(rolled.size(), before.size());
+  EXPECT_EQ(rolled.total_value(), before.total_value());
+}
+
 TEST(Validation, ScriptExecCacheSkipsReExecution) {
   Harness h;
   const Block block = assemble_payment_block(h, 3);

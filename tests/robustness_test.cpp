@@ -12,6 +12,7 @@
 #include "bcwan/envelope.hpp"
 #include "bcwan/recipient_agent.hpp"
 #include "chain/block.hpp"
+#include "p2p/network.hpp"
 #include "chain/miner.hpp"
 #include "chain/transaction.hpp"
 #include "chain/validation.hpp"
