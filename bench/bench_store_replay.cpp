@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -187,12 +188,92 @@ int main() {
               replay_ms.mean(), kBlocks, replay_blocks_per_s,
               replay_mib_per_s);
 
+  // --- 4. Parallel replay: decode fan-out across hardware threads ---
+  util::SampleStats parallel_ms;
+  for (int rep = 0; rep < kReps; ++rep) {
+    store::StoreOptions options;
+    options.dir = replay_dir.str();
+    options.replay_threads = -1;  // one decoder per hardware thread
+    const auto t0 = Clock::now();
+    auto st = store::ChainStore::open(factory.params, options);
+    parallel_ms.add(ms_since(t0));
+    if (st == nullptr || st->recovery().replayed_blocks !=
+                             static_cast<std::size_t>(kBlocks)) {
+      std::fprintf(stderr, "parallel replay recovery failed\n");
+      return 1;
+    }
+  }
+  const double parallel_replay_blocks_per_s =
+      kBlocks / (parallel_ms.mean() / 1e3);
+  std::printf("parallel replay  : %8.2f ms for %d blocks (%.0f blocks/s, "
+              "%u decode threads)\n",
+              parallel_ms.mean(), kBlocks, parallel_replay_blocks_per_s,
+              std::thread::hardware_concurrency());
+
+  // --- 5. Incremental elements: delta cost vs state size, compaction ---
+  // Writes a base, appends a fixed window, writes a delta — once on a small
+  // chain and once on a large one. A delta priced by *change* has the same
+  // cost at both scales while the full base grows with the UTXO set.
+  struct ElementProbe {
+    std::uint64_t delta_bytes = 0;
+    std::uint64_t base_bytes = 0;
+    double compaction_ms = 0.0;
+  };
+  const int kWindow = smoke ? 8 : 16;
+  const auto element_probe = [&](int premine) {
+    ElementProbe p;
+    TempDir dir;
+    store::StoreOptions options;
+    options.dir = dir.str();
+    options.snapshot_interval = 0;  // elements written by hand below
+    options.fsync_each_append = false;
+    auto st = store::ChainStore::open(factory.params, options);
+    chain::Blockchain chain = st->take_chain();
+    chain.set_block_sink(
+        [&st](const chain::Block& b, const chain::BlockUndo* u) {
+          st->append_block(b, u);
+        });
+    for (int i = 0; i < premine; ++i)
+      chain.accept_block(blocks[static_cast<std::size_t>(i)]);
+    st->write_snapshot(chain);  // base element; arms the journal anchor
+    for (const auto& info : store::list_snapshots(dir.str()))
+      p.base_bytes = std::max(p.base_bytes, info.bytes);
+    for (int i = premine; i < premine + kWindow; ++i)
+      chain.accept_block(blocks[static_cast<std::size_t>(i)]);
+    if (!st->write_delta(chain)) {
+      std::fprintf(stderr, "delta element write failed\n");
+      std::exit(1);
+    }
+    p.delta_bytes = st->last_delta_bytes();
+    st->write_snapshot(chain);  // fold the chain: compaction cost
+    p.compaction_ms = st->last_compaction_ms();
+    return p;
+  };
+  const ElementProbe small_probe = element_probe(kBlocks / 8);
+  const ElementProbe large_probe = element_probe(kBlocks - kWindow);
+  // Delta cost must track the window, not the state: flat across an ~8x
+  // state-size jump while the full base at least doubles and dwarfs it.
+  const bool snapshot_cost_independent =
+      large_probe.delta_bytes < 2 * small_probe.delta_bytes &&
+      2 * small_probe.base_bytes < large_probe.base_bytes &&
+      4 * large_probe.delta_bytes < large_probe.base_bytes;
+  std::printf("delta element    : %8.2f KiB small-state, %.2f KiB large-state "
+              "(bases %.2f / %.2f KiB) -> cost independent: %s\n",
+              static_cast<double>(small_probe.delta_bytes) / 1024.0,
+              static_cast<double>(large_probe.delta_bytes) / 1024.0,
+              static_cast<double>(small_probe.base_bytes) / 1024.0,
+              static_cast<double>(large_probe.base_bytes) / 1024.0,
+              snapshot_cost_independent ? "yes" : "NO");
+  std::printf("compaction       : %8.2f ms folding the delta chain at height "
+              "%d\n",
+              large_probe.compaction_ms, kBlocks);
+
   // Snapshot the recovered state, then time recovery again: load + empty log.
   {
     store::StoreOptions options;
     options.dir = replay_dir.str();
     auto st = store::ChainStore::open(factory.params, options);
-    const chain::Blockchain recovered = st->take_chain();
+    chain::Blockchain recovered = st->take_chain();
     st->write_snapshot(recovered);
   }
   util::SampleStats resume_ms;
@@ -226,6 +307,15 @@ int main() {
     w.num("replay_ms", replay_ms.mean(), "%.3f");
     w.num("replay_blocks_per_s", replay_blocks_per_s, "%.1f");
     w.num("replay_mib_per_s", replay_mib_per_s, "%.2f");
+    w.num("parallel_replay_ms", parallel_ms.mean(), "%.3f");
+    w.num("parallel_replay_blocks_per_s", parallel_replay_blocks_per_s,
+          "%.1f");
+    w.uint("incremental_snapshot_bytes", large_probe.delta_bytes);
+    w.uint("incremental_snapshot_bytes_small_state", small_probe.delta_bytes);
+    w.uint("base_snapshot_bytes_small_state", small_probe.base_bytes);
+    w.uint("base_snapshot_bytes_large_state", large_probe.base_bytes);
+    w.num("compaction_ms", large_probe.compaction_ms, "%.3f");
+    w.boolean("snapshot_cost_independent", snapshot_cost_independent);
     w.num("snapshot_resume_ms", resume_ms.mean(), "%.3f");
     w.num("resume_speedup_vs_replay", replay_ms.mean() / resume_ms.mean(),
           "%.2f");

@@ -35,6 +35,14 @@ SCHEMAS = {
         "replay_ms": NUM,
         "replay_blocks_per_s": NUM,
         "replay_mib_per_s": NUM,
+        "parallel_replay_ms": NUM,
+        "parallel_replay_blocks_per_s": NUM,
+        "incremental_snapshot_bytes": NUM,
+        "incremental_snapshot_bytes_small_state": NUM,
+        "base_snapshot_bytes_small_state": NUM,
+        "base_snapshot_bytes_large_state": NUM,
+        "compaction_ms": NUM,
+        "snapshot_cost_independent": bool,
         "snapshot_resume_ms": NUM,
         "resume_speedup_vs_replay": NUM,
         "peak_rss_bytes": NUM,
@@ -115,7 +123,12 @@ SCHEMAS = {
 # better. Only ratio-style or machine-stable metrics are gated; raw
 # millisecond numbers shift with runner hardware and stay schema-only.
 HEADLINES = {
-    "STORE-REPLAY": [("replay_blocks_per_s", "higher")],
+    # incremental_snapshot_bytes gates "a delta grew back into a full base"
+    # (lower is better); compaction_ms keeps the fold itself bounded.
+    "STORE-REPLAY": [("replay_blocks_per_s", "higher"),
+                     ("parallel_replay_blocks_per_s", "higher"),
+                     ("incremental_snapshot_bytes", "lower"),
+                     ("compaction_ms", "lower")],
     "VAL-TPUT": [("best_config_speedup", "higher"),  # derived, see below
                  ("cold_speedup_vs_serial", "higher"),
                  ("rsa_crt_speedup", "higher")],
@@ -135,10 +148,12 @@ HEADLINES = {
 # Hard correctness bits: if present and false, fail regardless of timings.
 # backend_trace_equal / chain_tips_equal are the cross-backend determinism
 # gates (serial vs sharded event loop must be bit-identical).
+# snapshot_cost_independent asserts the tentpole property of incremental
+# snapshots: a delta's size tracks the change window, not the UTXO set.
 CORRECTNESS_FLAGS = ["equivalence_ok", "verdicts_match",
                      "economic_invariants_hold", "verify_clean",
                      "backend_trace_equal", "chain_tips_equal",
-                     "converged"]
+                     "converged", "snapshot_cost_independent"]
 
 
 def fail(code, msg):

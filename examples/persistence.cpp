@@ -20,6 +20,23 @@
 //   expected <height>     same workload against an in-memory chain
 //   status <dir>          open-or-recover only; print recovery stats + tip
 //   tear <dir> <bytes>    shear bytes off the block log tail (torn write)
+//   matrix <dir> <height> <trials> <seed>
+//                         deterministic crash sweep: per trial, fork a
+//                         throttled run under a randomly varied store
+//                         config (incremental on/off, compaction cadence,
+//                         undo pruning), SIGKILL it at a seeded random
+//                         offset, occasionally tear the log tail, restart
+//                         until a run exits clean, and require the
+//                         recovered tip + state hash to equal the
+//                         uninterrupted run's. Any divergence exits 1.
+//
+// Store knobs (read by run/status): BCWAN_PERSIST_INCREMENTAL=0|1,
+// BCWAN_PERSIST_COMPACT_EVERY=<n>, BCWAN_PERSIST_UNDO_DEPTH=<n>,
+// BCWAN_PERSIST_SNAPSHOT_INTERVAL=<n>.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <ctime>
 
 #include <cstdio>
@@ -30,6 +47,7 @@
 #include "chain/miner.hpp"
 #include "chain/wallet.hpp"
 #include "store/store.hpp"
+#include "util/rng.hpp"
 
 using namespace bcwan;
 
@@ -92,11 +110,28 @@ void print_tip(const chain::Blockchain& chain) {
   std::printf("STATE %s\n", util::to_hex(chain.state_hash()).c_str());
 }
 
-std::unique_ptr<store::ChainStore> open_or_die(const std::string& dir) {
+long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atol(value) : fallback;
+}
+
+store::StoreOptions options_from_env(const std::string& dir) {
   store::StoreOptions options;
   options.dir = dir;
-  options.snapshot_interval = 32;
   options.fsync_each_append = true;
+  options.snapshot_interval = static_cast<std::uint64_t>(
+      env_long("BCWAN_PERSIST_SNAPSHOT_INTERVAL", 32));
+  options.incremental_snapshots =
+      env_long("BCWAN_PERSIST_INCREMENTAL", 1) != 0;
+  options.compact_every =
+      static_cast<std::uint64_t>(env_long("BCWAN_PERSIST_COMPACT_EVERY", 8));
+  options.undo_prune_depth =
+      static_cast<int>(env_long("BCWAN_PERSIST_UNDO_DEPTH", -1));
+  return options;
+}
+
+std::unique_ptr<store::ChainStore> open_or_die(
+    const store::StoreOptions& options) {
   std::string error;
   auto store = store::ChainStore::open(demo_params(), options, &error);
   if (!store) {
@@ -114,11 +149,145 @@ std::unique_ptr<store::ChainStore> open_or_die(const std::string& dir) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: persistence run <dir> <height>\n"
+               "usage: persistence run <dir> <height> [throttle_ms]\n"
                "       persistence expected <height>\n"
                "       persistence status <dir>\n"
-               "       persistence tear <dir> <bytes>\n");
+               "       persistence tear <dir> <bytes>\n"
+               "       persistence matrix <dir> <height> <trials> <seed>\n");
   return 64;
+}
+
+/// One matrix attempt in a forked child: open-or-recover, mine to target,
+/// exit 0. The child is what gets SIGKILLed, so the parent's state (expected
+/// hashes, RNG stream) never dies with it.
+[[noreturn]] void matrix_child(const store::StoreOptions& options,
+                               int target) {
+  // The per-height progress lines are noise times fifty attempts; keep the
+  // child quiet and let stderr through for real failures.
+  if (std::freopen("/dev/null", "w", stdout) == nullptr) _exit(3);
+  std::string error;
+  auto store = store::ChainStore::open(demo_params(), options, &error);
+  if (!store) {
+    std::fprintf(stderr, "matrix child: store refused to open: %s\n",
+                 error.c_str());
+    _exit(2);
+  }
+  chain::Blockchain chain = store->take_chain();
+  chain.set_block_sink(
+      [&store](const chain::Block& b, const chain::BlockUndo* u) {
+        store->append_block(b, u);
+      });
+  mine_to(chain, store.get(), target, /*throttle_ms=*/1);
+  _exit(0);
+}
+
+int run_matrix(const std::string& dir, int height, int trials,
+               std::uint64_t seed) {
+  // The ground truth every trial must converge to, whatever got killed.
+  chain::Blockchain expected(demo_params());
+  mine_to(expected, nullptr, height);
+  const std::string expected_tip = util::to_hex(expected.tip_hash());
+  const std::string expected_state = util::to_hex(expected.state_hash());
+  std::printf("matrix: expected tip %s\n", expected_tip.c_str());
+  // Forked children inherit the stdio buffer; flush so their freopen does
+  // not replay this line once per attempt.
+  std::fflush(stdout);
+
+  util::Rng rng(seed);
+  int total_kills = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::string trial_dir = dir + "/trial-" + std::to_string(trial);
+    store::StoreOptions options;
+    options.dir = trial_dir;
+    options.fsync_each_append = true;
+    // Vary the persistence shape: cadence, compaction, pruning, and the
+    // legacy full-base mode all take kills at random offsets.
+    options.snapshot_interval = 1ULL << rng.range(2, 4);       // 4..16
+    options.incremental_snapshots = !rng.chance(0.25);
+    options.compact_every = rng.range(1, 4);
+    options.undo_prune_depth = rng.chance(0.5) ? -1 : static_cast<int>(
+                                   rng.range(8, 24));
+    // Mining runs ~1 ms/block throttled; a kill offset across ~1.3x the
+    // clean runtime also exercises "killed after finishing".
+    const std::uint64_t window_us = static_cast<std::uint64_t>(height) * 1300;
+
+    int attempts = 0;
+    bool clean = false;
+    while (!clean) {
+      if (++attempts > 200) {
+        std::fprintf(stderr, "matrix trial %d: no clean run in %d attempts\n",
+                     trial, attempts);
+        return 1;
+      }
+      const std::uint64_t kill_after_us = rng.below(window_us);
+      const bool tear_after = rng.chance(0.2);
+      const std::uint64_t tear_bytes = rng.range(1, 40);
+
+      const pid_t pid = fork();
+      if (pid < 0) {
+        std::perror("fork");
+        return 1;
+      }
+      if (pid == 0) matrix_child(options, height);
+
+      const timespec delay{
+          static_cast<time_t>(kill_after_us / 1'000'000),
+          static_cast<long>(kill_after_us % 1'000'000) * 1000};
+      nanosleep(&delay, nullptr);
+      kill(pid, SIGKILL);
+      int status = 0;
+      if (waitpid(pid, &status, 0) != pid) {
+        std::perror("waitpid");
+        return 1;
+      }
+      if (WIFEXITED(status)) {
+        if (WEXITSTATUS(status) != 0) {
+          // Recovery refused the store or the workload broke: the sweep
+          // found a real bug, not a crash to retry.
+          std::fprintf(stderr, "matrix trial %d: child exited %d\n", trial,
+                       WEXITSTATUS(status));
+          return 1;
+        }
+        clean = true;
+      } else {
+        ++total_kills;
+        if (tear_after) {
+          store::tear_log_tail(store::log_file_path(trial_dir), tear_bytes);
+        }
+      }
+    }
+
+    // The survivor must match the uninterrupted run exactly.
+    std::string error;
+    auto store = store::ChainStore::open(demo_params(), options, &error);
+    if (!store) {
+      std::fprintf(stderr, "matrix trial %d: final open refused: %s\n", trial,
+                   error.c_str());
+      return 1;
+    }
+    const chain::Blockchain recovered = store->take_chain();
+    const std::string tip = util::to_hex(recovered.tip_hash());
+    const std::string state = util::to_hex(recovered.state_hash());
+    if (recovered.height() != height || tip != expected_tip ||
+        state != expected_state) {
+      std::fprintf(stderr,
+                   "matrix trial %d DIVERGED: height %d tip %s state %s\n",
+                   trial, recovered.height(), tip.c_str(), state.c_str());
+      return 1;
+    }
+    std::printf(
+        "matrix trial %d ok: %d attempts (interval=%llu incremental=%d "
+        "compact_every=%llu undo_depth=%d)\n",
+        trial, attempts,
+        static_cast<unsigned long long>(options.snapshot_interval),
+        options.incremental_snapshots ? 1 : 0,
+        static_cast<unsigned long long>(options.compact_every),
+        options.undo_prune_depth);
+    std::fflush(stdout);
+  }
+  std::printf("matrix: %d trials converged (%d kills absorbed)\n", trials,
+              total_kills);
+  return 0;
 }
 
 }  // namespace
@@ -135,7 +304,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "run" && (argc == 4 || argc == 5)) {
-    auto store = open_or_die(argv[2]);
+    auto store = open_or_die(options_from_env(argv[2]));
     chain::Blockchain chain = store->take_chain();
     chain.set_block_sink([&store](const chain::Block& b,
                                   const chain::BlockUndo* u) {
@@ -148,9 +317,14 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "status" && argc == 3) {
-    auto store = open_or_die(argv[2]);
+    auto store = open_or_die(options_from_env(argv[2]));
     print_tip(store->take_chain());
     return 0;
+  }
+
+  if (cmd == "matrix" && argc == 6) {
+    return run_matrix(argv[2], std::atoi(argv[3]), std::atoi(argv[4]),
+                      static_cast<std::uint64_t>(std::atoll(argv[5])));
   }
 
   if (cmd == "tear" && argc == 4) {

@@ -8,14 +8,25 @@
 // a node "retrieves the recent blocks ... and scans their content for
 // foreign gateways IPs", then keeps its cache live from gossip.
 //
+// The cache is a height-indexed materialization of the chain's
+// announcements: confirmed entries carry the height that published them,
+// and every indexed height keeps an undo frame (the entries it overwrote),
+// so a reorg unwinds in O(depth) instead of rescanning the whole window.
+// With a persist_path the index survives restarts — the file names the tip
+// it reflects, and recovery catches up from there (or rescans if that tip
+// left the active chain).
+//
 // Anti-spoofing: an announcement is only ingested when the announcing
 // transaction is signed by the claimed owner — the first input's pubkey
 // must hash to the advertised blockchain address.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "p2p/chain_node.hpp"
 #include "script/templates.hpp"
@@ -40,23 +51,52 @@ std::optional<DirectoryEntry> decode_directory_entry(util::ByteView data);
 
 std::string format_ip(IpAddress ip);
 
+struct DirectoryOptions {
+  /// Blocks scanned on a cold start (no usable persisted index).
+  int startup_scan_depth = 1000;
+  /// Indexed heights that keep an undo frame. Reorgs within this depth
+  /// unwind incrementally; anything deeper falls back to a full rescan.
+  int undo_depth = 256;
+  /// Persisted index file (written atomically via tmp+rename). Empty keeps
+  /// the index in memory only.
+  std::string persist_path;
+};
+
 class Directory {
  public:
-  /// Installs tx/block/reorg watchers on the node and performs the start-up
-  /// scan; a reorg triggers a full resync so entries from disconnected
-  /// blocks cannot linger.
+  Directory(p2p::ChainNode& node, DirectoryOptions options);
+  /// Installs tx/block/reorg/restart watchers on the node and builds the
+  /// index (from the persisted file when one is configured and still
+  /// matches the chain, otherwise by scanning).
   /// LIFETIME: the watchers reference this object for the node's remaining
   /// lifetime — a Directory must outlive any further event processing on
   /// the node it watches.
-  explicit Directory(p2p::ChainNode& node, int startup_scan_depth = 1000);
+  explicit Directory(p2p::ChainNode& node, int startup_scan_depth = 1000)
+      : Directory(node, with_depth(startup_scan_depth)) {}
 
-  /// The paper's lookup: blockchain address -> IP. Newest announcement wins.
+  /// The paper's lookup: blockchain address -> IP. Newest announcement wins
+  /// — a mempool sighting shadows the confirmed entry until it confirms.
   std::optional<DirectoryEntry> lookup(const script::PubKeyHash& owner) const;
 
-  std::size_t size() const noexcept { return entries_.size(); }
+  /// Distinct owners known (confirmed plus mempool-only).
+  std::size_t size() const noexcept;
 
-  /// Re-run the full scan (tests / recovery).
+  /// Drop the index and re-run the full scan (tests / deep-reorg fallback).
   void rescan(int depth);
+
+  // -- Index introspection (tests / experiments). --
+
+  /// Highest active-chain height the confirmed index reflects.
+  int indexed_tip() const noexcept { return indexed_tip_; }
+  /// Full rebuilds performed (startup without a usable persisted index,
+  /// reorgs past the undo window, corrupt/stale persisted files).
+  std::uint64_t full_rescans() const noexcept { return full_rescans_; }
+  /// Reorgs absorbed incrementally via undo frames.
+  std::uint64_t indexed_reorgs() const noexcept { return indexed_reorgs_; }
+
+  /// Write the persisted index now. No-op (true) without a persist_path;
+  /// false on I/O failure.
+  bool persist() const;
 
  private:
   struct PkhHasher {
@@ -67,11 +107,49 @@ class Directory {
     }
   };
 
-  void ingest(const chain::Transaction& tx, int height);
+  /// Confirmed-map mutation made by one indexed height, inverted: what the
+  /// owner's slot held before that height touched it.
+  struct UndoRecord {
+    script::PubKeyHash owner{};
+    bool had_prev = false;
+    DirectoryEntry prev{};
+  };
+
+  using EntryMap =
+      std::unordered_map<script::PubKeyHash, DirectoryEntry, PkhHasher>;
+
+  static DirectoryOptions with_depth(int depth) {
+    DirectoryOptions o;
+    o.startup_scan_depth = depth;
+    return o;
+  }
+
+  void ingest_mempool(const chain::Transaction& tx);
+  /// Apply a confirmed transaction's announcements at `height`, recording
+  /// undo when that height keeps a frame.
+  void apply_confirmed(const chain::Transaction& tx, int height);
+  void begin_frame(int height);
+  void on_block(const chain::Block& block);
+  /// Ingest active-chain heights above indexed_tip_ up to the current tip.
+  void catch_up();
+  void on_reorg(int fork_height);
+  /// Restart/startup: install the persisted index or rescan.
+  void recover();
+  bool try_load();
+  void note_entries_gauge() const;
 
   p2p::ChainNode& node_;
-  int scan_depth_;
-  std::unordered_map<script::PubKeyHash, DirectoryEntry, PkhHasher> entries_;
+  DirectoryOptions options_;
+  /// Announcements confirmed on the active chain, keyed by owner.
+  EntryMap confirmed_;
+  /// Unconfirmed sightings (height -1); shadows confirmed_ in lookups and
+  /// is retired per-owner when an announcement for that owner confirms.
+  EntryMap mempool_;
+  /// Undo frames for the most recent indexed heights, oldest first.
+  std::map<int, std::vector<UndoRecord>> undo_;
+  int indexed_tip_ = -1;
+  std::uint64_t full_rescans_ = 0;
+  std::uint64_t indexed_reorgs_ = 0;
 };
 
 }  // namespace bcwan::core

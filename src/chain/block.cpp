@@ -32,24 +32,27 @@ util::Bytes Block::serialize() const {
   return w.take();
 }
 
-std::optional<Block> Block::deserialize(util::ByteView data) {
+std::optional<Block> Block::deserialize(util::ByteView data,
+                                        bool compute_txids) {
   try {
     util::Reader r(data);
     Block b;
     b.header.version = r.u32();
-    const util::Bytes prev = r.bytes(32);
-    std::memcpy(b.header.prev_block.data(), prev.data(), 32);
-    const util::Bytes root = r.bytes(32);
-    std::memcpy(b.header.merkle_root.data(), root.data(), 32);
+    std::memcpy(b.header.prev_block.data(), r.view(32).data(), 32);
+    std::memcpy(b.header.merkle_root.data(), r.view(32).data(), 32);
     b.header.time = r.u64();
     b.header.target_zero_bits = r.u32();
     b.header.nonce = r.u32();
     b.header.proposer_pubkey = r.var_bytes();
     b.header.pos_signature = r.var_bytes();
     const std::uint64_t ntx = r.varint();
+    // Each tx is at least a handful of bytes; the min() keeps a corrupt
+    // count from reserving unbounded memory before the parse fails.
+    b.txs.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(ntx, r.remaining() / 8 + 1)));
     for (std::uint64_t i = 0; i < ntx; ++i) {
-      const util::Bytes raw = r.var_bytes();
-      auto tx = Transaction::deserialize(raw);
+      const util::ByteView raw = r.var_view();
+      auto tx = Transaction::deserialize(raw, compute_txids);
       if (!tx) return std::nullopt;
       b.txs.push_back(*std::move(tx));
     }

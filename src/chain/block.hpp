@@ -33,7 +33,11 @@ struct Block {
   std::vector<Transaction> txs;
 
   util::Bytes serialize() const;
-  static std::optional<Block> deserialize(util::ByteView data);
+  /// `compute_txids = false` leaves every transaction's txid cache empty —
+  /// for callers (the store's trusted log decoder) that seed recorded ids
+  /// instead of re-hashing.
+  static std::optional<Block> deserialize(util::ByteView data,
+                                          bool compute_txids = true);
 
   Hash256 hash() const { return header.hash(); }
 

@@ -82,21 +82,24 @@ void Blockchain::scan_recent(
   }
 }
 
-bool Blockchain::connect_tip(const Block& block, const BlockUndo* undo_hint) {
+bool Blockchain::connect_tip(const Block& block, const Hash256& hash,
+                             BlockUndo* undo_hint) {
+  // Telemetry is gated off during trusted log replay: four registry
+  // lookups per block were a measurable slice of the recovery profile.
+  const bool note = telemetry::enabled() && !replay_mode_;
   telemetry::Histogram* connect_hist = nullptr;
-  if (telemetry::enabled()) {
+  if (note) {
     connect_hist = &telemetry::registry().histogram(
         "bcwan_chain_connect_block_seconds",
         "Wall-clock time to validate and connect one block at the tip");
   }
   telemetry::Span span("chain.connect_tip", connect_hist);
-  const Hash256 hash = block.hash();
   auto& stored = blocks_.at(hash);
   if (undo_hint != nullptr) {
     // Trusted replay of a logged tip extension: re-apply the recorded UTXO
     // delta, no validation (the log's CRC owns integrity).
     apply_block_from_undo(block, *undo_hint, utxo_, stored.height);
-    stored.undo = *undo_hint;
+    stored.undo = std::move(*undo_hint);
   } else {
     BlockUndo undo;
     const BlockValidationResult result = connect_block(
@@ -107,10 +110,11 @@ bool Blockchain::connect_tip(const Block& block, const BlockUndo* undo_hint) {
     }
     stored.undo = std::move(undo);
   }
+  stored.undo_pruned = false;
   active_.push_back(hash);
   for (const Transaction& tx : block.txs)
     tx_index_[tx.txid()] = stored.height;
-  if (telemetry::enabled()) {
+  if (note) {
     auto& reg = telemetry::registry();
     reg.counter("bcwan_chain_blocks_connected_total",
                 "Blocks connected to the active chain")
@@ -129,20 +133,35 @@ bool Blockchain::connect_tip(const Block& block, const BlockUndo* undo_hint) {
 }
 
 AcceptBlockResult Blockchain::accept_block(const Block& block) {
-  return accept_internal(block, nullptr);
+  return accept_internal(Block(block), block.hash(), nullptr);
 }
 
 AcceptBlockResult Blockchain::replay_block(const Block& block,
                                            const BlockUndo* undo) {
+  std::optional<BlockUndo> undo_copy;
+  if (undo != nullptr) undo_copy = *undo;
+  return replay_block(Block(block), block.hash(),
+                      undo_copy ? &*undo_copy : nullptr);
+}
+
+AcceptBlockResult Blockchain::replay_block(Block&& block, const Hash256& hash,
+                                           BlockUndo* undo) {
   replay_mode_ = true;
-  const AcceptBlockResult result = accept_internal(block, undo);
+  const AcceptBlockResult result =
+      accept_internal(std::move(block), hash, undo);
   replay_mode_ = false;
   return result;
 }
 
-AcceptBlockResult Blockchain::accept_internal(const Block& block,
-                                              const BlockUndo* replay_undo) {
-  const Hash256 hash = block.hash();
+void Blockchain::reserve_for_replay(std::size_t blocks, std::size_t txs) {
+  blocks_.reserve(blocks_.size() + blocks);
+  tx_index_.reserve(tx_index_.size() + txs);
+  active_.reserve(active_.size() + blocks);
+}
+
+AcceptBlockResult Blockchain::accept_internal(Block&& block,
+                                              const Hash256& hash,
+                                              BlockUndo* replay_undo) {
   if (blocks_.find(hash) != blocks_.end()) return AcceptBlockResult::kDuplicate;
 
   if (!replay_mode_) {
@@ -155,7 +174,7 @@ AcceptBlockResult Blockchain::accept_internal(const Block& block,
 
   const auto parent = blocks_.find(block.header.prev_block);
   if (parent == blocks_.end()) {
-    orphans_[block.header.prev_block].push_back(block);
+    orphans_[block.header.prev_block].push_back(std::move(block));
     return AcceptBlockResult::kOrphan;
   }
 
@@ -172,11 +191,15 @@ AcceptBlockResult Blockchain::accept_internal(const Block& block,
       return AcceptBlockResult::kInvalid;
     }
   }
-  blocks_.emplace(hash, StoredBlock{block, block_height, BlockUndo{}});
+  const Block& stored_block =
+      blocks_
+          .emplace(hash, StoredBlock{std::move(block), block_height,
+                                     BlockUndo{}, false})
+          .first->second.block;
 
   AcceptBlockResult result;
-  if (block.header.prev_block == tip_hash()) {
-    if (!connect_tip(block, replay_undo)) {
+  if (stored_block.header.prev_block == tip_hash()) {
+    if (!connect_tip(stored_block, hash, replay_undo)) {
       blocks_.erase(hash);
       return AcceptBlockResult::kInvalid;
     }
@@ -197,7 +220,7 @@ AcceptBlockResult Blockchain::accept_internal(const Block& block,
     const BlockUndo* undo = result == AcceptBlockResult::kConnected
                                 ? &blocks_.at(hash).undo
                                 : nullptr;
-    block_sink_(block, undo);
+    block_sink_(stored_block, undo);
   }
 
   try_connect_orphans(hash);
@@ -234,6 +257,22 @@ AcceptBlockResult Blockchain::maybe_reorg(const Hash256& new_tip) {
   std::reverse(branch.begin(), branch.end());
   const int fork_height = blocks_.at(cursor).height;
 
+  // Undo pruning guard: a reorg that would disconnect a block whose undo
+  // was pruned (beyond the configured reorg depth) is impossible — treat
+  // the branch as a side chain rather than corrupting the UTXO set.
+  for (int h = height(); h > fork_height; --h) {
+    if (blocks_.at(active_[static_cast<std::size_t>(h)]).undo_pruned) {
+      if (telemetry::enabled()) {
+        telemetry::registry()
+            .counter("bcwan_chain_reorgs_refused_pruned_total",
+                     "Reorganizations refused because the losing branch's "
+                     "undo data was pruned")
+            .add();
+      }
+      return AcceptBlockResult::kSideChain;
+    }
+  }
+
   // Disconnect the current chain down to the fork point, remembering what
   // we removed in case the branch turns out to be invalid.
   std::vector<Hash256> removed;
@@ -267,7 +306,7 @@ AcceptBlockResult Blockchain::maybe_reorg(const Hash256& new_tip) {
         .add();
   }
   for (std::size_t i = 0; i < branch.size(); ++i) {
-    if (!connect_tip(blocks_.at(branch[i]).block)) {
+    if (!connect_tip(blocks_.at(branch[i]).block, branch[i])) {
       // Invalid branch: roll back whatever connected and restore the old
       // chain (its blocks were valid before and validate again).
       while (height() > fork_height) {
@@ -280,13 +319,14 @@ AcceptBlockResult Blockchain::maybe_reorg(const Hash256& new_tip) {
         active_.pop_back();
       }
       for (const Hash256& h : removed) {
-        const bool ok = connect_tip(blocks_.at(h).block);
+        const bool ok = connect_tip(blocks_.at(h).block, h);
         (void)ok;  // previously-active blocks reconnect by construction
       }
       disconnected_txs_.clear();  // nothing was lost after all
       return AcceptBlockResult::kInvalid;
     }
   }
+  last_fork_height_ = fork_height;
   return AcceptBlockResult::kReorganized;
 }
 
@@ -330,18 +370,33 @@ Hash256 Blockchain::state_hash() const {
 }
 
 namespace {
-constexpr std::uint32_t kStateVersion = 1;
+// v2 adds a per-block flags byte (bit 0: undo pruned). v1 dumps are still
+// readable — flags default to zero.
+constexpr std::uint32_t kStateVersion = 2;
+constexpr std::uint32_t kStateVersionV1 = 1;
+constexpr std::uint8_t kBlockFlagUndoPruned = 0x01;
 }  // namespace
 
-util::Bytes Blockchain::serialize_state() const {
+util::Bytes Blockchain::serialize_state(int undo_keep_depth) const {
+  // Heights at or below this lose their undo data in the dump.
+  const int prune_below =
+      undo_keep_depth >= 0 ? height() - undo_keep_depth : -1;
+  static const BlockUndo kEmptyUndo;
   util::Writer w;
   w.u32(kStateVersion);
   w.varint(blocks_.size());
   for (const auto& [hash, stored] : blocks_) {
     w.var_bytes(stored.block.serialize());
     w.u32(static_cast<std::uint32_t>(stored.height));
+    const bool on_active =
+        stored.height < static_cast<int>(active_.size()) &&
+        active_[static_cast<std::size_t>(stored.height)] == hash;
+    const bool prune =
+        stored.undo_pruned || (on_active && stored.height > 0 &&
+                               stored.height <= prune_below);
+    w.u8(prune ? kBlockFlagUndoPruned : 0);
     util::Writer undo_w;
-    write_undo(undo_w, stored.undo);
+    write_undo(undo_w, prune ? kEmptyUndo : stored.undo);
     w.var_bytes(undo_w.take());
   }
   w.varint(active_.size());
@@ -355,7 +410,9 @@ std::optional<Blockchain> Blockchain::restore_state(const ChainParams& params,
                                                     util::ByteView data) {
   try {
     util::Reader r(data);
-    if (r.u32() != kStateVersion) return std::nullopt;
+    const std::uint32_t version = r.u32();
+    if (version != kStateVersion && version != kStateVersionV1)
+      return std::nullopt;
     Blockchain chain(params);
     const Hash256 genesis_hash = chain.active_.front();
     chain.blocks_.clear();
@@ -365,16 +422,18 @@ std::optional<Blockchain> Blockchain::restore_state(const ChainParams& params,
     const std::uint64_t block_count = r.varint();
     chain.blocks_.reserve(static_cast<std::size_t>(block_count));
     for (std::uint64_t i = 0; i < block_count; ++i) {
-      const auto block = Block::deserialize(r.var_bytes());
+      auto block = Block::deserialize(r.var_view());
       if (!block) return std::nullopt;
       const int block_height = static_cast<int>(r.u32());
-      const util::Bytes undo_bytes = r.var_bytes();
-      util::Reader undo_r(undo_bytes);
+      const std::uint8_t flags =
+          version >= kStateVersion ? r.u8() : std::uint8_t{0};
+      util::Reader undo_r(r.var_view());
       BlockUndo undo = read_undo(undo_r);
       undo_r.expect_done();
       const Hash256 hash = block->hash();
-      chain.blocks_.emplace(hash,
-                            StoredBlock{*block, block_height, std::move(undo)});
+      chain.blocks_.emplace(
+          hash, StoredBlock{*std::move(block), block_height, std::move(undo),
+                            (flags & kBlockFlagUndoPruned) != 0});
     }
 
     const std::uint64_t active_count = r.varint();
@@ -405,6 +464,8 @@ std::optional<Blockchain> Blockchain::restore_state(const ChainParams& params,
           it->second.block.header.prev_block != chain.active_[h - 1]) {
         return std::nullopt;
       }
+      if (it->second.undo_pruned)
+        chain.undo_pruned_floor_ = static_cast<int>(h) + 1;
       for (const Transaction& tx : it->second.block.txs)
         chain.tx_index_[tx.txid()] = static_cast<int>(h);
     }
@@ -412,6 +473,115 @@ std::optional<Blockchain> Blockchain::restore_state(const ChainParams& params,
   } catch (const util::DeserializeError&) {
     return std::nullopt;
   }
+}
+
+std::optional<StateDelta> Blockchain::collect_state_delta(
+    const Hash256& anchor_tip, int anchor_height,
+    const std::vector<Hash256>& pending) {
+  if (!utxo_.journal_enabled()) return std::nullopt;
+  const auto anchor_it = blocks_.find(anchor_tip);
+  if (anchor_it == blocks_.end() ||
+      anchor_it->second.height != anchor_height) {
+    return std::nullopt;
+  }
+  StateDelta d;
+  d.new_blocks.reserve(pending.size());
+  for (const Hash256& h : pending) {
+    const auto it = blocks_.find(h);
+    if (it == blocks_.end()) return std::nullopt;
+    d.new_blocks.push_back({it->second.block, it->second.height});
+  }
+
+  // Fork point of the anchor tip against the current active chain; since
+  // genesis is always active the walk terminates.
+  auto on_active = [this](const Hash256& h) {
+    const auto it = blocks_.find(h);
+    if (it == blocks_.end()) return false;
+    const int bh = it->second.height;
+    return bh < static_cast<int>(active_.size()) &&
+           active_[static_cast<std::size_t>(bh)] == h;
+  };
+  Hash256 cursor = anchor_tip;
+  while (!on_active(cursor))
+    cursor = blocks_.at(cursor).block.header.prev_block;
+  const int fork_height = blocks_.at(cursor).height;
+  d.pop = static_cast<std::uint32_t>(anchor_height - fork_height);
+  for (int h = fork_height + 1; h <= height(); ++h) {
+    const Hash256& hash = active_[static_cast<std::size_t>(h)];
+    d.push.push_back({hash, blocks_.at(hash).undo});
+  }
+
+  UtxoJournal journal = utxo_.take_journal();
+  d.spent = std::move(journal.spent);
+  d.added = std::move(journal.added);
+  d.tip_height = height();
+  d.tip_hash = tip_hash();
+  return d;
+}
+
+bool Blockchain::apply_state_delta(const StateDelta& d) {
+  // 1. Store the window's new blocks (parents arrive before children).
+  for (const StateDelta::NewBlock& nb : d.new_blocks) {
+    const Hash256 hash = nb.block.hash();
+    if (blocks_.find(hash) != blocks_.end()) return false;
+    const auto parent = blocks_.find(nb.block.header.prev_block);
+    if (parent == blocks_.end() || parent->second.height + 1 != nb.height)
+      return false;
+    blocks_.emplace(hash, StoredBlock{nb.block, nb.height, BlockUndo{}});
+  }
+
+  // 2. Rewind the active chain to the window's fork point.
+  if (d.pop >= active_.size()) return false;
+  for (std::uint32_t i = 0; i < d.pop; ++i) {
+    auto& stored = blocks_.at(active_.back());
+    stored.undo = BlockUndo{};
+    for (const Transaction& tx : stored.block.txs) tx_index_.erase(tx.txid());
+    active_.pop_back();
+  }
+
+  // 3. Extend with the winning branch (undo data travels with it).
+  for (const StateDelta::PushedBlock& p : d.push) {
+    const auto it = blocks_.find(p.hash);
+    if (it == blocks_.end()) return false;
+    if (it->second.block.header.prev_block != active_.back()) return false;
+    if (it->second.height != static_cast<int>(active_.size())) return false;
+    it->second.undo = p.undo;
+    it->second.undo_pruned = false;
+    for (const Transaction& tx : it->second.block.txs)
+      tx_index_[tx.txid()] = it->second.height;
+    active_.push_back(p.hash);
+  }
+
+  // 4. Net UTXO edit — spends before adds so a coin replaced within the
+  // window (same outpoint re-created on the winning branch) lands cleanly.
+  for (const OutPoint& op : d.spent) {
+    if (!utxo_.spend(op)) return false;
+  }
+  for (const auto& [op, coin] : d.added) utxo_.add(op, coin);
+
+  // 5. The delta must land exactly on the tip it was collected at.
+  return height() == d.tip_height && tip_hash() == d.tip_hash;
+}
+
+std::size_t Blockchain::prune_undo(int keep_depth) {
+  if (keep_depth < 0) return 0;
+  std::size_t pruned = 0;
+  const int limit = height() - keep_depth;
+  for (int h = std::max(1, undo_pruned_floor_); h <= limit; ++h) {
+    auto& stored = blocks_.at(active_[static_cast<std::size_t>(h)]);
+    if (!stored.undo_pruned) {
+      stored.undo = BlockUndo{};
+      stored.undo_pruned = true;
+      ++pruned;
+    }
+  }
+  if (limit + 1 > undo_pruned_floor_) undo_pruned_floor_ = limit + 1;
+  return pruned;
+}
+
+bool Blockchain::undo_pruned_at(int h) const {
+  if (h < 0 || h >= static_cast<int>(active_.size())) return false;
+  return blocks_.at(active_[static_cast<std::size_t>(h)]).undo_pruned;
 }
 
 void Blockchain::try_connect_orphans(const Hash256& parent) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "chain/block.hpp"
+#include "chain/delta.hpp"
 #include "chain/params.hpp"
 #include "chain/utxo.hpp"
 #include "chain/validation.hpp"
@@ -54,6 +55,17 @@ class Blockchain {
   AcceptBlockResult replay_block(const Block& block,
                                  const BlockUndo* undo = nullptr);
 
+  /// Move-aware replay fast path for the store's parallel decoder: the
+  /// block (hash precomputed during decode) and its undo are consumed
+  /// instead of copied. Identical state machine to replay_block above.
+  AcceptBlockResult replay_block(Block&& block, const Hash256& hash,
+                                 BlockUndo* undo);
+
+  /// Pre-size the block map, tx index and active chain before a bulk
+  /// replay (the store counts records and transactions up front; rehashing
+  /// mid-replay is pure waste).
+  void reserve_for_replay(std::size_t blocks, std::size_t txs);
+
   /// Observer invoked whenever a block is newly stored (connected, reorg
   /// trigger or side-chain — not still-unparented orphans), before any
   /// orphan descendants are processed, so log order preserves
@@ -75,7 +87,13 @@ class Blockchain {
   /// Full chainstate dump for snapshots: every stored block with height
   /// and undo, the active chain, and the UTXO set. Heavier than
   /// export_chain() but restore_state() needs no re-validation.
-  util::Bytes serialize_state() const;
+  ///
+  /// `undo_keep_depth >= 0` prunes spent-coin undo records of active
+  /// blocks buried deeper than that many blocks below the tip: their undo
+  /// serializes empty with a pruned flag, and a chain restored from the
+  /// dump refuses reorganizations that would have to disconnect past them
+  /// (kSideChain instead of a reorg). -1 keeps everything.
+  util::Bytes serialize_state(int undo_keep_depth = -1) const;
 
   /// Rebuild from a serialize_state() dump. std::nullopt if the stream is
   /// malformed or internally inconsistent (wrong genesis, dangling active
@@ -83,6 +101,44 @@ class Blockchain {
   /// snapshot integrity is the store's CRC's job.
   static std::optional<Blockchain> restore_state(const ChainParams& params,
                                                  util::ByteView data);
+
+  // -- Incremental snapshots (the store's base + delta chain). --
+
+  /// Net state change since `anchor_tip`/`anchor_height` (the tip at the
+  /// previous snapshot element). `pending` lists every block stored since
+  /// then, in storage order. Consumes the UTXO journal window — the caller
+  /// must have called utxo_journal_begin() at the previous element.
+  /// std::nullopt (journal window preserved-as-taken, caller must fall
+  /// back to a full base) when the anchor is unknown or journaling is off.
+  std::optional<StateDelta> collect_state_delta(
+      const Hash256& anchor_tip, int anchor_height,
+      const std::vector<Hash256>& pending);
+
+  /// Apply a delta on top of the exact state it was collected against.
+  /// False on any structural inconsistency — the chain may then be
+  /// half-mutated and must be discarded (the store reassembles from the
+  /// base without the bad delta).
+  bool apply_state_delta(const StateDelta& delta);
+
+  /// Open a UTXO journal window so the next collect_state_delta() sees net
+  /// coin changes (see UtxoSet::begin_journal).
+  void utxo_journal_begin() { utxo_.begin_journal(); }
+
+  /// Clear in-memory undo data of active blocks buried deeper than
+  /// `keep_depth` below the tip (marking them pruned). Monotone and
+  /// incremental: each call only walks heights not already pruned.
+  /// Returns the number of blocks newly pruned.
+  std::size_t prune_undo(int keep_depth);
+
+  /// True when the active block at `height` carries a pruned (absent)
+  /// undo record — a reorg cannot disconnect past it.
+  bool undo_pruned_at(int height) const;
+
+  /// Fork height of the most recent successful reorganization: the highest
+  /// block common to the old and new active chains. -1 until the first
+  /// reorg. Chain-derived indexes (the gateway directory) unwind to this
+  /// height instead of rebuilding from scratch.
+  int last_fork_height() const noexcept { return last_fork_height_; }
 
   bool have_block(const Hash256& hash) const {
     return blocks_.find(hash) != blocks_.end();
@@ -134,13 +190,19 @@ class Blockchain {
     int height = 0;
     // Undo data exists only while the block is on the active chain.
     BlockUndo undo;
+    // The undo was pruned (serialize_state/prune_undo beyond reorg depth);
+    // this block can never be disconnected again.
+    bool undo_pruned = false;
   };
 
-  AcceptBlockResult accept_internal(const Block& block,
-                                    const BlockUndo* replay_undo);
+  /// Consumes the block; `hash` is its precomputed id. `replay_undo`
+  /// non-null is moved from on the trusted tip-extension fast path.
+  AcceptBlockResult accept_internal(Block&& block, const Hash256& hash,
+                                    BlockUndo* replay_undo);
   /// `undo_hint` non-null takes the no-validation fast path (trusted log
-  /// replay of a tip extension).
-  bool connect_tip(const Block& block, const BlockUndo* undo_hint = nullptr);
+  /// replay of a tip extension) and is moved from.
+  bool connect_tip(const Block& block, const Hash256& hash,
+                   BlockUndo* undo_hint = nullptr);
   void try_connect_orphans(const Hash256& parent);
   /// Attempt to make `hash` (already stored, with known height) the tip.
   AcceptBlockResult maybe_reorg(const Hash256& hash);
@@ -159,6 +221,9 @@ class Blockchain {
   // and keep the sink quiet (the records being replayed are already on
   // disk). Set for the duration of replay_block().
   bool replay_mode_ = false;
+  // Heights below this are already undo-pruned (prune_undo watermark).
+  int undo_pruned_floor_ = 1;
+  int last_fork_height_ = -1;
 };
 
 }  // namespace bcwan::chain

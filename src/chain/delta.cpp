@@ -1,0 +1,107 @@
+#include "chain/delta.hpp"
+
+#include "util/serial.hpp"
+
+namespace bcwan::chain {
+namespace {
+
+constexpr std::uint32_t kDeltaVersion = 1;
+
+void write_hash(util::Writer& w, const Hash256& h) {
+  w.bytes(util::ByteView(h.data(), h.size()));
+}
+
+Hash256 read_hash(util::Reader& r) {
+  Hash256 h{};
+  const util::ByteView raw = r.view(h.size());
+  std::copy(raw.begin(), raw.end(), h.begin());
+  return h;
+}
+
+void write_outpoint(util::Writer& w, const OutPoint& op) {
+  write_hash(w, op.txid);
+  w.u32(op.index);
+}
+
+OutPoint read_outpoint(util::Reader& r) {
+  OutPoint op;
+  op.txid = read_hash(r);
+  op.index = r.u32();
+  return op;
+}
+
+}  // namespace
+
+util::Bytes encode_state_delta(const StateDelta& d) {
+  util::Writer w;
+  w.u32(kDeltaVersion);
+  w.u64(d.parent_seq);
+  w.u64(d.next_seq);
+  w.varint(d.new_blocks.size());
+  for (const StateDelta::NewBlock& nb : d.new_blocks) {
+    w.var_bytes(nb.block.serialize());
+    w.u32(static_cast<std::uint32_t>(nb.height));
+  }
+  w.u32(d.pop);
+  w.varint(d.push.size());
+  for (const StateDelta::PushedBlock& p : d.push) {
+    write_hash(w, p.hash);
+    util::Writer undo_w;
+    write_undo(undo_w, p.undo);
+    w.var_bytes(undo_w.data());
+  }
+  w.varint(d.spent.size());
+  for (const OutPoint& op : d.spent) write_outpoint(w, op);
+  w.varint(d.added.size());
+  for (const auto& [op, coin] : d.added) write_coin(w, op, coin);
+  w.u32(static_cast<std::uint32_t>(d.tip_height));
+  write_hash(w, d.tip_hash);
+  return w.take();
+}
+
+std::optional<StateDelta> decode_state_delta(util::ByteView data) {
+  try {
+    util::Reader r(data);
+    if (r.u32() != kDeltaVersion) return std::nullopt;
+    StateDelta d;
+    d.parent_seq = r.u64();
+    d.next_seq = r.u64();
+    const std::uint64_t block_count = r.varint();
+    d.new_blocks.reserve(static_cast<std::size_t>(block_count));
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+      auto block = Block::deserialize(r.var_view());
+      if (!block) return std::nullopt;
+      StateDelta::NewBlock nb;
+      nb.block = *std::move(block);
+      nb.height = static_cast<int>(r.u32());
+      d.new_blocks.push_back(std::move(nb));
+    }
+    d.pop = r.u32();
+    const std::uint64_t push_count = r.varint();
+    d.push.reserve(static_cast<std::size_t>(push_count));
+    for (std::uint64_t i = 0; i < push_count; ++i) {
+      StateDelta::PushedBlock p;
+      p.hash = read_hash(r);
+      util::Reader undo_r(r.var_view());
+      p.undo = read_undo(undo_r);
+      undo_r.expect_done();
+      d.push.push_back(std::move(p));
+    }
+    const std::uint64_t spent_count = r.varint();
+    d.spent.reserve(static_cast<std::size_t>(spent_count));
+    for (std::uint64_t i = 0; i < spent_count; ++i)
+      d.spent.push_back(read_outpoint(r));
+    const std::uint64_t added_count = r.varint();
+    d.added.reserve(static_cast<std::size_t>(added_count));
+    for (std::uint64_t i = 0; i < added_count; ++i)
+      d.added.push_back(read_coin(r));
+    d.tip_height = static_cast<int>(r.u32());
+    d.tip_hash = read_hash(r);
+    r.expect_done();
+    return d;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace bcwan::chain

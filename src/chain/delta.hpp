@@ -1,0 +1,62 @@
+// Incremental chainstate deltas.
+//
+// A StateDelta is the net change between two snapshot elements: the blocks
+// stored since the parent element, an active-chain edit (pop the losing
+// tail, push the winning branch with its undo data) and the net UTXO diff
+// from the UtxoSet journal. Applying a base snapshot plus its delta chain
+// reproduces exactly the state a full snapshot would have captured — at
+// O(blocks changed) serialization cost instead of O(UTXO set).
+//
+// Collection and application live on Blockchain (collect_state_delta /
+// apply_state_delta); this header owns the wire format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/utxo.hpp"
+#include "chain/validation.hpp"
+
+namespace bcwan::chain {
+
+struct StateDelta {
+  /// Log seq of the parent snapshot element this delta extends, and the
+  /// first seq NOT covered after applying it (mirrors snapshot next_seq).
+  std::uint64_t parent_seq = 0;
+  std::uint64_t next_seq = 0;
+
+  /// Blocks stored since the parent element, in storage order (parents
+  /// before children — the block-sink ordering guarantee).
+  struct NewBlock {
+    Block block;
+    int height = 0;
+  };
+  std::vector<NewBlock> new_blocks;
+
+  /// Active-chain edit relative to the parent element's tip: remove `pop`
+  /// hashes, then append `push` (each with the undo data it connected
+  /// with, so the restored chain can still disconnect it later).
+  std::uint32_t pop = 0;
+  struct PushedBlock {
+    Hash256 hash{};
+    BlockUndo undo;
+  };
+  std::vector<PushedBlock> push;
+
+  /// Net UTXO edit over the window, canonically sorted by outpoint.
+  std::vector<OutPoint> spent;
+  std::vector<std::pair<OutPoint, Coin>> added;
+
+  /// Post-apply consistency check.
+  int tip_height = -1;
+  Hash256 tip_hash{};
+};
+
+util::Bytes encode_state_delta(const StateDelta& delta);
+/// std::nullopt on malformed bytes (version mismatch, truncation, trailing
+/// garbage). CRC integrity is the store framing's job.
+std::optional<StateDelta> decode_state_delta(util::ByteView data);
+
+}  // namespace bcwan::chain

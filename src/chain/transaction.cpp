@@ -1,5 +1,6 @@
 #include "chain/transaction.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "chain/sigcache.hpp"
@@ -107,12 +108,17 @@ util::Bytes Transaction::serialize() const {
   return w.take();
 }
 
-std::optional<Transaction> Transaction::deserialize(util::ByteView data) {
+std::optional<Transaction> Transaction::deserialize(util::ByteView data,
+                                                    bool compute_txid) {
   try {
     util::Reader r(data);
     Transaction tx;
     tx.version = r.u32();
     const std::uint64_t nin = r.varint();
+    // An input is ≥ 41 bytes on the wire; bound the reserve so a corrupt
+    // count cannot balloon memory before the parse fails.
+    tx.vin.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(nin, r.remaining() / 41 + 1)));
     for (std::uint64_t i = 0; i < nin; ++i) {
       TxIn in;
       in.prevout = read_outpoint(r);
@@ -121,6 +127,8 @@ std::optional<Transaction> Transaction::deserialize(util::ByteView data) {
       tx.vin.push_back(std::move(in));
     }
     const std::uint64_t nout = r.varint();
+    tx.vout.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(nout, r.remaining() / 13 + 1)));
     for (std::uint64_t i = 0; i < nout; ++i) {
       TxOut out;
       out.value = static_cast<Amount>(r.u64());
@@ -132,8 +140,10 @@ std::optional<Transaction> Transaction::deserialize(util::ByteView data) {
     // Canonical varints + expect_done guarantee serialize(tx) == data, so
     // the wire bytes already in hand ARE the txid preimage — seed the cache
     // and the gossip path never re-serializes.
-    tx.cached_txid_ = crypto::sha256d(data);
-    tx.txid_state_.store(2, std::memory_order_relaxed);
+    if (compute_txid) {
+      tx.cached_txid_ = crypto::sha256d(data);
+      tx.txid_state_.store(2, std::memory_order_relaxed);
+    }
     return tx;
   } catch (const util::DeserializeError&) {
     return std::nullopt;

@@ -98,7 +98,19 @@ struct Transaction {
   }
 
   util::Bytes serialize() const;
-  static std::optional<Transaction> deserialize(util::ByteView data);
+  /// `compute_txid = false` skips seeding the txid cache from the wire
+  /// bytes — for callers that already know the id (the store's trusted log
+  /// records it) and will seed_txid() it, avoiding a SHA-256d per tx.
+  static std::optional<Transaction> deserialize(util::ByteView data,
+                                                bool compute_txid = true);
+
+  /// Install a txid obtained from a trusted source (the CRC-protected
+  /// block log) without hashing. The caller owns the claim that `id` is
+  /// the double SHA-256 of this transaction's serialization.
+  void seed_txid(const Hash256& id) const noexcept {
+    cached_txid_ = id;
+    txid_state_.store(2, std::memory_order_release);
+  }
 
   /// Double SHA-256 of the serialization; memoized. The first call hashes
   /// and caches, later calls return the cached id. Concurrent readers are

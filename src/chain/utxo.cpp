@@ -46,15 +46,48 @@ std::optional<Coin> UtxoSet::get(const OutPoint& op) const {
 }
 
 void UtxoSet::add(const OutPoint& op, Coin coin) {
+  if (journaling_) record_baseline(op);
   coins_[op] = std::move(coin);
 }
 
 std::optional<Coin> UtxoSet::spend(const OutPoint& op) {
   const auto it = coins_.find(op);
   if (it == coins_.end()) return std::nullopt;
+  if (journaling_) record_baseline(op);
   Coin coin = std::move(it->second);
   coins_.erase(it);
   return coin;
+}
+
+void UtxoSet::record_baseline(const OutPoint& op) {
+  if (baseline_.find(op) != baseline_.end()) return;
+  const auto it = coins_.find(op);
+  baseline_.emplace(op, it == coins_.end() ? std::optional<Coin>{}
+                                           : std::optional<Coin>(it->second));
+}
+
+void UtxoSet::begin_journal() {
+  journaling_ = true;
+  baseline_.clear();
+}
+
+UtxoJournal UtxoSet::take_journal() {
+  UtxoJournal out;
+  for (const auto& [op, before] : baseline_) {
+    const auto it = coins_.find(op);
+    const bool exists = it != coins_.end();
+    const bool changed = !before || !exists || !(it->second == *before);
+    if (before && (!exists || changed)) out.spent.push_back(op);
+    if (exists && changed) out.added.emplace_back(op, it->second);
+  }
+  baseline_.clear();
+  // Canonical order so two identical windows serialize identically.
+  std::sort(out.spent.begin(), out.spent.end(), outpoint_less);
+  std::sort(out.added.begin(), out.added.end(),
+            [](const auto& a, const auto& b) {
+              return outpoint_less(a.first, b.first);
+            });
+  return out;
 }
 
 std::vector<std::pair<OutPoint, Coin>> UtxoSet::find_by_script(

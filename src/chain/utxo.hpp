@@ -31,6 +31,14 @@ class CoinView {
   virtual std::optional<Coin> get(const OutPoint& op) const = 0;
 };
 
+/// Net UTXO change over a journal window: coins present before but gone (or
+/// replaced) now, and coins present now that differ from before. An
+/// outpoint spent and re-created inside one window cancels out entirely.
+struct UtxoJournal {
+  std::vector<OutPoint> spent;
+  std::vector<std::pair<OutPoint, Coin>> added;
+};
+
 class UtxoSet : public CoinView {
  public:
   bool contains(const OutPoint& op) const {
@@ -41,6 +49,16 @@ class UtxoSet : public CoinView {
   void add(const OutPoint& op, Coin coin);
   /// Removes and returns the coin; std::nullopt if absent.
   std::optional<Coin> spend(const OutPoint& op);
+
+  /// Start journaling: every add/spend records the outpoint's pre-window
+  /// coin the first time it is touched, so take_journal() can emit the net
+  /// diff — O(coins touched), never O(set size). Incremental snapshots
+  /// depend on this staying enabled between snapshot elements.
+  void begin_journal();
+  /// Net changes since begin_journal()/the previous take; the window
+  /// restarts empty. Journaling stays enabled.
+  UtxoJournal take_journal();
+  bool journal_enabled() const noexcept { return journaling_; }
 
   /// Pre-size the backing map (block connection knows how many outputs it
   /// is about to add; rehashing mid-connect is pure waste).
@@ -73,7 +91,13 @@ class UtxoSet : public CoinView {
   Hash256 state_hash() const;
 
  private:
+  void record_baseline(const OutPoint& op);
+
   std::unordered_map<OutPoint, Coin, OutPointHasher> coins_;
+  // Journal window: outpoint -> coin value when the window opened
+  // (nullopt = did not exist). Only touched outpoints appear.
+  std::unordered_map<OutPoint, std::optional<Coin>, OutPointHasher> baseline_;
+  bool journaling_ = false;
 };
 
 }  // namespace bcwan::chain

@@ -37,6 +37,10 @@ bool ChainNode::open_store_and_recover(std::string* error) {
   opts.dir = config_.store_dir;
   opts.fsync_each_append = config_.store_fsync;
   opts.snapshot_interval = config_.snapshot_interval;
+  opts.incremental_snapshots = config_.incremental_snapshots;
+  opts.compact_every = config_.compact_every;
+  opts.undo_prune_depth = config_.undo_prune_depth;
+  opts.replay_threads = config_.replay_threads;
   auto opened = store::ChainStore::open(chain_.params(), std::move(opts), error);
   if (!opened) return false;
   store_ = std::move(opened);
@@ -78,6 +82,7 @@ bool ChainNode::restart() {
   // Replay can end in a reorg whose losing branch carried live exchanges;
   // resurrect them exactly like an online reorg would.
   resurrect_disconnected();
+  for (const auto& watcher : restart_watchers_) watcher();
   if (telemetry::enabled()) {
     telemetry::registry()
         .counter("bcwan_node_restarts_total", "Chain daemon restarts")
@@ -118,7 +123,8 @@ chain::AcceptBlockResult ChainNode::submit_block(const Block& block) {
     mempool_.remove_confirmed(block);
     if (result == chain::AcceptBlockResult::kReorganized) {
       resurrect_disconnected();
-      for (const auto& watcher : reorg_watchers_) watcher();
+      for (const auto& watcher : reorg_watchers_)
+        watcher(chain_.last_fork_height());
     }
     for (const auto& watcher : block_watchers_) watcher(block);
     if (store_) store_->maybe_snapshot(chain_);
@@ -230,7 +236,8 @@ void ChainNode::accept_gossip_block(const Block& block, HostId from) {
     mempool_.remove_confirmed(block);
     if (result == chain::AcceptBlockResult::kReorganized) {
       resurrect_disconnected();
-      for (const auto& watcher : reorg_watchers_) watcher();
+      for (const auto& watcher : reorg_watchers_)
+        watcher(chain_.last_fork_height());
     }
     for (const auto& watcher : block_watchers_) watcher(block);
     if (store_) store_->maybe_snapshot(chain_);

@@ -44,6 +44,15 @@ struct ChainNodeConfig {
   bool store_fsync = true;
   /// Blocks between automatic chainstate snapshots.
   std::uint64_t snapshot_interval = 16;
+  /// Write differential snapshots (base + delta chain) instead of a full
+  /// base per interval (see StoreOptions::incremental_snapshots).
+  bool incremental_snapshots = true;
+  /// Deltas between compacting base snapshots.
+  std::uint64_t compact_every = 8;
+  /// Spent-coin undo retention depth; negative keeps everything.
+  int undo_prune_depth = -1;
+  /// Decode threads for recovery replay; negative = hardware concurrency.
+  int replay_threads = -1;
 };
 
 class ChainNode {
@@ -103,7 +112,23 @@ class ChainNode {
   /// anything ingested from a disconnected block would otherwise survive
   /// with a dead height. Runs before the block watchers for the winning tip.
   void add_reorg_watcher(std::function<void()> watcher) {
+    reorg_watchers_.push_back(
+        [w = std::move(watcher)](int /*fork_height*/) { w(); });
+  }
+
+  /// Reorg watcher that also learns the fork height — the height of the
+  /// last block common to both branches (chain().last_fork_height()).
+  /// Indexed caches unwind to this height instead of rescanning.
+  void add_reorg_watcher(std::function<void(int)> watcher) {
     reorg_watchers_.push_back(std::move(watcher));
+  }
+
+  /// Fires at the end of every successful restart(), after recovery and
+  /// resurrection. Chain-derived caches rebuild-or-reload here: the reorg
+  /// watchers alone cannot cover a restart, because replay may land on a
+  /// different branch without ever reporting a reorg.
+  void add_restart_watcher(std::function<void()> watcher) {
+    restart_watchers_.push_back(std::move(watcher));
   }
 
   /// Fires for every transaction *message* this host receives, before and
@@ -179,7 +204,8 @@ class ChainNode {
   std::function<void(const chain::Transaction&)> raw_tx_tap_;
   std::vector<std::function<void(const chain::Transaction&)>> tx_watchers_;
   std::vector<std::function<void(const chain::Block&)>> block_watchers_;
-  std::vector<std::function<void()>> reorg_watchers_;
+  std::vector<std::function<void(int)>> reorg_watchers_;
+  std::vector<std::function<void()>> restart_watchers_;
   std::unordered_set<chain::Hash256, chain::Hash256Hasher> seen_txs_;
   std::unordered_set<chain::Hash256, chain::Hash256Hasher> seen_blocks_;
   // Transactions whose inputs are not yet known (gossip reordered a chain

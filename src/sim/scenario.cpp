@@ -131,7 +131,15 @@ void Scenario::build() {
   // the latency hooks — use the master.
   for (int a = 0; a < config_.actors; ++a) {
     auto& node = *actor_nodes_[a];
-    directories_.push_back(std::make_unique<core::Directory>(node));
+    core::DirectoryOptions dir_options;
+    if (!config_.persist_dir.empty()) {
+      // A restarted persistent actor recovers its directory from the index
+      // file instead of rescanning the chain.
+      dir_options.persist_path = config_.persist_dir + "/actor-" +
+                                 std::to_string(a) + "/directory.idx";
+    }
+    directories_.push_back(
+        std::make_unique<core::Directory>(node, std::move(dir_options)));
 
     std::vector<script::PubKeyHash> candidates;
     std::vector<core::GatewayAgent*> actor_gateways;

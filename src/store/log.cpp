@@ -35,7 +35,7 @@ std::uint32_t record_crc(std::uint64_t seq, util::ByteView payload) {
 /// `prev_seq` enforces the strictly-increasing sequence invariant (pass
 /// nullptr to skip, as the corruption probe below must).
 bool parse_record(util::ByteView data, std::uint64_t offset,
-                  const std::uint64_t* prev_seq, LogRecord& rec,
+                  const std::uint64_t* prev_seq, RecordBounds& rec,
                   std::uint64_t& next) {
   if (offset + kRecordHeaderBytes > data.size()) return false;
   const std::uint8_t* p = data.data() + offset;
@@ -50,7 +50,8 @@ bool parse_record(util::ByteView data, std::uint64_t offset,
       static_cast<std::size_t>(offset) + kRecordHeaderBytes, len);
   if (record_crc(seq, payload) != crc) return false;
   rec.seq = seq;
-  rec.payload.assign(payload.begin(), payload.end());
+  rec.offset = offset + kRecordHeaderBytes;
+  rec.len = len;
   next = offset + kRecordHeaderBytes + len;
   return true;
 }
@@ -60,7 +61,7 @@ bool parse_record(util::ByteView data, std::uint64_t offset,
 bool valid_record_after(util::ByteView data, std::uint64_t from) {
   for (std::uint64_t off = from;
        off + kRecordHeaderBytes <= data.size(); ++off) {
-    LogRecord rec;
+    RecordBounds rec;
     std::uint64_t next = 0;
     if (load_u32(data.data() + off) != kRecordMagic) continue;
     if (parse_record(data, off, nullptr, rec, next)) return true;
@@ -89,8 +90,8 @@ const char* scan_status_name(ScanStatus s) {
   return "unknown";
 }
 
-ScanResult scan_log(util::ByteView data) {
-  ScanResult out;
+ScanImage scan_log_bounds(util::ByteView data) {
+  ScanImage out;
   out.file_bytes = data.size();
   if (data.size() < kFileHeaderBytes ||
       std::memcmp(data.data(), kLogMagic, sizeof(kLogMagic)) != 0 ||
@@ -103,7 +104,7 @@ ScanResult scan_log(util::ByteView data) {
   std::uint64_t prev_seq = 0;
   bool have_prev = false;
   while (offset < data.size()) {
-    LogRecord rec;
+    RecordBounds rec;
     std::uint64_t next = 0;
     if (!parse_record(data, offset, have_prev ? &prev_seq : nullptr, rec,
                       next)) {
@@ -114,11 +115,29 @@ ScanResult scan_log(util::ByteView data) {
     }
     prev_seq = rec.seq;
     have_prev = true;
-    out.records.push_back(std::move(rec));
+    out.records.push_back(rec);
     offset = next;
     out.valid_bytes = offset;
   }
   out.status = ScanStatus::kOk;
+  return out;
+}
+
+ScanResult scan_log(util::ByteView data) {
+  ScanImage bounds = scan_log_bounds(data);
+  ScanResult out;
+  out.status = bounds.status;
+  out.valid_bytes = bounds.valid_bytes;
+  out.file_bytes = bounds.file_bytes;
+  out.records.reserve(bounds.records.size());
+  for (const RecordBounds& rb : bounds.records) {
+    LogRecord rec;
+    rec.seq = rb.seq;
+    const util::ByteView payload =
+        data.subspan(static_cast<std::size_t>(rb.offset), rb.len);
+    rec.payload.assign(payload.begin(), payload.end());
+    out.records.push_back(std::move(rec));
+  }
   return out;
 }
 
@@ -147,7 +166,7 @@ void BlockLog::close() {
   offset_ = 0;
 }
 
-bool BlockLog::open(const std::string& path, ScanResult& scan,
+bool BlockLog::open(const std::string& path, ScanImage& scan,
                     std::string* error) {
   close();
   std::FILE* f = std::fopen(path.c_str(), "r+b");
@@ -184,7 +203,7 @@ bool BlockLog::open(const std::string& path, ScanResult& scan,
       set_error(error, "cannot write block log header: " + path);
       return false;
     }
-    scan = ScanResult{};
+    scan = ScanImage{};
     scan.valid_bytes = kFileHeaderBytes;
     scan.file_bytes = kFileHeaderBytes;
     file_ = f;
@@ -193,7 +212,8 @@ bool BlockLog::open(const std::string& path, ScanResult& scan,
     return true;
   }
 
-  scan = scan_log(data);
+  scan = scan_log_bounds(data);
+  scan.image = std::move(data);
   if (scan.status == ScanStatus::kBadHeader ||
       scan.status == ScanStatus::kCorrupt) {
     std::fclose(f);
@@ -215,6 +235,25 @@ bool BlockLog::open(const std::string& path, ScanResult& scan,
   file_ = f;
   path_ = path;
   offset_ = scan.valid_bytes;
+  return true;
+}
+
+bool BlockLog::open(const std::string& path, ScanResult& scan,
+                    std::string* error) {
+  ScanImage bounds;
+  if (!open(path, bounds, error)) return false;
+  scan = ScanResult{};
+  scan.status = bounds.status;
+  scan.valid_bytes = bounds.valid_bytes;
+  scan.file_bytes = bounds.file_bytes;
+  scan.records.reserve(bounds.records.size());
+  for (const RecordBounds& rb : bounds.records) {
+    LogRecord rec;
+    rec.seq = rb.seq;
+    const util::ByteView payload = bounds.payload(rb);
+    rec.payload.assign(payload.begin(), payload.end());
+    scan.records.push_back(std::move(rec));
+  }
   return true;
 }
 

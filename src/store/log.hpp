@@ -65,6 +65,32 @@ struct ScanResult {
 /// tests drive every torn-tail offset through this directly.
 ScanResult scan_log(util::ByteView data);
 
+/// Zero-copy scan: record payloads stay in the owned file image and replay
+/// decodes views straight out of it. Copying every payload into its own
+/// Bytes was a measurable slice of the recovery profile.
+struct RecordBounds {
+  std::uint64_t seq = 0;
+  std::uint64_t offset = 0;  // payload offset within the image
+  std::uint32_t len = 0;
+};
+
+struct ScanImage {
+  ScanStatus status = ScanStatus::kOk;
+  util::Bytes image;  // raw file bytes (pre-truncation)
+  std::vector<RecordBounds> records;
+  /// Offset one past the last valid record (== file size when kOk).
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t truncated_bytes() const { return file_bytes - valid_bytes; }
+  util::ByteView payload(const RecordBounds& r) const {
+    return util::ByteView(image).subspan(static_cast<std::size_t>(r.offset),
+                                         r.len);
+  }
+};
+
+/// Bounds-only scan over `data` (which the caller keeps alive).
+ScanImage scan_log_bounds(util::ByteView data);
+
 class BlockLog {
  public:
   BlockLog() = default;
@@ -78,6 +104,10 @@ class BlockLog {
   /// `scan`, and truncate a torn tail in place. Returns false — leaving the
   /// log closed — on kCorrupt, kBadHeader or I/O failure.
   bool open(const std::string& path, ScanResult& scan, std::string* error);
+
+  /// Zero-copy variant: `scan.image` owns the file bytes and the records
+  /// are bounds into it. The store's replay path uses this.
+  bool open(const std::string& path, ScanImage& scan, std::string* error);
 
   bool is_open() const noexcept { return file_ != nullptr; }
   const std::string& path() const noexcept { return path_; }

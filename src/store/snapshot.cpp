@@ -175,4 +175,165 @@ void prune_snapshots(const std::string& dir, std::size_t keep) {
   }
 }
 
+namespace {
+
+constexpr std::size_t kDeltaHeaderBytes = 8 + 4 + 8 + 8 + 4 + 4;
+
+std::uint32_t delta_crc(std::uint64_t parent_seq, std::uint64_t next_seq,
+                        util::ByteView payload) {
+  util::Writer w;
+  w.u64(parent_seq);
+  w.u64(next_seq);
+  return crc32c_extend(crc32c(w.data()), payload);
+}
+
+std::string delta_name(std::uint64_t parent_seq, std::uint64_t seq) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "delta-%020llu-%020llu.snap",
+                static_cast<unsigned long long>(parent_seq),
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+bool parse_delta_name(const std::string& name, std::uint64_t& parent_seq,
+                      std::uint64_t& seq) {
+  // delta-<20 digits>-<20 digits>.snap
+  constexpr std::size_t kLen = 6 + 20 + 1 + 20 + 5;
+  if (name.size() != kLen || name.rfind("delta-", 0) != 0 ||
+      name[26] != '-' || name.substr(name.size() - 5) != ".snap") {
+    return false;
+  }
+  const auto digits = [&name](std::size_t from, std::uint64_t& out) {
+    std::uint64_t v = 0;
+    for (std::size_t i = from; i < from + 20; ++i) {
+      const char c = name[i];
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = v;
+    return true;
+  };
+  return digits(6, parent_seq) && digits(27, seq);
+}
+
+}  // namespace
+
+std::vector<DeltaFileInfo> list_delta_files(const std::string& dir) {
+  std::vector<DeltaFileInfo> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::uint64_t parent_seq = 0;
+    std::uint64_t seq = 0;
+    const std::string name = entry.path().filename().string();
+    if (!parse_delta_name(name, parent_seq, seq)) continue;
+    DeltaFileInfo info;
+    info.parent_seq = parent_seq;
+    info.seq = seq;
+    info.path = entry.path().string();
+    info.bytes = static_cast<std::uint64_t>(entry.file_size(ec));
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DeltaFileInfo& a, const DeltaFileInfo& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+bool write_delta_file(const std::string& dir, std::uint64_t parent_seq,
+                      std::uint64_t next_seq, util::ByteView payload,
+                      DeltaFileInfo* info, std::string* error) {
+  const fs::path final_path = fs::path(dir) / delta_name(parent_seq, next_seq);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    set_error(error, "cannot create delta tmp: " + tmp_path.string());
+    return false;
+  }
+  util::Writer header;
+  header.bytes(util::ByteView(
+      reinterpret_cast<const std::uint8_t*>(kDeltaMagic), sizeof(kDeltaMagic)));
+  header.u32(kDeltaFileVersion);
+  header.u64(parent_seq);
+  header.u64(next_seq);
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(delta_crc(parent_seq, next_seq, payload));
+  bool ok = std::fwrite(header.data().data(), 1, header.data().size(), f) ==
+            header.data().size();
+  ok = ok && (payload.empty() || std::fwrite(payload.data(), 1, payload.size(),
+                                             f) == payload.size());
+  // Same ordering contract as base snapshots: data durable before the
+  // rename publishes it, rename durable before the log is retired.
+  ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    set_error(error, "cannot write delta: " + tmp_path.string());
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec || !fsync_dir(dir)) {
+    fs::remove(tmp_path, ec);
+    set_error(error, "cannot publish delta: " + final_path.string());
+    return false;
+  }
+  if (info != nullptr) {
+    info->parent_seq = parent_seq;
+    info->seq = next_seq;
+    info->path = final_path.string();
+    info->bytes = kDeltaHeaderBytes + payload.size();
+  }
+  return true;
+}
+
+std::optional<util::Bytes> load_delta_file(const std::string& path,
+                                           std::uint64_t* parent_seq,
+                                           std::uint64_t* next_seq) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < static_cast<long>(kDeltaHeaderBytes)) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  util::Bytes data(static_cast<std::size_t>(size));
+  const bool read_ok =
+      std::fread(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  if (!read_ok) return std::nullopt;
+
+  if (std::memcmp(data.data(), kDeltaMagic, sizeof(kDeltaMagic)) != 0)
+    return std::nullopt;
+  try {
+    util::Reader r(util::ByteView(data).subspan(sizeof(kDeltaMagic)));
+    if (r.u32() != kDeltaFileVersion) return std::nullopt;
+    const std::uint64_t parent = r.u64();
+    const std::uint64_t seq = r.u64();
+    const std::uint32_t len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (len != r.remaining()) return std::nullopt;
+    util::Bytes payload = r.bytes(len);
+    r.expect_done();
+    if (delta_crc(parent, seq, payload) != crc) return std::nullopt;
+    if (parent_seq != nullptr) *parent_seq = parent;
+    if (next_seq != nullptr) *next_seq = seq;
+    return payload;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+void prune_delta_files(const std::string& dir, std::uint64_t below_seq) {
+  std::error_code ec;
+  for (const DeltaFileInfo& d : list_delta_files(dir)) {
+    if (d.seq <= below_seq) fs::remove(d.path, ec);
+  }
+}
+
 }  // namespace bcwan::store

@@ -47,4 +47,47 @@ std::optional<util::Bytes> load_snapshot_file(const std::string& path,
 /// Delete all snapshots except the newest `keep` (bounds disk usage).
 void prune_snapshots(const std::string& dir, std::size_t keep);
 
+// ---------------------------------------------------------------------------
+// Delta snapshots.
+//
+// An incremental snapshot records only what changed since its parent element
+// (the previous base snapshot or delta): the blocks appended, the reorg
+// pops/pushes, and the net UTXO diff. Files are named
+// delta-<parent_seq>-<seq>.snap and written with the same atomic dance as
+// base snapshots. Recovery loads the newest base, then applies the delta
+// chain whose parent_seq links match, then replays the log tail.
+//
+// On-disk layout: 8-byte magic "BCWANDLT" | u32 version | u64 parent_seq
+//                 | u64 next_seq | u32 payload_len
+//                 | u32 crc32c(parent_seq || next_seq || payload)
+//                 | payload (encode_state_delta bytes)
+// ---------------------------------------------------------------------------
+
+inline constexpr char kDeltaMagic[8] = {'B', 'C', 'W', 'A', 'N', 'D', 'L', 'T'};
+inline constexpr std::uint32_t kDeltaFileVersion = 1;
+
+struct DeltaFileInfo {
+  std::uint64_t parent_seq = 0;  // element this delta applies on top of
+  std::uint64_t seq = 0;         // next_seq once this delta is applied
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// Delta files in `dir`, oldest (lowest seq) first — application order.
+std::vector<DeltaFileInfo> list_delta_files(const std::string& dir);
+
+/// Atomically write a delta on top of the element covering `parent_seq`.
+bool write_delta_file(const std::string& dir, std::uint64_t parent_seq,
+                      std::uint64_t next_seq, util::ByteView payload,
+                      DeltaFileInfo* info, std::string* error);
+
+/// Load + CRC-verify one delta file. std::nullopt if unreadable, torn or
+/// corrupt (the caller falls back to the base snapshot + log replay).
+std::optional<util::Bytes> load_delta_file(const std::string& path,
+                                           std::uint64_t* parent_seq,
+                                           std::uint64_t* next_seq);
+
+/// Delete delta files whose seq is <= `below_seq` (folded into a base).
+void prune_delta_files(const std::string& dir, std::uint64_t below_seq);
+
 }  // namespace bcwan::store

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <functional>
 #include <system_error>
+#include <thread>
 
 #include "store/snapshot.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/serial.hpp"
+#include "util/threadpool.hpp"
 
 namespace fs = std::filesystem;
 
@@ -15,6 +19,10 @@ namespace bcwan::store {
 namespace {
 
 constexpr const char* kLogFileName = "blocks.log";
+
+/// Below this many pending records open() decodes on the calling thread;
+/// pool dispatch would eat the win on tiny logs.
+constexpr std::size_t kMinRecordsForParallelDecode = 64;
 
 void set_error(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
@@ -32,6 +40,12 @@ void note_recovery_telemetry(const RecoveryStats& stats) {
   reg.counter("bcwan_store_snapshots_skipped_total",
               "Corrupt or unreadable snapshots passed over during recovery")
       .add(stats.snapshots_skipped);
+  reg.counter("bcwan_store_deltas_applied_total",
+              "Delta snapshot elements applied during recovery")
+      .add(stats.deltas_applied);
+  reg.counter("bcwan_store_deltas_skipped_total",
+              "Corrupt or unchained delta elements dropped during recovery")
+      .add(stats.deltas_skipped);
   reg.counter("bcwan_store_recoveries_total",
               "Successful open-or-recover cycles")
       .add();
@@ -48,10 +62,21 @@ std::string log_file_path(const std::string& dir) {
 
 util::Bytes encode_block_record(const chain::Block& block,
                                 const chain::BlockUndo* undo) {
+  // Record kind 2 carries the block hash and every txid alongside the
+  // serialized block: replay trusts the CRC-protected log exactly as it
+  // already trusts it to skip validation, so recovery never re-runs
+  // SHA-256d over blocks it wrote itself (the dominant cost of decode on
+  // hardware with slow hashing). Kind-1 records (no ids) remain readable.
   util::Writer w;
-  w.u8(1);  // record kind: block
+  w.u8(2);  // record kind: block + recorded ids
   w.u8(undo != nullptr ? 1 : 0);
+  const chain::Hash256 hash = block.hash();
+  w.bytes(util::ByteView(hash.data(), hash.size()));
   w.var_bytes(block.serialize());
+  for (const chain::Transaction& tx : block.txs) {
+    const chain::Hash256 txid = tx.txid();
+    w.bytes(util::ByteView(txid.data(), txid.size()));
+  }
   if (undo != nullptr) chain::write_undo(w, *undo);
   return w.take();
 }
@@ -59,12 +84,27 @@ util::Bytes encode_block_record(const chain::Block& block,
 std::optional<DecodedBlockRecord> decode_block_record(util::ByteView payload) {
   try {
     util::Reader r(payload);
-    if (r.u8() != 1) return std::nullopt;
+    const std::uint8_t kind = r.u8();
+    if (kind != 1 && kind != 2) return std::nullopt;
     const bool has_undo = r.u8() != 0;
-    const auto block = chain::Block::deserialize(r.var_bytes());
-    if (!block) return std::nullopt;
     DecodedBlockRecord out;
-    out.block = *block;
+    if (kind == 2) {
+      std::memcpy(out.hash.data(), r.view(out.hash.size()).data(),
+                  out.hash.size());
+      auto block = chain::Block::deserialize(r.var_view(), false);
+      if (!block) return std::nullopt;
+      out.block = *std::move(block);
+      for (const chain::Transaction& tx : out.block.txs) {
+        chain::Hash256 txid{};
+        std::memcpy(txid.data(), r.view(txid.size()).data(), txid.size());
+        tx.seed_txid(txid);
+      }
+    } else {
+      auto block = chain::Block::deserialize(r.var_view());
+      if (!block) return std::nullopt;
+      out.block = *std::move(block);
+      out.hash = out.block.hash();
+    }
     if (has_undo) out.undo = chain::read_undo(r);
     r.expect_done();
     return out;
@@ -86,12 +126,15 @@ std::unique_ptr<ChainStore> ChainStore::open(const chain::ChainParams& params,
   auto store = std::unique_ptr<ChainStore>(new ChainStore());
   store->options_ = std::move(options);
 
-  // 1. Newest valid snapshot; corrupt ones fall back to older / genesis.
+  // 1. Newest valid base snapshot; corrupt ones fall back to older /
+  // genesis. The winning payload is kept around: a delta-chain apply
+  // failure below rebuilds from it.
   std::optional<chain::Blockchain> chain;
-  std::uint64_t snap_seq = 0;
+  util::Bytes base_payload;
+  std::uint64_t element_seq = 0;  // covers log records with seq below this
   for (const SnapshotInfo& info : list_snapshots(store->options_.dir)) {
     std::uint64_t next_seq = 0;
-    const auto payload = load_snapshot_file(info.path, &next_seq);
+    auto payload = load_snapshot_file(info.path, &next_seq);
     if (!payload) {
       ++store->recovery_.snapshots_skipped;
       continue;
@@ -102,7 +145,8 @@ std::unique_ptr<ChainStore> ChainStore::open(const chain::ChainParams& params,
       continue;
     }
     chain = std::move(restored);
-    snap_seq = next_seq;
+    base_payload = *std::move(payload);
+    element_seq = next_seq;
     store->recovery_.snapshot_loaded = true;
     store->recovery_.snapshot_seq = next_seq;
     if (telemetry::enabled()) {
@@ -115,34 +159,145 @@ std::unique_ptr<ChainStore> ChainStore::open(const chain::ChainParams& params,
   }
   if (!chain) chain.emplace(params);
 
-  // 2. The log: refuse mid-file corruption, truncate a torn tail.
-  ScanResult scan;
+  // 2. Delta chain on top of the base, linked by parent seq. Any broken
+  // link (missing/corrupt file, decode failure, structurally inconsistent
+  // apply) drops that delta and everything after it — the log tail and the
+  // next compaction cover the difference.
+  if (store->recovery_.snapshot_loaded) {
+    const std::vector<DeltaFileInfo> deltas =
+        list_delta_files(store->options_.dir);
+    std::vector<chain::StateDelta> applied;  // good prefix, for reassembly
+    for (const DeltaFileInfo& d : deltas) {
+      if (d.seq <= element_seq) continue;  // already folded into the base
+      if (d.parent_seq != element_seq) {
+        ++store->recovery_.deltas_skipped;
+        continue;
+      }
+      std::uint64_t parent_seq = 0;
+      std::uint64_t next_seq = 0;
+      const auto payload = load_delta_file(d.path, &parent_seq, &next_seq);
+      std::optional<chain::StateDelta> delta;
+      if (payload && parent_seq == element_seq && next_seq == d.seq) {
+        delta = chain::decode_state_delta(*payload);
+      }
+      if (!delta || !chain->apply_state_delta(*delta)) {
+        // apply_state_delta may leave the chain half-mutated; rebuild the
+        // base plus the prefix that already applied cleanly.
+        if (delta) {
+          chain = chain::Blockchain::restore_state(params, base_payload);
+          for (const chain::StateDelta& good : applied) {
+            if (chain && !chain->apply_state_delta(good)) chain.reset();
+          }
+          if (!chain) {  // cannot happen for a payload that restored before
+            chain.emplace(params);
+            element_seq = 0;
+            store->recovery_.snapshot_loaded = false;
+            store->recovery_.deltas_applied = 0;
+          }
+        }
+        ++store->recovery_.deltas_skipped;
+        continue;  // later deltas cannot chain from element_seq any more
+      }
+      element_seq = d.seq;
+      ++store->recovery_.deltas_applied;
+      applied.push_back(std::move(*delta));
+    }
+  }
+  store->last_element_seq_ = element_seq;
+  store->deltas_since_base_ = store->recovery_.deltas_applied;
+
+  // 3. Arm the incremental machinery at the assembled state: the journal
+  // window and anchor start HERE, before log replay, so the replayed tail
+  // is part of the next delta.
+  if (store->options_.incremental_snapshots) {
+    chain->utxo_journal_begin();
+    store->anchor_tip_ = chain->tip_hash();
+    store->anchor_height_ = chain->height();
+    store->have_anchor_ = true;
+  }
+
+  // Element writes prune undo at the configured depth, but delta payloads
+  // carry no pruning watermark — restoring base + deltas would silently
+  // resurrect reorg-ability past the policy. Re-prune at the element tip
+  // BEFORE replay so the log tail (which may hold a rival branch) faces
+  // the same reorg refusal the pre-crash chain enforced.
+  if (store->options_.undo_prune_depth >= 0) {
+    chain->prune_undo(store->options_.undo_prune_depth);
+  }
+
+  // 4. The log: refuse mid-file corruption, truncate a torn tail. The scan
+  // keeps payloads in the owned file image; replay decodes views out of it.
+  ScanImage scan;
   const std::string log_path =
       (fs::path(store->options_.dir) / kLogFileName).string();
   if (!store->log_.open(log_path, scan, error)) return nullptr;
   store->recovery_.truncated_bytes = scan.truncated_bytes();
   store->recovery_.log_bytes = scan.valid_bytes;
 
-  // 3. Replay everything the snapshot does not already cover.
+  // 5. Replay everything the element chain does not already cover:
+  // CRC/deserialize/hash on the pool, apply strictly in log order.
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t last_seq = 0;
-  for (const LogRecord& rec : scan.records) {
-    last_seq = rec.seq;
-    if (rec.seq < snap_seq) continue;
-    const auto decoded = decode_block_record(rec.payload);
-    if (!decoded) {
-      set_error(error, "log record " + std::to_string(rec.seq) +
+  std::vector<const RecordBounds*> todo;
+  todo.reserve(scan.records.size());
+  for (const RecordBounds& rb : scan.records) {
+    last_seq = rb.seq;
+    if (rb.seq >= element_seq) todo.push_back(&rb);
+  }
+
+  int threads = store->options_.replay_threads;
+  if (threads < 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  store->recovery_.decode_threads = static_cast<unsigned>(threads);
+
+  const std::size_t n = todo.size();
+  std::vector<std::optional<DecodedBlockRecord>> decoded(n);
+  const auto decode_range = [&scan, &todo, &decoded](std::size_t begin,
+                                                     std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      decoded[i] = decode_block_record(scan.payload(*todo[i]));
+  };
+  if (threads > 1 && n >= kMinRecordsForParallelDecode) {
+    const std::size_t slices = std::min<std::size_t>(
+        static_cast<std::size_t>(threads), n / (kMinRecordsForParallelDecode / 2));
+    const std::size_t per = (n + slices - 1) / slices;
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(slices);
+    for (std::size_t begin = 0; begin < n; begin += per) {
+      const std::size_t end = std::min(begin + per, n);
+      tasks.push_back([&decode_range, begin, end] { decode_range(begin, end); });
+    }
+    util::ThreadPool::shared(static_cast<std::size_t>(threads) - 1)
+        .run(std::move(tasks));
+  } else {
+    decode_range(0, n);
+  }
+
+  std::size_t total_txs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!decoded[i]) {
+      set_error(error, "log record " + std::to_string(todo[i]->seq) +
                            " passed CRC but does not decode");
       return nullptr;
     }
+    total_txs += decoded[i]->block.txs.size();
+  }
+  chain->reserve_for_replay(n, total_txs);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    DecodedBlockRecord& rec = *decoded[i];
     const chain::AcceptBlockResult result = chain->replay_block(
-        decoded->block, decoded->undo ? &*decoded->undo : nullptr);
+        std::move(rec.block), rec.hash, rec.undo ? &*rec.undo : nullptr);
     if (result == chain::AcceptBlockResult::kOrphan ||
         result == chain::AcceptBlockResult::kInvalid) {
-      set_error(error, "log record " + std::to_string(rec.seq) +
+      set_error(error, "log record " + std::to_string(todo[i]->seq) +
                            " failed replay (" +
                            chain::accept_block_result_name(result) + ")");
       return nullptr;
+    }
+    if (store->options_.incremental_snapshots &&
+        result != chain::AcceptBlockResult::kDuplicate) {
+      store->pending_blocks_.push_back(rec.hash);
     }
     ++store->recovery_.replayed_blocks;
   }
@@ -151,9 +306,10 @@ std::unique_ptr<ChainStore> ChainStore::open(const chain::ChainParams& params,
           .count();
   store->recovery_.tip_height = chain->height();
 
-  // A snapshot newer than the log tail (crash between snapshot publish and
+  // An element newer than the log tail (crash between element publish and
   // the next append) must still win the next-seq race.
-  store->next_seq_ = std::max(last_seq + 1, std::max<std::uint64_t>(snap_seq, 1));
+  store->next_seq_ =
+      std::max(last_seq + 1, std::max<std::uint64_t>(element_seq, 1));
   store->chain_ = std::move(chain);
 
   note_recovery_telemetry(store->recovery_);
@@ -162,7 +318,7 @@ std::unique_ptr<ChainStore> ChainStore::open(const chain::ChainParams& params,
     reg.gauge("bcwan_store_log_bytes", "Current block log size")
         .set(static_cast<double>(store->log_.size_bytes()));
     reg.gauge("bcwan_store_snapshot_age_blocks",
-              "Blocks appended since the last snapshot")
+              "Blocks appended since the last snapshot element")
         .set(0.0);
   }
   return store;
@@ -181,6 +337,7 @@ bool ChainStore::append_block(const chain::Block& block,
     return false;
   ++next_seq_;
   ++appends_since_snapshot_;
+  if (options_.incremental_snapshots) pending_blocks_.push_back(block.hash());
   if (telemetry::enabled()) {
     auto& reg = telemetry::registry();
     reg.counter("bcwan_store_appended_blocks_total",
@@ -189,22 +346,84 @@ bool ChainStore::append_block(const chain::Block& block,
     reg.gauge("bcwan_store_log_bytes", "Current block log size")
         .set(static_cast<double>(log_.size_bytes()));
     reg.gauge("bcwan_store_snapshot_age_blocks",
-              "Blocks appended since the last snapshot")
+              "Blocks appended since the last snapshot element")
         .set(static_cast<double>(appends_since_snapshot_));
   }
   return true;
 }
 
-bool ChainStore::maybe_snapshot(const chain::Blockchain& chain) {
+void ChainStore::rearm_anchor(chain::Blockchain& chain) {
+  if (!options_.incremental_snapshots) return;
+  chain.utxo_journal_begin();
+  anchor_tip_ = chain.tip_hash();
+  anchor_height_ = chain.height();
+  have_anchor_ = true;
+  pending_blocks_.clear();
+}
+
+bool ChainStore::maybe_snapshot(chain::Blockchain& chain) {
   if (options_.snapshot_interval == 0 ||
       appends_since_snapshot_ < options_.snapshot_interval) {
     return false;
   }
+  if (options_.incremental_snapshots && last_element_seq_ > 0 &&
+      options_.compact_every > 0 &&
+      deltas_since_base_ < options_.compact_every) {
+    if (write_delta(chain)) return true;
+    // Delta path failed — fall through to a compacting full base.
+  }
   return write_snapshot(chain);
 }
 
-bool ChainStore::write_snapshot(const chain::Blockchain& chain) {
-  const util::Bytes state = chain.serialize_state();
+bool ChainStore::write_delta(chain::Blockchain& chain) {
+  if (!options_.incremental_snapshots || !have_anchor_ ||
+      last_element_seq_ == 0) {
+    return false;
+  }
+  auto delta =
+      chain.collect_state_delta(anchor_tip_, anchor_height_, pending_blocks_);
+  // collect failing leaves the journal window intact; anything failing
+  // AFTER the window was consumed must poison the anchor so the next
+  // element is forced to be a full base (a second delta against a consumed
+  // window would silently drop UTXO changes).
+  if (!delta) return false;
+  delta->parent_seq = last_element_seq_;
+  delta->next_seq = next_seq_;
+  const util::Bytes payload = chain::encode_state_delta(*delta);
+  DeltaFileInfo info;
+  if (!write_delta_file(options_.dir, last_element_seq_, next_seq_, payload,
+                        &info, nullptr) ||
+      !log_.reset()) {
+    have_anchor_ = false;
+    return false;
+  }
+  last_delta_bytes_ = info.bytes;
+  last_element_seq_ = next_seq_;
+  ++deltas_since_base_;
+  appends_since_snapshot_ = 0;
+  rearm_anchor(chain);
+  if (options_.undo_prune_depth >= 0)
+    chain.prune_undo(options_.undo_prune_depth);
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::registry();
+    reg.counter("bcwan_store_deltas_written_total",
+                "Delta snapshot elements written")
+        .add();
+    reg.gauge("bcwan_store_delta_bytes",
+              "Size of the most recently written delta element")
+        .set(static_cast<double>(info.bytes));
+    reg.gauge("bcwan_store_snapshot_age_blocks",
+              "Blocks appended since the last snapshot element")
+        .set(0.0);
+    reg.gauge("bcwan_store_log_bytes", "Current block log size")
+        .set(static_cast<double>(log_.size_bytes()));
+  }
+  return true;
+}
+
+bool ChainStore::write_snapshot(chain::Blockchain& chain) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const util::Bytes state = chain.serialize_state(options_.undo_prune_depth);
   SnapshotInfo info;
   if (!write_snapshot_file(options_.dir, next_seq_, state, &info, nullptr))
     return false;
@@ -212,7 +431,20 @@ bool ChainStore::write_snapshot(const chain::Blockchain& chain) {
   // now redundant — rotate the log rather than letting it grow forever.
   if (!log_.reset()) return false;
   prune_snapshots(options_.dir, options_.keep_snapshots);
+  // Deltas at or below the oldest surviving base are folded into it; the
+  // ones above it still let an older base roll forward if this one rots.
+  const std::vector<SnapshotInfo> kept = list_snapshots(options_.dir);
+  if (!kept.empty()) prune_delta_files(options_.dir, kept.back().seq);
+  last_compaction_ms_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count() *
+      1e3;
   appends_since_snapshot_ = 0;
+  deltas_since_base_ = 0;
+  last_element_seq_ = next_seq_;
+  rearm_anchor(chain);
+  if (options_.undo_prune_depth >= 0)
+    chain.prune_undo(options_.undo_prune_depth);
   if (telemetry::enabled()) {
     auto& reg = telemetry::registry();
     reg.counter("bcwan_store_snapshots_written_total",
@@ -221,8 +453,11 @@ bool ChainStore::write_snapshot(const chain::Blockchain& chain) {
     reg.gauge("bcwan_store_snapshot_bytes",
               "Size of the most recently loaded or written snapshot")
         .set(static_cast<double>(info.bytes));
+    reg.histogram("bcwan_store_compaction_seconds",
+                  "Wall-clock time of one full-base compaction")
+        .observe(last_compaction_ms_ / 1e3);
     reg.gauge("bcwan_store_snapshot_age_blocks",
-              "Blocks appended since the last snapshot")
+              "Blocks appended since the last snapshot element")
         .set(0.0);
     reg.gauge("bcwan_store_log_bytes", "Current block log size")
         .set(static_cast<double>(log_.size_bytes()));

@@ -96,6 +96,19 @@ Bytes Reader::var_bytes() {
   return bytes(static_cast<std::size_t>(n));
 }
 
+ByteView Reader::view(std::size_t n) {
+  need(n);
+  const ByteView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+ByteView Reader::var_view() {
+  const std::uint64_t n = varint();
+  if (n > remaining()) throw DeserializeError("length prefix beyond input");
+  return view(static_cast<std::size_t>(n));
+}
+
 void Reader::expect_done() const {
   if (!done()) throw DeserializeError("trailing bytes");
 }

@@ -62,6 +62,12 @@ class Reader {
   std::uint64_t varint();
   Bytes bytes(std::size_t n);
   Bytes var_bytes();
+  /// Zero-copy variants: a view into the underlying buffer, valid only as
+  /// long as the buffer the Reader borrows. The hot replay path decodes
+  /// thousands of length-prefixed blobs per millisecond; copying each one
+  /// into a fresh Bytes dominated the profile.
+  ByteView view(std::size_t n);
+  ByteView var_view();
 
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool done() const noexcept { return remaining() == 0; }

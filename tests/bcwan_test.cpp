@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
 #include "bcwan/directory.hpp"
 #include "bcwan/election.hpp"
 #include "bcwan/fair_exchange.hpp"
@@ -626,6 +630,270 @@ TEST(Directory, ReorgResyncsStaleEntries) {
   const auto entry = dir.lookup(a.miner_wallet.pkh());
   ASSERT_TRUE(entry.has_value());
   EXPECT_EQ(entry->height, -1);
+}
+
+// Two optional entries describe the same resolver fact.
+void expect_same_entry(const std::optional<DirectoryEntry>& got,
+                       const std::optional<DirectoryEntry>& want) {
+  ASSERT_EQ(got.has_value(), want.has_value());
+  if (!got) return;
+  EXPECT_EQ(got->owner, want->owner);
+  EXPECT_EQ(got->ip, want->ip);
+  EXPECT_EQ(got->port, want->port);
+  EXPECT_EQ(got->height, want->height);
+}
+
+TEST(Directory, DeepReorgUnwindsViaUndoFramesNoRescan) {
+  DirReorgHarness a;
+  Directory dir(a.node);
+  ASSERT_EQ(dir.full_rescans(), 1u);  // the cold-start scan
+
+  // Fund, announce ip .1 in block 2, then overwrite with ip .2 in block 4 —
+  // the overwrite is what exercises the had_prev undo path.
+  ASSERT_EQ(a.node.submit_block(a.mine(1)),
+            chain::AcceptBlockResult::kConnected);
+  const auto first = a.miner_wallet.create_announcement(
+      a.node.chain(), &a.node.mempool(),
+      encode_directory_entry(a.miner_wallet.pkh(), 0x0a000001, 9001), 1000);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(a.node.submit_tx(*first).ok());
+  ASSERT_EQ(a.node.submit_block(a.mine(2)),
+            chain::AcceptBlockResult::kConnected);
+  ASSERT_EQ(a.node.submit_block(a.mine(3)),
+            chain::AcceptBlockResult::kConnected);
+  const auto second = a.miner_wallet.create_announcement(
+      a.node.chain(), &a.node.mempool(),
+      encode_directory_entry(a.miner_wallet.pkh(), 0x0a000002, 9002), 1000);
+  ASSERT_TRUE(second.has_value());
+  ASSERT_TRUE(a.node.submit_tx(*second).ok());
+  ASSERT_EQ(a.node.submit_block(a.mine(4)),
+            chain::AcceptBlockResult::kConnected);
+  {
+    const auto entry = dir.lookup(a.miner_wallet.pkh());
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->ip, 0x0a000002u);
+    EXPECT_EQ(entry->height, 4);
+  }
+  EXPECT_EQ(dir.indexed_tip(), 4);
+
+  // A rival branch forking at height 2: blocks 3-4 (with the overwrite)
+  // disconnect, three rival blocks connect.
+  DirReorgHarness b;
+  for (int h = 1; h <= 2; ++h) {
+    const auto common = a.node.chain().block_at(h);
+    ASSERT_TRUE(common.has_value());
+    ASSERT_EQ(b.node.submit_block(*common),
+              chain::AcceptBlockResult::kConnected);
+  }
+  const chain::Block r3 = b.mine(20);
+  ASSERT_EQ(b.node.submit_block(r3), chain::AcceptBlockResult::kConnected);
+  const chain::Block r4 = b.mine(21);
+  ASSERT_EQ(b.node.submit_block(r4), chain::AcceptBlockResult::kConnected);
+  const chain::Block r5 = b.mine(22);
+  ASSERT_EQ(b.node.submit_block(r5), chain::AcceptBlockResult::kConnected);
+
+  ASSERT_EQ(a.node.submit_block(r3), chain::AcceptBlockResult::kSideChain);
+  ASSERT_EQ(a.node.submit_block(r4), chain::AcceptBlockResult::kSideChain);
+  ASSERT_EQ(a.node.submit_block(r5), chain::AcceptBlockResult::kReorganized);
+
+  // The reorg was absorbed through undo frames: no full rescan.
+  EXPECT_EQ(dir.indexed_reorgs(), 1u);
+  EXPECT_EQ(dir.full_rescans(), 1u);
+  EXPECT_EQ(dir.indexed_tip(), 5);
+
+  // The disconnected overwrite resurrected into the mempool and shadows the
+  // restored confirmed entry; a freshly-built full-rescan directory must
+  // agree exactly with the incrementally unwound one.
+  const Directory probe(a.node);
+  expect_same_entry(dir.lookup(a.miner_wallet.pkh()),
+                    probe.lookup(a.miner_wallet.pkh()));
+  EXPECT_EQ(dir.size(), probe.size());
+  {
+    const auto entry = dir.lookup(a.miner_wallet.pkh());
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->height, -1);  // mempool sighting of the resurrected tx
+    EXPECT_EQ(entry->ip, 0x0a000002u);
+  }
+
+  // Mining on the new branch confirms the resurrected announcement and
+  // retires the mempool shadow — still in lockstep with the rescan copy.
+  ASSERT_EQ(a.node.submit_block(a.mine(30)),
+            chain::AcceptBlockResult::kConnected);
+  const auto entry = dir.lookup(a.miner_wallet.pkh());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->height, 6);
+  EXPECT_EQ(entry->ip, 0x0a000002u);
+  expect_same_entry(dir.lookup(a.miner_wallet.pkh()),
+                    probe.lookup(a.miner_wallet.pkh()));
+}
+
+TEST(Directory, ReorgPastUndoWindowFallsBackToRescan) {
+  DirReorgHarness a;
+  DirectoryOptions options;
+  options.undo_depth = 2;  // frames for the newest two heights only
+  Directory dir(a.node, options);
+  ASSERT_EQ(dir.full_rescans(), 1u);
+
+  ASSERT_EQ(a.node.submit_block(a.mine(1)),
+            chain::AcceptBlockResult::kConnected);
+  const auto announce = a.miner_wallet.create_announcement(
+      a.node.chain(), &a.node.mempool(),
+      encode_directory_entry(a.miner_wallet.pkh(), 0x0a000003, 9003), 1000);
+  ASSERT_TRUE(announce.has_value());
+  ASSERT_TRUE(a.node.submit_tx(*announce).ok());
+  for (std::uint64_t t = 2; t <= 4; ++t) {
+    ASSERT_EQ(a.node.submit_block(a.mine(t)),
+              chain::AcceptBlockResult::kConnected);
+  }
+
+  // Rival branch forking at height 1 — deeper than the two retained undo
+  // frames, so the unwind hits a missing frame and rebuilds instead.
+  DirReorgHarness b;
+  const auto common = a.node.chain().block_at(1);
+  ASSERT_TRUE(common.has_value());
+  ASSERT_EQ(b.node.submit_block(*common),
+            chain::AcceptBlockResult::kConnected);
+  std::vector<chain::Block> branch;
+  for (std::uint64_t t = 40; t < 44; ++t) {
+    const chain::Block blk = b.mine(t);
+    ASSERT_EQ(b.node.submit_block(blk), chain::AcceptBlockResult::kConnected);
+    branch.push_back(blk);
+  }
+  for (std::size_t i = 0; i + 1 < branch.size(); ++i) {
+    ASSERT_EQ(a.node.submit_block(branch[i]),
+              chain::AcceptBlockResult::kSideChain);
+  }
+  ASSERT_EQ(a.node.submit_block(branch.back()),
+            chain::AcceptBlockResult::kReorganized);
+
+  EXPECT_EQ(dir.indexed_reorgs(), 0u);
+  EXPECT_EQ(dir.full_rescans(), 2u);
+  EXPECT_EQ(dir.indexed_tip(), 5);
+  const Directory probe(a.node);
+  expect_same_entry(dir.lookup(a.miner_wallet.pkh()),
+                    probe.lookup(a.miner_wallet.pkh()));
+  EXPECT_EQ(dir.size(), probe.size());
+}
+
+// Persistent-store node whose directory index is persisted next to it: the
+// restart watcher must recover the directory from disk, not rescan.
+struct PersistDirHarness {
+  chain::ChainParams params = [] {
+    chain::ChainParams p;
+    p.pow_zero_bits = 4;
+    p.coinbase_maturity = 1;
+    return p;
+  }();
+  std::filesystem::path dir = [] {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "bcwan-dir-XXXXXX").string();
+    return std::filesystem::path(::mkdtemp(tmpl.data()));
+  }();
+  p2p::EventLoop loop;
+  p2p::SimNet net{loop, 78};
+  p2p::HostId host = net.add_host("persist-dir-node");
+  p2p::ChainNodeConfig config = [this] {
+    p2p::ChainNodeConfig c;
+    c.store_dir = (dir / "node").string();
+    return c;
+  }();
+  p2p::ChainNode node{loop, net, host, params, config, 52};
+  chain::Wallet miner_wallet = chain::Wallet::from_seed("persist-dir-miner");
+  chain::Miner miner{params, miner_wallet.pkh()};
+
+  ~PersistDirHarness() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  std::string index_path() const { return (dir / "directory.idx").string(); }
+
+  chain::Block mine(std::uint64_t time) {
+    return miner.mine(node.chain(), node.mempool(), time);
+  }
+
+  /// Fund the announcer, confirm one announcement at height 2, bury it.
+  void announce_and_confirm(Directory& directory) {
+    ASSERT_EQ(node.submit_block(mine(1)),
+              chain::AcceptBlockResult::kConnected);
+    const auto announce = miner_wallet.create_announcement(
+        node.chain(), &node.mempool(),
+        encode_directory_entry(miner_wallet.pkh(), 0x0a000007, 9007), 1000);
+    ASSERT_TRUE(announce.has_value());
+    ASSERT_TRUE(node.submit_tx(*announce).ok());
+    ASSERT_EQ(node.submit_block(mine(2)),
+              chain::AcceptBlockResult::kConnected);
+    ASSERT_EQ(node.submit_block(mine(3)),
+              chain::AcceptBlockResult::kConnected);
+    const auto entry = directory.lookup(miner_wallet.pkh());
+    ASSERT_TRUE(entry.has_value());
+    ASSERT_EQ(entry->height, 2);
+  }
+};
+
+TEST(Directory, PersistedIndexSurvivesCrashRestart) {
+  PersistDirHarness a;
+  DirectoryOptions options;
+  options.persist_path = a.index_path();
+  Directory dir(a.node, options);
+  ASSERT_EQ(dir.full_rescans(), 1u);  // first boot: nothing persisted yet
+  a.announce_and_confirm(dir);
+  const auto before = dir.lookup(a.miner_wallet.pkh());
+  ASSERT_TRUE(std::filesystem::exists(a.index_path()));
+
+  a.node.crash();
+  ASSERT_TRUE(a.node.restart());
+  // Recovery installed the persisted index: no additional rescan.
+  EXPECT_EQ(dir.full_rescans(), 1u);
+  EXPECT_EQ(dir.indexed_tip(), 3);
+  expect_same_entry(dir.lookup(a.miner_wallet.pkh()), before);
+
+  // The recovered index stays live on new blocks.
+  ASSERT_EQ(a.node.submit_block(a.mine(10)),
+            chain::AcceptBlockResult::kConnected);
+  EXPECT_EQ(dir.indexed_tip(), 4);
+}
+
+TEST(Directory, CorruptPersistedIndexFallsBackToRescan) {
+  PersistDirHarness a;
+  DirectoryOptions options;
+  options.persist_path = a.index_path();
+  Directory dir(a.node, options);
+  a.announce_and_confirm(dir);
+  const auto before = dir.lookup(a.miner_wallet.pkh());
+
+  // Flip a byte in the middle of the persisted payload: the CRC rejects it
+  // and recovery rebuilds by scanning instead of trusting the file.
+  a.node.crash();
+  {
+    std::ifstream in(a.index_path(), std::ios::binary);
+    std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    ASSERT_FALSE(raw.empty());
+    raw[raw.size() / 2] ^= 0x08;
+    std::ofstream out(a.index_path(),
+                      std::ios::binary | std::ios::trunc);
+    out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  }
+  ASSERT_TRUE(a.node.restart());
+  EXPECT_EQ(dir.full_rescans(), 2u);
+  expect_same_entry(dir.lookup(a.miner_wallet.pkh()), before);
+
+  // A truncated (torn) index file is rejected the same way. The rescan
+  // above re-persisted a good file first.
+  a.node.crash();
+  {
+    std::ifstream in(a.index_path(), std::ios::binary);
+    std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    ASSERT_GT(raw.size(), 8u);
+    std::ofstream out(a.index_path(),
+                      std::ios::binary | std::ios::trunc);
+    out.write(raw.data(), static_cast<std::streamsize>(raw.size() / 2));
+  }
+  ASSERT_TRUE(a.node.restart());
+  EXPECT_EQ(dir.full_rescans(), 3u);
+  expect_same_entry(dir.lookup(a.miner_wallet.pkh()), before);
 }
 
 TEST(Federation, DirectoryServesForeignLookups) {

@@ -311,6 +311,69 @@ TEST(Snapshot, PruneKeepsNewest) {
   EXPECT_EQ(listed[1].seq, 5u);
 }
 
+// --- Delta snapshots (incremental elements) ---
+
+TEST(DeltaSnapshot, RoundTripListingAndPrune) {
+  TempDir dir;
+  const Bytes first = util::str_bytes("delta payload one");
+  DeltaFileInfo info;
+  ASSERT_TRUE(write_delta_file(dir.str(), 4, 9, first, &info, nullptr));
+  EXPECT_EQ(info.parent_seq, 4u);
+  EXPECT_EQ(info.seq, 9u);
+  ASSERT_TRUE(write_delta_file(dir.str(), 9, 14,
+                               util::str_bytes("delta payload two"), nullptr,
+                               nullptr));
+
+  // Oldest first: the order deltas are applied on top of the base.
+  auto listed = list_delta_files(dir.str());
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].seq, 9u);
+  EXPECT_EQ(listed[1].seq, 14u);
+
+  std::uint64_t parent = 0, next = 0;
+  const auto loaded = load_delta_file(listed[0].path, &parent, &next);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, first);
+  EXPECT_EQ(parent, 4u);
+  EXPECT_EQ(next, 9u);
+
+  // Pruning removes deltas folded into a base (seq <= below_seq).
+  prune_delta_files(dir.str(), 9);
+  listed = list_delta_files(dir.str());
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].seq, 14u);
+}
+
+TEST(DeltaSnapshot, TornFileAtEveryOffsetIsRejected) {
+  TempDir dir;
+  DeltaFileInfo info;
+  ASSERT_TRUE(write_delta_file(dir.str(), 3, 8,
+                               util::str_bytes("a delta body that will be "
+                                               "torn at every offset"),
+                               &info, nullptr));
+  const Bytes image = read_file(info.path);
+
+  // Truncate the file at every byte offset: each torn variant must be
+  // rejected by the CRC/length checks, never accepted or crash.
+  for (std::size_t cut = 0; cut < image.size(); ++cut) {
+    write_file(info.path, util::ByteView(image).subspan(0, cut));
+    EXPECT_FALSE(load_delta_file(info.path, nullptr, nullptr).has_value())
+        << "cut at " << cut;
+  }
+  // A single flipped payload byte at full length is rejected too.
+  Bytes flipped = image;
+  flipped[flipped.size() - 5] ^= 0x20;
+  write_file(info.path, flipped);
+  EXPECT_FALSE(load_delta_file(info.path, nullptr, nullptr).has_value());
+
+  // The intact image still loads.
+  write_file(info.path, image);
+  std::uint64_t parent = 0, next = 0;
+  EXPECT_TRUE(load_delta_file(info.path, &parent, &next).has_value());
+  EXPECT_EQ(parent, 3u);
+  EXPECT_EQ(next, 8u);
+}
+
 // --- ChainStore open-or-recover ---
 
 TEST(ChainStore, FreshDirectoryStartsAtGenesis) {
@@ -428,6 +491,8 @@ TEST(ChainStore, MidFileCorruptionRefusesToOpen) {
 TEST(ChainStore, CorruptSnapshotFallsBackToReplay) {
   StoreHarness h;
   h.opts.snapshot_interval = 2;
+  // Legacy full-base-only mode: this test is about base-to-base fallback.
+  h.opts.incremental_snapshots = false;
   h.reopen();
   h.mine_blocks(4);
   const chain::Hash256 state = h.chain->state_hash();
@@ -529,6 +594,290 @@ TEST(ChainStore, ReplayedChainKeepsUndoForNewReorgs) {
   EXPECT_EQ(h.chain->utxo().state_hash(), rival.utxo().state_hash());
 }
 
+// --- Incremental elements: delta chain, compaction, torn deltas ---
+
+TEST(ChainStore, IncrementalReopenAppliesDeltaChain) {
+  StoreHarness h;
+  h.opts.snapshot_interval = 2;
+  h.opts.compact_every = 100;  // first element is a base, everything after
+                               // stays a delta for this test
+  h.reopen();
+  h.fund();
+  h.pay(2 * chain::kCoin);
+  h.mine_blocks(3);  // 7 blocks total: elements at 2 (base), 4, 6 (deltas)
+  EXPECT_GE(h.store->deltas_since_base(), 2u);
+  EXPECT_GT(h.store->last_delta_bytes(), 0u);
+  const chain::Hash256 state = h.chain->state_hash();
+  const int height = h.chain->height();
+
+  h.reopen();
+  EXPECT_TRUE(h.store->recovery().snapshot_loaded);
+  EXPECT_EQ(h.store->recovery().deltas_applied, 2u);
+  EXPECT_EQ(h.store->recovery().deltas_skipped, 0u);
+  EXPECT_EQ(h.store->recovery().replayed_blocks, 1u);  // log tail: block 7
+  EXPECT_EQ(h.chain->height(), height);
+  EXPECT_EQ(h.chain->state_hash(), state);
+
+  // The recovered chain keeps producing valid elements.
+  h.mine_blocks(2);
+  const chain::Hash256 state2 = h.chain->state_hash();
+  h.reopen();
+  EXPECT_EQ(h.chain->state_hash(), state2);
+}
+
+TEST(ChainStore, CompactionFoldsDeltasIntoBaseAndPrunes) {
+  StoreHarness h;
+  h.opts.snapshot_interval = 1;
+  h.opts.compact_every = 2;  // base, delta, delta, base, delta, delta, ...
+  h.reopen();
+  h.mine_blocks(7);
+  // Block 7 wrote the third base: the delta counter restarts and the fold
+  // itself was timed.
+  EXPECT_EQ(h.store->deltas_since_base(), 0u);
+  EXPECT_GT(h.store->last_compaction_ms(), 0.0);
+
+  // keep_snapshots bases survive; deltas at or below the OLDEST kept base
+  // are spent (folded) and pruned. Deltas above it stay: they are the
+  // fallback chain if the newest base turns out corrupt.
+  const auto bases = list_snapshots(h.dir.str());
+  ASSERT_EQ(bases.size(), h.opts.keep_snapshots);
+  const std::uint64_t oldest_kept = bases.back().seq;
+  for (const auto& delta : list_delta_files(h.dir.str())) {
+    EXPECT_GT(delta.seq, oldest_kept) << delta.path;
+  }
+
+  // Recovery prefers the newest base: nothing to re-apply.
+  const chain::Hash256 state = h.chain->state_hash();
+  h.reopen();
+  EXPECT_TRUE(h.store->recovery().snapshot_loaded);
+  EXPECT_EQ(h.store->recovery().snapshot_seq, bases.front().seq);
+  EXPECT_EQ(h.store->recovery().deltas_applied, 0u);
+  EXPECT_EQ(h.chain->state_hash(), state);
+}
+
+TEST(ChainStore, CorruptBaseFallsBackToOlderBasePlusDeltas) {
+  StoreHarness h;
+  h.opts.snapshot_interval = 1;
+  h.opts.compact_every = 2;
+  h.reopen();
+  h.mine_blocks(6);  // elements: base, delta, delta, base, delta, delta
+  const chain::Hash256 state6 = h.chain->state_hash();
+  h.mine_block();  // 7th element: a compacting base covering everything
+  h.crash();
+
+  // Corrupt the newest base: recovery must fall back to the previous base
+  // plus the delta chain on top of it. The log was rotated at the newest
+  // element, so the fallback recovers the pre-compaction state (height 6).
+  const auto bases = list_snapshots(h.dir.str());
+  ASSERT_GE(bases.size(), 2u);
+  Bytes raw = read_file(bases.front().path);
+  raw[raw.size() / 2] ^= 0x04;
+  write_file(bases.front().path, raw);
+
+  std::string error;
+  auto store = ChainStore::open(h.params, h.opts, &error);
+  ASSERT_NE(store, nullptr) << error;
+  EXPECT_EQ(store->recovery().snapshots_skipped, 1u);
+  EXPECT_EQ(store->recovery().deltas_applied, 2u);
+  Blockchain chain = store->take_chain();
+  EXPECT_EQ(chain.height(), 6);
+  EXPECT_EQ(chain.state_hash(), state6);
+}
+
+TEST(ChainStore, TornDeltaAtEveryOffsetFallsBackToBase) {
+  StoreHarness h;
+  h.opts.snapshot_interval = 2;
+  h.opts.compact_every = 100;
+  h.reopen();
+  h.mine_blocks(2);  // element 1: full base covering height 2
+  const chain::Hash256 base_state = h.chain->state_hash();
+  h.mine_blocks(2);  // element 2: delta covering heights 3-4 (rotates log)
+  const chain::Hash256 full_state = h.chain->state_hash();
+  h.crash();
+
+  const auto deltas = list_delta_files(h.dir.str());
+  ASSERT_EQ(deltas.size(), 1u);
+  const Bytes image = read_file(deltas[0].path);
+
+  // Truncate the delta file at every byte offset. Every torn variant must
+  // still open — falling back to the base element and recovering the exact
+  // state the base covered (the delta rotated the log, so blocks 3-4 are
+  // only reachable through the delta itself).
+  for (std::size_t cut = 0; cut < image.size(); ++cut) {
+    write_file(deltas[0].path, util::ByteView(image).subspan(0, cut));
+    std::string error;
+    auto store = ChainStore::open(h.params, h.opts, &error);
+    ASSERT_NE(store, nullptr) << "cut at " << cut << ": " << error;
+    EXPECT_EQ(store->recovery().deltas_skipped, 1u) << "cut at " << cut;
+    EXPECT_EQ(store->recovery().deltas_applied, 0u) << "cut at " << cut;
+    Blockchain chain = store->take_chain();
+    EXPECT_EQ(chain.height(), 2) << "cut at " << cut;
+    EXPECT_EQ(chain.state_hash(), base_state) << "cut at " << cut;
+  }
+
+  // Restored intact, the delta applies and the full state comes back.
+  write_file(deltas[0].path, image);
+  std::string error;
+  auto store = ChainStore::open(h.params, h.opts, &error);
+  ASSERT_NE(store, nullptr) << error;
+  EXPECT_EQ(store->recovery().deltas_applied, 1u);
+  Blockchain chain = store->take_chain();
+  EXPECT_EQ(chain.height(), 4);
+  EXPECT_EQ(chain.state_hash(), full_state);
+}
+
+TEST(ChainStore, DeltaAcrossReorgReopens) {
+  StoreHarness h;
+  h.opts.snapshot_interval = 2;
+  h.opts.compact_every = 100;
+  h.reopen();
+  h.fund();
+  h.pay(3 * chain::kCoin);  // height 4: element boundary right at the block
+                            // a reorg is about to disconnect
+  const int fork_height = h.chain->height() - 1;
+
+  Blockchain rival(h.params);
+  Mempool rival_pool(h.params);
+  Miner rival_miner(h.params, Wallet::from_seed("rival-delta").pkh());
+  for (int bh = 1; bh <= fork_height; ++bh) {
+    ASSERT_EQ(rival.accept_block(*h.chain->block_at(bh)),
+              AcceptBlockResult::kConnected);
+  }
+  std::uint64_t rt = 3000;
+  const Block r1 = rival_miner.mine(rival, rival_pool, ++rt);
+  ASSERT_EQ(rival.accept_block(r1), AcceptBlockResult::kConnected);
+  const Block r2 = rival_miner.mine(rival, rival_pool, ++rt);
+  ASSERT_EQ(rival.accept_block(r2), AcceptBlockResult::kConnected);
+
+  ASSERT_EQ(h.chain->accept_block(r1), AcceptBlockResult::kSideChain);
+  ASSERT_EQ(h.chain->accept_block(r2), AcceptBlockResult::kReorganized);
+
+  // A delta collected across the reorg window carries the pop of the
+  // payment block and the pushes of the rival branch.
+  ASSERT_TRUE(h.store->write_delta(*h.chain));
+  const chain::Hash256 state = h.chain->state_hash();
+  const int height = h.chain->height();
+
+  h.reopen();
+  EXPECT_GE(h.store->recovery().deltas_applied, 1u);
+  EXPECT_EQ(h.chain->height(), height);
+  EXPECT_EQ(h.chain->tip_hash(), r2.hash());
+  EXPECT_EQ(h.chain->state_hash(), state);
+}
+
+TEST(ChainStore, UndoPruneRefusesReorgPastPrunedBlocks) {
+  StoreHarness h;
+  h.opts.snapshot_interval = 2;
+  h.opts.undo_prune_depth = 2;
+  h.reopen();
+  h.mine_blocks(8);  // element writes prune undo buried deeper than 2
+  ASSERT_TRUE(h.chain->undo_pruned_at(1));
+  const chain::Hash256 tip = h.chain->tip_hash();
+
+  // A rival branch from genesis that outgrows the active chain would have
+  // to disconnect pruned blocks: the reorg must be refused, tip unchanged.
+  Blockchain rival(h.params);
+  Mempool rival_pool(h.params);
+  Miner rival_miner(h.params, Wallet::from_seed("deep-rival").pkh());
+  std::uint64_t rt = 4000;
+  std::vector<Block> branch;
+  for (int i = 0; i < 9; ++i) {
+    const Block b = rival_miner.mine(rival, rival_pool, ++rt);
+    ASSERT_EQ(rival.accept_block(b), AcceptBlockResult::kConnected);
+    branch.push_back(b);
+  }
+  for (const Block& b : branch) {
+    EXPECT_EQ(h.chain->accept_block(b), AcceptBlockResult::kSideChain);
+  }
+  EXPECT_EQ(h.chain->tip_hash(), tip);
+
+  // The pruned watermark survives a restart and still refuses the reorg.
+  h.reopen();
+  EXPECT_TRUE(h.chain->undo_pruned_at(1));
+  std::uint64_t rt2 = 5000;
+  const Block b10 = rival_miner.mine(rival, rival_pool, ++rt2);
+  ASSERT_EQ(rival.accept_block(b10), AcceptBlockResult::kConnected);
+  for (const Block& b : branch) (void)h.chain->accept_block(b);
+  EXPECT_EQ(h.chain->accept_block(b10), AcceptBlockResult::kSideChain);
+  EXPECT_EQ(h.chain->tip_hash(), tip);
+
+  // The chain itself still extends normally.
+  h.mine_block();
+  EXPECT_EQ(h.chain->height(), 9);
+}
+
+TEST(ChainStore, ParallelReplayMatchesSerial) {
+  StoreHarness h;  // default interval: no snapshots, replay is the whole log
+  h.mine_blocks(70);  // above the parallel-decode threshold (64 records)
+  const chain::Hash256 state = h.chain->state_hash();
+  const int height = h.chain->height();
+  h.crash();
+
+  StoreOptions serial = h.opts;
+  serial.replay_threads = 1;
+  std::string error;
+  auto store1 = ChainStore::open(h.params, serial, &error);
+  ASSERT_NE(store1, nullptr) << error;
+  EXPECT_EQ(store1->recovery().decode_threads, 1u);
+  Blockchain chain1 = store1->take_chain();
+
+  StoreOptions parallel = h.opts;
+  parallel.replay_threads = 4;
+  auto store4 = ChainStore::open(h.params, parallel, &error);
+  ASSERT_NE(store4, nullptr) << error;
+  EXPECT_EQ(store4->recovery().decode_threads, 4u);
+  Blockchain chain4 = store4->take_chain();
+
+  EXPECT_EQ(chain1.height(), height);
+  EXPECT_EQ(chain4.height(), height);
+  EXPECT_EQ(chain1.state_hash(), state);
+  EXPECT_EQ(chain4.state_hash(), state);
+  EXPECT_EQ(chain1.active_chain(), chain4.active_chain());
+}
+
+TEST(ChainStore, LegacyKind1RecordReplays) {
+  StoreHarness h;
+  h.mine_blocks(3);
+  const std::uint64_t next = h.store->next_seq();
+
+  // Mine block 4 on an in-memory twin so its record never reaches the log
+  // through the modern kind-2 encoder.
+  Blockchain twin(h.params);
+  for (int bh = 1; bh <= 3; ++bh) {
+    ASSERT_EQ(twin.accept_block(*h.chain->block_at(bh)),
+              AcceptBlockResult::kConnected);
+  }
+  Mempool twin_pool(h.params);
+  Miner twin_miner(h.params, Wallet::from_seed("legacy").pkh());
+  const Block b4 = twin_miner.mine(twin, twin_pool, 500);
+  ASSERT_EQ(twin.accept_block(b4), AcceptBlockResult::kConnected);
+  const chain::BlockUndo* undo = twin.undo_for(b4.hash());
+  ASSERT_NE(undo, nullptr);
+  h.crash();
+
+  // Hand-craft the legacy kind-1 payload (no stored hash or txids: replay
+  // recomputes them) and append it to the live log.
+  util::Writer w;
+  w.u8(1);  // record kind 1
+  w.u8(1);  // has_undo
+  w.var_bytes(b4.serialize());
+  chain::write_undo(w, *undo);
+  {
+    BlockLog log;
+    ScanResult scan;
+    ASSERT_TRUE(log.open(h.log_path(), scan, nullptr));
+    ASSERT_EQ(scan.status, ScanStatus::kOk);
+    ASSERT_TRUE(log.append(next, w.data(), true));
+    log.close();
+  }
+
+  h.open();
+  EXPECT_EQ(h.chain->height(), 4);
+  EXPECT_EQ(h.chain->tip_hash(), b4.hash());
+  EXPECT_EQ(h.chain->state_hash(), twin.state_hash());
+  EXPECT_EQ(h.store->recovery().replayed_blocks, 4u);
+}
+
 // --- Blockchain state serialization ---
 
 TEST(Blockchain, StateSerializationRoundTrip) {
@@ -581,6 +930,38 @@ TEST(UtxoSet, SerializationIsCanonical) {
   EXPECT_EQ(back->state_hash(), utxo.state_hash());
   EXPECT_EQ(back->serialize(), raw);  // canonical: same bytes either way
   EXPECT_EQ(back->total_value(), utxo.total_value());
+}
+
+TEST(UtxoSet, JournalEmitsNetDiffOnly) {
+  chain::UtxoSet set;
+  const auto op = [](std::uint8_t tag, std::uint32_t index) {
+    chain::OutPoint o;
+    o.txid.fill(tag);
+    o.index = index;
+    return o;
+  };
+  const chain::Coin coin{chain::TxOut{50, {}}, 1, false};
+  set.add(op(0xAA, 0), coin);
+  set.add(op(0xBB, 0), coin);
+
+  set.begin_journal();
+  ASSERT_TRUE(set.journal_enabled());
+  // Net effect: 0xAA spent, 0xCC added. 0xDD is churn (added then spent
+  // inside the window) and must cancel out of the diff entirely.
+  ASSERT_TRUE(set.spend(op(0xAA, 0)).has_value());
+  set.add(op(0xCC, 2), coin);
+  set.add(op(0xDD, 1), coin);
+  ASSERT_TRUE(set.spend(op(0xDD, 1)).has_value());
+
+  const chain::UtxoJournal diff = set.take_journal();
+  ASSERT_EQ(diff.spent.size(), 1u);
+  EXPECT_EQ(diff.spent[0], op(0xAA, 0));
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].first, op(0xCC, 2));
+  // The window restarted: an untouched window is an empty diff.
+  const chain::UtxoJournal empty = set.take_journal();
+  EXPECT_TRUE(empty.spent.empty());
+  EXPECT_TRUE(empty.added.empty());
 }
 
 TEST(Validation, UndoSerializationRoundTrip) {
